@@ -1,0 +1,100 @@
+"""A2 — ablation: simulation fidelity costs.
+
+Two fidelity decisions from DESIGN.md are quantified here:
+
+1. LOCAL oracle mode vs full message-passing gather — identical outputs
+   (tested), so what does the oracle save?  Wall-clock timing of both
+   on the same workload.
+2. CONGEST_BC pipelining — logical rounds vs bandwidth-normalized
+   rounds for WReachDist at growing r; the gap is exactly the
+   O(c * r)-word payloads the paper's round bound absorbs.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import write_result
+from repro.bench.tables import Table
+from repro.bench.workloads import WORKLOADS
+from repro.distributed.lenzen import lenzen_planar_mds
+from repro.distributed.local_engine import gather_balls
+from repro.distributed.nd_order import distributed_h_partition_order
+from repro.distributed.wreach_bc import run_wreach_bc
+from repro.graphs import generators as gen
+
+
+def _a2_local_modes():
+    table = Table(
+        "A2a: LOCAL gather — oracle vs message-passing (identical outputs)",
+        ["graph", "n", "k", "oracle (s)", "messages (s)", "equal"],
+    )
+    g = gen.grid_2d(10, 10)
+    for k in (1, 2, 3):
+        t0 = time.perf_counter()
+        a, _ = gather_balls(g, k, mode="oracle")
+        t_oracle = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        b, _ = gather_balls(g, k, mode="messages")
+        t_msgs = time.perf_counter() - t0
+        table.add("grid10x10", g.n, k, t_oracle, t_msgs, a == b)
+    return table
+
+
+def _a2_pipelining():
+    table = Table(
+        "A2b: CONGEST_BC logical vs normalized rounds (WReachDist)",
+        ["workload", "r", "horizon", "logical", "normalized(1w)", "gap factor"],
+    )
+    g = WORKLOADS["delaunay400"].graph()
+    oc = distributed_h_partition_order(g)
+    for r in (1, 2, 3):
+        horizon = 2 * r
+        _, res = run_wreach_bc(g, oc.class_ids, horizon)
+        logical = res.rounds
+        norm = res.normalized_rounds(1)
+        table.add("delaunay400", r, horizon, logical, norm, norm / max(1, logical))
+    return table
+
+
+def _a2_true_pipelining():
+    """Physically execute WReachDist at bounded bandwidth (strict mode)."""
+    import numpy as np
+
+    from repro.distributed.pipelining import run_pipelined
+    from repro.distributed.wreach_bc import WReachNode, run_wreach_bc as _plain
+
+    table = Table(
+        "A2c: physically pipelined WReachDist (outputs identical to plain)",
+        ["graph", "r", "bandwidth W", "physical rounds", "max payload", "equal"],
+    )
+    g = gen.grid_2d(8, 8)
+    oc = distributed_h_partition_order(g)
+    advice = {"class_ids": np.asarray(oc.class_ids, dtype=np.int64)}
+    for r in (1, 2):
+        horizon = 2 * r
+        plain, _ = _plain(g, oc.class_ids, horizon)
+        for w in (1, 4, 16):
+            res = run_pipelined(
+                g, lambda v: WReachNode(horizon), words_per_round=w, advice=advice
+            )
+            equal = all(
+                res.outputs[v].wreach == plain[v].wreach
+                and res.outputs[v].paths == plain[v].paths
+                for v in range(g.n)
+            )
+            table.add("grid8x8", r, w, res.rounds, res.max_payload_words, equal)
+    return table
+
+
+def test_a2_simulation_modes(benchmark):
+    g = gen.grid_2d(8, 8)
+    benchmark.pedantic(
+        lambda: lenzen_planar_mds(g, mode="oracle"), rounds=1, iterations=1
+    )
+    t1 = _a2_local_modes()
+    t2 = _a2_pipelining()
+    t3 = _a2_true_pipelining()
+    write_result("a2_simulation_modes", t1, t2, t3)
+    assert all(row[-1] == "True" for row in t1.rows)
+    assert all(row[-1] == "True" for row in t3.rows)

@@ -1,0 +1,99 @@
+"""F-series — figure data: how everything scales with the radius r.
+
+The paper has no figures; these are the series a figure-bearing version
+would plot.  Printed as aligned tables (x-axis r = 1..4):
+
+* F1: dominating-set sizes (ours+prune vs scattered/LP lower bound) and
+  the certified constant c(r) — the theory predicts c grows with r while
+  the realized ratio stays flat.
+* F2: connected blowup |D'|/|D| vs r for both constructions (Cor 13 in
+  CONGEST_BC, Lemma 16 in LOCAL) — bounds grow linearly in r, realized
+  values stay near 1.
+* F3: CONGEST_BC logical and bandwidth-normalized rounds vs r — logical
+  grows linearly (3r + order), normalized ~ r * c(r) on top.
+"""
+
+import pytest
+
+from repro.bench.harness import write_result
+from repro.bench.tables import Table
+from repro.bench.workloads import WORKLOADS
+from repro.core.connect import connect_via_minor
+from repro.core.domset import domset_sequential
+from repro.core.exact import lp_lower_bound
+from repro.core.independence import scattered_lower_bound
+from repro.core.prune import prune_dominating_set
+from repro.distributed.connect_bc import run_connect_bc
+from repro.distributed.nd_order import distributed_h_partition_order
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.wreach import wcol_of_order
+
+WORKLOAD_NAMES = ["grid16", "delaunay400", "tree500"]
+RADII = (1, 2, 3, 4)
+
+
+def _f1():
+    table = Table(
+        "F1: sizes and certificates vs r",
+        ["workload", "r", "pruned |D|", "LB (max of LP/scatter)", "ratio", "certified c(r)"],
+    )
+    for name in WORKLOAD_NAMES:
+        g = WORKLOADS[name].graph()
+        order, _ = degeneracy_order(g)
+        for r in RADII:
+            ds = domset_sequential(g, order, r)
+            pruned = prune_dominating_set(g, ds.dominators, r)
+            lb = max(lp_lower_bound(g, r), float(scattered_lower_bound(g, r)))
+            c = wcol_of_order(g, order, 2 * r)
+            table.add(name, r, len(pruned), round(lb, 1), len(pruned) / max(lb, 1.0), c)
+    return table
+
+
+def _f2():
+    table = Table(
+        "F2: connected blowup vs r",
+        ["workload", "r", "|D|", "BC blowup (Cor 13)", "LOCAL blowup (Lem 16)"],
+    )
+    for name in WORKLOAD_NAMES:
+        g = WORKLOADS[name].graph()
+        oc = distributed_h_partition_order(g)
+        for r in (1, 2, 3):
+            bc = run_connect_bc(g, r, oc)
+            minor = connect_via_minor(g, bc.dominators, r)
+            table.add(
+                name, r, len(bc.dominators), bc.blowup,
+                minor.size / max(1, len(bc.dominators)),
+            )
+    return table
+
+
+def _f3():
+    table = Table(
+        "F3: CONGEST_BC rounds vs r (delaunay400)",
+        ["r", "logical rounds", "normalized (1 word/round)", "c(2r)"],
+    )
+    g = WORKLOADS["delaunay400"].graph()
+    oc = distributed_h_partition_order(g)
+    from repro.distributed.wreach_bc import run_wreach_bc
+
+    for r in RADII:
+        _, res = run_wreach_bc(g, oc.class_ids, 2 * r)
+        c = wcol_of_order(g, oc.order, 2 * r)
+        table.add(r, oc.rounds + res.rounds + r, oc.rounds + res.normalized_rounds(1) + r, c)
+    return table
+
+
+def test_f_series(benchmark):
+    g = WORKLOADS["delaunay400"].graph()
+    order, _ = degeneracy_order(g)
+    benchmark.pedantic(lambda: domset_sequential(g, order, 4), rounds=1, iterations=1)
+    f1, f2, f3 = _f1(), _f2(), _f3()
+    write_result("f_series", f1, f2, f3)
+    # Shape assertions: certified c grows with r; realized ratio stays bounded.
+    by_workload: dict[str, list[float]] = {}
+    for row in f1.rows:
+        by_workload.setdefault(row[0], []).append(float(row[5]))
+    for name, cs in by_workload.items():
+        assert cs == sorted(cs), f"certified c must be nondecreasing in r ({name})"
+    for row in f1.rows:
+        assert float(row[4]) <= 6.0, f"realized ratio blew up: {row}"

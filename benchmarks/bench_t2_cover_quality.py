@@ -1,0 +1,70 @@
+"""T2 — Theorem 4: sparse r-neighborhood cover quality.
+
+Paper claim: with an order witnessing wcol_2r <= c, the clusters
+X_v = {w : v in WReach_2r[w]} form an r-neighborhood cover of radius
+<= 2r and degree <= c.  Reported per workload and r: measured maximum
+cluster radius (must be <= 2r), measured degree (== c by construction,
+the interesting number is its magnitude), cluster count and sizes, and
+whether every ball N_r[w] is inside its home cluster.
+"""
+
+import pytest
+
+from repro.bench.harness import write_result
+from repro.bench.tables import Table
+from repro.bench.workloads import WORKLOADS
+from repro.core.covers import build_cover, cover_stats
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.wreach import wcol_of_order
+
+WORKLOAD_NAMES = [
+    "grid16",
+    "tri16",
+    "torus12",
+    "tree500",
+    "delaunay400",
+    "ktree300",
+    "outerplanar200",
+]
+
+
+def _t2_rows():
+    table = Table(
+        "T2: r-neighborhood cover quality (bound: radius <= 2r, degree <= c)",
+        [
+            "workload",
+            "n",
+            "r",
+            "clusters",
+            "max radius",
+            "2r bound",
+            "degree",
+            "c (=wcol_2r)",
+            "max size",
+            "covers",
+        ],
+    )
+    failures = []
+    for name in WORKLOAD_NAMES:
+        g = WORKLOADS[name].graph()
+        order, _ = degeneracy_order(g)
+        for r in (1, 2):
+            cover = build_cover(g, order, r)
+            st = cover_stats(g, cover)
+            c = wcol_of_order(g, order, 2 * r)
+            table.add(
+                name, g.n, r, st.num_clusters, st.max_cluster_radius,
+                2 * r, st.degree, c, st.max_cluster_size, st.covers_all_balls,
+            )
+            if not st.within_bounds(c):
+                failures.append((name, r))
+    return table, failures
+
+
+def test_t2_cover_quality(benchmark):
+    g = WORKLOADS["delaunay400"].graph()
+    order, _ = degeneracy_order(g)
+    benchmark(lambda: build_cover(g, order, 1))
+    table, failures = _t2_rows()
+    write_result("t2_cover_quality", table)
+    assert failures == []

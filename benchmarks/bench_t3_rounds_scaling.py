@@ -1,0 +1,84 @@
+"""T3 — Theorems 3/8/9: O(r^2 log n) CONGEST_BC round scaling.
+
+Paper claim: the full pipeline (order + WReachDist + election) runs in
+O(r^2 log n) communication rounds.  In our decomposition the measured
+logical rounds are
+
+    rounds = order_rounds(~ 2 * #levels, O(log n))
+           + 2r   (WReachDist)
+           + r    (election routing),
+
+so for fixed r the curve vs log2(n) must be at most linear, and for
+fixed n the growth in r is linear in logical rounds (the r^2 shows up
+in *normalized* rounds where each (2r+1)-sid path costs O(r) words of
+bandwidth).  Both series are printed; a linear fit of rounds vs log2 n
+should have small slope.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import linear_fit
+from repro.bench.harness import write_result
+from repro.bench.tables import Table
+from repro.bench.workloads import scaling_family
+from repro.distributed.domset_bc import run_domset_bc
+from repro.distributed.nd_order import distributed_h_partition_order
+
+SIZES = [256, 512, 1024, 2048]
+RADII = (1, 2, 3)
+
+
+def _t3_rows():
+    table = Table(
+        "T3: CONGEST_BC rounds vs n and r (grid family)",
+        ["family", "n", "r", "order", "wreach", "elect", "total", "normalized(1w)"],
+    )
+    fits = Table(
+        "T3-fit: rounds = a * log2(n) + b at fixed r",
+        ["family", "r", "slope a", "intercept b", "R^2"],
+    )
+    for family in ("grid", "delaunay", "ktree"):
+        per_r: dict[int, list[tuple[float, int]]] = {r: [] for r in RADII}
+        for n, g in scaling_family(family, SIZES):
+            oc = distributed_h_partition_order(g)
+            for r in RADII:
+                res = run_domset_bc(g, r, oc)
+                from repro.distributed.model import normalized_rounds
+
+                total = res.total_rounds
+                # Normalized: order phase words are small; approximate the
+                # pipeline bandwidth cost by its max payload per phase.
+                norm = (
+                    oc.normalized_rounds
+                    + res.phase_rounds["wreach"]
+                    * max(1, res.phase_max_words["wreach"])
+                    + res.phase_rounds["election"]
+                    * max(1, res.phase_max_words["election"])
+                )
+                table.add(
+                    family, g.n, r, res.phase_rounds["order"],
+                    res.phase_rounds["wreach"], res.phase_rounds["election"],
+                    total, norm,
+                )
+                per_r[r].append((math.log2(g.n), total))
+        for r in RADII:
+            xs = [x for x, _ in per_r[r]]
+            ys = [y for _, y in per_r[r]]
+            a, b, r2 = linear_fit(xs, ys)
+            fits.add(family, r, a, b, r2)
+    return table, fits
+
+
+def test_t3_rounds_scaling(benchmark):
+    _, g = scaling_family("grid", [1024])[0]
+    oc = distributed_h_partition_order(g)
+    benchmark.pedantic(lambda: run_domset_bc(g, 2, oc), rounds=1, iterations=1)
+    table, fits = _t3_rows()
+    write_result("t3_rounds_scaling", table, fits)
+    # Shape check: the logical round count is dominated by the O(log n)
+    # order phase plus 3r; it must stay below a generous c * r^2 * log2 n.
+    for row in table.rows:
+        n, r, total = int(row[1]), int(row[2]), int(row[6])
+        assert total <= 10 * r * r * math.log2(n)

@@ -1,0 +1,64 @@
+"""T4 — Lemma 7: message-size bound in WReachDist.
+
+Paper claim: every vertex forwards at most c paths simultaneously, so
+the per-round broadcast payload is O(c^2 * r * log n) bits (c paths of
+<= 2r+1 super-ids).  We measure the maximum single payload (in words =
+O(log n)-bit units) per workload/r and compare with the bound
+c * (2r+1) * 2 words, plus the CONGEST_BC-compliant normalized round
+count that the pipelining argument converts it into.
+"""
+
+import pytest
+
+from repro.bench.harness import write_result
+from repro.bench.tables import Table
+from repro.bench.workloads import WORKLOADS
+from repro.distributed.nd_order import distributed_h_partition_order
+from repro.distributed.wreach_bc import run_wreach_bc
+from repro.orders.wreach import wcol_of_order
+
+WORKLOAD_NAMES = ["grid16", "tri16", "tree500", "delaunay400", "ktree300"]
+
+
+def _t4_rows():
+    table = Table(
+        "T4: WReachDist max payload (words) vs Lemma 7 bound",
+        [
+            "workload",
+            "n",
+            "r",
+            "horizon 2r",
+            "max words",
+            "bound c*(2r+1)*2",
+            "c",
+            "total words",
+            "norm rounds(1w)",
+        ],
+    )
+    violations = []
+    for name in WORKLOAD_NAMES:
+        g = WORKLOADS[name].graph()
+        oc = distributed_h_partition_order(g)
+        for r in (1, 2, 3):
+            horizon = 2 * r
+            outs, res = run_wreach_bc(g, oc.class_ids, horizon)
+            c = wcol_of_order(g, oc.order, horizon)
+            bound = c * (horizon + 1) * 2 + 2
+            table.add(
+                name, g.n, r, horizon, res.max_payload_words, bound, c,
+                res.total_words, res.normalized_rounds(1),
+            )
+            if res.max_payload_words > bound:
+                violations.append((name, r, res.max_payload_words, bound))
+    return table, violations
+
+
+def test_t4_message_size(benchmark):
+    g = WORKLOADS["delaunay400"].graph()
+    oc = distributed_h_partition_order(g)
+    benchmark.pedantic(
+        lambda: run_wreach_bc(g, oc.class_ids, 4), rounds=1, iterations=1
+    )
+    table, violations = _t4_rows()
+    write_result("t4_message_size", table)
+    assert violations == []

@@ -1,0 +1,68 @@
+"""T5 — Theorem 10 / Corollary 13: connected dominating set blowup.
+
+Paper claim: the CONGEST_BC join phase turns D into a connected
+distance-r dominating set D' of size <= c' * (2r+1) * |D| (the paper's
+final constant is c'^2 * (2r+1) against OPT).  We measure the realized
+blowup |D'| / |D| per workload against the per-instance bound
+c' * (2r+2) (the +1 accounts for path endpoints), and compare with the
+sequential Lemma-16 minor construction and the centralized Steiner-style
+baseline on the same dominating set.
+"""
+
+import pytest
+
+from repro.analysis.validate import is_connected_distance_r_dominating_set
+from repro.bench.harness import write_result
+from repro.bench.tables import Table
+from repro.bench.workloads import WORKLOADS
+from repro.core.connect import connect_via_minor, steiner_connect_baseline
+from repro.distributed.connect_bc import run_connect_bc
+from repro.distributed.nd_order import distributed_h_partition_order
+from repro.orders.wreach import wcol_of_order
+
+WORKLOAD_NAMES = ["grid16", "tri16", "hex16", "tree500", "delaunay400", "outerplanar200"]
+
+
+def _t5_rows():
+    table = Table(
+        "T5: connected DrDS blowup |D'|/|D| (bound c'*(2r+2))",
+        [
+            "workload",
+            "n",
+            "r",
+            "|D|",
+            "BC |D'|",
+            "BC blowup",
+            "bound",
+            "minor |D'|",
+            "steiner |D'|",
+            "valid",
+        ],
+    )
+    failures = []
+    for name in WORKLOAD_NAMES:
+        g = WORKLOADS[name].graph()
+        oc = distributed_h_partition_order(g)
+        for r in (1, 2):
+            res = run_connect_bc(g, r, oc)
+            c_prime = wcol_of_order(g, oc.order, 2 * r + 1)
+            bound = c_prime * (2 * r + 2)
+            valid = is_connected_distance_r_dominating_set(g, res.connected_set, r)
+            minor = connect_via_minor(g, res.dominators, r)
+            steiner = steiner_connect_baseline(g, res.dominators, r)
+            table.add(
+                name, g.n, r, len(res.dominators), res.size,
+                res.blowup, bound, minor.size, steiner.size, valid,
+            )
+            if not valid or res.blowup > bound:
+                failures.append((name, r))
+    return table, failures
+
+
+def test_t5_connected_blowup(benchmark):
+    g = WORKLOADS["delaunay400"].graph()
+    oc = distributed_h_partition_order(g)
+    benchmark.pedantic(lambda: run_connect_bc(g, 1, oc), rounds=1, iterations=1)
+    table, failures = _t5_rows()
+    write_result("t5_connected_blowup", table)
+    assert failures == []

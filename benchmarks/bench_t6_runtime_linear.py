@@ -1,0 +1,65 @@
+"""T6 — Theorem 5: (near-)linear sequential running time.
+
+Paper claim: Algorithm 1 runs in O(c(r)^2 * n) time on any bounded
+expansion class — linear in n for fixed class and r.  We time the
+complete pipeline piece (SortLists + restricted BFS sweep) on growing
+grids and Delaunay graphs, report nanoseconds per vertex, and check the
+per-vertex cost stays flat (the signature of linear scaling) via the
+R^2 of a linear fit of time vs n.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.stats import linear_fit
+from repro.bench.harness import write_result
+from repro.bench.tables import Table
+from repro.bench.workloads import scaling_family
+from repro.core.domset import domset_sequential
+from repro.orders.degeneracy import degeneracy_order
+
+SIZES = [1024, 2048, 4096, 8192, 16384]
+
+
+def _time_once(g, radius):
+    order, _ = degeneracy_order(g)
+    t0 = time.perf_counter()
+    domset_sequential(g, order, radius)
+    return time.perf_counter() - t0
+
+
+def _t6_rows():
+    table = Table(
+        "T6: sequential runtime scaling (Algorithm 1, r=2)",
+        ["family", "n", "time (s)", "us per vertex"],
+    )
+    fits = Table("T6-fit: time = a * n + b", ["family", "a (us/vertex)", "R^2"])
+    ok = True
+    for family in ("grid", "delaunay"):
+        xs, ys = [], []
+        for n, g in scaling_family(family, SIZES):
+            dt = _time_once(g, 2)
+            table.add(family, g.n, dt, 1e6 * dt / g.n)
+            xs.append(g.n)
+            ys.append(dt)
+        a, b, r2 = linear_fit(xs, ys)
+        fits.add(family, 1e6 * a, r2)
+        # Linear scaling shows as a high-R^2 linear fit; superlinear
+        # growth (e.g. quadratic) would push R^2 of the *linear* fit
+        # down and the per-vertex cost up by 16x across our range.
+        per_vertex = [y / x for x, y in zip(xs, ys)]
+        if per_vertex[-1] > 5 * per_vertex[0]:
+            ok = False
+    return table, fits, ok
+
+
+def test_t6_runtime_linear(benchmark):
+    _, g = scaling_family("grid", [4096])[0]
+    order, _ = degeneracy_order(g)
+    benchmark.pedantic(
+        lambda: domset_sequential(g, order, 2), rounds=3, iterations=1
+    )
+    table, fits, ok = _t6_rows()
+    write_result("t6_runtime_linear", table, fits)
+    assert ok, "per-vertex cost grew superlinearly"

@@ -1,0 +1,65 @@
+"""T7 — Theorem 1 (Zhu) / Theorem 2 (Dvořák): bounded weak coloring numbers.
+
+Paper claim (the structural foundation): on a bounded expansion class
+there are orders with wcol_r(G) <= f(r) *independently of n*.  We
+measure max |WReach_r| under the degeneracy order for families of
+growing size: the curves must be flat in n (bounded expansion) while
+they may grow with r.  As a negative control, sparse-but-dense-minor
+inputs (subdivided cliques) show growth in n at r >= 2 — exactly the
+separation bounded expansion formalizes.
+"""
+
+import pytest
+
+from repro.bench.harness import write_result
+from repro.bench.tables import Table
+from repro.bench.workloads import scaling_family
+from repro.graphs import generators as gen
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.wreach import wcol_of_order
+
+SIZES = [512, 1024, 2048, 4096]
+RADII = (1, 2, 3, 4)
+
+
+def _t7_rows():
+    table = Table(
+        "T7: measured wcol_r (degeneracy order) vs n — flat = bounded expansion",
+        ["family", "n", "wcol_1", "wcol_2", "wcol_3", "wcol_4"],
+    )
+    flat_ok = True
+    series: dict[tuple[str, int], list[int]] = {}
+    for family in ("grid", "delaunay", "tree", "ktree"):
+        for n, g in scaling_family(family, SIZES):
+            order, _ = degeneracy_order(g)
+            vals = [wcol_of_order(g, order, r) for r in RADII]
+            table.add(family, g.n, *vals)
+            for r, v in zip(RADII, vals):
+                series.setdefault((family, r), []).append(v)
+    for (family, r), vals in series.items():
+        # Flatness: an 8x growth in n should not even double wcol_r.
+        if vals[-1] > 2 * vals[0] + 2:
+            flat_ok = False
+    # Negative control: subdivided cliques.
+    control = Table(
+        "T7-control: subdivided cliques (NOT flat at r >= 2)",
+        ["graph", "n", "wcol_1", "wcol_2", "wcol_3"],
+    )
+    grows = []
+    for t in (8, 12, 16, 20):
+        g = gen.subdivide(gen.complete_graph(t), 1)
+        order, _ = degeneracy_order(g)
+        control.add(f"K_{t} subdivided", g.n, *[wcol_of_order(g, order, r) for r in (1, 2, 3)])
+        grows.append(wcol_of_order(g, order, 2))
+    control_grows = grows[-1] > grows[0]
+    return table, control, flat_ok, control_grows
+
+
+def test_t7_wcol_growth(benchmark):
+    _, g = scaling_family("delaunay", [2048])[0]
+    order, _ = degeneracy_order(g)
+    benchmark.pedantic(lambda: wcol_of_order(g, order, 4), rounds=1, iterations=1)
+    table, control, flat_ok, control_grows = _t7_rows()
+    write_result("t7_wcol_growth", table, control)
+    assert flat_ok, "wcol grew with n on a bounded expansion family"
+    assert control_grows, "control should grow with clique size"

@@ -1,0 +1,75 @@
+"""T8 — Theorem 17 + Lenzen et al.: constant-round planar connected MDS.
+
+Paper claim (the closing corollary): composing a constant-round planar
+MDS algorithm [36] with the Lemma-16 connectifier yields a constant
+factor approximation of CONNECTED dominating set on planar graphs in a
+constant number of LOCAL rounds, the connection step multiplying the
+size by at most 2rd = 6 (plus D itself; planar depth-1 minors have
+d <= 3).  Reported: MDS size vs exact OPT, CDS size, connectify blowup
+vs the 6+1 bound, and total rounds (must be a constant independent of n).
+"""
+
+import pytest
+
+from repro.analysis.validate import is_connected_distance_r_dominating_set
+from repro.bench.harness import write_result
+from repro.bench.tables import Table
+from repro.bench.workloads import WORKLOADS
+from repro.core.exact import exact_domset, lp_lower_bound
+from repro.distributed.connect_local import local_connectify
+from repro.distributed.lenzen import lenzen_planar_mds
+from repro.errors import SolverError
+
+PLANAR_WORKLOADS = ["grid16", "tri16", "hex16", "tree500", "delaunay400", "outerplanar200"]
+
+
+def _t8_rows():
+    table = Table(
+        "T8: planar LOCAL pipeline (Lenzen-style MDS + Thm 17 connectify, r=1)",
+        [
+            "workload",
+            "n",
+            "MDS",
+            "LB",
+            "MDS ratio",
+            "CDS",
+            "blowup",
+            "bound(7)",
+            "rounds",
+            "valid",
+        ],
+    )
+    failures = []
+    for name in PLANAR_WORKLOADS:
+        g = WORKLOADS[name].graph()
+        mds = lenzen_planar_mds(g)
+        cds = local_connectify(g, mds.dominators, 1)
+        try:
+            if g.n <= 310:
+                lb, _ = exact_domset(g, 1, time_limit=20.0)
+                lb = float(lb)
+            else:
+                lb = lp_lower_bound(g, 1)
+        except SolverError:
+            lb = lp_lower_bound(g, 1)
+        valid = is_connected_distance_r_dominating_set(g, cds.connected_set, 1)
+        rounds = mds.rounds + cds.rounds
+        table.add(
+            name, g.n, mds.size, round(lb, 1), mds.size / max(1.0, lb),
+            cds.size, cds.blowup, 7, rounds, valid,
+        )
+        if not valid or cds.blowup > 7.0 or rounds > 11:
+            failures.append(name)
+    return table, failures
+
+
+def test_t8_local_cds(benchmark):
+    g = WORKLOADS["delaunay400"].graph()
+    benchmark.pedantic(
+        lambda: local_connectify(g, lenzen_planar_mds(g).dominators, 1),
+        rounds=1,
+        iterations=1,
+    )
+    table, failures = _t8_rows()
+    write_result("t8_local_cds", table)
+    assert failures == []

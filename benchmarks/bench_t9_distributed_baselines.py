@@ -1,0 +1,90 @@
+"""T9 — distributed baseline comparison (the paper's related-work table).
+
+The introduction contrasts Theorem 9 with the other distributed
+approaches: MIS/ruling-set constructions with no OPT relation [35, 49],
+arboricity-based parallel greedy [38], and constant-round planar-only
+algorithms [36].  This experiment puts them side by side on the same
+workloads: solution size, round cost (of the kind each model charges),
+and what guarantee each carries.
+
+Expected shape: Theorem 9 and parallel-greedy sizes are comparable;
+ruling sets are smaller on dense balls but carry no ratio bound; only
+Theorem 9 works in CONGEST_BC with a certified constant ratio.
+"""
+
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.bench.harness import write_result
+from repro.bench.tables import Table
+from repro.bench.workloads import WORKLOADS
+from repro.core.exact import lp_lower_bound
+from repro.core.independence import scattered_lower_bound
+from repro.core.prune import prune_dominating_set
+from repro.core.tree_exact import is_tree, tree_domset_exact
+from repro.distributed.domset_bc import run_domset_bc
+from repro.distributed.kw_lp import kw_lp_domset
+from repro.distributed.nd_order import distributed_h_partition_order
+from repro.distributed.parallel_greedy import parallel_greedy_domset
+from repro.distributed.ruling import ruling_domset
+
+WORKLOAD_NAMES = ["grid16", "tri16", "tree500", "delaunay400", "ktree300"]
+
+
+def _t9_rows():
+    table = Table(
+        "T9: distributed approaches side by side (r in {1,2})",
+        [
+            "workload",
+            "r",
+            "LB",
+            "scatter LB",
+            "Thm9",
+            "Thm9+prune",
+            "ruling set",
+            "par-greedy",
+            "KW-LP",
+            "Thm9 rounds",
+            "ruling G-rounds",
+            "pg LOCAL rounds",
+        ],
+    )
+    invalid = []
+    for name in WORKLOAD_NAMES:
+        g = WORKLOADS[name].graph()
+        oc = distributed_h_partition_order(g)
+        for r in (1, 2):
+            thm9 = run_domset_bc(g, r, oc)
+            pruned = prune_dominating_set(g, thm9.dominators, r)
+            ruling = ruling_domset(g, r, seed=3)
+            pg = parallel_greedy_domset(g, r)
+            kw = kw_lp_domset(g, r, seed=4)
+            if is_tree(g):
+                lb = float(tree_domset_exact(g, r)[0])
+            else:
+                lb = lp_lower_bound(g, r)
+            slb = scattered_lower_bound(g, r)
+            for label, dom in (
+                ("thm9", thm9.dominators),
+                ("ruling", ruling.dominators),
+                ("pg", pg.dominators),
+                ("kw", kw.dominators),
+            ):
+                if not is_distance_r_dominating_set(g, dom, r):
+                    invalid.append((name, r, label))
+            if slb > (lb if lb == int(lb) and is_tree(g) else slb):
+                invalid.append((name, r, "scatter-exceeds-exact"))
+            table.add(
+                name, r, round(lb, 1), slb, thm9.size, len(pruned), ruling.size,
+                pg.size, kw.size, thm9.total_rounds, ruling.g_rounds,
+                pg.local_rounds,
+            )
+    return table, invalid
+
+
+def test_t9_distributed_baselines(benchmark):
+    g = WORKLOADS["delaunay400"].graph()
+    benchmark.pedantic(lambda: ruling_domset(g, 2, seed=3), rounds=1, iterations=1)
+    table, invalid = _t9_rows()
+    write_result("t9_distributed_baselines", table)
+    assert invalid == []

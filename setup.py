@@ -1,0 +1,23 @@
+"""Setup shim.
+
+The execution environment has no network access and no `wheel` package, so
+PEP 517 editable installs (which build a wheel) fail.  With this setup.py
+present and no [build-system] table in pyproject.toml, pip falls back to
+the legacy `setup.py develop` editable path, which needs only setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Distributed domination on graph classes of bounded expansion "
+        "(SPAA 2018 reproduction)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24", "scipy>=1.9", "networkx>=3.0"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

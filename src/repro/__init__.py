@@ -1,0 +1,83 @@
+"""repro — Distributed Domination on Graph Classes of Bounded Expansion.
+
+A full reproduction of Amiri, Ossona de Mendez, Rabinovich, Siebertz
+(SPAA 2018): sequential and distributed constant-factor approximation of
+(connected) distance-r dominating sets on bounded expansion classes,
+including the weak-coloring-order machinery, sparse neighborhood covers,
+a synchronous LOCAL/CONGEST/CONGEST_BC simulator, and per-instance
+approximation certificates.
+
+Quickstart::
+
+    from repro import generators, sequential_pipeline
+    g = generators.grid_2d(32, 32)
+    run = sequential_pipeline(g, radius=2, with_lp=True)
+    print(run.domset.size, run.certificate.certified_ratio)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro import graphs
+from repro.graphs import generators, random_models
+from repro.pipelines import (
+    congest_bc_pipeline,
+    planar_cds_pipeline,
+    sequential_pipeline,
+    make_order,
+)
+from repro.core import (
+    domset_sequential,
+    domset_by_wreach,
+    domset_dvorak,
+    domset_greedy,
+    build_cover,
+    connect_via_wreach,
+    connect_via_minor,
+    certify_run,
+    exact_domset,
+    lp_lower_bound,
+    prune_dominating_set,
+)
+from repro.orders import (
+    LinearOrder,
+    degeneracy_order,
+    fraternal_augmentation_order,
+    wreach_sets,
+    wcol_of_order,
+)
+from repro.analysis import (
+    is_distance_r_dominating_set,
+    is_connected_distance_r_dominating_set,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graphs",
+    "generators",
+    "random_models",
+    "sequential_pipeline",
+    "congest_bc_pipeline",
+    "planar_cds_pipeline",
+    "make_order",
+    "domset_sequential",
+    "domset_by_wreach",
+    "domset_dvorak",
+    "domset_greedy",
+    "build_cover",
+    "connect_via_wreach",
+    "connect_via_minor",
+    "certify_run",
+    "exact_domset",
+    "lp_lower_bound",
+    "prune_dominating_set",
+    "LinearOrder",
+    "degeneracy_order",
+    "fraternal_augmentation_order",
+    "wreach_sets",
+    "wcol_of_order",
+    "is_distance_r_dominating_set",
+    "is_connected_distance_r_dominating_set",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Validation and measurement helpers."""
+
+from repro.analysis.validate import (
+    is_distance_r_dominating_set,
+    is_connected_distance_r_dominating_set,
+    undominated_vertices,
+    validate_cover,
+)
+from repro.analysis.stats import summarize_sizes, Summary
+
+__all__ = [
+    "is_distance_r_dominating_set",
+    "is_connected_distance_r_dominating_set",
+    "undominated_vertices",
+    "validate_cover",
+    "summarize_sizes",
+    "Summary",
+]

@@ -1,0 +1,60 @@
+"""Small statistics helpers shared by the bench harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Summary", "summarize_sizes", "linear_fit"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    def row(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} min={self.minimum:.2f} "
+            f"p50={self.p50:.2f} p95={self.p95:.2f} max={self.maximum:.2f}"
+        )
+
+
+def summarize_sizes(values: Iterable[float]) -> Summary:
+    """Summarize a nonempty sample."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=len(arr),
+        mean=float(arr.mean()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+    )
+
+
+def linear_fit(x: Iterable[float], y: Iterable[float]) -> tuple[float, float, float]:
+    """Least-squares fit ``y ~ a * x + b``; returns ``(a, b, r_squared)``.
+
+    Used by T3/T6 to check round and runtime scaling shapes.
+    """
+    xa = np.asarray(list(x), dtype=np.float64)
+    ya = np.asarray(list(y), dtype=np.float64)
+    if len(xa) < 2:
+        return 0.0, float(ya.mean()) if len(ya) else 0.0, 1.0
+    a, b = np.polyfit(xa, ya, 1)
+    pred = a * xa + b
+    ss_res = float(((ya - pred) ** 2).sum())
+    ss_tot = float(((ya - ya.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return float(a), float(b), r2

@@ -1,0 +1,98 @@
+"""Ground-truth validity checks.
+
+Every algorithm output in the library is checked against these oracles in
+tests; they are deliberately simple (multi-source BFS and set algebra)
+so their own correctness is evident.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.covers import NeighborhoodCover
+from repro.graphs.components import is_connected
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import UNREACHED, ball, multi_source_distances
+
+__all__ = [
+    "undominated_vertices",
+    "is_distance_r_dominating_set",
+    "is_connected_distance_r_dominating_set",
+    "validate_cover",
+]
+
+
+def undominated_vertices(g: Graph, candidates: Iterable[int], radius: int) -> np.ndarray:
+    """Vertices at distance > radius from every candidate (sorted array)."""
+    cand = list(set(int(v) for v in candidates))
+    if not cand:
+        return np.arange(g.n)
+    dist = multi_source_distances(g, cand, max_dist=radius)
+    return np.flatnonzero(dist == UNREACHED)
+
+
+def is_distance_r_dominating_set(g: Graph, candidates: Iterable[int], radius: int) -> bool:
+    """True iff ``N_radius[candidates] = V(G)``."""
+    return len(undominated_vertices(g, candidates, radius)) == 0
+
+
+def is_connected_distance_r_dominating_set(
+    g: Graph, candidates: Iterable[int], radius: int
+) -> bool:
+    """Dominating *and* inducing a connected subgraph.
+
+    For a disconnected input graph the check is applied per component:
+    the candidate set restricted to each component must be connected in
+    the induced subgraph and dominate that component.
+    """
+    cand = sorted(set(int(v) for v in candidates))
+    if not is_distance_r_dominating_set(g, cand, radius):
+        return False
+    from repro.graphs.components import connected_components
+
+    comp = connected_components(g)
+    for c in np.unique(comp):
+        members = [v for v in cand if comp[v] == c]
+        if not members:
+            return False  # a nonempty component must contain dominators
+        sub, _ = g.subgraph(members)
+        if not is_connected(sub):
+            return False
+    return True
+
+
+def validate_cover(g: Graph, cover: NeighborhoodCover) -> list[str]:
+    """All Theorem-4 cover properties; returns a list of violations (empty = valid)."""
+    problems: list[str] = []
+    r = cover.radius_param
+    member_sets = {v: set(ms) for v, ms in cover.clusters.items()}
+    for w in range(g.n):
+        home = int(cover.home_cluster[w])
+        if home not in member_sets:
+            problems.append(f"vertex {w}: home cluster {home} missing")
+            continue
+        need = ball(g, w, r)
+        missing = [int(x) for x in need if int(x) not in member_sets[home]]
+        if missing:
+            problems.append(f"vertex {w}: N_{r} not inside home cluster (missing {missing[:3]}...)")
+    for v, members in cover.clusters.items():
+        sub, _ = g.subgraph(members)
+        if not is_connected(sub):
+            problems.append(f"cluster {v} induces a disconnected subgraph")
+            continue
+        if len(members) > 1:
+            from repro.graphs.traversal import graph_radius
+
+            rad = graph_radius(sub)
+            if rad > 2 * r:
+                problems.append(f"cluster {v} has radius {rad} > {2 * r}")
+    # Degree bookkeeping must match the cluster sets.
+    degree = np.zeros(g.n, dtype=np.int64)
+    for members in cover.clusters.values():
+        for w in members:
+            degree[w] += 1
+    if not np.array_equal(degree, cover.degree_per_vertex):
+        problems.append("degree_per_vertex inconsistent with clusters")
+    return problems

@@ -1,0 +1,7 @@
+"""Benchmark support: named workloads, result tables, harness helpers."""
+
+from repro.bench.workloads import WORKLOADS, workload, Workload, scaling_family
+from repro.bench.tables import Table
+from repro.bench.harness import write_result
+
+__all__ = ["WORKLOADS", "workload", "Workload", "scaling_family", "Table", "write_result"]

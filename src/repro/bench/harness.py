@@ -1,0 +1,28 @@
+"""Shared harness utilities for the benchmark scripts.
+
+Each experiment writes its table both to stdout (visible with
+``pytest -s`` / in failure reports) and to ``benchmarks/results/`` so
+the numbers in EXPERIMENTS.md can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench.tables import Table
+
+__all__ = ["write_result", "RESULTS_DIR"]
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def write_result(name: str, *tables: Table) -> str:
+    """Render tables, print them, persist them; returns the rendered text."""
+    text = "\n\n".join(t.render() for t in tables)
+    print(f"\n{text}\n")
+    try:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    except OSError:  # pragma: no cover - read-only checkouts still print
+        pass
+    return text

@@ -1,0 +1,101 @@
+"""Named workloads for the experiment suite.
+
+Every experiment references instances by name so that EXPERIMENTS.md
+rows are reproducible verbatim.  All instances are connected (largest
+component extracted where the model can disconnect) because the
+connected-dominating-set theorems assume connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graphs import generators as gen
+from repro.graphs import random_models as rm
+from repro.graphs.components import largest_component
+from repro.graphs.graph import Graph
+
+__all__ = ["Workload", "WORKLOADS", "workload", "scaling_family"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark instance."""
+
+    name: str
+    family: str
+    build: Callable[[], Graph]
+    planar: bool
+
+    def graph(self) -> Graph:
+        return self.build()
+
+
+def _geometric_connected(n: int, seed: int) -> Graph:
+    g, _ = rm.random_geometric(n, radius=None, seed=seed)
+    h, _ = largest_component(g)
+    return h
+
+
+def _chung_lu_connected(n: int, seed: int) -> Graph:
+    w = rm.power_law_weights(n, exponent=2.8, seed=seed)
+    g = rm.chung_lu(w, seed=seed + 1)
+    h, _ = largest_component(g)
+    return h
+
+
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in [
+        Workload("grid16", "grid", lambda: gen.grid_2d(16, 16), True),
+        Workload("grid24", "grid", lambda: gen.grid_2d(24, 24), True),
+        Workload("tri16", "triangular grid", lambda: gen.triangular_grid(16, 16), True),
+        Workload("hex16", "hex grid", lambda: gen.hex_grid(16, 24), True),
+        Workload("torus12", "torus", lambda: gen.torus_2d(12, 12), False),
+        Workload("king12", "king graph", lambda: gen.king_graph(12, 12), False),
+        Workload("tree500", "random tree", lambda: rm.random_tree(500, seed=11), True),
+        Workload(
+            "delaunay400",
+            "Delaunay",
+            lambda: rm.delaunay_graph(400, seed=12)[0],
+            True,
+        ),
+        Workload(
+            "geometric600", "unit disk", lambda: _geometric_connected(600, 13), False
+        ),
+        Workload(
+            "chunglu500", "Chung-Lu", lambda: _chung_lu_connected(500, 14), False
+        ),
+        Workload("ktree300", "3-tree", lambda: gen.k_tree(300, 3, seed=15), False),
+        Workload(
+            "outerplanar200",
+            "outerplanar",
+            lambda: gen.maximal_outerplanar(200, seed=16),
+            True,
+        ),
+    ]
+}
+
+
+def workload(name: str) -> Workload:
+    """Look up a named workload."""
+    return WORKLOADS[name]
+
+
+def scaling_family(family: str, sizes: list[int], seed: int = 21) -> list[tuple[int, Graph]]:
+    """Instances of growing n for the scaling experiments (T3/T6/T7)."""
+    out: list[tuple[int, Graph]] = []
+    for n in sizes:
+        if family == "grid":
+            side = int(round(n**0.5))
+            out.append((side * side, gen.grid_2d(side, side)))
+        elif family == "delaunay":
+            out.append((n, rm.delaunay_graph(n, seed=seed)[0]))
+        elif family == "tree":
+            out.append((n, rm.random_tree(n, seed=seed)))
+        elif family == "ktree":
+            out.append((n, gen.k_tree(n, 3, seed=seed)))
+        else:
+            raise KeyError(f"unknown scaling family {family!r}")
+    return out

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``info <graph>``
+    Structural summary: n, m, degeneracy, measured wcol_r, shallow-minor
+    density estimates.
+``domset <graph> -r R``
+    Theorem 5 dominating set with certificate (optionally ``--connect``,
+    ``--prune``, ``--exact`` for small inputs).
+``distributed <graph> -r R``
+    Theorem 9/10 CONGEST_BC pipeline with round/traffic accounting.
+``generate <family> <args...> -o file``
+    Write a named workload or generator output to an edge-list file.
+
+Graphs are plain edge-list text files (see :mod:`repro.graphs.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.graphs.io import read_edge_list, write_edge_list
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_info(args) -> int:
+    from repro.graphs.expansion import degeneracy, shallow_minor_density
+    from repro.orders.degeneracy import degeneracy_order
+    from repro.orders.wreach import wcol_of_order
+
+    g = read_edge_list(args.graph)
+    order, d = degeneracy_order(g)
+    print(f"n = {g.n}, m = {g.m}, avg degree = {g.average_degree():.2f}, "
+          f"max degree = {g.max_degree()}")
+    print(f"degeneracy = {d}")
+    for r in (1, 2, 3):
+        print(f"wcol_{r} (degeneracy order) = {wcol_of_order(g, order, r)}")
+    for r in (0, 1):
+        print(f"shallow minor density (depth {r}) ~ "
+              f"{shallow_minor_density(g, r, trials=2):.2f}")
+    return 0
+
+
+def _cmd_domset(args) -> int:
+    from repro.analysis.validate import is_distance_r_dominating_set
+    from repro.core.certify import certify_run
+    from repro.core.domset import domset_sequential
+    from repro.core.prune import prune_dominating_set
+    from repro.pipelines import make_order
+
+    g = read_edge_list(args.graph)
+    order = make_order(g, args.radius, args.order)
+    result = domset_sequential(g, order, args.radius)
+    assert is_distance_r_dominating_set(g, result.dominators, args.radius)
+    chosen = result.dominators
+    if args.prune:
+        chosen = prune_dominating_set(g, chosen, args.radius)
+    cert = certify_run(g, order, result, with_lp=args.lp)
+    print(f"|D| = {len(chosen)} (raw {result.size})")
+    print(f"certified ratio <= {cert.certified_ratio}")
+    if cert.lp_bound is not None:
+        print(f"LP lower bound = {cert.lp_bound:.2f}")
+    if args.exact:
+        from repro.core.exact import exact_domset
+
+        opt, _ = exact_domset(g, args.radius)
+        print(f"exact OPT = {opt}  (realized ratio {len(chosen) / max(opt, 1):.3f})")
+    if args.show:
+        print("D =", " ".join(map(str, chosen)))
+    if args.connect:
+        from repro.analysis.validate import is_connected_distance_r_dominating_set
+        from repro.core.connect import connect_via_wreach
+
+        conn = connect_via_wreach(g, order, result.dominators, args.radius)
+        ok = is_connected_distance_r_dominating_set(g, conn.vertices, args.radius)
+        print(f"connected |D'| = {conn.size} (valid: {ok})")
+    return 0
+
+
+def _cmd_distributed(args) -> int:
+    from repro.analysis.validate import is_distance_r_dominating_set
+    from repro.pipelines import congest_bc_pipeline
+
+    g = read_edge_list(args.graph)
+    run = congest_bc_pipeline(g, args.radius, connect=args.connect)
+    ds = run.domset
+    assert is_distance_r_dominating_set(g, ds.dominators, args.radius)
+    print(f"|D| = {ds.size}")
+    for phase, rounds in ds.phase_rounds.items():
+        print(f"  {phase:>9}: {rounds} rounds, "
+              f"max payload {ds.phase_max_words[phase]} words")
+    print(f"total rounds = {ds.total_rounds}, total traffic = {ds.total_words} words")
+    if run.connected is not None:
+        print(f"connected |D'| = {run.connected.size} "
+              f"(blowup {run.connected.blowup:.2f})")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.bench.workloads import WORKLOADS
+    from repro.graphs import generators as gen
+    from repro.graphs import random_models as rm
+
+    if args.family in WORKLOADS:
+        g = WORKLOADS[args.family].graph()
+    elif args.family == "grid":
+        g = gen.grid_2d(args.a, args.b or args.a)
+    elif args.family == "tree":
+        g = rm.random_tree(args.a, seed=args.seed)
+    elif args.family == "delaunay":
+        g, _ = rm.delaunay_graph(args.a, seed=args.seed)
+    elif args.family == "ktree":
+        g = gen.k_tree(args.a, args.b or 3, seed=args.seed)
+    else:
+        print(f"unknown family {args.family!r}; use a workload name, "
+              f"grid, tree, delaunay or ktree", file=sys.stderr)
+        return 2
+    write_edge_list(g, args.output)
+    print(f"wrote {args.output}: n = {g.n}, m = {g.m}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="structural summary of a graph file")
+    p_info.add_argument("graph")
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_dom = sub.add_parser("domset", help="Theorem 5 dominating set")
+    p_dom.add_argument("graph")
+    p_dom.add_argument("-r", "--radius", type=int, default=1)
+    p_dom.add_argument("--order", default="degeneracy")
+    p_dom.add_argument("--prune", action="store_true")
+    p_dom.add_argument("--connect", action="store_true")
+    p_dom.add_argument("--lp", action="store_true")
+    p_dom.add_argument("--exact", action="store_true")
+    p_dom.add_argument("--show", action="store_true", help="print the set")
+    p_dom.set_defaults(fn=_cmd_domset)
+
+    p_dist = sub.add_parser("distributed", help="Theorem 9/10 CONGEST_BC pipeline")
+    p_dist.add_argument("graph")
+    p_dist.add_argument("-r", "--radius", type=int, default=1)
+    p_dist.add_argument("--connect", action="store_true")
+    p_dist.set_defaults(fn=_cmd_distributed)
+
+    p_gen = sub.add_parser("generate", help="write a generator output to a file")
+    p_gen.add_argument("family")
+    p_gen.add_argument("a", type=int, nargs="?", default=16)
+    p_gen.add_argument("b", type=int, nargs="?", default=None)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("-o", "--output", required=True)
+    p_gen.set_defaults(fn=_cmd_generate)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Core algorithms: the paper's contribution plus baselines."""
+
+from repro.core.domset import domset_by_wreach, domset_sequential, DomSetResult
+from repro.core.dvorak import domset_dvorak
+from repro.core.greedy import domset_greedy
+from repro.core.covers import NeighborhoodCover, build_cover, cover_stats
+from repro.core.connect import (
+    connect_via_wreach,
+    connect_via_minor,
+    steiner_connect_baseline,
+)
+from repro.core.certify import certify_run, Certificate
+from repro.core.exact import (
+    exact_domset,
+    lp_lower_bound,
+    brute_force_domset,
+)
+from repro.core.prune import prune_dominating_set
+from repro.core.tree_exact import tree_domset_exact, is_tree
+from repro.core.independence import (
+    greedy_scattered_set,
+    is_scattered,
+    scattered_lower_bound,
+)
+from repro.core.lp_rounding import lp_rounding_domset
+
+__all__ = [
+    "domset_by_wreach",
+    "domset_sequential",
+    "DomSetResult",
+    "domset_dvorak",
+    "domset_greedy",
+    "NeighborhoodCover",
+    "build_cover",
+    "cover_stats",
+    "connect_via_wreach",
+    "connect_via_minor",
+    "steiner_connect_baseline",
+    "certify_run",
+    "Certificate",
+    "exact_domset",
+    "lp_lower_bound",
+    "brute_force_domset",
+    "prune_dominating_set",
+    "tree_domset_exact",
+    "is_tree",
+    "greedy_scattered_set",
+    "is_scattered",
+    "scattered_lower_bound",
+    "lp_rounding_domset",
+]

@@ -1,0 +1,245 @@
+"""Connecting dominating sets — Corollary 13 and Lemmas 14–16.
+
+Two constructions from the paper plus a centralized reference baseline:
+
+* :func:`connect_via_wreach` (Corollary 13, the engine of Theorem 10):
+  from each dominator v add a stored weak-reachability path to every
+  ``w ∈ WReach_{2r+1}[G, L, v]``.  Any two dominators at distance
+  <= 2r+1 share the L-least vertex of a connecting path (Lemma 12),
+  so the union is connected (Lemma 11).  Size <= c' * (2r+2) * |D|.
+
+* :func:`connect_via_minor` (Lemmas 14–16, the engine of Theorem 17):
+  partition V into balls ``B(v)`` around dominators via lexicographic
+  shortest paths, contract to the connected depth-r minor ``H(D)``,
+  and realize each minor edge by the lexicographically least shortest
+  path (length <= 2r+1) between its dominators.  On a class whose
+  depth-r minors have edge density d this yields
+  ``|D'| <= 2r * d * |D| + |D|`` — e.g. factor 6 + 1 on planar graphs
+  at r = 1.
+
+* :func:`steiner_connect_baseline`: Prim-style shortest-path merging,
+  the "what a centralized algorithm would do" size reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import UNREACHED, bfs_distances, multi_source_distances
+from repro.orders.linear_order import LinearOrder
+from repro.orders.wreach import wreach_sets_with_paths
+
+__all__ = [
+    "ConnectResult",
+    "connect_via_wreach",
+    "connect_via_minor",
+    "lex_ball_partition",
+    "minor_of_domset",
+    "steiner_connect_baseline",
+]
+
+
+@dataclass(frozen=True)
+class ConnectResult:
+    """A connected (distance-r) dominating set and how it was assembled.
+
+    ``added_paths`` maps a pair of endpoint vertices to the vertex tuple
+    of the path that was glued in for them (diagnostic only).
+    """
+
+    vertices: tuple[int, ...]
+    base_size: int
+    radius: int
+    added_paths: dict[tuple[int, int], tuple[int, ...]]
+
+    @property
+    def size(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def blowup(self) -> float:
+        """``|D'| / |D|`` — the quantity Theorem 10 / Lemma 16 bound."""
+        return self.size / self.base_size if self.base_size else 0.0
+
+
+def connect_via_wreach(
+    g: Graph, order: LinearOrder, dominators: Iterable[int], radius: int
+) -> ConnectResult:
+    """Corollary 13: add weak-reachability paths from every dominator.
+
+    Requires an order computed for parameter ``2 * radius + 1`` for the
+    theory bound, but works (and is certified per-instance) for any order.
+    """
+    base = sorted(set(int(v) for v in dominators))
+    if not base:
+        raise GraphError("cannot connect an empty dominating set")
+    reach_len = 2 * radius + 1
+    _, paths = wreach_sets_with_paths(g, order, reach_len)
+    out: set[int] = set(base)
+    added: dict[tuple[int, int], tuple[int, ...]] = {}
+    for v in base:
+        for u, path in paths[v].items():
+            out.update(path)
+            added[(v, int(u))] = path
+    return ConnectResult(tuple(sorted(out)), len(base), radius, added)
+
+
+def lex_ball_partition(
+    g: Graph, dominators: Sequence[int], radius: int | None
+) -> tuple[np.ndarray, list[tuple[int, ...] | None]]:
+    """The ``B(v)`` partition of Lemma 14 via lexicographic shortest paths.
+
+    Returns ``(owner, label)`` where ``owner[w]`` is the dominator whose
+    ball contains w and ``label[w]`` is the id sequence of the
+    lexicographically least shortest path from ``owner[w]`` to ``w``.
+
+    Built layer by layer: a vertex at distance d from the dominating set
+    extends the lexicographically least label among its layer-(d-1)
+    neighbors.  This reproduces the paper's global definition because
+    ``<=_lex`` compares length first and the common last element makes
+    prefix comparison decisive.
+
+    With ``radius = None`` the coverage check is skipped and vertices
+    unreachable from the dominators get ``owner = -1`` / ``label =
+    None`` — the mode the LOCAL algorithm uses on ball subgraphs, where
+    boundary vertices may lie beyond every in-ball dominator.
+    """
+    base = sorted(set(int(v) for v in dominators))
+    dist = multi_source_distances(g, base, max_dist=None)
+    if radius is not None:
+        if np.any(dist == UNREACHED):
+            raise GraphError("dominating set does not reach every vertex")
+        if int(dist.max()) > radius:
+            raise GraphError("input is not a distance-r dominating set")
+    label: list[tuple[int, ...] | None] = [None] * g.n
+    for v in base:
+        label[v] = (v,)
+    order_by_layer = np.argsort(dist, kind="stable")
+    for w in order_by_layer:
+        w = int(w)
+        if dist[w] <= 0:  # a dominator, or unreachable (dist == UNREACHED)
+            continue
+        best: tuple[int, ...] | None = None
+        for x in g.neighbors(w):
+            x = int(x)
+            if dist[x] == dist[w] - 1:
+                cand = label[x]
+                if cand is not None and (best is None or cand < best):
+                    best = cand
+        assert best is not None, "layered BFS invariant broken"
+        label[w] = best + (w,)
+    owner = np.asarray(
+        [lab[0] if lab is not None else -1 for lab in label], dtype=np.int64
+    )
+    return owner, label
+
+
+def minor_of_domset(g: Graph, dominators: Sequence[int], radius: int) -> list[tuple[int, int]]:
+    """Edges of the depth-r minor ``H(D)`` of Lemma 15 (dominator id pairs)."""
+    owner, _ = lex_ball_partition(g, dominators, radius)
+    edges = set()
+    for u, v in g.edges():
+        a, b = int(owner[u]), int(owner[v])
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return sorted(edges)
+
+
+def _lex_shortest_path(g: Graph, u: int, v: int, max_len: int) -> tuple[int, ...] | None:
+    """Lexicographically least shortest path u -> v of length <= max_len.
+
+    Same layered-label technique as :func:`lex_ball_partition`, single
+    source.  Both endpoints of a minor edge compute this identical path
+    in the LOCAL algorithm, which is why determinism matters.
+    """
+    dist = bfs_distances(g, u, max_dist=max_len)
+    if dist[v] == UNREACHED:
+        return None
+    label: dict[int, tuple[int, ...]] = {u: (u,)}
+    frontier = [u]
+    d = 0
+    target_d = int(dist[v])
+    while d < target_d:
+        nxt: dict[int, tuple[int, ...]] = {}
+        for w in frontier:
+            for x in g.neighbors(w):
+                x = int(x)
+                if dist[x] == d + 1:
+                    cand = label[w] + (x,)
+                    if x not in nxt or cand < nxt[x]:
+                        nxt[x] = cand
+        for x, lab in nxt.items():
+            label[x] = lab
+        frontier = sorted(nxt)
+        d += 1
+    return label[v]
+
+
+def canonical_lex_path(g: Graph, a: int, b: int, max_len: int) -> tuple[int, ...] | None:
+    """The unique path both endpoints of a minor edge agree on.
+
+    Lexicographically least shortest path read from the smaller-id
+    endpoint — symmetric in (a, b), so u and v "fix the same path P_uv"
+    as Lemma 16 requires.
+    """
+    lo, hi = (a, b) if a < b else (b, a)
+    return _lex_shortest_path(g, lo, hi, max_len)
+
+
+def connect_via_minor(
+    g: Graph, dominators: Sequence[int], radius: int
+) -> ConnectResult:
+    """Lemma 16: connect ``D`` through the minor ``H(D)``'s realized edges."""
+    base = sorted(set(int(v) for v in dominators))
+    h_edges = minor_of_domset(g, base, radius)
+    out: set[int] = set(base)
+    added: dict[tuple[int, int], tuple[int, ...]] = {}
+    max_len = 2 * radius + 1
+    for u, v in h_edges:
+        path = _lex_shortest_path(g, u, v, max_len)
+        if path is None:  # pragma: no cover - H-edges are always realizable
+            raise GraphError(f"minor edge ({u},{v}) not realizable within {max_len}")
+        out.update(path)
+        added[(u, v)] = path
+    return ConnectResult(tuple(sorted(out)), len(base), radius, added)
+
+
+def steiner_connect_baseline(
+    g: Graph, dominators: Sequence[int], radius: int
+) -> ConnectResult:
+    """Centralized Prim-style connector (size reference, not distributed).
+
+    Grows a connected component from the L-least dominator, repeatedly
+    attaching the nearest not-yet-connected dominator via a shortest path.
+    """
+    base = sorted(set(int(v) for v in dominators))
+    if not base:
+        raise GraphError("cannot connect an empty dominating set")
+    connected: set[int] = {base[0]}
+    todo = set(base[1:])
+    added: dict[tuple[int, int], tuple[int, ...]] = {}
+    out: set[int] = set(base)
+    while todo:
+        dist = multi_source_distances(g, connected)
+        target = min(todo, key=lambda v: (int(dist[v]), v))
+        if dist[target] == UNREACHED:
+            raise GraphError("dominators span multiple components")
+        # Walk back from target to the connected set along decreasing dist.
+        path = [target]
+        cur = target
+        while dist[cur] != 0:
+            nxt = min(
+                (int(x) for x in g.neighbors(cur) if dist[int(x)] == dist[cur] - 1),
+            )
+            path.append(nxt)
+            cur = nxt
+        out.update(path)
+        added[(path[-1], target)] = tuple(reversed(path))
+        connected.update(path)
+        todo.discard(target)
+    return ConnectResult(tuple(sorted(out)), len(base), radius, added)

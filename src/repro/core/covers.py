@@ -1,0 +1,136 @@
+"""Sparse r-neighborhood covers — Theorem 4 (Grohe et al. [26]).
+
+Given an order L witnessing ``wcol_2r(G) <= c``, the clusters::
+
+    X_v = { w : v in WReach_2r[G, L, w] }
+
+form an r-neighborhood cover of radius <= 2r and degree <= c:
+
+* **cover**: for every w, ``N_r[w] ⊆ X_u`` where
+  ``u = min WReach_r[G, L, w]`` (Lemma 6);
+* **radius**: every w in X_v connects to v through L-greater vertices by
+  a path of length <= 2r inside X_v;
+* **degree**: w lies in exactly ``|WReach_2r[w]| <= c`` clusters.
+
+The :class:`NeighborhoodCover` object materializes the clusters plus the
+assignment ``w -> min WReach_r[w]`` and offers the validity measurements
+the T2 experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OrderError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball, induced_radius
+from repro.orders.linear_order import LinearOrder
+from repro.orders.wreach import wreach_sets
+
+__all__ = ["NeighborhoodCover", "build_cover", "cover_stats", "CoverStats"]
+
+
+@dataclass(frozen=True)
+class NeighborhoodCover:
+    """An r-neighborhood cover built from weak reachability sets.
+
+    Attributes
+    ----------
+    radius_param:
+        The r the cover serves (``N_r[w]`` containment).
+    clusters:
+        Mapping ``v -> sorted members of X_v`` for all nonempty X_v.
+    home_cluster:
+        ``home_cluster[w] = min WReach_r[w]`` — the cluster center whose
+        cluster is guaranteed to contain ``N_r[w]``.
+    degree_per_vertex:
+        ``|{v : w in X_v}| = |WReach_2r[w]|`` for each w.
+    """
+
+    radius_param: int
+    clusters: dict[int, tuple[int, ...]]
+    home_cluster: np.ndarray
+    degree_per_vertex: np.ndarray
+
+    @property
+    def degree(self) -> int:
+        """Max number of clusters any vertex belongs to (the cover degree)."""
+        return int(self.degree_per_vertex.max()) if len(self.degree_per_vertex) else 0
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+
+def build_cover(g: Graph, order: LinearOrder, radius: int) -> NeighborhoodCover:
+    """Materialize the Theorem-4 cover for the given order and r."""
+    if g.n != order.n:
+        raise OrderError("order size does not match graph")
+    if radius < 0:
+        raise OrderError("radius must be >= 0")
+    w2r = wreach_sets(g, order, 2 * radius)
+    wr = wreach_sets(g, order, radius)
+    clusters: dict[int, list[int]] = {}
+    degree = np.zeros(g.n, dtype=np.int64)
+    for w in range(g.n):
+        degree[w] = len(w2r[w])
+        for v in w2r[w]:
+            clusters.setdefault(v, []).append(w)
+    home = np.full(g.n, -1, dtype=np.int64)
+    for w in range(g.n):
+        home[w] = order.min_of(wr[w])
+    return NeighborhoodCover(
+        radius_param=radius,
+        clusters={v: tuple(sorted(ms)) for v, ms in clusters.items()},
+        home_cluster=home,
+        degree_per_vertex=degree,
+    )
+
+
+@dataclass(frozen=True)
+class CoverStats:
+    """Measured cover quality (what T2 prints against the paper's bounds)."""
+
+    radius_param: int
+    num_clusters: int
+    degree: int
+    max_cluster_radius: int
+    max_cluster_size: int
+    covers_all_balls: bool
+
+    def within_bounds(self, c: int) -> bool:
+        """Check the Theorem 4 guarantees: radius <= 2r and degree <= c."""
+        return (
+            self.max_cluster_radius <= 2 * self.radius_param
+            and self.degree <= c
+            and self.covers_all_balls
+        )
+
+
+def cover_stats(g: Graph, cover: NeighborhoodCover) -> CoverStats:
+    """Measure radius / degree / coverage of a cover (exact, BFS-based)."""
+    r = cover.radius_param
+    max_rad = 0
+    max_size = 0
+    for v, members in cover.clusters.items():
+        max_size = max(max_size, len(members))
+        if len(members) > 1:
+            max_rad = max(max_rad, induced_radius(g, members))
+    covers = True
+    for w in range(g.n):
+        home = int(cover.home_cluster[w])
+        cluster = set(cover.clusters.get(home, ()))
+        need = ball(g, w, r)
+        if not all(int(x) in cluster for x in need):
+            covers = False
+            break
+    return CoverStats(
+        radius_param=r,
+        num_clusters=cover.num_clusters,
+        degree=cover.degree,
+        max_cluster_radius=max_rad,
+        max_cluster_size=max_size,
+        covers_all_balls=covers,
+    )

@@ -1,0 +1,137 @@
+"""Sequential distance-r dominating set — Theorem 5 (Algorithms 1–3).
+
+Given a linear order ``L``, the algorithm outputs::
+
+    D = { min WReach_r[G, L, w] : w in V(G) }
+
+i.e. every vertex elects the L-least vertex of its weak r-reachability
+set, and the elected vertices form the dominating set.  The proof of
+Theorem 5 shows ``|D| <= c * |OPT|`` where
+``c = max_v |WReach_2r[G, L, v]|`` — for *any* order; bounded expansion
+guarantees an order with bounded ``c`` exists.
+
+Two implementations are provided and cross-checked in tests:
+
+* :func:`domset_sequential` — the paper's Algorithm 1: iterate vertices
+  in increasing L-order; run the restricted truncated BFS (Algorithm 3);
+  add the root iff it reaches a not-yet-dominated vertex.
+* :func:`domset_by_wreach` — the definitional version: materialize
+  ``WReach_r`` and elect minima.
+
+Both return identical sets (a unit-test invariant, mirroring the
+equality (2) in the paper's proof).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OrderError
+from repro.graphs.graph import Graph
+from repro.orders.linear_order import LinearOrder
+from repro.orders.wreach import wreach_sets
+
+__all__ = ["DomSetResult", "domset_sequential", "domset_by_wreach"]
+
+
+@dataclass(frozen=True)
+class DomSetResult:
+    """Output of a dominating-set computation.
+
+    Attributes
+    ----------
+    dominators:
+        Sorted vertex ids of the dominating set ``D``.
+    dominator_of:
+        ``dominator_of[w]`` is the elected dominator of ``w`` —
+        ``min WReach_r[G, L, w]`` for order-based algorithms, or the
+        covering choice for baselines; always within distance r of w.
+    radius:
+        The distance parameter r.
+    """
+
+    dominators: tuple[int, ...]
+    dominator_of: np.ndarray
+    radius: int
+
+    @property
+    def size(self) -> int:
+        return len(self.dominators)
+
+    def membership(self, n: int) -> np.ndarray:
+        out = np.zeros(n, dtype=bool)
+        out[list(self.dominators)] = True
+        return out
+
+
+def domset_sequential(g: Graph, order: LinearOrder, radius: int) -> DomSetResult:
+    """Algorithm 1 (``DomSet``): linear-time c(r)-approximation.
+
+    Iterates vertices in increasing L-order.  For each root v it runs the
+    Algorithm-3 BFS (restricted to L-greater vertices, depth <= r, with
+    the sorted-adjacency early exit) and adds v to D iff the BFS reaches
+    a vertex that no earlier root dominated.
+    """
+    if g.n != order.n:
+        raise OrderError("order size does not match graph")
+    if radius < 0:
+        raise OrderError("radius must be >= 0")
+    rank = order.rank
+    # Algorithm 2 (SortLists): adjacency sorted ascending by L-rank.
+    sorted_adj = order.sorted_adjacency(g)
+    dominated = np.zeros(g.n, dtype=bool)
+    dominator_of = np.full(g.n, -1, dtype=np.int64)
+    dominators: list[int] = []
+    for i in range(g.n):
+        v = int(order.by_rank[i])
+        # Algorithm 3: BFS over {u : u >_L v}, depth <= radius.  The
+        # sorted adjacency lets us scan each list from the greatest rank
+        # downward and stop at the first vertex <=_L v.
+        visited = {v}
+        newly: list[int] = [] if dominated[v] else [v]
+        q: deque[tuple[int, int]] = deque([(v, 0)])
+        reach = [v]
+        while q:
+            w, dist = q.popleft()
+            if dist >= radius:
+                continue
+            row = sorted_adj[w]
+            for k in range(len(row) - 1, -1, -1):
+                u = int(row[k])
+                if rank[u] <= rank[v]:
+                    break  # all remaining are L-smaller: early exit
+                if u not in visited:
+                    visited.add(u)
+                    reach.append(u)
+                    q.append((u, dist + 1))
+                    if not dominated[u]:
+                        newly.append(u)
+        if newly:
+            dominators.append(v)
+            for u in reach:
+                if not dominated[u]:
+                    dominated[u] = True
+                    dominator_of[u] = v
+    return DomSetResult(tuple(sorted(dominators)), dominator_of, radius)
+
+
+def domset_by_wreach(g: Graph, order: LinearOrder, radius: int) -> DomSetResult:
+    """Definitional version: ``D = { min WReach_r[w] : w }`` (equation (2)).
+
+    Quadratic-ish but direct; used as the oracle for Algorithm 1 and as
+    the sequential reference that the distributed Theorem 9 algorithm
+    must reproduce exactly.
+    """
+    if g.n != order.n:
+        raise OrderError("order size does not match graph")
+    wreach = wreach_sets(g, order, radius)
+    dominator_of = np.full(g.n, -1, dtype=np.int64)
+    chosen: set[int] = set()
+    for w in range(g.n):
+        d = order.min_of(wreach[w])
+        dominator_of[w] = d
+        chosen.add(d)
+    return DomSetResult(tuple(sorted(chosen)), dominator_of, radius)

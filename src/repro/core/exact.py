@@ -1,0 +1,108 @@
+"""Exact optima and lower bounds for distance-r domination.
+
+The paper proves multiplicative guarantees against OPT; to *measure*
+realized approximation ratios the harness needs OPT (or a lower bound):
+
+* :func:`exact_domset` — integer program  min 1'x  s.t.  A x >= 1,
+  x binary, where row w of A is the indicator of ``N_r[w]``; solved with
+  scipy's HiGHS MILP.  Practical to a few thousand vertices on the
+  benchmark families.
+* :func:`lp_lower_bound` — the LP relaxation value, always <= OPT.
+  ``ceil(LP)`` is the lower bound T1 reports when MILP is too slow.
+* :func:`brute_force_domset` — subset enumeration for tiny graphs;
+  used in tests as an oracle for the MILP path.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import LinearConstraint, linprog, milp
+
+from repro.errors import SolverError
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball
+
+__all__ = ["coverage_matrix", "exact_domset", "lp_lower_bound", "brute_force_domset"]
+
+#: brute force cost guard: ~ n * 2^n set operations
+_BRUTE_LIMIT = 22
+
+
+def coverage_matrix(g: Graph, radius: int) -> sp.csr_matrix:
+    """Sparse 0/1 matrix A with ``A[w, v] = 1`` iff ``dist(w, v) <= radius``."""
+    rows: list[int] = []
+    cols: list[int] = []
+    for w in range(g.n):
+        members = ball(g, w, radius)
+        rows.extend([w] * len(members))
+        cols.extend(int(x) for x in members)
+    data = np.ones(len(rows), dtype=np.int8)
+    return sp.csr_matrix((data, (rows, cols)), shape=(g.n, g.n))
+
+
+def exact_domset(g: Graph, radius: int, time_limit: float = 60.0) -> tuple[int, list[int]]:
+    """Minimum distance-r dominating set via MILP (HiGHS).
+
+    Returns ``(size, vertices)``.  Raises :class:`SolverError` if the
+    solver does not reach proven optimality within ``time_limit``.
+    """
+    if g.n == 0:
+        return 0, []
+    a = coverage_matrix(g, radius)
+    constraint = LinearConstraint(a, lb=np.ones(g.n), ub=np.inf)
+    res = milp(
+        c=np.ones(g.n),
+        integrality=np.ones(g.n),
+        bounds=(0, 1),
+        constraints=[constraint],
+        options={"time_limit": time_limit},
+    )
+    if not res.success or res.status != 0:
+        raise SolverError(f"MILP failed or timed out: {res.message}")
+    x = np.asarray(res.x).round().astype(int)
+    chosen = [int(v) for v in np.flatnonzero(x)]
+    return len(chosen), chosen
+
+
+def lp_lower_bound(g: Graph, radius: int) -> float:
+    """Optimal value of the covering LP relaxation (a lower bound on OPT)."""
+    if g.n == 0:
+        return 0.0
+    a = coverage_matrix(g, radius)
+    res = linprog(
+        c=np.ones(g.n),
+        A_ub=-a,
+        b_ub=-np.ones(g.n),
+        bounds=(0, 1),
+        method="highs",
+    )
+    if not res.success:
+        raise SolverError(f"LP failed: {res.message}")
+    return float(res.fun)
+
+
+def brute_force_domset(g: Graph, radius: int) -> tuple[int, list[int]]:
+    """Exact optimum by subset enumeration (n <= 22 enforced)."""
+    n = g.n
+    if n > _BRUTE_LIMIT:
+        raise SolverError(f"brute force limited to n <= {_BRUTE_LIMIT}")
+    if n == 0:
+        return 0, []
+    masks = []
+    for v in range(n):
+        mask = 0
+        for x in ball(g, v, radius):
+            mask |= 1 << int(x)
+        masks.append(mask)
+    full = (1 << n) - 1
+    for k in range(1, n + 1):
+        for combo in combinations(range(n), k):
+            acc = 0
+            for v in combo:
+                acc |= masks[v]
+            if acc == full:
+                return k, list(combo)
+    raise SolverError("unreachable: full vertex set always dominates")

@@ -1,0 +1,58 @@
+"""Classical greedy set-cover baseline for distance-r domination.
+
+Repeatedly pick the vertex whose r-ball covers the most uncovered
+vertices.  Achieves the (essentially optimal for general graphs)
+``ln n`` approximation ratio [15, 39]; on bounded-expansion inputs the
+order-based algorithms beat its *guarantee* but greedy is a strong
+*empirical* size baseline, which is exactly how T1 uses it.
+
+Implemented with lazy re-evaluation on a max-heap: ball coverage counts
+only shrink as the cover grows, so a stale heap entry can be refreshed
+on pop (standard lazy-greedy trick; avoids rescanning all balls per
+iteration).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.core.domset import DomSetResult
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import ball
+
+__all__ = ["domset_greedy"]
+
+
+def domset_greedy(g: Graph, radius: int) -> DomSetResult:
+    """Greedy max-coverage distance-r dominating set."""
+    if radius < 0:
+        raise GraphError("radius must be >= 0")
+    n = g.n
+    if n == 0:
+        return DomSetResult((), np.empty(0, dtype=np.int64), radius)
+    balls = [ball(g, v, radius) for v in range(n)]
+    covered = np.zeros(n, dtype=bool)
+    dominator_of = np.full(n, -1, dtype=np.int64)
+    # Heap of (-gain, vertex); gains are lazily refreshed.
+    heap = [(-len(balls[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    dominators: list[int] = []
+    remaining = n
+    while remaining > 0:
+        neg_gain, v = heapq.heappop(heap)
+        gain = int(np.count_nonzero(~covered[balls[v]]))
+        if gain < -neg_gain:
+            if gain > 0:
+                heapq.heappush(heap, (-gain, v))
+            continue
+        if gain == 0:  # pragma: no cover - only if graph got fully covered
+            continue
+        dominators.append(v)
+        newly = balls[v][~covered[balls[v]]]
+        covered[newly] = True
+        dominator_of[newly] = v
+        remaining -= len(newly)
+    return DomSetResult(tuple(sorted(dominators)), dominator_of, radius)

@@ -1,0 +1,88 @@
+"""Bansal–Umboh LP rounding for dominating set on bounded arboricity [10].
+
+The paper's conclusion singles this result out: on graphs of arboricity
+``a``, rounding the covering LP at threshold ``1/(3a)`` gives a
+3a-approximation of MDS, and no (a−1−ε)-approximation is possible
+(NP-hard).  It is the natural *sequential* LP baseline to set against
+the combinatorial order-based algorithm of Theorem 5.
+
+Construction (for distance-1 domination; [10] is stated for MDS):
+
+1. solve the covering LP  min Σx_v  s.t.  Σ_{u ∈ N[w]} x_u ≥ 1;
+2. ``S = {v : x_v ≥ 1/(3a)}`` — a 3a·LP-cost set;
+3. every vertex w not dominated by S joins itself (``U``): the LP mass
+   of N[w] is spread over > 3a vertices each below threshold, and the
+   arboricity argument bounds |U| by 2·LP-cost... measured, not assumed.
+
+Output D = S ∪ U is always a valid dominating set; the bench reports
+its realized ratio next to the other baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exact import coverage_matrix
+from repro.errors import SolverError
+from repro.graphs.expansion import degeneracy
+from repro.graphs.graph import Graph
+
+__all__ = ["lp_rounding_domset", "LPRoundingResult"]
+
+
+@dataclass(frozen=True)
+class LPRoundingResult:
+    dominators: tuple[int, ...]
+    radius: int
+    lp_value: float
+    threshold: float
+    rounded: int   # |S|, the thresholded vertices
+    fixed_up: int  # |U|, the self-joining uncovered vertices
+
+    @property
+    def size(self) -> int:
+        return len(self.dominators)
+
+
+def lp_rounding_domset(
+    g: Graph, radius: int = 1, arboricity: int | None = None
+) -> LPRoundingResult:
+    """Round the distance-r covering LP at threshold ``1/(3a)``.
+
+    ``arboricity`` defaults to the degeneracy (an upper bound on
+    arboricity within a factor 2 — the guarantee degrades gracefully
+    with the bound used, and we *measure* the outcome anyway).
+    """
+    from scipy.optimize import linprog
+
+    if radius < 1:
+        raise SolverError("radius must be >= 1")
+    if g.n == 0:
+        return LPRoundingResult((), radius, 0.0, 0.0, 0, 0)
+    a = max(1, degeneracy(g)) if arboricity is None else max(1, int(arboricity))
+    cov = coverage_matrix(g, radius)
+    res = linprog(
+        c=np.ones(g.n),
+        A_ub=-cov,
+        b_ub=-np.ones(g.n),
+        bounds=(0, 1),
+        method="highs",
+    )
+    if not res.success:
+        raise SolverError(f"covering LP failed: {res.message}")
+    x = np.asarray(res.x)
+    threshold = 1.0 / (3.0 * a)
+    s_mask = x >= threshold - 1e-12
+    covered = np.asarray((cov @ s_mask.astype(np.int64)) > 0).ravel()
+    u_mask = ~covered
+    chosen = np.flatnonzero(s_mask | u_mask)
+    return LPRoundingResult(
+        dominators=tuple(int(v) for v in chosen),
+        radius=radius,
+        lp_value=float(res.fun),
+        threshold=threshold,
+        rounded=int(s_mask.sum()),
+        fixed_up=int(u_mask.sum()),
+    )

@@ -1,0 +1,104 @@
+"""Exact distance-r domination on trees (linear time).
+
+The classical bottom-up greedy (Slater-style; optimal for trees):
+process vertices from the leaves up; at each vertex track
+
+* ``cov`` — distance to the nearest selected dominator in the subtree
+  (``> r`` means "nothing useful selected yet"), and
+* ``need`` — distance to the farthest *not-yet-covered* vertex in the
+  subtree (``None`` if everything below is covered).
+
+A dominator must be placed at vertex v exactly when some uncovered
+descendant sits at distance r (it would become uncoverable above v).
+Cross-subtree cancellation (a dominator in one child's subtree covering
+uncovered vertices in a sibling's) is the ``need + cov <= r`` rule.
+
+This gives exact optima for tree workloads of any size — the MILP in
+:mod:`repro.core.exact` is only needed for non-trees — and doubles as
+an independent oracle for the MILP path in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError, SolverError
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_tree
+
+__all__ = ["tree_domset_exact", "is_tree"]
+
+
+def is_tree(g: Graph) -> bool:
+    """Connected and acyclic (n-1 edges)."""
+    if g.n == 0:
+        return True
+    from repro.graphs.components import is_connected
+
+    return g.m == g.n - 1 and is_connected(g)
+
+
+def _forest_roots(g: Graph) -> list[int]:
+    labels = connected_components(g)
+    roots: dict[int, int] = {}
+    for v in range(g.n):
+        roots.setdefault(int(labels[v]), v)
+    return [roots[c] for c in sorted(roots)]
+
+
+def tree_domset_exact(g: Graph, radius: int) -> tuple[int, list[int]]:
+    """Minimum distance-r dominating set of a forest (exact, O(n)).
+
+    Works per connected component (so forests are fine); raises
+    :class:`SolverError` if the graph contains a cycle.
+    """
+    if radius < 0:
+        raise GraphError("radius must be >= 0")
+    if g.m > g.n - 1 if g.n else g.m > 0:
+        raise SolverError("input has a cycle; tree_domset_exact needs a forest")
+    chosen: list[int] = []
+    INF = radius + 1  # cov values above r behave identically; cap at r+1
+    for root in _forest_roots(g):
+        parent = bfs_tree(g, root)
+        # Cycle check within the component.
+        comp = [v for v in range(g.n) if parent[v] != -1 or v == root]
+        edges_in_comp = sum(1 for v in comp if v != root)
+        real_edges = sum(g.degree(v) for v in comp) // 2
+        if real_edges != edges_in_comp:
+            raise SolverError("input has a cycle; tree_domset_exact needs a forest")
+        # Process vertices farthest-first (deepest BFS layer first).
+        from repro.graphs.traversal import bfs_distances
+
+        depth = bfs_distances(g, root)
+        order = sorted(comp, key=lambda v: -int(depth[v]))
+        cov = {v: INF for v in comp}   # distance to nearest chosen below
+        need = {v: -1 for v in comp}   # farthest uncovered below; -1 = none
+        children: dict[int, list[int]] = {v: [] for v in comp}
+        for v in comp:
+            if v != root:
+                children[int(parent[v])].append(v)
+        for v in order:
+            c = INF
+            nd = -1
+            for ch in children[v]:
+                c = min(c, cov[ch] + 1)
+                if need[ch] >= 0:
+                    nd = max(nd, need[ch] + 1)
+            c = min(c, INF)
+            # Cross-subtree cancellation and self-coverage.
+            if nd >= 0 and nd + c <= radius:
+                nd = -1
+            if c > radius:
+                nd = max(nd, 0)  # v itself is uncovered
+            if nd >= radius:
+                # Farthest uncovered vertex is at distance exactly r:
+                # only v can still cover it -> select v.
+                chosen.append(v)
+                c = 0
+                nd = -1
+            cov[v] = c
+            need[v] = nd
+        if need[root] >= 0:
+            chosen.append(root)
+    return len(chosen), sorted(chosen)

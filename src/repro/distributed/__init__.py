@@ -1,0 +1,62 @@
+"""Distributed computing substrate and the paper's distributed algorithms."""
+
+from repro.distributed.model import Model, payload_words
+from repro.distributed.node import NodeAlgorithm, NodeContext
+from repro.distributed.network import Network, RunResult, RoundStats
+from repro.distributed.beh_partition import HPartitionNode, run_h_partition
+from repro.distributed.nd_order import (
+    distributed_h_partition_order,
+    distributed_augmented_order,
+    OrderComputation,
+)
+from repro.distributed.wreach_bc import WReachNode, run_wreach_bc, WReachOutput
+from repro.distributed.domset_bc import run_domset_bc, DistributedDomSet
+from repro.distributed.cover_bc import run_cover_bc
+from repro.distributed.connect_bc import run_connect_bc, DistributedConnectedDomSet
+from repro.distributed.local_engine import run_local_algorithm, BallInfo
+from repro.distributed.lenzen import lenzen_planar_mds
+from repro.distributed.connect_local import local_connectify
+from repro.distributed.mis import run_luby_mis
+from repro.distributed.ruling import ruling_domset, power_graph
+from repro.distributed.parallel_greedy import parallel_greedy_domset
+from repro.distributed.pipelining import run_pipelined, PipelinedNode
+from repro.distributed.unified_bc import run_unified_bc, UnifiedNode
+from repro.distributed.kw_lp import kw_lp_domset
+from repro.distributed.prune_local import local_prune
+
+__all__ = [
+    "Model",
+    "payload_words",
+    "NodeAlgorithm",
+    "NodeContext",
+    "Network",
+    "RunResult",
+    "RoundStats",
+    "HPartitionNode",
+    "run_h_partition",
+    "distributed_h_partition_order",
+    "distributed_augmented_order",
+    "OrderComputation",
+    "WReachNode",
+    "run_wreach_bc",
+    "WReachOutput",
+    "run_domset_bc",
+    "DistributedDomSet",
+    "run_cover_bc",
+    "run_connect_bc",
+    "DistributedConnectedDomSet",
+    "run_local_algorithm",
+    "BallInfo",
+    "lenzen_planar_mds",
+    "local_connectify",
+    "run_luby_mis",
+    "ruling_domset",
+    "power_graph",
+    "parallel_greedy_domset",
+    "run_pipelined",
+    "PipelinedNode",
+    "run_unified_bc",
+    "UnifiedNode",
+    "kw_lp_domset",
+    "local_prune",
+]

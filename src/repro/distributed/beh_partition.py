@@ -1,0 +1,112 @@
+"""Barenboim–Elkin H-partition [11] in CONGEST_BC.
+
+The primitive behind Theorem 3's order computation: partition V into
+levels 1, 2, ... such that every vertex at level l has at most
+``threshold`` neighbors at levels >= l.  For threshold >= (2 + eps) * a
+on a graph of arboricity a, O(log n) levels suffice (each phase peels a
+constant fraction of the remaining vertices, because a graph of
+arboricity a has average degree < 2a, so at least half the active
+vertices have active-degree <= (2+eps)a... the standard argument).
+
+Protocol (2 rounds per phase, 1-word broadcasts):
+
+* round A: every still-active vertex broadcasts ``("active",)``;
+* round B: a vertex that counted at most ``threshold`` active neighbors
+  joins the current level and broadcasts ``("joined", level)``; everyone
+  updates its local view of neighbor levels.
+
+Each node's output: its level and its neighbors' levels — enough to
+orient every edge toward the (level, id)-greater endpoint with
+out-degree <= threshold, and to define the linear order
+"higher level first, then smaller id" under which every vertex has at
+most ``threshold`` L-smaller neighbors (i.e. wcol_1 <= threshold + 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.model import Model
+from repro.distributed.network import Network, RunResult
+from repro.distributed.node import Inbox, NodeAlgorithm, NodeContext
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+
+__all__ = ["HPartitionNode", "HPartitionOutput", "run_h_partition"]
+
+
+@dataclass(frozen=True)
+class HPartitionOutput:
+    """Per-node result of the H-partition protocol."""
+
+    level: int
+    neighbor_levels: dict[int, int]
+
+
+class HPartitionNode(NodeAlgorithm):
+    """One vertex of the Barenboim–Elkin peeling protocol."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.level = -1
+        self.neighbor_levels: dict[int, int] = {}
+        self.active_neighbors: set[int] = set()
+        self.phase = 0
+        self.expect = "activity"  # alternates: activity-count / join-announce
+
+    # The protocol needs the class threshold from advice.
+    def _threshold(self, ctx: NodeContext) -> int:
+        return int(ctx.advice["threshold"])
+
+    def on_start(self, ctx: NodeContext):
+        self.active_neighbors = set(ctx.neighbors)
+        self.phase = 1
+        return ("active",)
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox):
+        if self.expect == "activity":
+            # Inbox holds "active" pings from still-active neighbors.
+            currently_active = {src for src, msg in inbox if msg == ("active",)}
+            self.active_neighbors = currently_active
+            self.expect = "join"
+            if self.level == -1 and len(currently_active) <= self._threshold(ctx):
+                self.level = self.phase
+                return ("joined", self.level)
+            return None
+        # "join" round: record neighbors that joined this phase.
+        for src, msg in inbox:
+            if isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "joined":
+                self.neighbor_levels[src] = int(msg[1])
+        self.expect = "activity"
+        self.phase += 1
+        if self.level != -1:
+            # Joined already; stay alive one extra join-listening round so
+            # same-phase neighbors' announcements are not missed, then halt.
+            if all(u in self.neighbor_levels for u in ctx.neighbors):
+                self.halted = True
+                return None
+            # Keep listening (late neighbors still to join); send nothing.
+            return None
+        return ("active",)
+
+    def output(self) -> HPartitionOutput:
+        return HPartitionOutput(self.level, dict(self.neighbor_levels))
+
+
+def run_h_partition(
+    g: Graph, threshold: int, max_rounds: int = 10_000
+) -> tuple[list[HPartitionOutput], RunResult]:
+    """Run the protocol; returns per-node outputs and the traffic record."""
+    if threshold < 1:
+        raise SimulationError("threshold must be >= 1")
+    net = Network(
+        g,
+        Model.CONGEST_BC,
+        lambda v: HPartitionNode(),
+        advice={"threshold": threshold},
+    )
+    res = net.run(max_rounds=max_rounds)
+    outs = [res.outputs[v] for v in range(g.n)]
+    if any(o.level == -1 for o in outs):  # pragma: no cover - protocol always peels
+        raise SimulationError("H-partition left unleveled vertices")
+    return outs, res

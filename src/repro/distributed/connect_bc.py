@@ -1,0 +1,144 @@
+"""Theorem 10 — distributed connected distance-r dominating set (CONGEST_BC).
+
+Pipeline: order (for parameter 2r+1) -> WReachDist with horizon 2r+1 ->
+election with the r-restricted minima (as in Theorem 9) -> **join
+phase**: every dominator v routes a "join" token along its stored path
+to every ``w ∈ WReach_{2r+1}[G, L, v]``; every vertex a token passes
+through (and both endpoints) enters D'.
+
+Corollary 13 proves D' is a connected distance-r dominating set: two
+dominators within distance 2r+1 both weakly (2r+1)-reach the L-least
+vertex of a connecting path (Lemma 12), so their added paths meet, and
+Lemma 11 chains this connectivity across the whole (connected) graph.
+Size: ``|D'| <= c' * (2r + 2) * |D|`` with ``c' = max |WReach_{2r+1}|``
+— the measured bound experiment T5 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.domset_bc import run_election
+from repro.distributed.model import Model
+from repro.distributed.network import Network
+from repro.distributed.nd_order import OrderComputation, distributed_h_partition_order
+from repro.distributed.node import Inbox, NodeAlgorithm, NodeContext
+from repro.distributed.wreach_bc import WReachOutput, run_wreach_bc
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+
+__all__ = ["JoinNode", "DistributedConnectedDomSet", "run_connect_bc"]
+
+
+class JoinNode(NodeAlgorithm):
+    """Join-token routing: dominators pull all their stored paths into D'."""
+
+    def __init__(self, radius: int, in_domset: bool) -> None:
+        super().__init__()
+        self.radius = radius
+        self.in_dprime = in_domset
+        self.is_dominator = in_domset
+        self.round_no = 0
+
+    def on_start(self, ctx: NodeContext):
+        if not self.is_dominator:
+            return None
+        out: WReachOutput = ctx.advice["wreach_outputs"][ctx.node]
+        tokens = []
+        for u, path in out.paths.items():
+            # path = (u, ..., self); everyone on it must join D'.
+            token = path[:-1]
+            tokens.append(token)
+        if not tokens:
+            return None
+        return ("join", tuple(sorted(set(tokens))))
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox):
+        self.round_no += 1
+        forward: list[tuple[int, ...]] = []
+        for _src, msg in inbox:
+            if not (isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "join"):
+                continue
+            for token in msg[1]:
+                if token[-1] != ctx.node:
+                    continue
+                self.in_dprime = True
+                if len(token) > 1:
+                    forward.append(token[:-1])
+        if self.round_no >= 2 * self.radius + 1:
+            self.halted = True
+            return None
+        if not forward:
+            return None
+        return ("join", tuple(sorted(set(forward))))
+
+    def output(self) -> dict:
+        return {"in_dprime": self.in_dprime, "is_dominator": self.is_dominator}
+
+
+@dataclass(frozen=True)
+class DistributedConnectedDomSet:
+    """Theorem-10 pipeline result."""
+
+    connected_set: tuple[int, ...]
+    dominators: tuple[int, ...]
+    radius: int
+    order: OrderComputation
+    phase_rounds: dict[str, int]
+    phase_max_words: dict[str, int]
+    total_words: int
+
+    @property
+    def size(self) -> int:
+        return len(self.connected_set)
+
+    @property
+    def blowup(self) -> float:
+        return self.size / len(self.dominators) if self.dominators else 0.0
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(self.phase_rounds.values())
+
+
+def run_connect_bc(
+    g: Graph,
+    radius: int,
+    order_computation: OrderComputation | None = None,
+) -> DistributedConnectedDomSet:
+    """Full Theorem-10 pipeline in CONGEST_BC."""
+    if radius < 0:
+        raise SimulationError("radius must be >= 0")
+    oc = order_computation or distributed_h_partition_order(g)
+    horizon = 2 * radius + 1
+    wouts, wres = run_wreach_bc(g, oc.class_ids, horizon)
+    eouts, eres = run_election(g, oc.class_ids, wouts, radius)
+    in_domset = {v: eouts[v]["in_domset"] for v in range(g.n)}
+    net = Network(
+        g,
+        Model.CONGEST_BC,
+        lambda v: JoinNode(radius, in_domset[v]),
+        advice={"wreach_outputs": wouts},
+    )
+    jres = net.run()
+    dprime = tuple(sorted(v for v in range(g.n) if jres.outputs[v]["in_dprime"]))
+    dominators = tuple(sorted(v for v in range(g.n) if in_domset[v]))
+    return DistributedConnectedDomSet(
+        connected_set=dprime,
+        dominators=dominators,
+        radius=radius,
+        order=oc,
+        phase_rounds={
+            "order": oc.rounds,
+            "wreach": wres.rounds,
+            "election": eres.rounds,
+            "join": jres.rounds,
+        },
+        phase_max_words={
+            "order": oc.max_payload_words,
+            "wreach": wres.max_payload_words,
+            "election": eres.max_payload_words,
+            "join": jres.max_payload_words,
+        },
+        total_words=oc.total_words + wres.total_words + eres.total_words + jres.total_words,
+    )

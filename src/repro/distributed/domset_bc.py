@@ -1,0 +1,191 @@
+"""Theorem 9 — distributed distance-r dominating set in CONGEST_BC.
+
+Composition of three phases (each a message-passing protocol; the round
+and traffic totals are summed):
+
+1. **order** — class ids from :mod:`repro.distributed.nd_order`
+   (O(log n) rounds message-passing, or the Theorem-3-structured
+   augmented variant);
+2. **weak reachability** — Algorithm 4 with horizon 2r
+   (:mod:`repro.distributed.wreach_bc`);
+3. **election** — every vertex w sends an "elect" token along its
+   stored path to ``min WReach_r[G, L, w]``; a vertex is in D iff it
+   elects itself or receives a token.  Tokens are routed backward along
+   stored paths; a vertex forwards all tokens passing through it as one
+   broadcast (the set has at most c elements — Lemma 7's congestion
+   argument — which T4 measures).
+
+The output set equals the sequential ``domset_by_wreach`` for the same
+order *exactly*; this is asserted in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.model import Model
+from repro.distributed.network import Network, RunResult
+from repro.distributed.nd_order import (
+    OrderComputation,
+    distributed_h_partition_order,
+)
+from repro.distributed.node import Inbox, NodeAlgorithm, NodeContext
+from repro.distributed.wreach_bc import WReachOutput, run_wreach_bc
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+
+__all__ = ["ElectionNode", "DistributedDomSet", "run_domset_bc", "run_election"]
+
+
+class ElectionNode(NodeAlgorithm):
+    """Election + token routing (phase 3 above)."""
+
+    def __init__(self, radius: int) -> None:
+        super().__init__()
+        self.radius = radius
+        self.round_no = 0
+        self.in_domset = False
+        self.dominator = -1
+        self.outbox: list[tuple[int, ...]] = []
+
+    def on_start(self, ctx: NodeContext):
+        out: WReachOutput = ctx.advice["wreach_outputs"][ctx.node]
+        class_ids = ctx.advice["class_ids"]
+        # Candidates: self plus weakly r-reachable vertices (path <= r).
+        best = (int(class_ids[ctx.node]), ctx.node)
+        best_path: tuple[int, ...] | None = None
+        for u, path in out.paths.items():
+            if len(path) - 1 <= self.radius:
+                sid = (int(class_ids[u]), int(u))
+                if sid < best:
+                    best = sid
+                    best_path = path
+        self.dominator = best[1]
+        if self.dominator == ctx.node:
+            self.in_domset = True
+            if self.radius == 0:
+                self.halted = True
+            return None
+        assert best_path is not None
+        # best_path = (dominator, ..., self); strip self and route backward.
+        token = best_path[:-1]
+        if len(token) == 1:
+            # Dominator is our neighbor on the path; token delivered next round.
+            pass
+        return ("elect", (token,))
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox):
+        self.round_no += 1
+        forward: list[tuple[int, ...]] = []
+        for _src, msg in inbox:
+            if not (isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "elect"):
+                continue
+            for token in msg[1]:
+                if token[-1] != ctx.node:
+                    continue  # not the next hop
+                if len(token) == 1:
+                    self.in_domset = True  # token reached its dominator
+                else:
+                    forward.append(token[:-1])
+        if self.round_no >= self.radius:
+            self.halted = True
+            return None
+        if not forward:
+            return None
+        return ("elect", tuple(sorted(set(forward))))
+
+    def output(self) -> dict:
+        return {"in_domset": self.in_domset, "dominator": self.dominator}
+
+
+def run_election(
+    g: Graph,
+    class_ids: np.ndarray,
+    wreach_outputs: list[WReachOutput],
+    radius: int,
+) -> tuple[dict[int, dict], RunResult]:
+    """Run the election phase on precomputed weak-reachability outputs."""
+    net = Network(
+        g,
+        Model.CONGEST_BC,
+        lambda v: ElectionNode(radius),
+        advice={
+            "class_ids": np.asarray(class_ids, dtype=np.int64),
+            "wreach_outputs": wreach_outputs,
+        },
+    )
+    res = net.run()
+    return res.outputs, res
+
+
+@dataclass(frozen=True)
+class DistributedDomSet:
+    """Full pipeline result with per-phase accounting (T3/T4 data)."""
+
+    dominators: tuple[int, ...]
+    dominator_of: np.ndarray
+    radius: int
+    order: OrderComputation
+    phase_rounds: dict[str, int]
+    phase_max_words: dict[str, int]
+    total_words: int
+
+    @property
+    def size(self) -> int:
+        return len(self.dominators)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(self.phase_rounds.values())
+
+    def normalized_total_rounds(self) -> int:
+        """Pessimistic 1-word-per-round accounting across all phases.
+
+        Each phase's logical rounds are multiplied by its largest payload
+        (all payloads pipelined at one word per round); experiment A2c
+        executes this for real via :mod:`repro.distributed.pipelining`.
+        """
+        return sum(
+            rounds * max(1, self.phase_max_words[name])
+            for name, rounds in self.phase_rounds.items()
+        )
+
+
+def run_domset_bc(
+    g: Graph,
+    radius: int,
+    order_computation: OrderComputation | None = None,
+    horizon: int | None = None,
+) -> DistributedDomSet:
+    """Run the full Theorem-9 pipeline in CONGEST_BC.
+
+    ``horizon`` defaults to ``2 * radius`` (Theorem 9); Theorem 10 passes
+    ``2 * radius + 1`` and reuses the outputs for the connection phase.
+    """
+    if radius < 0:
+        raise SimulationError("radius must be >= 0")
+    oc = order_computation or distributed_h_partition_order(g)
+    hz = 2 * radius if horizon is None else int(horizon)
+    wouts, wres = run_wreach_bc(g, oc.class_ids, hz)
+    eouts, eres = run_election(g, oc.class_ids, wouts, radius)
+    dominators = tuple(sorted(v for v, o in eouts.items() if o["in_domset"]))
+    dominator_of = np.asarray([eouts[v]["dominator"] for v in range(g.n)], dtype=np.int64)
+    return DistributedDomSet(
+        dominators=dominators,
+        dominator_of=dominator_of,
+        radius=radius,
+        order=oc,
+        phase_rounds={
+            "order": oc.rounds,
+            "wreach": wres.rounds,
+            "election": eres.rounds,
+        },
+        phase_max_words={
+            "order": oc.max_payload_words,
+            "wreach": wres.max_payload_words,
+            "election": eres.max_payload_words,
+        },
+        total_words=oc.total_words + wres.total_words + eres.total_words,
+    )

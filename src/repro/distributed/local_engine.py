@@ -1,0 +1,201 @@
+"""LOCAL-model execution engine: gather a ball, decide locally.
+
+Every LOCAL algorithm in the paper follows the same shape: spend k
+rounds learning the radius-k ball (topology + per-node inputs), then
+decide from that knowledge alone.  The engine factors this out:
+
+* ``node_fn(ball: BallInfo) -> output`` is a *pure function* of the
+  ball — the algorithm;
+* the engine produces each node's :class:`BallInfo` either by
+
+  - ``mode="oracle"`` — read N_k[v] directly off the graph and charge
+    k rounds (fast; what benchmarks use), or
+  - ``mode="messages"`` — run k real LOCAL flooding rounds in the
+    simulator and reconstruct the ball from received messages.
+
+Tests assert the two modes produce *identical* BallInfo, which is the
+formal justification for using the oracle in benchmarks (DESIGN.md §2,
+fidelity decision 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.distributed.model import Model
+from repro.distributed.network import Network
+from repro.distributed.node import Inbox, NodeAlgorithm, NodeContext
+from repro.errors import SimulationError
+from repro.graphs.build import from_edges
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import UNREACHED, bfs_distances
+
+__all__ = ["BallInfo", "run_local_algorithm"]
+
+
+@dataclass(frozen=True)
+class BallInfo:
+    """Everything a node knows after k LOCAL rounds.
+
+    ``vertices`` is ``N_k[center]`` (sorted); ``edges`` are exactly the
+    edges of the subgraph induced by ``vertices``; ``data`` holds the
+    per-node algorithm inputs for every vertex in the ball.
+    """
+
+    center: int
+    radius: int
+    vertices: tuple[int, ...]
+    edges: tuple[tuple[int, int], ...]
+    data: Mapping[int, Any]
+
+    def graph(self) -> tuple[Graph, dict[int, int]]:
+        """The induced ball as a Graph plus ``original_id -> local_id``."""
+        local = {v: i for i, v in enumerate(self.vertices)}
+        edges = [(local[u], local[v]) for u, v in self.edges]
+        return from_edges(len(self.vertices), edges), local
+
+
+def _oracle_ball(g: Graph, v: int, k: int, data: Mapping[int, Any]) -> BallInfo:
+    dist = bfs_distances(g, v, max_dist=k)
+    members = np.flatnonzero(dist != UNREACHED)
+    member_set = set(int(x) for x in members)
+    edges = []
+    for u in member_set:
+        for w in g.neighbors(u):
+            w = int(w)
+            if u < w and w in member_set:
+                edges.append((u, w))
+    return BallInfo(
+        center=v,
+        radius=k,
+        vertices=tuple(sorted(member_set)),
+        edges=tuple(sorted(edges)),
+        data={u: data[u] for u in sorted(member_set)},
+    )
+
+
+class _GatherNode(NodeAlgorithm):
+    """k rounds of LOCAL flooding of edges and node data."""
+
+    def __init__(self, k: int) -> None:
+        super().__init__()
+        self.k = k
+        self.round_no = 0
+        self.known_edges: set[tuple[int, int]] = set()
+        self.known_data: dict[int, Any] = {}
+
+    def on_start(self, ctx: NodeContext):
+        my_edges = tuple(
+            (min(ctx.node, u), max(ctx.node, u)) for u in ctx.neighbors
+        )
+        self.known_edges.update(my_edges)
+        my_datum = ctx.advice["node_data"][ctx.node]
+        self.known_data[ctx.node] = my_datum
+        if self.k == 0:
+            self.halted = True
+            return None
+        return ("info", my_edges, ((ctx.node, my_datum),))
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox):
+        self.round_no += 1
+        new_edges: set[tuple[int, int]] = set()
+        new_data: dict[int, Any] = {}
+        for _src, msg in inbox:
+            if not (isinstance(msg, tuple) and len(msg) == 3 and msg[0] == "info"):
+                continue
+            for e in msg[1]:
+                if e not in self.known_edges:
+                    self.known_edges.add(e)
+                    new_edges.add(e)
+            for node, datum in msg[2]:
+                if node not in self.known_data:
+                    self.known_data[node] = datum
+                    new_data[node] = datum
+        if self.round_no >= self.k:
+            self.halted = True
+            return None
+        if not new_edges and not new_data:
+            return None
+        return ("info", tuple(sorted(new_edges)), tuple(sorted(new_data.items())))
+
+    def output(self):
+        return (frozenset(self.known_edges), dict(self.known_data))
+
+
+def _ball_from_knowledge(
+    v: int, k: int, known_edges: frozenset, known_data: dict[int, Any]
+) -> BallInfo:
+    """Reconstruct N_k[v] from flooded knowledge (may exceed the ball)."""
+    adj: dict[int, list[int]] = {}
+    for a, b in known_edges:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, []).append(a)
+    dist = {v: 0}
+    frontier = [v]
+    d = 0
+    while frontier and d < k:
+        nxt = []
+        for x in frontier:
+            for y in adj.get(x, ()):
+                if y not in dist:
+                    dist[y] = d + 1
+                    nxt.append(y)
+        frontier = sorted(nxt)
+        d += 1
+    members = set(dist)
+    edges = tuple(
+        sorted((a, b) for a, b in known_edges if a in members and b in members)
+    )
+    return BallInfo(
+        center=v,
+        radius=k,
+        vertices=tuple(sorted(members)),
+        edges=edges,
+        data={u: known_data[u] for u in sorted(members)},
+    )
+
+
+def gather_balls(
+    g: Graph,
+    k: int,
+    node_data: Mapping[int, Any] | None = None,
+    mode: str = "oracle",
+) -> tuple[list[BallInfo], int]:
+    """All nodes' radius-k balls and the LOCAL round cost (= k)."""
+    if k < 0:
+        raise SimulationError("ball radius must be >= 0")
+    data = dict(node_data) if node_data is not None else {v: None for v in range(g.n)}
+    for v in range(g.n):
+        data.setdefault(v, None)
+    if mode == "oracle":
+        return [_oracle_ball(g, v, k, data) for v in range(g.n)], k
+    if mode != "messages":
+        raise SimulationError(f"unknown mode {mode!r}")
+    net = Network(
+        g, Model.LOCAL, lambda v: _GatherNode(k), advice={"node_data": data}
+    )
+    res = net.run()
+    balls = []
+    for v in range(g.n):
+        known_edges, known_data = res.outputs[v]
+        balls.append(_ball_from_knowledge(v, k, known_edges, known_data))
+    return balls, k
+
+
+def run_local_algorithm(
+    g: Graph,
+    k: int,
+    node_fn: Callable[[BallInfo], Any],
+    node_data: Mapping[int, Any] | None = None,
+    mode: str = "oracle",
+) -> tuple[dict[int, Any], int]:
+    """Gather radius-k balls, apply ``node_fn`` everywhere.
+
+    Returns ``(outputs, rounds)`` with ``rounds = k`` (the LOCAL cost of
+    the gather; any extra notification rounds are charged by callers).
+    """
+    balls, rounds = gather_balls(g, k, node_data, mode)
+    return {v: node_fn(balls[v]) for v in range(g.n)}, rounds

@@ -1,0 +1,86 @@
+"""Luby's randomized maximal independent set in CONGEST_BC.
+
+A classic distributed substrate (the paper's related work compares
+against MIS-based constructions [35, 49]): in each phase every live
+vertex draws a random priority, strict local minima join the MIS, and
+joined vertices knock out their neighbors.  O(log n) phases w.h.p.,
+two rounds per phase, one/two-word messages — broadcast-only, so it
+runs unchanged in CONGEST_BC.
+
+Liveness bookkeeping is implicit: live vertices broadcast a priority
+every phase, so "my live neighbors" is exactly "whoever sent me a
+priority this phase" — no departure announcements needed.
+
+Randomness is seeded per node (``seed + node id``) so runs are
+deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.model import Model
+from repro.distributed.network import Network, RunResult
+from repro.distributed.node import Inbox, NodeAlgorithm, NodeContext
+from repro.graphs.graph import Graph
+
+__all__ = ["LubyMISNode", "run_luby_mis"]
+
+
+class LubyMISNode(NodeAlgorithm):
+    """One vertex of Luby's algorithm (priority / decide alternation)."""
+
+    def __init__(self, seed: int) -> None:
+        super().__init__()
+        self.seed = seed
+        self.state = "live"  # live -> in_mis | out
+        self.expect = "priority"
+        self.rng: np.random.Generator | None = None
+        self.my_priority = 0.0
+
+    def on_start(self, ctx: NodeContext):
+        self.rng = np.random.default_rng(self.seed + ctx.node)
+        self.my_priority = float(self.rng.random())
+        return ("prio", self.my_priority)
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox):
+        assert self.rng is not None
+        if self.expect == "priority":
+            # Whoever sent a priority this phase is a live neighbor.
+            prios = {
+                src: msg[1]
+                for src, msg in inbox
+                if isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "prio"
+            }
+            self.expect = "decide"
+            lower = [
+                u for u, p in prios.items()
+                if (p, u) < (self.my_priority, ctx.node)
+            ]
+            if not lower:
+                self.state = "in_mis"
+                return ("joined",)
+            return None
+        # Decide round: a joined neighbor knocks us out.
+        joined = any(msg == ("joined",) for _src, msg in inbox)
+        self.expect = "priority"
+        if self.state == "in_mis":
+            self.halted = True
+            return None
+        if joined:
+            self.state = "out"
+            self.halted = True
+            return None
+        self.my_priority = float(self.rng.random())
+        return ("prio", self.my_priority)
+
+    def output(self) -> bool:
+        return self.state == "in_mis"
+
+
+def run_luby_mis(g: Graph, seed: int = 0, max_rounds: int = 10_000) -> tuple[list[int], RunResult]:
+    """Run Luby's MIS; returns the independent set and the traffic record."""
+    net = Network(g, Model.CONGEST_BC, lambda v: LubyMISNode(seed))
+    res = net.run(max_rounds=max_rounds)
+    mis = sorted(v for v in range(g.n) if res.outputs[v])
+    return mis, res

@@ -1,0 +1,159 @@
+"""Distributed computation of wcol-witnessing orders (Theorem 3).
+
+Theorem 3 (Nešetřil–Ossona de Mendez [46]) computes, in O(r^2 log n)
+CONGEST_BC rounds, an order of V(G) witnessing ``wcol_r(G) <= d(r)`` on
+any bounded expansion class.  The order is represented by a *class id*
+per vertex; (class id, vertex id) is the "super-id" inducing the total
+order.  Two constructions are provided:
+
+* :func:`distributed_h_partition_order` — **fully message-passing.**
+  One run of the Barenboim–Elkin H-partition; class id = (max_level -
+  level), i.e. vertices peeled early are L-greatest.  Under this order
+  every vertex has at most ``threshold`` L-smaller neighbors.  This is
+  the practical default: O(log n) rounds, and the downstream guarantees
+  are certified by the *measured* ``c = max |WReach_2r|`` (the paper's
+  proofs hold for any order, see DESIGN.md §1).
+
+* :func:`distributed_augmented_order` — **faithful to Theorem 3's
+  structure.**  Runs the transitive-fraternal augmentation of
+  [46]/Dvořák: H-partition-orient G, then for 2r-1 steps add
+  transitive/fraternal arcs and orient fresh edges by an H-partition of
+  the *augmentation graph*.  Message-passing is simulated for the base
+  H-partition; the augmentation phases are computed with their
+  communication *charged* according to the routing schedule of [46]
+  (each step-i phase costs `path-weight x H-partition-phases` rounds,
+  since virtual arcs of weight w are routed along length-w paths in G).
+  The returned round count is therefore an honest estimate with
+  measured constants, while the resulting order is exactly the
+  sequential fraternal-augmentation order.
+
+Both return an :class:`OrderComputation` carrying the order, per-node
+class ids, and the round/traffic accounting used by experiment T3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.beh_partition import run_h_partition
+from repro.graphs.graph import Graph
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.linear_order import LinearOrder
+
+__all__ = ["OrderComputation", "distributed_h_partition_order", "distributed_augmented_order"]
+
+
+@dataclass(frozen=True)
+class OrderComputation:
+    """A distributed order computation and its cost accounting."""
+
+    order: LinearOrder
+    class_ids: np.ndarray  # class id per vertex; sid = (class_id, vertex_id)
+    rounds: int
+    normalized_rounds: int
+    max_payload_words: int
+    total_words: int
+    mode: str
+
+    def super_ids(self) -> list[tuple[int, int]]:
+        """The (class_id, id) pairs that induce the order."""
+        return [(int(self.class_ids[v]), v) for v in range(len(self.class_ids))]
+
+
+def default_threshold(g: Graph) -> int:
+    """Class-constant advice: 2 * degeneracy (>= (2+eps) * arboricity).
+
+    The theory assumes nodes know a class constant; for concrete inputs
+    we hand them twice the degeneracy, which guarantees O(log n) peeling
+    phases.
+    """
+    _, d = degeneracy_order(g)
+    return max(1, 2 * d)
+
+
+def distributed_h_partition_order(
+    g: Graph, threshold: int | None = None
+) -> OrderComputation:
+    """Fully message-passing order: one H-partition run (see module doc)."""
+    if g.n == 0:
+        return OrderComputation(
+            LinearOrder.identity(0), np.zeros(0, dtype=np.int64), 0, 0, 0, 0, "h_partition"
+        )
+    thr = default_threshold(g) if threshold is None else int(threshold)
+    outs, res = run_h_partition(g, thr)
+    levels = np.asarray([o.level for o in outs], dtype=np.int64)
+    max_level = int(levels.max())
+    class_ids = max_level - levels  # early-peeled (low level) = L-greatest
+    order = LinearOrder.from_keys([(int(class_ids[v]), v) for v in range(g.n)])
+    return OrderComputation(
+        order=order,
+        class_ids=class_ids,
+        rounds=res.rounds,
+        normalized_rounds=res.normalized_rounds(1),
+        max_payload_words=res.max_payload_words,
+        total_words=res.total_words,
+        mode="h_partition",
+    )
+
+
+def distributed_augmented_order(
+    g: Graph, radius: int, threshold: int | None = None
+) -> OrderComputation:
+    """Theorem-3-structured order with charged augmentation phases."""
+    from repro.graphs.build import from_edges
+    from repro.orders.fraternal import _augment_once, orient_acyclic
+
+    if g.n == 0:
+        return OrderComputation(
+            LinearOrder.identity(0), np.zeros(0, dtype=np.int64), 0, 0, 0, 0, "augmented"
+        )
+    thr = default_threshold(g) if threshold is None else int(threshold)
+    # Base orientation: a real message-passing H-partition of G.
+    base = distributed_h_partition_order(g, thr)
+    rounds = base.rounds
+    norm_rounds = base.normalized_rounds
+    max_words = base.max_payload_words
+    total_words = base.total_words
+
+    arcs = [dict(row) for row in orient_acyclic(g, base.order)]
+    horizon = max(1, 2 * radius)
+    for step in range(2, horizon + 1):
+        arcs, created = _augment_once(g.n, arcs, horizon)
+        if created == 0:
+            break
+        # Fresh undirected augmentation graph at this step.
+        aug_edges = set()
+        for v in range(g.n):
+            for u in arcs[v]:
+                aug_edges.add((min(u, v), max(u, v)))
+        aug = from_edges(g.n, list(aug_edges))
+        # Charge: orienting the new edges takes an H-partition of the
+        # augmentation graph whose messages travel along underlying paths
+        # of length <= step; we run the H-partition for real (measuring
+        # its phase count) and multiply its rounds by the routing factor.
+        aug_thr = max(thr, default_threshold(aug))
+        _, aug_res = run_h_partition(aug, aug_thr)
+        rounds += aug_res.rounds * step
+        norm_rounds += aug_res.normalized_rounds(1) * step
+        max_words = max(max_words, aug_res.max_payload_words)
+        total_words += aug_res.total_words * step
+    # Final order: smallest-last on the augmented graph, expressed as
+    # class ids so it fits the super-id representation.
+    final_edges = set()
+    for v in range(g.n):
+        for u in arcs[v]:
+            final_edges.add((min(u, v), max(u, v)))
+    augmented = from_edges(g.n, list(final_edges))
+    order, _ = degeneracy_order(augmented)
+    class_ids = np.asarray(order.rank, dtype=np.int64)
+    return OrderComputation(
+        order=order,
+        class_ids=class_ids,
+        rounds=rounds,
+        normalized_rounds=norm_rounds,
+        max_payload_words=max_words,
+        total_words=total_words,
+        mode="augmented",
+    )

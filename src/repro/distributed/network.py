@@ -1,0 +1,186 @@
+"""Synchronous message-passing simulator.
+
+Executes one :class:`NodeAlgorithm` per vertex in lock-step rounds with
+deterministic delivery order, while recording the statistics the paper's
+claims are checked against: logical rounds, per-round maximum payload
+size (words), total traffic, and bandwidth-normalized rounds.
+
+Model enforcement:
+
+* CONGEST_BC — a node may return only a single payload per round (the
+  broadcast); returning a dict raises :class:`ModelViolation`.
+* CONGEST / LOCAL — a dict ``{neighbor: payload}`` addresses individual
+  neighbors (unknown neighbor ids raise), any other value broadcasts.
+* ``strict_bandwidth`` — optionally reject any payload larger than
+  ``words_per_round`` words instead of accounting it as pipelined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.distributed.model import Model, normalized_rounds, payload_words
+from repro.distributed.node import NodeAlgorithm, NodeContext
+from repro.errors import ModelViolation, SimulationError
+from repro.graphs.graph import Graph
+
+__all__ = ["Network", "RunResult", "RoundStats"]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Traffic measurements for one logical round."""
+
+    round_index: int
+    messages: int
+    total_words: int
+    max_payload_words: int
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation run."""
+
+    model: Model
+    rounds: int
+    round_stats: list[RoundStats]
+    outputs: dict[int, Any]
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages for s in self.round_stats)
+
+    @property
+    def total_words(self) -> int:
+        return sum(s.total_words for s in self.round_stats)
+
+    @property
+    def max_payload_words(self) -> int:
+        return max((s.max_payload_words for s in self.round_stats), default=0)
+
+    def normalized_rounds(self, words_per_round: int = 1) -> int:
+        """Rounds after pipelining payloads at the given bandwidth."""
+        return normalized_rounds(
+            [s.max_payload_words for s in self.round_stats], words_per_round
+        )
+
+
+class Network:
+    """A synchronous network executing one algorithm instance per vertex."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        model: Model,
+        factory: Callable[[int], NodeAlgorithm],
+        advice: Mapping[str, Any] | None = None,
+        words_per_round: int = 1,
+        strict_bandwidth: bool = False,
+    ):
+        self.graph = graph
+        self.model = model
+        self.words_per_round = int(words_per_round)
+        self.strict_bandwidth = bool(strict_bandwidth)
+        adv = dict(advice or {})
+        self.contexts = [
+            NodeContext(
+                node=v,
+                neighbors=tuple(int(u) for u in graph.neighbors(v)),
+                n=graph.n,
+                advice=adv,
+            )
+            for v in range(graph.n)
+        ]
+        self.nodes = [factory(v) for v in range(graph.n)]
+
+    # ------------------------------------------------------------------
+    def _collect(self, v: int, outgoing: Any) -> list[tuple[int, int, Any]]:
+        """Normalize a node's return value into (src, dst, payload) triples."""
+        if outgoing is None:
+            return []
+        ctx = self.contexts[v]
+        if isinstance(outgoing, dict):
+            if self.model.broadcast_only:
+                raise ModelViolation(
+                    f"node {v}: point-to-point messages not allowed in CONGEST_BC"
+                )
+            triples = []
+            nbrs = set(ctx.neighbors)
+            for dst, payload in outgoing.items():
+                if dst not in nbrs:
+                    raise ModelViolation(f"node {v}: {dst} is not a neighbor")
+                triples.append((v, int(dst), payload))
+            return triples
+        # Broadcast: same payload on every incident edge.
+        return [(v, u, outgoing) for u in ctx.neighbors]
+
+    def run(self, max_rounds: int = 10_000) -> RunResult:
+        """Run to global halt (or raise after ``max_rounds``)."""
+        stats: list[RoundStats] = []
+        # Round 0: on_start.
+        pending: list[tuple[int, int, Any]] = []
+        for v in range(self.graph.n):
+            if not self.nodes[v].halted:
+                pending.extend(self._collect(v, self.nodes[v].on_start(self.contexts[v])))
+        rounds = 0
+        if pending:
+            stats.append(self._account(0, pending))
+        # Rounds with no traffic and no halts are tolerated briefly (phase-
+        # counting algorithms wait silently), but a long quiet stretch with
+        # unhalted nodes is a deadlock.
+        quiet_grace = max(64, 4 * self.graph.n)
+        quiet = 0
+        while True:
+            all_halted = all(node.halted for node in self.nodes)
+            if all_halted and not pending:
+                break
+            if rounds >= max_rounds:
+                raise SimulationError(f"no global halt within {max_rounds} rounds")
+            rounds += 1
+            inboxes: dict[int, list[tuple[int, Any]]] = {}
+            for src, dst, payload in pending:
+                inboxes.setdefault(dst, []).append((src, payload))
+            pending = []
+            progressed = False
+            for v in range(self.graph.n):
+                node = self.nodes[v]
+                if node.halted:
+                    # Halted nodes drop incoming messages silently.
+                    continue
+                inbox = sorted(inboxes.get(v, []), key=lambda t: t[0])
+                out = node.on_round(self.contexts[v], inbox)
+                msgs = self._collect(v, out)
+                if msgs or inbox or node.halted:
+                    progressed = True
+                pending.extend(msgs)
+            if pending:
+                stats.append(self._account(rounds, pending))
+            quiet = 0 if (progressed or pending) else quiet + 1
+            if quiet > quiet_grace:
+                stuck = [v for v in range(self.graph.n) if not self.nodes[v].halted]
+                raise SimulationError(f"deadlock: nodes {stuck[:5]} never halt")
+        outputs = {v: self.nodes[v].output() for v in range(self.graph.n)}
+        return RunResult(self.model, rounds, stats, outputs)
+
+    def _account(self, round_index: int, msgs: Sequence[tuple[int, int, Any]]) -> RoundStats:
+        total = 0
+        biggest = 0
+        seen_payload_per_src: dict[int, int] = {}
+        for src, _dst, payload in msgs:
+            w = payload_words(payload)
+            total += w
+            biggest = max(biggest, w)
+            if self.strict_bandwidth and self.model.bounded_bandwidth:
+                if w > self.words_per_round:
+                    raise ModelViolation(
+                        f"round {round_index}: payload of {w} words exceeds "
+                        f"bandwidth {self.words_per_round}"
+                    )
+            seen_payload_per_src[src] = w
+        return RoundStats(
+            round_index=round_index,
+            messages=len(msgs),
+            total_words=total,
+            max_payload_words=biggest,
+        )

@@ -1,0 +1,69 @@
+"""Node-algorithm API for the synchronous simulator.
+
+A distributed algorithm is a subclass of :class:`NodeAlgorithm`; one
+instance runs at every vertex.  The contract mirrors the paper's model:
+
+* ``on_start(ctx)`` — round 0, before any message: return the first
+  outgoing message(s) or ``None``.
+* ``on_round(ctx, inbox)`` — called each subsequent round with all
+  messages received (list of ``(sender, payload)``); returns outgoing
+  message(s) or ``None``.
+* a node signals local termination by setting ``self.halted = True``;
+  the network stops when every node has halted and no message is in
+  flight.
+* ``output()`` — the node's final local output (must be valid once
+  halted), e.g. ``{"in_domset": True}``.
+
+Outgoing message shape by model:
+
+* CONGEST_BC: a single payload (broadcast to all neighbors);
+* CONGEST / LOCAL: either a dict ``{neighbor_id: payload}`` for
+  point-to-point or a single payload meaning broadcast.
+
+What a node knows a priori (matching Section 2): its own id, its
+neighbors' ids (ports with ids), ``n``, and any *advice* constants of
+the graph class (e.g. a degeneracy bound) passed through the context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["NodeContext", "NodeAlgorithm", "Inbox"]
+
+Inbox = list  # list[tuple[int, Any]]
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """Immutable per-node knowledge provided by the runtime."""
+
+    node: int
+    neighbors: tuple[int, ...]
+    n: int
+    advice: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+
+class NodeAlgorithm:
+    """Base class for per-node algorithms (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.halted = False
+
+    # -- protocol ---------------------------------------------------------
+    def on_start(self, ctx: NodeContext) -> Any:
+        """Round-0 hook; default sends nothing."""
+        return None
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox) -> Any:
+        """Per-round hook; must be overridden."""
+        raise NotImplementedError
+
+    def output(self) -> Any:
+        """Local output after halting; default None."""
+        return None

@@ -1,0 +1,236 @@
+"""Single-execution CONGEST_BC pipeline (Theorems 9/10 as ONE protocol).
+
+The phased runners (:mod:`repro.distributed.domset_bc`,
+:mod:`repro.distributed.connect_bc`) execute order / WReach / election /
+join as separate simulator runs, passing outputs through advice.  A real
+network runs them as one continuous protocol; phase changes cannot be
+globally coordinated except by *fixed round budgets* derived from known
+quantities — exactly how the paper's O(r^2 log n) schedule composes.
+
+This module implements that: a single :class:`UnifiedNode` whose local
+clock drives the phase machine
+
+* rounds ``[0, R1]``            — Barenboim–Elkin H-partition
+  (budget ``R1 = 2 * (2 ceil(log2 n) + 8)``, ample for threshold
+  >= 2 * degeneracy; a node finishing early idles),
+* rounds ``(R1, R1 + H]``       — Algorithm 4 with horizon ``H``
+  (= 2r, or 2r+1 when connecting), super-id ``(-level, id)``,
+* rounds ``(R1+H, R1+H+r]``     — election token routing,
+* rounds ``(R1+H+r, R1+H+3r+1]``— join-token routing (connect only).
+
+Every node halts at the same predetermined round, and the *outputs are
+bit-identical* to the phased pipeline run with the same threshold — a
+test invariant.  Total logical rounds: O(log n + r), messages as in
+Lemma 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.beh_partition import HPartitionNode
+from repro.distributed.model import Model
+from repro.distributed.network import Network
+from repro.distributed.node import Inbox, NodeAlgorithm, NodeContext
+from repro.distributed.wreach_bc import WReachNode
+from repro.errors import SimulationError
+from repro.graphs.graph import Graph
+
+__all__ = ["UnifiedNode", "UnifiedResult", "run_unified_bc", "order_budget"]
+
+
+def order_budget(n: int) -> int:
+    """Fixed round budget for the H-partition phase (known from n)."""
+    if n <= 1:
+        return 2
+    return 2 * (2 * math.ceil(math.log2(n)) + 8)
+
+
+class UnifiedNode(NodeAlgorithm):
+    """The whole Theorem 9/10 pipeline as one per-node protocol."""
+
+    def __init__(self, radius: int, connect: bool) -> None:
+        super().__init__()
+        if radius < 1:
+            raise SimulationError("unified pipeline needs radius >= 1")
+        self.radius = radius
+        self.connect = connect
+        self.t = 0
+        self.hp = HPartitionNode()
+        self.wreach: WReachNode | None = None
+        self.in_domset = False
+        self.dominator = -1
+        self.in_dprime = False
+
+    # -- phase boundaries --------------------------------------------------
+    def _r1(self, ctx: NodeContext) -> int:
+        return order_budget(ctx.n)
+
+    def _horizon(self) -> int:
+        return 2 * self.radius + (1 if self.connect else 0)
+
+    def on_start(self, ctx: NodeContext):
+        return self.hp.on_start(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox):
+        self.t += 1
+        r1 = self._r1(ctx)
+        horizon = self._horizon()
+        t_wreach_end = r1 + horizon
+        t_elect_end = t_wreach_end + self.radius
+        t_join_end = t_elect_end + 2 * self.radius + 1
+
+        if self.t < r1:
+            if self.hp.halted:
+                return None
+            return self.hp.on_round(ctx, inbox)
+        if self.t == r1:
+            # Consume the final order-phase inbox, then open Algorithm 4.
+            if not self.hp.halted:
+                leftover = self.hp.on_round(ctx, inbox)
+                if not self.hp.halted or leftover is not None:
+                    raise SimulationError(
+                        "order phase exceeded its round budget; "
+                        "raise the threshold or the budget"
+                    )
+            sid = (-self.hp.level, ctx.node)
+            self.wreach = WReachNode(horizon, sid=sid)
+            return self.wreach.on_start(ctx)
+        if self.t < t_wreach_end:
+            assert self.wreach is not None
+            return self.wreach.on_round(ctx, inbox)
+        if self.t == t_wreach_end:
+            # Final WReach inbox, then elect min WReach_r.
+            assert self.wreach is not None
+            self.wreach.on_round(ctx, inbox)
+            me = self.wreach.sid
+            assert me is not None
+            best_sid = me
+            best_path: tuple | None = None
+            for src, path in self.wreach.best.items():
+                if len(path) - 1 <= self.radius and path[0] < best_sid:
+                    best_sid = path[0]
+                    best_path = path
+            self.dominator = int(best_sid[1])
+            if self.dominator == ctx.node:
+                self.in_domset = True
+                return None
+            assert best_path is not None
+            token = tuple(s[1] for s in best_path[:-1])
+            return ("elect", (token,))
+        if self.t <= t_elect_end:
+            out = self._route(ctx, inbox, "elect")
+            if self.t == t_elect_end:
+                # Election settled; dominators pull in their paths.
+                if self.in_domset:
+                    self.in_dprime = True
+                if not self.connect:
+                    self.halted = True
+                    return None
+                if self.in_domset:
+                    assert self.wreach is not None
+                    joins = tuple(
+                        sorted(
+                            tuple(s[1] for s in path[:-1])
+                            for path in self.wreach.best.values()
+                        )
+                    )
+                    return ("join", joins) if joins else None
+                return None
+            return out
+        # Join routing until the fixed final round.
+        out = self._route(ctx, inbox, "join")
+        if self.t >= t_join_end:
+            self.halted = True
+            return None
+        return out
+
+    def _route(self, ctx: NodeContext, inbox: Inbox, kind: str):
+        """Shared token-forwarding step for elect/join messages."""
+        forward: list[tuple[int, ...]] = []
+        for _src, msg in inbox:
+            if not (isinstance(msg, tuple) and len(msg) == 2 and msg[0] == kind):
+                continue
+            for token in msg[1]:
+                if token[-1] != ctx.node:
+                    continue
+                if kind == "elect":
+                    if len(token) == 1:
+                        self.in_domset = True
+                        continue
+                else:
+                    self.in_dprime = True
+                if len(token) > 1:
+                    forward.append(token[:-1])
+                elif kind == "join":
+                    continue
+        if not forward:
+            return None
+        return (kind, tuple(sorted(set(forward))))
+
+    def output(self) -> dict:
+        return {
+            "level": self.hp.level,
+            "in_domset": self.in_domset,
+            "dominator": self.dominator,
+            "in_dprime": self.in_dprime or (self.in_domset and not self.connect),
+        }
+
+
+@dataclass(frozen=True)
+class UnifiedResult:
+    """Outputs plus the (deterministic) schedule of the unified run."""
+
+    dominators: tuple[int, ...]
+    connected_set: tuple[int, ...]
+    dominator_of: np.ndarray
+    levels: np.ndarray
+    radius: int
+    connect: bool
+    rounds: int
+    max_payload_words: int
+    total_words: int
+
+    @property
+    def size(self) -> int:
+        return len(self.dominators)
+
+
+def run_unified_bc(
+    g: Graph,
+    radius: int,
+    connect: bool = False,
+    threshold: int | None = None,
+    max_rounds: int = 100_000,
+) -> UnifiedResult:
+    """Run the single-execution pipeline on a graph."""
+    from repro.distributed.nd_order import default_threshold
+
+    thr = default_threshold(g) if threshold is None else int(threshold)
+    net = Network(
+        g,
+        Model.CONGEST_BC,
+        lambda v: UnifiedNode(radius, connect),
+        advice={"threshold": thr},
+    )
+    res = net.run(max_rounds=max_rounds)
+    dominators = tuple(sorted(v for v in range(g.n) if res.outputs[v]["in_domset"]))
+    dprime = tuple(sorted(v for v in range(g.n) if res.outputs[v]["in_dprime"]))
+    dominator_of = np.asarray(
+        [res.outputs[v]["dominator"] for v in range(g.n)], dtype=np.int64
+    )
+    levels = np.asarray([res.outputs[v]["level"] for v in range(g.n)], dtype=np.int64)
+    return UnifiedResult(
+        dominators=dominators,
+        connected_set=dprime if connect else dominators,
+        dominator_of=dominator_of,
+        levels=levels,
+        radius=radius,
+        connect=connect,
+        rounds=res.rounds,
+        max_payload_words=res.max_payload_words,
+        total_words=res.total_words,
+    )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for :mod:`repro`.
+
+A small, explicit hierarchy so that callers can distinguish user errors
+(bad input graphs or parameters) from violations of the distributed-model
+contract (which indicate an algorithm bug, not a user bug).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (bad edges, out-of-range ids)."""
+
+
+class OrderError(ReproError):
+    """Raised for malformed linear orders (not a permutation, wrong size)."""
+
+
+class ModelViolation(ReproError):
+    """Raised when a node algorithm violates its communication model.
+
+    Examples: sending more than one payload per round in CONGEST_BC, or
+    exceeding the per-round bandwidth in strict mode.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot make progress (e.g. round limit)."""
+
+
+class SolverError(ReproError):
+    """Raised when an exact/LP solver fails or is given an oversized input."""

@@ -1,0 +1,41 @@
+"""Graph substrate: CSR graphs, traversal, generators, diagnostics."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.build import (
+    from_edges,
+    from_adjacency,
+    from_networkx,
+    to_networkx,
+)
+from repro.graphs.traversal import (
+    bfs_distances,
+    bfs_tree,
+    multi_source_distances,
+    ball,
+    closed_neighborhood,
+    eccentricity,
+    graph_radius,
+    shortest_path,
+    induced_radius,
+)
+from repro.graphs.components import connected_components, is_connected, largest_component
+
+__all__ = [
+    "Graph",
+    "from_edges",
+    "from_adjacency",
+    "from_networkx",
+    "to_networkx",
+    "bfs_distances",
+    "bfs_tree",
+    "multi_source_distances",
+    "ball",
+    "closed_neighborhood",
+    "eccentricity",
+    "graph_radius",
+    "shortest_path",
+    "induced_radius",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+]

@@ -1,0 +1,97 @@
+"""Constructors for :class:`repro.graphs.graph.Graph`.
+
+All constructors normalize input (deduplicate edges, drop self-loops is an
+error, sort adjacency) and produce the canonical CSR representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = ["from_edges", "from_adjacency", "from_networkx", "to_networkx", "empty_graph"]
+
+
+def empty_graph(n: int) -> Graph:
+    """Graph with ``n`` vertices and no edges."""
+    if n < 0:
+        raise GraphError("n must be >= 0")
+    return Graph(
+        np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int32), _checked=True
+    )
+
+
+def from_edges(n: int, edges: Iterable[tuple[int, int]] | np.ndarray) -> Graph:
+    """Build a graph on ``n`` vertices from an edge iterable.
+
+    Duplicate edges are merged; self-loops raise :class:`GraphError`.
+    """
+    arr = np.asarray(
+        list(edges) if not isinstance(edges, np.ndarray) else edges, dtype=np.int64
+    )
+    if arr.size == 0:
+        return empty_graph(n)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphError("edges must be pairs")
+    if arr.min() < 0 or arr.max() >= n:
+        raise GraphError("edge endpoint out of range")
+    if np.any(arr[:, 0] == arr[:, 1]):
+        raise GraphError("self-loops are not allowed")
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    key = lo * np.int64(n) + hi
+    _, first = np.unique(key, return_index=True)
+    lo, hi = lo[first], hi[first]
+    # Symmetrize, then bucket by source with a stable counting sort.
+    src = np.concatenate([lo, hi])
+    dst = np.concatenate([hi, lo])
+    order = np.argsort(src * np.int64(n) + dst, kind="stable")
+    src, dst = src[order], dst[order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return Graph(indptr, dst.astype(np.int32), _checked=True)
+
+
+def from_adjacency(adjacency: Sequence[Iterable[int]]) -> Graph:
+    """Build a graph from adjacency lists (must be symmetric)."""
+    n = len(adjacency)
+    edges = []
+    for u, row in enumerate(adjacency):
+        for v in row:
+            edges.append((u, int(v)))
+    g = from_edges(n, edges)
+    # Symmetry check: every directed entry must have appeared both ways.
+    total = sum(len(list(row)) for row in (list(r) for r in adjacency))
+    if total != 2 * g.m:
+        # Re-walk to produce a precise error.
+        seen = {(u, int(v)) for u, row in enumerate(adjacency) for v in row}
+        for u, v in seen:
+            if (v, u) not in seen:
+                raise GraphError(f"adjacency not symmetric: ({u},{v}) missing reverse")
+    return g
+
+
+def from_networkx(nxg) -> tuple[Graph, list]:
+    """Convert a networkx graph; returns ``(graph, node_list)``.
+
+    ``node_list[i]`` is the original networkx node for vertex ``i``.
+    """
+    nodes = list(nxg.nodes())
+    index = {u: i for i, u in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in nxg.edges() if u != v]
+    return from_edges(len(nodes), edges), nodes
+
+
+def to_networkx(g: Graph):
+    """Convert to a :class:`networkx.Graph` on nodes ``0..n-1``."""
+    import networkx as nx
+
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(g.n))
+    nxg.add_edges_from(g.edges())
+    return nxg

@@ -1,0 +1,45 @@
+"""Connected components on CSR graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import UNREACHED, bfs_distances
+
+__all__ = ["connected_components", "is_connected", "largest_component", "component_count"]
+
+
+def connected_components(g: Graph) -> np.ndarray:
+    """Component label per vertex (labels are 0,1,... in first-seen order)."""
+    label = np.full(g.n, -1, dtype=np.int64)
+    cur = 0
+    for s in range(g.n):
+        if label[s] != -1:
+            continue
+        dist = bfs_distances(g, s)
+        label[dist != UNREACHED] = cur
+        cur += 1
+    return label
+
+
+def component_count(g: Graph) -> int:
+    """Number of connected components (0 for the empty graph)."""
+    if g.n == 0:
+        return 0
+    return int(connected_components(g).max()) + 1
+
+
+def is_connected(g: Graph) -> bool:
+    """True iff the graph has exactly one component (empty graph: True)."""
+    return component_count(g) <= 1
+
+
+def largest_component(g: Graph) -> tuple[Graph, np.ndarray]:
+    """Induced subgraph on the largest component; returns ``(H, mapping)``."""
+    if g.n == 0:
+        return g, np.empty(0, dtype=np.int64)
+    label = connected_components(g)
+    sizes = np.bincount(label)
+    keep = np.flatnonzero(label == int(sizes.argmax()))
+    return g.subgraph(keep)

@@ -1,0 +1,127 @@
+"""Bounded-expansion diagnostics.
+
+A class has bounded expansion iff depth-r minors have bounded average
+degree (equivalently: bounded ``wcol_r``, Theorem 1/Zhu).  Verifying
+bounded expansion exactly is not tractable, but two measurable proxies
+are standard and are what the experiments report:
+
+* degeneracy / arboricity (depth-0 expansion),
+* the *shallow-minor density estimate*: contract disjoint radius-r balls
+  around randomly chosen centers and measure the quotient's average
+  degree.  On a bounded expansion class this stays bounded as n grows;
+  on e.g. subdivided cliques it blows up once r reaches the subdivision
+  length — exactly the separation the definition describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.operations import contract_partition
+
+__all__ = [
+    "degeneracy",
+    "degeneracy_orientation_bound",
+    "arboricity_lower_bound",
+    "shallow_minor_density",
+    "is_valid_minor_model",
+]
+
+
+def degeneracy(g: Graph) -> int:
+    """Exact degeneracy via smallest-last peeling (linear time)."""
+    from repro.orders.degeneracy import degeneracy_order
+
+    _, degen = degeneracy_order(g)
+    return degen
+
+
+def degeneracy_orientation_bound(g: Graph) -> int:
+    """Upper bound on arboricity: degeneracy (every d-degenerate graph has arboricity <= d)."""
+    return max(1, degeneracy(g)) if g.m else 0
+
+
+def arboricity_lower_bound(g: Graph) -> float:
+    """Nash-Williams style lower bound ``m / (n - 1)`` on arboricity."""
+    if g.n <= 1:
+        return 0.0
+    return g.m / (g.n - 1)
+
+
+def _greedy_ball_partition(g: Graph, radius: int, seed: int) -> np.ndarray:
+    """Partition V into branch sets of radius <= ``radius``.
+
+    Greedy: repeatedly pick an unassigned center (random order), grab its
+    unassigned r-ball as one branch set.  Leftover singletons form their
+    own sets.  Every class induces a connected subgraph of radius <= r,
+    hence the quotient is a depth-r minor.
+    """
+    rng = np.random.default_rng(seed)
+    labels = np.full(g.n, -1, dtype=np.int64)
+    order = rng.permutation(g.n)
+    cur = 0
+    for c in order:
+        if labels[c] != -1:
+            continue
+        # Truncated BFS from c restricted to unassigned vertices.
+        labels[c] = cur
+        frontier = [int(c)]
+        d = 0
+        while frontier and d < radius:
+            nxt = []
+            for v in frontier:
+                for u in g.neighbors(v):
+                    u = int(u)
+                    if labels[u] == -1:
+                        labels[u] = cur
+                        nxt.append(u)
+            frontier = nxt
+            d += 1
+        cur += 1
+    return labels
+
+
+def shallow_minor_density(g: Graph, radius: int, trials: int = 3, seed: int = 0) -> float:
+    """Estimated max average degree over sampled depth-``radius`` minors.
+
+    This is a *lower* bound on the true grad (greatest reduced average
+    density): the true supremum ranges over all depth-r minor models; we
+    sample ball partitions.  On bounded expansion inputs the estimate
+    stays flat as n grows (experiment T7 companion).
+    """
+    if radius < 0:
+        raise GraphError("radius must be >= 0")
+    if g.n == 0:
+        return 0.0
+    best = g.average_degree()
+    for t in range(trials):
+        labels = _greedy_ball_partition(g, radius, seed + t)
+        minor = contract_partition(g, labels)
+        best = max(best, minor.average_degree())
+    return best
+
+
+def is_valid_minor_model(g: Graph, labels: np.ndarray, radius: int | None = None) -> bool:
+    """Check that each label class induces a connected subgraph (and radius).
+
+    ``labels`` may contain -1 for vertices not in any branch set.
+    """
+    lab = np.asarray(labels, dtype=np.int64)
+    if lab.shape != (g.n,):
+        raise GraphError("labels must have one entry per vertex")
+    classes = [int(c) for c in np.unique(lab) if c >= 0]
+    for c in classes:
+        members = np.flatnonzero(lab == c)
+        sub, _ = g.subgraph(members)
+        from repro.graphs.components import is_connected
+
+        if not is_connected(sub):
+            return False
+        if radius is not None and sub.n:
+            from repro.graphs.traversal import graph_radius
+
+            if graph_radius(sub) > radius:
+                return False
+    return True

@@ -1,0 +1,249 @@
+"""Deterministic graph families with bounded expansion.
+
+Every generator here produces a family that (provably or by construction)
+has bounded expansion; planarity is noted per generator.  These are the
+workloads behind the T1–T8 experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.build import from_edges
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "grid_2d",
+    "torus_2d",
+    "triangular_grid",
+    "king_graph",
+    "hex_grid",
+    "balanced_tree",
+    "caterpillar",
+    "k_tree",
+    "maximal_outerplanar",
+    "subdivide",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """Path on ``n`` vertices (planar, degeneracy 1)."""
+    return from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices (planar, degeneracy 2)."""
+    if n < 3:
+        raise GraphError("cycle needs n >= 3")
+    return from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star_graph(n: int) -> Graph:
+    """Star with one center and ``n - 1`` leaves."""
+    if n < 1:
+        raise GraphError("star needs n >= 1")
+    return from_edges(n, [(0, i) for i in range(1, n)])
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n — *not* bounded expansion as a family; used as a stress/negative case."""
+    return from_edges(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """K_{a,b} on vertices 0..a-1 and a..a+b-1."""
+    return from_edges(a + b, [(i, a + j) for i in range(a) for j in range(b)])
+
+
+def _grid_id(rows: int, cols: int):
+    def vid(i: int, j: int) -> int:
+        return i * cols + j
+
+    return vid
+
+
+def grid_2d(rows: int, cols: int) -> Graph:
+    """rows x cols king-free grid (planar, max degree 4)."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid needs positive dimensions")
+    vid = _grid_id(rows, cols)
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            if j + 1 < cols:
+                edges.append((vid(i, j), vid(i, j + 1)))
+            if i + 1 < rows:
+                edges.append((vid(i, j), vid(i + 1, j)))
+    return from_edges(rows * cols, edges)
+
+
+def torus_2d(rows: int, cols: int) -> Graph:
+    """Toroidal grid (bounded expansion, NOT planar for rows,cols >= 3)."""
+    if rows < 3 or cols < 3:
+        raise GraphError("torus needs rows, cols >= 3")
+    vid = _grid_id(rows, cols)
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            edges.append((vid(i, j), vid(i, (j + 1) % cols)))
+            edges.append((vid(i, j), vid((i + 1) % rows, j)))
+    return from_edges(rows * cols, edges)
+
+
+def triangular_grid(rows: int, cols: int) -> Graph:
+    """Grid plus one diagonal per cell (planar triangulated grid, max degree 6)."""
+    vid = _grid_id(rows, cols)
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            if j + 1 < cols:
+                edges.append((vid(i, j), vid(i, j + 1)))
+            if i + 1 < rows:
+                edges.append((vid(i, j), vid(i + 1, j)))
+            if i + 1 < rows and j + 1 < cols:
+                edges.append((vid(i, j), vid(i + 1, j + 1)))
+    return from_edges(rows * cols, edges)
+
+
+def king_graph(rows: int, cols: int) -> Graph:
+    """King-move grid (bounded expansion geometric family, NOT planar)."""
+    vid = _grid_id(rows, cols)
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            for di, dj in ((0, 1), (1, 0), (1, 1), (1, -1)):
+                a, b = i + di, j + dj
+                if 0 <= a < rows and 0 <= b < cols:
+                    edges.append((vid(i, j), vid(a, b)))
+    return from_edges(rows * cols, edges)
+
+
+def hex_grid(rows: int, cols: int) -> Graph:
+    """Hexagonal (brick-wall) lattice patch (planar, max degree 3)."""
+    vid = _grid_id(rows, cols)
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            if j + 1 < cols:
+                edges.append((vid(i, j), vid(i, j + 1)))
+            # vertical edges only where (i + j) is even -> degree <= 3
+            if i + 1 < rows and (i + j) % 2 == 0:
+                edges.append((vid(i, j), vid(i + 1, j)))
+    return from_edges(rows * cols, edges)
+
+
+def balanced_tree(branching: int, height: int) -> Graph:
+    """Complete ``branching``-ary tree of the given height (planar)."""
+    if branching < 1 or height < 0:
+        raise GraphError("branching >= 1 and height >= 0 required")
+    edges = []
+    total = 1
+    level = [0]
+    next_id = 1
+    for _ in range(height):
+        nxt = []
+        for p in level:
+            for _ in range(branching):
+                edges.append((p, next_id))
+                nxt.append(next_id)
+                next_id += 1
+        level = nxt
+        total = next_id
+    return from_edges(total, edges)
+
+
+def caterpillar(spine: int, legs: int) -> Graph:
+    """Path of length ``spine`` with ``legs`` pendant leaves per spine vertex."""
+    if spine < 1 or legs < 0:
+        raise GraphError("spine >= 1 and legs >= 0 required")
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    nid = spine
+    for i in range(spine):
+        for _ in range(legs):
+            edges.append((i, nid))
+            nid += 1
+    return from_edges(nid, edges)
+
+
+def k_tree(n: int, k: int, seed: int = 0) -> Graph:
+    """Random k-tree on ``n`` vertices (treewidth exactly k, bounded expansion).
+
+    Starts from K_{k+1}; each new vertex attaches to a random existing
+    k-clique.  Deterministic given ``seed``.
+    """
+    if n < k + 1:
+        raise GraphError("k-tree needs n >= k + 1")
+    rng = np.random.default_rng(seed)
+    cliques = [tuple(range(k + 1))] if k >= 0 else []
+    edges = [(i, j) for i in range(k + 1) for j in range(i + 1, k + 1)]
+    # Track all k-subsets of the initial clique as attachable faces.
+    faces: list[tuple[int, ...]] = []
+    base = tuple(range(k + 1))
+    for skip in range(k + 1):
+        faces.append(tuple(x for x in base if x != base[skip]))
+    for v in range(k + 1, n):
+        face = faces[int(rng.integers(len(faces)))]
+        for u in face:
+            edges.append((u, v))
+        for skip in range(k):
+            new_face = tuple(x for x in face if x != face[skip]) + (v,)
+            faces.append(new_face)
+        faces.append(face)  # face stays attachable
+        cliques.append(face + (v,))
+    return from_edges(n, edges)
+
+
+def maximal_outerplanar(n: int, seed: int = 0) -> Graph:
+    """Maximal outerplanar graph: cycle 0..n-1 plus a random fan triangulation.
+
+    Outerplanar graphs are planar with treewidth <= 2.
+    """
+    if n < 3:
+        raise GraphError("outerplanar triangulation needs n >= 3")
+    rng = np.random.default_rng(seed)
+    edges = [(i, (i + 1) % n) for i in range(n)]
+
+    def triangulate(lo: int, hi: int) -> None:
+        # Triangulate the polygon arc lo..hi (indices along the outer cycle)
+        # by picking a random ear apex and recursing on both sides.
+        if hi - lo < 2:
+            return
+        mid = int(rng.integers(lo + 1, hi))
+        if mid - lo >= 2:
+            edges.append((lo, mid))
+        if hi - mid >= 2:
+            edges.append((mid, hi))
+        triangulate(lo, mid)
+        triangulate(mid, hi)
+
+    triangulate(0, n - 1)
+    return from_edges(n, edges)
+
+
+def subdivide(g: Graph, times: int = 1) -> Graph:
+    """Replace each edge by a path with ``times`` internal vertices.
+
+    The ``times``-subdivision is the operation in the definition of
+    bounded expansion: a class has bounded expansion iff graphs whose
+    r-subdivisions appear in the class have bounded average degree.
+    """
+    if times < 0:
+        raise GraphError("times must be >= 0")
+    if times == 0:
+        return g
+    edges = []
+    next_id = g.n
+    for u, v in g.edges():
+        prev = u
+        for _ in range(times):
+            edges.append((prev, next_id))
+            prev = next_id
+            next_id += 1
+        edges.append((prev, v))
+    return from_edges(next_id, edges)

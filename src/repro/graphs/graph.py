@@ -1,0 +1,189 @@
+"""Immutable undirected simple graphs in CSR (compressed sparse row) form.
+
+The CSR layout stores all adjacency lists in one contiguous ``indices``
+array with an ``indptr`` offset array, the same layout scipy.sparse uses.
+This keeps the hot loops (BFS sweeps, WReach computations) cache friendly
+and lets most bulk operations run as numpy array expressions instead of
+per-node Python objects.
+
+Vertices are the integers ``0 .. n-1``.  Neighbor lists are sorted by
+vertex id, which makes ``has_edge`` a binary search and gives every
+algorithm a deterministic iteration order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable undirected simple graph.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; neighbors of ``v`` are
+        ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int32`` array of length ``2m`` holding all adjacency lists,
+        each sorted ascending.
+
+    Use :func:`repro.graphs.build.from_edges` (or the other constructors
+    in :mod:`repro.graphs.build`) rather than calling this directly.
+    """
+
+    __slots__ = ("indptr", "indices", "n", "m")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, _checked: bool = False):
+        self.indptr = indptr
+        self.indices = indices
+        self.n = int(len(indptr) - 1)
+        self.m = int(len(indices) // 2)
+        if not _checked:
+            self._validate()
+        # CSR arrays are logically frozen after construction.
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise GraphError("indptr/indices must be 1-d arrays")
+        if self.n < 0:
+            raise GraphError("indptr must have length >= 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise GraphError("indptr endpoints inconsistent with indices")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be nondecreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.n
+        ):
+            raise GraphError("neighbor id out of range")
+        if len(self.indices) % 2 != 0:
+            raise GraphError("odd total adjacency length; graph not undirected")
+        for v in range(self.n):
+            row = self.indices[self.indptr[v] : self.indptr[v + 1]]
+            if np.any(np.diff(row) <= 0):
+                raise GraphError(f"adjacency of {v} not strictly sorted (dup or unsorted)")
+            if np.any(row == v):
+                raise GraphError(f"self-loop at {v}")
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor array of ``v`` (a read-only view, no copy)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Number of neighbors of ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all vertex degrees."""
+        return np.diff(self.indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge (binary search, O(log deg))."""
+        if u == v:
+            return False
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < len(row) and int(row[i]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate each undirected edge once as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, int(v))
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array with ``u < v`` per row."""
+        if self.m == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
+        dst = self.indices.astype(np.int64)
+        keep = src < dst
+        return np.stack([src[keep], dst[keep]], axis=1)
+
+    def max_degree(self) -> int:
+        """Maximum degree, 0 for the empty graph."""
+        return int(self.degrees().max()) if self.n else 0
+
+    def average_degree(self) -> float:
+        """``2m / n`` (0.0 for the empty graph)."""
+        return 2.0 * self.m / self.n if self.n else 0.0
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[int] | np.ndarray) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``nodes``.
+
+        Returns ``(H, mapping)`` where ``mapping[i]`` is the original id of
+        the subgraph vertex ``i``.  Node order is preserved ascending.
+        """
+        sel = np.unique(np.asarray(list(nodes), dtype=np.int64))
+        if len(sel) and (sel[0] < 0 or sel[-1] >= self.n):
+            raise GraphError("subgraph node out of range")
+        new_id = np.full(self.n, -1, dtype=np.int64)
+        new_id[sel] = np.arange(len(sel))
+        indptr = [0]
+        indices: list[np.ndarray] = []
+        for v in sel:
+            row = self.neighbors(int(v))
+            keep = row[new_id[row] >= 0]
+            indices.append(new_id[keep])
+            indptr.append(indptr[-1] + len(keep))
+        flat = (
+            np.concatenate(indices).astype(np.int32)
+            if indices
+            else np.empty(0, dtype=np.int32)
+        )
+        h = Graph(np.asarray(indptr, dtype=np.int64), flat, _checked=True)
+        return h, sel
+
+    def copy_with_edges_removed(self, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """New graph with the given undirected edges deleted."""
+        drop = {(min(u, v), max(u, v)) for u, v in edges}
+        kept = [e for e in self.edges() if e not in drop]
+        from repro.graphs.build import from_edges  # local import to avoid cycle
+
+        return from_edges(self.n, kept)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Graph(n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.m == other.m
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.m, self.indices.tobytes()))
+
+    def adjacency_lists(self) -> list[list[int]]:
+        """Plain Python adjacency lists (mainly for tests and debugging)."""
+        return [self.neighbors(v).tolist() for v in range(self.n)]
+
+    def degree_histogram(self) -> dict[int, int]:
+        """Map degree -> count of vertices with that degree."""
+        vals, counts = np.unique(self.degrees(), return_counts=True)
+        return {int(d): int(c) for d, c in zip(vals, counts)}

@@ -1,0 +1,56 @@
+"""Plain-text graph I/O.
+
+Format: optional comment lines (``#``), one header line ``n m``, then
+one ``u v`` pair per line.  Round-trips exactly through
+:func:`repro.graphs.build.from_edges` normalization.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from repro.errors import GraphError
+from repro.graphs.build import from_edges
+from repro.graphs.graph import Graph
+
+__all__ = ["write_edge_list", "read_edge_list", "loads", "dumps"]
+
+
+def dumps(g: Graph) -> str:
+    """Serialize a graph to the edge-list text format."""
+    lines = [f"{g.n} {g.m}"]
+    lines.extend(f"{u} {v}" for u, v in g.edges())
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Graph:
+    """Parse the edge-list text format."""
+    rows = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    if not rows:
+        raise GraphError("empty graph file")
+    head = rows[0].split()
+    if len(head) != 2:
+        raise GraphError("header must be 'n m'")
+    n, m = int(head[0]), int(head[1])
+    edges = []
+    for line in rows[1:]:
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(f"bad edge line: {line!r}")
+        edges.append((int(parts[0]), int(parts[1])))
+    if len(edges) != m:
+        raise GraphError(f"header says {m} edges, file has {len(edges)}")
+    return from_edges(n, edges)
+
+
+def write_edge_list(g: Graph, path: str | pathlib.Path) -> None:
+    """Write a graph to a file in the edge-list format."""
+    pathlib.Path(path).write_text(dumps(g))
+
+
+def read_edge_list(path: str | pathlib.Path) -> Graph:
+    """Read a graph from an edge-list file."""
+    return loads(pathlib.Path(path).read_text())

@@ -1,0 +1,75 @@
+"""Graph surgery: unions, relabelings, contractions.
+
+Contractions of connected vertex sets are how shallow (depth-r) minors are
+formed; they power the bounded-expansion diagnostics in
+:mod:`repro.graphs.expansion` and the minor construction of Lemma 15.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.build import from_edges
+from repro.graphs.graph import Graph
+
+__all__ = ["disjoint_union", "relabel", "contract_partition", "remove_vertices", "add_edges"]
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Graph:
+    """Disjoint union; vertex ids of graph ``i`` are shifted by the prefix sum."""
+    offset = 0
+    edges: list[tuple[int, int]] = []
+    for g in graphs:
+        edges.extend((u + offset, v + offset) for u, v in g.edges())
+        offset += g.n
+    return from_edges(offset, edges)
+
+
+def relabel(g: Graph, mapping: np.ndarray) -> Graph:
+    """Relabel vertices; ``mapping`` must be a permutation of ``0..n-1``."""
+    perm = np.asarray(mapping, dtype=np.int64)
+    if perm.shape != (g.n,) or not np.array_equal(np.sort(perm), np.arange(g.n)):
+        raise GraphError("mapping must be a permutation of 0..n-1")
+    return from_edges(g.n, [(int(perm[u]), int(perm[v])) for u, v in g.edges()])
+
+
+def contract_partition(g: Graph, labels: np.ndarray) -> Graph:
+    """Contract each label class to a single vertex (minor quotient graph).
+
+    ``labels[v]`` in ``0..k-1`` assigns each vertex to a branch set; the
+    result has ``k`` vertices and an edge between classes that are joined
+    by at least one original edge.  Self-loops (intra-class edges) vanish.
+    No connectivity check is performed here; callers building *minors*
+    should verify each class induces a connected subgraph
+    (see :func:`repro.graphs.expansion.is_valid_minor_model`).
+    """
+    lab = np.asarray(labels, dtype=np.int64)
+    if lab.shape != (g.n,):
+        raise GraphError("labels must have one entry per vertex")
+    if g.n == 0:
+        return from_edges(0, [])
+    k = int(lab.max()) + 1
+    if lab.min() < 0:
+        raise GraphError("labels must be nonnegative")
+    edges = set()
+    for u, v in g.edges():
+        a, b = int(lab[u]), int(lab[v])
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return from_edges(k, list(edges))
+
+
+def remove_vertices(g: Graph, drop: Iterable[int]) -> tuple[Graph, np.ndarray]:
+    """Delete vertices; returns ``(H, mapping)`` like :meth:`Graph.subgraph`."""
+    dropset = set(int(v) for v in drop)
+    keep = [v for v in range(g.n) if v not in dropset]
+    return g.subgraph(keep)
+
+
+def add_edges(g: Graph, new_edges: Iterable[tuple[int, int]]) -> Graph:
+    """Return ``g`` plus the given edges (duplicates are fine)."""
+    edges = list(g.edges()) + [(int(u), int(v)) for u, v in new_edges]
+    return from_edges(g.n, edges)

@@ -1,0 +1,166 @@
+"""Random graph models that a.a.s. have bounded expansion.
+
+The paper cites [19] (Demaine et al.): Chung–Lu and configuration-model
+graphs with suitable degree sequences have bounded expansion a.a.s.;
+random geometric graphs at bounded density and Delaunay triangulations
+are geometric bounded-expansion families [47, 27].  These models stand in
+for "real-world sparse network" workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.build import from_edges
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "random_tree",
+    "delaunay_graph",
+    "random_geometric",
+    "chung_lu",
+    "configuration_model",
+    "gnm_random",
+    "random_planar_subgraph",
+]
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Uniform random labelled tree via a random Prüfer-like attachment."""
+    if n < 1:
+        raise GraphError("tree needs n >= 1")
+    rng = np.random.default_rng(seed)
+    edges = [(int(rng.integers(v)), v) for v in range(1, n)]
+    return from_edges(n, edges)
+
+
+def _unique_points(rng: np.random.Generator, n: int) -> np.ndarray:
+    pts = rng.random((n, 2))
+    # scipy's Delaunay dislikes exact duplicates; nudge them deterministically.
+    _, first = np.unique(pts.round(12), axis=0, return_index=True)
+    while len(first) < n:  # pragma: no cover - probability ~0
+        pts = rng.random((n, 2))
+        _, first = np.unique(pts.round(12), axis=0, return_index=True)
+    return pts
+
+
+def delaunay_graph(n: int, seed: int = 0) -> tuple[Graph, np.ndarray]:
+    """Delaunay triangulation of ``n`` uniform random points (planar).
+
+    Returns ``(graph, points)``; points are useful for geometric examples.
+    """
+    if n < 3:
+        raise GraphError("Delaunay needs n >= 3")
+    from scipy.spatial import Delaunay
+
+    rng = np.random.default_rng(seed)
+    pts = _unique_points(rng, n)
+    tri = Delaunay(pts)
+    edges = set()
+    for simplex in tri.simplices:
+        a, b, c = (int(x) for x in simplex)
+        edges.update({(a, b), (b, c), (a, c)})
+    return from_edges(n, list(edges)), pts
+
+
+def random_geometric(n: int, radius: float | None = None, seed: int = 0) -> tuple[Graph, np.ndarray]:
+    """Random geometric (unit-disk style) graph at bounded expected density.
+
+    Default radius ``sqrt(2.0 / n)`` keeps expected average degree constant
+    (~2*pi), which is the bounded-expansion regime for geometric graphs.
+    """
+    if n < 1:
+        raise GraphError("geometric graph needs n >= 1")
+    from scipy.spatial import cKDTree
+
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    r = float(radius) if radius is not None else float(np.sqrt(2.0 / n))
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(r, output_type="ndarray")
+    return from_edges(n, pairs), pts
+
+
+def chung_lu(weights: np.ndarray, seed: int = 0) -> Graph:
+    """Chung–Lu model: edge {u,v} with prob min(1, w_u w_v / sum w).
+
+    With a bounded-ish weight sequence this family has bounded expansion
+    a.a.s. [19].  Implemented exactly (O(n^2) pair sweep) for n up to a few
+    thousand, which is all the benchmarks need.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or len(w) == 0 or np.any(w < 0):
+        raise GraphError("weights must be a nonnegative 1-d array")
+    n = len(w)
+    total = float(w.sum())
+    if total <= 0:
+        return from_edges(n, [])
+    rng = np.random.default_rng(seed)
+    # Vectorized upper-triangle Bernoulli draws, chunked by row.
+    edges = []
+    for u in range(n - 1):
+        p = np.minimum(1.0, w[u] * w[u + 1 :] / total)
+        hits = np.flatnonzero(rng.random(n - 1 - u) < p)
+        for h in hits:
+            edges.append((u, u + 1 + int(h)))
+    return from_edges(n, edges)
+
+
+def power_law_weights(n: int, exponent: float = 2.8, w_min: float = 1.0, w_max: float | None = None, seed: int = 0) -> np.ndarray:
+    """Discrete power-law weight sequence for :func:`chung_lu`."""
+    rng = np.random.default_rng(seed)
+    if w_max is None:
+        w_max = float(np.sqrt(n))
+    u = rng.random(n)
+    a = 1.0 - exponent
+    w = (w_min**a + u * (w_max**a - w_min**a)) ** (1.0 / a)
+    return w
+
+
+def configuration_model(degrees: np.ndarray, seed: int = 0) -> Graph:
+    """Configuration model (simple-graph projection: drop loops/multi-edges).
+
+    The degree sequence must have even sum.  The projection to a simple
+    graph is the standard practice and preserves bounded expansion a.a.s.
+    for bounded-degree-moment sequences [19, 41].
+    """
+    deg = np.asarray(degrees, dtype=np.int64)
+    if deg.ndim != 1 or np.any(deg < 0):
+        raise GraphError("degrees must be nonnegative")
+    if int(deg.sum()) % 2 != 0:
+        raise GraphError("degree sum must be even")
+    rng = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(len(deg)), deg)
+    rng.shuffle(stubs)
+    pairs = stubs.reshape(-1, 2)
+    keep = pairs[:, 0] != pairs[:, 1]
+    return from_edges(len(deg), pairs[keep])
+
+
+def gnm_random(n: int, m: int, seed: int = 0) -> Graph:
+    """G(n, m) uniform random graph — sparse regime only is bounded expansion-ish.
+
+    Used as a 'no structure' control workload.
+    """
+    if m < 0 or m > n * (n - 1) // 2:
+        raise GraphError("m out of range")
+    rng = np.random.default_rng(seed)
+    seen: set[tuple[int, int]] = set()
+    while len(seen) < m:
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u == v:
+            continue
+        seen.add((min(u, v), max(u, v)))
+    return from_edges(n, list(seen))
+
+
+def random_planar_subgraph(n: int, keep_fraction: float = 0.7, seed: int = 0) -> Graph:
+    """Random subgraph of a Delaunay triangulation (planar, irregular)."""
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise GraphError("keep_fraction must be in [0, 1]")
+    g, _ = delaunay_graph(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    edges = [e for e in g.edges() if rng.random() < keep_fraction]
+    return from_edges(n, edges)

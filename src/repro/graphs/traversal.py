@@ -1,0 +1,174 @@
+"""Breadth-first traversal primitives on CSR graphs.
+
+These are the hot paths of the whole library (every WReach computation,
+cover validation and dominating-set check reduces to truncated BFS), so
+they work on flat numpy arrays with a frontier loop instead of per-node
+Python containers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "UNREACHED",
+    "bfs_distances",
+    "bfs_tree",
+    "multi_source_distances",
+    "ball",
+    "closed_neighborhood",
+    "eccentricity",
+    "graph_radius",
+    "induced_radius",
+    "shortest_path",
+]
+
+#: Sentinel distance for unreachable vertices.
+UNREACHED = -1
+
+
+def _check_vertex(g: Graph, v: int) -> None:
+    if not (0 <= v < g.n):
+        raise GraphError(f"vertex {v} out of range for n={g.n}")
+
+
+def bfs_distances(g: Graph, source: int, max_dist: int | None = None) -> np.ndarray:
+    """Distances from ``source``; ``UNREACHED`` beyond ``max_dist`` or cut off."""
+    _check_vertex(g, source)
+    dist = np.full(g.n, UNREACHED, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    d = 0
+    indptr, indices = g.indptr, g.indices
+    while len(frontier):
+        if max_dist is not None and d >= max_dist:
+            break
+        nxt: list[np.ndarray] = []
+        for v in frontier:
+            nxt.append(indices[indptr[v] : indptr[v + 1]])
+        if not nxt:
+            break
+        cand = np.concatenate(nxt)
+        cand = cand[dist[cand] == UNREACHED]
+        if len(cand) == 0:
+            break
+        cand = np.unique(cand)
+        d += 1
+        dist[cand] = d
+        frontier = cand
+    return dist
+
+
+def bfs_tree(g: Graph, source: int, max_dist: int | None = None) -> np.ndarray:
+    """BFS parent array; ``parent[source] = source``, unreachable = -1.
+
+    Ties are broken toward the smallest-id parent, so the tree (and every
+    path read off it) is deterministic.
+    """
+    _check_vertex(g, source)
+    parent = np.full(g.n, -1, dtype=np.int64)
+    parent[source] = source
+    frontier = [source]
+    d = 0
+    while frontier:
+        if max_dist is not None and d >= max_dist:
+            break
+        nxt = []
+        for v in frontier:  # frontier kept sorted -> smallest-id parent wins
+            for u in g.neighbors(v):
+                u = int(u)
+                if parent[u] == -1:
+                    parent[u] = v
+                    nxt.append(u)
+        frontier = sorted(nxt)
+        d += 1
+    return parent
+
+
+def multi_source_distances(
+    g: Graph, sources: Iterable[int], max_dist: int | None = None
+) -> np.ndarray:
+    """Distances to the nearest of ``sources`` (simultaneous BFS)."""
+    dist = np.full(g.n, UNREACHED, dtype=np.int64)
+    src = np.unique(np.asarray(list(sources), dtype=np.int64))
+    if len(src) == 0:
+        return dist
+    if src[0] < 0 or src[-1] >= g.n:
+        raise GraphError("source out of range")
+    dist[src] = 0
+    frontier = src
+    d = 0
+    indptr, indices = g.indptr, g.indices
+    while len(frontier):
+        if max_dist is not None and d >= max_dist:
+            break
+        nxt = [indices[indptr[v] : indptr[v + 1]] for v in frontier]
+        cand = np.concatenate(nxt) if nxt else np.empty(0, dtype=np.int32)
+        cand = cand[dist[cand] == UNREACHED]
+        if len(cand) == 0:
+            break
+        cand = np.unique(cand)
+        d += 1
+        dist[cand] = d
+        frontier = cand
+    return dist
+
+
+def ball(g: Graph, v: int, radius: int) -> np.ndarray:
+    """Sorted array of vertices within distance ``radius`` of ``v`` (incl. v)."""
+    dist = bfs_distances(g, v, max_dist=radius)
+    return np.flatnonzero(dist != UNREACHED)
+
+
+def closed_neighborhood(g: Graph, v: int) -> np.ndarray:
+    """``N[v]`` as a sorted array (neighbors plus ``v`` itself)."""
+    return np.union1d(g.neighbors(v), [v])
+
+
+def eccentricity(g: Graph, v: int) -> int:
+    """Maximum distance from ``v`` to any reachable vertex."""
+    dist = bfs_distances(g, v)
+    reach = dist[dist != UNREACHED]
+    return int(reach.max())
+
+
+def graph_radius(g: Graph) -> int:
+    """Exact radius (min eccentricity); graph must be connected and nonempty."""
+    from repro.graphs.components import is_connected
+
+    if g.n == 0:
+        raise GraphError("radius of empty graph undefined")
+    if not is_connected(g):
+        raise GraphError("radius undefined for disconnected graph")
+    return min(eccentricity(g, v) for v in range(g.n))
+
+
+def induced_radius(g: Graph, cluster: Iterable[int]) -> int:
+    """Radius of the induced subgraph ``G[cluster]``.
+
+    Raises :class:`GraphError` if the induced subgraph is disconnected —
+    the neighborhood-cover validity checks rely on this behaviour.
+    """
+    sub, _ = g.subgraph(cluster)
+    return graph_radius(sub)
+
+
+def shortest_path(g: Graph, u: int, v: int, max_dist: int | None = None) -> list[int] | None:
+    """A shortest ``u``–``v`` path as a vertex list, or None if none exists.
+
+    Deterministic: follows the smallest-id BFS tree from ``u``.
+    """
+    _check_vertex(g, v)
+    parent = bfs_tree(g, u, max_dist=max_dist)
+    if parent[v] == -1 and v != u:
+        return None
+    path = [v]
+    while path[-1] != u:
+        path.append(int(parent[path[-1]]))
+    path.reverse()
+    return path

@@ -1,0 +1,25 @@
+"""Linear orders, generalized coloring numbers, weak reachability."""
+
+from repro.orders.linear_order import LinearOrder
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.fraternal import fraternal_augmentation_order
+from repro.orders.wreach import (
+    wreach_sets,
+    wreach_sets_with_paths,
+    wcol_of_order,
+    wreach_sizes,
+)
+from repro.orders.heuristics import random_order, identity_order, sort_by_wreach_order
+
+__all__ = [
+    "LinearOrder",
+    "degeneracy_order",
+    "fraternal_augmentation_order",
+    "wreach_sets",
+    "wreach_sets_with_paths",
+    "wcol_of_order",
+    "wreach_sizes",
+    "random_order",
+    "identity_order",
+    "sort_by_wreach_order",
+]

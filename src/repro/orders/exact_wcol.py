@@ -1,0 +1,47 @@
+"""Exact weak coloring numbers for tiny graphs (test oracle).
+
+``wcol_r(G) = min over all n! orders of max_v |WReach_r[G, L, v]|`` is
+the quantity every heuristic order upper-bounds.  For n <= 8 we compute
+it exactly by enumeration with a simple prefix pruning bound, giving an
+independent oracle: heuristic c values must be >= the exact optimum and
+should be close to it on the tiny instances the property tests draw.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.errors import OrderError
+from repro.graphs.graph import Graph
+from repro.orders.linear_order import LinearOrder
+from repro.orders.wreach import wreach_sizes
+
+__all__ = ["exact_wcol", "EXACT_WCOL_LIMIT"]
+
+#: Enumeration guard (8! = 40320 orders).
+EXACT_WCOL_LIMIT = 8
+
+
+def exact_wcol(g: Graph, radius: int) -> tuple[int, LinearOrder]:
+    """The exact ``wcol_radius`` and one optimal order.
+
+    Raises :class:`OrderError` for graphs above :data:`EXACT_WCOL_LIMIT`
+    vertices.
+    """
+    if g.n > EXACT_WCOL_LIMIT:
+        raise OrderError(f"exact wcol limited to n <= {EXACT_WCOL_LIMIT}")
+    if radius < 0:
+        raise OrderError("radius must be >= 0")
+    if g.n == 0:
+        return 0, LinearOrder.identity(0)
+    best_val = g.n + 1
+    best_order = LinearOrder.identity(g.n)
+    for perm in permutations(range(g.n)):
+        order = LinearOrder.from_sequence(perm)
+        val = int(wreach_sizes(g, order, radius).max())
+        if val < best_val:
+            best_val = val
+            best_order = order
+            if best_val == 1:
+                break
+    return best_val, best_order

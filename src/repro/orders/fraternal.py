@@ -1,0 +1,169 @@
+"""Transitive-fraternal augmentation orders (Theorem 2 / Theorem 3 engine).
+
+Nešetřil–Ossona de Mendez / Dvořák compute orders witnessing bounded
+``wcol_r`` by *augmentation*: start from a low-out-degree acyclic
+orientation of G, then repeatedly add
+
+* **transitive** arcs  u→w whenever u→v→w  (combined length tracked), and
+* **fraternal** edges {u, w} whenever v→u and v→w, oriented afterwards so
+  out-degrees stay small.
+
+On a bounded expansion class the out-degree after i steps is bounded by a
+function of the class and i.  Any vertex weakly r-reachable from v is then
+an out-neighbor of v in the length-r closure, so a smallest-last order of
+the augmented graph witnesses bounded wcol_r.
+
+This sequential implementation mirrors the structure the paper's Theorem 3
+distributes; :mod:`repro.distributed.nd_order` contains the distributed
+counterpart.  The guarantee the library reports downstream is always the
+*measured* ``c = wcol_of_order(...)``, so correctness never depends on the
+constants in the augmentation analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OrderError
+from repro.graphs.build import from_edges
+from repro.graphs.graph import Graph
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.linear_order import LinearOrder
+
+__all__ = ["orient_acyclic", "fraternal_augmentation_order", "augmentation_out_degrees"]
+
+
+def orient_acyclic(g: Graph, order: LinearOrder | None = None) -> list[list[tuple[int, int]]]:
+    """Orient each edge from L-greater to L-smaller endpoint.
+
+    With a degeneracy order (default) every vertex gets out-degree at most
+    the degeneracy.  Returns out-adjacency ``arcs[v] = [(u, length), ...]``
+    with ``length = 1`` for original edges.
+    """
+    if order is None:
+        order, _ = degeneracy_order(g)
+    rank = order.rank
+    arcs: list[list[tuple[int, int]]] = [[] for _ in range(g.n)]
+    for u, v in g.edges():
+        if rank[u] < rank[v]:
+            arcs[v].append((u, 1))
+        else:
+            arcs[u].append((v, 1))
+    return arcs
+
+
+def _orient_new_edges(n: int, new_edges: set[tuple[int, int]]) -> list[list[int]]:
+    """Orient a set of fresh undirected edges with small out-degree.
+
+    Builds the graph of new edges and orients along its degeneracy order
+    (greater -> smaller), bounding out-degree by that graph's degeneracy.
+    """
+    if not new_edges:
+        return [[] for _ in range(n)]
+    h = from_edges(n, list(new_edges))
+    order, _ = degeneracy_order(h)
+    rank = order.rank
+    out: list[list[int]] = [[] for _ in range(n)]
+    for u, v in h.edges():
+        if rank[u] < rank[v]:
+            out[v].append(u)
+        else:
+            out[u].append(v)
+    return out
+
+
+def _augment_once(
+    n: int,
+    arcs: list[dict[int, int]],
+    max_len: int,
+) -> tuple[list[dict[int, int]], int]:
+    """One transitive + fraternal step on weighted out-arc dicts.
+
+    ``arcs[v]`` maps out-neighbor -> minimal represented path length.
+    Returns updated arcs and the number of newly created adjacencies.
+    """
+    transitive: list[tuple[int, int, int]] = []  # (src, dst, length)
+    fraternal: dict[tuple[int, int], int] = {}
+    for v in range(n):
+        out_v = list(arcs[v].items())
+        # Transitive: v -> u -> w gives v -> w.
+        for u, lu in out_v:
+            for w, lw in arcs[u].items():
+                lt = lu + lw
+                if w != v and lt <= max_len:
+                    transitive.append((v, w, lt))
+        # Fraternal: v -> u, v -> w gives edge {u, w}.
+        for i in range(len(out_v)):
+            u, lu = out_v[i]
+            for j in range(i + 1, len(out_v)):
+                w, lw = out_v[j]
+                lf = lu + lw
+                if lf <= max_len:
+                    key = (min(u, w), max(u, w))
+                    if key not in fraternal or fraternal[key] > lf:
+                        fraternal[key] = lf
+    created = 0
+    for v, w, lt in transitive:
+        cur = arcs[v].get(w)
+        if cur is None:
+            arcs[v][w] = lt
+            created += 1
+        elif lt < cur:
+            arcs[v][w] = lt
+    # Fraternal pairs not already adjacent (in either direction) get
+    # oriented en masse for small out-degree.
+    fresh = {
+        (a, b): l
+        for (a, b), l in fraternal.items()
+        if b not in arcs[a] and a not in arcs[b]
+    }
+    oriented = _orient_new_edges(n, set(fresh))
+    for src in range(n):
+        for dst in oriented[src]:
+            key = (min(src, dst), max(src, dst))
+            arcs[src][dst] = fresh[key]
+            created += 1
+    return arcs, created
+
+
+def fraternal_augmentation_order(
+    g: Graph, radius: int, max_steps: int | None = None
+) -> LinearOrder:
+    """Order witnessing small ``wcol_radius`` via transitive-fraternal augmentation.
+
+    Performs ``radius - 1`` augmentation steps (capped at ``max_steps``),
+    keeping only arcs representing paths of length <= radius, then returns
+    the smallest-last order of the augmented *underlying undirected* graph.
+    """
+    if radius < 1:
+        raise OrderError("radius must be >= 1")
+    if g.n == 0:
+        return LinearOrder.identity(0)
+    base_order, _ = degeneracy_order(g)
+    arcs_list = orient_acyclic(g, base_order)
+    arcs: list[dict[int, int]] = [dict(row) for row in arcs_list]
+    steps = radius - 1 if max_steps is None else min(radius - 1, max_steps)
+    for _ in range(steps):
+        arcs, created = _augment_once(g.n, arcs, radius)
+        if created == 0:
+            break
+    edges = set()
+    for v in range(g.n):
+        for u in arcs[v]:
+            edges.add((min(u, v), max(u, v)))
+    augmented = from_edges(g.n, list(edges))
+    order, _ = degeneracy_order(augmented)
+    return order
+
+
+def augmentation_out_degrees(g: Graph, radius: int) -> np.ndarray:
+    """Out-degree profile of the augmented digraph (diagnostics for T7)."""
+    if g.n == 0:
+        return np.zeros(0, dtype=np.int64)
+    base_order, _ = degeneracy_order(g)
+    arcs = [dict(row) for row in orient_acyclic(g, base_order)]
+    for _ in range(max(0, radius - 1)):
+        arcs, created = _augment_once(g.n, arcs, radius)
+        if created == 0:
+            break
+    return np.asarray([len(a) for a in arcs], dtype=np.int64)

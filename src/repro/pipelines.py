@@ -1,0 +1,159 @@
+"""End-to-end pipelines composing the paper's results.
+
+These are the entry points the examples and benchmarks call:
+
+* :func:`sequential_pipeline` — Theorem 5 (+ certificate, + optional
+  Corollary-13 connection): order -> dominating set -> certify.
+* :func:`congest_bc_pipeline` — Theorems 3+9 (+10): the full
+  message-passing CONGEST_BC stack with round/traffic accounting.
+* :func:`planar_cds_pipeline` — the paper's headline LOCAL corollary:
+  Lenzen-et-al-style planar MDS composed with the Theorem-17
+  connectifier, constant rounds overall, measured blowup <= 7 = 6 + 1
+  (2rd = 6 path vertices per dominator plus D itself) on planar inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.certify import Certificate, certify_run
+from repro.core.connect import ConnectResult, connect_via_wreach
+from repro.core.domset import DomSetResult, domset_sequential
+from repro.distributed.connect_bc import DistributedConnectedDomSet, run_connect_bc
+from repro.distributed.connect_local import LocalConnectResult, local_connectify
+from repro.distributed.domset_bc import DistributedDomSet, run_domset_bc
+from repro.distributed.lenzen import LenzenResult, lenzen_planar_mds
+from repro.distributed.nd_order import (
+    OrderComputation,
+    distributed_h_partition_order,
+)
+from repro.graphs.graph import Graph
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.fraternal import fraternal_augmentation_order
+from repro.orders.linear_order import LinearOrder
+
+__all__ = [
+    "SequentialRun",
+    "sequential_pipeline",
+    "CongestRun",
+    "congest_bc_pipeline",
+    "unified_bc_pipeline",
+    "PlanarCdsRun",
+    "planar_cds_pipeline",
+    "make_order",
+]
+
+
+def make_order(g: Graph, radius: int, strategy: str = "degeneracy") -> LinearOrder:
+    """Order construction by name (the ablation axis of experiment A1)."""
+    if strategy == "degeneracy":
+        order, _ = degeneracy_order(g)
+        return order
+    if strategy == "fraternal":
+        return fraternal_augmentation_order(g, 2 * radius)
+    if strategy == "identity":
+        return LinearOrder.identity(g.n)
+    if strategy == "random":
+        from repro.orders.heuristics import random_order
+
+        return random_order(g, seed=0)
+    if strategy == "wreach_sort":
+        from repro.orders.heuristics import sort_by_wreach_order
+
+        base, _ = degeneracy_order(g)
+        return sort_by_wreach_order(g, base, 2 * radius)
+    raise ValueError(f"unknown order strategy {strategy!r}")
+
+
+@dataclass(frozen=True)
+class SequentialRun:
+    """Theorem 5 end-to-end output."""
+
+    order: LinearOrder
+    domset: DomSetResult
+    certificate: Certificate
+    connected: ConnectResult | None
+
+
+def sequential_pipeline(
+    g: Graph,
+    radius: int,
+    order_strategy: str = "degeneracy",
+    connect: bool = False,
+    with_lp: bool = False,
+) -> SequentialRun:
+    """Run the sequential Theorem-5 algorithm with certification."""
+    order = make_order(g, radius, order_strategy)
+    ds = domset_sequential(g, order, radius)
+    cert = certify_run(g, order, ds, with_lp=with_lp)
+    conn = connect_via_wreach(g, order, ds.dominators, radius) if connect else None
+    return SequentialRun(order=order, domset=ds, certificate=cert, connected=conn)
+
+
+@dataclass(frozen=True)
+class CongestRun:
+    """Theorem 9 / 10 end-to-end output with accounting."""
+
+    domset: DistributedDomSet
+    connected: DistributedConnectedDomSet | None
+
+
+def congest_bc_pipeline(
+    g: Graph,
+    radius: int,
+    connect: bool = False,
+    order_mode: str = "h_partition",
+) -> CongestRun:
+    """Run the CONGEST_BC stack (order, WReachDist, election[, join]).
+
+    Composes the *phased* runners (one simulation per phase, outputs
+    handed over via advice).  For the single continuous execution with
+    fixed phase budgets use :func:`unified_bc_pipeline`; both produce
+    identical sets.
+    """
+    if order_mode == "h_partition":
+        oc: OrderComputation = distributed_h_partition_order(g)
+    elif order_mode == "augmented":
+        from repro.distributed.nd_order import distributed_augmented_order
+
+        oc = distributed_augmented_order(g, radius)
+    else:
+        raise ValueError(f"unknown order mode {order_mode!r}")
+    conn = run_connect_bc(g, radius, oc) if connect else None
+    ds = run_domset_bc(g, radius, oc)
+    return CongestRun(domset=ds, connected=conn)
+
+
+def unified_bc_pipeline(g: Graph, radius: int, connect: bool = False):
+    """Theorems 9/10 as one continuous CONGEST_BC protocol.
+
+    Returns a :class:`repro.distributed.unified_bc.UnifiedResult`; see
+    that module for the fixed phase schedule.
+    """
+    from repro.distributed.unified_bc import run_unified_bc
+
+    return run_unified_bc(g, radius, connect=connect)
+
+
+@dataclass(frozen=True)
+class PlanarCdsRun:
+    """LOCAL planar connected-dominating-set pipeline output."""
+
+    mds: LenzenResult
+    cds: LocalConnectResult
+
+    @property
+    def total_rounds(self) -> int:
+        return self.mds.rounds + self.cds.rounds
+
+    @property
+    def connect_blowup(self) -> float:
+        """|CDS| / |MDS| — Theorem 17 bounds this by 2rd + 1 (= 7, planar r=1)."""
+        return self.cds.blowup
+
+
+def planar_cds_pipeline(g: Graph, mode: str = "oracle") -> PlanarCdsRun:
+    """Lenzen-style planar MDS + Theorem-17 connectifier at r = 1."""
+    mds = lenzen_planar_mds(g, mode=mode)
+    cds = local_connectify(g, mds.dominators, radius=1, mode=mode)
+    return PlanarCdsRun(mds=mds, cds=cds)

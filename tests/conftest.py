@@ -1,0 +1,49 @@
+"""Shared fixtures: the small graph zoo every suite reuses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs import random_models as rm
+from repro.graphs.graph import Graph
+
+
+def small_connected_zoo() -> list[tuple[str, Graph]]:
+    """Connected graphs small enough for exact cross-checks."""
+    return [
+        ("path10", gen.path_graph(10)),
+        ("cycle9", gen.cycle_graph(9)),
+        ("star8", gen.star_graph(8)),
+        ("grid4x5", gen.grid_2d(4, 5)),
+        ("tri4x4", gen.triangular_grid(4, 4)),
+        ("hex4x6", gen.hex_grid(4, 6)),
+        ("tree_b2h3", gen.balanced_tree(2, 3)),
+        ("caterpillar", gen.caterpillar(5, 2)),
+        ("ktree2", gen.k_tree(14, 2, seed=1)),
+        ("outerplanar12", gen.maximal_outerplanar(12, seed=2)),
+        ("delaunay25", rm.delaunay_graph(25, seed=4)[0]),
+        ("k4", gen.complete_graph(4)),
+    ]
+
+
+def medium_zoo() -> list[tuple[str, Graph]]:
+    """Bigger instances for the distributed / cover invariants."""
+    return [
+        ("grid8x8", gen.grid_2d(8, 8)),
+        ("torus6x6", gen.torus_2d(6, 6)),
+        ("king6x6", gen.king_graph(6, 6)),
+        ("tree_b3h3", gen.balanced_tree(3, 3)),
+        ("delaunay120", rm.delaunay_graph(120, seed=7)[0]),
+        ("ktree3", gen.k_tree(60, 3, seed=5)),
+    ]
+
+
+@pytest.fixture(params=small_connected_zoo(), ids=lambda p: p[0])
+def small_graph(request) -> Graph:
+    return request.param[1]
+
+
+@pytest.fixture(params=medium_zoo(), ids=lambda p: p[0])
+def medium_graph(request) -> Graph:
+    return request.param[1]

@@ -1,0 +1,140 @@
+"""Dvořák-style and greedy baselines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.core.domset import domset_sequential
+from repro.core.dvorak import domset_dvorak
+from repro.core.exact import brute_force_domset
+from repro.core.greedy import domset_greedy
+from repro.errors import GraphError, OrderError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.linear_order import LinearOrder
+from repro.orders.wreach import wcol_of_order
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_dvorak_valid(small_graph, radius):
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    res = domset_dvorak(g, order, radius)
+    assert is_distance_r_dominating_set(g, res.dominators, radius)
+
+
+def test_dvorak_dominator_within_radius(small_graph):
+    from repro.graphs.traversal import bfs_distances
+
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    res = domset_dvorak(g, order, 2)
+    for w in range(g.n):
+        d = int(res.dominator_of[w])
+        assert d in res.dominators
+        assert bfs_distances(g, d, max_dist=2)[w] != -1
+
+
+def test_dvorak_members_pairwise_far():
+    """Dominators added by the greedy rule are pairwise > r apart."""
+    from repro.graphs.traversal import bfs_distances
+
+    g = gen.grid_2d(6, 6)
+    order, _ = degeneracy_order(g)
+    radius = 2
+    res = domset_dvorak(g, order, radius)
+    for v in res.dominators:
+        dist = bfs_distances(g, v, max_dist=radius)
+        for u in res.dominators:
+            if u != v:
+                assert dist[u] == -1  # farther than radius
+
+
+def test_dvorak_c_squared_bound_small():
+    for g in (gen.path_graph(12), gen.grid_2d(4, 4), gen.cycle_graph(9)):
+        order, _ = degeneracy_order(g)
+        for radius in (1, 2):
+            res = domset_dvorak(g, order, radius)
+            opt, _ = brute_force_domset(g, radius)
+            c = wcol_of_order(g, order, 2 * radius)
+            assert res.size <= c * c * opt
+
+
+def test_dvorak_rejects_bad_input():
+    g = gen.path_graph(3)
+    with pytest.raises(OrderError):
+        domset_dvorak(g, LinearOrder.identity(4), 1)
+    with pytest.raises(OrderError):
+        domset_dvorak(g, LinearOrder.identity(3), -1)
+
+
+def test_dvorak_radius_zero():
+    g = gen.path_graph(4)
+    res = domset_dvorak(g, LinearOrder.identity(4), 0)
+    assert res.dominators == (0, 1, 2, 3)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_greedy_valid(small_graph, radius):
+    g = small_graph
+    res = domset_greedy(g, radius)
+    assert is_distance_r_dominating_set(g, res.dominators, radius)
+
+
+def test_greedy_optimal_on_star():
+    g = gen.star_graph(10)
+    res = domset_greedy(g, 1)
+    assert res.dominators == (0,)
+
+
+def test_greedy_near_optimal_small():
+    """Greedy achieves <= H(n) * OPT; on these instances it's near-exact."""
+    for g in (gen.grid_2d(3, 5), gen.cycle_graph(12), gen.balanced_tree(2, 3)):
+        for radius in (1, 2):
+            res = domset_greedy(g, radius)
+            opt, _ = brute_force_domset(g, radius)
+            assert res.size <= 2 * opt + 1
+
+
+def test_greedy_dominator_of_within_radius(small_graph):
+    from repro.graphs.traversal import bfs_distances
+
+    g = small_graph
+    res = domset_greedy(g, 2)
+    for w in range(g.n):
+        d = int(res.dominator_of[w])
+        assert bfs_distances(g, d, max_dist=2)[w] != -1
+
+
+def test_greedy_radius_zero():
+    g = gen.path_graph(3)
+    res = domset_greedy(g, 0)
+    assert res.dominators == (0, 1, 2)
+
+
+def test_greedy_empty_graph():
+    g = from_edges(0, [])
+    res = domset_greedy(g, 1)
+    assert res.dominators == ()
+
+
+def test_greedy_rejects_negative_radius():
+    with pytest.raises(GraphError):
+        domset_greedy(gen.path_graph(3), -1)
+
+
+def test_greedy_deterministic(small_graph):
+    g = small_graph
+    assert domset_greedy(g, 1).dominators == domset_greedy(g, 1).dominators
+
+
+def test_empirical_ordering_greedy_le_dvorak_le_ours_on_grids():
+    """Documented empirical fact (T1): greedy <= dvorak <= elect-min sizes."""
+    g = gen.grid_2d(8, 8)
+    order, _ = degeneracy_order(g)
+    for radius in (1, 2):
+        ours = domset_sequential(g, order, radius).size
+        dv = domset_dvorak(g, order, radius).size
+        gr = domset_greedy(g, radius).size
+        assert gr <= dv <= ours

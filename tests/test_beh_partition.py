@@ -1,0 +1,87 @@
+"""Barenboim-Elkin H-partition protocol."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.beh_partition import run_h_partition
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.graphs.expansion import degeneracy
+
+
+def _check_h_partition_property(g, outs, threshold):
+    """Every vertex has <= threshold neighbors at its own or higher level."""
+    levels = [o.level for o in outs]
+    for v in range(g.n):
+        higher = sum(1 for u in g.neighbors(v) if levels[int(u)] >= levels[v])
+        assert higher <= threshold, (v, levels[v], higher)
+
+
+@pytest.mark.parametrize(
+    "g",
+    [gen.grid_2d(6, 6), gen.balanced_tree(3, 3), gen.k_tree(40, 3, seed=1)],
+    ids=["grid", "tree", "ktree3"],
+)
+def test_partition_property(g):
+    thr = 2 * max(1, degeneracy(g))
+    outs, res = run_h_partition(g, thr)
+    assert all(o.level >= 1 for o in outs)
+    _check_h_partition_property(g, outs, thr)
+
+
+def test_neighbor_levels_learned():
+    g = gen.grid_2d(5, 5)
+    outs, _ = run_h_partition(g, 4)
+    for v in range(g.n):
+        assert set(outs[v].neighbor_levels) == set(int(u) for u in g.neighbors(v))
+        for u, lvl in outs[v].neighbor_levels.items():
+            assert lvl == outs[u].level
+
+
+def test_single_level_when_threshold_large():
+    g = gen.grid_2d(4, 4)
+    outs, res = run_h_partition(g, 100)
+    assert all(o.level == 1 for o in outs)
+
+
+def test_levels_logarithmic_for_good_threshold():
+    g = gen.k_tree(200, 2, seed=0)
+    thr = 2 * degeneracy(g)
+    outs, res = run_h_partition(g, thr)
+    max_level = max(o.level for o in outs)
+    # O(log n) levels; generous constant.
+    assert max_level <= 4 * int(np.ceil(np.log2(g.n)))
+
+
+def test_rounds_scale_with_levels():
+    g = gen.k_tree(100, 2, seed=0)
+    outs, res = run_h_partition(g, 2 * degeneracy(g))
+    max_level = max(o.level for o in outs)
+    # 2 rounds per phase plus start/finish slack.
+    assert res.rounds <= 2 * max_level + 3
+
+
+def test_too_small_threshold_stalls():
+    g = gen.cycle_graph(8)  # every vertex has degree 2
+    with pytest.raises(SimulationError):
+        run_h_partition(g, 1, max_rounds=60)
+
+
+def test_threshold_validation():
+    with pytest.raises(SimulationError):
+        run_h_partition(gen.path_graph(3), 0)
+
+
+def test_messages_are_single_word():
+    g = gen.grid_2d(5, 5)
+    _, res = run_h_partition(g, 4)
+    # "active" (1 word-ish) and ("joined", level) (2-3 words).
+    assert res.max_payload_words <= 4
+
+
+def test_deterministic():
+    g = gen.k_tree(50, 2, seed=2)
+    o1, r1 = run_h_partition(g, 4)
+    o2, r2 = run_h_partition(g, 4)
+    assert [o.level for o in o1] == [o.level for o in o2]
+    assert r1.rounds == r2.rounds

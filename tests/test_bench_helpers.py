@@ -1,0 +1,77 @@
+"""The bench support package itself."""
+
+import pytest
+
+from repro.bench.tables import Table
+from repro.bench.workloads import WORKLOADS, scaling_family, workload
+from repro.graphs.components import is_connected
+
+
+def test_all_workloads_build_and_are_connected():
+    for name, w in WORKLOADS.items():
+        g = w.graph()
+        assert g.n > 0, name
+        assert is_connected(g), name
+
+
+def test_workloads_deterministic():
+    for name in ("delaunay400", "chunglu500", "tree500"):
+        assert WORKLOADS[name].graph() == WORKLOADS[name].graph()
+
+
+def test_planarity_flags_honest():
+    import networkx as nx
+
+    from repro.graphs.build import to_networkx
+
+    for name, w in WORKLOADS.items():
+        if w.graph().n > 600:
+            continue
+        ok, _ = nx.check_planarity(to_networkx(w.graph()))
+        if w.planar:
+            assert ok, f"{name} claims planar but is not"
+
+
+def test_workload_lookup():
+    assert workload("grid16").family == "grid"
+    with pytest.raises(KeyError):
+        workload("nope")
+
+
+def test_scaling_family_sizes():
+    fam = scaling_family("grid", [100, 400])
+    assert [n for n, _ in fam] == [100, 400]
+    fam2 = scaling_family("delaunay", [128])
+    assert fam2[0][1].n == 128
+    with pytest.raises(KeyError):
+        scaling_family("marsdust", [10])
+
+
+def test_table_rendering():
+    t = Table("demo", ["a", "bb"])
+    t.add(1, 2.5)
+    t.add("xyz", 100.123)
+    text = t.render()
+    assert "== demo ==" in text
+    assert "a" in text and "bb" in text
+    lines = text.splitlines()
+    assert len(lines) == 5  # title, header, rule, 2 rows
+    # Column alignment: each data row has the separator at the same place.
+    assert lines[3].index("|") == lines[4].index("|")
+
+
+def test_table_arity_check():
+    t = Table("demo", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add(1)
+
+
+def test_write_result(tmp_path, monkeypatch):
+    import repro.bench.harness as harness
+
+    monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+    t = Table("demo", ["x"])
+    t.add(42)
+    text = harness.write_result("unit_demo", t)
+    assert "42" in text
+    assert (tmp_path / "unit_demo.txt").read_text().strip().endswith("42")

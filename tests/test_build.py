@@ -1,0 +1,64 @@
+"""Tests for graph constructors and networkx bridges."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.build import from_adjacency, from_edges, from_networkx, to_networkx
+
+
+def test_from_adjacency_symmetric():
+    g = from_adjacency([[1], [0, 2], [1]])
+    assert g.m == 2
+    assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+
+def test_from_adjacency_rejects_asymmetric():
+    with pytest.raises(GraphError):
+        from_adjacency([[1], [], []])
+
+
+def test_from_networkx_preserves_structure():
+    nxg = nx.petersen_graph()
+    g, nodes = from_networkx(nxg)
+    assert g.n == 10
+    assert g.m == 15
+    assert all(g.degree(v) == 3 for v in range(10))
+
+
+def test_from_networkx_arbitrary_labels():
+    nxg = nx.Graph()
+    nxg.add_edge("a", "b")
+    nxg.add_edge("b", "c")
+    g, nodes = from_networkx(nxg)
+    idx = {u: i for i, u in enumerate(nodes)}
+    assert g.has_edge(idx["a"], idx["b"])
+    assert g.has_edge(idx["b"], idx["c"])
+    assert not g.has_edge(idx["a"], idx["c"])
+
+
+def test_roundtrip_networkx():
+    g = from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5), (0, 5)])
+    nxg = to_networkx(g)
+    g2, nodes = from_networkx(nxg)
+    assert nodes == list(range(6))
+    assert g2 == g
+
+
+def test_to_networkx_isolated_vertices_kept():
+    g = from_edges(4, [(0, 1)])
+    nxg = to_networkx(g)
+    assert nxg.number_of_nodes() == 4
+    assert nxg.number_of_edges() == 1
+
+
+def test_from_edges_numpy_input():
+    arr = np.array([[0, 1], [1, 2]])
+    g = from_edges(3, arr)
+    assert g.m == 2
+
+
+def test_from_edges_bad_shape():
+    with pytest.raises(GraphError):
+        from_edges(3, np.array([[0, 1, 2]]))

@@ -1,0 +1,54 @@
+"""Per-instance approximation certificates."""
+
+import numpy as np
+import pytest
+
+from repro.core.certify import certify_run
+from repro.core.domset import domset_sequential
+from repro.core.exact import exact_domset
+from repro.graphs import generators as gen
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.wreach import wcol_of_order
+
+
+def test_certificate_fields(small_graph):
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    res = domset_sequential(g, order, 1)
+    cert = certify_run(g, order, res, with_lp=True)
+    assert cert.radius == 1
+    assert cert.solution_size == res.size
+    assert cert.certified_c == max(1, wcol_of_order(g, order, 2))
+    assert cert.lp_bound is not None
+    assert cert.consistent()
+
+
+def test_certified_ratio_is_valid_bound(small_graph):
+    """|D| <= certified_c * OPT — the Theorem 5 statement itself."""
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    for radius in (1, 2):
+        res = domset_sequential(g, order, radius)
+        cert = certify_run(g, order, res, with_lp=False)
+        opt, _ = exact_domset(g, radius)
+        assert res.size <= cert.certified_ratio * max(opt, 1)
+
+
+def test_realized_ratio_upper(small_graph):
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    res = domset_sequential(g, order, 1)
+    cert = certify_run(g, order, res, with_lp=True)
+    opt, _ = exact_domset(g, 1)
+    # realized_ratio_upper = |D| / ceil(LP) >= |D| / OPT.
+    assert cert.realized_ratio_upper is not None
+    assert cert.realized_ratio_upper >= res.size / max(opt, 1) - 1e-9
+
+
+def test_no_lp_requested():
+    g = gen.grid_2d(4, 4)
+    order, _ = degeneracy_order(g)
+    res = domset_sequential(g, order, 1)
+    cert = certify_run(g, order, res, with_lp=False)
+    assert cert.lp_bound is None
+    assert cert.realized_ratio_upper is None

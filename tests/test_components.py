@@ -1,0 +1,55 @@
+"""Connected components."""
+
+from repro.graphs import generators as gen
+from repro.graphs.build import empty_graph, from_edges
+from repro.graphs.components import (
+    component_count,
+    connected_components,
+    is_connected,
+    largest_component,
+)
+
+
+def test_single_component():
+    g = gen.grid_2d(3, 3)
+    labels = connected_components(g)
+    assert set(labels.tolist()) == {0}
+    assert is_connected(g)
+    assert component_count(g) == 1
+
+
+def test_multiple_components():
+    g = from_edges(7, [(0, 1), (1, 2), (3, 4), (5, 6)])
+    labels = connected_components(g)
+    assert component_count(g) == 3
+    assert labels[0] == labels[1] == labels[2]
+    assert labels[3] == labels[4]
+    assert labels[5] == labels[6]
+    assert len({int(labels[0]), int(labels[3]), int(labels[5])}) == 3
+
+
+def test_isolated_vertices_are_components():
+    g = empty_graph(4)
+    assert component_count(g) == 4
+    assert not is_connected(g)
+
+
+def test_empty_graph_connected_by_convention():
+    g = empty_graph(0)
+    assert component_count(g) == 0
+    assert is_connected(g)
+
+
+def test_largest_component():
+    g = from_edges(8, [(0, 1), (1, 2), (2, 3), (5, 6)])
+    h, mapping = largest_component(g)
+    assert h.n == 4
+    assert mapping.tolist() == [0, 1, 2, 3]
+    assert is_connected(h)
+
+
+def test_largest_component_of_empty():
+    g = empty_graph(0)
+    h, mapping = largest_component(g)
+    assert h.n == 0
+    assert len(mapping) == 0

@@ -1,0 +1,80 @@
+"""Theorem 10: distributed connected dominating set."""
+
+import pytest
+
+from repro.analysis.validate import (
+    is_connected_distance_r_dominating_set,
+    is_distance_r_dominating_set,
+)
+from repro.core.domset import domset_by_wreach
+from repro.distributed.connect_bc import run_connect_bc
+from repro.distributed.nd_order import distributed_h_partition_order
+from repro.graphs import generators as gen
+from repro.graphs.random_models import delaunay_graph, random_tree
+from repro.orders.wreach import wcol_of_order
+
+
+def _connected_zoo():
+    return [
+        ("grid6x7", gen.grid_2d(6, 7)),
+        ("tree", random_tree(50, seed=4)),
+        ("delaunay", delaunay_graph(60, seed=6)[0]),
+        ("hex", gen.hex_grid(5, 8)),
+    ]
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_connected_and_dominating(radius):
+    for name, g in _connected_zoo():
+        res = run_connect_bc(g, radius)
+        assert is_connected_distance_r_dominating_set(
+            g, res.connected_set, radius
+        ), name
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_contains_dominators(radius):
+    for name, g in _connected_zoo():
+        res = run_connect_bc(g, radius)
+        assert set(res.dominators) <= set(res.connected_set), name
+
+
+def test_dominators_match_sequential():
+    g = gen.grid_2d(6, 6)
+    oc = distributed_h_partition_order(g)
+    res = run_connect_bc(g, 1, oc)
+    seq = domset_by_wreach(g, oc.order, 1)
+    assert res.dominators == seq.dominators
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_size_bound(radius):
+    """|D'| <= c' * (2r + 2) * |D| with measured c' (Corollary 13)."""
+    for name, g in _connected_zoo():
+        oc = distributed_h_partition_order(g)
+        res = run_connect_bc(g, radius, oc)
+        c_prime = wcol_of_order(g, oc.order, 2 * radius + 1)
+        assert res.size <= c_prime * (2 * radius + 2) * len(res.dominators), name
+
+
+def test_phase_structure():
+    g = gen.grid_2d(5, 5)
+    radius = 2
+    res = run_connect_bc(g, radius)
+    assert res.phase_rounds["wreach"] == 2 * radius + 1
+    assert res.phase_rounds["join"] <= 2 * radius + 1
+    assert set(res.phase_max_words) == {"order", "wreach", "election", "join"}
+    assert res.total_rounds == sum(res.phase_rounds.values())
+
+
+def test_blowup_reported():
+    g = gen.grid_2d(5, 5)
+    res = run_connect_bc(g, 1)
+    assert res.blowup == pytest.approx(res.size / len(res.dominators))
+
+
+def test_negative_radius_rejected():
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        run_connect_bc(gen.path_graph(3), -1)

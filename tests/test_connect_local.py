@@ -1,0 +1,101 @@
+"""Lemma 16 / Theorem 17: LOCAL connectifier in 3r+1 rounds."""
+
+import pytest
+
+from repro.analysis.validate import is_connected_distance_r_dominating_set
+from repro.core.connect import connect_via_minor
+from repro.core.domset import domset_sequential
+from repro.distributed.connect_local import local_connectify
+from repro.distributed.lenzen import lenzen_planar_mds
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.graphs.random_models import delaunay_graph, random_tree
+from repro.orders.degeneracy import degeneracy_order
+
+
+def _zoo():
+    return [
+        ("grid5x6", gen.grid_2d(5, 6)),
+        ("tri4x5", gen.triangular_grid(4, 5)),
+        ("tree", random_tree(40, seed=2)),
+        ("delaunay", delaunay_graph(50, seed=3)[0]),
+    ]
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_output_connected_dominating(radius):
+    for name, g in _zoo():
+        order, _ = degeneracy_order(g)
+        ds = domset_sequential(g, order, radius)
+        res = local_connectify(g, ds.dominators, radius)
+        assert is_connected_distance_r_dominating_set(
+            g, res.connected_set, radius
+        ), name
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_equals_sequential_minor_construction(radius):
+    """LOCAL (ball-based) output == global Lemma-16 reference — exactly."""
+    for name, g in _zoo():
+        order, _ = degeneracy_order(g)
+        ds = domset_sequential(g, order, radius)
+        local = local_connectify(g, ds.dominators, radius)
+        seq = connect_via_minor(g, ds.dominators, radius)
+        assert set(local.connected_set) == set(seq.vertices), name
+
+
+def test_round_count_is_3r_plus_1():
+    g = gen.grid_2d(5, 5)
+    order, _ = degeneracy_order(g)
+    for radius in (1, 2, 3):
+        ds = domset_sequential(g, order, radius)
+        res = local_connectify(g, ds.dominators, radius)
+        assert res.rounds == 3 * radius + 1
+
+
+def test_size_bound_via_minor_edges():
+    """|D'| <= |D| + 2r * |E(H)| (Lemma 16's accounting)."""
+    for name, g in _zoo():
+        order, _ = degeneracy_order(g)
+        for radius in (1, 2):
+            ds = domset_sequential(g, order, radius)
+            res = local_connectify(g, ds.dominators, radius)
+            assert res.size <= ds.size + 2 * radius * len(res.minor_edges), name
+
+
+def test_planar_blowup_at_most_seven():
+    """Theorem 17 on planar graphs at r=1: |D'| <= (2rd + 1)|D| = 7|D|."""
+    for name, g in _zoo():
+        mds = lenzen_planar_mds(g)
+        res = local_connectify(g, mds.dominators, 1)
+        assert res.blowup <= 7.0, (name, res.blowup)
+
+
+def test_pipeline_with_lenzen():
+    g, _ = delaunay_graph(80, seed=5)
+    mds = lenzen_planar_mds(g)
+    res = local_connectify(g, mds.dominators, 1)
+    assert is_connected_distance_r_dominating_set(g, res.connected_set, 1)
+    assert mds.rounds + res.rounds <= 11  # constant overall
+
+
+def test_empty_dominators_rejected():
+    with pytest.raises(SimulationError):
+        local_connectify(gen.path_graph(3), [], 1)
+
+
+def test_already_connected_is_noop_sized():
+    # A single dominator needs no connecting paths.
+    g = gen.star_graph(8)
+    res = local_connectify(g, [0], 1)
+    assert res.connected_set == (0,)
+    assert res.minor_edges == ()
+
+
+def test_oracle_equals_messages():
+    g = gen.grid_2d(4, 4)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 1)
+    a = local_connectify(g, ds.dominators, 1, mode="oracle")
+    b = local_connectify(g, ds.dominators, 1, mode="messages")
+    assert a.connected_set == b.connected_set

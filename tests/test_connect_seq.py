@@ -1,0 +1,201 @@
+"""Sequential connectivity constructions (Corollary 13, Lemmas 14-16)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import (
+    is_connected_distance_r_dominating_set,
+    is_distance_r_dominating_set,
+)
+from repro.core.connect import (
+    canonical_lex_path,
+    connect_via_minor,
+    connect_via_wreach,
+    lex_ball_partition,
+    minor_of_domset,
+    steiner_connect_baseline,
+)
+from repro.core.domset import domset_sequential
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.graphs.components import is_connected
+from repro.graphs.traversal import bfs_distances, multi_source_distances
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.wreach import wcol_of_order
+
+
+def _connected_zoo():
+    return [
+        gen.grid_2d(5, 6),
+        gen.cycle_graph(12),
+        gen.balanced_tree(2, 4),
+        gen.triangular_grid(4, 5),
+        gen.k_tree(18, 2, seed=3),
+    ]
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_connect_via_wreach_valid(radius):
+    for g in _connected_zoo():
+        order, _ = degeneracy_order(g)
+        ds = domset_sequential(g, order, radius)
+        res = connect_via_wreach(g, order, ds.dominators, radius)
+        assert set(ds.dominators) <= set(res.vertices)
+        assert is_connected_distance_r_dominating_set(g, res.vertices, radius)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_connect_via_wreach_size_bound(radius):
+    """Theorem 10 size: |D'| <= c' * (2r + 2) * |D|."""
+    for g in _connected_zoo():
+        order, _ = degeneracy_order(g)
+        ds = domset_sequential(g, order, radius)
+        res = connect_via_wreach(g, order, ds.dominators, radius)
+        c_prime = wcol_of_order(g, order, 2 * radius + 1)
+        assert res.size <= c_prime * (2 * radius + 2) * ds.size
+
+
+def test_connect_via_wreach_empty_rejected():
+    g = gen.path_graph(3)
+    order, _ = degeneracy_order(g)
+    with pytest.raises(GraphError):
+        connect_via_wreach(g, order, [], 1)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_lex_partition_is_partition(radius):
+    """Lemma 14: B(D) partitions V and each B(v) has radius <= r."""
+    for g in _connected_zoo():
+        order, _ = degeneracy_order(g)
+        ds = domset_sequential(g, order, radius)
+        owner, labels = lex_ball_partition(g, ds.dominators, radius)
+        assert set(np.unique(owner)) <= set(ds.dominators)
+        for v in ds.dominators:
+            members = np.flatnonzero(owner == v)
+            assert v in members
+            sub, mapping = g.subgraph(members)
+            assert is_connected(sub)
+            # Radius <= r from the dominator inside its own class.
+            local_v = int(np.searchsorted(mapping, v))
+            dist = bfs_distances(sub, local_v)
+            assert dist.max() <= radius
+
+
+def test_lex_partition_labels_are_paths():
+    g = gen.grid_2d(4, 4)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 1)
+    owner, labels = lex_ball_partition(g, ds.dominators, 1)
+    for w in range(g.n):
+        lab = labels[w]
+        assert lab is not None
+        assert lab[0] == owner[w] and lab[-1] == w
+        for a, b in zip(lab, lab[1:]):
+            assert g.has_edge(a, b)
+
+
+def test_lex_partition_shortest():
+    g = gen.grid_2d(4, 5)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 2)
+    owner, labels = lex_ball_partition(g, ds.dominators, 2)
+    dist = multi_source_distances(g, ds.dominators)
+    for w in range(g.n):
+        assert len(labels[w]) - 1 == dist[w]
+
+
+def test_lex_partition_rejects_non_domset():
+    g = gen.path_graph(10)
+    with pytest.raises(GraphError):
+        lex_ball_partition(g, [0], 1)  # vertex 9 is too far
+
+
+def test_lex_partition_lenient_mode():
+    g = gen.path_graph(10)
+    owner, labels = lex_ball_partition(g, [0], None)
+    assert (owner == 0).all()  # everything reachable, owner 0
+    g2 = from_edges(4, [(0, 1), (2, 3)])
+    owner2, labels2 = lex_ball_partition(g2, [0], None)
+    assert owner2[0] == 0 and owner2[1] == 0
+    assert owner2[2] == -1 and owner2[3] == -1
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_minor_is_connected(radius):
+    """Lemma 15: contracting B(D) yields a connected minor."""
+    from repro.graphs.operations import contract_partition
+
+    for g in _connected_zoo():
+        order, _ = degeneracy_order(g)
+        ds = domset_sequential(g, order, radius)
+        h_edges = minor_of_domset(g, ds.dominators, radius)
+        # Build the minor as a graph on dominator indices.
+        idx = {v: i for i, v in enumerate(ds.dominators)}
+        mg = from_edges(len(ds.dominators), [(idx[a], idx[b]) for a, b in h_edges])
+        if len(ds.dominators) > 1:
+            assert is_connected(mg)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_connect_via_minor_valid(radius):
+    for g in _connected_zoo():
+        order, _ = degeneracy_order(g)
+        ds = domset_sequential(g, order, radius)
+        res = connect_via_minor(g, ds.dominators, radius)
+        assert is_connected_distance_r_dominating_set(g, res.vertices, radius)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_connect_via_minor_size_bound(radius):
+    """Lemma 16: |D'| <= |D| + (path internal vertices) per minor edge."""
+    for g in _connected_zoo():
+        order, _ = degeneracy_order(g)
+        ds = domset_sequential(g, order, radius)
+        res = connect_via_minor(g, ds.dominators, radius)
+        h_edges = minor_of_domset(g, ds.dominators, radius)
+        assert res.size <= ds.size + 2 * radius * len(h_edges)
+
+
+def test_canonical_path_symmetric():
+    g = gen.grid_2d(4, 4)
+    p1 = canonical_lex_path(g, 0, 15, 10)
+    p2 = canonical_lex_path(g, 15, 0, 10)
+    assert p1 == p2
+    assert p1 is not None
+    assert p1[0] == 0 and p1[-1] == 15
+
+
+def test_canonical_path_respects_max_len():
+    g = gen.path_graph(10)
+    assert canonical_lex_path(g, 0, 9, 5) is None
+    assert canonical_lex_path(g, 0, 5, 5) == (0, 1, 2, 3, 4, 5)
+
+
+def test_canonical_path_lexicographic_choice():
+    # Two shortest 0->3 paths: 0-1-3 and 0-2-3; lex-least is 0-1-3.
+    g = from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    assert canonical_lex_path(g, 0, 3, 3) == (0, 1, 3)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_steiner_baseline_valid(radius):
+    for g in _connected_zoo():
+        order, _ = degeneracy_order(g)
+        ds = domset_sequential(g, order, radius)
+        res = steiner_connect_baseline(g, ds.dominators, radius)
+        assert is_connected_distance_r_dominating_set(g, res.vertices, radius)
+
+
+def test_steiner_rejects_multi_component_dominators():
+    g = from_edges(4, [(0, 1), (2, 3)])
+    with pytest.raises(GraphError):
+        steiner_connect_baseline(g, [0, 2], 1)
+
+
+def test_blowup_property():
+    g = gen.grid_2d(5, 5)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 1)
+    res = connect_via_minor(g, ds.dominators, 1)
+    assert res.blowup == pytest.approx(res.size / ds.size)

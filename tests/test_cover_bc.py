@@ -1,0 +1,53 @@
+"""Theorem 8: distributed covers match the sequential Theorem 4 covers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import validate_cover
+from repro.core.covers import build_cover
+from repro.distributed.cover_bc import run_cover_bc
+from repro.distributed.nd_order import distributed_h_partition_order
+from repro.graphs import generators as gen
+from repro.graphs.random_models import delaunay_graph
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_distributed_cover_equals_sequential(medium_graph, radius):
+    g = medium_graph
+    oc = distributed_h_partition_order(g)
+    dist = run_cover_bc(g, radius, oc)
+    seq = build_cover(g, oc.order, radius)
+    assert dist.cover.clusters == seq.clusters
+    assert np.array_equal(dist.cover.home_cluster, seq.home_cluster)
+    assert np.array_equal(dist.cover.degree_per_vertex, seq.degree_per_vertex)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_distributed_cover_is_valid(radius):
+    g, _ = delaunay_graph(70, seed=9)
+    dist = run_cover_bc(g, radius)
+    assert validate_cover(g, dist.cover) == []
+
+
+def test_routing_paths_stay_in_cluster():
+    """Lemma 7: the path from w to center v lies inside X_v."""
+    g = gen.grid_2d(6, 6)
+    res = run_cover_bc(g, 1)
+    clusters = res.cover.clusters
+    for v in range(g.n):
+        for center, path in res.routing[v].items():
+            members = set(clusters[center])
+            assert all(x in members for x in path)
+
+
+def test_rounds_accounted():
+    g = gen.grid_2d(5, 5)
+    res = run_cover_bc(g, 2)
+    assert res.rounds >= 2 * 2  # at least the wreach phase
+    assert res.total_words > 0
+
+
+def test_radius_zero_cover():
+    g = gen.path_graph(4)
+    res = run_cover_bc(g, 0)
+    assert all(ms == (v,) for v, ms in res.cover.clusters.items())

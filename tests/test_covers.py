@@ -1,0 +1,111 @@
+"""Theorem 4: sparse r-neighborhood covers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import validate_cover
+from repro.core.covers import build_cover, cover_stats
+from repro.errors import OrderError
+from repro.graphs import generators as gen
+from repro.graphs.traversal import ball, induced_radius
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.linear_order import LinearOrder
+from repro.orders.wreach import wcol_of_order, wreach_sets
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_cover_is_valid(small_graph, radius):
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    cover = build_cover(g, order, radius)
+    assert validate_cover(g, cover) == []
+
+
+def test_cover_valid_under_random_orders(small_graph):
+    g = small_graph
+    for seed in (0, 1):
+        rng = np.random.default_rng(seed)
+        order = LinearOrder.from_sequence(rng.permutation(g.n))
+        cover = build_cover(g, order, 1)
+        assert validate_cover(g, cover) == []
+
+
+def test_cluster_definition_matches_wreach(small_graph):
+    """X_v = {w : v in WReach_2r[w]} exactly."""
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    radius = 1
+    cover = build_cover(g, order, radius)
+    wr = wreach_sets(g, order, 2 * radius)
+    expected: dict[int, set[int]] = {}
+    for w in range(g.n):
+        for v in wr[w]:
+            expected.setdefault(v, set()).add(w)
+    assert {v: set(ms) for v, ms in cover.clusters.items()} == expected
+
+
+def test_cover_degree_equals_wcol(small_graph):
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    radius = 2
+    cover = build_cover(g, order, radius)
+    assert cover.degree == wcol_of_order(g, order, 2 * radius)
+
+
+def test_lemma6_ball_inside_home_cluster(small_graph):
+    """Lemma 6: N_r[w] ⊆ X_{min WReach_r[w]}."""
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    radius = 2
+    cover = build_cover(g, order, radius)
+    for w in range(g.n):
+        home = int(cover.home_cluster[w])
+        members = set(cover.clusters[home])
+        for x in ball(g, w, radius):
+            assert int(x) in members
+
+
+def test_cluster_radius_at_most_2r(medium_graph):
+    g = medium_graph
+    order, _ = degeneracy_order(g)
+    radius = 2
+    cover = build_cover(g, order, radius)
+    for v, members in cover.clusters.items():
+        if len(members) > 1:
+            assert induced_radius(g, members) <= 2 * radius
+
+
+def test_cover_stats_consistency(small_graph):
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    radius = 1
+    cover = build_cover(g, order, radius)
+    st = cover_stats(g, cover)
+    assert st.covers_all_balls
+    assert st.degree == cover.degree
+    assert st.max_cluster_radius <= 2 * radius
+    assert st.num_clusters == cover.num_clusters
+    assert st.within_bounds(wcol_of_order(g, order, 2 * radius))
+
+
+def test_cover_radius_zero():
+    g = gen.path_graph(4)
+    order = LinearOrder.identity(4)
+    cover = build_cover(g, order, 0)
+    # With r = 0 every cluster is a singleton {v} and home is v itself.
+    assert all(cover.home_cluster[v] == v for v in range(4))
+    assert all(ms == (v,) for v, ms in cover.clusters.items())
+
+
+def test_cover_order_mismatch():
+    g = gen.path_graph(3)
+    with pytest.raises(OrderError):
+        build_cover(g, LinearOrder.identity(4), 1)
+
+
+def test_centers_belong_to_their_clusters(small_graph):
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    cover = build_cover(g, order, 1)
+    for v, members in cover.clusters.items():
+        assert v in members

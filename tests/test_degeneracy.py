@@ -1,0 +1,85 @@
+"""Smallest-last orders and core numbers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.orders.degeneracy import core_numbers, degeneracy_order
+
+
+def test_known_degeneracies():
+    cases = [
+        (gen.path_graph(10), 1),
+        (gen.cycle_graph(7), 2),
+        (gen.grid_2d(6, 6), 2),
+        (gen.complete_graph(5), 4),
+        (gen.balanced_tree(2, 4), 1),
+        (gen.star_graph(9), 1),
+        (gen.k_tree(25, 4, seed=0), 4),
+    ]
+    for g, expected in cases:
+        _, d = degeneracy_order(g)
+        assert d == expected
+
+
+def test_order_has_few_smaller_neighbors(medium_graph):
+    """Definition check: every vertex has <= degeneracy L-smaller neighbors."""
+    g = medium_graph
+    order, d = degeneracy_order(g)
+    for v in range(g.n):
+        smaller = sum(1 for u in g.neighbors(v) if order.less(int(u), v))
+        assert smaller <= d
+
+
+def test_degeneracy_matches_networkx(small_graph):
+    import networkx as nx
+
+    from repro.graphs.build import to_networkx
+
+    g = small_graph
+    _, d = degeneracy_order(g)
+    nxg = to_networkx(g)
+    if nxg.number_of_edges() == 0:
+        assert d == 0
+        return
+    assert d == max(nx.core_number(nxg).values())
+
+
+def test_empty_graph_order():
+    g = from_edges(0, [])
+    order, d = degeneracy_order(g)
+    assert d == 0
+    assert len(order) == 0
+
+
+def test_edgeless_graph():
+    g = from_edges(5, [])
+    order, d = degeneracy_order(g)
+    assert d == 0
+    assert sorted(order.by_rank.tolist()) == list(range(5))
+
+
+def test_core_numbers_match_networkx(small_graph):
+    import networkx as nx
+
+    from repro.graphs.build import to_networkx
+
+    g = small_graph
+    ours = core_numbers(g)
+    oracle = nx.core_number(to_networkx(g))
+    for v in range(g.n):
+        assert ours[v] == oracle[v]
+
+
+def test_core_numbers_star():
+    g = gen.star_graph(6)
+    cores = core_numbers(g)
+    assert (cores == 1).all()
+
+
+def test_deterministic():
+    g = gen.k_tree(30, 2, seed=7)
+    o1, _ = degeneracy_order(g)
+    o2, _ = degeneracy_order(g)
+    assert o1 == o2

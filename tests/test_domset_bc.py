@@ -1,0 +1,91 @@
+"""Theorem 9: distributed dominating set == sequential reference."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.core.domset import domset_by_wreach
+from repro.core.exact import exact_domset
+from repro.distributed.domset_bc import run_domset_bc
+from repro.distributed.nd_order import distributed_h_partition_order
+from repro.graphs import generators as gen
+from repro.graphs.random_models import delaunay_graph, random_tree
+from repro.orders.wreach import wcol_of_order
+
+
+@pytest.mark.parametrize("radius", [1, 2, 3])
+def test_distributed_equals_sequential(medium_graph, radius):
+    g = medium_graph
+    oc = distributed_h_partition_order(g)
+    dist = run_domset_bc(g, radius, oc)
+    seq = domset_by_wreach(g, oc.order, radius)
+    assert dist.dominators == seq.dominators
+    assert np.array_equal(dist.dominator_of, seq.dominator_of)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_output_dominates(medium_graph, radius):
+    g = medium_graph
+    res = run_domset_bc(g, radius)
+    assert is_distance_r_dominating_set(g, res.dominators, radius)
+
+
+def test_radius_zero():
+    g = gen.grid_2d(3, 3)
+    res = run_domset_bc(g, 0)
+    assert res.dominators == tuple(range(9))
+
+
+def test_phase_round_structure(medium_graph):
+    g = medium_graph
+    radius = 2
+    res = run_domset_bc(g, radius)
+    assert res.phase_rounds["wreach"] == 2 * radius
+    assert res.phase_rounds["election"] <= radius
+    assert res.phase_rounds["order"] >= 1
+    assert res.total_rounds == sum(res.phase_rounds.values())
+
+
+def test_theorem9_bound(small_graph):
+    """|D| <= c(r) * OPT with measured c."""
+    g = small_graph
+    radius = 1
+    oc = distributed_h_partition_order(g)
+    res = run_domset_bc(g, radius, oc)
+    opt, _ = exact_domset(g, radius)
+    c = wcol_of_order(g, oc.order, 2 * radius)
+    assert res.size <= c * max(opt, 1)
+
+
+def test_trees_and_delaunay():
+    for g in (random_tree(80, seed=1), delaunay_graph(80, seed=2)[0]):
+        oc = distributed_h_partition_order(g)
+        for radius in (1, 2):
+            dist = run_domset_bc(g, radius, oc)
+            seq = domset_by_wreach(g, oc.order, radius)
+            assert dist.dominators == seq.dominators
+            assert is_distance_r_dominating_set(g, dist.dominators, radius)
+
+
+def test_custom_horizon_matches_default(medium_graph):
+    """Theorem 10 reuses horizon 2r+1; the elected set must be unchanged."""
+    g = medium_graph
+    radius = 1
+    oc = distributed_h_partition_order(g)
+    d_default = run_domset_bc(g, radius, oc)
+    d_wide = run_domset_bc(g, radius, oc, horizon=2 * radius + 1)
+    assert d_default.dominators == d_wide.dominators
+
+
+def test_stats_accumulate(medium_graph):
+    g = medium_graph
+    res = run_domset_bc(g, 1)
+    assert res.total_words > 0
+    assert set(res.phase_max_words) == {"order", "wreach", "election"}
+
+
+def test_negative_radius_rejected():
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        run_domset_bc(gen.path_graph(3), -1)

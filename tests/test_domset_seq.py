@@ -1,0 +1,157 @@
+"""Theorem 5: the sequential distance-r dominating set algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.core.domset import domset_by_wreach, domset_sequential
+from repro.core.exact import brute_force_domset
+from repro.errors import OrderError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.linear_order import LinearOrder
+from repro.orders.wreach import wcol_of_order, wreach_sets
+
+
+@pytest.mark.parametrize("radius", [1, 2, 3])
+def test_algorithm1_equals_definition(small_graph, radius):
+    """Algorithm 1 output == {min WReach_r[w] : w} (the paper's equality (2))."""
+    g = small_graph
+    for seed in (0, 1, 2):
+        rng = np.random.default_rng(seed)
+        order = LinearOrder.from_sequence(rng.permutation(g.n))
+        a = domset_sequential(g, order, radius)
+        b = domset_by_wreach(g, order, radius)
+        assert a.dominators == b.dominators
+        assert np.array_equal(a.dominator_of, b.dominator_of)
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_output_is_dominating(small_graph, radius):
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    res = domset_sequential(g, order, radius)
+    assert is_distance_r_dominating_set(g, res.dominators, radius)
+
+
+def test_dominator_of_is_min_wreach(small_graph):
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    radius = 2
+    res = domset_sequential(g, order, radius)
+    wr = wreach_sets(g, order, radius)
+    for w in range(g.n):
+        assert res.dominator_of[w] == order.min_of(wr[w])
+
+
+def test_dominator_within_distance(small_graph):
+    from repro.graphs.traversal import bfs_distances
+
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    radius = 2
+    res = domset_sequential(g, order, radius)
+    for w in range(g.n):
+        d = bfs_distances(g, int(res.dominator_of[w]), max_dist=radius)
+        assert d[w] != -1
+
+
+def test_radius_zero_selects_everything():
+    g = gen.grid_2d(3, 3)
+    order = LinearOrder.identity(9)
+    res = domset_sequential(g, order, 0)
+    assert res.dominators == tuple(range(9))
+    assert all(res.dominator_of[v] == v for v in range(9))
+
+
+def test_negative_radius_rejected():
+    g = gen.path_graph(3)
+    with pytest.raises(OrderError):
+        domset_sequential(g, LinearOrder.identity(3), -1)
+
+
+def test_order_size_mismatch():
+    g = gen.path_graph(3)
+    with pytest.raises(OrderError):
+        domset_sequential(g, LinearOrder.identity(4), 1)
+
+
+def test_theorem5_bound_holds_on_small_instances():
+    """|D| <= c(r) * OPT with c(r) = max |WReach_2r| (measured)."""
+    graphs = [
+        gen.path_graph(12),
+        gen.cycle_graph(10),
+        gen.grid_2d(3, 5),
+        gen.star_graph(10),
+        gen.balanced_tree(2, 3),
+    ]
+    for g in graphs:
+        for radius in (1, 2):
+            order, _ = degeneracy_order(g)
+            res = domset_sequential(g, order, radius)
+            opt, _ = brute_force_domset(g, radius)
+            c = wcol_of_order(g, order, 2 * radius)
+            assert res.size <= c * opt, (g, radius, res.size, c, opt)
+
+
+def test_theorem5_bound_random_orders():
+    """The guarantee is order-independent (with the order's own c)."""
+    g = gen.grid_2d(4, 4)
+    opt, _ = brute_force_domset(g, 1)
+    for seed in range(5):
+        rng = np.random.default_rng(seed)
+        order = LinearOrder.from_sequence(rng.permutation(g.n))
+        res = domset_sequential(g, order, 1)
+        c = wcol_of_order(g, order, 2)
+        assert res.size <= c * opt
+
+
+def test_path_identity_order_structure():
+    # Path with identity order: min WReach_1[w] = w-1 (or 0 for w=0),
+    # so D = {0, 1, ..., n-2}.
+    g = gen.path_graph(5)
+    res = domset_sequential(g, LinearOrder.identity(5), 1)
+    assert res.dominators == (0, 1, 2, 3)
+
+
+def test_star_center_last_gives_singleton():
+    # Star: order the center L-least -> every leaf elects the center.
+    g = gen.star_graph(8)
+    order = LinearOrder.from_sequence([0, 1, 2, 3, 4, 5, 6, 7])
+    res = domset_sequential(g, order, 1)
+    assert res.dominators == (0,)
+
+
+def test_star_center_first_still_dominates():
+    # Center L-greatest: leaves elect themselves (no smaller weak reach).
+    g = gen.star_graph(5)
+    order = LinearOrder.from_sequence([1, 2, 3, 4, 0])
+    res = domset_sequential(g, order, 1)
+    assert is_distance_r_dominating_set(g, res.dominators, 1)
+    assert 1 in res.dominators
+
+
+def test_disconnected_graph_all_components_covered():
+    g = from_edges(6, [(0, 1), (2, 3), (4, 5)])
+    order = LinearOrder.identity(6)
+    res = domset_sequential(g, order, 1)
+    assert is_distance_r_dominating_set(g, res.dominators, 1)
+    assert {0, 2, 4} <= set(res.dominators)
+
+
+def test_result_membership_helper():
+    g = gen.path_graph(4)
+    res = domset_sequential(g, LinearOrder.identity(4), 1)
+    mem = res.membership(4)
+    assert mem.dtype == bool
+    assert set(np.flatnonzero(mem).tolist()) == set(res.dominators)
+
+
+def test_large_radius_single_dominator():
+    g = gen.grid_2d(4, 4)
+    order, _ = degeneracy_order(g)
+    res = domset_sequential(g, order, 10)
+    # Radius exceeds the diameter: the L-least vertex dominates everyone.
+    least = int(order.by_rank[0])
+    assert res.dominators == (least,)

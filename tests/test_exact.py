@@ -1,0 +1,90 @@
+"""Exact solvers and LP bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    brute_force_domset,
+    coverage_matrix,
+    exact_domset,
+    lp_lower_bound,
+)
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.errors import SolverError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+
+
+def test_coverage_matrix_entries():
+    g = gen.path_graph(4)
+    a = coverage_matrix(g, 1).toarray()
+    expected = np.array(
+        [[1, 1, 0, 0], [1, 1, 1, 0], [0, 1, 1, 1], [0, 0, 1, 1]], dtype=np.int8
+    )
+    assert np.array_equal(a, expected)
+
+
+def test_coverage_matrix_radius_zero_identity():
+    g = gen.cycle_graph(5)
+    a = coverage_matrix(g, 0).toarray()
+    assert np.array_equal(a, np.eye(5, dtype=np.int8))
+
+
+def test_known_optima():
+    assert brute_force_domset(gen.star_graph(9), 1)[0] == 1
+    assert brute_force_domset(gen.path_graph(9), 1)[0] == 3
+    assert brute_force_domset(gen.path_graph(9), 2)[0] == 2
+    assert brute_force_domset(gen.cycle_graph(9), 1)[0] == 3
+    assert brute_force_domset(gen.complete_graph(6), 1)[0] == 1
+
+
+def test_milp_matches_brute_force(small_graph):
+    g = small_graph
+    if g.n > 20:
+        pytest.skip("brute force too slow")
+    for radius in (1, 2):
+        bf, bf_set = brute_force_domset(g, radius)
+        ip, ip_set = exact_domset(g, radius)
+        assert bf == ip
+        assert is_distance_r_dominating_set(g, ip_set, radius)
+        assert is_distance_r_dominating_set(g, bf_set, radius)
+
+
+def test_lp_below_opt(small_graph):
+    g = small_graph
+    for radius in (1, 2):
+        lp = lp_lower_bound(g, radius)
+        opt, _ = exact_domset(g, radius)
+        assert lp <= opt + 1e-6
+        assert lp >= 0
+
+
+def test_lp_exact_on_star():
+    # Fractional and integral optimum coincide: 1 (the center).
+    g = gen.star_graph(8)
+    assert lp_lower_bound(g, 1) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_brute_force_limit():
+    g = gen.grid_2d(5, 5)
+    with pytest.raises(SolverError):
+        brute_force_domset(g, 1)
+
+
+def test_empty_graph():
+    g = from_edges(0, [])
+    assert exact_domset(g, 1) == (0, [])
+    assert brute_force_domset(g, 1) == (0, [])
+    assert lp_lower_bound(g, 1) == 0.0
+
+
+def test_disconnected_optimum_adds_up():
+    g = from_edges(6, [(0, 1), (2, 3), (4, 5)])
+    assert exact_domset(g, 1)[0] == 3
+
+
+def test_exact_domset_larger_radius_never_bigger(small_graph):
+    g = small_graph
+    s1, _ = exact_domset(g, 1)
+    s2, _ = exact_domset(g, 2)
+    assert s2 <= s1

@@ -1,0 +1,72 @@
+"""Exact wcol enumeration oracle."""
+
+import pytest
+
+from repro.errors import OrderError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.exact_wcol import EXACT_WCOL_LIMIT, exact_wcol
+from repro.orders.fraternal import fraternal_augmentation_order
+from repro.orders.wreach import wcol_of_order, wreach_sizes
+
+
+def test_path_values_and_witness():
+    # Paths: wcol_1 = 2 (n >= 2) and wcol_r grows only logarithmically in
+    # r (dissection orders); in particular wcol_r <= r + 1 always.
+    for n in (2, 4, 6):
+        for r in (1, 2, 3):
+            val, order = exact_wcol(gen.path_graph(n), r)
+            assert val <= min(n, r + 1)
+            # The returned order must witness the value.
+            assert wcol_of_order(gen.path_graph(n), order, r) == val
+    assert exact_wcol(gen.path_graph(5), 1)[0] == 2
+
+
+def test_complete_graph_wcol_is_n():
+    for n in (3, 5):
+        val, _ = exact_wcol(gen.complete_graph(n), 1)
+        assert val == n  # every vertex weakly reaches all smaller ones
+
+
+def test_star_wcol_2():
+    # Star: order center first -> every leaf reaches only {center, self}.
+    val, _ = exact_wcol(gen.star_graph(7), 2)
+    assert val == 2
+
+
+def test_edgeless():
+    val, _ = exact_wcol(from_edges(5, []), 3)
+    assert val == 1
+
+
+def test_radius_zero():
+    val, _ = exact_wcol(gen.cycle_graph(5), 0)
+    assert val == 1
+
+
+def test_heuristics_upper_bound_exact():
+    """Degeneracy/fraternal orders can never beat the exact optimum."""
+    graphs = [
+        gen.cycle_graph(6),
+        gen.grid_2d(2, 4),
+        gen.complete_bipartite(2, 3),
+        gen.path_graph(7),
+        from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 5)]),
+    ]
+    for g in graphs:
+        for r in (1, 2, 3):
+            opt, _ = exact_wcol(g, r)
+            degen, _ = degeneracy_order(g)
+            frat = fraternal_augmentation_order(g, r)
+            assert wcol_of_order(g, degen, r) >= opt
+            assert wcol_of_order(g, frat, r) >= opt
+            # And they should be within a small factor on these tiny cases.
+            assert wcol_of_order(g, degen, r) <= 2 * opt + 1
+
+
+def test_limit_enforced():
+    with pytest.raises(OrderError):
+        exact_wcol(gen.path_graph(EXACT_WCOL_LIMIT + 1), 1)
+    with pytest.raises(OrderError):
+        exact_wcol(gen.path_graph(3), -1)

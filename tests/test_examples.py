@@ -1,0 +1,42 @@
+"""Smoke checks for the example scripts.
+
+Every example must at least compile; the cheap ones are executed
+end-to-end (the heavyweight ones run in the benchmark/docs pipeline and
+were validated by hand — their outputs are quoted in EXPERIMENTS.md).
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 5  # the deliverable requires at least three
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    compile(path.read_text(), str(path), "exec")
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_defines_main(path):
+    text = path.read_text()
+    assert "def main()" in text
+    assert '__name__ == "__main__"' in text
+
+
+def test_distributed_trace_runs(capsys):
+    """The cheapest full example actually executes (6x6 grid)."""
+    path = next(p for p in EXAMPLES if p.name == "distributed_trace.py")
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "matches the sequential elect-min-WReach set: OK" in out

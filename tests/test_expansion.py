@@ -1,0 +1,80 @@
+"""Bounded-expansion diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.expansion import (
+    arboricity_lower_bound,
+    degeneracy,
+    is_valid_minor_model,
+    shallow_minor_density,
+)
+
+
+def test_degeneracy_known_values():
+    assert degeneracy(gen.path_graph(10)) == 1
+    assert degeneracy(gen.cycle_graph(8)) == 2
+    assert degeneracy(gen.grid_2d(5, 5)) == 2
+    assert degeneracy(gen.complete_graph(6)) == 5
+    assert degeneracy(gen.balanced_tree(3, 3)) == 1
+    assert degeneracy(gen.k_tree(15, 3, seed=0)) == 3
+    assert degeneracy(gen.triangular_grid(5, 5)) == 3
+
+
+def test_arboricity_lower_bound():
+    g = gen.complete_graph(5)  # m=10, n=5 -> bound 2.5
+    assert arboricity_lower_bound(g) == pytest.approx(2.5)
+    assert arboricity_lower_bound(gen.path_graph(1)) == 0.0
+
+
+def test_shallow_minor_density_bounded_on_grid():
+    # On a planar graph every minor is planar: average degree < 6.
+    g = gen.grid_2d(12, 12)
+    for r in (0, 1, 2):
+        assert shallow_minor_density(g, r, trials=3, seed=1) < 6.0
+
+
+def test_shallow_minor_density_detects_hidden_density():
+    # The 2-subdivision of K_12 is sparse (avg deg < 3) but its depth-1
+    # minors include K_12-ish quotients with much higher density.
+    k = gen.complete_graph(12)
+    s = gen.subdivide(k, 2)
+    assert s.average_degree() < 3.0
+    d0 = shallow_minor_density(s, 0, trials=3, seed=0)
+    d2 = shallow_minor_density(s, 2, trials=6, seed=0)
+    assert d2 > d0
+    assert d2 > 4.0
+
+
+def test_shallow_minor_density_radius_zero_is_avg_degree():
+    g = gen.cycle_graph(10)
+    assert shallow_minor_density(g, 0, trials=1) >= g.average_degree()
+
+
+def test_shallow_minor_density_rejects_negative_radius():
+    with pytest.raises(GraphError):
+        shallow_minor_density(gen.path_graph(3), -1)
+
+
+def test_is_valid_minor_model():
+    g = gen.path_graph(6)
+    ok = np.array([0, 0, 1, 1, 2, 2])
+    assert is_valid_minor_model(g, ok, radius=1)
+    # Class {0, 3} is disconnected in the path.
+    bad = np.array([0, 1, 1, 0, 2, 2])
+    assert not is_valid_minor_model(g, bad)
+
+
+def test_is_valid_minor_model_radius_check():
+    g = gen.path_graph(7)
+    labels = np.zeros(7, dtype=np.int64)  # one branch set: the whole path
+    assert is_valid_minor_model(g, labels, radius=3)
+    assert not is_valid_minor_model(g, labels, radius=2)
+
+
+def test_is_valid_minor_model_ignores_unassigned():
+    g = gen.path_graph(5)
+    labels = np.array([0, 0, -1, 1, 1])
+    assert is_valid_minor_model(g, labels, radius=1)

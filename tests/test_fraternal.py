@@ -1,0 +1,93 @@
+"""Transitive-fraternal augmentation orders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OrderError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.fraternal import (
+    augmentation_out_degrees,
+    fraternal_augmentation_order,
+    orient_acyclic,
+)
+from repro.orders.wreach import wcol_of_order
+
+
+def test_orient_acyclic_out_degree_bounded_by_degeneracy(small_graph):
+    g = small_graph
+    order, d = degeneracy_order(g)
+    arcs = orient_acyclic(g, order)
+    assert max((len(a) for a in arcs), default=0) <= max(d, 0)
+    # Every edge oriented exactly once.
+    assert sum(len(a) for a in arcs) == g.m
+
+
+def test_orient_acyclic_points_to_smaller():
+    from repro.orders.linear_order import LinearOrder
+
+    g = gen.path_graph(4)
+    order = LinearOrder.identity(4)
+    arcs = orient_acyclic(g, order)
+    for v in range(4):
+        for u, length in arcs[v]:
+            assert u < v
+            assert length == 1
+
+
+def test_fraternal_order_is_permutation(small_graph):
+    g = small_graph
+    order = fraternal_augmentation_order(g, 3)
+    assert sorted(order.by_rank.tolist()) == list(range(g.n))
+
+
+def test_fraternal_rejects_radius_zero():
+    with pytest.raises(OrderError):
+        fraternal_augmentation_order(gen.path_graph(3), 0)
+
+
+def test_fraternal_wcol_no_worse_than_random(medium_graph):
+    """The theory-motivated order should beat a random one on wcol."""
+    from repro.orders.heuristics import random_order
+
+    g = medium_graph
+    r = 2
+    frat = fraternal_augmentation_order(g, 2 * r)
+    rand = random_order(g, seed=42)
+    assert wcol_of_order(g, frat, 2 * r) <= wcol_of_order(g, rand, 2 * r)
+
+
+def test_fraternal_radius_one_close_to_degeneracy():
+    g = gen.grid_2d(8, 8)
+    order = fraternal_augmentation_order(g, 1)
+    # wcol_1 = max smaller-neighbors + 1; close to degeneracy + 1.
+    assert wcol_of_order(g, order, 1) <= 4
+
+
+def test_augmentation_out_degrees_bounded_on_grid():
+    g = gen.grid_2d(10, 10)
+    for r in (1, 2, 3):
+        degs = augmentation_out_degrees(g, r)
+        assert len(degs) == g.n
+        # Planar-grid augmentations stay sparse.
+        assert degs.max() <= 30
+
+
+def test_augmentation_grows_with_radius():
+    g = gen.grid_2d(8, 8)
+    d1 = augmentation_out_degrees(g, 1).sum()
+    d3 = augmentation_out_degrees(g, 3).sum()
+    assert d3 >= d1
+
+
+def test_empty_graph():
+    g = from_edges(0, [])
+    order = fraternal_augmentation_order(g, 2)
+    assert len(order) == 0
+    assert len(augmentation_out_degrees(g, 2)) == 0
+
+
+def test_deterministic(medium_graph):
+    g = medium_graph
+    assert fraternal_augmentation_order(g, 2) == fraternal_augmentation_order(g, 2)

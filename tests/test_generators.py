@@ -1,0 +1,162 @@
+"""Deterministic generators: structure, sizes, planarity claims."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.build import to_networkx
+from repro.graphs.components import is_connected
+
+
+def _is_planar(g) -> bool:
+    ok, _ = nx.check_planarity(to_networkx(g))
+    return ok
+
+
+def test_path_graph():
+    g = gen.path_graph(6)
+    assert g.n == 6 and g.m == 5
+    assert g.degree(0) == 1 and g.degree(3) == 2
+
+
+def test_path_trivial_sizes():
+    assert gen.path_graph(1).m == 0
+    assert gen.path_graph(0).n == 0
+
+
+def test_cycle_graph():
+    g = gen.cycle_graph(5)
+    assert g.n == 5 and g.m == 5
+    assert all(g.degree(v) == 2 for v in range(5))
+    with pytest.raises(GraphError):
+        gen.cycle_graph(2)
+
+
+def test_star_graph():
+    g = gen.star_graph(7)
+    assert g.degree(0) == 6
+    assert all(g.degree(v) == 1 for v in range(1, 7))
+
+
+def test_complete_graph():
+    g = gen.complete_graph(5)
+    assert g.m == 10
+    assert all(g.degree(v) == 4 for v in range(5))
+
+
+def test_complete_bipartite():
+    g = gen.complete_bipartite(2, 3)
+    assert g.m == 6
+    assert not g.has_edge(0, 1)
+    assert g.has_edge(0, 2)
+
+
+def test_grid_structure():
+    g = gen.grid_2d(3, 4)
+    assert g.n == 12 and g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+    assert is_connected(g)
+    assert _is_planar(g)
+    assert g.max_degree() == 4
+
+
+def test_grid_1xn_is_path():
+    assert gen.grid_2d(1, 5) == gen.path_graph(5)
+
+
+def test_torus_regular_not_planar():
+    g = gen.torus_2d(4, 5)
+    assert all(g.degree(v) == 4 for v in range(g.n))
+    assert not _is_planar(g)
+    with pytest.raises(GraphError):
+        gen.torus_2d(2, 5)
+
+
+def test_triangular_grid_planar():
+    g = gen.triangular_grid(4, 4)
+    assert _is_planar(g)
+    assert g.max_degree() <= 6
+    assert is_connected(g)
+
+
+def test_king_graph_degrees():
+    g = gen.king_graph(4, 4)
+    assert g.max_degree() == 8
+    corner_deg = g.degree(0)
+    assert corner_deg == 3
+
+
+def test_hex_grid_max_degree_3():
+    g = gen.hex_grid(4, 6)
+    assert g.max_degree() <= 3
+    assert _is_planar(g)
+
+
+def test_balanced_tree():
+    g = gen.balanced_tree(2, 3)
+    assert g.n == 15
+    assert g.m == 14
+    assert is_connected(g)
+    g0 = gen.balanced_tree(3, 0)
+    assert g0.n == 1 and g0.m == 0
+
+
+def test_caterpillar():
+    g = gen.caterpillar(4, 2)
+    assert g.n == 4 + 8
+    assert g.m == 3 + 8
+    assert is_connected(g)
+
+
+def test_k_tree_properties():
+    for k in (1, 2, 3):
+        g = gen.k_tree(20, k, seed=3)
+        assert g.n == 20
+        # A k-tree on n vertices has kn - k(k+1)/2 edges.
+        assert g.m == k * 20 - k * (k + 1) // 2
+        assert is_connected(g)
+        from repro.graphs.expansion import degeneracy
+
+        assert degeneracy(g) == k
+
+
+def test_k_tree_too_small():
+    with pytest.raises(GraphError):
+        gen.k_tree(2, 2)
+
+
+def test_maximal_outerplanar():
+    g = gen.maximal_outerplanar(10, seed=1)
+    # Maximal outerplanar: 2n - 3 edges.
+    assert g.m == 2 * 10 - 3
+    assert _is_planar(g)
+    assert is_connected(g)
+
+
+def test_outerplanar_determinism():
+    assert gen.maximal_outerplanar(15, seed=9) == gen.maximal_outerplanar(15, seed=9)
+
+
+def test_subdivide_counts():
+    g = gen.cycle_graph(4)
+    s1 = gen.subdivide(g, 1)
+    assert s1.n == 4 + 4
+    assert s1.m == 8
+    s0 = gen.subdivide(g, 0)
+    assert s0 == g
+
+
+def test_subdivide_makes_planar():
+    k5 = gen.complete_graph(5)
+    assert not _is_planar(k5)
+    # 1-subdivision of K5 is still non-planar (topological minor),
+    # but the subdivision has max degree 4 and 2x the edges.
+    s = gen.subdivide(k5, 1)
+    assert s.n == 5 + 10
+    assert s.m == 20
+    assert not _is_planar(s)
+
+
+def test_subdivide_negative():
+    with pytest.raises(GraphError):
+        gen.subdivide(gen.path_graph(3), -1)

@@ -1,0 +1,175 @@
+"""Unit tests for the CSR Graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.build import empty_graph, from_edges
+from repro.graphs.graph import Graph
+
+
+def test_from_edges_basic():
+    g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    assert g.n == 4
+    assert g.m == 3
+    assert g.degree(0) == 1
+    assert g.degree(1) == 2
+    assert list(g.neighbors(1)) == [0, 2]
+
+
+def test_from_edges_deduplicates():
+    g = from_edges(3, [(0, 1), (1, 0), (0, 1)])
+    assert g.m == 1
+
+
+def test_from_edges_rejects_self_loop():
+    with pytest.raises(GraphError):
+        from_edges(3, [(1, 1)])
+
+
+def test_from_edges_rejects_out_of_range():
+    with pytest.raises(GraphError):
+        from_edges(3, [(0, 3)])
+    with pytest.raises(GraphError):
+        from_edges(3, [(-1, 0)])
+
+
+def test_empty_graph():
+    g = empty_graph(5)
+    assert g.n == 5
+    assert g.m == 0
+    assert g.max_degree() == 0
+    assert g.average_degree() == 0.0
+    assert list(g.edges()) == []
+
+
+def test_zero_vertex_graph():
+    g = empty_graph(0)
+    assert g.n == 0
+    assert len(g) == 0
+    assert g.degree_histogram() == {}
+
+
+def test_adjacency_sorted():
+    g = from_edges(5, [(4, 0), (2, 0), (0, 1), (3, 0)])
+    assert list(g.neighbors(0)) == [1, 2, 3, 4]
+
+
+def test_has_edge():
+    g = from_edges(4, [(0, 1), (2, 3)])
+    assert g.has_edge(0, 1) and g.has_edge(1, 0)
+    assert not g.has_edge(0, 2)
+    assert not g.has_edge(1, 1)
+
+
+def test_edges_iteration_each_once():
+    edges = [(0, 1), (1, 2), (0, 2), (2, 3)]
+    g = from_edges(4, edges)
+    out = list(g.edges())
+    assert sorted(out) == sorted((min(u, v), max(u, v)) for u, v in edges)
+    assert all(u < v for u, v in out)
+
+
+def test_edge_array_matches_edges():
+    g = from_edges(6, [(0, 5), (2, 4), (1, 3), (3, 5)])
+    arr = g.edge_array()
+    assert sorted(map(tuple, arr.tolist())) == sorted(g.edges())
+
+
+def test_edge_array_empty():
+    assert empty_graph(3).edge_array().shape == (0, 2)
+
+
+def test_degrees_array():
+    g = from_edges(3, [(0, 1), (1, 2)])
+    assert g.degrees().tolist() == [1, 2, 1]
+
+
+def test_subgraph_induced():
+    g = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+    h, mapping = g.subgraph([0, 1, 2])
+    assert h.n == 3
+    assert h.m == 2  # edges (0,1) and (1,2); (0,4)/(3,4) dropped
+    assert mapping.tolist() == [0, 1, 2]
+
+
+def test_subgraph_relabels():
+    g = from_edges(5, [(2, 4)])
+    h, mapping = g.subgraph([2, 4])
+    assert h.n == 2
+    assert h.has_edge(0, 1)
+    assert mapping.tolist() == [2, 4]
+
+
+def test_subgraph_out_of_range():
+    g = from_edges(3, [(0, 1)])
+    with pytest.raises(GraphError):
+        g.subgraph([0, 7])
+
+
+def test_subgraph_deduplicates_input():
+    g = from_edges(3, [(0, 1), (1, 2)])
+    h, mapping = g.subgraph([1, 1, 0])
+    assert h.n == 2
+    assert mapping.tolist() == [0, 1]
+
+
+def test_copy_with_edges_removed():
+    g = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    h = g.copy_with_edges_removed([(1, 2)])
+    assert h.m == 2
+    assert not h.has_edge(1, 2)
+    # Removal accepts either endpoint order.
+    h2 = g.copy_with_edges_removed([(2, 1)])
+    assert h2 == h
+
+
+def test_equality_and_hash():
+    g1 = from_edges(3, [(0, 1), (1, 2)])
+    g2 = from_edges(3, [(1, 2), (0, 1)])
+    g3 = from_edges(3, [(0, 1)])
+    assert g1 == g2
+    assert hash(g1) == hash(g2)
+    assert g1 != g3
+    assert g1 != "not a graph"
+
+
+def test_validation_rejects_bad_indptr():
+    with pytest.raises(GraphError):
+        Graph(np.array([0, 2, 1]), np.array([1, 0], dtype=np.int32))
+
+
+def test_validation_rejects_unsorted_adjacency():
+    indptr = np.array([0, 2, 3, 4], dtype=np.int64)
+    indices = np.array([2, 1, 0, 0], dtype=np.int32)  # row 0 unsorted
+    with pytest.raises(GraphError):
+        Graph(indptr, indices)
+
+
+def test_validation_rejects_self_loop_in_csr():
+    indptr = np.array([0, 1, 2], dtype=np.int64)
+    indices = np.array([0, 0], dtype=np.int32)  # 0 adjacent to itself
+    with pytest.raises(GraphError):
+        Graph(indptr, indices)
+
+
+def test_immutable_arrays():
+    g = from_edges(3, [(0, 1)])
+    with pytest.raises(ValueError):
+        g.indices[0] = 2
+
+
+def test_degree_histogram():
+    g = from_edges(4, [(0, 1), (0, 2), (0, 3)])
+    assert g.degree_histogram() == {1: 3, 3: 1}
+
+
+def test_average_and_max_degree():
+    g = from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    assert g.average_degree() == pytest.approx(2.0)
+    assert g.max_degree() == 2
+
+
+def test_adjacency_lists_roundtrip():
+    g = from_edges(3, [(0, 1), (1, 2)])
+    assert g.adjacency_lists() == [[1], [0, 2], [1]]

@@ -1,0 +1,73 @@
+"""Order baselines and the sort-by-wreach improvement pass."""
+
+import numpy as np
+
+from repro.graphs import generators as gen
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.heuristics import (
+    bfs_order,
+    identity_order,
+    random_order,
+    sort_by_wreach_order,
+)
+from repro.orders.wreach import wcol_of_order
+
+
+def test_random_order_deterministic_by_seed():
+    g = gen.grid_2d(5, 5)
+    assert random_order(g, seed=1) == random_order(g, seed=1)
+    assert random_order(g, seed=1) != random_order(g, seed=2)
+
+
+def test_identity_order():
+    g = gen.path_graph(4)
+    o = identity_order(g)
+    assert o.by_rank.tolist() == [0, 1, 2, 3]
+
+
+def test_bfs_order_layers_monotone():
+    g = gen.grid_2d(4, 4)
+    o = bfs_order(g, root=0)
+    from repro.graphs.traversal import bfs_distances
+
+    dist = bfs_distances(g, 0)
+    # Ranks must be nondecreasing in BFS distance.
+    for u in range(g.n):
+        for v in range(g.n):
+            if dist[u] < dist[v]:
+                assert o.rank[u] < o.rank[v]
+
+
+def test_bfs_order_disconnected():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(4, [(0, 1)])
+    o = bfs_order(g, root=0)
+    # Unreached vertices go last.
+    assert o.rank[2] > o.rank[1] and o.rank[3] > o.rank[1]
+
+
+def test_sort_by_wreach_never_worse(medium_graph):
+    """Contract: returns the best order over all passes (incl. start)."""
+    g = medium_graph
+    start, _ = degeneracy_order(g)
+    r = 2
+    improved = sort_by_wreach_order(g, start, r, passes=3)
+    assert wcol_of_order(g, improved, r) <= wcol_of_order(g, start, r)
+
+
+def test_sort_by_wreach_empty_graph():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(0, [])
+    from repro.orders.linear_order import LinearOrder
+
+    out = sort_by_wreach_order(g, LinearOrder.identity(0), 2)
+    assert len(out) == 0
+
+
+def test_sort_by_wreach_often_improves_random():
+    g = gen.grid_2d(8, 8)
+    start = random_order(g, seed=0)
+    improved = sort_by_wreach_order(g, start, 2, passes=3)
+    assert wcol_of_order(g, improved, 2) <= wcol_of_order(g, start, 2)

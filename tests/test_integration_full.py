@@ -1,0 +1,115 @@
+"""Whole-stack integration: every layer must agree on the same instance.
+
+These tests chain the full machinery on a handful of instances and
+check the cross-layer identities that hold by theory:
+
+* bound chain:  scattered <= OPT,  LP <= OPT,  OPT <= any heuristic;
+* sequential == distributed == unified for the same order;
+* the cover's home clusters and the dominating set tell the same story
+  (the home center of w IS w's elected dominator);
+* connectors only ever add vertices, never break domination.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import (
+    is_connected_distance_r_dominating_set,
+    is_distance_r_dominating_set,
+)
+from repro.core.covers import build_cover
+from repro.core.domset import domset_by_wreach, domset_sequential
+from repro.core.dvorak import domset_dvorak
+from repro.core.exact import exact_domset, lp_lower_bound
+from repro.core.greedy import domset_greedy
+from repro.core.independence import scattered_lower_bound
+from repro.core.prune import prune_dominating_set
+from repro.distributed.domset_bc import run_domset_bc
+from repro.distributed.nd_order import default_threshold, distributed_h_partition_order
+from repro.distributed.unified_bc import run_unified_bc
+from repro.graphs import generators as gen
+from repro.graphs.random_models import delaunay_graph
+
+
+INSTANCES = [
+    ("grid7x7", gen.grid_2d(7, 7)),
+    ("delaunay90", delaunay_graph(90, seed=13)[0]),
+    ("ktree60", gen.k_tree(60, 2, seed=8)),
+]
+
+
+@pytest.mark.parametrize("name,g", INSTANCES, ids=[n for n, _ in INSTANCES])
+@pytest.mark.parametrize("radius", [1, 2])
+def test_bound_chain(name, g, radius):
+    from repro.orders.degeneracy import degeneracy_order
+
+    opt, _ = exact_domset(g, radius)
+    lp = lp_lower_bound(g, radius)
+    scatter = scattered_lower_bound(g, radius)
+    assert scatter <= opt
+    assert lp <= opt + 1e-9
+    order, _ = degeneracy_order(g)
+    assert domset_greedy(g, radius).size >= opt
+    assert domset_dvorak(g, order, radius).size >= opt
+    assert domset_sequential(g, order, radius).size >= opt
+
+
+@pytest.mark.parametrize("name,g", INSTANCES, ids=[n for n, _ in INSTANCES])
+def test_three_implementations_agree(name, g):
+    """Sequential definition == Algorithm 1 == phased BC == unified BC."""
+    radius = 2
+    thr = default_threshold(g)
+    oc = distributed_h_partition_order(g, thr)
+    seq_def = domset_by_wreach(g, oc.order, radius)
+    seq_alg = domset_sequential(g, oc.order, radius)
+    dist = run_domset_bc(g, radius, oc)
+    uni = run_unified_bc(g, radius, threshold=thr)
+    assert seq_def.dominators == seq_alg.dominators == dist.dominators == uni.dominators
+    assert np.array_equal(seq_def.dominator_of, dist.dominator_of)
+    assert np.array_equal(seq_def.dominator_of, uni.dominator_of)
+
+
+@pytest.mark.parametrize("name,g", INSTANCES, ids=[n for n, _ in INSTANCES])
+def test_cover_and_domset_tell_same_story(name, g):
+    """home_cluster[w] == dominator_of[w]: Lemma 6 in action."""
+    radius = 1
+    oc = distributed_h_partition_order(g)
+    cover = build_cover(g, oc.order, radius)
+    ds = domset_by_wreach(g, oc.order, radius)
+    assert np.array_equal(cover.home_cluster, ds.dominator_of)
+    # The set of home centers IS the dominating set.
+    assert set(int(h) for h in cover.home_cluster) == set(ds.dominators)
+
+
+@pytest.mark.parametrize("name,g", INSTANCES, ids=[n for n, _ in INSTANCES])
+def test_connectors_extend_without_breaking(name, g):
+    from repro.core.connect import connect_via_minor, connect_via_wreach
+
+    radius = 1
+    oc = distributed_h_partition_order(g)
+    ds = domset_sequential(g, oc.order, radius)
+    pruned = prune_dominating_set(g, ds.dominators, radius)
+    for base in (ds.dominators, pruned):
+        for connector in (
+            lambda b: connect_via_wreach(g, oc.order, b, radius).vertices,
+            lambda b: connect_via_minor(g, b, radius).vertices,
+        ):
+            out = connector(base)
+            assert set(base) <= set(out)
+            assert is_connected_distance_r_dominating_set(g, out, radius)
+
+
+def test_prune_then_connect_then_still_valid_end_to_end():
+    """A realistic composition: Thm 9 -> LOCAL prune -> Lemma 16 connect."""
+    from repro.core.connect import connect_via_minor
+    from repro.distributed.prune_local import local_prune
+
+    g, _ = delaunay_graph(150, seed=21)
+    radius = 2
+    dist = run_domset_bc(g, radius)
+    pr = local_prune(g, dist.dominators, radius)
+    conn = connect_via_minor(g, pr.dominators, radius)
+    assert is_connected_distance_r_dominating_set(g, conn.vertices, radius)
+    # The composition should beat the unpruned connected set size.
+    conn_raw = connect_via_minor(g, dist.dominators, radius)
+    assert conn.size <= conn_raw.size

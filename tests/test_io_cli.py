@@ -1,0 +1,102 @@
+"""Graph file I/O and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.io import dumps, loads, read_edge_list, write_edge_list
+
+
+def test_roundtrip_string():
+    g = gen.grid_2d(4, 4)
+    assert loads(dumps(g)) == g
+
+
+def test_roundtrip_file(tmp_path):
+    g = gen.k_tree(20, 2, seed=1)
+    path = tmp_path / "g.edges"
+    write_edge_list(g, path)
+    assert read_edge_list(path) == g
+
+
+def test_loads_with_comments():
+    text = "# a comment\n3 2\n0 1\n\n1 2\n"
+    g = loads(text)
+    assert g.n == 3 and g.m == 2
+
+
+def test_loads_errors():
+    with pytest.raises(GraphError):
+        loads("")
+    with pytest.raises(GraphError):
+        loads("3\n0 1\n")
+    with pytest.raises(GraphError):
+        loads("3 2\n0 1\n")  # promises 2 edges, has 1
+    with pytest.raises(GraphError):
+        loads("3 1\n0 1 2\n")
+
+
+def test_isolated_vertices_roundtrip():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(5, [(0, 1)])
+    assert loads(dumps(g)) == g
+
+
+def _write_grid(tmp_path):
+    path = tmp_path / "grid.edges"
+    write_edge_list(gen.grid_2d(5, 5), path)
+    return str(path)
+
+
+def test_cli_info(tmp_path, capsys):
+    path = _write_grid(tmp_path)
+    assert main(["info", path]) == 0
+    out = capsys.readouterr().out
+    assert "degeneracy = 2" in out
+    assert "wcol_2" in out
+
+
+def test_cli_domset(tmp_path, capsys):
+    path = _write_grid(tmp_path)
+    assert main(["domset", path, "-r", "1", "--prune", "--lp", "--show"]) == 0
+    out = capsys.readouterr().out
+    assert "|D| =" in out
+    assert "certified ratio" in out
+    assert "LP lower bound" in out
+    assert "D =" in out
+
+
+def test_cli_domset_exact_and_connect(tmp_path, capsys):
+    path = _write_grid(tmp_path)
+    assert main(["domset", path, "-r", "2", "--exact", "--connect"]) == 0
+    out = capsys.readouterr().out
+    assert "exact OPT" in out
+    assert "connected |D'|" in out
+    assert "valid: True" in out
+
+
+def test_cli_distributed(tmp_path, capsys):
+    path = _write_grid(tmp_path)
+    assert main(["distributed", path, "-r", "1", "--connect"]) == 0
+    out = capsys.readouterr().out
+    assert "total rounds" in out
+    assert "connected |D'|" in out
+
+
+def test_cli_generate_family(tmp_path, capsys):
+    out_file = tmp_path / "out.edges"
+    assert main(["generate", "grid", "4", "6", "-o", str(out_file)]) == 0
+    g = read_edge_list(out_file)
+    assert g.n == 24
+
+
+def test_cli_generate_workload(tmp_path):
+    out_file = tmp_path / "w.edges"
+    assert main(["generate", "outerplanar200", "-o", str(out_file)]) == 0
+    assert read_edge_list(out_file).n == 200
+
+
+def test_cli_generate_unknown(tmp_path, capsys):
+    assert main(["generate", "quantumfoam", "-o", str(tmp_path / "x")]) == 2

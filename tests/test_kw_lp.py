@@ -1,0 +1,75 @@
+"""KW-style distributed LP + rounding baseline."""
+
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.core.exact import lp_lower_bound
+from repro.distributed.kw_lp import kw_lp_domset
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.graphs.random_models import delaunay_graph
+
+
+@pytest.mark.parametrize("radius", [0, 1, 2])
+def test_output_dominates(small_graph, radius):
+    res = kw_lp_domset(small_graph, radius, seed=1)
+    assert is_distance_r_dominating_set(small_graph, res.dominators, radius)
+
+
+def test_fractional_cost_sane():
+    """The fractional stage is feasible, so its cost >= LP optimum."""
+    for g in (gen.grid_2d(6, 6), delaunay_graph(80, seed=2)[0]):
+        res = kw_lp_domset(g, 1, seed=0)
+        lp = lp_lower_bound(g, 1)
+        assert res.fractional_cost >= lp - 1e-9
+
+
+def test_fractional_cost_not_too_loose():
+    """Threshold sweeping keeps the fractional cost near O(log) of LP."""
+    g = gen.grid_2d(8, 8)
+    res = kw_lp_domset(g, 1, seed=0)
+    lp = lp_lower_bound(g, 1)
+    import math
+
+    assert res.fractional_cost <= 4 * math.log(g.n + 1) * max(lp, 1.0)
+
+
+def test_deterministic_by_seed():
+    g = gen.grid_2d(6, 6)
+    a = kw_lp_domset(g, 1, seed=5)
+    b = kw_lp_domset(g, 1, seed=5)
+    assert a.dominators == b.dominators
+
+
+def test_counts_add_up():
+    g, _ = delaunay_graph(70, seed=4)
+    res = kw_lp_domset(g, 1, seed=3)
+    assert res.rounded + res.fixed_up >= res.size  # overlap possible
+    assert res.size >= 1
+    assert res.phases >= 1
+    assert res.raise_rounds >= 1
+    assert res.local_rounds == (res.raise_rounds + 1) * 3
+
+
+def test_star_cheap():
+    g = gen.star_graph(15)
+    res = kw_lp_domset(g, 1, seed=0)
+    assert res.size <= 3  # center carries nearly all LP mass
+
+
+def test_quality_reasonable_vs_lp():
+    g, _ = delaunay_graph(150, seed=6)
+    res = kw_lp_domset(g, 1, seed=1)
+    lp = lp_lower_bound(g, 1)
+    assert res.size <= 8 * max(lp, 1.0)  # O(log Delta)-ish, generous
+
+
+def test_empty_graph():
+    res = kw_lp_domset(from_edges(0, []), 1)
+    assert res.dominators == ()
+
+
+def test_rejects_negative_radius():
+    with pytest.raises(GraphError):
+        kw_lp_domset(gen.path_graph(3), -1)

@@ -1,0 +1,121 @@
+"""Direct property tests of the paper's standalone lemmas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.domset import domset_sequential
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.graphs.components import is_connected, largest_component
+from repro.graphs.traversal import bfs_distances, shortest_path
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.linear_order import LinearOrder
+from repro.orders.wreach import wreach_sets
+
+
+@st.composite
+def connected_graph(draw, max_n=14):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    # Random spanning tree plus extra edges: always connected.
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=2 * n,
+        )
+    )
+    edges = [(draw(st.integers(min_value=0, max_value=v - 1)), v) for v in range(1, n)]
+    edges += [(u, v) for u, v in extra if u != v]
+    return from_edges(n, edges)
+
+
+@given(connected_graph(), st.integers(min_value=1, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_lemma11(g, radius):
+    """Lemma 11: D + paths between pairs at distance <= 2r+1 is connected."""
+    order, _ = degeneracy_order(g)
+    d = list(domset_sequential(g, order, radius).dominators)
+    # Connect exactly the pairs the lemma asks for.
+    vertices = set(d)
+    for i, u in enumerate(d):
+        dist = bfs_distances(g, u, max_dist=2 * radius + 1)
+        for v in d[i + 1 :]:
+            if dist[v] != -1:
+                path = shortest_path(g, u, v)
+                assert path is not None
+                vertices.update(path)
+    sub, _ = g.subgraph(sorted(vertices))
+    assert is_connected(sub)
+
+
+@given(connected_graph(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_lemma12(g, r):
+    """Lemma 12: the L-min of a short u-v path is weakly r-reachable from both."""
+    rng = np.random.default_rng(0)
+    order = LinearOrder.from_sequence(rng.permutation(g.n))
+    wr = wreach_sets(g, order, r)
+    for u in range(min(g.n, 6)):
+        for v in range(u, g.n):
+            path = shortest_path(g, u, v, max_dist=r)
+            if path is None:
+                continue
+            w = order.min_of(path)
+            assert w in wr[u], (u, v, w)
+            assert w in wr[v], (u, v, w)
+
+
+def test_lemma12_concrete():
+    # Path 0-1-2 with order making 1 the least: 1 in WReach_2 of both ends.
+    g = gen.path_graph(3)
+    order = LinearOrder.from_sequence([1, 0, 2])
+    wr = wreach_sets(g, order, 2)
+    assert 1 in wr[0] and 1 in wr[2]
+
+
+@given(connected_graph(max_n=12), st.integers(min_value=1, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_lemma14_15_on_random_graphs(g, radius):
+    """B(D) is a partition into radius-<=r connected classes whose quotient
+    is a connected minor (Lemmas 14 + 15)."""
+    from repro.core.connect import lex_ball_partition, minor_of_domset
+    from repro.graphs.expansion import is_valid_minor_model
+
+    order, _ = degeneracy_order(g)
+    d = domset_sequential(g, order, radius).dominators
+    owner, labels = lex_ball_partition(g, d, radius)
+    # Partition: every vertex owned, owners are dominators.
+    assert set(int(o) for o in owner) <= set(d)
+    # Valid depth-r minor model.
+    relabel = {v: i for i, v in enumerate(sorted(set(int(o) for o in owner)))}
+    class_labels = np.asarray([relabel[int(o)] for o in owner])
+    assert is_valid_minor_model(g, class_labels, radius=radius)
+    # Quotient connected.
+    h_edges = minor_of_domset(g, d, radius)
+    idx = {v: i for i, v in enumerate(d)}
+    quotient = from_edges(len(d), [(idx[a], idx[b]) for a, b in h_edges])
+    assert is_connected(quotient)
+
+
+@given(
+    st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-(2**48), max_value=2**48),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=8),
+        ),
+        lambda inner: st.tuples(inner, inner) | st.tuples(inner),
+        max_leaves=12,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_pipelining_codec_roundtrip(payload):
+    """The pipelining wire codec is lossless on arbitrary nested payloads."""
+    from repro.distributed.pipelining import decode_payload, encode_payload
+
+    assert decode_payload(encode_payload(payload)) == payload

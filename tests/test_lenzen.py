@@ -1,0 +1,82 @@
+"""Lenzen-style planar MDS (constant LOCAL rounds)."""
+
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.core.exact import exact_domset
+from repro.distributed.lenzen import GATHER_RADIUS, lenzen_planar_mds
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.graphs.random_models import delaunay_graph, random_tree
+
+
+def _planar_zoo():
+    return [
+        ("grid6x6", gen.grid_2d(6, 6)),
+        ("tri5x5", gen.triangular_grid(5, 5)),
+        ("hex4x8", gen.hex_grid(4, 8)),
+        ("tree", random_tree(40, seed=1)),
+        ("delaunay", delaunay_graph(70, seed=2)[0]),
+        ("outerplanar", gen.maximal_outerplanar(25, seed=3)),
+    ]
+
+
+def test_output_dominates():
+    for name, g in _planar_zoo():
+        res = lenzen_planar_mds(g)
+        assert is_distance_r_dominating_set(g, res.dominators, 1), name
+
+
+def test_constant_rounds():
+    for name, g in _planar_zoo():
+        res = lenzen_planar_mds(g)
+        assert res.rounds == GATHER_RADIUS, name
+
+
+def test_constant_factor_on_planar_instances():
+    """Measured approximation factor stays small (paper: O(1) on planar)."""
+    for name, g in _planar_zoo():
+        res = lenzen_planar_mds(g)
+        opt, _ = exact_domset(g, 1)
+        assert res.size <= 6 * max(opt, 1), (name, res.size, opt)
+
+
+def test_d1_d2_partition_output():
+    g = gen.grid_2d(5, 5)
+    res = lenzen_planar_mds(g)
+    assert set(res.dominators) == set(res.d1) | set(res.d2)
+
+
+def test_star_single_dominator():
+    g = gen.star_graph(10)
+    res = lenzen_planar_mds(g)
+    # The center dominates everything; phase 2 elects it (max span).
+    assert res.dominators == (0,)
+
+
+def test_d1_rule_on_known_graph():
+    # On a long path, every interior vertex's neighborhood {v-1, v+1} is
+    # covered by the pair (v-1, v+1) themselves; no vertex joins D1.
+    g = gen.path_graph(12)
+    res = lenzen_planar_mds(g)
+    assert res.d1 == ()
+    assert is_distance_r_dominating_set(g, res.dominators, 1)
+
+
+def test_isolated_vertices_self_elect():
+    g = from_edges(5, [(0, 1)])
+    res = lenzen_planar_mds(g)
+    assert {2, 3, 4} <= set(res.dominators)
+    assert is_distance_r_dominating_set(g, res.dominators, 1)
+
+
+def test_oracle_equals_messages_small():
+    g = gen.grid_2d(4, 4)
+    a = lenzen_planar_mds(g, mode="oracle")
+    b = lenzen_planar_mds(g, mode="messages")
+    assert a.dominators == b.dominators
+
+
+def test_deterministic():
+    g, _ = delaunay_graph(50, seed=4)
+    assert lenzen_planar_mds(g).dominators == lenzen_planar_mds(g).dominators

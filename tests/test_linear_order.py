@@ -1,0 +1,91 @@
+"""LinearOrder semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OrderError
+from repro.graphs import generators as gen
+from repro.orders.linear_order import LinearOrder
+
+
+def test_identity():
+    o = LinearOrder.identity(5)
+    assert o.rank.tolist() == [0, 1, 2, 3, 4]
+    assert o.by_rank.tolist() == [0, 1, 2, 3, 4]
+    assert o.less(0, 1)
+
+
+def test_from_sequence():
+    o = LinearOrder.from_sequence([2, 0, 1])
+    assert o.by_rank.tolist() == [2, 0, 1]
+    assert o.rank.tolist() == [1, 2, 0]
+    assert o.less(2, 0) and o.less(0, 1)
+
+
+def test_rejects_non_permutation():
+    with pytest.raises(OrderError):
+        LinearOrder(np.array([0, 0, 1]))
+    with pytest.raises(OrderError):
+        LinearOrder(np.array([0, 2]))
+
+
+def test_from_keys_with_tiebreak():
+    # Keys (class ids): vertex 2 has the smallest class; 0 and 1 tie and
+    # break by id.
+    o = LinearOrder.from_keys([5, 5, 1])
+    assert o.by_rank.tolist() == [2, 0, 1]
+
+
+def test_from_keys_tuples():
+    keys = [(1, 9), (0, 9), (1, 0)]
+    o = LinearOrder.from_keys(keys)
+    assert o.by_rank.tolist() == [1, 2, 0]
+
+
+def test_min_of():
+    o = LinearOrder.from_sequence([3, 1, 0, 2])
+    assert o.min_of([0, 1, 2]) == 1
+    assert o.min_of([2]) == 2
+    with pytest.raises(OrderError):
+        o.min_of([])
+
+
+def test_sorted_adjacency_matches_order(small_graph):
+    g = small_graph
+    rng = np.random.default_rng(0)
+    o = LinearOrder.from_sequence(rng.permutation(g.n))
+    adj = o.sorted_adjacency(g)
+    for v in range(g.n):
+        row = adj[v]
+        assert sorted(row.tolist()) == sorted(g.neighbors(v).tolist())
+        ranks = [o.rank[u] for u in row]
+        assert ranks == sorted(ranks)
+
+
+def test_sorted_adjacency_size_mismatch():
+    g = gen.path_graph(3)
+    with pytest.raises(OrderError):
+        LinearOrder.identity(4).sorted_adjacency(g)
+
+
+def test_restrict():
+    o = LinearOrder.from_sequence([3, 1, 0, 2])
+    # Restrict to [0, 2, 3]: order among them is 3 < 0 < 2.
+    r = o.restrict([0, 2, 3])
+    # vertices renamed by position in the input list: 0->0, 2->1, 3->2
+    assert r.by_rank.tolist() == [2, 0, 1]
+
+
+def test_equality_and_hash():
+    a = LinearOrder.from_sequence([1, 0, 2])
+    b = LinearOrder.from_sequence([1, 0, 2])
+    c = LinearOrder.identity(3)
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert a != "x"
+
+
+def test_immutability():
+    o = LinearOrder.identity(3)
+    with pytest.raises(ValueError):
+        o.rank[0] = 2

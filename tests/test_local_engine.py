@@ -1,0 +1,100 @@
+"""LOCAL engine: oracle mode == message-passing mode."""
+
+import pytest
+
+from repro.distributed.local_engine import BallInfo, gather_balls, run_local_algorithm
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.graphs.random_models import delaunay_graph
+
+
+@pytest.mark.parametrize("k", [0, 1, 2, 3])
+def test_modes_agree(k):
+    graphs = [
+        gen.grid_2d(4, 5),
+        gen.cycle_graph(9),
+        gen.balanced_tree(2, 3),
+        from_edges(6, [(0, 1), (2, 3), (3, 4)]),  # disconnected
+    ]
+    for g in graphs:
+        oracle, _ = gather_balls(g, k, mode="oracle")
+        msgs, _ = gather_balls(g, k, mode="messages")
+        assert oracle == msgs, (g, k)
+
+
+def test_modes_agree_with_data():
+    g = gen.grid_2d(4, 4)
+    data = {v: ("flag", v % 3 == 0) for v in range(g.n)}
+    o, _ = gather_balls(g, 2, node_data=data, mode="oracle")
+    m, _ = gather_balls(g, 2, node_data=data, mode="messages")
+    assert o == m
+    # Data of everything in the ball is present.
+    for ball in o:
+        assert set(ball.data) == set(ball.vertices)
+
+
+def test_ball_contents_radius_one():
+    g = gen.star_graph(5)
+    balls, rounds = gather_balls(g, 1)
+    assert rounds == 1
+    center_ball = balls[0]
+    assert center_ball.vertices == (0, 1, 2, 3, 4)
+    leaf_ball = balls[1]
+    assert leaf_ball.vertices == (0, 1)
+    assert leaf_ball.edges == ((0, 1),)
+
+
+def test_ball_edges_are_induced():
+    g = gen.cycle_graph(6)
+    balls, _ = gather_balls(g, 2)
+    b = balls[0]  # N_2[0] = {4, 5, 0, 1, 2}
+    assert b.vertices == (0, 1, 2, 4, 5)
+    # Edge (2,3) and (3,4) absent: 3 not in the ball.
+    assert (2, 3) not in b.edges and (3, 4) not in b.edges
+    assert (4, 5) in b.edges
+
+
+def test_ball_graph_roundtrip():
+    g = gen.grid_2d(3, 3)
+    balls, _ = gather_balls(g, 1)
+    bg, local = balls[4].graph()  # center vertex
+    assert bg.n == 5
+    assert bg.degree(local[4]) == 4
+
+
+def test_radius_zero_ball():
+    g = gen.path_graph(3)
+    balls, rounds = gather_balls(g, 0)
+    assert rounds == 0
+    assert balls[1].vertices == (1,)
+    assert balls[1].edges == ()
+
+
+def test_negative_radius_rejected():
+    with pytest.raises(SimulationError):
+        gather_balls(gen.path_graph(3), -1)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(SimulationError):
+        gather_balls(gen.path_graph(3), 1, mode="quantum")
+
+
+def test_run_local_algorithm_outputs():
+    g = gen.grid_2d(3, 3)
+
+    def count_ball(ball: BallInfo) -> int:
+        return len(ball.vertices)
+
+    outs, rounds = run_local_algorithm(g, 1, count_ball)
+    assert rounds == 1
+    assert outs[4] == 5  # center of 3x3 grid
+    assert outs[0] == 3  # corner
+
+
+def test_larger_graph_modes_agree():
+    g, _ = delaunay_graph(40, seed=8)
+    o, _ = gather_balls(g, 3, mode="oracle")
+    m, _ = gather_balls(g, 3, mode="messages")
+    assert o == m

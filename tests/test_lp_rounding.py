@@ -1,0 +1,64 @@
+"""Bansal-Umboh LP rounding baseline."""
+
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.core.exact import exact_domset
+from repro.core.lp_rounding import lp_rounding_domset
+from repro.errors import SolverError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.graphs.expansion import degeneracy
+from repro.graphs.random_models import delaunay_graph
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_output_dominates(small_graph, radius):
+    res = lp_rounding_domset(small_graph, radius)
+    assert is_distance_r_dominating_set(small_graph, res.dominators, radius)
+
+
+def test_three_a_bound_on_small_instances():
+    """|D| <= 3a * OPT with a = degeneracy (measured claim of [10])."""
+    for g in (gen.grid_2d(4, 4), gen.cycle_graph(12), gen.star_graph(10),
+              gen.balanced_tree(2, 3)):
+        a = max(1, degeneracy(g))
+        res = lp_rounding_domset(g, 1)
+        opt, _ = exact_domset(g, 1)
+        assert res.size <= 3 * a * opt + 1e-9
+
+
+def test_lp_value_is_lower_bound():
+    g, _ = delaunay_graph(80, seed=1)
+    res = lp_rounding_domset(g, 1)
+    assert res.lp_value <= res.size
+    assert res.rounded + res.fixed_up >= res.size  # S and U may overlap... no:
+    # S and U are disjoint by construction (U is undominated by S).
+    assert res.rounded + res.fixed_up == res.size
+
+
+def test_threshold_tracks_arboricity_advice():
+    g = gen.grid_2d(5, 5)
+    r1 = lp_rounding_domset(g, 1, arboricity=1)
+    r3 = lp_rounding_domset(g, 1, arboricity=3)
+    assert r1.threshold == pytest.approx(1 / 3)
+    assert r3.threshold == pytest.approx(1 / 9)
+    # A lower threshold admits more vertices into S.
+    assert r3.rounded >= r1.rounded
+
+
+def test_star_lp_is_integral():
+    g = gen.star_graph(12)
+    res = lp_rounding_domset(g, 1)
+    assert res.lp_value == pytest.approx(1.0, abs=1e-6)
+    assert 0 in res.dominators
+
+
+def test_empty_graph():
+    res = lp_rounding_domset(from_edges(0, []), 1)
+    assert res.dominators == ()
+
+
+def test_rejects_radius_zero():
+    with pytest.raises(SolverError):
+        lp_rounding_domset(gen.path_graph(3), 0)

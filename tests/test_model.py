@@ -1,0 +1,63 @@
+"""Message model and word accounting."""
+
+import pytest
+
+from repro.distributed.model import Model, normalized_rounds, payload_words
+from repro.errors import ModelViolation
+
+
+def test_model_flags():
+    assert Model.CONGEST_BC.broadcast_only
+    assert not Model.CONGEST.broadcast_only
+    assert not Model.LOCAL.broadcast_only
+    assert Model.CONGEST.bounded_bandwidth
+    assert Model.CONGEST_BC.bounded_bandwidth
+    assert not Model.LOCAL.bounded_bandwidth
+
+
+def test_scalar_payloads():
+    assert payload_words(7) == 1
+    assert payload_words(3.14) == 1
+    assert payload_words(True) == 1
+    assert payload_words(None) == 1
+    assert payload_words(Model.LOCAL) == 1
+
+
+def test_string_payloads():
+    assert payload_words("") == 1
+    assert payload_words("abc") == 1
+    assert payload_words("elect") == 2  # 5 chars -> 2 words
+
+
+def test_container_payloads():
+    assert payload_words((1, 2, 3)) == 3
+    assert payload_words([]) == 1
+    assert payload_words({1: 2}) == 2
+    assert payload_words(((1, 2), (3, 4))) == 4
+    assert payload_words(frozenset({1, 2})) == 2
+
+
+def test_custom_words_hook():
+    class Blob:
+        def __words__(self):
+            return 17
+
+    assert payload_words(Blob()) == 17
+
+
+def test_unsizeable_payload_raises():
+    class Blob:
+        pass
+
+    with pytest.raises(ModelViolation):
+        payload_words(Blob())
+
+
+def test_normalized_rounds():
+    # Three logical rounds with max payloads 1, 5, 2 at bandwidth 2:
+    # 1 + 3 + 1 rounds.
+    assert normalized_rounds([1, 5, 2], 2) == 5
+    assert normalized_rounds([], 1) == 0
+    assert normalized_rounds([0], 1) == 1  # a silent round still ticks
+    with pytest.raises(ModelViolation):
+        normalized_rounds([1], 0)

@@ -1,0 +1,195 @@
+"""The synchronous simulator engine."""
+
+import pytest
+
+from repro.distributed.model import Model
+from repro.distributed.network import Network
+from repro.distributed.node import NodeAlgorithm
+from repro.errors import ModelViolation, SimulationError
+from repro.graphs import generators as gen
+
+
+class Flood(NodeAlgorithm):
+    """Classic flood: learn the max id in the graph in diameter rounds."""
+
+    def __init__(self, rounds: int) -> None:
+        super().__init__()
+        self.rounds = rounds
+        self.best = -1
+        self.t = 0
+
+    def on_start(self, ctx):
+        self.best = ctx.node
+        return self.best
+
+    def on_round(self, ctx, inbox):
+        self.t += 1
+        improved = False
+        for _src, val in inbox:
+            if val > self.best:
+                self.best = val
+                improved = True
+        if self.t >= self.rounds:
+            self.halted = True
+            return None
+        return self.best if improved else None
+
+    def output(self):
+        return self.best
+
+
+def test_flood_learns_max_id():
+    g = gen.path_graph(6)  # diameter 5
+    net = Network(g, Model.CONGEST_BC, lambda v: Flood(6))
+    res = net.run()
+    assert all(res.outputs[v] == 5 for v in range(6))
+    assert res.rounds == 6
+
+
+def test_flood_stats_recorded():
+    g = gen.cycle_graph(5)
+    net = Network(g, Model.CONGEST_BC, lambda v: Flood(4))
+    res = net.run()
+    assert res.total_messages > 0
+    assert res.max_payload_words == 1
+    assert res.normalized_rounds(1) >= len(res.round_stats)
+
+
+class P2P(NodeAlgorithm):
+    """Sends a distinct message to each neighbor (CONGEST only)."""
+
+    def on_start(self, ctx):
+        self.halted = True
+        return {u: (ctx.node, u) for u in ctx.neighbors}
+
+    def on_round(self, ctx, inbox):  # pragma: no cover
+        self.halted = True
+        return None
+
+
+def test_point_to_point_rejected_in_bc():
+    g = gen.path_graph(3)
+    net = Network(g, Model.CONGEST_BC, lambda v: P2P())
+    with pytest.raises(ModelViolation):
+        net.run()
+
+
+def test_point_to_point_allowed_in_congest():
+    g = gen.path_graph(3)
+    net = Network(g, Model.CONGEST, lambda v: P2P())
+    res = net.run()
+    assert res.total_messages == 4  # 2 + 2x1 directed... each edge twice
+
+
+class BadAddress(NodeAlgorithm):
+    def on_start(self, ctx):
+        self.halted = True
+        return {99: "hi"}
+
+    def on_round(self, ctx, inbox):  # pragma: no cover
+        return None
+
+
+def test_unknown_neighbor_rejected():
+    g = gen.path_graph(3)
+    net = Network(g, Model.CONGEST, lambda v: BadAddress())
+    with pytest.raises(ModelViolation):
+        net.run()
+
+
+class BigTalker(NodeAlgorithm):
+    def on_start(self, ctx):
+        return tuple(range(50))
+
+    def on_round(self, ctx, inbox):
+        self.halted = True
+        return None
+
+
+def test_strict_bandwidth_enforced():
+    g = gen.path_graph(3)
+    net = Network(
+        g, Model.CONGEST_BC, lambda v: BigTalker(), words_per_round=1, strict_bandwidth=True
+    )
+    with pytest.raises(ModelViolation):
+        net.run()
+
+
+def test_lenient_bandwidth_accounts_normalized():
+    g = gen.path_graph(3)
+    net = Network(g, Model.CONGEST_BC, lambda v: BigTalker())
+    res = net.run()
+    assert res.max_payload_words == 50
+    assert res.normalized_rounds(1) >= 50
+
+
+class NeverHalts(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        return None
+
+
+def test_deadlock_detection():
+    g = gen.path_graph(3)
+    net = Network(g, Model.CONGEST_BC, lambda v: NeverHalts())
+    with pytest.raises(SimulationError):
+        net.run(max_rounds=100_000)
+
+
+class SlowCounter(NodeAlgorithm):
+    """Halts silently after a fixed number of quiet rounds."""
+
+    def __init__(self, wait: int) -> None:
+        super().__init__()
+        self.wait = wait
+        self.t = 0
+
+    def on_round(self, ctx, inbox):
+        self.t += 1
+        if self.t >= self.wait:
+            self.halted = True
+        return None
+
+    def output(self):
+        return self.t
+
+
+def test_quiet_phase_counting_tolerated():
+    g = gen.path_graph(4)
+    net = Network(g, Model.CONGEST_BC, lambda v: SlowCounter(10))
+    res = net.run()
+    assert all(res.outputs[v] == 10 for v in range(4))
+
+
+def test_max_rounds_exceeded():
+    g = gen.path_graph(3)
+    net = Network(g, Model.CONGEST_BC, lambda v: SlowCounter(50))
+    with pytest.raises(SimulationError):
+        net.run(max_rounds=10)
+
+
+def test_determinism():
+    g = gen.grid_2d(4, 4)
+    r1 = Network(g, Model.CONGEST_BC, lambda v: Flood(8)).run()
+    r2 = Network(g, Model.CONGEST_BC, lambda v: Flood(8)).run()
+    assert r1.outputs == r2.outputs
+    assert r1.rounds == r2.rounds
+    assert [s.total_words for s in r1.round_stats] == [
+        s.total_words for s in r2.round_stats
+    ]
+
+
+def test_inbox_sorted_by_sender():
+    received = {}
+
+    class Recorder(NodeAlgorithm):
+        def on_start(self, ctx):
+            return ctx.node
+
+        def on_round(self, ctx, inbox):
+            received[ctx.node] = [src for src, _ in inbox]
+            self.halted = True
+            return None
+
+    g = gen.star_graph(5)
+    Network(g, Model.CONGEST_BC, lambda v: Recorder()).run()
+    assert received[0] == [1, 2, 3, 4]

@@ -1,0 +1,85 @@
+"""Graph surgery: unions, relabelings, contractions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.graphs.operations import (
+    add_edges,
+    contract_partition,
+    disjoint_union,
+    relabel,
+    remove_vertices,
+)
+
+
+def test_disjoint_union_sizes():
+    a = gen.path_graph(3)
+    b = gen.cycle_graph(4)
+    u = disjoint_union([a, b])
+    assert u.n == 7
+    assert u.m == 2 + 4
+    assert u.has_edge(0, 1)
+    assert u.has_edge(3, 4)  # first cycle edge shifted by 3
+    assert not u.has_edge(2, 3)
+
+
+def test_disjoint_union_empty_list():
+    assert disjoint_union([]).n == 0
+
+
+def test_relabel_is_isomorphism():
+    g = gen.path_graph(4)
+    perm = np.array([3, 2, 1, 0])
+    h = relabel(g, perm)
+    assert h.m == g.m
+    assert h.has_edge(3, 2) and h.has_edge(1, 0)
+
+
+def test_relabel_requires_permutation():
+    g = gen.path_graph(3)
+    with pytest.raises(GraphError):
+        relabel(g, np.array([0, 0, 1]))
+    with pytest.raises(GraphError):
+        relabel(g, np.array([0, 1]))
+
+
+def test_contract_partition_quotient():
+    # Path 0-1-2-3 with classes {0,1} and {2,3} contracts to a single edge.
+    g = gen.path_graph(4)
+    q = contract_partition(g, np.array([0, 0, 1, 1]))
+    assert q.n == 2 and q.m == 1
+
+
+def test_contract_partition_drops_internal_edges():
+    g = gen.complete_graph(4)
+    q = contract_partition(g, np.array([0, 0, 0, 0]))
+    assert q.n == 1 and q.m == 0
+
+
+def test_contract_partition_shape_check():
+    g = gen.path_graph(3)
+    with pytest.raises(GraphError):
+        contract_partition(g, np.array([0, 1]))
+    with pytest.raises(GraphError):
+        contract_partition(g, np.array([0, -1, 1]))
+
+
+def test_remove_vertices():
+    g = gen.cycle_graph(5)
+    h, mapping = remove_vertices(g, [0])
+    assert h.n == 4
+    assert h.m == 3  # cycle minus a vertex = path
+    assert mapping.tolist() == [1, 2, 3, 4]
+
+
+def test_add_edges():
+    g = gen.path_graph(4)
+    h = add_edges(g, [(0, 3)])
+    assert h.m == 4
+    assert h.has_edge(0, 3)
+    # Duplicates are merged silently.
+    h2 = add_edges(g, [(0, 1)])
+    assert h2 == g

@@ -1,0 +1,57 @@
+"""LW-style threshold-parallel greedy baseline."""
+
+import math
+
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.core.exact import brute_force_domset
+from repro.distributed.parallel_greedy import parallel_greedy_domset
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.graphs.random_models import delaunay_graph
+
+
+@pytest.mark.parametrize("radius", [0, 1, 2])
+def test_output_dominates(small_graph, radius):
+    res = parallel_greedy_domset(small_graph, radius)
+    assert is_distance_r_dominating_set(small_graph, res.dominators, radius)
+
+
+def test_phases_logarithmic_in_ball_size():
+    g, _ = delaunay_graph(200, seed=1)
+    res = parallel_greedy_domset(g, 1)
+    max_ball = 1 + g.max_degree()
+    assert res.phases == math.floor(math.log2(max_ball)) + 1
+    assert res.local_rounds == res.phases * 3
+
+
+def test_star_single():
+    res = parallel_greedy_domset(gen.star_graph(20), 1)
+    assert res.dominators == (0,)
+
+
+def test_quality_close_to_greedy_small():
+    for g in (gen.grid_2d(4, 4), gen.cycle_graph(12), gen.balanced_tree(2, 3)):
+        for radius in (1, 2):
+            res = parallel_greedy_domset(g, radius)
+            opt, _ = brute_force_domset(g, radius)
+            assert res.size <= 4 * opt + 1, (g, radius, res.size, opt)
+
+
+def test_empty_graph():
+    res = parallel_greedy_domset(from_edges(0, []), 1)
+    assert res.dominators == ()
+    assert res.phases == 0
+
+
+def test_deterministic(small_graph):
+    a = parallel_greedy_domset(small_graph, 1)
+    b = parallel_greedy_domset(small_graph, 1)
+    assert a.dominators == b.dominators
+
+
+def test_rejects_negative_radius():
+    with pytest.raises(GraphError):
+        parallel_greedy_domset(gen.path_graph(3), -1)

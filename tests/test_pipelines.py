@@ -1,0 +1,91 @@
+"""End-to-end pipelines."""
+
+import pytest
+
+from repro.analysis.validate import (
+    is_connected_distance_r_dominating_set,
+    is_distance_r_dominating_set,
+)
+from repro.graphs import generators as gen
+from repro.graphs.random_models import delaunay_graph
+from repro.pipelines import (
+    congest_bc_pipeline,
+    make_order,
+    planar_cds_pipeline,
+    sequential_pipeline,
+)
+
+
+def test_sequential_pipeline_basic():
+    g = gen.grid_2d(6, 6)
+    run = sequential_pipeline(g, radius=2, with_lp=True)
+    assert is_distance_r_dominating_set(g, run.domset.dominators, 2)
+    assert run.certificate.certified_c >= 1
+    assert run.certificate.lp_bound is not None
+    assert run.connected is None
+
+
+def test_sequential_pipeline_with_connection():
+    g = gen.grid_2d(5, 5)
+    run = sequential_pipeline(g, radius=1, connect=True)
+    assert run.connected is not None
+    assert is_connected_distance_r_dominating_set(g, run.connected.vertices, 1)
+
+
+@pytest.mark.parametrize(
+    "strategy", ["degeneracy", "fraternal", "identity", "random", "wreach_sort"]
+)
+def test_all_order_strategies_work(strategy):
+    g = gen.grid_2d(5, 5)
+    order = make_order(g, 1, strategy)
+    assert sorted(order.by_rank.tolist()) == list(range(g.n))
+    run = sequential_pipeline(g, radius=1, order_strategy=strategy)
+    assert is_distance_r_dominating_set(g, run.domset.dominators, 1)
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        make_order(gen.path_graph(3), 1, "sorcery")
+
+
+def test_congest_pipeline():
+    g = gen.grid_2d(6, 6)
+    run = congest_bc_pipeline(g, radius=1)
+    assert is_distance_r_dominating_set(g, run.domset.dominators, 1)
+    assert run.connected is None
+    assert run.domset.total_rounds > 0
+
+
+def test_congest_pipeline_with_connection():
+    g = gen.grid_2d(5, 6)
+    run = congest_bc_pipeline(g, radius=1, connect=True)
+    assert run.connected is not None
+    assert is_connected_distance_r_dominating_set(g, run.connected.connected_set, 1)
+
+
+def test_congest_pipeline_augmented_order():
+    g = gen.grid_2d(5, 5)
+    run = congest_bc_pipeline(g, radius=1, order_mode="augmented")
+    assert is_distance_r_dominating_set(g, run.domset.dominators, 1)
+
+
+def test_congest_pipeline_unknown_order_mode():
+    with pytest.raises(ValueError):
+        congest_bc_pipeline(gen.path_graph(3), 1, order_mode="psychic")
+
+
+def test_planar_cds_pipeline():
+    g, _ = delaunay_graph(90, seed=11)
+    run = planar_cds_pipeline(g)
+    assert is_distance_r_dominating_set(g, run.mds.dominators, 1)
+    assert is_connected_distance_r_dominating_set(g, run.cds.connected_set, 1)
+    assert run.connect_blowup <= 7.0
+    assert run.total_rounds <= 11
+
+
+def test_package_level_exports():
+    import repro
+
+    g = repro.generators.grid_2d(4, 4)
+    run = repro.sequential_pipeline(g, radius=1)
+    assert repro.is_distance_r_dominating_set(g, run.domset.dominators, 1)

@@ -1,0 +1,23 @@
+"""The unified pipeline entry point in the public API."""
+
+from repro.analysis.validate import (
+    is_connected_distance_r_dominating_set,
+    is_distance_r_dominating_set,
+)
+from repro.graphs import generators as gen
+from repro.pipelines import congest_bc_pipeline, unified_bc_pipeline
+
+
+def test_unified_pipeline_entry_point():
+    g = gen.grid_2d(6, 6)
+    res = unified_bc_pipeline(g, radius=1)
+    assert is_distance_r_dominating_set(g, res.dominators, 1)
+    phased = congest_bc_pipeline(g, radius=1)
+    assert res.dominators == phased.domset.dominators
+
+
+def test_unified_pipeline_connect():
+    g = gen.grid_2d(5, 6)
+    res = unified_bc_pipeline(g, radius=1, connect=True)
+    assert is_connected_distance_r_dominating_set(g, res.connected_set, 1)
+    assert set(res.dominators) <= set(res.connected_set)

@@ -1,0 +1,141 @@
+"""True bounded-bandwidth execution of CONGEST_BC protocols."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.beh_partition import HPartitionNode
+from repro.distributed.mis import LubyMISNode, run_luby_mis
+from repro.distributed.model import Model
+from repro.distributed.network import Network
+from repro.distributed.nd_order import distributed_h_partition_order
+from repro.distributed.pipelining import (
+    PipelinedNode,
+    decode_payload,
+    encode_payload,
+    run_pipelined,
+)
+from repro.distributed.wreach_bc import WReachNode, run_wreach_bc
+from repro.errors import ModelViolation
+from repro.graphs import generators as gen
+
+
+# ---------------------------------------------------------------------------
+# Codec
+# ---------------------------------------------------------------------------
+PAYLOADS = [
+    None,
+    True,
+    False,
+    0,
+    -12345,
+    2**40,
+    3.14159,
+    -0.0,
+    "",
+    "elect",
+    "päths",  # non-ascii
+    (),
+    (1, 2, 3),
+    ("paths", ((1, 2), (3, 4))),
+    ((None, True), ("x", (2.5,)), ()),
+]
+
+
+@pytest.mark.parametrize("payload", PAYLOADS, ids=[repr(p)[:25] for p in PAYLOADS])
+def test_codec_roundtrip(payload):
+    assert decode_payload(encode_payload(payload)) == payload
+
+
+def test_codec_rejects_unknown_types():
+    with pytest.raises(ModelViolation):
+        encode_payload(object())
+    with pytest.raises(ModelViolation):
+        encode_payload([1, 2])  # lists are not wire types; use tuples
+
+
+def test_codec_rejects_trailing_garbage():
+    tokens = encode_payload((1, 2)) + [0]
+    with pytest.raises(ModelViolation):
+        decode_payload(tokens)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined execution == plain execution
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("words", [1, 3, 8])
+def test_wreach_pipelined_equals_plain(words):
+    g = gen.grid_2d(5, 5)
+    oc = distributed_h_partition_order(g)
+    horizon = 4
+    plain, plain_res = run_wreach_bc(g, oc.class_ids, horizon)
+    advice = {"class_ids": np.asarray(oc.class_ids, dtype=np.int64)}
+    pipe_res = run_pipelined(
+        g, lambda v: WReachNode(horizon), words_per_round=words, advice=advice
+    )
+    for v in range(g.n):
+        assert pipe_res.outputs[v].wreach == plain[v].wreach
+        assert pipe_res.outputs[v].paths == plain[v].paths
+    # Strict bandwidth: no physical payload above the budget.
+    assert pipe_res.max_payload_words <= words
+    # More bandwidth -> no more rounds.
+    assert pipe_res.rounds >= plain_res.rounds
+
+
+def test_pipelined_rounds_decrease_with_bandwidth():
+    g = gen.grid_2d(5, 5)
+    oc = distributed_h_partition_order(g)
+    advice = {"class_ids": np.asarray(oc.class_ids, dtype=np.int64)}
+    rounds = [
+        run_pipelined(g, lambda v: WReachNode(4), words_per_round=w, advice=advice).rounds
+        for w in (1, 4, 16)
+    ]
+    assert rounds[0] > rounds[1] > rounds[2]
+
+
+def test_h_partition_pipelined_equals_plain():
+    g = gen.k_tree(40, 2, seed=1)
+    plain = Network(
+        g, Model.CONGEST_BC, lambda v: HPartitionNode(), advice={"threshold": 4}
+    ).run()
+    pipe = run_pipelined(
+        g, lambda v: HPartitionNode(), words_per_round=2, advice={"threshold": 4}
+    )
+    for v in range(g.n):
+        assert pipe.outputs[v].level == plain.outputs[v].level
+        assert pipe.outputs[v].neighbor_levels == plain.outputs[v].neighbor_levels
+
+
+def test_luby_pipelined_equals_plain():
+    g = gen.grid_2d(5, 5)
+    mis_plain, _ = run_luby_mis(g, seed=7)
+    pipe = run_pipelined(g, lambda v: LubyMISNode(7), words_per_round=2)
+    mis_pipe = sorted(v for v in range(g.n) if pipe.outputs[v])
+    assert mis_pipe == mis_plain
+
+
+def test_pipelined_node_rejects_p2p():
+    from repro.distributed.node import NodeAlgorithm
+
+    class P2P(NodeAlgorithm):
+        def on_start(self, ctx):
+            return {u: 1 for u in ctx.neighbors}
+
+        def on_round(self, ctx, inbox):
+            self.halted = True
+            return None
+
+    g = gen.path_graph(3)
+    with pytest.raises(ModelViolation):
+        run_pipelined(g, lambda v: P2P(), words_per_round=2)
+
+
+def test_pipelined_isolated_vertices():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(4, [(0, 1)])  # vertices 2, 3 isolated
+    # Luby halts fast even for isolated nodes (they self-elect).
+    pipe = run_pipelined(g, lambda v: LubyMISNode(0), words_per_round=1)
+    mis = sorted(v for v in range(g.n) if pipe.outputs[v])
+    plain, _ = run_luby_mis(g, seed=0)
+    assert mis == plain
+    assert {2, 3} <= set(mis)

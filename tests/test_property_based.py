@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Random graphs + random orders + random radii; the invariants under test
+are the paper's statements themselves, so any counterexample would be a
+genuine bug (or a disproof of the paper).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.validate import (
+    is_connected_distance_r_dominating_set,
+    is_distance_r_dominating_set,
+    validate_cover,
+)
+from repro.core.covers import build_cover
+from repro.core.domset import domset_by_wreach, domset_sequential
+from repro.core.dvorak import domset_dvorak
+from repro.core.exact import brute_force_domset
+from repro.core.greedy import domset_greedy
+from repro.core.prune import prune_dominating_set
+from repro.graphs.build import from_edges
+from repro.graphs.components import connected_components, largest_component
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.linear_order import LinearOrder
+from repro.orders.wreach import wcol_of_order, wreach_sets
+
+
+@st.composite
+def random_graph(draw, max_n=18, min_n=1):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    if possible:
+        edges = draw(
+            st.lists(st.sampled_from(possible), max_size=min(3 * n, len(possible)))
+        )
+    else:
+        edges = []
+    return from_edges(n, edges)
+
+
+@st.composite
+def graph_with_order(draw, max_n=16):
+    g = draw(random_graph(max_n=max_n))
+    perm = draw(st.permutations(range(g.n)))
+    return g, LinearOrder.from_sequence(list(perm))
+
+
+@given(graph_with_order(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_algorithm1_equals_definition(gw, radius):
+    g, order = gw
+    a = domset_sequential(g, order, radius)
+    b = domset_by_wreach(g, order, radius)
+    assert a.dominators == b.dominators
+    assert np.array_equal(a.dominator_of, b.dominator_of)
+
+
+@given(graph_with_order(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_domset_always_dominates(gw, radius):
+    g, order = gw
+    res = domset_sequential(g, order, radius)
+    assert is_distance_r_dominating_set(g, res.dominators, radius)
+
+
+@given(graph_with_order(max_n=12), st.integers(min_value=1, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_theorem5_certified_bound(gw, radius):
+    """|D| <= c * OPT for any order, with c measured from that order."""
+    g, order = gw
+    res = domset_sequential(g, order, radius)
+    opt, _ = brute_force_domset(g, radius)
+    c = wcol_of_order(g, order, 2 * radius)
+    assert res.size <= c * max(opt, 1)
+
+
+@given(graph_with_order(max_n=14), st.integers(min_value=0, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_cover_always_valid(gw, radius):
+    g, order = gw
+    cover = build_cover(g, order, radius)
+    assert validate_cover(g, cover) == []
+
+
+@given(graph_with_order(max_n=14), st.integers(min_value=1, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_dvorak_and_greedy_dominate(gw, radius):
+    g, order = gw
+    assert is_distance_r_dominating_set(g, domset_dvorak(g, order, radius).dominators, radius)
+    assert is_distance_r_dominating_set(g, domset_greedy(g, radius).dominators, radius)
+
+
+@given(graph_with_order(max_n=14), st.integers(min_value=1, max_value=2))
+@settings(max_examples=40, deadline=None)
+def test_prune_preserves_domination(gw, radius):
+    g, order = gw
+    res = domset_sequential(g, order, radius)
+    pruned = prune_dominating_set(g, res.dominators, radius)
+    assert set(pruned) <= set(res.dominators)
+    assert is_distance_r_dominating_set(g, pruned, radius)
+
+
+@given(graph_with_order(max_n=12), st.integers(min_value=1, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_connect_via_wreach_connected_on_components(gw, radius):
+    from repro.core.connect import connect_via_wreach
+
+    g, order = gw
+    res = domset_sequential(g, order, radius)
+    conn = connect_via_wreach(g, order, res.dominators, radius)
+    assert is_connected_distance_r_dominating_set(g, conn.vertices, radius)
+
+
+@given(random_graph(max_n=12), st.integers(min_value=1, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_connect_via_minor_on_largest_component(g, radius):
+    from repro.core.connect import connect_via_minor
+
+    h, _ = largest_component(g)
+    if h.n == 0:
+        return
+    order, _ = degeneracy_order(h)
+    res = domset_sequential(h, order, radius)
+    conn = connect_via_minor(h, res.dominators, radius)
+    assert is_connected_distance_r_dominating_set(h, conn.vertices, radius)
+
+
+@given(graph_with_order(max_n=12), st.integers(min_value=0, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_distributed_wreach_equals_sequential(gw, horizon):
+    from repro.distributed.wreach_bc import run_wreach_bc
+
+    g, order = gw
+    class_ids = np.asarray(order.rank, dtype=np.int64)
+    outs, _ = run_wreach_bc(g, class_ids, horizon)
+    seq = wreach_sets(g, order, horizon)
+    for v in range(g.n):
+        assert set(outs[v].wreach) == set(seq[v])
+
+
+@given(graph_with_order(max_n=12), st.integers(min_value=0, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_distributed_domset_equals_sequential(gw, radius):
+    from repro.distributed.domset_bc import run_domset_bc
+    from repro.distributed.nd_order import OrderComputation
+
+    g, order = gw
+    oc = OrderComputation(
+        order=order,
+        class_ids=np.asarray(order.rank, dtype=np.int64),
+        rounds=1,
+        normalized_rounds=1,
+        max_payload_words=1,
+        total_words=1,
+        mode="test",
+    )
+    dist = run_domset_bc(g, radius, oc)
+    seq = domset_by_wreach(g, order, radius)
+    assert dist.dominators == seq.dominators
+
+
+@given(random_graph(max_n=20))
+@settings(max_examples=50, deadline=None)
+def test_degeneracy_order_property(g):
+    order, d = degeneracy_order(g)
+    for v in range(g.n):
+        smaller = sum(1 for u in g.neighbors(v) if order.less(int(u), v))
+        assert smaller <= d
+
+
+@given(random_graph(max_n=20))
+@settings(max_examples=50, deadline=None)
+def test_components_partition(g):
+    labels = connected_components(g)
+    # Endpoints of every edge share a label.
+    for u, v in g.edges():
+        assert labels[u] == labels[v]
+    if g.n:
+        assert set(labels.tolist()) == set(range(int(labels.max()) + 1))
+
+
+@given(random_graph(max_n=16), st.integers(min_value=0, max_value=3))
+@settings(max_examples=50, deadline=None)
+def test_wreach_self_membership_and_minimality(g, radius):
+    order = LinearOrder.identity(g.n)
+    sets_ = wreach_sets(g, order, radius)
+    for v in range(g.n):
+        assert v in sets_[v]
+        for u in sets_[v]:
+            assert order.rank[u] <= order.rank[v]
+
+
+@given(random_graph(max_n=16))
+@settings(max_examples=50, deadline=None)
+def test_subgraph_preserves_adjacency(g):
+    if g.n < 2:
+        return
+    keep = list(range(0, g.n, 2))
+    h, mapping = g.subgraph(keep)
+    for i in range(h.n):
+        for j in range(i + 1, h.n):
+            assert h.has_edge(i, j) == g.has_edge(int(mapping[i]), int(mapping[j]))

@@ -1,0 +1,77 @@
+"""Property tests across the whole distributed stack (hypothesis).
+
+Random connected graphs; the invariants are the strongest in the repo:
+all four implementations of the Theorem-5/9 dominating set (definition,
+Algorithm 1, phased CONGEST_BC, unified single-execution) must agree
+*exactly*, and the pipelined executor must reproduce plain outputs at
+any bandwidth.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.validate import (
+    is_connected_distance_r_dominating_set,
+    is_distance_r_dominating_set,
+)
+from repro.core.domset import domset_by_wreach, domset_sequential
+from repro.distributed.domset_bc import run_domset_bc
+from repro.distributed.nd_order import default_threshold, distributed_h_partition_order
+from repro.distributed.unified_bc import run_unified_bc
+from repro.graphs.build import from_edges
+
+
+@st.composite
+def connected_graph(draw, max_n=12):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    edges = [(draw(st.integers(min_value=0, max_value=v - 1)), v) for v in range(1, n)]
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=n,
+        )
+    )
+    edges += [(u, v) for u, v in extra if u != v]
+    return from_edges(n, edges)
+
+
+@given(connected_graph(), st.integers(min_value=1, max_value=2))
+@settings(max_examples=25, deadline=None)
+def test_four_way_agreement(g, radius):
+    thr = default_threshold(g)
+    oc = distributed_h_partition_order(g, thr)
+    a = domset_by_wreach(g, oc.order, radius)
+    b = domset_sequential(g, oc.order, radius)
+    c = run_domset_bc(g, radius, oc)
+    d = run_unified_bc(g, radius, threshold=thr)
+    assert a.dominators == b.dominators == c.dominators == d.dominators
+    assert np.array_equal(a.dominator_of, d.dominator_of)
+    assert is_distance_r_dominating_set(g, d.dominators, radius)
+
+
+@given(connected_graph(max_n=10), st.integers(min_value=1, max_value=2))
+@settings(max_examples=15, deadline=None)
+def test_unified_connect_validity(g, radius):
+    res = run_unified_bc(g, radius, connect=True)
+    assert is_connected_distance_r_dominating_set(g, res.connected_set, radius)
+
+
+@given(connected_graph(max_n=10), st.integers(min_value=1, max_value=3))
+@settings(max_examples=15, deadline=None)
+def test_pipelined_wreach_any_bandwidth(g, words):
+    from repro.distributed.pipelining import run_pipelined
+    from repro.distributed.wreach_bc import WReachNode, run_wreach_bc
+
+    oc = distributed_h_partition_order(g)
+    horizon = 2
+    plain, _ = run_wreach_bc(g, oc.class_ids, horizon)
+    advice = {"class_ids": np.asarray(oc.class_ids, dtype=np.int64)}
+    pipe = run_pipelined(
+        g, lambda v: WReachNode(horizon), words_per_round=words, advice=advice
+    )
+    for v in range(g.n):
+        assert pipe.outputs[v].wreach == plain[v].wreach
+        assert pipe.outputs[v].paths == plain[v].paths

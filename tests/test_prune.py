@@ -1,0 +1,88 @@
+"""Dominating-set pruning extension."""
+
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.core.domset import domset_sequential
+from repro.core.prune import PRUNE_LOCAL_ROUNDS, prune_dominating_set
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.orders.degeneracy import degeneracy_order
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_pruned_still_dominates(small_graph, radius):
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, radius)
+    pruned = prune_dominating_set(g, ds.dominators, radius)
+    assert set(pruned) <= set(ds.dominators)
+    assert is_distance_r_dominating_set(g, pruned, radius)
+
+
+def test_prune_shrinks_redundant_sets():
+    g = gen.grid_2d(8, 8)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 1)
+    pruned = prune_dominating_set(g, ds.dominators, 1)
+    assert len(pruned) < ds.size  # elect-min on grids is very redundant
+
+
+def test_prune_fixed_point_on_minimal_set():
+    # A single-center star is already minimal.
+    g = gen.star_graph(8)
+    assert prune_dominating_set(g, [0], 1) == (0,)
+
+
+def test_prune_whole_vertex_set():
+    g = gen.path_graph(6)
+    pruned = prune_dominating_set(g, range(6), 1)
+    assert is_distance_r_dominating_set(g, pruned, 1)
+    assert len(pruned) <= 3
+
+
+def test_prune_rejects_non_dominating():
+    g = gen.path_graph(10)
+    with pytest.raises(GraphError):
+        prune_dominating_set(g, [0], 1)
+
+
+def test_prune_rejects_empty_for_nonempty_graph():
+    g = gen.path_graph(3)
+    with pytest.raises(GraphError):
+        prune_dominating_set(g, [], 1)
+
+
+def test_prune_empty_graph():
+    g = from_edges(0, [])
+    assert prune_dominating_set(g, [], 1) == ()
+
+
+def test_prune_orders_give_valid_results():
+    g = gen.grid_2d(6, 6)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 1)
+    for mode in ("desc_degree", "asc_id", "desc_id"):
+        pruned = prune_dominating_set(g, ds.dominators, 1, order=mode)
+        assert is_distance_r_dominating_set(g, pruned, 1)
+
+
+def test_prune_unknown_order_rejected():
+    g = gen.path_graph(4)
+    with pytest.raises(GraphError):
+        prune_dominating_set(g, [0, 1, 2, 3], 1, order="nope")
+
+
+def test_prune_deterministic():
+    g = gen.grid_2d(5, 5)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 1)
+    assert prune_dominating_set(g, ds.dominators, 1) == prune_dominating_set(
+        g, ds.dominators, 1
+    )
+
+
+def test_local_round_cost_formula():
+    assert PRUNE_LOCAL_ROUNDS(1) == 3
+    assert PRUNE_LOCAL_ROUNDS(3) == 7

@@ -1,0 +1,94 @@
+"""Distributed (LOCAL) parallel pruning."""
+
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.core.domset import domset_sequential
+from repro.core.prune import prune_dominating_set
+from repro.distributed.prune_local import local_prune
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.random_models import delaunay_graph
+from repro.orders.degeneracy import degeneracy_order
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_output_still_dominates(small_graph, radius):
+    g = small_graph
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, radius)
+    res = local_prune(g, ds.dominators, radius)
+    assert set(res.dominators) <= set(ds.dominators)
+    assert is_distance_r_dominating_set(g, res.dominators, radius)
+
+
+def test_removes_redundancy_on_grids():
+    g = gen.grid_2d(10, 10)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 1)
+    res = local_prune(g, ds.dominators, 1)
+    assert res.removed > 0
+    assert len(res.dominators) < ds.size
+
+
+def test_anytime_validity_with_phase_cap():
+    g, _ = delaunay_graph(100, seed=4)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 1)
+    for cap in (1, 2, 3):
+        res = local_prune(g, ds.dominators, 1, max_phases=cap)
+        assert is_distance_r_dominating_set(g, res.dominators, 1)
+        assert res.phases <= cap
+
+
+def test_fixpoint_is_1_minimal_under_rule():
+    """After convergence no single dominator is removable."""
+    import numpy as np
+
+    from repro.graphs.traversal import ball
+
+    g = gen.grid_2d(8, 8)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 1)
+    res = local_prune(g, ds.dominators, 1)
+    kept = set(res.dominators)
+    cover = np.zeros(g.n, dtype=np.int64)
+    for v in kept:
+        cover[ball(g, v, 1)] += 1
+    for v in kept:
+        assert not bool(np.all(cover[ball(g, v, 1)] >= 2)), v
+
+
+def test_comparable_to_sequential_prune():
+    g = gen.grid_2d(9, 9)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 1)
+    seq = prune_dominating_set(g, ds.dominators, 1)
+    par = local_prune(g, ds.dominators, 1)
+    # Parallel pruning is conflict-avoiding so can keep slightly more.
+    assert len(par.dominators) <= 2 * len(seq)
+
+
+def test_rounds_accounting():
+    g = gen.grid_2d(6, 6)
+    order, _ = degeneracy_order(g)
+    ds = domset_sequential(g, order, 2)
+    res = local_prune(g, ds.dominators, 2)
+    assert res.local_rounds == res.phases * 4
+
+
+def test_rejects_bad_inputs():
+    g = gen.path_graph(6)
+    with pytest.raises(GraphError):
+        local_prune(g, [], 1)
+    with pytest.raises(GraphError):
+        local_prune(g, [0], 1)  # not dominating
+    with pytest.raises(GraphError):
+        local_prune(g, [0, 3], -1)
+
+
+def test_radius_zero_noop():
+    g = gen.path_graph(4)
+    res = local_prune(g, range(4), 0)
+    assert res.dominators == (0, 1, 2, 3)
+    assert res.removed == 0

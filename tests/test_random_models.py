@@ -1,0 +1,107 @@
+"""Random models: determinism, structure, bounded-expansion proxies."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import random_models as rm
+from repro.graphs.build import to_networkx
+from repro.graphs.components import is_connected
+
+
+def test_random_tree_is_tree():
+    g = rm.random_tree(40, seed=2)
+    assert g.n == 40 and g.m == 39
+    assert is_connected(g)
+
+
+def test_random_tree_determinism():
+    assert rm.random_tree(30, seed=5) == rm.random_tree(30, seed=5)
+    assert rm.random_tree(30, seed=5) != rm.random_tree(30, seed=6)
+
+
+def test_delaunay_planar_connected():
+    g, pts = rm.delaunay_graph(60, seed=1)
+    assert g.n == 60
+    assert pts.shape == (60, 2)
+    ok, _ = nx.check_planarity(to_networkx(g))
+    assert ok
+    assert is_connected(g)
+    # Planar triangulations: m <= 3n - 6.
+    assert g.m <= 3 * g.n - 6
+
+
+def test_delaunay_determinism():
+    g1, _ = rm.delaunay_graph(40, seed=3)
+    g2, _ = rm.delaunay_graph(40, seed=3)
+    assert g1 == g2
+
+
+def test_random_geometric_density():
+    g, pts = rm.random_geometric(400, seed=0)
+    # Default radius keeps expected average degree around 2*pi; allow slack.
+    assert 1.0 < g.average_degree() < 12.0
+
+
+def test_random_geometric_radius_zero():
+    g, _ = rm.random_geometric(20, radius=0.0, seed=0)
+    assert g.m == 0
+
+
+def test_chung_lu_degrees_track_weights():
+    n = 300
+    w = np.full(n, 4.0)
+    g = rm.chung_lu(w, seed=0)
+    avg = g.average_degree()
+    # Expected degree ~ w = 4 for uniform weights.
+    assert 2.0 < avg < 6.5
+
+
+def test_chung_lu_zero_weights():
+    g = rm.chung_lu(np.zeros(10), seed=0)
+    assert g.m == 0
+
+
+def test_chung_lu_rejects_negative():
+    with pytest.raises(GraphError):
+        rm.chung_lu(np.array([1.0, -2.0]))
+
+
+def test_power_law_weights_range():
+    w = rm.power_law_weights(100, exponent=2.5, seed=1)
+    assert len(w) == 100
+    assert (w >= 1.0).all()
+    assert (w <= np.sqrt(100) + 1e-9).all()
+
+
+def test_configuration_model_even_sum_required():
+    with pytest.raises(GraphError):
+        rm.configuration_model(np.array([3, 2, 2]))  # odd sum
+
+
+def test_configuration_model_degrees_close():
+    deg = np.full(100, 4)
+    g = rm.configuration_model(deg, seed=0)
+    # Simple-graph projection loses a few stubs to loops/multi-edges.
+    assert g.m <= 200
+    assert g.m >= 150
+    assert g.max_degree() <= 4
+
+
+def test_gnm_exact_edge_count():
+    g = rm.gnm_random(50, 70, seed=0)
+    assert g.n == 50 and g.m == 70
+
+
+def test_gnm_bounds():
+    with pytest.raises(GraphError):
+        rm.gnm_random(4, 100)
+
+
+def test_random_planar_subgraph_planar():
+    g = rm.random_planar_subgraph(50, keep_fraction=0.6, seed=2)
+    ok, _ = nx.check_planarity(to_networkx(g))
+    assert ok
+    with pytest.raises(GraphError):
+        rm.random_planar_subgraph(10, keep_fraction=1.5)

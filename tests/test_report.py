@@ -1,0 +1,44 @@
+"""Report assembly tooling."""
+
+import pathlib
+
+from repro.analysis.report import EXPERIMENT_ORDER, assemble_report, main
+
+
+def test_assemble_with_partial_results(tmp_path):
+    (tmp_path / "t1_approx_ratio.txt").write_text("== T1 ==\nrow\n")
+    (tmp_path / "custom_extra.txt").write_text("== X ==\n")
+    text = assemble_report(tmp_path)
+    assert "## t1_approx_ratio" in text
+    assert "== T1 ==" in text
+    assert "## custom_extra (unregistered)" in text
+    assert "## Missing experiments" in text
+    assert "- t2_cover_quality" in text
+
+
+def test_assemble_empty_dir(tmp_path):
+    text = assemble_report(tmp_path)
+    for name in EXPERIMENT_ORDER:
+        assert f"- {name}" in text
+
+
+def test_main_writes_file(tmp_path, capsys):
+    (tmp_path / "t1_approx_ratio.txt").write_text("data\n")
+    out = tmp_path / "report.md"
+    assert main(["-d", str(tmp_path), "-o", str(out)]) == 0
+    assert "data" in out.read_text()
+
+
+def test_main_prints(tmp_path, capsys):
+    assert main(["-d", str(tmp_path)]) == 0
+    assert "Raw experiment tables" in capsys.readouterr().out
+
+
+def test_real_results_assemble():
+    """If the repo's results dir exists, the report must assemble cleanly."""
+    from repro.bench.harness import RESULTS_DIR
+
+    if not pathlib.Path(RESULTS_DIR).exists():
+        return
+    text = assemble_report(RESULTS_DIR)
+    assert "Raw experiment tables" in text

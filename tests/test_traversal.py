@@ -1,0 +1,159 @@
+"""Traversal primitives against the networkx oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges, to_networkx
+from repro.graphs.traversal import (
+    UNREACHED,
+    ball,
+    bfs_distances,
+    bfs_tree,
+    closed_neighborhood,
+    eccentricity,
+    graph_radius,
+    induced_radius,
+    multi_source_distances,
+    shortest_path,
+)
+
+
+def _nx_dist(g, source):
+    return nx.single_source_shortest_path_length(to_networkx(g), source)
+
+
+def test_bfs_distances_matches_networkx(small_graph):
+    g = small_graph
+    for s in range(0, g.n, max(1, g.n // 4)):
+        ours = bfs_distances(g, s)
+        oracle = _nx_dist(g, s)
+        for v in range(g.n):
+            assert ours[v] == oracle.get(v, UNREACHED)
+
+
+def test_bfs_truncation():
+    g = gen.path_graph(10)
+    d = bfs_distances(g, 0, max_dist=3)
+    assert d[3] == 3
+    assert d[4] == UNREACHED
+
+
+def test_bfs_source_out_of_range():
+    g = gen.path_graph(3)
+    with pytest.raises(GraphError):
+        bfs_distances(g, 5)
+
+
+def test_bfs_disconnected():
+    g = from_edges(4, [(0, 1), (2, 3)])
+    d = bfs_distances(g, 0)
+    assert d[1] == 1
+    assert d[2] == UNREACHED and d[3] == UNREACHED
+
+
+def test_bfs_tree_parents_consistent(small_graph):
+    g = small_graph
+    parent = bfs_tree(g, 0)
+    dist = bfs_distances(g, 0)
+    for v in range(g.n):
+        if dist[v] > 0:
+            p = int(parent[v])
+            assert dist[p] == dist[v] - 1
+            assert g.has_edge(p, v)
+    assert parent[0] == 0
+
+
+def test_bfs_tree_smallest_parent():
+    # Vertex 3 reachable from both 1 and 2 at distance 2; parent must be 1.
+    g = from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    parent = bfs_tree(g, 0)
+    assert parent[3] == 1
+
+
+def test_multi_source_distances():
+    g = gen.path_graph(10)
+    d = multi_source_distances(g, [0, 9])
+    assert d[0] == 0 and d[9] == 0
+    assert d[4] == 4 and d[5] == 4
+
+
+def test_multi_source_empty_sources():
+    g = gen.path_graph(3)
+    d = multi_source_distances(g, [])
+    assert (d == UNREACHED).all()
+
+
+def test_multi_source_truncated():
+    g = gen.path_graph(10)
+    d = multi_source_distances(g, [0], max_dist=2)
+    assert d[2] == 2 and d[3] == UNREACHED
+
+
+def test_ball_contents():
+    g = gen.grid_2d(5, 5)
+    b = ball(g, 12, 1)  # center of the grid
+    assert sorted(b.tolist()) == [7, 11, 12, 13, 17]
+    assert ball(g, 12, 0).tolist() == [12]
+
+
+def test_closed_neighborhood():
+    g = gen.star_graph(5)
+    assert closed_neighborhood(g, 0).tolist() == [0, 1, 2, 3, 4]
+    assert closed_neighborhood(g, 2).tolist() == [0, 2]
+
+
+def test_eccentricity_and_radius():
+    g = gen.path_graph(7)
+    assert eccentricity(g, 0) == 6
+    assert eccentricity(g, 3) == 3
+    assert graph_radius(g) == 3
+
+
+def test_radius_matches_networkx(small_graph):
+    g = small_graph
+    from repro.graphs.components import is_connected
+
+    if not is_connected(g):
+        pytest.skip("radius defined for connected graphs")
+    assert graph_radius(g) == nx.radius(to_networkx(g))
+
+
+def test_radius_disconnected_raises():
+    g = from_edges(4, [(0, 1), (2, 3)])
+    with pytest.raises(GraphError):
+        graph_radius(g)
+
+
+def test_induced_radius():
+    g = gen.cycle_graph(8)
+    assert induced_radius(g, [0, 1, 2, 3]) == 2  # induced path of length 3
+    with pytest.raises(GraphError):
+        induced_radius(g, [0, 4])  # disconnected inside the cycle
+
+
+def test_shortest_path_endpoints_and_length(small_graph):
+    g = small_graph
+    dist = bfs_distances(g, 0)
+    for v in range(g.n):
+        p = shortest_path(g, 0, v)
+        if dist[v] == UNREACHED:
+            assert p is None
+        else:
+            assert p is not None
+            assert p[0] == 0 and p[-1] == v
+            assert len(p) == dist[v] + 1
+            assert all(g.has_edge(p[i], p[i + 1]) for i in range(len(p) - 1))
+
+
+def test_shortest_path_trivial():
+    g = gen.path_graph(3)
+    assert shortest_path(g, 1, 1) == [1]
+
+
+def test_shortest_path_respects_max_dist():
+    g = gen.path_graph(10)
+    assert shortest_path(g, 0, 5, max_dist=3) is None
+    assert shortest_path(g, 0, 3, max_dist=3) == [0, 1, 2, 3]

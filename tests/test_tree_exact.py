@@ -1,0 +1,96 @@
+"""Exact tree DP for distance-r domination."""
+
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.core.exact import brute_force_domset, exact_domset
+from repro.core.tree_exact import is_tree, tree_domset_exact
+from repro.errors import GraphError, SolverError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.graphs.random_models import random_tree
+
+
+def test_is_tree():
+    assert is_tree(gen.path_graph(5))
+    assert is_tree(gen.balanced_tree(3, 2))
+    assert not is_tree(gen.cycle_graph(4))
+    assert not is_tree(from_edges(4, [(0, 1), (2, 3)]))  # forest, not tree
+    assert is_tree(from_edges(0, []))
+
+
+@pytest.mark.parametrize("radius", [0, 1, 2, 3])
+def test_matches_milp_on_random_trees(radius):
+    for seed in range(6):
+        g = random_tree(35, seed=seed)
+        size, chosen = tree_domset_exact(g, radius)
+        opt, _ = exact_domset(g, radius)
+        assert size == opt, (seed, radius)
+        assert is_distance_r_dominating_set(g, chosen, radius)
+        assert len(chosen) == size
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_matches_brute_force_small(radius):
+    for seed in range(4):
+        g = random_tree(12, seed=100 + seed)
+        size, _ = tree_domset_exact(g, radius)
+        bf, _ = brute_force_domset(g, radius)
+        assert size == bf
+
+
+def test_known_path_values():
+    # gamma_r(P_n) = ceil(n / (2r+1)).
+    for n in (1, 5, 9, 10, 20):
+        for r in (1, 2, 3):
+            size, _ = tree_domset_exact(gen.path_graph(n), r)
+            assert size == -(-n // (2 * r + 1)), (n, r)
+
+
+def test_star():
+    g = gen.star_graph(20)
+    assert tree_domset_exact(g, 1)[0] == 1
+    assert tree_domset_exact(g, 2)[0] == 1
+
+
+def test_balanced_tree_values():
+    g = gen.balanced_tree(2, 3)  # 15 vertices
+    for r in (1, 2):
+        size, chosen = tree_domset_exact(g, r)
+        opt, _ = exact_domset(g, r)
+        assert size == opt
+
+
+def test_radius_zero_selects_all():
+    g = gen.path_graph(6)
+    size, chosen = tree_domset_exact(g, 0)
+    assert size == 6 and chosen == list(range(6))
+
+
+def test_forest_handled_per_component():
+    g = from_edges(8, [(0, 1), (1, 2), (4, 5), (5, 6), (6, 7)])
+    size, chosen = tree_domset_exact(g, 1)
+    assert is_distance_r_dominating_set(g, chosen, 1)
+    # P3 needs 1, isolated vertex 3 needs 1, P4 needs 2.
+    assert size == 1 + 1 + 2
+
+
+def test_rejects_cycles():
+    with pytest.raises(SolverError):
+        tree_domset_exact(gen.cycle_graph(5), 1)
+    # Cycle hidden among isolated vertices (m <= n - 1 overall).
+    g = from_edges(6, [(0, 1), (1, 2), (0, 2)])
+    with pytest.raises(SolverError):
+        tree_domset_exact(g, 1)
+
+
+def test_rejects_negative_radius():
+    with pytest.raises(GraphError):
+        tree_domset_exact(gen.path_graph(3), -1)
+
+
+def test_large_tree_fast():
+    g = random_tree(5000, seed=3)
+    size, chosen = tree_domset_exact(g, 2)
+    assert is_distance_r_dominating_set(g, chosen, 2)
+    assert size >= 1

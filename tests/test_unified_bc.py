@@ -1,0 +1,97 @@
+"""Single-execution pipeline == phased pipeline, with a fixed schedule."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import (
+    is_connected_distance_r_dominating_set,
+    is_distance_r_dominating_set,
+)
+from repro.distributed.connect_bc import run_connect_bc
+from repro.distributed.domset_bc import run_domset_bc
+from repro.distributed.nd_order import default_threshold, distributed_h_partition_order
+from repro.distributed.unified_bc import order_budget, run_unified_bc
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.graphs.random_models import delaunay_graph, random_tree
+
+
+def _zoo():
+    return [
+        ("grid", gen.grid_2d(6, 6)),
+        ("delaunay", delaunay_graph(60, seed=9)[0]),
+        ("tree", random_tree(50, seed=2)),
+        ("ktree", gen.k_tree(40, 2, seed=5)),
+    ]
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_equals_phased_domset(radius):
+    for name, g in _zoo():
+        thr = default_threshold(g)
+        oc = distributed_h_partition_order(g, thr)
+        uni = run_unified_bc(g, radius, connect=False, threshold=thr)
+        ph = run_domset_bc(g, radius, oc)
+        assert uni.dominators == ph.dominators, name
+        assert np.array_equal(uni.dominator_of, ph.dominator_of), name
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_equals_phased_connect(radius):
+    for name, g in _zoo():
+        thr = default_threshold(g)
+        oc = distributed_h_partition_order(g, thr)
+        uni = run_unified_bc(g, radius, connect=True, threshold=thr)
+        ph = run_connect_bc(g, radius, oc)
+        assert uni.dominators == ph.dominators, name
+        assert uni.connected_set == ph.connected_set, name
+        assert is_connected_distance_r_dominating_set(g, uni.connected_set, radius)
+
+
+def test_schedule_is_deterministic_in_n_and_r():
+    """All nodes halt at the same precomputed round."""
+    g = gen.grid_2d(6, 6)
+    for radius, connect in ((1, False), (2, False), (1, True)):
+        res = run_unified_bc(g, radius, connect=connect)
+        horizon = 2 * radius + (1 if connect else 0)
+        expected = order_budget(g.n) + horizon + radius
+        if connect:
+            expected += 2 * radius + 1
+        # The network may end one round after the last halting round.
+        assert abs(res.rounds - expected) <= 1, (radius, connect, res.rounds, expected)
+
+
+def test_rounds_grow_logarithmically_with_n():
+    r_small = run_unified_bc(gen.grid_2d(4, 4), 1).rounds
+    r_big = run_unified_bc(gen.grid_2d(16, 16), 1).rounds
+    # 16x more vertices, log-factor more rounds (budget-driven).
+    assert r_big <= r_small + 2 * 8  # 2 rounds per extra log2 level x8
+
+
+def test_output_validity(medium_graph):
+    res = run_unified_bc(medium_graph, 1)
+    assert is_distance_r_dominating_set(medium_graph, res.dominators, 1)
+
+
+def test_budget_violation_detected():
+    # A threshold of 1 cannot peel a cycle; the budget must trip.
+    g = gen.cycle_graph(12)
+    with pytest.raises(SimulationError):
+        run_unified_bc(g, 1, threshold=1)
+
+
+def test_radius_zero_rejected():
+    with pytest.raises(SimulationError):
+        run_unified_bc(gen.path_graph(4), 0)
+
+
+def test_levels_exported():
+    g = gen.grid_2d(5, 5)
+    res = run_unified_bc(g, 1)
+    assert (res.levels >= 1).all()
+
+
+def test_order_budget_formula():
+    assert order_budget(1) == 2
+    assert order_budget(2) == 2 * (2 + 8)
+    assert order_budget(1024) == 2 * (20 + 8)

@@ -1,0 +1,73 @@
+"""Validation oracles themselves."""
+
+import numpy as np
+
+from repro.analysis.validate import (
+    is_connected_distance_r_dominating_set,
+    is_distance_r_dominating_set,
+    undominated_vertices,
+)
+from repro.analysis.stats import Summary, linear_fit, summarize_sizes
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+
+
+def test_undominated_vertices():
+    g = gen.path_graph(7)
+    assert undominated_vertices(g, [0], 1).tolist() == [2, 3, 4, 5, 6]
+    assert undominated_vertices(g, [3], 3).tolist() == []
+    assert undominated_vertices(g, [], 1).tolist() == list(range(7))
+
+
+def test_is_dominating_basic():
+    g = gen.star_graph(6)
+    assert is_distance_r_dominating_set(g, [0], 1)
+    assert not is_distance_r_dominating_set(g, [1], 1)
+    assert is_distance_r_dominating_set(g, [1], 2)
+
+
+def test_connected_domset_check():
+    g = gen.path_graph(7)
+    # {1, 5} dominates at r=1 ... no: vertex 3 is at distance 2 from both.
+    assert not is_distance_r_dominating_set(g, [1, 5], 1)
+    assert is_distance_r_dominating_set(g, [1, 3, 5], 1)
+    # But {1, 3, 5} is not connected.
+    assert not is_connected_distance_r_dominating_set(g, [1, 3, 5], 1)
+    assert is_connected_distance_r_dominating_set(g, [1, 2, 3, 4, 5], 1)
+
+
+def test_connected_check_per_component():
+    g = from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+    # One dominator per component, each dominating its path at r=1.
+    assert is_connected_distance_r_dominating_set(g, [1, 4], 1)
+    # Missing a component entirely.
+    assert not is_connected_distance_r_dominating_set(g, [1], 1)
+    # Disconnected within a component.
+    g2 = from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    assert not is_connected_distance_r_dominating_set(g2, [0, 2, 4], 1)
+
+
+def test_summarize_sizes():
+    s = summarize_sizes([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == 2.5
+    assert s.minimum == 1.0 and s.maximum == 4.0
+    assert "mean" in s.row()
+    empty = summarize_sizes([])
+    assert empty.count == 0
+
+
+def test_linear_fit_recovers_line():
+    x = [1, 2, 3, 4, 5]
+    y = [2 * xi + 1 for xi in x]
+    a, b, r2 = linear_fit(x, y)
+    assert abs(a - 2) < 1e-9
+    assert abs(b - 1) < 1e-9
+    assert r2 > 0.999
+
+
+def test_linear_fit_degenerate():
+    a, b, r2 = linear_fit([1], [5])
+    assert b == 5.0 and r2 == 1.0
+    a2, b2, r22 = linear_fit([1, 2], [3, 3])
+    assert abs(a2) < 1e-12 and r22 == 1.0

@@ -1,0 +1,176 @@
+"""Weak reachability: definition checks against a brute-force oracle."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import OrderError
+from repro.graphs import generators as gen
+from repro.graphs.build import from_edges
+from repro.orders.linear_order import LinearOrder
+from repro.orders.wreach import (
+    restricted_bfs,
+    wcol_of_order,
+    wreach_sets,
+    wreach_sets_with_paths,
+    wreach_sizes,
+)
+
+
+def brute_force_wreach(g, order, radius):
+    """Enumerate all simple paths of length <= radius (tiny graphs only)."""
+    result = [set() for _ in range(g.n)]
+    for v in range(g.n):
+        result[v].add(v)
+    # BFS over simple paths from each start.
+    for v in range(g.n):
+        stack = [(v, (v,))]
+        while stack:
+            cur, path = stack.pop()
+            if len(path) - 1 < radius:
+                for u in g.neighbors(cur):
+                    u = int(u)
+                    if u not in path:
+                        new_path = path + (u,)
+                        # u is weakly reachable from v if u is the minimum.
+                        if all(order.less(u, x) for x in new_path[:-1]):
+                            result[v].add(u)
+                        stack.append((u, new_path))
+    return result
+
+
+@pytest.mark.parametrize("radius", [0, 1, 2, 3])
+def test_wreach_matches_brute_force(radius):
+    graphs = [
+        gen.path_graph(7),
+        gen.cycle_graph(6),
+        gen.grid_2d(3, 3),
+        gen.complete_graph(4),
+        gen.star_graph(6),
+    ]
+    for g in graphs:
+        for seed in (0, 1):
+            rng = np.random.default_rng(seed)
+            order = LinearOrder.from_sequence(rng.permutation(g.n))
+            ours = wreach_sets(g, order, radius)
+            oracle = brute_force_wreach(g, order, radius)
+            for v in range(g.n):
+                assert set(ours[v]) == oracle[v], (g, seed, radius, v)
+
+
+def test_wreach_radius_zero_is_self():
+    g = gen.grid_2d(3, 3)
+    w = wreach_sets(g, LinearOrder.identity(9), 0)
+    assert all(w[v] == [v] for v in range(9))
+
+
+def test_wreach_identity_order_path():
+    # Path 0-1-2-3 with identity order: WReach_1[v] = {v-1, v}.
+    g = gen.path_graph(4)
+    w = wreach_sets(g, LinearOrder.identity(4), 1)
+    assert set(w[0]) == {0}
+    assert set(w[1]) == {0, 1}
+    assert set(w[3]) == {2, 3}
+
+
+def test_wreach_contains_self_and_monotone_in_radius(small_graph):
+    g = small_graph
+    order = LinearOrder.identity(g.n)
+    prev = None
+    for r in (0, 1, 2, 3):
+        w = wreach_sets(g, order, r)
+        for v in range(g.n):
+            assert v in w[v]
+            if prev is not None:
+                assert set(prev[v]) <= set(w[v])
+        prev = w
+
+
+def test_restricted_bfs_respects_order():
+    g = gen.path_graph(5)
+    order = LinearOrder.from_sequence([4, 3, 2, 1, 0])  # 4 least, 0 greatest
+    # From root 2, only vertices L-greater than 2 may be traversed: 0, 1.
+    out = restricted_bfs(g, order, 2, 4)
+    assert set(out) == {2, 1, 0}
+
+
+def test_wreach_sizes_consistent(small_graph):
+    g = small_graph
+    order = LinearOrder.identity(g.n)
+    sizes = wreach_sizes(g, order, 2)
+    sets = wreach_sets(g, order, 2)
+    assert sizes.tolist() == [len(s) for s in sets]
+
+
+def test_wcol_of_order_monotone_in_radius(small_graph):
+    g = small_graph
+    order = LinearOrder.identity(g.n)
+    vals = [wcol_of_order(g, order, r) for r in range(4)]
+    assert vals == sorted(vals)
+    assert vals[0] == 1  # WReach_0 = {v}
+
+
+def test_wcol_upper_bound_by_n(small_graph):
+    g = small_graph
+    order = LinearOrder.identity(g.n)
+    assert wcol_of_order(g, order, g.n) <= g.n
+
+
+def test_wreach_paths_are_valid_witnesses(small_graph):
+    g = small_graph
+    rng = np.random.default_rng(3)
+    order = LinearOrder.from_sequence(rng.permutation(g.n))
+    radius = 3
+    wreach, paths = wreach_sets_with_paths(g, order, radius)
+    for v in range(g.n):
+        assert set(paths[v].keys()) == set(wreach[v]) - {v}
+        for u, path in paths[v].items():
+            assert path[0] == v and path[-1] == u
+            assert len(path) - 1 <= radius
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b)
+            # u is the L-minimum on the path.
+            assert all(order.less(u, x) for x in path[:-1])
+
+
+def test_wreach_paths_are_shortest_within_restriction(small_graph):
+    """The stored path length equals the restricted BFS distance."""
+    g = small_graph
+    order = LinearOrder.identity(g.n)
+    radius = 2
+    wreach, paths = wreach_sets_with_paths(g, order, radius)
+    for v in range(g.n):
+        for u, path in paths[v].items():
+            # No shorter path with all non-u vertices > u can exist:
+            # recompute via brute force on this small graph.
+            best = None
+            stack = [(u, (u,))]
+            while stack:
+                cur, p = stack.pop()
+                if cur == v and len(p) > 1:
+                    if best is None or len(p) < best:
+                        best = len(p)
+                    continue
+                if len(p) - 1 < radius:
+                    for x in g.neighbors(cur):
+                        x = int(x)
+                        if x not in p and (order.less(u, x)):
+                            stack.append((x, p + (x,)))
+            assert best is not None
+            assert len(path) == best
+
+
+def test_wreach_order_size_mismatch():
+    g = gen.path_graph(3)
+    with pytest.raises(OrderError):
+        wreach_sets(g, LinearOrder.identity(4), 1)
+
+
+def test_wreach_sets_sorted_by_rank(small_graph):
+    g = small_graph
+    rng = np.random.default_rng(1)
+    order = LinearOrder.from_sequence(rng.permutation(g.n))
+    for v, members in enumerate(wreach_sets(g, order, 2)):
+        ranks = [int(order.rank[u]) for u in members]
+        assert ranks == sorted(ranks)

@@ -1,0 +1,123 @@
+"""Algorithm 4 (WReachDist) — distributed == sequential weak reachability."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.nd_order import distributed_h_partition_order
+from repro.distributed.wreach_bc import run_wreach_bc
+from repro.graphs import generators as gen
+from repro.graphs.random_models import delaunay_graph
+from repro.orders.linear_order import LinearOrder
+from repro.orders.wreach import wcol_of_order, wreach_sets
+
+
+def _class_ids_for(order: LinearOrder) -> np.ndarray:
+    """Encode an arbitrary order as class ids (rank works directly)."""
+    return np.asarray(order.rank, dtype=np.int64)
+
+
+@pytest.mark.parametrize("horizon", [0, 1, 2, 4])
+def test_distributed_equals_sequential_sets(small_graph, horizon):
+    """The central equivalence: WReachDist learns exactly WReach_h."""
+    g = small_graph
+    rng = np.random.default_rng(7)
+    order = LinearOrder.from_sequence(rng.permutation(g.n))
+    outs, _ = run_wreach_bc(g, _class_ids_for(order), horizon)
+    seq = wreach_sets(g, order, horizon)
+    for v in range(g.n):
+        assert set(outs[v].wreach) == set(seq[v]), (v, horizon)
+
+
+def test_distributed_equals_sequential_on_h_partition_order(medium_graph):
+    g = medium_graph
+    oc = distributed_h_partition_order(g)
+    outs, _ = run_wreach_bc(g, oc.class_ids, 4)
+    seq = wreach_sets(g, oc.order, 4)
+    for v in range(g.n):
+        assert set(outs[v].wreach) == set(seq[v])
+
+
+def test_paths_are_valid_witnesses(small_graph):
+    g = small_graph
+    order = LinearOrder.identity(g.n)
+    horizon = 3
+    outs, _ = run_wreach_bc(g, _class_ids_for(order), horizon)
+    for v in range(g.n):
+        out = outs[v]
+        for u, path in out.paths.items():
+            assert path[0] == u and path[-1] == v
+            assert len(path) - 1 <= horizon
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b)
+            # u is the L-least on the path.
+            assert all(order.less(u, x) for x in path[1:])
+
+
+def test_paths_are_shortest_restricted(small_graph):
+    """Stored path length == restricted-BFS distance (Lemma 7's shortest-path claim)."""
+    from repro.orders.wreach import wreach_sets_with_paths
+
+    g = small_graph
+    rng = np.random.default_rng(3)
+    order = LinearOrder.from_sequence(rng.permutation(g.n))
+    horizon = 4
+    outs, _ = run_wreach_bc(g, _class_ids_for(order), horizon)
+    _, seq_paths = wreach_sets_with_paths(g, order, horizon)
+    for v in range(g.n):
+        for u, path in outs[v].paths.items():
+            assert len(path) == len(seq_paths[v][u])
+
+
+def test_rounds_equal_horizon(medium_graph):
+    g = medium_graph
+    oc = distributed_h_partition_order(g)
+    for horizon in (1, 2, 4):
+        _, res = run_wreach_bc(g, oc.class_ids, horizon)
+        assert res.rounds == horizon
+
+
+def test_horizon_zero_no_messages():
+    g = gen.grid_2d(3, 3)
+    outs, res = run_wreach_bc(g, np.zeros(9, dtype=np.int64), 0)
+    assert res.rounds == 0
+    assert all(outs[v].wreach == (v,) for v in range(9))
+
+
+def test_message_size_bounded_by_c(medium_graph):
+    """Lemma 7's congestion: payloads hold <= c paths of <= h+1 sids."""
+    g = medium_graph
+    oc = distributed_h_partition_order(g)
+    horizon = 4
+    _, res = run_wreach_bc(g, oc.class_ids, horizon)
+    c = wcol_of_order(g, oc.order, horizon)
+    # Each sid = 2 words; + tag overhead per message.
+    per_path = 2 * (horizon + 1)
+    assert res.max_payload_words <= c * per_path + 2
+
+
+def test_wreach_within_filter():
+    g = gen.path_graph(6)
+    order = LinearOrder.identity(6)
+    outs, _ = run_wreach_bc(g, _class_ids_for(order), 4)
+    out = outs[5]
+    w2 = set(out.wreach_within(2))
+    seq = wreach_sets(g, order, 2)
+    assert w2 == set(seq[5])
+
+
+def test_deterministic(medium_graph):
+    g = medium_graph
+    oc = distributed_h_partition_order(g)
+    o1, r1 = run_wreach_bc(g, oc.class_ids, 3)
+    o2, r2 = run_wreach_bc(g, oc.class_ids, 3)
+    assert all(o1[v].paths == o2[v].paths for v in range(g.n))
+    assert r1.total_words == r2.total_words
+
+
+def test_delaunay_equivalence():
+    g, _ = delaunay_graph(60, seed=5)
+    oc = distributed_h_partition_order(g)
+    outs, _ = run_wreach_bc(g, oc.class_ids, 3)
+    seq = wreach_sets(g, oc.order, 3)
+    for v in range(g.n):
+        assert set(outs[v].wreach) == set(seq[v])
