@@ -8,33 +8,24 @@ dominating set size.  Expected shape: structure-aware orders yield much
 smaller c than random orders (and hence much stronger certificates),
 while solution *sizes* vary far less — the certificate, not the size,
 is what the order buys.
+
+The sweep runs through :func:`repro.api.solve` with
+``order_strategy`` as the request axis; the shared cache means each
+(workload, strategy) order and its WReach sets are built exactly once
+across the solve + certificate measurements.
 """
 
 import pytest
 
+from repro.api import PrecomputeCache, solve
 from repro.bench.harness import write_result
 from repro.bench.tables import Table
 from repro.bench.workloads import WORKLOADS
-from repro.core.domset import domset_sequential
-from repro.orders.degeneracy import degeneracy_order
 from repro.orders.fraternal import fraternal_augmentation_order
-from repro.orders.heuristics import bfs_order, identity_order, random_order, sort_by_wreach_order
-from repro.orders.wreach import wcol_of_order
 
 WORKLOAD_NAMES = ["grid16", "tri16", "delaunay400", "ktree300", "tree500"]
+STRATEGIES = ["degeneracy", "fraternal", "wreach_sort", "bfs", "random", "identity"]
 RADIUS = 2
-
-
-def _orders(g):
-    degen, _ = degeneracy_order(g)
-    return [
-        ("degeneracy", degen),
-        ("fraternal", fraternal_augmentation_order(g, 2 * RADIUS)),
-        ("wreach_sort", sort_by_wreach_order(g, degen, 2 * RADIUS, passes=2)),
-        ("bfs_layers", bfs_order(g, 0)),
-        ("random", random_order(g, seed=1)),
-        ("identity", identity_order(g)),
-    ]
 
 
 def _a1_rows():
@@ -42,17 +33,21 @@ def _a1_rows():
         f"A1: order strategy ablation (r={RADIUS})",
         ["workload", "strategy", "c = wcol_2r", "|D|", "certified ratio"],
     )
+    cache = PrecomputeCache()
     structured_beats_random = []
+    runs = []
     for name in WORKLOAD_NAMES:
         g = WORKLOADS[name].graph()
         per = {}
-        for label, order in _orders(g):
-            c = wcol_of_order(g, order, 2 * RADIUS)
-            d = domset_sequential(g, order, RADIUS).size
-            per[label] = c
-            table.add(name, label, c, d, c)
+        for strategy in STRATEGIES:
+            res = solve(g, RADIUS, "seq.wreach",
+                        order_strategy=strategy, certify=True, cache=cache)
+            runs.append(res)
+            c = res.certificate.certified_c
+            per[strategy] = c
+            table.add(name, strategy, c, res.size, c)
         structured_beats_random.append(per["degeneracy"] <= per["random"])
-    return table, structured_beats_random
+    return table, structured_beats_random, runs
 
 
 def test_a1_order_ablation(benchmark):
@@ -60,7 +55,7 @@ def test_a1_order_ablation(benchmark):
     benchmark.pedantic(
         lambda: fraternal_augmentation_order(g, 2 * RADIUS), rounds=1, iterations=1
     )
-    table, wins = _a1_rows()
-    write_result("a1_order_ablation", table)
+    table, wins, runs = _a1_rows()
+    write_result("a1_order_ablation", table, runs=runs)
     # Structure-aware orders must beat random on most workloads.
     assert sum(wins) >= len(wins) - 1

@@ -8,6 +8,12 @@ experiment reports, per workload and radius:
   |D| for ours / ours+prune / Dvořák-greedy / classical greedy,
   the LP (or exact) lower bound, realized ratios, and the certified c.
 
+All solver invocations go through the unified API
+(:func:`repro.api.solve`) with one shared precompute cache, so the
+degeneracy order and WReach sets per (workload, radius) are computed
+once across the four algorithms; the result file records each run's
+solver name and wall time.
+
 Expected shape: certified bound always holds (ours <= c * LP-ish);
 empirically greedy <= dvorak <= ours on sizes while only ours carries
 the per-instance certificate.
@@ -15,18 +21,13 @@ the per-instance certificate.
 
 import pytest
 
+from repro.api import PrecomputeCache, solve
 from repro.bench.harness import write_result
 from repro.bench.tables import Table
 from repro.bench.workloads import WORKLOADS
-from repro.core.domset import domset_sequential
-from repro.core.dvorak import domset_dvorak
-from repro.core.exact import exact_domset, lp_lower_bound
-from repro.core.greedy import domset_greedy
-from repro.core.prune import prune_dominating_set
-from repro.core.tree_exact import is_tree, tree_domset_exact
+from repro.core.exact import lp_lower_bound
+from repro.core.tree_exact import is_tree
 from repro.errors import SolverError
-from repro.orders.degeneracy import degeneracy_order
-from repro.orders.wreach import wcol_of_order
 
 WORKLOAD_NAMES = [
     "grid16",
@@ -62,22 +63,28 @@ def _t1_rows():
             "certified c",
         ],
     )
+    cache = PrecomputeCache()
     violations = []
+    runs = []
     for name in WORKLOAD_NAMES:
         g = WORKLOADS[name].graph()
-        order, _ = degeneracy_order(g)
         for r in RADII:
-            ours = domset_sequential(g, order, r)
-            pruned = prune_dominating_set(g, ours.dominators, r)
-            dv = domset_dvorak(g, order, r)
-            gr = domset_greedy(g, r)
+            ours = solve(g, r, "seq.wreach", prune=True, certify=True, cache=cache)
+            dv = solve(g, r, "seq.dvorak", cache=cache)
+            gr = solve(g, r, "seq.greedy", cache=cache)
+            runs += [ours, dv, gr]
+            raw_size = ours.extras["raw_size"]
             lb, kind = 1.0, "trivial"
             if is_tree(g):
-                lb, kind = float(tree_domset_exact(g, r)[0]), "exact"
+                tre = solve(g, r, "seq.tree-exact", cache=cache)
+                runs.append(tre)
+                lb, kind = float(tre.size), "exact"
             elif g.n <= 310:
                 try:
-                    opt, _ = exact_domset(g, r, time_limit=20.0)
-                    lb, kind = float(opt), "exact"
+                    ex = solve(g, r, "seq.exact",
+                               params={"time_limit": 20.0}, cache=cache)
+                    runs.append(ex)
+                    lb, kind = float(ex.size), "exact"
                 except SolverError:
                     pass
             if kind == "trivial":
@@ -85,23 +92,24 @@ def _t1_rows():
                     lb, kind = lp_lower_bound(g, r), "LP"
                 except SolverError:
                     pass
-            c = wcol_of_order(g, order, 2 * r)
+            c = ours.certificate.certified_c
             denom = max(1.0, lb)
             table.add(
-                name, g.n, r, ours.size, len(pruned), dv.size, gr.size,
-                round(lb, 1), kind, len(pruned) / denom, c,
+                name, g.n, r, raw_size, ours.size, dv.size, gr.size,
+                round(lb, 1), kind, ours.size / denom, c,
             )
             # The theorem bound: |D| <= c * OPT — assertable only with
             # an exact OPT (LP can undershoot OPT by more than 1/c).
-            if kind == "exact" and ours.size > c * max(1.0, lb) + 1e-9:
-                violations.append((name, r, ours.size, c, lb))
-    return table, violations
+            if kind == "exact" and raw_size > c * max(1.0, lb) + 1e-9:
+                violations.append((name, r, raw_size, c, lb))
+    return table, violations, runs
 
 
 def test_t1_approx_ratio(benchmark):
     g = WORKLOADS["delaunay400"].graph()
-    order, _ = degeneracy_order(g)
-    benchmark(lambda: domset_sequential(g, order, 2))
-    table, violations = _t1_rows()
-    write_result("t1_approx_ratio", table)
+    cache = PrecomputeCache()
+    cache.order(g, "degeneracy", 2)  # prebuild so the timing isolates the solver
+    benchmark(lambda: solve(g, 2, "seq.wreach", cache=cache))
+    table, violations, runs = _t1_rows()
+    write_result("t1_approx_ratio", table, runs=runs)
     assert violations == []

@@ -13,6 +13,11 @@ fixed n the growth in r is linear in logical rounds (the r^2 shows up
 in *normalized* rounds where each (2r+1)-sid path costs O(r) words of
 bandwidth).  Both series are printed; a linear fit of rounds vs log2 n
 should have small slope.
+
+Runs through ``solve(..., "dist.congest")`` with a shared cache: the
+H-partition order per (family, n) instance is simulated once and
+reused across all three radii — the cross-call sharing the unified API
+was built for.
 """
 
 import math
@@ -20,11 +25,10 @@ import math
 import pytest
 
 from repro.analysis.stats import linear_fit
+from repro.api import PrecomputeCache, solve
 from repro.bench.harness import write_result
 from repro.bench.tables import Table
 from repro.bench.workloads import scaling_family
-from repro.distributed.domset_bc import run_domset_bc
-from repro.distributed.nd_order import distributed_h_partition_order
 
 SIZES = [256, 512, 1024, 2048]
 RADII = (1, 2, 3)
@@ -39,23 +43,24 @@ def _t3_rows():
         "T3-fit: rounds = a * log2(n) + b at fixed r",
         ["family", "r", "slope a", "intercept b", "R^2"],
     )
+    cache = PrecomputeCache()
+    runs = []
     for family in ("grid", "delaunay", "ktree"):
         per_r: dict[int, list[tuple[float, int]]] = {r: [] for r in RADII}
         for n, g in scaling_family(family, SIZES):
-            oc = distributed_h_partition_order(g)
             for r in RADII:
-                res = run_domset_bc(g, r, oc)
-                from repro.distributed.model import normalized_rounds
-
-                total = res.total_rounds
+                res = solve(g, r, "dist.congest", cache=cache)
+                runs.append(res)
+                oc = res.extras["order_computation"]
+                total = res.rounds
                 # Normalized: order phase words are small; approximate the
                 # pipeline bandwidth cost by its max payload per phase.
                 norm = (
                     oc.normalized_rounds
                     + res.phase_rounds["wreach"]
-                    * max(1, res.phase_max_words["wreach"])
+                    * max(1, res.raw.phase_max_words["wreach"])
                     + res.phase_rounds["election"]
-                    * max(1, res.phase_max_words["election"])
+                    * max(1, res.raw.phase_max_words["election"])
                 )
                 table.add(
                     family, g.n, r, res.phase_rounds["order"],
@@ -68,15 +73,18 @@ def _t3_rows():
             ys = [y for _, y in per_r[r]]
             a, b, r2 = linear_fit(xs, ys)
             fits.add(family, r, a, b, r2)
-    return table, fits
+    return table, fits, runs
 
 
 def test_t3_rounds_scaling(benchmark):
     _, g = scaling_family("grid", [1024])[0]
-    oc = distributed_h_partition_order(g)
-    benchmark.pedantic(lambda: run_domset_bc(g, 2, oc), rounds=1, iterations=1)
-    table, fits = _t3_rows()
-    write_result("t3_rounds_scaling", table, fits)
+    cache = PrecomputeCache()
+    cache.distributed_order(g, "h_partition", 2)
+    benchmark.pedantic(
+        lambda: solve(g, 2, "dist.congest", cache=cache), rounds=1, iterations=1
+    )
+    table, fits, runs = _t3_rows()
+    write_result("t3_rounds_scaling", table, fits, runs=runs)
     # Shape check: the logical round count is dominated by the O(log n)
     # order phase plus 3r; it must stay below a generous c * r^2 * log2 n.
     for row in table.rows:

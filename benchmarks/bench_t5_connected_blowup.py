@@ -7,18 +7,20 @@ blowup |D'| / |D| per workload against the per-instance bound
 c' * (2r+2) (the +1 accounts for path endpoints), and compare with the
 sequential Lemma-16 minor construction and the centralized Steiner-style
 baseline on the same dominating set.
+
+The distributed pipeline runs through ``solve(..., "dist.congest",
+connect=True)``; the shared cache reuses one H-partition order run per
+workload across both radii.
 """
 
 import pytest
 
+from repro.api import PrecomputeCache, solve
 from repro.analysis.validate import is_connected_distance_r_dominating_set
 from repro.bench.harness import write_result
 from repro.bench.tables import Table
 from repro.bench.workloads import WORKLOADS
 from repro.core.connect import connect_via_minor, steiner_connect_baseline
-from repro.distributed.connect_bc import run_connect_bc
-from repro.distributed.nd_order import distributed_h_partition_order
-from repro.orders.wreach import wcol_of_order
 
 WORKLOAD_NAMES = ["grid16", "tri16", "hex16", "tree500", "delaunay400", "outerplanar200"]
 
@@ -39,30 +41,40 @@ def _t5_rows():
             "valid",
         ],
     )
+    cache = PrecomputeCache()
     failures = []
+    runs = []
     for name in WORKLOAD_NAMES:
         g = WORKLOADS[name].graph()
-        oc = distributed_h_partition_order(g)
         for r in (1, 2):
-            res = run_connect_bc(g, r, oc)
-            c_prime = wcol_of_order(g, oc.order, 2 * r + 1)
+            res = solve(g, r, "dist.congest", connect=True, cache=cache)
+            runs.append(res)
+            conn = res.extras["connect_result"]
+            order = res.extras["order_computation"].order
+            c_prime = cache.wcol(g, order, 2 * r + 1)
             bound = c_prime * (2 * r + 2)
             valid = is_connected_distance_r_dominating_set(g, res.connected_set, r)
-            minor = connect_via_minor(g, res.dominators, r)
-            steiner = steiner_connect_baseline(g, res.dominators, r)
+            minor = connect_via_minor(g, conn.dominators, r)
+            steiner = steiner_connect_baseline(g, conn.dominators, r)
+            blowup = conn.blowup
             table.add(
-                name, g.n, r, len(res.dominators), res.size,
-                res.blowup, bound, minor.size, steiner.size, valid,
+                name, g.n, r, len(conn.dominators), len(res.connected_set),
+                blowup, bound, minor.size, steiner.size, valid,
             )
-            if not valid or res.blowup > bound:
+            if not valid or blowup > bound:
                 failures.append((name, r))
-    return table, failures
+    return table, failures, runs
 
 
 def test_t5_connected_blowup(benchmark):
     g = WORKLOADS["delaunay400"].graph()
-    oc = distributed_h_partition_order(g)
-    benchmark.pedantic(lambda: run_connect_bc(g, 1, oc), rounds=1, iterations=1)
-    table, failures = _t5_rows()
-    write_result("t5_connected_blowup", table)
+    cache = PrecomputeCache()
+    cache.distributed_order(g, "h_partition", 1)
+    benchmark.pedantic(
+        lambda: solve(g, 1, "dist.congest", connect=True, cache=cache),
+        rounds=1,
+        iterations=1,
+    )
+    table, failures, runs = _t5_rows()
+    write_result("t5_connected_blowup", table, runs=runs)
     assert failures == []

@@ -7,17 +7,20 @@ constant number of LOCAL rounds, the connection step multiplying the
 size by at most 2rd = 6 (plus D itself; planar depth-1 minors have
 d <= 3).  Reported: MDS size vs exact OPT, CDS size, connectify blowup
 vs the 6+1 bound, and total rounds (must be a constant independent of n).
+
+The whole composition is one registered solver
+(``local.planar-cds``); the exact lower bounds also run through the
+registry (``seq.exact``).
 """
 
 import pytest
 
+from repro.api import PrecomputeCache, solve
 from repro.analysis.validate import is_connected_distance_r_dominating_set
 from repro.bench.harness import write_result
 from repro.bench.tables import Table
 from repro.bench.workloads import WORKLOADS
-from repro.core.exact import exact_domset, lp_lower_bound
-from repro.distributed.connect_local import local_connectify
-from repro.distributed.lenzen import lenzen_planar_mds
+from repro.core.exact import lp_lower_bound
 from repro.errors import SolverError
 
 PLANAR_WORKLOADS = ["grid16", "tri16", "hex16", "tree500", "delaunay400", "outerplanar200"]
@@ -39,37 +42,41 @@ def _t8_rows():
             "valid",
         ],
     )
+    cache = PrecomputeCache()
     failures = []
+    runs = []
     for name in PLANAR_WORKLOADS:
         g = WORKLOADS[name].graph()
-        mds = lenzen_planar_mds(g)
-        cds = local_connectify(g, mds.dominators, 1)
+        res = solve(g, 1, "local.planar-cds", connect=True, cache=cache)
+        runs.append(res)
+        blowup = res.extras["blowup"]
         try:
             if g.n <= 310:
-                lb, _ = exact_domset(g, 1, time_limit=20.0)
-                lb = float(lb)
+                ex = solve(g, 1, "seq.exact",
+                           params={"time_limit": 20.0}, cache=cache)
+                runs.append(ex)
+                lb = float(ex.size)
             else:
                 lb = lp_lower_bound(g, 1)
         except SolverError:
             lb = lp_lower_bound(g, 1)
-        valid = is_connected_distance_r_dominating_set(g, cds.connected_set, 1)
-        rounds = mds.rounds + cds.rounds
+        valid = is_connected_distance_r_dominating_set(g, res.connected_set, 1)
         table.add(
-            name, g.n, mds.size, round(lb, 1), mds.size / max(1.0, lb),
-            cds.size, cds.blowup, 7, rounds, valid,
+            name, g.n, res.size, round(lb, 1), res.size / max(1.0, lb),
+            len(res.connected_set), blowup, 7, res.rounds, valid,
         )
-        if not valid or cds.blowup > 7.0 or rounds > 11:
+        if not valid or blowup > 7.0 or res.rounds > 11:
             failures.append(name)
-    return table, failures
+    return table, failures, runs
 
 
 def test_t8_local_cds(benchmark):
     g = WORKLOADS["delaunay400"].graph()
     benchmark.pedantic(
-        lambda: local_connectify(g, lenzen_planar_mds(g).dominators, 1),
+        lambda: solve(g, 1, "local.planar-cds", connect=True),
         rounds=1,
         iterations=1,
     )
-    table, failures = _t8_rows()
-    write_result("t8_local_cds", table)
+    table, failures, runs = _t8_rows()
+    write_result("t8_local_cds", table, runs=runs)
     assert failures == []

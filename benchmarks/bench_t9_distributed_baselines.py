@@ -7,6 +7,11 @@ algorithms [36].  This experiment puts them side by side on the same
 workloads: solution size, round cost (of the kind each model charges),
 and what guarantee each carries.
 
+The whole comparison is one ``solve_batch`` sweep over the registry —
+the shape the unified API exists for: every algorithm behind the same
+request, a shared precompute cache amortizing the order construction,
+and the per-run provenance landing in the results file.
+
 Expected shape: Theorem 9 and parallel-greedy sizes are comparable;
 ruling sets are smaller on dense balls but carry no ratio bound; only
 Theorem 9 works in CONGEST_BC with a certified constant ratio.
@@ -14,6 +19,7 @@ Theorem 9 works in CONGEST_BC with a certified constant ratio.
 
 import pytest
 
+from repro.api import PrecomputeCache, SolveRequest, solve_batch
 from repro.analysis.validate import is_distance_r_dominating_set
 from repro.bench.harness import write_result
 from repro.bench.tables import Table
@@ -22,13 +28,16 @@ from repro.core.exact import lp_lower_bound
 from repro.core.independence import scattered_lower_bound
 from repro.core.prune import prune_dominating_set
 from repro.core.tree_exact import is_tree, tree_domset_exact
-from repro.distributed.domset_bc import run_domset_bc
-from repro.distributed.kw_lp import kw_lp_domset
-from repro.distributed.nd_order import distributed_h_partition_order
-from repro.distributed.parallel_greedy import parallel_greedy_domset
-from repro.distributed.ruling import ruling_domset
 
 WORKLOAD_NAMES = ["grid16", "tri16", "tree500", "delaunay400", "ktree300"]
+RADII = (1, 2)
+#: (registry name, seed) — the comparison axis of the experiment.
+CONTENDERS = (
+    ("dist.congest", 0),
+    ("dist.ruling", 3),
+    ("dist.parallel-greedy", 0),
+    ("dist.kw-lp", 4),
+)
 
 
 def _t9_rows():
@@ -49,42 +58,50 @@ def _t9_rows():
             "pg LOCAL rounds",
         ],
     )
+    cache = PrecomputeCache()
     invalid = []
+    all_runs = []
     for name in WORKLOAD_NAMES:
         g = WORKLOADS[name].graph()
-        oc = distributed_h_partition_order(g)
-        for r in (1, 2):
-            thm9 = run_domset_bc(g, r, oc)
+        requests = [
+            SolveRequest(graph=g, radius=r, algorithm=algo, seed=seed)
+            for r in RADII
+            for algo, seed in CONTENDERS
+        ]
+        results = solve_batch(requests, cache=cache)
+        all_runs += results
+        by_key = {(res.radius, res.algorithm): res for res in results}
+        for r in RADII:
+            thm9 = by_key[(r, "dist.congest")]
+            ruling = by_key[(r, "dist.ruling")]
+            pg = by_key[(r, "dist.parallel-greedy")]
+            kw = by_key[(r, "dist.kw-lp")]
             pruned = prune_dominating_set(g, thm9.dominators, r)
-            ruling = ruling_domset(g, r, seed=3)
-            pg = parallel_greedy_domset(g, r)
-            kw = kw_lp_domset(g, r, seed=4)
             if is_tree(g):
                 lb = float(tree_domset_exact(g, r)[0])
             else:
                 lb = lp_lower_bound(g, r)
             slb = scattered_lower_bound(g, r)
-            for label, dom in (
-                ("thm9", thm9.dominators),
-                ("ruling", ruling.dominators),
-                ("pg", pg.dominators),
-                ("kw", kw.dominators),
-            ):
-                if not is_distance_r_dominating_set(g, dom, r):
+            for label, res in (("thm9", thm9), ("ruling", ruling),
+                               ("pg", pg), ("kw", kw)):
+                if not is_distance_r_dominating_set(g, res.dominators, r):
                     invalid.append((name, r, label))
             if slb > (lb if lb == int(lb) and is_tree(g) else slb):
                 invalid.append((name, r, "scatter-exceeds-exact"))
             table.add(
                 name, r, round(lb, 1), slb, thm9.size, len(pruned), ruling.size,
-                pg.size, kw.size, thm9.total_rounds, ruling.g_rounds,
-                pg.local_rounds,
+                pg.size, kw.size, thm9.rounds, ruling.rounds, pg.rounds,
             )
-    return table, invalid
+    return table, invalid, all_runs
 
 
 def test_t9_distributed_baselines(benchmark):
     g = WORKLOADS["delaunay400"].graph()
-    benchmark.pedantic(lambda: ruling_domset(g, 2, seed=3), rounds=1, iterations=1)
-    table, invalid = _t9_rows()
-    write_result("t9_distributed_baselines", table)
+    from repro.api import solve
+
+    benchmark.pedantic(
+        lambda: solve(g, 2, "dist.ruling", seed=3), rounds=1, iterations=1
+    )
+    table, invalid, runs = _t9_rows()
+    write_result("t9_distributed_baselines", table, runs=runs)
     assert invalid == []

@@ -1,68 +1,56 @@
 """Every dominating-set algorithm in the library on one instance.
 
-A guided tour: exact bounds, the paper's algorithm with its certificate,
-and all the related-work baselines the paper positions itself against —
-on a single Delaunay road-network instance, with the guarantee each
-method actually carries.
+A guided tour powered by the solver registry: ``list_solvers()`` is
+the source of truth for what exists, one ``solve_batch`` sweep runs
+every applicable algorithm on the same Delaunay road-network instance
+(sharing the order/WReach precomputation through the batch cache), and
+each row reports the guarantee the registry declares for it.
 
 Run:  python examples/compare_baselines.py
 """
 
 from repro.analysis.validate import is_distance_r_dominating_set
-from repro.core.domset import domset_sequential
-from repro.core.dvorak import domset_dvorak
+from repro.api import PrecomputeCache, SolveRequest, list_solvers, solve, solve_batch
 from repro.core.exact import lp_lower_bound
-from repro.core.greedy import domset_greedy
 from repro.core.independence import scattered_lower_bound
-from repro.core.lp_rounding import lp_rounding_domset
-from repro.core.prune import prune_dominating_set
-from repro.distributed.kw_lp import kw_lp_domset
-from repro.distributed.parallel_greedy import parallel_greedy_domset
-from repro.distributed.ruling import ruling_domset
 from repro.graphs.random_models import delaunay_graph
-from repro.orders.degeneracy import degeneracy_order
-from repro.orders.wreach import wcol_of_order
+
+#: Solvers excluded from the sweep: exact blows up at this size,
+#: tree-exact needs a tree, planar-cds is the r=1-only LOCAL pipeline.
+SKIP = {"seq.exact", "seq.tree-exact", "local.planar-cds"}
 
 
 def main() -> None:
     g, _ = delaunay_graph(400, seed=20)
     radius = 2
-    order, degen = degeneracy_order(g)
-    c = wcol_of_order(g, order, 2 * radius)
+    cache = PrecomputeCache()
 
     lp = lp_lower_bound(g, radius)
     scatter = scattered_lower_bound(g, radius)
     lb = max(lp, float(scatter))
-    print(f"instance: Delaunay, n={g.n}, m={g.m}, degeneracy={degen}, r={radius}")
+    print(f"instance: Delaunay, n={g.n}, m={g.m}, r={radius}")
     print(f"lower bounds: LP={lp:.1f}, scattered-set={scatter}  ->  OPT >= {lb:.1f}\n")
 
-    rows: list[tuple[str, int, str]] = []
+    infos = [i for i in list_solvers() if i.name not in SKIP
+             and i.capabilities.supports_radius(radius)]
+    requests = [
+        SolveRequest(graph=g, radius=radius, algorithm=i.name,
+                     certify=True, seed=1)
+        for i in infos
+    ]
+    results = solve_batch(requests, cache=cache)
 
-    ours = domset_sequential(g, order, radius)
-    rows.append(("Theorem 5 (elect-min-WReach)", ours.size, f"<= {c}*OPT, CONGEST_BC"))
-    pruned = prune_dominating_set(g, ours.dominators, radius)
-    rows.append(("  + redundancy pruning", len(pruned), f"<= {c}*OPT, +2r+1 LOCAL rounds"))
-    dv = domset_dvorak(g, order, radius)
-    rows.append(("Dvorak order-greedy [21]", dv.size, f"<= {c}^2*OPT, sequential"))
-    gr = domset_greedy(g, radius)
-    rows.append(("classical greedy", gr.size, "<= ln(n)*OPT, sequential"))
-    ru = ruling_domset(g, radius, seed=1)
-    rows.append(("ruling set (Luby on G^r) [35/49]", ru.size, "no OPT relation, O(r log n) rounds"))
-    pg = parallel_greedy_domset(g, radius)
-    rows.append(("parallel greedy [38-style]", pg.size, "O(a log D)-ish, O(log D) phases"))
-    kw = kw_lp_domset(g, radius, seed=1)
-    rows.append(("LP + rounding [34-style]", kw.size, "O(log D) expected, LOCAL"))
-    bu = lp_rounding_domset(g, radius)
-    rows.append(("Bansal-Umboh LP rounding [10]", bu.size, "<= 3a*OPT, central LP"))
+    print(f"{'solver':22} {'|D|':>5}  ratio>=   model       guarantee")
+    for info, res in zip(infos, results):
+        caps = info.capabilities
+        print(f"{res.algorithm:22} {res.size:5d}  {res.size / lb:7.2f}   "
+              f"{caps.model:10}  {caps.guarantee}")
+        assert is_distance_r_dominating_set(g, res.dominators, radius)
 
-    print(f"{'algorithm':38} {'|D|':>5}  ratio>=   guarantee")
-    for name, size, guarantee in rows:
-        print(f"{name:38} {size:5d}  {size/lb:7.2f}   {guarantee}")
-
-    # Everything must be a valid distance-r dominating set.
-    for dom in (ours.dominators, pruned, dv.dominators, gr.dominators,
-                ru.dominators, pg.dominators, kw.dominators, bu.dominators):
-        assert is_distance_r_dominating_set(g, dom, radius)
+    # The paper's algorithm with pruning, for the headline comparison.
+    pruned = solve(g, radius, "seq.wreach", prune=True, certify=True, cache=cache)
+    print(f"\n{'seq.wreach + pruning':22} {pruned.size:5d}  "
+          f"{pruned.size / lb:7.2f}   certified <= {pruned.certificate.certified_ratio} * OPT")
     print("\nall outputs verified as valid distance-2 dominating sets")
 
 

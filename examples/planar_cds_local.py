@@ -8,15 +8,14 @@ than the dominating set you started from.
 
 Scenario: road-network intersections (Delaunay triangulation of random
 sites, planar) need a connected subset of "beacon" intersections such
-that every intersection is adjacent to a beacon.
+that every intersection is adjacent to a beacon.  The whole
+composition is one registered solver: ``local.planar-cds``.
 
 Run:  python examples/planar_cds_local.py
 """
 
-from repro import is_connected_distance_r_dominating_set
+from repro import is_connected_distance_r_dominating_set, solve
 from repro.core.exact import lp_lower_bound
-from repro.distributed.connect_local import local_connectify
-from repro.distributed.lenzen import lenzen_planar_mds
 from repro.graphs.random_models import delaunay_graph
 
 
@@ -24,22 +23,24 @@ def main() -> None:
     g, sites = delaunay_graph(600, seed=2026)
     print(f"road network: {g.n} intersections, {g.m} segments (planar Delaunay)")
 
-    # Step 1: constant-round planar MDS (7 LOCAL rounds).
-    mds = lenzen_planar_mds(g)
+    res = solve(g, 1, "local.planar-cds", connect=True)
+    assert is_connected_distance_r_dominating_set(g, res.connected_set, 1)
+
+    mds = res.raw  # LenzenResult: the phase-level MDS detail
+    cds = res.extras["connect_result"]  # LocalConnectResult
     lp = lp_lower_bound(g, 1)
+
     print(f"\nstep 1 — Lenzen-style MDS: {mds.size} beacons in {mds.rounds} rounds")
     print(f"  (pair-rule phase D1: {len(mds.d1)}, election phase D2: {len(mds.d2)})")
     print(f"  LP lower bound on OPT: {lp:.1f}  -> measured ratio <= {mds.size / lp:.2f}")
 
-    # Step 2: Theorem 17 connectifier (3r+1 = 4 LOCAL rounds at r=1).
-    cds = local_connectify(g, mds.dominators, radius=1)
-    assert is_connected_distance_r_dominating_set(g, cds.connected_set, 1)
     print(f"\nstep 2 — Lemma 16 connectify: {cds.size} vertices in {cds.rounds} rounds")
     print(f"  minor H(D) edges realized: {len(cds.minor_edges)}")
     print(f"  blowup |D'|/|D| = {cds.blowup:.2f}  (Theorem 17 bound: 2rd + 1 = 7)")
 
-    print(f"\ntotal LOCAL rounds: {mds.rounds + cds.rounds} — constant, independent of n")
+    print(f"\ntotal LOCAL rounds: {res.rounds} — constant, independent of n")
     print(f"connected-CDS ratio vs LP bound: {cds.size / lp:.2f}")
+    print(f"solver wall time: {res.wall_time_s * 1e3:.1f} ms")
 
 
 if __name__ == "__main__":

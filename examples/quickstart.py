@@ -1,16 +1,14 @@
 """Quickstart: approximate a distance-r dominating set with a certificate.
 
+One call through the unified solver API does order construction,
+Theorem-5 election, redundancy pruning, and certification; see
+``list_solvers()`` (or ``python -m repro.cli list-solvers``) for every
+other registered algorithm behind the same call shape.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    certify_run,
-    domset_sequential,
-    generators,
-    is_distance_r_dominating_set,
-    make_order,
-    prune_dominating_set,
-)
+from repro import generators, is_distance_r_dominating_set, solve
 
 
 def main() -> None:
@@ -18,29 +16,24 @@ def main() -> None:
     g = generators.grid_2d(32, 32)
     radius = 2
 
-    # 1. Compute a linear order witnessing small weak-coloring numbers.
-    order = make_order(g, radius, "degeneracy")
+    # Theorem 5 through the registry: compute a linear order witnessing
+    # small weak-coloring numbers, elect min WReach_r per vertex, prune
+    # redundant dominators, and attach the per-instance certificate
+    # (|D| <= c * OPT with c measured from the order, plus an LP lower
+    # bound on OPT for the realized ratio).
+    res = solve(g, radius, "seq.wreach",
+                prune=True, certify=True, with_lp=True)
+    assert is_distance_r_dominating_set(g, res.dominators, radius)
 
-    # 2. Theorem 5: every vertex elects min WReach_r; elected vertices
-    #    form the dominating set.
-    result = domset_sequential(g, order, radius)
-    assert is_distance_r_dominating_set(g, result.dominators, radius)
-
-    # 3. The certificate: |D| <= c * OPT with c measured from the order,
-    #    plus an LP lower bound on OPT for the realized ratio.
-    cert = certify_run(g, order, result, with_lp=True)
-
-    # 4. Optional post-processing: drop redundant dominators (stays a
-    #    valid distance-r dominating set; see repro.core.prune).
-    pruned = prune_dominating_set(g, result.dominators, radius)
-
+    cert = res.certificate
     print(f"graph: {g.n} vertices, {g.m} edges (32x32 grid)")
-    print(f"distance-{radius} dominating set: {result.size} vertices")
-    print(f"after redundancy pruning:        {len(pruned)} vertices")
+    print(f"distance-{radius} dominating set: {res.extras['raw_size']} vertices")
+    print(f"after redundancy pruning:        {res.size} vertices")
     print(f"certified approximation ratio (Theorem 5): <= {cert.certified_ratio}")
     print(f"LP lower bound on OPT: {cert.lp_bound:.1f}")
-    print(f"pruned-vs-LP realized ratio: {len(pruned) / cert.lp_bound:.2f}")
-    print(f"first dominators: {result.dominators[:10]} ...")
+    print(f"pruned-vs-LP realized ratio: {res.size / cert.lp_bound:.2f}")
+    print(f"solver wall time: {res.wall_time_s * 1e3:.1f} ms")
+    print(f"first dominators: {res.dominators[:10]} ...")
 
 
 if __name__ == "__main__":

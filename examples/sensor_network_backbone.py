@@ -6,14 +6,14 @@ bounded-expansion class at bounded density).  We want a small set of
 *cluster heads* such that every sensor is within r hops of a head, and
 the heads plus relays form a CONNECTED backbone for routing — exactly
 the CONNECTED DISTANCE-r DOMINATING SET problem, solved here with the
-paper's CONGEST_BC pipeline (Theorem 10), i.e. something each sensor
-could actually run with broadcast radios.
+paper's CONGEST_BC pipeline (Theorem 10) through
+``solve(..., "dist.congest", connect=True)``, i.e. something each
+sensor could actually run with broadcast radios.
 
 Run:  python examples/sensor_network_backbone.py
 """
 
-from repro import is_connected_distance_r_dominating_set
-from repro.distributed.connect_bc import run_connect_bc
+from repro import solve
 from repro.graphs.components import largest_component
 from repro.graphs.random_models import random_geometric
 from repro.orders.wreach import wcol_of_order
@@ -28,23 +28,26 @@ def main() -> None:
     print(f"sensors: {g_full.n} deployed, largest connected field: {g.n}")
     print(f"radio links: {g.m}, average degree {g.average_degree():.2f}")
 
-    result = run_connect_bc(g, radius)
-    assert is_connected_distance_r_dominating_set(g, result.connected_set, radius)
+    res = solve(g, radius, "dist.congest", connect=True, validate=True)
+    assert res.extras["valid"]
+    conn = res.extras["connect_result"]
+    oc = res.extras["order_computation"]
 
-    heads = result.dominators
-    backbone = result.connected_set
+    heads = res.dominators
+    backbone = res.connected_set
     relays = set(backbone) - set(heads)
-    c_prime = wcol_of_order(g, result.order.order, 2 * radius + 1)
+    c_prime = wcol_of_order(g, oc.order, 2 * radius + 1)
 
     print(f"\ncluster heads (distance-{radius} dominators): {len(heads)}")
     print(f"backbone size (heads + relays):               {len(backbone)}")
     print(f"relays added for connectivity:                {len(relays)}")
-    print(f"blowup |D'|/|D| = {result.blowup:.2f} (bound {c_prime * (2 * radius + 2)})")
+    print(f"blowup |D'|/|D| = {conn.blowup:.2f} (bound {c_prime * (2 * radius + 2)})")
     print("\ndistributed cost (CONGEST_BC):")
-    for phase, rounds in result.phase_rounds.items():
-        words = result.phase_max_words[phase]
+    for phase, rounds in conn.phase_rounds.items():
+        words = conn.phase_max_words[phase]
         print(f"  {phase:>9}: {rounds:3d} rounds, max broadcast {words} words")
-    print(f"  total logical rounds: {result.total_rounds}")
+    print(f"  total logical rounds: {conn.total_rounds}")
+    print(f"  solver wall time: {res.wall_time_s * 1e3:.1f} ms")
 
 
 if __name__ == "__main__":

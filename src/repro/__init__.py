@@ -9,21 +9,37 @@ approximation certificates.
 
 Quickstart::
 
-    from repro import generators, sequential_pipeline
+    from repro import generators, solve, list_solvers
     g = generators.grid_2d(32, 32)
-    run = sequential_pipeline(g, radius=2, with_lp=True)
-    print(run.domset.size, run.certificate.certified_ratio)
+    res = solve(g, radius=2, algorithm="seq.wreach",
+                certify=True, with_lp=True)
+    print(res.size, res.certificate.certified_ratio)
+    print([info.name for info in list_solvers()])
 
-See README.md for the architecture overview and DESIGN.md for the
-paper-to-module map.
+Every algorithm (sequential Theorem 5, baselines, CONGEST_BC and LOCAL
+pipelines) is reachable through :func:`repro.api.solve` /
+:func:`repro.api.solve_batch`; the legacy ``*_pipeline`` functions
+remain as deprecation shims routed through the same registry.  See
+README.md for the architecture overview and the full solver table.
 """
 
 from repro import graphs
 from repro.graphs import generators, random_models
+from repro.api import (
+    PrecomputeCache,
+    SolveRequest,
+    SolveResult,
+    list_solvers,
+    register_solver,
+    solve,
+    solve_batch,
+)
+# Deprecation shims (pre-registry entry points), kept for compatibility.
 from repro.pipelines import (
     congest_bc_pipeline,
     planar_cds_pipeline,
     sequential_pipeline,
+    unified_bc_pipeline,
     make_order,
 )
 from repro.core import (
@@ -57,9 +73,17 @@ __all__ = [
     "graphs",
     "generators",
     "random_models",
+    "solve",
+    "solve_batch",
+    "list_solvers",
+    "register_solver",
+    "SolveRequest",
+    "SolveResult",
+    "PrecomputeCache",
     "sequential_pipeline",
     "congest_bc_pipeline",
     "planar_cds_pipeline",
+    "unified_bc_pipeline",
     "make_order",
     "domset_sequential",
     "domset_by_wreach",

@@ -1,0 +1,65 @@
+"""Unified solver API: registry, request/response types, ``solve()`` façade.
+
+This package is the single front door to every dominating-set
+algorithm in the library::
+
+    from repro.api import solve, solve_batch, list_solvers
+
+    result = solve(g, radius=2, algorithm="seq.wreach",
+                   certify=True, with_lp=True)
+    for info in list_solvers():
+        print(info.name, info.capabilities.guarantee)
+
+Layers (lowest first):
+
+* :mod:`repro.api.types` — ``SolveRequest`` / ``SolveResult`` /
+  ``SolverCapabilities``;
+* :mod:`repro.api.cache` — content-keyed memoization of orders, WReach
+  sets, wcol measurements, and distributed order computations;
+* :mod:`repro.api.registry` — ``@register_solver`` + ``list_solvers``;
+* :mod:`repro.api.solvers` — the registered adapters over the legacy
+  entry points (importing this package registers them);
+* :mod:`repro.api.facade` — ``solve`` / ``solve_request`` /
+  ``solve_batch``.
+
+The legacy ``repro.pipelines`` functions remain as deprecation shims
+routed through this registry.
+"""
+
+from repro.api.cache import PrecomputeCache, default_cache, graph_digest
+from repro.api.facade import solve, solve_batch, solve_request
+from repro.api.registry import (
+    RegisteredSolver,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solver_names,
+    unregister_solver,
+)
+from repro.api.types import (
+    SolveRequest,
+    SolveResult,
+    SolverCapabilities,
+    SolverInfo,
+    SolverOutput,
+)
+
+__all__ = [
+    "solve",
+    "solve_batch",
+    "solve_request",
+    "SolveRequest",
+    "SolveResult",
+    "SolverCapabilities",
+    "SolverInfo",
+    "SolverOutput",
+    "PrecomputeCache",
+    "default_cache",
+    "graph_digest",
+    "register_solver",
+    "unregister_solver",
+    "get_solver",
+    "list_solvers",
+    "solver_names",
+    "RegisteredSolver",
+]

@@ -1,0 +1,179 @@
+"""Memoized shared precomputation for multi-solver sweeps.
+
+The expensive inputs every order-based solver shares — the linear order
+itself, the WReach sets over it, the measured wcol (= certificate
+constant), and the distributed order computation — are memoized here,
+keyed by *graph content* (a digest of the CSR arrays) so that
+
+* repeated :func:`repro.api.solve` calls on the same graph,
+* a :func:`repro.api.solve_batch` sweep running many algorithms over
+  one instance, and
+* structurally identical graphs built twice (workload regeneration)
+
+all pay for each precomputation exactly once.  Content keying (rather
+than ``id()``) is deliberate: :class:`~repro.graphs.graph.Graph` is
+immutable, has no ``__weakref__`` slot, and equal CSR bytes really do
+determine every derived object, so the cache can never go stale.
+
+Entries are LRU-evicted beyond ``maxsize`` per category; hit/miss
+counters are kept per category so tests (and curious users) can assert
+the sharing actually happens.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from repro.graphs.graph import Graph
+from repro.orders.linear_order import LinearOrder
+
+__all__ = ["PrecomputeCache", "graph_digest", "order_digest", "default_cache"]
+
+
+def graph_digest(g: Graph) -> str:
+    """Content digest of a graph's CSR arrays (stable across processes)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(g.n.to_bytes(8, "little"))
+    h.update(g.indptr.tobytes())
+    h.update(g.indices.tobytes())
+    return h.hexdigest()
+
+
+def order_digest(order: LinearOrder) -> str:
+    """Content digest of a linear order (for order-keyed entries)."""
+    return hashlib.blake2b(order.rank.tobytes(), digest_size=16).hexdigest()
+
+
+class _LruTable:
+    """One cache category: an LRU dict with hit/miss counters."""
+
+    __slots__ = ("maxsize", "entries", "hits", "misses")
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self.entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        if key in self.entries:
+            self.hits += 1
+            self.entries.move_to_end(key)
+            return self.entries[key]
+        self.misses += 1
+        value = compute()
+        self.entries[key] = value
+        while len(self.entries) > self.maxsize:
+            self.entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class PrecomputeCache:
+    """Shared precomputation store for the :func:`repro.api.solve` façade.
+
+    Categories
+    ----------
+    ``order``
+        ``make_order`` outputs, keyed by (graph, strategy, radius) —
+        radius participates because fraternal / wreach-sort strategies
+        depend on it.
+    ``wreach``
+        ``wreach_sets`` outputs, keyed by (graph, order, reach length).
+    ``wcol``
+        Measured ``max |WReach_reach|`` per (graph, order, reach) —
+        derived from the ``wreach`` category, so certifying after
+        solving is free.
+    ``dist_order``
+        Distributed :class:`~repro.distributed.nd_order.OrderComputation`
+        runs, keyed by (graph, mode, radius, threshold).
+    """
+
+    def __init__(self, maxsize: int = 64):
+        self._tables = {
+            name: _LruTable(maxsize)
+            for name in ("order", "wreach", "wcol", "dist_order")
+        }
+
+    #: Order strategies whose output does not depend on the radius
+    #: argument of ``make_order`` — they share one cache entry per graph.
+    RADIUS_FREE_STRATEGIES = frozenset(
+        {"degeneracy", "identity", "random", "bfs"}
+    )
+
+    # -- keyed lookups ---------------------------------------------------
+    def order(self, g: Graph, strategy: str, radius: int) -> LinearOrder:
+        """The linear order ``make_order(g, radius, strategy)``, memoized."""
+        from repro.pipelines import make_order
+
+        key_radius = 0 if strategy in self.RADIUS_FREE_STRATEGIES else int(radius)
+        key = (graph_digest(g), strategy, key_radius)
+        return self._tables["order"].get_or_compute(
+            key, lambda: make_order(g, radius, strategy)
+        )
+
+    def wreach(self, g: Graph, order: LinearOrder, reach: int) -> list[list[int]]:
+        """``wreach_sets(g, order, reach)``, memoized by content."""
+        from repro.orders.wreach import wreach_sets
+
+        key = (graph_digest(g), order_digest(order), int(reach))
+        return self._tables["wreach"].get_or_compute(
+            key, lambda: wreach_sets(g, order, reach)
+        )
+
+    def wcol(self, g: Graph, order: LinearOrder, reach: int) -> int:
+        """``wcol_of_order`` via the cached WReach sets."""
+        key = (graph_digest(g), order_digest(order), int(reach))
+        return self._tables["wcol"].get_or_compute(
+            key, lambda: max((len(s) for s in self.wreach(g, order, reach)), default=0)
+        )
+
+    def distributed_order(
+        self, g: Graph, mode: str, radius: int, threshold: int | None = None
+    ):
+        """The CONGEST_BC order computation for ``mode``, memoized."""
+        from repro.distributed.nd_order import (
+            distributed_augmented_order,
+            distributed_h_partition_order,
+        )
+
+        # The H-partition construction does not depend on the radius, so
+        # sweeps over r share one order run; augmented orders do depend.
+        key_radius = 0 if mode == "h_partition" else int(radius)
+        key = (graph_digest(g), mode, key_radius, threshold)
+
+        def compute():
+            if mode == "h_partition":
+                return distributed_h_partition_order(g, threshold)
+            if mode == "augmented":
+                return distributed_augmented_order(g, radius, threshold)
+            raise ValueError(f"unknown order mode {mode!r}")
+
+        return self._tables["dist_order"].get_or_compute(key, compute)
+
+    # -- bookkeeping -----------------------------------------------------
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-category ``{"hits": ..., "misses": ..., "size": ...}``."""
+        return {
+            name: {"hits": t.hits, "misses": t.misses, "size": len(t.entries)}
+            for name, t in self._tables.items()
+        }
+
+    def clear(self) -> None:
+        for t in self._tables.values():
+            t.clear()
+
+
+#: Process-wide default used by ``solve()`` when no cache is passed.
+_DEFAULT_CACHE = PrecomputeCache()
+
+
+def default_cache() -> PrecomputeCache:
+    """The process-wide cache ``solve()`` falls back to."""
+    return _DEFAULT_CACHE

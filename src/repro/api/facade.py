@@ -1,0 +1,226 @@
+"""The ``solve()`` façade and batch executor.
+
+One call shape for every algorithm in the library::
+
+    from repro.api import solve
+    result = solve(g, radius=2, algorithm="seq.wreach", certify=True)
+    result.dominators, result.certificate, result.wall_time_s
+
+plus :func:`solve_batch` for sweeps: a list of :class:`SolveRequest`
+executed either in-process against one shared
+:class:`~repro.api.cache.PrecomputeCache` (so repeated
+(graph, order strategy, radius) combinations compute their linear
+order and WReach sets exactly once) or fanned out over a process pool
+with ``workers=N`` (each worker keeps its own cache; requests are
+picklable by construction).
+
+The façade owns the behavior that must be uniform across solvers:
+capability checking, wall-time measurement, redundancy pruning,
+certification (of the *reported* set), and independent validation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.api import solvers as _solvers  # noqa: F401  (populates the registry)
+from repro.api.cache import PrecomputeCache, default_cache
+from repro.api.registry import get_solver, list_solvers
+from repro.api.types import SolveRequest, SolveResult, SolverOutput
+from repro.core.certify import Certificate
+from repro.errors import SolverError
+from repro.graphs.graph import Graph
+
+__all__ = ["solve", "solve_request", "solve_batch"]
+
+
+def solve(
+    g: Graph,
+    radius: int = 1,
+    algorithm: str = "seq.wreach",
+    *,
+    order_strategy: str = "degeneracy",
+    connect: bool = False,
+    prune: bool = False,
+    certify: bool = False,
+    with_lp: bool = False,
+    validate: bool = False,
+    seed: int = 0,
+    params: Mapping[str, Any] | None = None,
+    cache: PrecomputeCache | None = None,
+) -> SolveResult:
+    """Solve distance-``radius`` domination on ``g`` with one registered solver.
+
+    Keyword arguments mirror :class:`~repro.api.types.SolveRequest`;
+    see ``list_solvers()`` for the available ``algorithm`` names and
+    their capabilities.
+    """
+    request = SolveRequest(
+        graph=g,
+        radius=radius,
+        algorithm=algorithm,
+        order_strategy=order_strategy,
+        connect=connect,
+        prune=prune,
+        certify=certify,
+        with_lp=with_lp,
+        validate=validate,
+        seed=seed,
+        params=dict(params or {}),
+    )
+    return solve_request(request, cache=cache)
+
+
+def solve_request(
+    request: SolveRequest, cache: PrecomputeCache | None = None
+) -> SolveResult:
+    """Execute one :class:`SolveRequest` and normalize the response."""
+    solver = get_solver(request.algorithm)
+    caps = solver.capabilities
+    if not caps.supports_radius(request.radius):
+        raise SolverError(
+            f"{solver.name} supports radius in {caps.radius_range()}, "
+            f"got {request.radius}"
+        )
+    if request.connect and not caps.supports_connect:
+        raise SolverError(f"{solver.name} has no connection phase")
+    if request.radius < 0:
+        raise SolverError("radius must be >= 0")
+    cache = cache if cache is not None else default_cache()
+
+    t0 = time.perf_counter()
+    out: SolverOutput = solver.fn(request, cache)
+    wall = time.perf_counter() - t0
+
+    extras: dict[str, Any] = dict(out.extras)
+    if out.order is not None:
+        extras.setdefault("order", out.order)
+    dominators = out.dominators
+    if request.prune:
+        from repro.core.prune import prune_dominating_set
+
+        extras["raw_size"] = len(dominators)
+        dominators = prune_dominating_set(
+            request.graph, dominators, request.radius
+        )
+
+    certificate = None
+    if request.certify:
+        certificate = _certify(request, out, dominators, cache)
+        if certificate is None:
+            extras["certificate_note"] = (
+                f"{solver.name} is not order-based; no Theorem-5 certificate"
+            )
+
+    if request.validate:
+        extras["valid"] = _validate(request, dominators, out.connected_set)
+
+    return SolveResult(
+        algorithm=solver.name,
+        radius=request.radius,
+        # Only solvers that actually consume the strategy echo it;
+        # e.g. dist.congest computes its own distributed order, so
+        # labelling its result with the request's strategy would put
+        # wrong provenance in benchmark result files.
+        order_strategy=(
+            request.order_strategy if caps.supports_order_strategy else ""
+        ),
+        dominators=tuple(dominators),
+        connected_set=out.connected_set,
+        certificate=certificate,
+        rounds=out.rounds,
+        total_words=out.total_words,
+        phase_rounds=dict(out.phase_rounds) if out.phase_rounds else None,
+        wall_time_s=wall,
+        raw=out.raw,
+        extras=extras,
+    )
+
+
+def _certify(
+    request: SolveRequest,
+    out: SolverOutput,
+    reported: Sequence[int],
+    cache: PrecomputeCache,
+) -> Certificate | None:
+    """Theorem-5 certificate for the *reported* (possibly pruned) set.
+
+    Pruning only shrinks the set, so ``|reported| <= |D| <= c * OPT``
+    still holds with the same measured ``c``; the certificate's
+    ``solution_size`` therefore describes exactly what the caller got.
+    """
+    if out.order is None:
+        return None
+    c = max(1, cache.wcol(request.graph, out.order, 2 * request.radius))
+    lp = None
+    if request.with_lp:
+        from repro.core.exact import lp_lower_bound
+
+        try:
+            lp = lp_lower_bound(request.graph, request.radius)
+        except SolverError:
+            lp = None
+    return Certificate(
+        radius=request.radius,
+        solution_size=len(reported),
+        certified_c=c,
+        lp_bound=lp,
+    )
+
+
+def _validate(
+    request: SolveRequest,
+    dominators: Sequence[int],
+    connected_set: Sequence[int] | None,
+) -> bool:
+    from repro.analysis.validate import (
+        is_connected_distance_r_dominating_set,
+        is_distance_r_dominating_set,
+    )
+
+    ok = is_distance_r_dominating_set(request.graph, dominators, request.radius)
+    if connected_set is not None:
+        ok = ok and is_connected_distance_r_dominating_set(
+            request.graph, connected_set, request.radius
+        )
+    return bool(ok)
+
+
+# ----------------------------------------------------------------------
+# Batch execution
+# ----------------------------------------------------------------------
+
+def _execute_request(request: SolveRequest) -> SolveResult:
+    """Worker entry point: run against the per-process default cache."""
+    return solve_request(request, cache=default_cache())
+
+
+def solve_batch(
+    requests: Iterable[SolveRequest],
+    workers: int | None = None,
+    cache: PrecomputeCache | None = None,
+) -> list[SolveResult]:
+    """Execute many requests, sharing precomputation where possible.
+
+    ``workers=None`` (or 0/1) runs in-process against one shared cache
+    — the mode that maximizes order/WReach reuse and is the right
+    default for sweeps over a common graph.  ``workers=N > 1`` fans out
+    over a process pool; each worker process keeps its own cache, so
+    co-locating requests on the same graph still amortizes within a
+    worker.  Results come back in request order either way.
+    """
+    reqs = list(requests)
+    for r in reqs:
+        if not isinstance(r, SolveRequest):
+            raise SolverError(
+                f"solve_batch expects SolveRequest items, got {type(r).__name__}"
+            )
+    if workers is None or workers <= 1:
+        shared = cache if cache is not None else default_cache()
+        return [solve_request(r, cache=shared) for r in reqs]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_execute_request, reqs))

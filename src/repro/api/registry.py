@@ -1,0 +1,91 @@
+"""Decorator-based solver registry.
+
+A *solver* is a function ``(SolveRequest, PrecomputeCache) -> SolverOutput``
+registered under a dotted name (``seq.wreach``, ``dist.congest``, ...)
+together with :class:`~repro.api.types.SolverCapabilities` metadata.
+The façade resolves names here; ``list_solvers()`` is the introspection
+surface the CLI, README table, and batch sweeps build on.
+
+Names follow ``<family>.<algorithm>`` with families ``seq`` (classical
+sequential), ``dist`` (message-passing / distributed-charged), and
+``local`` (constant-round LOCAL compositions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.api.types import SolveRequest, SolverCapabilities, SolverInfo, SolverOutput
+from repro.errors import SolverError
+
+__all__ = [
+    "register_solver",
+    "get_solver",
+    "list_solvers",
+    "solver_names",
+    "RegisteredSolver",
+]
+
+SolverFn = Callable[[SolveRequest, "object"], SolverOutput]
+
+
+@dataclass(frozen=True)
+class RegisteredSolver:
+    name: str
+    fn: SolverFn
+    capabilities: SolverCapabilities
+
+
+_REGISTRY: dict[str, RegisteredSolver] = {}
+
+
+def register_solver(
+    name: str,
+    capabilities: SolverCapabilities | None = None,
+    *,
+    replace: bool = False,
+) -> Callable[[SolverFn], SolverFn]:
+    """Class-/function-decorator registering ``fn`` under ``name``.
+
+    ``replace=True`` allows re-registration (tests, plugins); otherwise
+    duplicate names are a programming error caught at import time.
+    """
+    caps = capabilities if capabilities is not None else SolverCapabilities()
+
+    def decorator(fn: SolverFn) -> SolverFn:
+        if not replace and name in _REGISTRY:
+            raise SolverError(f"solver {name!r} already registered")
+        _REGISTRY[name] = RegisteredSolver(name=name, fn=fn, capabilities=caps)
+        return fn
+
+    return decorator
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a registration (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_solver(name: str) -> RegisteredSolver:
+    """Resolve a registry name, with a helpful error on miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none registered>"
+        raise SolverError(
+            f"unknown solver {name!r}; registered solvers: {known}"
+        ) from None
+
+
+def solver_names() -> tuple[str, ...]:
+    """All registered names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def list_solvers() -> tuple[SolverInfo, ...]:
+    """Introspection: (name, capabilities) for every registered solver."""
+    return tuple(
+        SolverInfo(name=s.name, capabilities=s.capabilities)
+        for _, s in sorted(_REGISTRY.items())
+    )

@@ -1,0 +1,372 @@
+"""Registered solver adapters: every algorithm behind one signature.
+
+Each adapter translates one legacy entry point into the
+``(SolveRequest, PrecomputeCache) -> SolverOutput`` shape.  Adapters
+stay *thin*: they fetch shared precomputation (orders, WReach sets,
+distributed order runs) from the cache, call the underlying algorithm
+unchanged, and report the raw result verbatim — pruning, certification,
+timing, and validation are the façade's job, so they behave identically
+across all solvers.
+
+Importing this module populates the registry; ``repro.api`` does that
+on package import.
+"""
+
+from __future__ import annotations
+
+from repro.api.cache import PrecomputeCache
+from repro.api.registry import register_solver
+from repro.api.types import SolveRequest, SolverCapabilities, SolverOutput
+from repro.errors import SolverError
+
+__all__ = []  # everything here is reached through the registry
+
+
+# ----------------------------------------------------------------------
+# seq.* — classical sequential algorithms
+# ----------------------------------------------------------------------
+
+@register_solver(
+    "seq.wreach",
+    SolverCapabilities(
+        model="sequential",
+        supports_connect=True,
+        supports_order_strategy=True,
+        guarantee="|D| <= wcol_2r(L) * OPT (Theorem 5)",
+        description="Algorithm 1: elect the L-min of each WReach_r set",
+    ),
+)
+def _seq_wreach(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.core.connect import connect_via_wreach
+    from repro.core.domset import domset_sequential
+
+    order = cache.order(req.graph, req.order_strategy, req.radius)
+    ds = domset_sequential(req.graph, order, req.radius)
+    extras = {}
+    connected = None
+    if req.connect:
+        conn = connect_via_wreach(req.graph, order, ds.dominators, req.radius)
+        connected = conn.vertices
+        extras["connect_result"] = conn
+    return SolverOutput(
+        dominators=ds.dominators,
+        dominator_of=ds.dominator_of,
+        connected_set=connected,
+        order=order,
+        raw=ds,
+        extras=extras,
+    )
+
+
+@register_solver(
+    "seq.wreach-min",
+    SolverCapabilities(
+        model="sequential",
+        supports_connect=True,
+        supports_order_strategy=True,
+        guarantee="|D| <= wcol_2r(L) * OPT (equation (2))",
+        description="definitional Theorem 5: materialize WReach_r, elect minima",
+    ),
+)
+def _seq_wreach_min(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.core.connect import connect_via_wreach
+    from repro.core.domset import domset_by_wreach
+
+    order = cache.order(req.graph, req.order_strategy, req.radius)
+    wreach = cache.wreach(req.graph, order, req.radius)
+    ds = domset_by_wreach(req.graph, order, req.radius, wreach=wreach)
+    extras = {}
+    connected = None
+    if req.connect:
+        conn = connect_via_wreach(req.graph, order, ds.dominators, req.radius)
+        connected = conn.vertices
+        extras["connect_result"] = conn
+    return SolverOutput(
+        dominators=ds.dominators,
+        dominator_of=ds.dominator_of,
+        connected_set=connected,
+        order=order,
+        raw=ds,
+        extras=extras,
+    )
+
+
+@register_solver(
+    "seq.dvorak",
+    SolverCapabilities(
+        model="sequential",
+        supports_order_strategy=True,
+        guarantee="|D| <= wcol_2r(L)^2 * OPT (Dvorak [21])",
+        description="order-greedy: add v iff not yet within distance r of D",
+    ),
+)
+def _seq_dvorak(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.core.dvorak import domset_dvorak
+
+    order = cache.order(req.graph, req.order_strategy, req.radius)
+    ds = domset_dvorak(req.graph, order, req.radius)
+    return SolverOutput(
+        dominators=ds.dominators,
+        dominator_of=ds.dominator_of,
+        order=order,
+        raw=ds,
+    )
+
+
+@register_solver(
+    "seq.greedy",
+    SolverCapabilities(
+        model="sequential",
+        guarantee="|D| <= ln(n) * OPT (set cover)",
+        description="lazy max-coverage greedy over closed r-balls",
+    ),
+)
+def _seq_greedy(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.core.greedy import domset_greedy
+
+    ds = domset_greedy(req.graph, req.radius)
+    return SolverOutput(
+        dominators=ds.dominators, dominator_of=ds.dominator_of, raw=ds
+    )
+
+
+@register_solver(
+    "seq.lp-rounding",
+    SolverCapabilities(
+        model="sequential",
+        min_radius=1,
+        requires="scipy",
+        guarantee="|D| <= 3a * OPT + fixups (Bansal-Umboh [10])",
+        description="covering-LP threshold rounding at 1/(3*arboricity)",
+    ),
+)
+def _seq_lp_rounding(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.core.lp_rounding import lp_rounding_domset
+
+    res = lp_rounding_domset(
+        req.graph, req.radius, arboricity=req.params.get("arboricity")
+    )
+    return SolverOutput(
+        dominators=res.dominators,
+        raw=res,
+        extras={"lp_value": res.lp_value, "threshold": res.threshold},
+    )
+
+
+@register_solver(
+    "seq.exact",
+    SolverCapabilities(
+        model="sequential",
+        requires="scipy MILP; small inputs",
+        guarantee="|D| = OPT (proven optimal)",
+        description="HiGHS integer program over the r-ball coverage matrix",
+    ),
+)
+def _seq_exact(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.core.exact import exact_domset
+
+    size, vertices = exact_domset(
+        req.graph, req.radius, time_limit=req.params.get("time_limit", 60.0)
+    )
+    return SolverOutput(dominators=tuple(sorted(vertices)), raw=(size, vertices))
+
+
+@register_solver(
+    "seq.tree-exact",
+    SolverCapabilities(
+        model="sequential",
+        requires="tree input",
+        guarantee="|D| = OPT (dynamic program)",
+        description="linear-time exact distance-r domination on trees",
+    ),
+)
+def _seq_tree_exact(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.core.tree_exact import is_tree, tree_domset_exact
+
+    if not is_tree(req.graph):
+        raise SolverError("seq.tree-exact requires a tree input")
+    size, vertices = tree_domset_exact(req.graph, req.radius)
+    return SolverOutput(dominators=tuple(sorted(vertices)), raw=(size, vertices))
+
+
+# ----------------------------------------------------------------------
+# dist.* — message-passing pipelines and distributed-charged baselines
+# ----------------------------------------------------------------------
+
+@register_solver(
+    "dist.congest",
+    SolverCapabilities(
+        model="CONGEST_BC",
+        supports_connect=True,
+        min_radius=1,
+        guarantee="|D| <= wcol_2r * OPT in O(r^2 log n) rounds (Thms 9/10)",
+        description="phased CONGEST_BC pipeline: order, WReachDist, election[, join]",
+    ),
+)
+def _dist_congest(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.distributed.connect_bc import run_connect_bc
+    from repro.distributed.domset_bc import run_domset_bc
+
+    mode = req.params.get("order_mode", "h_partition")
+    oc = cache.distributed_order(
+        req.graph, mode, req.radius, req.params.get("threshold")
+    )
+    if req.connect:
+        # The Theorem-10 runner computes the dominating set on the way
+        # to the join phase; running the Theorem-9 pipeline as well
+        # would simulate WReach + election twice for identical sets.
+        conn = run_connect_bc(req.graph, req.radius, oc)
+        return SolverOutput(
+            dominators=conn.dominators,
+            connected_set=conn.connected_set,
+            order=oc.order,
+            rounds=conn.total_rounds,
+            total_words=conn.total_words,
+            phase_rounds=conn.phase_rounds,
+            raw=conn,
+            extras={"order_computation": oc, "connect_result": conn},
+        )
+    ds = run_domset_bc(req.graph, req.radius, oc)
+    return SolverOutput(
+        dominators=ds.dominators,
+        dominator_of=ds.dominator_of,
+        order=oc.order,
+        rounds=ds.total_rounds,
+        total_words=ds.total_words,
+        phase_rounds=ds.phase_rounds,
+        raw=ds,
+        extras={"order_computation": oc},
+    )
+
+
+@register_solver(
+    "dist.congest-unified",
+    SolverCapabilities(
+        model="CONGEST_BC",
+        supports_connect=True,
+        min_radius=1,
+        guarantee="as dist.congest, one continuous protocol (fixed budgets)",
+        description="single-execution CONGEST_BC run with the O(log n + r) schedule",
+    ),
+)
+def _dist_congest_unified(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.distributed.unified_bc import run_unified_bc
+
+    res = run_unified_bc(
+        req.graph,
+        req.radius,
+        connect=req.connect,
+        threshold=req.params.get("threshold"),
+    )
+    return SolverOutput(
+        dominators=res.dominators,
+        dominator_of=res.dominator_of,
+        connected_set=res.connected_set if req.connect else None,
+        rounds=res.rounds,
+        total_words=res.total_words,
+        raw=res,
+        extras={"max_payload_words": res.max_payload_words},
+    )
+
+
+@register_solver(
+    "dist.ruling",
+    SolverCapabilities(
+        model="LOCAL",
+        deterministic=False,
+        min_radius=1,
+        guarantee="none vs OPT (maximal r-independent set)",
+        description="Luby MIS on G^r; dominating by maximality",
+    ),
+)
+def _dist_ruling(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.distributed.ruling import ruling_domset
+
+    res = ruling_domset(req.graph, req.radius, seed=req.seed)
+    return SolverOutput(
+        dominators=res.dominators,
+        rounds=res.g_rounds,
+        raw=res,
+        extras={"power_phases": res.power_phases},
+    )
+
+
+@register_solver(
+    "dist.parallel-greedy",
+    SolverCapabilities(
+        model="LOCAL",
+        guarantee="O(a log Delta) * OPT (Lenzen-Wattenhofer [38]-style)",
+        description="span-threshold parallel greedy, O(log Delta) phases",
+    ),
+)
+def _dist_parallel_greedy(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.distributed.parallel_greedy import parallel_greedy_domset
+
+    res = parallel_greedy_domset(req.graph, req.radius)
+    return SolverOutput(
+        dominators=res.dominators,
+        rounds=res.local_rounds,
+        raw=res,
+        extras={"phases": res.phases},
+    )
+
+
+@register_solver(
+    "dist.kw-lp",
+    SolverCapabilities(
+        model="LOCAL",
+        deterministic=False,
+        guarantee="O(log Delta) * OPT expected (Kuhn-Wattenhofer [34]-style)",
+        description="local fractional LP raises + randomized rounding",
+    ),
+)
+def _dist_kw_lp(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.distributed.kw_lp import kw_lp_domset
+
+    res = kw_lp_domset(req.graph, req.radius, seed=req.seed)
+    return SolverOutput(
+        dominators=res.dominators,
+        rounds=res.local_rounds,
+        raw=res,
+        extras={"fractional_cost": res.fractional_cost, "phases": res.phases},
+    )
+
+
+# ----------------------------------------------------------------------
+# local.* — constant-round LOCAL compositions
+# ----------------------------------------------------------------------
+
+@register_solver(
+    "local.planar-cds",
+    SolverCapabilities(
+        model="LOCAL",
+        supports_connect=True,
+        min_radius=1,
+        max_radius=1,
+        requires="planar input (quality bound)",
+        guarantee="O(1) * OPT, blowup <= 7, O(1) rounds on planar graphs",
+        description="Lenzen-style planar MDS + Theorem-17 connectifier",
+    ),
+)
+def _local_planar_cds(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.distributed.connect_local import local_connectify
+    from repro.distributed.lenzen import lenzen_planar_mds
+
+    mode = req.params.get("mode", "oracle")
+    mds = lenzen_planar_mds(req.graph, mode=mode)
+    extras = {"mds_rounds": mds.rounds}
+    connected = None
+    rounds = mds.rounds
+    if req.connect:
+        cds = local_connectify(req.graph, mds.dominators, radius=1, mode=mode)
+        connected = cds.connected_set
+        rounds += cds.rounds
+        extras["connect_result"] = cds
+        extras["blowup"] = cds.blowup
+    return SolverOutput(
+        dominators=mds.dominators,
+        connected_set=connected,
+        rounds=rounds,
+        raw=mds,
+        extras=extras,
+    )

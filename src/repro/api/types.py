@@ -1,0 +1,200 @@
+"""Request/response types of the unified solver API.
+
+Every algorithm in the library — sequential Theorem 5, the Dvořák and
+greedy baselines, LP machinery, the CONGEST_BC pipelines, the planar
+LOCAL corollary — is reachable through one request shape
+(:class:`SolveRequest`) and answers with one response shape
+(:class:`SolveResult`).  The capability metadata
+(:class:`SolverCapabilities`) is what lets the façade reject
+unsupported combinations (e.g. ``connect=True`` on a solver with no
+connection phase) *before* running anything, and what
+``list_solvers()`` renders for introspection.
+
+All types are plain frozen dataclasses built from picklable parts so a
+request can cross a process boundary in :func:`repro.api.solve_batch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.certify import Certificate
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "SolveRequest",
+    "SolveResult",
+    "SolverCapabilities",
+    "SolverInfo",
+    "SolverOutput",
+]
+
+#: Execution models a solver can declare.
+MODELS = ("sequential", "LOCAL", "CONGEST_BC")
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """A normalized solver invocation.
+
+    Attributes
+    ----------
+    graph:
+        The input :class:`~repro.graphs.graph.Graph`.
+    radius:
+        Distance parameter r of the domination problem.
+    algorithm:
+        Registry name, e.g. ``"seq.wreach"`` (see ``list_solvers()``).
+    order_strategy:
+        Linear-order construction for order-based solvers (the A1
+        ablation axis); ignored by order-free solvers.
+    connect:
+        Also produce a *connected* distance-r dominating set.
+    prune:
+        Drop redundant dominators afterwards (Theorem-5 bound still
+        holds for the subset; the reported set and certificate are the
+        pruned ones).
+    certify:
+        Attach the per-instance Theorem-5 certificate when the solver
+        is order-based (``None`` otherwise).
+    with_lp:
+        Include the LP lower bound in the certificate.
+    validate:
+        Re-check the output with the independent BFS validator and
+        record the verdict under ``extras["valid"]``.
+    seed:
+        Seed for randomized solvers (ruling set, KW-LP rounding).
+    params:
+        Solver-specific knobs, e.g. ``{"order_mode": "augmented"}`` for
+        ``dist.congest`` or ``{"time_limit": 30.0}`` for ``seq.exact``.
+    """
+
+    graph: Graph
+    radius: int = 1
+    algorithm: str = "seq.wreach"
+    order_strategy: str = "degeneracy"
+    connect: bool = False
+    prune: bool = False
+    certify: bool = False
+    with_lp: bool = False
+    validate: bool = False
+    seed: int = 0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """What a registered solver can do, for upfront request checking."""
+
+    model: str = "sequential"  # one of MODELS
+    supports_connect: bool = False
+    supports_order_strategy: bool = False
+    deterministic: bool = True
+    min_radius: int = 0
+    max_radius: int | None = None  # None = unbounded
+    requires: str | None = None  # e.g. "scipy", "tree input"
+    guarantee: str = ""  # the approximation bound the solver carries
+    description: str = ""
+
+    def supports_radius(self, radius: int) -> bool:
+        if radius < self.min_radius:
+            return False
+        return self.max_radius is None or radius <= self.max_radius
+
+    def radius_range(self) -> str:
+        hi = "inf" if self.max_radius is None else str(self.max_radius)
+        return f"[{self.min_radius}, {hi}]"
+
+
+@dataclass(frozen=True)
+class SolverInfo:
+    """One ``list_solvers()`` row: name plus capability metadata."""
+
+    name: str
+    capabilities: SolverCapabilities
+
+
+@dataclass(frozen=True)
+class SolverOutput:
+    """What a solver adapter hands back to the façade (internal).
+
+    The façade adds timing, pruning, certification, and validation on
+    top, so adapters stay thin translations from the legacy entry
+    points to one shape.
+    """
+
+    dominators: tuple[int, ...]
+    dominator_of: np.ndarray | None = None
+    connected_set: tuple[int, ...] | None = None
+    order: Any = None  # LinearOrder of order-based solvers
+    rounds: int | None = None
+    total_words: int | None = None
+    phase_rounds: Mapping[str, int] | None = None
+    raw: Any = None  # the legacy result object, verbatim
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Uniform solver response.
+
+    Attributes
+    ----------
+    algorithm / radius / order_strategy:
+        Echo of the request (what actually ran).
+    dominators:
+        The reported distance-r dominating set (pruned if requested).
+    connected_set:
+        The connected superset when ``connect=True`` was requested
+        (``None`` otherwise).
+    certificate:
+        Theorem-5 per-instance certificate for order-based solvers when
+        ``certify=True``; its ``solution_size`` matches ``dominators``.
+    rounds / total_words / phase_rounds:
+        Distributed cost accounting (``None`` for sequential solvers).
+    wall_time_s:
+        Wall-clock seconds spent inside the solver adapter.
+    raw:
+        The legacy result object (``DomSetResult``,
+        ``DistributedDomSet``, ``UnifiedResult``, ...) for callers that
+        need algorithm-specific fields.
+    extras:
+        Anything else: ``raw_size`` before pruning, validation verdict,
+        connection diagnostics.
+    """
+
+    algorithm: str
+    radius: int
+    order_strategy: str
+    dominators: tuple[int, ...]
+    connected_set: tuple[int, ...] | None
+    certificate: Certificate | None
+    rounds: int | None
+    total_words: int | None
+    phase_rounds: Mapping[str, int] | None
+    wall_time_s: float
+    raw: Any
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.dominators)
+
+    @property
+    def connected_size(self) -> int | None:
+        return None if self.connected_set is None else len(self.connected_set)
+
+    def summary(self) -> str:
+        """One-line human description (used by the CLI and harness)."""
+        bits = [f"{self.algorithm}: |D| = {self.size} (r = {self.radius})"]
+        if self.connected_set is not None:
+            bits.append(f"|D'| = {len(self.connected_set)}")
+        if self.certificate is not None:
+            bits.append(f"certified <= {self.certificate.certified_ratio} * OPT")
+        if self.rounds is not None:
+            bits.append(f"{self.rounds} rounds")
+        bits.append(f"{self.wall_time_s * 1e3:.1f} ms")
+        return ", ".join(bits)

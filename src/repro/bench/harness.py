@@ -2,23 +2,52 @@
 
 Each experiment writes its table both to stdout (visible with
 ``pytest -s`` / in failure reports) and to ``benchmarks/results/`` so
-the numbers in EXPERIMENTS.md can be regenerated verbatim.
+the numbers in EXPERIMENTS.md can be regenerated verbatim.  When the
+experiment ran through the unified solver API it can pass its
+:class:`~repro.api.types.SolveResult` objects via ``runs=`` and the
+result file becomes self-describing: every run is recorded with its
+registry solver name, instance parameters, and measured wall time.
 """
 
 from __future__ import annotations
 
 import pathlib
+from typing import Iterable
 
 from repro.bench.tables import Table
 
-__all__ = ["write_result", "RESULTS_DIR"]
+__all__ = ["write_result", "render_runs", "RESULTS_DIR"]
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
 
 
-def write_result(name: str, *tables: Table) -> str:
-    """Render tables, print them, persist them; returns the rendered text."""
-    text = "\n\n".join(t.render() for t in tables)
+def render_runs(runs: Iterable) -> str:
+    """Per-run provenance block from :class:`SolveResult` objects."""
+    lines = ["runs (solver, r, |D|, wall time):"]
+    for res in runs:
+        rounds = f", {res.rounds} rounds" if res.rounds is not None else ""
+        lines.append(
+            f"  {res.algorithm:22} r={res.radius}  |D|={res.size:5d}"
+            f"  {res.wall_time_s * 1e3:9.2f} ms{rounds}"
+        )
+    total = sum(res.wall_time_s for res in runs)
+    lines.append(f"  {'total':22} {'':12} {total * 1e3:16.2f} ms")
+    return "\n".join(lines)
+
+
+def write_result(name: str, *tables: Table, runs: Iterable | None = None) -> str:
+    """Render tables (+ optional run provenance), print, persist.
+
+    ``runs`` is any iterable of :class:`~repro.api.types.SolveResult`;
+    the rendered file then records which registered solver produced
+    each row and how long it took, so ``benchmarks/results/*.txt`` can
+    be interpreted without consulting the generating script.
+    """
+    runs = list(runs) if runs is not None else []
+    parts = [t.render() for t in tables]
+    if runs:
+        parts.append(render_runs(runs))
+    text = "\n\n".join(parts)
     print(f"\n{text}\n")
     try:
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)

@@ -5,11 +5,21 @@ Commands
 ``info <graph>``
     Structural summary: n, m, degeneracy, measured wcol_r, shallow-minor
     density estimates.
+``solve <graph> -a ALGO -r R``
+    Run any registered solver through the unified API (``--connect``,
+    ``--prune``, ``--certify``, ``--lp``, ``--order``, ``--seed``,
+    ``--param k=v``).
+``list-solvers``
+    The solver registry: names, models, radius ranges, guarantees.
 ``domset <graph> -r R``
     Theorem 5 dominating set with certificate (optionally ``--connect``,
-    ``--prune``, ``--exact`` for small inputs).
+    ``--prune``, ``--exact`` for small inputs).  Thin wrapper over
+    ``solve -a seq.wreach``.
 ``distributed <graph> -r R``
-    Theorem 9/10 CONGEST_BC pipeline with round/traffic accounting.
+    Theorem 9/10 CONGEST_BC pipeline with round/traffic accounting
+    (``--order-mode h_partition|augmented``, ``--unified`` for the
+    single-execution protocol).  Thin wrapper over ``solve -a
+    dist.congest`` / ``dist.congest-unified``.
 ``generate <family> <args...> -o file``
     Write a named workload or generator output to an edge-list file.
 
@@ -44,58 +54,154 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _cmd_domset(args) -> int:
-    from repro.analysis.validate import is_distance_r_dominating_set
-    from repro.core.certify import certify_run
-    from repro.core.domset import domset_sequential
-    from repro.core.prune import prune_dominating_set
-    from repro.pipelines import make_order
+def _parse_params(pairs: list[str] | None) -> dict:
+    """``--param key=value`` pairs -> dict with int/float coercion."""
+    out: dict = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        for cast in (int, float):
+            try:
+                value = cast(value)
+                break
+            except ValueError:
+                continue
+        out[key] = value
+    return out
 
+
+def _run_solve(g, args, *, algorithm: str, params: dict | None = None):
+    """Shared ``solve()`` invocation + report for solve/domset/distributed."""
+    from repro.api import solve
+
+    res = solve(
+        g,
+        getattr(args, "radius", 1),
+        algorithm,
+        order_strategy=getattr(args, "order", "degeneracy"),
+        connect=getattr(args, "connect", False),
+        prune=getattr(args, "prune", False),
+        certify=getattr(args, "certify", False) or getattr(args, "lp", False),
+        with_lp=getattr(args, "lp", False),
+        validate=True,
+        seed=getattr(args, "seed", 0),
+        params=params or {},
+    )
+    if not res.extras.get("valid", True):
+        from repro.errors import SolverError
+
+        raise SolverError(
+            f"{res.algorithm} output failed independent validation "
+            f"(not a distance-{res.radius} dominating set)"
+        )
+    return res
+
+
+def _report_result(res, args) -> None:
+    """Uniform result report shared by the solver-running commands."""
+    raw_size = res.extras.get("raw_size")
+    suffix = f" (raw {raw_size})" if raw_size is not None else ""
+    print(f"|D| = {res.size}{suffix}")
+    if res.certificate is not None:
+        print(f"certified ratio <= {res.certificate.certified_ratio}")
+        if res.certificate.lp_bound is not None:
+            print(f"LP lower bound = {res.certificate.lp_bound:.2f}")
+    if res.phase_rounds:
+        for phase, rounds in res.phase_rounds.items():
+            words = res.raw.phase_max_words[phase]
+            print(f"  {phase:>9}: {rounds} rounds, max payload {words} words")
+    if res.rounds is not None:
+        traffic = f", total traffic = {res.total_words} words" \
+            if res.total_words is not None else ""
+        print(f"total rounds = {res.rounds}{traffic}")
+    if res.connected_set is not None:
+        valid = res.extras.get("valid", True)
+        print(f"connected |D'| = {len(res.connected_set)} (valid: {valid})")
+    if getattr(args, "show", False):
+        print("D =", " ".join(map(str, res.dominators)))
+    print(f"wall time = {res.wall_time_s * 1e3:.1f} ms")
+
+
+def _cmd_solve(args) -> int:
     g = read_edge_list(args.graph)
-    order = make_order(g, args.radius, args.order)
-    result = domset_sequential(g, order, args.radius)
-    assert is_distance_r_dominating_set(g, result.dominators, args.radius)
-    chosen = result.dominators
-    if args.prune:
-        chosen = prune_dominating_set(g, chosen, args.radius)
-    cert = certify_run(g, order, result, with_lp=args.lp)
-    print(f"|D| = {len(chosen)} (raw {result.size})")
-    print(f"certified ratio <= {cert.certified_ratio}")
-    if cert.lp_bound is not None:
-        print(f"LP lower bound = {cert.lp_bound:.2f}")
+    res = _run_solve(
+        g, args, algorithm=args.algorithm, params=_parse_params(args.param)
+    )
+    print(f"algorithm = {res.algorithm}")
+    _report_result(res, args)
+    return 0
+
+
+def _cmd_list_solvers(args) -> int:
+    from repro.api import list_solvers
+
+    rows = [("name", "model", "radius", "connect", "guarantee")]
+    for info in list_solvers():
+        caps = info.capabilities
+        rows.append((
+            info.name,
+            caps.model,
+            caps.radius_range(),
+            "yes" if caps.supports_connect else "no",
+            caps.guarantee,
+        ))
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    for i, row in enumerate(rows):
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)) + f"  {row[4]}")
+        if i == 0:
+            print("-" * (sum(widths) + 8 + max(len(r[4]) for r in rows)))
+    return 0
+
+
+def _cmd_domset(args) -> int:
+    g = read_edge_list(args.graph)
+    args.certify = True  # the Theorem-5 command always certifies
+    res = _run_solve(g, args, algorithm="seq.wreach")
+    raw_size = res.extras.get("raw_size", res.size)
+    print(f"|D| = {res.size} (raw {raw_size})")
+    # The certificate describes the reported (pruned) set: pruning only
+    # shrinks D, so |D_pruned| <= c * OPT still holds with the same c.
+    print(f"certified ratio <= {res.certificate.certified_ratio}")
+    if res.certificate.lp_bound is not None:
+        print(f"LP lower bound = {res.certificate.lp_bound:.2f}")
     if args.exact:
         from repro.core.exact import exact_domset
 
         opt, _ = exact_domset(g, args.radius)
-        print(f"exact OPT = {opt}  (realized ratio {len(chosen) / max(opt, 1):.3f})")
+        print(f"exact OPT = {opt}  (realized ratio {res.size / max(opt, 1):.3f})")
     if args.show:
-        print("D =", " ".join(map(str, chosen)))
+        print("D =", " ".join(map(str, res.dominators)))
     if args.connect:
-        from repro.analysis.validate import is_connected_distance_r_dominating_set
-        from repro.core.connect import connect_via_wreach
-
-        conn = connect_via_wreach(g, order, result.dominators, args.radius)
-        ok = is_connected_distance_r_dominating_set(g, conn.vertices, args.radius)
-        print(f"connected |D'| = {conn.size} (valid: {ok})")
+        valid = res.extras.get("valid", False)
+        print(f"connected |D'| = {len(res.connected_set)} (valid: {valid})")
     return 0
 
 
 def _cmd_distributed(args) -> int:
-    from repro.analysis.validate import is_distance_r_dominating_set
-    from repro.pipelines import congest_bc_pipeline
-
     g = read_edge_list(args.graph)
-    run = congest_bc_pipeline(g, args.radius, connect=args.connect)
-    ds = run.domset
-    assert is_distance_r_dominating_set(g, ds.dominators, args.radius)
-    print(f"|D| = {ds.size}")
-    for phase, rounds in ds.phase_rounds.items():
-        print(f"  {phase:>9}: {rounds} rounds, "
-              f"max payload {ds.phase_max_words[phase]} words")
-    print(f"total rounds = {ds.total_rounds}, total traffic = {ds.total_words} words")
-    if run.connected is not None:
-        print(f"connected |D'| = {run.connected.size} "
-              f"(blowup {run.connected.blowup:.2f})")
+    if args.unified:
+        res = _run_solve(g, args, algorithm="dist.congest-unified")
+        print(f"|D| = {res.size}")
+        print(f"total rounds = {res.rounds} "
+              f"(fixed schedule), max payload "
+              f"{res.extras['max_payload_words']} words, "
+              f"total traffic = {res.total_words} words")
+    else:
+        res = _run_solve(
+            g, args, algorithm="dist.congest",
+            params={"order_mode": args.order_mode},
+        )
+        ds = res.raw
+        print(f"|D| = {res.size}")
+        for phase, rounds in res.phase_rounds.items():
+            print(f"  {phase:>9}: {rounds} rounds, "
+                  f"max payload {ds.phase_max_words[phase]} words")
+        print(f"total rounds = {res.rounds}, total traffic = {res.total_words} words")
+    if res.connected_set is not None:
+        blowup = len(res.connected_set) / max(1, res.size)
+        print(f"connected |D'| = {len(res.connected_set)} "
+              f"(blowup {blowup:.2f})")
     return 0
 
 
@@ -131,6 +237,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.add_argument("graph")
     p_info.set_defaults(fn=_cmd_info)
 
+    p_solve = sub.add_parser(
+        "solve", help="run any registered solver through the unified API"
+    )
+    p_solve.add_argument("graph")
+    p_solve.add_argument("-a", "--algorithm", default="seq.wreach",
+                         help="registry name (see list-solvers)")
+    p_solve.add_argument("-r", "--radius", type=int, default=1)
+    p_solve.add_argument("--order", default="degeneracy",
+                         help="order strategy for order-based solvers")
+    p_solve.add_argument("--connect", action="store_true")
+    p_solve.add_argument("--prune", action="store_true")
+    p_solve.add_argument("--certify", action="store_true")
+    p_solve.add_argument("--lp", action="store_true",
+                         help="certify with the LP lower bound")
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--param", action="append", metavar="KEY=VALUE",
+                         help="solver-specific parameter (repeatable)")
+    p_solve.add_argument("--show", action="store_true", help="print the set")
+    p_solve.set_defaults(fn=_cmd_solve)
+
+    p_ls = sub.add_parser("list-solvers", help="show the solver registry")
+    p_ls.set_defaults(fn=_cmd_list_solvers)
+
     p_dom = sub.add_parser("domset", help="Theorem 5 dominating set")
     p_dom.add_argument("graph")
     p_dom.add_argument("-r", "--radius", type=int, default=1)
@@ -146,6 +275,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument("graph")
     p_dist.add_argument("-r", "--radius", type=int, default=1)
     p_dist.add_argument("--connect", action="store_true")
+    p_dist.add_argument("--order-mode", choices=("h_partition", "augmented"),
+                        default="h_partition",
+                        help="distributed order construction (Theorem 3 vs 9)")
+    p_dist.add_argument("--unified", action="store_true",
+                        help="single continuous protocol (fixed phase budgets)")
     p_dist.set_defaults(fn=_cmd_distributed)
 
     p_gen = sub.add_parser("generate", help="write a generator output to a file")
@@ -159,8 +293,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (ReproError, ValueError, OSError) as exc:
+        # Almost always user-facing (unknown solver or order strategy,
+        # bad graph file, unsupported radius/connect combination).  A
+        # genuine internal ValueError is swallowed too — the trade made
+        # for clean CLI errors; rerun through the python API to debug.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -118,16 +118,23 @@ def domset_sequential(g: Graph, order: LinearOrder, radius: int) -> DomSetResult
     return DomSetResult(tuple(sorted(dominators)), dominator_of, radius)
 
 
-def domset_by_wreach(g: Graph, order: LinearOrder, radius: int) -> DomSetResult:
+def domset_by_wreach(
+    g: Graph,
+    order: LinearOrder,
+    radius: int,
+    wreach: list[list[int]] | None = None,
+) -> DomSetResult:
     """Definitional version: ``D = { min WReach_r[w] : w }`` (equation (2)).
 
     Quadratic-ish but direct; used as the oracle for Algorithm 1 and as
     the sequential reference that the distributed Theorem 9 algorithm
-    must reproduce exactly.
+    must reproduce exactly.  ``wreach`` may be supplied precomputed
+    (``wreach_sets(g, order, radius)``) to share work across calls.
     """
     if g.n != order.n:
         raise OrderError("order size does not match graph")
-    wreach = wreach_sets(g, order, radius)
+    if wreach is None:
+        wreach = wreach_sets(g, order, radius)
     dominator_of = np.full(g.n, -1, dtype=np.int64)
     chosen: set[int] = set()
     for w in range(g.n):

@@ -1,6 +1,7 @@
-"""End-to-end pipelines composing the paper's results.
+"""Legacy end-to-end pipelines — deprecation shims over :mod:`repro.api`.
 
-These are the entry points the examples and benchmarks call:
+These were the entry points the examples and benchmarks called before
+the unified solver API existed:
 
 * :func:`sequential_pipeline` — Theorem 5 (+ certificate, + optional
   Corollary-13 connection): order -> dominating set -> certify.
@@ -10,23 +11,29 @@ These are the entry points the examples and benchmarks call:
   Lenzen-et-al-style planar MDS composed with the Theorem-17
   connectifier, constant rounds overall, measured blowup <= 7 = 6 + 1
   (2rd = 6 path vertices per dominator plus D itself) on planar inputs.
+
+Each now routes through the solver registry
+(:func:`repro.api.solve`) and repackages the unified
+:class:`~repro.api.types.SolveResult` into its historical return type,
+so existing callers keep byte-identical outputs.  New code should call
+``repro.api.solve`` directly.
+
+:func:`make_order` remains the canonical order-construction dispatch
+(the A1 ablation axis); the API's precompute cache builds on it.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from repro.core.certify import Certificate, certify_run
-from repro.core.connect import ConnectResult, connect_via_wreach
-from repro.core.domset import DomSetResult, domset_sequential
-from repro.distributed.connect_bc import DistributedConnectedDomSet, run_connect_bc
-from repro.distributed.connect_local import LocalConnectResult, local_connectify
-from repro.distributed.domset_bc import DistributedDomSet, run_domset_bc
-from repro.distributed.lenzen import LenzenResult, lenzen_planar_mds
-from repro.distributed.nd_order import (
-    OrderComputation,
-    distributed_h_partition_order,
-)
+from repro.core.certify import Certificate
+from repro.core.connect import ConnectResult
+from repro.core.domset import DomSetResult
+from repro.distributed.connect_bc import DistributedConnectedDomSet
+from repro.distributed.connect_local import LocalConnectResult
+from repro.distributed.domset_bc import DistributedDomSet
+from repro.distributed.lenzen import LenzenResult
 from repro.graphs.graph import Graph
 from repro.orders.degeneracy import degeneracy_order
 from repro.orders.fraternal import fraternal_augmentation_order
@@ -44,6 +51,15 @@ __all__ = [
 ]
 
 
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.pipelines.{name} is deprecated; use repro.api.solve "
+        f"(see list_solvers() for algorithm names)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def make_order(g: Graph, radius: int, strategy: str = "degeneracy") -> LinearOrder:
     """Order construction by name (the ablation axis of experiment A1)."""
     if strategy == "degeneracy":
@@ -57,6 +73,10 @@ def make_order(g: Graph, radius: int, strategy: str = "degeneracy") -> LinearOrd
         from repro.orders.heuristics import random_order
 
         return random_order(g, seed=0)
+    if strategy == "bfs":
+        from repro.orders.heuristics import bfs_order
+
+        return bfs_order(g, 0)
     if strategy == "wreach_sort":
         from repro.orders.heuristics import sort_by_wreach_order
 
@@ -82,12 +102,28 @@ def sequential_pipeline(
     connect: bool = False,
     with_lp: bool = False,
 ) -> SequentialRun:
-    """Run the sequential Theorem-5 algorithm with certification."""
-    order = make_order(g, radius, order_strategy)
-    ds = domset_sequential(g, order, radius)
-    cert = certify_run(g, order, ds, with_lp=with_lp)
-    conn = connect_via_wreach(g, order, ds.dominators, radius) if connect else None
-    return SequentialRun(order=order, domset=ds, certificate=cert, connected=conn)
+    """Run the sequential Theorem-5 algorithm with certification.
+
+    Deprecation shim over ``solve(g, radius, "seq.wreach", ...)``.
+    """
+    from repro.api import solve
+
+    _deprecated("sequential_pipeline")
+    res = solve(
+        g,
+        radius,
+        "seq.wreach",
+        order_strategy=order_strategy,
+        connect=connect,
+        certify=True,
+        with_lp=with_lp,
+    )
+    return SequentialRun(
+        order=res.extras["order"],
+        domset=res.raw,
+        certificate=res.certificate,
+        connected=res.extras.get("connect_result"),
+    )
 
 
 @dataclass(frozen=True)
@@ -110,17 +146,22 @@ def congest_bc_pipeline(
     handed over via advice).  For the single continuous execution with
     fixed phase budgets use :func:`unified_bc_pipeline`; both produce
     identical sets.
-    """
-    if order_mode == "h_partition":
-        oc: OrderComputation = distributed_h_partition_order(g)
-    elif order_mode == "augmented":
-        from repro.distributed.nd_order import distributed_augmented_order
 
-        oc = distributed_augmented_order(g, radius)
-    else:
-        raise ValueError(f"unknown order mode {order_mode!r}")
-    conn = run_connect_bc(g, radius, oc) if connect else None
-    ds = run_domset_bc(g, radius, oc)
+    Deprecation shim over ``solve(g, radius, "dist.congest", ...)``.
+    """
+    from repro.api import solve
+
+    _deprecated("congest_bc_pipeline")
+    params = {"order_mode": order_mode}
+    # Historical contract: the Theorem-9 accounting object is always
+    # returned, plus the Theorem-10 one when connecting.  The shared
+    # default cache means the order simulation still runs only once.
+    ds = solve(g, radius, "dist.congest", params=params).raw
+    conn = (
+        solve(g, radius, "dist.congest", connect=True, params=params).raw
+        if connect
+        else None
+    )
     return CongestRun(domset=ds, connected=conn)
 
 
@@ -129,10 +170,13 @@ def unified_bc_pipeline(g: Graph, radius: int, connect: bool = False):
 
     Returns a :class:`repro.distributed.unified_bc.UnifiedResult`; see
     that module for the fixed phase schedule.
-    """
-    from repro.distributed.unified_bc import run_unified_bc
 
-    return run_unified_bc(g, radius, connect=connect)
+    Deprecation shim over ``solve(g, radius, "dist.congest-unified", ...)``.
+    """
+    from repro.api import solve
+
+    _deprecated("unified_bc_pipeline")
+    return solve(g, radius, "dist.congest-unified", connect=connect).raw
 
 
 @dataclass(frozen=True)
@@ -153,7 +197,12 @@ class PlanarCdsRun:
 
 
 def planar_cds_pipeline(g: Graph, mode: str = "oracle") -> PlanarCdsRun:
-    """Lenzen-style planar MDS + Theorem-17 connectifier at r = 1."""
-    mds = lenzen_planar_mds(g, mode=mode)
-    cds = local_connectify(g, mds.dominators, radius=1, mode=mode)
-    return PlanarCdsRun(mds=mds, cds=cds)
+    """Lenzen-style planar MDS + Theorem-17 connectifier at r = 1.
+
+    Deprecation shim over ``solve(g, 1, "local.planar-cds", connect=True)``.
+    """
+    from repro.api import solve
+
+    _deprecated("planar_cds_pipeline")
+    res = solve(g, 1, "local.planar-cds", connect=True, params={"mode": mode})
+    return PlanarCdsRun(mds=res.raw, cds=res.extras["connect_result"])

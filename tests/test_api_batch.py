@@ -1,0 +1,128 @@
+"""solve_batch: shared precomputation, cache-hit accounting, process pool."""
+
+import pytest
+
+from repro.api import (
+    PrecomputeCache,
+    SolveRequest,
+    graph_digest,
+    solve,
+    solve_batch,
+)
+from repro.errors import SolverError
+from repro.graphs import generators as gen
+
+
+def _requests(g, algorithms, radius=1, **kw):
+    return [
+        SolveRequest(graph=g, radius=radius, algorithm=a, **kw)
+        for a in algorithms
+    ]
+
+
+def test_order_cache_computed_once_across_repeats():
+    """Acceptance: a repeated (graph, order strategy, radius) sweep
+    computes the linear order exactly once."""
+    g = gen.grid_2d(6, 6)
+    cache = PrecomputeCache()
+    reqs = _requests(
+        g, ["seq.wreach", "seq.wreach-min", "seq.dvorak"], certify=True
+    ) * 2  # repeat the whole sweep: still one order computation
+    results = solve_batch(reqs, cache=cache)
+    assert len(results) == 6
+    stats = cache.stats()
+    assert stats["order"]["misses"] == 1
+    assert stats["order"]["hits"] == len(reqs) - 1
+    # WReach_2r (certificates) and WReach_r (wreach-min) each built once.
+    assert stats["wreach"]["misses"] == 2
+    assert stats["wreach"]["hits"] >= 1
+    # And the repeat produced identical outputs.
+    for a, b in zip(results[:3], results[3:]):
+        assert a.dominators == b.dominators
+
+
+def test_cache_keyed_by_content_not_identity():
+    """Two separately-built but equal graphs share cache entries."""
+    g1 = gen.grid_2d(5, 5)
+    g2 = gen.grid_2d(5, 5)
+    assert g1 is not g2
+    assert graph_digest(g1) == graph_digest(g2)
+    cache = PrecomputeCache()
+    solve(g1, 1, "seq.wreach", cache=cache)
+    solve(g2, 1, "seq.wreach", cache=cache)
+    assert cache.stats()["order"] == {"hits": 1, "misses": 1, "size": 1}
+
+
+def test_distributed_order_shared_across_radii():
+    """The H-partition simulation runs once for an r-sweep."""
+    g = gen.grid_2d(5, 5)
+    cache = PrecomputeCache()
+    for r in (1, 2, 3):
+        solve(g, r, "dist.congest", cache=cache)
+    stats = cache.stats()["dist_order"]
+    assert stats["misses"] == 1 and stats["hits"] == 2
+
+
+def test_cache_respects_strategy_and_radius_axes():
+    g = gen.grid_2d(5, 5)
+    cache = PrecomputeCache()
+    solve(g, 1, "seq.wreach", order_strategy="degeneracy", cache=cache)
+    solve(g, 1, "seq.wreach", order_strategy="identity", cache=cache)
+    solve(g, 2, "seq.wreach", order_strategy="fraternal", cache=cache)
+    assert cache.stats()["order"]["misses"] == 3
+
+
+def test_lru_eviction_bounds_memory():
+    cache = PrecomputeCache(maxsize=2)
+    graphs = [gen.path_graph(n) for n in (5, 6, 7)]
+    for g in graphs:
+        cache.order(g, "degeneracy", 1)
+    assert cache.stats()["order"]["size"] == 2
+    # Oldest entry was evicted: recomputing it is a miss again.
+    cache.order(graphs[0], "degeneracy", 1)
+    assert cache.stats()["order"]["misses"] == 4
+
+
+def test_batch_results_in_request_order():
+    g = gen.grid_2d(4, 4)
+    t = gen.balanced_tree(2, 3)
+    reqs = [
+        SolveRequest(graph=g, radius=1, algorithm="seq.greedy"),
+        SolveRequest(graph=t, radius=2, algorithm="seq.tree-exact"),
+        SolveRequest(graph=g, radius=1, algorithm="seq.wreach"),
+    ]
+    out = solve_batch(reqs)
+    assert [r.algorithm for r in out] == [
+        "seq.greedy", "seq.tree-exact", "seq.wreach"
+    ]
+    assert out[1].radius == 2
+
+
+def test_batch_rejects_non_requests():
+    with pytest.raises(SolverError, match="SolveRequest"):
+        solve_batch([{"graph": None}])
+
+
+def test_batch_process_pool_matches_inline():
+    """workers=2 fans out over processes; outputs identical to inline."""
+    g = gen.grid_2d(5, 5)
+    reqs = _requests(g, ["seq.wreach", "seq.dvorak", "seq.greedy",
+                         "dist.parallel-greedy"], certify=True)
+    inline = solve_batch(reqs)
+    pooled = solve_batch(reqs, workers=2)
+    assert [r.dominators for r in pooled] == [r.dominators for r in inline]
+    for r in pooled:  # results round-trip the process boundary intact
+        assert r.size > 0 and r.wall_time_s >= 0.0
+        if r.certificate is not None:
+            assert r.certificate.solution_size == r.size
+
+
+def test_request_pickles_with_graph():
+    import pickle
+
+    g = gen.k_tree(12, 2, seed=3)
+    req = SolveRequest(graph=g, radius=1, algorithm="seq.wreach")
+    clone = pickle.loads(pickle.dumps(req))
+    assert clone.graph == g
+    assert solve(clone.graph, 1, "seq.wreach").dominators == \
+        solve(g, 1, "seq.wreach").dominators

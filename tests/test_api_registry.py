@@ -1,0 +1,125 @@
+"""The solver registry: introspection, capability gating, extension."""
+
+import pytest
+
+from repro.api import (
+    SolveRequest,
+    SolverCapabilities,
+    SolverOutput,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solve,
+    solve_request,
+    solver_names,
+    unregister_solver,
+)
+from repro.errors import SolverError
+from repro.graphs import generators as gen
+
+EXPECTED_SOLVERS = {
+    "seq.wreach",
+    "seq.wreach-min",
+    "seq.dvorak",
+    "seq.greedy",
+    "seq.lp-rounding",
+    "seq.exact",
+    "seq.tree-exact",
+    "dist.congest",
+    "dist.congest-unified",
+    "dist.ruling",
+    "dist.parallel-greedy",
+    "dist.kw-lp",
+    "local.planar-cds",
+}
+
+
+def test_all_expected_solvers_registered():
+    assert EXPECTED_SOLVERS <= set(solver_names())
+
+
+def test_list_solvers_sorted_with_capabilities():
+    infos = list_solvers()
+    names = [i.name for i in infos]
+    assert names == sorted(names)
+    for info in infos:
+        caps = info.capabilities
+        assert caps.model in ("sequential", "LOCAL", "CONGEST_BC")
+        assert caps.description
+        assert caps.radius_range().startswith("[")
+
+
+def test_unknown_solver_message_lists_registered():
+    with pytest.raises(SolverError, match="seq.wreach"):
+        get_solver("seq.sorcery")
+    with pytest.raises(SolverError, match="unknown solver"):
+        solve(gen.path_graph(4), 1, "nope.nope")
+
+
+def test_connect_rejected_when_unsupported():
+    g = gen.grid_2d(4, 4)
+    with pytest.raises(SolverError, match="no connection phase"):
+        solve(g, 1, "seq.greedy", connect=True)
+
+
+def test_radius_range_enforced():
+    g = gen.grid_2d(4, 4)
+    with pytest.raises(SolverError, match="radius"):
+        solve(g, 2, "local.planar-cds")
+    with pytest.raises(SolverError, match="radius"):
+        solve(g, 0, "dist.congest")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(SolverError, match="already registered"):
+
+        @register_solver("seq.wreach")
+        def clash(req, cache):  # pragma: no cover - never runs
+            raise AssertionError
+
+
+def test_custom_solver_roundtrip():
+    """Users can plug in a solver and reach it through solve()."""
+
+    @register_solver(
+        "test.all-vertices",
+        SolverCapabilities(model="sequential", description="every vertex joins D"),
+    )
+    def all_vertices(req: SolveRequest, cache) -> SolverOutput:
+        return SolverOutput(dominators=tuple(range(req.graph.n)))
+
+    try:
+        g = gen.path_graph(5)
+        res = solve(g, 1, "test.all-vertices", validate=True)
+        assert res.dominators == (0, 1, 2, 3, 4)
+        assert res.extras["valid"]
+        assert "test.all-vertices" in solver_names()
+    finally:
+        unregister_solver("test.all-vertices")
+    assert "test.all-vertices" not in solver_names()
+
+
+def test_solve_request_object_form():
+    g = gen.grid_2d(4, 4)
+    req = SolveRequest(graph=g, radius=1, algorithm="seq.wreach", certify=True)
+    res = solve_request(req)
+    assert res.algorithm == "seq.wreach"
+    assert res.certificate is not None
+    assert res.certificate.solution_size == res.size
+    assert res.wall_time_s >= 0.0
+
+
+def test_tree_exact_guard():
+    with pytest.raises(SolverError, match="tree"):
+        solve(gen.cycle_graph(6), 1, "seq.tree-exact")
+
+
+def test_result_summary_mentions_key_facts():
+    g = gen.grid_2d(4, 4)
+    res = solve(g, 1, "dist.congest", connect=True, certify=True)
+    s = res.summary()
+    assert "dist.congest" in s and "|D| =" in s and "rounds" in s
+    # order-free solver: certificate is None but the note explains why
+    res2 = solve(g, 1, "seq.greedy", certify=True)
+    assert res2.certificate is None
+    assert "certificate_note" in res2.extras

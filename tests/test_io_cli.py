@@ -100,3 +100,61 @@ def test_cli_generate_workload(tmp_path):
 
 def test_cli_generate_unknown(tmp_path, capsys):
     assert main(["generate", "quantumfoam", "-o", str(tmp_path / "x")]) == 2
+
+
+def test_cli_solve_subcommand(tmp_path, capsys):
+    path = _write_grid(tmp_path)
+    assert main(["solve", path, "-a", "seq.greedy", "-r", "1", "--show"]) == 0
+    out = capsys.readouterr().out
+    assert "algorithm = seq.greedy" in out
+    assert "|D| =" in out
+    assert "D =" in out
+    assert "wall time" in out
+
+
+def test_cli_solve_with_params_and_certify(tmp_path, capsys):
+    path = _write_grid(tmp_path)
+    assert main(["solve", path, "-a", "dist.congest", "-r", "1",
+                 "--param", "order_mode=augmented", "--connect"]) == 0
+    out = capsys.readouterr().out
+    assert "total rounds" in out
+    assert "connected |D'|" in out
+
+
+def test_cli_list_solvers(capsys):
+    assert main(["list-solvers"]) == 0
+    out = capsys.readouterr().out
+    for name in ("seq.wreach", "dist.congest", "local.planar-cds"):
+        assert name in out
+    assert "CONGEST_BC" in out
+
+
+def test_cli_domset_prune_certifies_pruned_set(tmp_path, capsys):
+    """Regression: the certificate/ratio must describe the pruned set."""
+    path = _write_grid(tmp_path)
+    assert main(["domset", path, "-r", "1", "--prune", "--exact"]) == 0
+    out = capsys.readouterr().out
+    # |D| = pruned (raw unpruned), and the realized ratio uses pruned.
+    import re
+
+    m = re.search(r"\|D\| = (\d+) \(raw (\d+)\)", out)
+    assert m, out
+    pruned, raw = int(m.group(1)), int(m.group(2))
+    assert pruned <= raw
+    m2 = re.search(r"exact OPT = (\d+)\s+\(realized ratio ([0-9.]+)\)", out)
+    assert m2, out
+    opt, ratio = int(m2.group(1)), float(m2.group(2))
+    assert abs(ratio - pruned / opt) < 1e-3
+
+
+def test_cli_distributed_order_mode_and_unified(tmp_path, capsys):
+    path = _write_grid(tmp_path)
+    assert main(["distributed", path, "-r", "1",
+                 "--order-mode", "augmented"]) == 0
+    out = capsys.readouterr().out
+    assert "total rounds" in out
+    assert main(["distributed", path, "-r", "1", "--unified",
+                 "--connect"]) == 0
+    out = capsys.readouterr().out
+    assert "fixed schedule" in out
+    assert "connected |D'|" in out
