@@ -1,0 +1,249 @@
+"""P1 — kernel perf baseline: flat-array WReach vs the naive reference.
+
+Times the two hot kernels this repo's guarantees are computed with:
+
+* ``wreach_sets`` / ``wcol`` / ``wreach_sets_with_paths`` — the
+  flat-array kernels of :mod:`repro.orders.wreach` against the retained
+  definition-shaped reference in :mod:`repro.orders.wreach_ref`, at the
+  Theorem-5 horizon ``2r``;
+* the ``domset_bc`` CONGEST_BC simulation — wall time, rounds, and both
+  traffic notions (per-edge ``total_words`` vs distinct
+  ``broadcast_words``) after the simulator's broadcast fast path.
+
+Results go to ``BENCH_kernels.json`` at the repo root (the perf
+trajectory later PRs are judged against) and a human-readable table in
+``benchmarks/results/p1_kernel_perf.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_p1_kernel_perf.py            # full
+    PYTHONPATH=src python benchmarks/bench_p1_kernel_perf.py --smoke    # CI
+
+``--smoke`` runs a small instance set and **fails (exit 1)** if any flat
+kernel measures slower than the naive reference — a relative regression
+gate that needs no flaky absolute-time thresholds.  Every timing is the
+minimum over ``--repeats`` runs; outputs are asserted identical to the
+reference before anything is timed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.harness import write_result  # noqa: E402
+from repro.bench.tables import Table  # noqa: E402
+from repro.distributed.domset_bc import run_domset_bc  # noqa: E402
+from repro.graphs import generators as gen  # noqa: E402
+from repro.graphs import random_models as rm  # noqa: E402
+from repro.graphs.components import largest_component  # noqa: E402
+from repro.orders import wreach as flat  # noqa: E402
+from repro.orders import wreach_ref as naive  # noqa: E402
+from repro.orders.degeneracy import degeneracy_order  # noqa: E402
+
+RADIUS = 2  # Theorem-5 radius; kernels run at horizon 2r
+
+
+def _geometric(n: int, seed: int):
+    g, _ = rm.random_geometric(n, radius=None, seed=seed)
+    h, _ = largest_component(g)
+    return h
+
+
+#: (name, family, builder, include domset_bc simulation)
+FULL_INSTANCES = [
+    ("grid32", "grid", lambda: gen.grid_2d(32, 32), True),
+    ("grid64", "grid", lambda: gen.grid_2d(64, 64), True),
+    ("grid128", "grid", lambda: gen.grid_2d(128, 128), False),
+    ("ktree1000", "k-tree", lambda: gen.k_tree(1000, 3, seed=15), True),
+    ("ktree4000", "k-tree", lambda: gen.k_tree(4000, 3, seed=15), True),
+    ("ktree12000", "k-tree", lambda: gen.k_tree(12000, 3, seed=15), False),
+    ("delaunay600", "planar", lambda: rm.delaunay_graph(600, seed=12)[0], True),
+    ("delaunay2000", "planar", lambda: rm.delaunay_graph(2000, seed=12)[0], True),
+    ("delaunay6000", "planar", lambda: rm.delaunay_graph(6000, seed=12)[0], False),
+    # The suite's largest instance — planar Delaunay, the paper's core
+    # class; BENCH_kernels.json's headline speedups come from this row.
+    ("delaunay22000", "planar", lambda: rm.delaunay_graph(22000, seed=12)[0], False),
+    ("geometric2000", "random-BE", lambda: _geometric(2000, 13), True),
+    ("geometric8000", "random-BE", lambda: _geometric(8000, 13), False),
+    ("geometric20000", "random-BE", lambda: _geometric(20000, 13), False),
+]
+
+SMOKE_INSTANCES = [
+    ("grid16", "grid", lambda: gen.grid_2d(16, 16), True),
+    ("ktree300", "k-tree", lambda: gen.k_tree(300, 3, seed=15), True),
+    ("delaunay300", "planar", lambda: rm.delaunay_graph(300, seed=12)[0], True),
+    ("geometric600", "random-BE", lambda: _geometric(600, 13), True),
+]
+
+
+def _best(fn, repeats: int) -> tuple[object, float]:
+    """Value and minimum wall time over ``repeats`` runs."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return value, best
+
+
+def bench_instance(name, family, build, run_domset, repeats):
+    g = build()
+    order, _ = degeneracy_order(g)
+    reach = 2 * RADIUS
+    adj = flat.RankedAdjacency(g, order)
+
+    flat_sets, t_sets_flat = _best(
+        lambda: flat.wreach_sets(g, order, reach, adj=adj), repeats
+    )
+    naive_sets, t_sets_naive = _best(
+        lambda: naive.naive_wreach_sets(g, order, reach), repeats
+    )
+    if flat_sets != naive_sets:
+        raise AssertionError(f"{name}: flat wreach_sets deviates from reference")
+
+    flat_sizes, t_wcol_flat = _best(
+        lambda: flat.wreach_sizes(g, order, reach, adj=adj), repeats
+    )
+    naive_sizes, t_wcol_naive = _best(
+        lambda: naive.naive_wreach_sizes(g, order, reach), repeats
+    )
+    if flat_sizes.tolist() != naive_sizes.tolist():
+        raise AssertionError(f"{name}: flat wreach_sizes deviates from reference")
+
+    flat_paths, t_paths_flat = _best(
+        lambda: flat.wreach_sets_with_paths(g, order, reach, adj=adj), repeats
+    )
+    naive_paths, t_paths_naive = _best(
+        lambda: naive.naive_wreach_sets_with_paths(g, order, reach), repeats
+    )
+    if flat_paths != naive_paths:
+        raise AssertionError(f"{name}: flat path kernel deviates from reference")
+
+    row = {
+        "name": name,
+        "family": family,
+        "n": g.n,
+        "m": g.m,
+        "reach": reach,
+        "wcol": int(flat_sizes.max()) if g.n else 0,
+        "wreach_sets": {
+            "naive_s": t_sets_naive,
+            "flat_s": t_sets_flat,
+            "speedup": t_sets_naive / t_sets_flat,
+        },
+        "wcol_kernel": {
+            "naive_s": t_wcol_naive,
+            "flat_s": t_wcol_flat,
+            "speedup": t_wcol_naive / t_wcol_flat,
+        },
+        "wreach_paths": {
+            "naive_s": t_paths_naive,
+            "flat_s": t_paths_flat,
+            "speedup": t_paths_naive / t_paths_flat,
+        },
+    }
+    if run_domset:
+        ds, t_sim = _best(lambda: run_domset_bc(g, RADIUS), 1)
+        row["domset_bc"] = {
+            "wall_s": t_sim,
+            "size": ds.size,
+            "rounds": ds.total_rounds,
+            "total_words": ds.total_words,
+        }
+    return row
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small instances; exit 1 on any flat-vs-naive regression",
+    )
+    ap.add_argument("--repeats", type=int, default=3, help="timing repeats (min taken)")
+    ap.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="JSON output path (default: BENCH_kernels.json at the repo "
+        "root, BENCH_kernels_smoke.json in smoke mode)",
+    )
+    args = ap.parse_args(argv)
+
+    instances = SMOKE_INSTANCES if args.smoke else FULL_INSTANCES
+    out_path = args.out or (
+        REPO_ROOT / ("BENCH_kernels_smoke.json" if args.smoke else "BENCH_kernels.json")
+    )
+
+    table = Table(
+        f"P1: flat-array WReach kernel vs naive reference (reach = 2r = {2 * RADIUS})",
+        ["instance", "n", "wcol", "sets x", "wcol x", "paths x", "domset_bc"],
+    )
+    rows = []
+    for name, family, build, run_domset in instances:
+        row = bench_instance(name, family, build, run_domset, args.repeats)
+        rows.append(row)
+        sim = row.get("domset_bc")
+        table.add(
+            name,
+            row["n"],
+            row["wcol"],
+            f"{row['wreach_sets']['speedup']:.1f}",
+            f"{row['wcol_kernel']['speedup']:.1f}",
+            f"{row['wreach_paths']['speedup']:.1f}",
+            f"{sim['wall_s'] * 1e3:.0f} ms / {sim['rounds']} rounds" if sim else "-",
+        )
+        print(
+            f"  [{name}] sets {row['wreach_sets']['speedup']:.1f}x  "
+            f"wcol {row['wcol_kernel']['speedup']:.1f}x  "
+            f"paths {row['wreach_paths']['speedup']:.1f}x",
+            flush=True,
+        )
+
+    largest = max(rows, key=lambda r: r["n"])
+    report = {
+        "schema": 1,
+        "benchmark": "p1_kernel_perf",
+        "mode": "smoke" if args.smoke else "full",
+        "radius": RADIUS,
+        "reach": 2 * RADIUS,
+        "repeats": args.repeats,
+        "instances": rows,
+        "largest_instance": {
+            "name": largest["name"],
+            "n": largest["n"],
+            "wreach_sets_speedup": largest["wreach_sets"]["speedup"],
+            "wcol_speedup": largest["wcol_kernel"]["speedup"],
+            "wreach_paths_speedup": largest["wreach_paths"]["speedup"],
+        },
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    # Smoke runs get their own table name so a local CI-gate run cannot
+    # clobber the committed full-run trajectory.
+    write_result("p1_kernel_perf_smoke" if args.smoke else "p1_kernel_perf", table)
+    print(f"wrote {out_path}")
+
+    if args.smoke:
+        slow = [
+            (r["name"], kernel)
+            for r in rows
+            for kernel in ("wreach_sets", "wcol_kernel", "wreach_paths")
+            if r[kernel]["speedup"] < 1.0
+        ]
+        if slow:
+            print(f"PERF REGRESSION: flat kernel slower than naive on {slow}")
+            return 1
+        print("smoke ok: flat kernels at least as fast as naive everywhere")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,6 +84,11 @@ class PrecomputeCache:
         ``make_order`` outputs, keyed by (graph, strategy, radius) —
         radius participates because fraternal / wreach-sort strategies
         depend on it.
+    ``rank_adj``
+        :class:`~repro.orders.wreach.RankedAdjacency` — the rank-permuted
+        CSR every WReach kernel runs over — keyed by (graph, order).
+        Reach-length sweeps over one order share a single row
+        permutation this way.
     ``wreach``
         ``wreach_sets`` outputs, keyed by (graph, order, reach length).
     ``wcol``
@@ -98,7 +103,7 @@ class PrecomputeCache:
     def __init__(self, maxsize: int = 64):
         self._tables = {
             name: _LruTable(maxsize)
-            for name in ("order", "wreach", "wcol", "dist_order")
+            for name in ("order", "rank_adj", "wreach", "wcol", "dist_order")
         }
 
     #: Order strategies whose output does not depend on the radius
@@ -118,13 +123,29 @@ class PrecomputeCache:
             key, lambda: make_order(g, radius, strategy)
         )
 
+    def rank_adjacency(self, g: Graph, order: LinearOrder):
+        """The rank-permuted CSR adjacency for ``(g, order)``, memoized.
+
+        Built once per graph/order pair and shared by every WReach and
+        wcol computation over that order (including reach sweeps).
+        """
+        from repro.orders.wreach import RankedAdjacency
+
+        key = (graph_digest(g), order_digest(order))
+        return self._tables["rank_adj"].get_or_compute(
+            key, lambda: RankedAdjacency(g, order)
+        )
+
     def wreach(self, g: Graph, order: LinearOrder, reach: int) -> list[list[int]]:
         """``wreach_sets(g, order, reach)``, memoized by content."""
         from repro.orders.wreach import wreach_sets
 
         key = (graph_digest(g), order_digest(order), int(reach))
         return self._tables["wreach"].get_or_compute(
-            key, lambda: wreach_sets(g, order, reach)
+            key,
+            lambda: wreach_sets(
+                g, order, reach, adj=self.rank_adjacency(g, order)
+            ),
         )
 
     def wcol(self, g: Graph, order: LinearOrder, reach: int) -> int:

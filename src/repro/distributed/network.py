@@ -13,6 +13,14 @@ Model enforcement:
   neighbors (unknown neighbor ids raise), any other value broadcasts.
 * ``strict_bandwidth`` — optionally reject any payload larger than
   ``words_per_round`` words instead of accounting it as pipelined.
+
+Hot-path design: outgoing traffic is kept as ``(src, dsts, payload)``
+records with ``dsts=None`` meaning "every neighbor", so a CONGEST_BC
+broadcast costs one record, one ``payload_words`` measurement, and one
+shared inbox pair instead of a tuple per edge; and because senders are
+always scanned in ascending id, inboxes arrive sorted by source and the
+old per-node, per-round ``sorted()`` disappears.  Accounting reports
+both per-edge ``total_words`` and per-source ``broadcast_words``.
 """
 
 from __future__ import annotations
@@ -30,12 +38,22 @@ __all__ = ["Network", "RunResult", "RoundStats"]
 
 @dataclass(frozen=True)
 class RoundStats:
-    """Traffic measurements for one logical round."""
+    """Traffic measurements for one logical round.
+
+    ``total_words`` counts every delivered copy of a payload — a
+    broadcast of w words over d incident edges contributes ``d * w`` (the
+    per-edge accounting the CONGEST bounds are stated in).
+    ``broadcast_words`` counts each sender's payload once regardless of
+    fan-out — the distinct-broadcast volume of a CONGEST_BC round, where
+    a node utters one message per round however many neighbors hear it.
+    For purely point-to-point rounds the two notions coincide.
+    """
 
     round_index: int
     messages: int
     total_words: int
     max_payload_words: int
+    broadcast_words: int = 0
 
 
 @dataclass
@@ -54,6 +72,11 @@ class RunResult:
     @property
     def total_words(self) -> int:
         return sum(s.total_words for s in self.round_stats)
+
+    @property
+    def total_broadcast_words(self) -> int:
+        """Distinct-broadcast traffic: each sender's payload counted once."""
+        return sum(s.broadcast_words for s in self.round_stats)
 
     @property
     def max_payload_words(self) -> int:
@@ -95,8 +118,14 @@ class Network:
         self.nodes = [factory(v) for v in range(graph.n)]
 
     # ------------------------------------------------------------------
-    def _collect(self, v: int, outgoing: Any) -> list[tuple[int, int, Any]]:
-        """Normalize a node's return value into (src, dst, payload) triples."""
+    # A pending entry is ``(src, dsts, payload)`` where ``dsts`` is None
+    # for a broadcast (implicitly the sender's whole neighborhood).  A
+    # CONGEST_BC round over a graph with m edges is thus m entries short
+    # of the per-edge triple representation it replaced: the payload
+    # object, its measured word size, and its inbox pair are all shared
+    # across the fan-out instead of materialized once per edge.
+    def _collect(self, v: int, outgoing: Any) -> list[tuple[int, tuple[int, ...] | None, Any]]:
+        """Normalize a node's return value into (src, dsts, payload) records."""
         if outgoing is None:
             return []
         ctx = self.contexts[v]
@@ -105,21 +134,24 @@ class Network:
                 raise ModelViolation(
                     f"node {v}: point-to-point messages not allowed in CONGEST_BC"
                 )
-            triples = []
-            nbrs = set(ctx.neighbors)
+            records = []
+            nbrs = ctx.neighbor_set
             for dst, payload in outgoing.items():
                 if dst not in nbrs:
                     raise ModelViolation(f"node {v}: {dst} is not a neighbor")
-                triples.append((v, int(dst), payload))
-            return triples
-        # Broadcast: same payload on every incident edge.
-        return [(v, u, outgoing) for u in ctx.neighbors]
+                records.append((v, (int(dst),), payload))
+            return records
+        # Broadcast: same payload on every incident edge (none to send if
+        # the vertex is isolated — matches the old per-edge expansion).
+        if not ctx.neighbors:
+            return []
+        return [(v, None, outgoing)]
 
     def run(self, max_rounds: int = 10_000) -> RunResult:
         """Run to global halt (or raise after ``max_rounds``)."""
         stats: list[RoundStats] = []
         # Round 0: on_start.
-        pending: list[tuple[int, int, Any]] = []
+        pending: list[tuple[int, tuple[int, ...] | None, Any]] = []
         for v in range(self.graph.n):
             if not self.nodes[v].halted:
                 pending.extend(self._collect(v, self.nodes[v].on_start(self.contexts[v])))
@@ -138,9 +170,14 @@ class Network:
             if rounds >= max_rounds:
                 raise SimulationError(f"no global halt within {max_rounds} rounds")
             rounds += 1
+            # Pending records were appended while scanning senders in
+            # ascending id, so each inbox is built already sorted by
+            # sender — no per-round sort.
             inboxes: dict[int, list[tuple[int, Any]]] = {}
-            for src, dst, payload in pending:
-                inboxes.setdefault(dst, []).append((src, payload))
+            for src, dsts, payload in pending:
+                entry = (src, payload)
+                for dst in self.contexts[src].neighbors if dsts is None else dsts:
+                    inboxes.setdefault(dst, []).append(entry)
             pending = []
             progressed = False
             for v in range(self.graph.n):
@@ -148,7 +185,11 @@ class Network:
                 if node.halted:
                     # Halted nodes drop incoming messages silently.
                     continue
-                inbox = sorted(inboxes.get(v, []), key=lambda t: t[0])
+                # Each node gets its own list: inboxes are part of the
+                # public API and algorithms may mutate them freely.
+                inbox = inboxes.get(v)
+                if inbox is None:
+                    inbox = []
                 out = node.on_round(self.contexts[v], inbox)
                 msgs = self._collect(v, out)
                 if msgs or inbox or node.halted:
@@ -163,24 +204,31 @@ class Network:
         outputs = {v: self.nodes[v].output() for v in range(self.graph.n)}
         return RunResult(self.model, rounds, stats, outputs)
 
-    def _account(self, round_index: int, msgs: Sequence[tuple[int, int, Any]]) -> RoundStats:
+    def _account(
+        self, round_index: int, msgs: Sequence[tuple[int, tuple[int, ...] | None, Any]]
+    ) -> RoundStats:
         total = 0
         biggest = 0
-        seen_payload_per_src: dict[int, int] = {}
-        for src, _dst, payload in msgs:
+        count = 0
+        distinct = 0
+        check_bandwidth = self.strict_bandwidth and self.model.bounded_bandwidth
+        for src, dsts, payload in msgs:
             w = payload_words(payload)
-            total += w
-            biggest = max(biggest, w)
-            if self.strict_bandwidth and self.model.bounded_bandwidth:
-                if w > self.words_per_round:
-                    raise ModelViolation(
-                        f"round {round_index}: payload of {w} words exceeds "
-                        f"bandwidth {self.words_per_round}"
-                    )
-            seen_payload_per_src[src] = w
+            fan_out = self.contexts[src].degree if dsts is None else len(dsts)
+            count += fan_out
+            total += w * fan_out
+            distinct += w
+            if w > biggest:
+                biggest = w
+            if check_bandwidth and w > self.words_per_round:
+                raise ModelViolation(
+                    f"round {round_index}: payload of {w} words exceeds "
+                    f"bandwidth {self.words_per_round}"
+                )
         return RoundStats(
             round_index=round_index,
-            messages=len(msgs),
+            messages=count,
             total_words=total,
             max_payload_words=biggest,
+            broadcast_words=distinct,
         )

@@ -37,12 +37,25 @@ Inbox = list  # list[tuple[int, Any]]
 
 @dataclass(frozen=True)
 class NodeContext:
-    """Immutable per-node knowledge provided by the runtime."""
+    """Immutable per-node knowledge provided by the runtime.
+
+    ``neighbors`` is sorted ascending by id (the simulator builds it
+    from the CSR adjacency); ``neighbor_set`` is the same ids as a
+    frozenset, cached at construction so per-round membership tests
+    (e.g. validating point-to-point addressing) cost O(1) instead of
+    rebuilding a set from the tuple.
+    """
 
     node: int
     neighbors: tuple[int, ...]
     n: int
     advice: Mapping[str, Any] = field(default_factory=dict)
+    neighbor_set: frozenset = field(
+        init=False, repr=False, compare=False, default=frozenset()
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "neighbor_set", frozenset(self.neighbors))
 
     @property
     def degree(self) -> int:

@@ -132,21 +132,34 @@ class Graph:
         sel = np.unique(np.asarray(list(nodes), dtype=np.int64))
         if len(sel) and (sel[0] < 0 or sel[-1] >= self.n):
             raise GraphError("subgraph node out of range")
+        k = len(sel)
         new_id = np.full(self.n, -1, dtype=np.int64)
-        new_id[sel] = np.arange(len(sel))
-        indptr = [0]
-        indices: list[np.ndarray] = []
-        for v in sel:
-            row = self.neighbors(int(v))
-            keep = row[new_id[row] >= 0]
-            indices.append(new_id[keep])
-            indptr.append(indptr[-1] + len(keep))
-        flat = (
-            np.concatenate(indices).astype(np.int32)
-            if indices
-            else np.empty(0, dtype=np.int32)
-        )
-        h = Graph(np.asarray(indptr, dtype=np.int64), flat, _checked=True)
+        new_id[sel] = np.arange(k)
+        # One flat pass over the selected CSR rows: gather every arc of
+        # the selected vertices, keep those whose endpoint is selected,
+        # and count survivors per row.  new_id is monotone over sel, so
+        # the relabelled rows stay sorted.
+        starts = self.indptr[sel]
+        counts = self.indptr[sel + 1] - starts
+        total = int(counts.sum())
+        if total:
+            shifts = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1])
+            )
+            arcs = self.indices[
+                np.repeat(starts - shifts, counts) + np.arange(total, dtype=np.int64)
+            ]
+            mapped = new_id[arcs]
+            keep = mapped >= 0
+            kept_counts = np.bincount(
+                np.repeat(np.arange(k), counts)[keep], minlength=k
+            )
+            flat = mapped[keep].astype(np.int32)
+        else:
+            kept_counts = np.zeros(k, dtype=np.int64)
+            flat = np.empty(0, dtype=np.int32)
+        indptr = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(kept_counts)))
+        h = Graph(indptr.astype(np.int64), flat, _checked=True)
         return h, sel
 
     def copy_with_edges_removed(self, edges: Iterable[tuple[int, int]]) -> "Graph":

@@ -4,6 +4,7 @@ from repro.orders.linear_order import LinearOrder
 from repro.orders.degeneracy import degeneracy_order
 from repro.orders.fraternal import fraternal_augmentation_order
 from repro.orders.wreach import (
+    RankedAdjacency,
     wreach_sets,
     wreach_sets_with_paths,
     wcol_of_order,
@@ -13,6 +14,7 @@ from repro.orders.heuristics import random_order, identity_order, sort_by_wreach
 
 __all__ = [
     "LinearOrder",
+    "RankedAdjacency",
     "degeneracy_order",
     "fraternal_augmentation_order",
     "wreach_sets",

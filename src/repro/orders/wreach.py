@@ -1,4 +1,4 @@
-"""Weak reachability sets.
+"""Weak reachability sets — flat-array kernels over the CSR graph.
 
 ``WReach_r[G, L, v]`` is the set of vertices ``u`` such that some path of
 length at most r connects v to u and u is the L-least vertex on that path.
@@ -13,11 +13,44 @@ order, run a BFS from u truncated at depth r and restricted to vertices
 L-greater than u; every vertex w it reaches has ``u ∈ WReach_r[w]``.
 This restricted BFS is exactly Algorithm 3 of the paper, and the overall
 cost is ``O(sum_v |X_v| * avg_deg)`` — near-linear when wcol is bounded.
+
+The definition-shaped reference implementation lives in
+:mod:`repro.orders.wreach_ref`; this module implements the same API with
+two flat-array kernels:
+
+* a **bit-parallel batch kernel** for ``wreach_sets`` / ``wreach_sizes``
+  / ``wcol_of_order``: 512 consecutive roots (in L order) are swept at
+  once, with an 8-word ``uint64`` reachability bitmask per vertex.  The
+  restriction "only vertices L-greater than the root" becomes a
+  per-vertex *eligibility mask* — the low ``rank[v] - batch_base`` bits
+  — so a single vectorized frontier expansion advances all 512
+  restricted BFS runs together and the per-root interpreter overhead
+  amortizes away.  Between batches the shared mask array is cleared by
+  rewriting only the touched words, never O(n).
+* an **epoch-stamped per-root kernel** for ``restricted_bfs`` and
+  ``wreach_sets_with_paths``: one visited/parent scratch array reused
+  across all n BFS roots, stamped with the root's rank so it is never
+  cleared, with preallocated frontier/next-frontier storage.
+  ``restricted_bfs`` filters neighbors with a vectorized
+  ``rank[nbrs] > root_rank`` numpy mask; the paths kernel walks
+  precomputed rank-sorted rows so the eligible neighbors are a suffix
+  located by one binary search — no ``sorted()`` (and no per-element
+  numpy scalar boxing, which measures slower than list walks at the
+  bounded degrees these graph classes have) inside the innermost loop.
+
+Both kernels run over a :class:`RankedAdjacency` — the CSR adjacency
+re-sorted per row by L-rank (Algorithm 2's SortLists output in flat
+form), built once per ``(graph, order)`` and memoized by
+:meth:`repro.api.cache.PrecomputeCache.rank_adjacency`.  Rank-sorted
+rows preserve the ascending-rank discovery order that Algorithm 4's
+lexicographic tie-break requires.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import sys
+from bisect import bisect_right
+
 import numpy as np
 
 from repro.errors import OrderError
@@ -25,6 +58,7 @@ from repro.graphs.graph import Graph
 from repro.orders.linear_order import LinearOrder
 
 __all__ = [
+    "RankedAdjacency",
     "restricted_bfs",
     "wreach_sets",
     "wreach_sets_with_paths",
@@ -32,49 +66,385 @@ __all__ = [
     "wcol_of_order",
 ]
 
+_WORD = 64  # bits per mask word
+_WORDS = 8  # words per batch (power of two) -> 512 roots swept at once
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+# Below this size the scalar epoch-stamped kernel beats the batch kernel's
+# fixed numpy setup cost (a single partial batch would run anyway).
+_SMALL_N = 512
 
-def restricted_bfs(g: Graph, order: LinearOrder, root: int, radius: int) -> list[int]:
-    """Algorithm 3: BFS from ``root`` over vertices L-greater than root, depth <= r.
 
-    Returns all visited vertices (including the root).  Every returned
-    vertex ``w`` satisfies ``root ∈ WReach_r[G, L, w]`` — the path through
-    L-greater vertices down to the root witnesses it.
+class RankedAdjacency:
+    """Rank-permuted CSR adjacency for one ``(graph, order)`` pair.
+
+    Attributes
+    ----------
+    indptr:
+        The graph's CSR offsets (shared, not copied).
+    nbrs:
+        ``int64`` neighbor array with each row re-sorted ascending by
+        L-rank (widened once so the hot kernels never convert dtypes).
+    nbr_ranks:
+        ``rank[nbrs]`` precomputed, so rank tests never gather twice.
+    rank / by_rank:
+        The order's arrays (shared).
+
+    Construction is one global ``lexsort`` over all 2m arcs — O(m log m)
+    once, versus the per-visit ``sorted()`` the naive kernel pays.  The
+    Python-list mirrors used by the paths kernel are built lazily on
+    first use.
     """
-    rank = order.rank
-    root_rank = rank[root]
-    visited = {root}
-    q: deque[tuple[int, int]] = deque([(root, 0)])
-    out = [root]
-    while q:
-        w, dist = q.popleft()
-        if dist >= radius:
-            continue
-        for u in g.neighbors(w):
-            u = int(u)
-            if rank[u] > root_rank and u not in visited:
-                visited.add(u)
-                out.append(u)
-                q.append((u, dist + 1))
-    return out
+
+    __slots__ = (
+        "indptr",
+        "nbrs",
+        "nbr_ranks",
+        "packed",
+        "rank",
+        "by_rank",
+        "n",
+        "_rows_list",
+        "_row_ranks_list",
+    )
+
+    def __init__(self, g: Graph, order: LinearOrder):
+        if g.n != order.n:
+            raise OrderError("order size does not match graph")
+        self.n = g.n
+        self.indptr = g.indptr
+        self.rank = order.rank
+        self.by_rank = order.by_rank
+        if len(g.indices):
+            row_ids = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(g.indptr))
+            perm = np.lexsort((order.rank[g.indices], row_ids))
+            self.nbrs = g.indices[perm].astype(np.int64)
+            self.nbr_ranks = order.rank[self.nbrs]
+        else:
+            self.nbrs = np.empty(0, dtype=np.int64)
+            self.nbr_ranks = np.empty(0, dtype=np.int64)
+        # Interleaved (neighbor, rank) pairs: the batch kernel's gathers
+        # hit both fields of an arc on one cache line.
+        self.packed = np.stack((self.nbrs, self.nbr_ranks), axis=1)
+        self.nbrs.setflags(write=False)
+        self.nbr_ranks.setflags(write=False)
+        self.packed.setflags(write=False)
+        self._rows_list: list[list[int]] | None = None
+        self._row_ranks_list: list[list[int]] | None = None
+
+    def rows(self) -> tuple[list[list[int]], list[list[int]]]:
+        """Per-row ``(neighbors, their ranks)`` as plain Python lists.
+
+        The scalar BFS of the paths kernel iterates these; Python-list
+        walks beat numpy scalar iteration by ~10x at bounded degree.
+        """
+        if self._rows_list is None:
+            nbrs = self.nbrs.tolist()
+            ranks = self.nbr_ranks.tolist()
+            bounds = self.indptr.tolist()
+            self._rows_list = [
+                nbrs[bounds[v] : bounds[v + 1]] for v in range(self.n)
+            ]
+            self._row_ranks_list = [
+                ranks[bounds[v] : bounds[v + 1]] for v in range(self.n)
+            ]
+        return self._rows_list, self._row_ranks_list
 
 
-def wreach_sets(g: Graph, order: LinearOrder, radius: int) -> list[list[int]]:
-    """``WReach_radius[G, L, v]`` for every v, each list sorted by L-rank.
+def _require_adj(
+    g: Graph, order: LinearOrder, adj: RankedAdjacency | None
+) -> RankedAdjacency:
+    if adj is None:
+        return RankedAdjacency(g, order)
+    if adj.n != g.n:
+        raise OrderError("rank adjacency does not match graph")
+    if adj.rank is not order.rank and not np.array_equal(adj.rank, order.rank):
+        raise OrderError("rank adjacency was built for a different order")
+    return adj
 
-    ``v`` itself is always a member (paths of length 0).
+
+def _flat_gather(
+    indptr: np.ndarray, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(positions, counts)`` of every arc leaving ``frontier``, row-major."""
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    shifts = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]))
+    return np.repeat(starts - shifts, counts) + np.arange(total, dtype=np.int64), counts
+
+
+def _eligibility_table(words: int) -> np.ndarray:
+    """Row d holds the masks with the low d bits set, d = 0 .. 64*words.
+
+    A vertex of rank ``base + d`` may be visited exactly by the batch
+    roots ranked below it, i.e. the low d bits of the row; the kernels
+    turn the per-candidate rank test into one table gather.
     """
-    if g.n != order.n:
-        raise OrderError("order size does not match graph")
-    wreach: list[list[int]] = [[] for _ in range(g.n)]
-    for i in range(g.n):
-        u = int(order.by_rank[i])
-        for w in restricted_bfs(g, order, u, radius):
-            wreach[w].append(u)
+    span = _WORD * words
+    table = np.zeros((span + 1, words), dtype=np.uint64)
+    for w in range(words):
+        d = np.clip(np.arange(span + 1) - w * _WORD, 0, _WORD)
+        col = np.full(span + 1, _FULL, dtype=np.uint64)
+        small = d < _WORD
+        col[small] = (np.uint64(1) << d[small].astype(np.uint64)) - np.uint64(1)
+        table[:, w] = col
+    return table
+
+
+def _iter_batches(adj: RankedAdjacency, radius: int):
+    """Run the bit-parallel restricted BFS, ``64 * _WORDS`` roots per batch.
+
+    The frontier is kept in *item space* — parallel 1-d arrays of
+    ``(vertex, word, bits)`` triples holding only the nonzero mask words
+    — so every per-layer operation (gather, eligibility, sort,
+    OR-aggregation by ``vertex * words + word`` key) runs on flat
+    contiguous arrays; the dense ``(n, words)`` window exists only for
+    the already-reached test, and is read and cleared through the item
+    keys, never by dense scans.
+
+    Yields ``(base_rank, uv, uw, vals)`` per batch, sorted by
+    ``(uv, uw)``: bit j of ``vals[k]`` set means the root of rank
+    ``base_rank + 64 * uw[k] + j`` weakly reaches vertex ``uv[k]``.
+    """
+    n = adj.n
+    span = _WORD * _WORDS
+    shift = _WORDS.bit_length() - 1  # _WORDS is a power of two
+    winflat = np.zeros(n * _WORDS, dtype=np.uint64)
+    # An item key is the flat window index ``vertex * _WORDS + word``, so
+    # one key drives the dedup sort, the reached-test gather, and the
+    # window update alike.
+    elig_flat = _eligibility_table(_WORDS).reshape(-1)
+    for base in range(0, n, span):
+        width = min(span, n - base)
+        roots = adj.by_rank[base : base + width]
+        lanes = np.arange(width, dtype=np.int64)
+        fv = roots
+        fw = lanes >> 6
+        fb = np.uint64(1) << (lanes & 63).astype(np.uint64)
+        ukeys = (roots << shift) + fw
+        winflat[ukeys] = fb
+        key_parts = [ukeys]
+        for _depth in range(radius):
+            pos, counts = _flat_gather(adj.indptr, fv)
+            if pos.size == 0:
+                break
+            pair = adj.packed[pos]
+            # An arc into rank <= base is ineligible for every root in
+            # the batch; drop those with one compare up front.
+            pre = pair[:, 1] > base
+            pair = pair[pre]
+            if pair.size == 0:
+                break
+            src = np.repeat(np.arange(len(fv), dtype=np.int64), counts)[pre]
+            fwsrc = fw[src]
+            d = np.minimum(pair[:, 1] - base, span)
+            cbits = fb[src] & elig_flat[(d << shift) + fwsrc]
+            live = cbits != 0
+            cbits = cbits[live]
+            if cbits.size == 0:
+                break
+            # OR-aggregate duplicate (vertex, word) items (two frontier
+            # vertices sharing a neighbor), then drop bits already set.
+            keys = (pair[live, 0] << shift) + fwsrc[live]
+            sortidx = np.argsort(keys)
+            keys, cbits = keys[sortidx], cbits[sortidx]
+            heads = _group_heads(keys)
+            ukeys = keys[heads]
+            new = np.bitwise_or.reduceat(cbits, heads) & ~winflat[ukeys]
+            grew = new != 0
+            ukeys, fb = ukeys[grew], new[grew]
+            if ukeys.size == 0:
+                break
+            fv, fw = ukeys >> shift, ukeys & (_WORDS - 1)
+            winflat[ukeys] |= fb
+            key_parts.append(ukeys)
+        ukeys = np.unique(np.concatenate(key_parts))
+        vals = winflat[ukeys]
+        winflat[ukeys] = 0
+        yield base, ukeys >> shift, ukeys & (_WORDS - 1), vals
+
+
+def _unpack_vals(vals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(item, bit)`` pairs of the set bits, bits ascending per item.
+
+    ``flatnonzero`` scans the unpacked bit matrix in C order, which
+    keeps the pairs grouped by item with bits ascending — the order
+    every caller needs.
+    """
+    le = vals if sys.byteorder == "little" else vals.byteswap()
+    bitmat = np.unpackbits(le.view(np.uint8).reshape(-1, 8), axis=1, bitorder="little")
+    flat = np.flatnonzero(bitmat)
+    return flat >> 6, flat & 63
+
+
+def _popcounts(vals: np.ndarray) -> np.ndarray:
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(vals).astype(np.int64)
+    le = vals if sys.byteorder == "little" else vals.byteswap()
+    return (
+        np.unpackbits(le.view(np.uint8).reshape(-1, 8), axis=1)
+        .sum(axis=1)
+        .astype(np.int64)
+    )
+
+
+def _group_heads(uv: np.ndarray) -> np.ndarray:
+    """Start indices of the runs of equal entries in a sorted array."""
+    return np.flatnonzero(
+        np.concatenate((np.ones(1, dtype=bool), uv[1:] != uv[:-1]))
+    )
+
+
+def _small_sets(adj: RankedAdjacency, radius: int) -> list[list[int]]:
+    """Scalar restricted BFS from every root, ascending rank.
+
+    One epoch-stamped visited list serves all roots; eligible neighbors
+    are the rank-sorted row suffix.  Processing roots in ascending rank
+    appends each membership list in rank order.
+    """
+    rows, row_ranks = adj.rows()
+    by_rank = adj.by_rank.tolist()
+    visited = [-1] * adj.n
+    wreach: list[list[int]] = [[] for _ in range(adj.n)]
+    for i in range(adj.n):
+        u = by_rank[i]
+        visited[u] = i
+        wreach[u].append(u)
+        frontier = [u]
+        for _depth in range(radius):
+            nxt: list[int] = []
+            for w in frontier:
+                for x in rows[w][bisect_right(row_ranks[w], i) :]:
+                    if visited[x] != i:
+                        visited[x] = i
+                        wreach[x].append(u)
+                        nxt.append(x)
+            if not nxt:
+                break
+            frontier = nxt
     return wreach
 
 
+def _small_sizes(adj: RankedAdjacency, radius: int) -> np.ndarray:
+    """``_small_sets`` counting memberships instead of materializing."""
+    rows, row_ranks = adj.rows()
+    by_rank = adj.by_rank.tolist()
+    visited = [-1] * adj.n
+    sizes = [0] * adj.n
+    for i in range(adj.n):
+        u = by_rank[i]
+        visited[u] = i
+        sizes[u] += 1
+        frontier = [u]
+        for _depth in range(radius):
+            nxt: list[int] = []
+            for w in frontier:
+                for x in rows[w][bisect_right(row_ranks[w], i) :]:
+                    if visited[x] != i:
+                        visited[x] = i
+                        sizes[x] += 1
+                        nxt.append(x)
+            if not nxt:
+                break
+            frontier = nxt
+    return np.asarray(sizes, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Public API (signatures and outputs identical to the naive reference)
+# ---------------------------------------------------------------------------
+def restricted_bfs(g: Graph, order: LinearOrder, root: int, radius: int) -> list[int]:
+    """Algorithm 3: BFS from ``root`` over vertices L-greater than root, depth <= r.
+
+    Returns all visited vertices (including the root) in discovery
+    order.  Every returned vertex ``w`` satisfies
+    ``root ∈ WReach_r[G, L, w]`` — the path through L-greater vertices
+    down to the root witnesses it.
+    """
+    rank = order.rank
+    root_rank = int(rank[root])
+    visited = np.zeros(g.n, dtype=bool)
+    visited[root] = True
+    out = [root]
+    frontier = [root]
+    for _depth in range(radius):
+        nxt: list[int] = []
+        for w in frontier:
+            nbrs = g.neighbors(w)
+            if not nbrs.size:
+                continue
+            new = nbrs[(rank[nbrs] > root_rank) & ~visited[nbrs]]
+            if new.size:
+                visited[new] = True
+                nxt.extend(int(x) for x in new)
+        if not nxt:
+            break
+        out.extend(nxt)
+        frontier = nxt
+    return out
+
+
+def wreach_sets(
+    g: Graph,
+    order: LinearOrder,
+    radius: int,
+    *,
+    adj: RankedAdjacency | None = None,
+) -> list[list[int]]:
+    """``WReach_radius[G, L, v]`` for every v, each list sorted by L-rank.
+
+    ``v`` itself is always a member (paths of length 0).  Pass ``adj``
+    (see :class:`RankedAdjacency`) to amortize the one-time row
+    permutation across calls; :mod:`repro.api.cache` does this.
+    """
+    if g.n != order.n:
+        raise OrderError("order size does not match graph")
+    adj = _require_adj(g, order, adj)
+    if g.n <= _SMALL_N:
+        return _small_sets(adj, radius)
+    # Pass 1 (cheap): per-batch emissions, plus per-vertex totals so the
+    # flat members array can be laid out without a global sort.
+    sizes = np.zeros(g.n, dtype=np.int64)
+    batches: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for base, uv, uw, vals in _iter_batches(adj, radius):
+        item, bit = _unpack_vals(vals)
+        ranks = uw[item] * _WORD + bit + base
+        heads = _group_heads(uv)
+        targets = uv[heads]
+        per_target = np.add.reduceat(_popcounts(vals), heads)
+        sizes[targets] += per_target
+        batches.append((targets, per_target, ranks))
+    if not batches:
+        return []
+    bounds = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(sizes)))
+    # Pass 2: scatter each batch's members into place.  Batches arrive in
+    # ascending root rank and emissions are grouped by target with lanes
+    # ascending, so per-vertex cursor order is exactly rank order.
+    cursor = bounds[:-1].copy()
+    members = np.empty(int(bounds[-1]), dtype=np.int64)
+    for targets, per_target, ranks in batches:
+        shifts = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(per_target)[:-1])
+        )
+        where = np.repeat(cursor[targets] - shifts, per_target) + np.arange(
+            len(ranks), dtype=np.int64
+        )
+        members[where] = adj.by_rank[ranks]
+        cursor[targets] += per_target
+    members_list = members.tolist()
+    offsets = bounds.tolist()
+    # map(slice, ...) keeps the per-vertex list construction in C.
+    return list(map(members_list.__getitem__, map(slice, offsets, offsets[1:])))
+
+
 def wreach_sets_with_paths(
-    g: Graph, order: LinearOrder, radius: int
+    g: Graph,
+    order: LinearOrder,
+    radius: int,
+    *,
+    adj: RankedAdjacency | None = None,
 ) -> tuple[list[list[int]], list[dict[int, tuple[int, ...]]]]:
     """WReach sets plus, for each ``(v, u)`` with u ∈ WReach[v], a path.
 
@@ -88,26 +458,39 @@ def wreach_sets_with_paths(
     """
     if g.n != order.n:
         raise OrderError("order size does not match graph")
-    rank = order.rank
-    wreach: list[list[int]] = [[] for _ in range(g.n)]
-    paths: list[dict[int, tuple[int, ...]]] = [dict() for _ in range(g.n)]
-    for i in range(g.n):
-        u = int(order.by_rank[i])
-        # BFS with parent tracking; explore neighbors in ascending rank so
-        # the first discovery is the lexicographically least shortest path.
-        parent: dict[int, int] = {u: u}
-        q: deque[tuple[int, int]] = deque([(u, 0)])
+    adj = _require_adj(g, order, adj)
+    n = g.n
+    rows, row_ranks = adj.rows()
+    by_rank = adj.by_rank.tolist()
+    wreach: list[list[int]] = [[] for _ in range(n)]
+    paths: list[dict[int, tuple[int, ...]]] = [dict() for _ in range(n)]
+    # Epoch-stamped scratch, reused across all n roots: stamping with the
+    # root's rank makes "visited in this root's BFS" one compare, with no
+    # clearing between roots.
+    visited = [-1] * n
+    parent = [0] * n
+    for i in range(n):
+        u = by_rank[i]
+        visited[u] = i
+        parent[u] = u
+        frontier = [u]
         reach = [u]
-        while q:
-            w, dist = q.popleft()
-            if dist >= radius:
-                continue
-            nbrs = sorted((int(x) for x in g.neighbors(w)), key=lambda x: rank[x])
-            for x in nbrs:
-                if rank[x] > rank[u] and x not in parent:
-                    parent[x] = w
-                    reach.append(x)
-                    q.append((x, dist + 1))
+        for _depth in range(radius):
+            nxt: list[int] = []
+            for w in frontier:
+                rr = row_ranks[w]
+                # Eligible neighbors (rank > i) are a suffix of the
+                # rank-sorted row; within it, ascending rank preserves
+                # Algorithm 4's first-discovery tie-break.
+                for x in rows[w][bisect_right(rr, i) :]:
+                    if visited[x] != i:
+                        visited[x] = i
+                        parent[x] = w
+                        nxt.append(x)
+            if not nxt:
+                break
+            reach.extend(nxt)
+            frontier = nxt
         for w in reach:
             wreach[w].append(u)
             if w == u:
@@ -119,17 +502,31 @@ def wreach_sets_with_paths(
     return wreach, paths
 
 
-def wreach_sizes(g: Graph, order: LinearOrder, radius: int) -> np.ndarray:
+def wreach_sizes(
+    g: Graph,
+    order: LinearOrder,
+    radius: int,
+    *,
+    adj: RankedAdjacency | None = None,
+) -> np.ndarray:
     """``|WReach_radius[v]|`` per vertex (cheaper than materializing sets)."""
+    adj = _require_adj(g, order, adj)
+    if g.n <= _SMALL_N:
+        return _small_sizes(adj, radius)
     sizes = np.zeros(g.n, dtype=np.int64)
-    for i in range(g.n):
-        u = int(order.by_rank[i])
-        for w in restricted_bfs(g, order, u, radius):
-            sizes[w] += 1
+    for _base, uv, _uw, vals in _iter_batches(adj, radius):
+        heads = _group_heads(uv)
+        sizes[uv[heads]] += np.add.reduceat(_popcounts(vals), heads)
     return sizes
 
 
-def wcol_of_order(g: Graph, order: LinearOrder, radius: int) -> int:
+def wcol_of_order(
+    g: Graph,
+    order: LinearOrder,
+    radius: int,
+    *,
+    adj: RankedAdjacency | None = None,
+) -> int:
     """``max_v |WReach_radius[G, L, v]|`` — the witnessed wcol bound.
 
     The true ``wcol_radius(G)`` is the minimum of this over all orders;
@@ -138,4 +535,4 @@ def wcol_of_order(g: Graph, order: LinearOrder, radius: int) -> int:
     """
     if g.n == 0:
         return 0
-    return int(wreach_sizes(g, order, radius).max())
+    return int(wreach_sizes(g, order, radius, adj=adj).max())

@@ -1,0 +1,120 @@
+"""Naive reference implementation of the weak-reachability layer.
+
+This module preserves the original pure-Python set/deque implementation
+of ``WReach_r`` verbatim, under ``naive_*`` names.  It exists for two
+reasons:
+
+* the parity tests (``tests/test_wreach_kernel_parity.py``) assert that
+  the flat-array kernels in :mod:`repro.orders.wreach` return *exactly*
+  the same sets, sizes, wcol values, and path tie-breaks;
+* the perf baseline (``benchmarks/bench_p1_kernel_perf.py``) times the
+  flat kernels against this reference and records the speedups in
+  ``BENCH_kernels.json``.
+
+Do not optimize this module — its value is being the obviously-correct,
+definition-shaped version of Algorithm 3/4.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import OrderError
+from repro.graphs.graph import Graph
+from repro.orders.linear_order import LinearOrder
+
+__all__ = [
+    "naive_restricted_bfs",
+    "naive_wreach_sets",
+    "naive_wreach_sets_with_paths",
+    "naive_wreach_sizes",
+    "naive_wcol_of_order",
+]
+
+
+def naive_restricted_bfs(g: Graph, order: LinearOrder, root: int, radius: int) -> list[int]:
+    """Algorithm 3: BFS from ``root`` over vertices L-greater than root, depth <= r."""
+    rank = order.rank
+    root_rank = rank[root]
+    visited = {root}
+    q: deque[tuple[int, int]] = deque([(root, 0)])
+    out = [root]
+    while q:
+        w, dist = q.popleft()
+        if dist >= radius:
+            continue
+        for u in g.neighbors(w):
+            u = int(u)
+            if rank[u] > root_rank and u not in visited:
+                visited.add(u)
+                out.append(u)
+                q.append((u, dist + 1))
+    return out
+
+
+def naive_wreach_sets(g: Graph, order: LinearOrder, radius: int) -> list[list[int]]:
+    """``WReach_radius[G, L, v]`` for every v, each list sorted by L-rank."""
+    if g.n != order.n:
+        raise OrderError("order size does not match graph")
+    wreach: list[list[int]] = [[] for _ in range(g.n)]
+    for i in range(g.n):
+        u = int(order.by_rank[i])
+        for w in naive_restricted_bfs(g, order, u, radius):
+            wreach[w].append(u)
+    return wreach
+
+
+def naive_wreach_sets_with_paths(
+    g: Graph, order: LinearOrder, radius: int
+) -> tuple[list[list[int]], list[dict[int, tuple[int, ...]]]]:
+    """WReach sets plus lexicographically-least shortest witness paths."""
+    if g.n != order.n:
+        raise OrderError("order size does not match graph")
+    rank = order.rank
+    wreach: list[list[int]] = [[] for _ in range(g.n)]
+    paths: list[dict[int, tuple[int, ...]]] = [dict() for _ in range(g.n)]
+    for i in range(g.n):
+        u = int(order.by_rank[i])
+        # BFS with parent tracking; explore neighbors in ascending rank so
+        # the first discovery is the lexicographically least shortest path.
+        parent: dict[int, int] = {u: u}
+        q: deque[tuple[int, int]] = deque([(u, 0)])
+        reach = [u]
+        while q:
+            w, dist = q.popleft()
+            if dist >= radius:
+                continue
+            nbrs = sorted((int(x) for x in g.neighbors(w)), key=lambda x: rank[x])
+            for x in nbrs:
+                if rank[x] > rank[u] and x not in parent:
+                    parent[x] = w
+                    reach.append(x)
+                    q.append((x, dist + 1))
+        for w in reach:
+            wreach[w].append(u)
+            if w == u:
+                continue  # the trivial length-0 path is not stored
+            path = [w]
+            while path[-1] != u:
+                path.append(parent[path[-1]])
+            paths[w][u] = tuple(path)
+    return wreach, paths
+
+
+def naive_wreach_sizes(g: Graph, order: LinearOrder, radius: int) -> np.ndarray:
+    """``|WReach_radius[v]|`` per vertex."""
+    sizes = np.zeros(g.n, dtype=np.int64)
+    for i in range(g.n):
+        u = int(order.by_rank[i])
+        for w in naive_restricted_bfs(g, order, u, radius):
+            sizes[w] += 1
+    return sizes
+
+
+def naive_wcol_of_order(g: Graph, order: LinearOrder, radius: int) -> int:
+    """``max_v |WReach_radius[G, L, v]|`` — the witnessed wcol bound."""
+    if g.n == 0:
+        return 0
+    return int(naive_wreach_sizes(g, order, radius).max())

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphError
+from repro.graphs import generators as gen
 from repro.graphs.build import empty_graph, from_edges
 from repro.graphs.graph import Graph
 
@@ -173,3 +174,31 @@ def test_average_and_max_degree():
 def test_adjacency_lists_roundtrip():
     g = from_edges(3, [(0, 1), (1, 2)])
     assert g.adjacency_lists() == [[1], [0, 2], [1]]
+
+
+def test_subgraph_empty_selection():
+    g = gen.grid_2d(3, 3)
+    h, mapping = g.subgraph([])
+    assert h.n == 0 and h.m == 0
+    assert mapping.tolist() == []
+
+
+def test_subgraph_full_selection_roundtrip():
+    g = gen.grid_2d(4, 5)
+    h, mapping = g.subgraph(range(g.n))
+    assert h == g
+    assert mapping.tolist() == list(range(g.n))
+
+
+def test_subgraph_isolated_and_validated():
+    # Selection mixing connected pairs and isolated vertices; rows must
+    # stay strictly sorted so full Graph validation passes.
+    g = gen.grid_2d(5, 5)
+    nodes = [0, 1, 7, 13, 24]
+    h, mapping = g.subgraph(nodes)
+    h2 = Graph(h.indptr.copy(), h.indices.copy())  # re-validate
+    assert h2 == h
+    assert mapping.tolist() == sorted(nodes)
+    for i, u in enumerate(mapping):
+        for j, v in enumerate(mapping):
+            assert h.has_edge(i, j) == g.has_edge(int(u), int(v))

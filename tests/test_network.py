@@ -193,3 +193,94 @@ def test_inbox_sorted_by_sender():
     g = gen.star_graph(5)
     Network(g, Model.CONGEST_BC, lambda v: Recorder()).run()
     assert received[0] == [1, 2, 3, 4]
+
+
+class OneShotBroadcast(NodeAlgorithm):
+    """Broadcasts a fixed payload once, then halts."""
+
+    def __init__(self, payload) -> None:
+        super().__init__()
+        self.payload = payload
+
+    def on_start(self, ctx):
+        self.halted = True
+        return self.payload
+
+    def on_round(self, ctx, inbox):  # pragma: no cover
+        self.halted = True
+        return None
+
+
+def test_total_words_counts_every_edge_copy():
+    """Per-edge semantics pinned: a w-word broadcast over degree d costs d*w."""
+    g = gen.star_graph(5)  # center degree 4, leaves degree 1
+    payload = (1, 2, 3)  # 3 words
+    net = Network(g, Model.CONGEST_BC, lambda v: OneShotBroadcast(payload))
+    res = net.run()
+    # One round of traffic: center sends 4 copies, each leaf sends 1.
+    assert len(res.round_stats) == 1
+    stats = res.round_stats[0]
+    assert stats.messages == 2 * g.m == 8
+    assert stats.total_words == 8 * 3
+    assert res.total_words == 24
+    assert stats.max_payload_words == 3
+
+
+def test_broadcast_words_counts_one_payload_per_source():
+    """Distinct-broadcast semantics: each sender's payload counted once."""
+    g = gen.star_graph(5)
+    payload = (1, 2, 3)
+    res = Network(g, Model.CONGEST_BC, lambda v: OneShotBroadcast(payload)).run()
+    stats = res.round_stats[0]
+    # 5 senders, one 3-word broadcast each — fan-out does not multiply.
+    assert stats.broadcast_words == 5 * 3
+    assert res.total_broadcast_words == 15
+    # CONGEST_BC invariant: per-edge traffic = sum over receivers, so it
+    # always dominates the distinct-broadcast volume.
+    assert res.total_words >= res.total_broadcast_words
+
+
+def test_broadcast_and_total_words_coincide_for_point_to_point():
+    class OneShotP2P(NodeAlgorithm):
+        def on_start(self, ctx):
+            self.halted = True
+            return {u: (ctx.node, u) for u in ctx.neighbors}
+
+        def on_round(self, ctx, inbox):  # pragma: no cover
+            return None
+
+    g = gen.path_graph(3)
+    res = Network(g, Model.CONGEST, lambda v: OneShotP2P()).run()
+    stats = res.round_stats[0]
+    # Each directed edge carries its own distinct 2-word message.
+    assert stats.messages == 4
+    assert stats.total_words == stats.broadcast_words == 8
+
+
+def test_isolated_vertex_broadcast_costs_nothing():
+    from repro.graphs.build import from_edges
+
+    class Talk(NodeAlgorithm):
+        def on_start(self, ctx):
+            self.halted = True
+            return (1, 2, 3, 4, 5)
+
+        def on_round(self, ctx, inbox):  # pragma: no cover
+            return None
+
+    g = from_edges(3, [(0, 1)])  # vertex 2 is isolated
+    res = Network(g, Model.CONGEST_BC, lambda v: Talk()).run()
+    # The isolated vertex's "broadcast" reaches nobody and is not traffic:
+    # neither per-edge nor distinct accounting may see it.
+    assert res.round_stats[0].messages == 2
+    assert res.round_stats[0].total_words == 10
+    assert res.round_stats[0].broadcast_words == 10
+    assert res.max_payload_words == 5
+
+
+def test_context_neighbor_set_cached_and_sorted():
+    g = gen.star_graph(4)
+    net = Network(g, Model.CONGEST_BC, lambda v: OneShotBroadcast(0))
+    ctx = net.contexts[0]
+    assert ctx.neighbors == tuple(sorted(ctx.neighbors))
+    assert ctx.neighbor_set == frozenset(ctx.neighbors)

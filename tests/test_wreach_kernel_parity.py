@@ -1,0 +1,167 @@
+"""Flat-array WReach kernels vs the naive reference — exact parity.
+
+The kernels in :mod:`repro.orders.wreach` (bit-parallel batch sweep,
+epoch-stamped scalar BFS) must reproduce the definition-shaped reference
+in :mod:`repro.orders.wreach_ref` *exactly*: same sets in the same
+(rank-sorted) member order, same sizes, same wcol values, and the same
+lexicographically-least shortest witness paths.  Any deviation is a bug
+in the fast kernel, never an acceptable approximation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs import random_models as rm
+from repro.graphs.build import from_edges
+from repro.orders.linear_order import LinearOrder
+from repro.orders import wreach as flat
+from repro.orders import wreach_ref as naive
+from repro.orders.degeneracy import degeneracy_order
+
+FIXTURES = {
+    "grid": lambda: gen.grid_2d(5, 4),
+    "tree": lambda: rm.random_tree(60, seed=7),
+    "ktree": lambda: gen.k_tree(48, 3, seed=5),
+    "random": lambda: rm.gnm_random(40, 95, seed=3),
+    "cycle": lambda: gen.cycle_graph(17),
+    "complete": lambda: gen.complete_graph(7),
+    "star": lambda: gen.star_graph(12),
+}
+
+
+def orders_for(g, seeds=(0, 1, 2)):
+    """A structured order plus a few random ones (property-style)."""
+    if g.n:
+        yield degeneracy_order(g)[0]
+    yield LinearOrder.identity(g.n)
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        yield LinearOrder.from_sequence(rng.permutation(g.n))
+
+
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+@pytest.mark.parametrize("radius", [1, 2, 3])
+def test_sets_sizes_wcol_parity(fixture, radius):
+    g = FIXTURES[fixture]()
+    for order in orders_for(g):
+        assert flat.wreach_sets(g, order, radius) == naive.naive_wreach_sets(
+            g, order, radius
+        )
+        assert np.array_equal(
+            flat.wreach_sizes(g, order, radius),
+            naive.naive_wreach_sizes(g, order, radius),
+        )
+        assert flat.wcol_of_order(g, order, radius) == naive.naive_wcol_of_order(
+            g, order, radius
+        )
+
+
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+@pytest.mark.parametrize("radius", [1, 2, 3])
+def test_path_tie_break_parity(fixture, radius):
+    """Same sets AND byte-identical witness paths (Algorithm 4 tie rule)."""
+    g = FIXTURES[fixture]()
+    for order in orders_for(g, seeds=(0, 1)):
+        wf, pf = flat.wreach_sets_with_paths(g, order, radius)
+        wn, pn = naive.naive_wreach_sets_with_paths(g, order, radius)
+        assert wf == wn
+        assert pf == pn
+
+
+@pytest.mark.parametrize("radius", [0, 1, 2, 4])
+def test_restricted_bfs_discovery_order_parity(radius):
+    g = FIXTURES["grid"]()
+    for order in orders_for(g, seeds=(0,)):
+        for root in range(g.n):
+            assert flat.restricted_bfs(g, order, root, radius) == (
+                naive.naive_restricted_bfs(g, order, root, radius)
+            )
+
+
+def test_batch_kernel_engages_above_small_threshold():
+    """Graphs beyond the scalar fallback exercise the bit-parallel sweep."""
+    g = rm.random_tree(flat._SMALL_N + 300, seed=11)
+    for order in orders_for(g, seeds=(0, 1)):
+        assert flat.wreach_sets(g, order, 2) == naive.naive_wreach_sets(g, order, 2)
+        assert np.array_equal(
+            flat.wreach_sizes(g, order, 3), naive.naive_wreach_sizes(g, order, 3)
+        )
+
+
+def test_multi_batch_boundaries():
+    """Roots spanning several 512-root batches stay in rank order."""
+    g = gen.k_tree(flat._WORD * flat._WORDS * 2 + 77, 3, seed=9)
+    order, _ = degeneracy_order(g)
+    sets = flat.wreach_sets(g, order, 2)
+    assert sets == naive.naive_wreach_sets(g, order, 2)
+    rank = order.rank
+    for members in sets:
+        ranks = [int(rank[u]) for u in members]
+        assert ranks == sorted(ranks)
+
+
+@pytest.mark.parametrize("radius", [0, 1, 2])
+def test_edge_cases(radius):
+    cases = [
+        from_edges(0, []),  # empty graph
+        from_edges(1, []),  # single vertex
+        from_edges(5, []),  # isolated vertices only
+        from_edges(7, [(0, 1), (2, 3), (5, 6)]),  # disconnected
+    ]
+    for g in cases:
+        for order in orders_for(g, seeds=(0,)):
+            assert flat.wreach_sets(g, order, radius) == naive.naive_wreach_sets(
+                g, order, radius
+            )
+            assert np.array_equal(
+                flat.wreach_sizes(g, order, radius),
+                naive.naive_wreach_sizes(g, order, radius),
+            )
+            wf, pf = flat.wreach_sets_with_paths(g, order, radius)
+            wn, pn = naive.naive_wreach_sets_with_paths(g, order, radius)
+            assert (wf, pf) == (wn, pn)
+
+
+def test_radius_zero_and_negative_like_reference():
+    g = FIXTURES["grid"]()
+    order = LinearOrder.identity(g.n)
+    assert flat.wreach_sets(g, order, 0) == [[v] for v in range(g.n)]
+    assert flat.wcol_of_order(g, order, 0) == 1
+
+
+def test_shared_adjacency_matches_fresh():
+    """Passing a cached RankedAdjacency cannot change any output."""
+    g = gen.k_tree(700, 3, seed=5)
+    order, _ = degeneracy_order(g)
+    adj = flat.RankedAdjacency(g, order)
+    for reach in (1, 2, 4):
+        assert flat.wreach_sets(g, order, reach, adj=adj) == flat.wreach_sets(
+            g, order, reach
+        )
+    w1, p1 = flat.wreach_sets_with_paths(g, order, 3, adj=adj)
+    w2, p2 = flat.wreach_sets_with_paths(g, order, 3)
+    assert (w1, p1) == (w2, p2)
+
+
+def test_mismatched_order_raises():
+    from repro.errors import OrderError
+
+    g = gen.path_graph(4)
+    with pytest.raises(OrderError):
+        flat.wreach_sets(g, LinearOrder.identity(5), 1)
+    with pytest.raises(OrderError):
+        flat.wreach_sets_with_paths(g, LinearOrder.identity(5), 1)
+
+
+def test_adjacency_for_wrong_order_rejected():
+    from repro.errors import OrderError
+
+    g = gen.k_tree(40, 3, seed=5)
+    order_a, _ = degeneracy_order(g)
+    order_b = LinearOrder.from_sequence(
+        np.random.default_rng(1).permutation(g.n)
+    )
+    adj = flat.RankedAdjacency(g, order_a)
+    with pytest.raises(OrderError):
+        flat.wreach_sets(g, order_b, 2, adj=adj)
