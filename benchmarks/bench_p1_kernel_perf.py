@@ -1,14 +1,18 @@
-"""P1 — kernel perf baseline: flat-array WReach vs the naive reference.
+"""P1 — kernel perf baseline: flat/batch kernels vs their references.
 
-Times the two hot kernels this repo's guarantees are computed with:
+Times the hot kernels this repo's guarantees are computed with:
 
 * ``wreach_sets`` / ``wcol`` / ``wreach_sets_with_paths`` — the
   flat-array kernels of :mod:`repro.orders.wreach` against the retained
   definition-shaped reference in :mod:`repro.orders.wreach_ref`, at the
   Theorem-5 horizon ``2r``;
-* the ``domset_bc`` CONGEST_BC simulation — wall time, rounds, and both
-  traffic notions (per-edge ``total_words`` vs distinct
-  ``broadcast_words``) after the simulator's broadcast fast path.
+* the smallest-last peeling of :mod:`repro.orders.degeneracy` against
+  the reference loop retained in :mod:`repro.orders.degeneracy_ref`
+  (exact same removal sequence, asserted before timing);
+* the ``domset_bc`` CONGEST_BC simulation on **both simulator
+  engines** — the vectorized batch round engine vs the per-node
+  reference loop — wall time, rounds, and traffic (identical outputs
+  and statistics are asserted before anything is timed).
 
 Results go to ``BENCH_kernels.json`` at the repo root (the perf
 trajectory later PRs are judged against) and a human-readable table in
@@ -19,11 +23,12 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_p1_kernel_perf.py            # full
     PYTHONPATH=src python benchmarks/bench_p1_kernel_perf.py --smoke    # CI
 
-``--smoke`` runs a small instance set and **fails (exit 1)** if any flat
-kernel measures slower than the naive reference — a relative regression
-gate that needs no flaky absolute-time thresholds.  Every timing is the
-minimum over ``--repeats`` runs; outputs are asserted identical to the
-reference before anything is timed.
+``--smoke`` runs a small instance set and **fails (exit 1)** if any
+flat/batch kernel measures slower than its reference — a relative
+regression gate that needs no flaky absolute-time thresholds.  Every
+timing is the minimum over ``--repeats`` runs (simulations run once);
+outputs are asserted identical to the reference before anything is
+timed.
 """
 
 from __future__ import annotations
@@ -43,6 +48,8 @@ from repro.distributed.domset_bc import run_domset_bc  # noqa: E402
 from repro.graphs import generators as gen  # noqa: E402
 from repro.graphs import random_models as rm  # noqa: E402
 from repro.graphs.components import largest_component  # noqa: E402
+from repro.orders import degeneracy as degen_flat  # noqa: E402
+from repro.orders import degeneracy_ref as degen_naive  # noqa: E402
 from repro.orders import wreach as flat  # noqa: E402
 from repro.orders import wreach_ref as naive  # noqa: E402
 from repro.orders.degeneracy import degeneracy_order  # noqa: E402
@@ -56,31 +63,41 @@ def _geometric(n: int, seed: int):
     return h
 
 
-#: (name, family, builder, include domset_bc simulation)
+#: (name, family, builder)
 FULL_INSTANCES = [
-    ("grid32", "grid", lambda: gen.grid_2d(32, 32), True),
-    ("grid64", "grid", lambda: gen.grid_2d(64, 64), True),
-    ("grid128", "grid", lambda: gen.grid_2d(128, 128), False),
-    ("ktree1000", "k-tree", lambda: gen.k_tree(1000, 3, seed=15), True),
-    ("ktree4000", "k-tree", lambda: gen.k_tree(4000, 3, seed=15), True),
-    ("ktree12000", "k-tree", lambda: gen.k_tree(12000, 3, seed=15), False),
-    ("delaunay600", "planar", lambda: rm.delaunay_graph(600, seed=12)[0], True),
-    ("delaunay2000", "planar", lambda: rm.delaunay_graph(2000, seed=12)[0], True),
-    ("delaunay6000", "planar", lambda: rm.delaunay_graph(6000, seed=12)[0], False),
+    ("grid32", "grid", lambda: gen.grid_2d(32, 32)),
+    ("grid64", "grid", lambda: gen.grid_2d(64, 64)),
+    ("grid128", "grid", lambda: gen.grid_2d(128, 128)),
+    ("ktree1000", "k-tree", lambda: gen.k_tree(1000, 3, seed=15)),
+    ("ktree4000", "k-tree", lambda: gen.k_tree(4000, 3, seed=15)),
+    ("ktree12000", "k-tree", lambda: gen.k_tree(12000, 3, seed=15)),
+    ("delaunay600", "planar", lambda: rm.delaunay_graph(600, seed=12)[0]),
+    ("delaunay2000", "planar", lambda: rm.delaunay_graph(2000, seed=12)[0]),
+    ("delaunay6000", "planar", lambda: rm.delaunay_graph(6000, seed=12)[0]),
     # The suite's largest instance — planar Delaunay, the paper's core
     # class; BENCH_kernels.json's headline speedups come from this row.
-    ("delaunay22000", "planar", lambda: rm.delaunay_graph(22000, seed=12)[0], False),
-    ("geometric2000", "random-BE", lambda: _geometric(2000, 13), True),
-    ("geometric8000", "random-BE", lambda: _geometric(8000, 13), False),
-    ("geometric20000", "random-BE", lambda: _geometric(20000, 13), False),
+    ("delaunay22000", "planar", lambda: rm.delaunay_graph(22000, seed=12)[0]),
+    ("geometric2000", "random-BE", lambda: _geometric(2000, 13)),
+    ("geometric8000", "random-BE", lambda: _geometric(8000, 13)),
+    ("geometric20000", "random-BE", lambda: _geometric(20000, 13)),
 ]
 
 SMOKE_INSTANCES = [
-    ("grid16", "grid", lambda: gen.grid_2d(16, 16), True),
-    ("ktree300", "k-tree", lambda: gen.k_tree(300, 3, seed=15), True),
-    ("delaunay300", "planar", lambda: rm.delaunay_graph(300, seed=12)[0], True),
-    ("geometric600", "random-BE", lambda: _geometric(600, 13), True),
+    ("grid16", "grid", lambda: gen.grid_2d(16, 16)),
+    ("ktree300", "k-tree", lambda: gen.k_tree(300, 3, seed=15)),
+    ("delaunay300", "planar", lambda: rm.delaunay_graph(300, seed=12)[0]),
+    ("geometric600", "random-BE", lambda: _geometric(600, 13)),
 ]
+
+#: Per-instance speedup rows; the smoke gate fails when any of them
+#: measures slower than its reference.
+GATED_KERNELS = (
+    "wreach_sets",
+    "wcol_kernel",
+    "wreach_paths",
+    "degeneracy",
+    "domset_bc",
+)
 
 
 def _best(fn, repeats: int) -> tuple[object, float]:
@@ -94,7 +111,7 @@ def _best(fn, repeats: int) -> tuple[object, float]:
     return value, best
 
 
-def bench_instance(name, family, build, run_domset, repeats):
+def bench_instance(name, family, build, repeats):
     g = build()
     order, _ = degeneracy_order(g)
     reach = 2 * RADIUS
@@ -127,7 +144,27 @@ def bench_instance(name, family, build, run_domset, repeats):
     if flat_paths != naive_paths:
         raise AssertionError(f"{name}: flat path kernel deviates from reference")
 
-    row = {
+    flat_seq, t_degen_flat = _best(
+        lambda: degen_flat._smallest_last_sequence(g), repeats
+    )
+    naive_seq, t_degen_naive = _best(
+        lambda: degen_naive.naive_smallest_last_sequence(g), repeats
+    )
+    if flat_seq != naive_seq:
+        raise AssertionError(f"{name}: flat degeneracy kernel deviates from reference")
+
+    # The simulator on its two engines: asserted identical, timed once
+    # each (simulations are too slow to repeat on the large instances).
+    ds_per, t_sim_per = _best(lambda: run_domset_bc(g, RADIUS, engine="pernode"), 1)
+    ds_bat, t_sim_bat = _best(lambda: run_domset_bc(g, RADIUS, engine="batch"), 1)
+    if (
+        ds_per.dominators != ds_bat.dominators
+        or ds_per.total_words != ds_bat.total_words
+        or ds_per.phase_rounds != ds_bat.phase_rounds
+    ):
+        raise AssertionError(f"{name}: batch domset_bc deviates from per-node")
+
+    return {
         "name": name,
         "family": family,
         "n": g.n,
@@ -149,16 +186,20 @@ def bench_instance(name, family, build, run_domset, repeats):
             "flat_s": t_paths_flat,
             "speedup": t_paths_naive / t_paths_flat,
         },
+        "degeneracy": {
+            "naive_s": t_degen_naive,
+            "flat_s": t_degen_flat,
+            "speedup": t_degen_naive / t_degen_flat,
+        },
+        "domset_bc": {
+            "pernode_s": t_sim_per,
+            "batch_s": t_sim_bat,
+            "speedup": t_sim_per / t_sim_bat,
+            "size": ds_bat.size,
+            "rounds": ds_bat.total_rounds,
+            "total_words": ds_bat.total_words,
+        },
     }
-    if run_domset:
-        ds, t_sim = _best(lambda: run_domset_bc(g, RADIUS), 1)
-        row["domset_bc"] = {
-            "wall_s": t_sim,
-            "size": ds.size,
-            "rounds": ds.total_rounds,
-            "total_words": ds.total_words,
-        }
-    return row
 
 
 def main(argv=None) -> int:
@@ -166,7 +207,7 @@ def main(argv=None) -> int:
     ap.add_argument(
         "--smoke",
         action="store_true",
-        help="small instances; exit 1 on any flat-vs-naive regression",
+        help="small instances; exit 1 on any kernel-vs-reference regression",
     )
     ap.add_argument("--repeats", type=int, default=3, help="timing repeats (min taken)")
     ap.add_argument(
@@ -184,14 +225,14 @@ def main(argv=None) -> int:
     )
 
     table = Table(
-        f"P1: flat-array WReach kernel vs naive reference (reach = 2r = {2 * RADIUS})",
-        ["instance", "n", "wcol", "sets x", "wcol x", "paths x", "domset_bc"],
+        f"P1: flat/batch kernels vs references (reach = 2r = {2 * RADIUS})",
+        ["instance", "n", "wcol", "sets x", "wcol x", "paths x", "degen x", "domset_bc"],
     )
     rows = []
-    for name, family, build, run_domset in instances:
-        row = bench_instance(name, family, build, run_domset, args.repeats)
+    for name, family, build in instances:
+        row = bench_instance(name, family, build, args.repeats)
         rows.append(row)
-        sim = row.get("domset_bc")
+        sim = row["domset_bc"]
         table.add(
             name,
             row["n"],
@@ -199,23 +240,28 @@ def main(argv=None) -> int:
             f"{row['wreach_sets']['speedup']:.1f}",
             f"{row['wcol_kernel']['speedup']:.1f}",
             f"{row['wreach_paths']['speedup']:.1f}",
-            f"{sim['wall_s'] * 1e3:.0f} ms / {sim['rounds']} rounds" if sim else "-",
+            f"{row['degeneracy']['speedup']:.1f}",
+            f"{sim['batch_s'] * 1e3:.0f} ms batch / "
+            f"{sim['pernode_s'] * 1e3:.0f} ms pernode ({sim['speedup']:.1f}x)",
         )
         print(
             f"  [{name}] sets {row['wreach_sets']['speedup']:.1f}x  "
             f"wcol {row['wcol_kernel']['speedup']:.1f}x  "
-            f"paths {row['wreach_paths']['speedup']:.1f}x",
+            f"paths {row['wreach_paths']['speedup']:.1f}x  "
+            f"degen {row['degeneracy']['speedup']:.1f}x  "
+            f"domset_bc {row['domset_bc']['speedup']:.1f}x",
             flush=True,
         )
 
     largest = max(rows, key=lambda r: r["n"])
     report = {
-        "schema": 1,
+        "schema": 2,
         "benchmark": "p1_kernel_perf",
         "mode": "smoke" if args.smoke else "full",
         "radius": RADIUS,
         "reach": 2 * RADIUS,
         "repeats": args.repeats,
+        "engines": ["batch", "pernode"],
         "instances": rows,
         "largest_instance": {
             "name": largest["name"],
@@ -223,6 +269,8 @@ def main(argv=None) -> int:
             "wreach_sets_speedup": largest["wreach_sets"]["speedup"],
             "wcol_speedup": largest["wcol_kernel"]["speedup"],
             "wreach_paths_speedup": largest["wreach_paths"]["speedup"],
+            "degeneracy_speedup": largest["degeneracy"]["speedup"],
+            "domset_bc_speedup": largest["domset_bc"]["speedup"],
         },
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")
@@ -235,13 +283,13 @@ def main(argv=None) -> int:
         slow = [
             (r["name"], kernel)
             for r in rows
-            for kernel in ("wreach_sets", "wcol_kernel", "wreach_paths")
+            for kernel in GATED_KERNELS
             if r[kernel]["speedup"] < 1.0
         ]
         if slow:
-            print(f"PERF REGRESSION: flat kernel slower than naive on {slow}")
+            print(f"PERF REGRESSION: kernel slower than its reference on {slow}")
             return 1
-        print("smoke ok: flat kernels at least as fast as naive everywhere")
+        print("smoke ok: flat/batch kernels at least as fast as references everywhere")
     return 0
 
 

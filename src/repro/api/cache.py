@@ -156,9 +156,20 @@ class PrecomputeCache:
         )
 
     def distributed_order(
-        self, g: Graph, mode: str, radius: int, threshold: int | None = None
+        self,
+        g: Graph,
+        mode: str,
+        radius: int,
+        threshold: int | None = None,
+        engine: str = "batch",
     ):
-        """The CONGEST_BC order computation for ``mode``, memoized."""
+        """The CONGEST_BC order computation for ``mode``, memoized.
+
+        ``engine`` picks the simulator path of a *miss*; it is not part
+        of the key because the batch and per-node executions are
+        output- and accounting-identical (the parity suite pins this),
+        so either engine's result serves every request.
+        """
         from repro.distributed.nd_order import (
             distributed_augmented_order,
             distributed_h_partition_order,
@@ -171,9 +182,9 @@ class PrecomputeCache:
 
         def compute():
             if mode == "h_partition":
-                return distributed_h_partition_order(g, threshold)
+                return distributed_h_partition_order(g, threshold, engine=engine)
             if mode == "augmented":
-                return distributed_augmented_order(g, radius, threshold)
+                return distributed_augmented_order(g, radius, threshold, engine=engine)
             raise ValueError(f"unknown order mode {mode!r}")
 
         return self._tables["dist_order"].get_or_compute(key, compute)

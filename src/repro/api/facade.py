@@ -47,6 +47,7 @@ def solve(
     with_lp: bool = False,
     validate: bool = False,
     seed: int = 0,
+    engine: str = "auto",
     params: Mapping[str, Any] | None = None,
     cache: PrecomputeCache | None = None,
 ) -> SolveResult:
@@ -67,6 +68,7 @@ def solve(
         with_lp=with_lp,
         validate=validate,
         seed=seed,
+        engine=engine,
         params=dict(params or {}),
     )
     return solve_request(request, cache=cache)
@@ -87,6 +89,10 @@ def solve_request(
         raise SolverError(f"{solver.name} has no connection phase")
     if request.radius < 0:
         raise SolverError("radius must be >= 0")
+    try:
+        engine = request.resolve_engine(caps)
+    except ValueError as exc:
+        raise SolverError(f"{solver.name}: {exc}") from exc
     cache = cache if cache is not None else default_cache()
 
     t0 = time.perf_counter()
@@ -94,6 +100,8 @@ def solve_request(
     wall = time.perf_counter() - t0
 
     extras: dict[str, Any] = dict(out.extras)
+    if engine is not None:
+        extras.setdefault("engine", engine)
     if out.order is not None:
         extras.setdefault("order", out.order)
     dominators = out.dominators

@@ -193,29 +193,36 @@ def _seq_tree_exact(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
 # dist.* — message-passing pipelines and distributed-charged baselines
 # ----------------------------------------------------------------------
 
-@register_solver(
-    "dist.congest",
-    SolverCapabilities(
-        model="CONGEST_BC",
-        supports_connect=True,
-        min_radius=1,
-        guarantee="|D| <= wcol_2r * OPT in O(r^2 log n) rounds (Thms 9/10)",
-        description="phased CONGEST_BC pipeline: order, WReachDist, election[, join]",
-    ),
+#: Shared with the adapter so the engine the façade reports and the one
+#: that actually runs resolve from the same declaration.
+_DIST_CONGEST_CAPS = SolverCapabilities(
+    model="CONGEST_BC",
+    supports_connect=True,
+    min_radius=1,
+    guarantee="|D| <= wcol_2r * OPT in O(r^2 log n) rounds (Thms 9/10)",
+    description="phased CONGEST_BC pipeline: order, WReachDist, election[, join]",
+    engines=("batch", "pernode"),
 )
+
+
+@register_solver("dist.congest", _DIST_CONGEST_CAPS)
 def _dist_congest(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
     from repro.distributed.connect_bc import run_connect_bc
     from repro.distributed.domset_bc import run_domset_bc
 
+    # Batch (vectorized rounds) unless the request pins "pernode"; the
+    # two paths are output- and stats-identical, so the shared
+    # distributed-order cache entry is engine-agnostic.
+    engine = req.resolve_engine(_DIST_CONGEST_CAPS)
     mode = req.params.get("order_mode", "h_partition")
     oc = cache.distributed_order(
-        req.graph, mode, req.radius, req.params.get("threshold")
+        req.graph, mode, req.radius, req.params.get("threshold"), engine=engine
     )
     if req.connect:
         # The Theorem-10 runner computes the dominating set on the way
         # to the join phase; running the Theorem-9 pipeline as well
         # would simulate WReach + election twice for identical sets.
-        conn = run_connect_bc(req.graph, req.radius, oc)
+        conn = run_connect_bc(req.graph, req.radius, oc, engine=engine)
         return SolverOutput(
             dominators=conn.dominators,
             connected_set=conn.connected_set,
@@ -226,7 +233,7 @@ def _dist_congest(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
             raw=conn,
             extras={"order_computation": oc, "connect_result": conn},
         )
-    ds = run_domset_bc(req.graph, req.radius, oc)
+    ds = run_domset_bc(req.graph, req.radius, oc, engine=engine)
     return SolverOutput(
         dominators=ds.dominators,
         dominator_of=ds.dominator_of,
@@ -247,6 +254,7 @@ def _dist_congest(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
         min_radius=1,
         guarantee="as dist.congest, one continuous protocol (fixed budgets)",
         description="single-execution CONGEST_BC run with the O(log n + r) schedule",
+        engines=("pernode",),  # interleaved phases; no batch port yet
     ),
 )
 def _dist_congest_unified(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:

@@ -67,6 +67,13 @@ class SolveRequest:
         record the verdict under ``extras["valid"]``.
     seed:
         Seed for randomized solvers (ruling set, KW-LP rounding).
+    engine:
+        Simulator execution path for solvers that declare one:
+        ``"batch"`` (vectorized round engine), ``"pernode"`` (the
+        per-node reference loop), or ``"auto"`` (default — batch where
+        the solver supports it).  Results are identical either way; the
+        flag trades wall time for the reference execution.  Requesting
+        an engine a solver does not declare is rejected upfront.
     params:
         Solver-specific knobs, e.g. ``{"order_mode": "augmented"}`` for
         ``dist.congest`` or ``{"time_limit": 30.0}`` for ``seq.exact``.
@@ -82,7 +89,34 @@ class SolveRequest:
     with_lp: bool = False
     validate: bool = False
     seed: int = 0
+    engine: str = "auto"
     params: Mapping[str, Any] = field(default_factory=dict)
+
+    def resolve_engine(self, capabilities: "SolverCapabilities") -> str | None:
+        """The execution engine this request runs on, or ``None``.
+
+        ``"auto"`` resolves to the solver's preferred engine (the first
+        it declares); an explicit engine must be declared by the solver.
+        Engine-free solvers (every sequential one) resolve to ``None``.
+        """
+        if self.engine not in ("auto", "batch", "pernode"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} (use 'auto', 'batch' or 'pernode')"
+            )
+        if not capabilities.engines:
+            if self.engine != "auto":
+                raise ValueError(
+                    f"solver has no engine dimension (engine={self.engine!r} requested)"
+                )
+            return None
+        if self.engine == "auto":
+            return capabilities.engines[0]
+        if self.engine not in capabilities.engines:
+            raise ValueError(
+                f"engine {self.engine!r} not available (solver declares "
+                f"{capabilities.engines})"
+            )
+        return self.engine
 
 
 @dataclass(frozen=True)
@@ -98,6 +132,9 @@ class SolverCapabilities:
     requires: str | None = None  # e.g. "scipy", "tree input"
     guarantee: str = ""  # the approximation bound the solver carries
     description: str = ""
+    #: Simulator execution paths the solver can run on, preferred first
+    #: (e.g. ``("batch", "pernode")``); empty = no engine dimension.
+    engines: tuple[str, ...] = ()
 
     def supports_radius(self, radius: int) -> bool:
         if radius < self.min_radius:

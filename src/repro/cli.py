@@ -86,6 +86,7 @@ def _run_solve(g, args, *, algorithm: str, params: dict | None = None):
         with_lp=getattr(args, "lp", False),
         validate=True,
         seed=getattr(args, "seed", 0),
+        engine=getattr(args, "engine", "auto"),
         params=params or {},
     )
     if not res.extras.get("valid", True):
@@ -252,6 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--lp", action="store_true",
                          help="certify with the LP lower bound")
     p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--engine", choices=("auto", "batch", "pernode"),
+                         default="auto",
+                         help="simulator path for distributed solvers")
     p_solve.add_argument("--param", action="append", metavar="KEY=VALUE",
                          help="solver-specific parameter (repeatable)")
     p_solve.add_argument("--show", action="store_true", help="print the set")
@@ -278,6 +282,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument("--order-mode", choices=("h_partition", "augmented"),
                         default="h_partition",
                         help="distributed order construction (Theorem 3 vs 9)")
+    p_dist.add_argument("--engine", choices=("auto", "batch", "pernode"),
+                        default="auto",
+                        help="simulator path: vectorized batch rounds "
+                        "(default) or the per-node reference loop")
     p_dist.add_argument("--unified", action="store_true",
                         help="single continuous protocol (fixed phase budgets)")
     p_dist.set_defaults(fn=_cmd_distributed)

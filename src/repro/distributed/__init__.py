@@ -2,15 +2,16 @@
 
 from repro.distributed.model import Model, payload_words
 from repro.distributed.node import NodeAlgorithm, NodeContext
+from repro.distributed.engine import BatchAlgorithm, BatchContext, BatchEmission
 from repro.distributed.network import Network, RunResult, RoundStats
-from repro.distributed.beh_partition import HPartitionNode, run_h_partition
+from repro.distributed.beh_partition import HPartitionNode, HPartitionBatch, run_h_partition
 from repro.distributed.nd_order import (
     distributed_h_partition_order,
     distributed_augmented_order,
     OrderComputation,
 )
-from repro.distributed.wreach_bc import WReachNode, run_wreach_bc, WReachOutput
-from repro.distributed.domset_bc import run_domset_bc, DistributedDomSet
+from repro.distributed.wreach_bc import WReachNode, WReachBatch, run_wreach_bc, WReachOutput
+from repro.distributed.domset_bc import run_domset_bc, DistributedDomSet, ElectionBatch
 from repro.distributed.cover_bc import run_cover_bc
 from repro.distributed.connect_bc import run_connect_bc, DistributedConnectedDomSet
 from repro.distributed.local_engine import run_local_algorithm, BallInfo
@@ -29,19 +30,25 @@ __all__ = [
     "payload_words",
     "NodeAlgorithm",
     "NodeContext",
+    "BatchAlgorithm",
+    "BatchContext",
+    "BatchEmission",
     "Network",
     "RunResult",
     "RoundStats",
     "HPartitionNode",
+    "HPartitionBatch",
     "run_h_partition",
     "distributed_h_partition_order",
     "distributed_augmented_order",
     "OrderComputation",
     "WReachNode",
+    "WReachBatch",
     "run_wreach_bc",
     "WReachOutput",
     "run_domset_bc",
     "DistributedDomSet",
+    "ElectionBatch",
     "run_cover_bc",
     "run_connect_bc",
     "DistributedConnectedDomSet",

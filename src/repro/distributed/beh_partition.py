@@ -26,13 +26,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.distributed.engine import (
+    BatchAlgorithm,
+    BatchContext,
+    BatchEmission,
+    pick_deployment,
+)
 from repro.distributed.model import Model
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Inbox, NodeAlgorithm, NodeContext
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph
 
-__all__ = ["HPartitionNode", "HPartitionOutput", "run_h_partition"]
+__all__ = [
+    "HPartitionNode",
+    "HPartitionBatch",
+    "HPartitionOutput",
+    "run_h_partition",
+]
+
+# ``("active",)`` and ``("joined", level)`` measured by payload_words:
+# the tag strings count (len + 3) // 4 words, the level one word.
+_ACTIVE_WORDS = 2
+_JOINED_WORDS = 3
 
 
 @dataclass(frozen=True)
@@ -93,16 +111,95 @@ class HPartitionNode(NodeAlgorithm):
         return HPartitionOutput(self.level, dict(self.neighbor_levels))
 
 
+class HPartitionBatch(BatchAlgorithm):
+    """All vertices of the peeling protocol as structure-of-arrays state.
+
+    One transition per round over ``level`` / halted arrays; the
+    "active" pings of a round are not materialized as messages at all —
+    the receiving side of the protocol only ever needs the per-vertex
+    *count* of active neighbors, which is one CSR segment sum over the
+    previous round's sender mask.  Round schedule, emissions, and
+    outputs replicate :class:`HPartitionNode` exactly.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.level: np.ndarray | None = None
+        self.phase = 0
+        self.expect = "activity"  # alternates like the per-node state
+        self.prev_active: np.ndarray | None = None
+
+    def on_start(self, ctx: BatchContext) -> BatchEmission | None:
+        n = ctx.n
+        self.halted = np.zeros(n, dtype=bool)
+        self.level = np.full(n, -1, dtype=np.int64)
+        self.phase = 1
+        self.expect = "activity"
+        # Everyone broadcasts ("active",); the engine drops isolated
+        # senders from the statistics, the count below never sees them.
+        self.prev_active = np.ones(n, dtype=bool)
+        senders = np.arange(n, dtype=np.int64)
+        return BatchEmission(senders, np.full(n, _ACTIVE_WORDS, dtype=np.int64))
+
+    def on_round(self, ctx: BatchContext, round_index: int) -> BatchEmission | None:
+        thr = int(ctx.advice["threshold"])
+        level = self.level
+        assert level is not None and self.prev_active is not None
+        if self.expect == "activity":
+            # Delivered this round: "active" pings from the previous
+            # round's senders.  A still-unleveled vertex with at most
+            # ``threshold`` active neighbors joins and announces.
+            active_cnt = ctx.neighbor_counts(self.prev_active)
+            joiners = (level == -1) & (active_cnt <= thr)
+            level[joiners] = self.phase
+            self.expect = "join"
+            senders = np.flatnonzero(joiners)
+            if len(senders) == 0:
+                return None
+            return BatchEmission(senders, np.full(len(senders), _JOINED_WORDS, dtype=np.int64))
+        # "join" round: the announcements are already visible in ``level``
+        # (exactly the joins a per-node vertex has received by now); a
+        # joined vertex halts once every neighbor's level is known.
+        unjoined_nbrs = ctx.neighbor_counts(level == -1)
+        self.halted |= (level != -1) & (unjoined_nbrs == 0)
+        self.expect = "activity"
+        self.phase += 1
+        still_active = level == -1
+        self.prev_active = still_active
+        senders = np.flatnonzero(still_active)
+        if len(senders) == 0:
+            return None
+        return BatchEmission(senders, np.full(len(senders), _ACTIVE_WORDS, dtype=np.int64))
+
+    def outputs(self, ctx: BatchContext) -> dict[int, HPartitionOutput]:
+        level = self.level
+        assert level is not None
+        levels = level.tolist()
+        g = ctx.graph
+        out = {}
+        for v in range(ctx.n):
+            nbrs = g.neighbors(v).tolist()
+            out[v] = HPartitionOutput(levels[v], {u: levels[u] for u in nbrs})
+        return out
+
+
 def run_h_partition(
-    g: Graph, threshold: int, max_rounds: int = 10_000
+    g: Graph, threshold: int, max_rounds: int = 10_000, engine: str = "batch"
 ) -> tuple[list[HPartitionOutput], RunResult]:
-    """Run the protocol; returns per-node outputs and the traffic record."""
+    """Run the protocol; returns per-node outputs and the traffic record.
+
+    ``engine`` picks the execution path: ``"batch"`` (default) runs the
+    vectorized :class:`HPartitionBatch` on the batch engine,
+    ``"pernode"`` the original :class:`HPartitionNode` loop.  Outputs
+    and statistics are identical either way.
+    """
     if threshold < 1:
         raise SimulationError("threshold must be >= 1")
+    factory = pick_deployment(engine, HPartitionBatch, lambda v: HPartitionNode())
     net = Network(
         g,
         Model.CONGEST_BC,
-        lambda v: HPartitionNode(),
+        factory,
         advice={"threshold": threshold},
     )
     res = net.run(max_rounds=max_rounds)

@@ -105,14 +105,20 @@ def run_connect_bc(
     g: Graph,
     radius: int,
     order_computation: OrderComputation | None = None,
+    engine: str = "batch",
 ) -> DistributedConnectedDomSet:
-    """Full Theorem-10 pipeline in CONGEST_BC."""
+    """Full Theorem-10 pipeline in CONGEST_BC.
+
+    ``engine`` selects the simulator path of the order / WReachDist /
+    election phases (identical results either way); the join phase has
+    no batch port yet and always runs per-node.
+    """
     if radius < 0:
         raise SimulationError("radius must be >= 0")
-    oc = order_computation or distributed_h_partition_order(g)
+    oc = order_computation or distributed_h_partition_order(g, engine=engine)
     horizon = 2 * radius + 1
-    wouts, wres = run_wreach_bc(g, oc.class_ids, horizon)
-    eouts, eres = run_election(g, oc.class_ids, wouts, radius)
+    wouts, wres = run_wreach_bc(g, oc.class_ids, horizon, engine=engine)
+    eouts, eres = run_election(g, oc.class_ids, wouts, radius, engine=engine)
     in_domset = {v: eouts[v]["in_domset"] for v in range(g.n)}
     net = Network(
         g,

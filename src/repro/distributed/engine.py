@@ -1,0 +1,265 @@
+"""Batch round engine: vectorized execution of homogeneous protocols.
+
+The paper's CONGEST_BC protocols are *homogeneous* — every vertex runs
+the same small state machine per phase — which admits structure-of-
+arrays execution: one :class:`BatchAlgorithm` instance holds the state
+of *all* n vertices in flat numpy arrays (halted flags, counters, class
+ids, candidate tables as CSR-style slices) and advances a whole round
+with array operations instead of n Python method calls.
+
+Messages never become per-node inboxes here.  A protocol keeps its
+in-flight traffic as flat arrays (payload rows indexed by id, a
+``(src, payload-id)`` pair per broadcast) and "delivers" by CSR fan-out
+(:meth:`BatchContext.fan_out`).  What the engine needs for accounting
+is only the :class:`BatchEmission` of each round: which vertices
+broadcast and how many words each payload measures.  From the emission
+it reproduces exactly the :class:`~repro.distributed.network.RoundStats`
+the per-node path computes — ``total_words`` weights each payload by
+its fan-out (per-edge accounting), ``broadcast_words`` counts each
+payload once (distinct-broadcast accounting), and isolated senders are
+dropped just as ``Network._collect`` drops broadcasts with no incident
+edge.
+
+The contract mirrors :class:`~repro.distributed.node.NodeAlgorithm`
+round for round, so a batch port of a per-node protocol produces
+bit-identical outputs *and* round/traffic statistics (pinned by
+``tests/test_batch_engine_parity.py``):
+
+* ``on_start(ctx)`` — round 0: initialize the state arrays, return the
+  first emission (or ``None``);
+* ``on_round(ctx, round_index)`` — consume the previous round's
+  in-flight traffic (the algorithm's own arrays), transition, return
+  this round's emission;
+* ``halted`` — boolean array; the engine stops when every vertex has
+  halted and nothing was emitted;
+* ``outputs(ctx)`` — per-vertex final outputs, same objects the
+  per-node original produces.
+
+The engine is broadcast-shaped: an emission is one payload per sender,
+heard by the whole neighborhood (the CONGEST_BC primitive).  Protocols
+needing point-to-point addressing stay on the per-node path, which
+:class:`~repro.distributed.network.Network` keeps verbatim as the
+general/heterogeneous fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+import numpy as np
+
+from repro.distributed.model import Model
+from repro.errors import ModelViolation, SimulationError
+from repro.graphs.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports us)
+    from repro.distributed.network import RunResult
+
+__all__ = [
+    "BatchContext",
+    "BatchEmission",
+    "BatchAlgorithm",
+    "execute_batch",
+    "pick_deployment",
+]
+
+
+class BatchContext:
+    """What a batch algorithm knows: the graph in CSR form plus advice.
+
+    The per-node :class:`~repro.distributed.node.NodeContext` exposes one
+    vertex's neighborhood; this is the same knowledge for all vertices at
+    once, with the two CSR primitives every vectorized round reduces to.
+    """
+
+    __slots__ = ("graph", "model", "n", "indptr", "indices", "degrees", "advice")
+
+    def __init__(self, graph: Graph, model: Model, advice: Mapping[str, Any]):
+        self.graph = graph
+        self.model = model
+        self.n = graph.n
+        self.indptr = graph.indptr
+        self.indices = graph.indices
+        self.degrees = np.diff(graph.indptr)
+        self.advice = advice
+
+    def neighbor_counts(self, mask: np.ndarray) -> np.ndarray:
+        """Per-vertex count of neighbors with ``mask[u]`` set (int64).
+
+        One cumulative sum over the arc array; empty rows come out 0
+        without the ``reduceat`` empty-segment pitfall.
+        """
+        if len(self.indices) == 0:
+            return np.zeros(self.n, dtype=np.int64)
+        cs = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(mask[self.indices], dtype=np.int64))
+        )
+        return cs[self.indptr[1:]] - cs[self.indptr[:-1]]
+
+    def fan_out(self, srcs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Expand broadcasts: ``(receivers, origin)`` for the given senders.
+
+        ``receivers[i]`` hears the broadcast of ``srcs[origin[i]]``; one
+        entry per (sender, incident edge) pair, senders kept in input
+        order.  This is the flat-array materialization of delivering one
+        broadcast per sender to its whole neighborhood.
+        """
+        counts = self.degrees[srcs]
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        starts = self.indptr[srcs]
+        shifts = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]))
+        pos = np.repeat(starts - shifts, counts) + np.arange(total, dtype=np.int64)
+        receivers = self.indices[pos].astype(np.int64)
+        origin = np.repeat(np.arange(len(srcs), dtype=np.int64), counts)
+        return receivers, origin
+
+
+@dataclass(frozen=True)
+class BatchEmission:
+    """One round's outgoing traffic: a payload per broadcasting vertex.
+
+    ``senders[i]`` broadcasts a payload measuring ``words[i]`` words to
+    its whole neighborhood.  Protocols keep the payload *contents* in
+    their own flat arrays (payload-id indexed); the engine only needs
+    sizes and senders to account the round.  Isolated senders are
+    allowed — the engine drops them from the statistics exactly as the
+    per-node collector drops broadcasts with no incident edge.
+    """
+
+    senders: np.ndarray  # int64 vertex ids
+    words: np.ndarray  # int64 payload size per sender
+
+    def __post_init__(self) -> None:
+        if len(self.senders) != len(self.words):
+            raise SimulationError("emission senders/words length mismatch")
+
+    def __bool__(self) -> bool:
+        return len(self.senders) > 0
+
+
+def pick_deployment(engine: str, batch: "Callable[[], BatchAlgorithm]", pernode: Any):
+    """The ``Network`` deployment for an ``engine`` name.
+
+    Shared by the protocol ``run_*`` wrappers: validates the name, then
+    returns either a fresh :class:`BatchAlgorithm` (``batch`` is a
+    zero-argument constructor) or the per-node factory unchanged.
+    """
+    if engine == "batch":
+        return batch()
+    if engine == "pernode":
+        return pernode
+    raise SimulationError(f"unknown engine {engine!r} (use 'batch' or 'pernode')")
+
+
+class BatchAlgorithm:
+    """Base class for vectorized protocol phases (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.halted = np.zeros(0, dtype=bool)
+
+    # -- protocol ---------------------------------------------------------
+    def on_start(self, ctx: BatchContext) -> BatchEmission | None:
+        """Round-0 hook: allocate state arrays, emit the first broadcasts."""
+        raise NotImplementedError
+
+    def on_round(self, ctx: BatchContext, round_index: int) -> BatchEmission | None:
+        """Per-round transition; must be overridden."""
+        raise NotImplementedError
+
+    def outputs(self, ctx: BatchContext) -> dict[int, Any]:
+        """Per-vertex outputs after the run, keyed by vertex id."""
+        raise NotImplementedError
+
+
+def execute_batch(
+    graph: Graph,
+    model: Model,
+    alg: BatchAlgorithm,
+    advice: Mapping[str, Any],
+    words_per_round: int,
+    strict_bandwidth: bool,
+    max_rounds: int,
+) -> "RunResult":
+    """Run one batch algorithm to global halt, mirroring ``Network.run``.
+
+    The control flow is a transcription of the per-node loop at batch
+    granularity: round 0 is ``on_start``, each later round is one
+    ``on_round`` call, statistics are recorded only for rounds with
+    traffic, and the run ends when every vertex has halted with nothing
+    in flight.  ``rounds``, every :class:`RoundStats` field, and the
+    outputs therefore match the per-node execution of the same protocol
+    exactly.
+    """
+    from repro.distributed.network import RoundStats, RunResult
+
+    ctx = BatchContext(graph, model, advice)
+    check_bandwidth = strict_bandwidth and model.bounded_bandwidth
+
+    def account(round_index: int, emission: BatchEmission) -> RoundStats | None:
+        # Ascending-sender order, matching the per-node scan; degree-0
+        # broadcasts vanish as in Network._collect.
+        order = np.argsort(emission.senders, kind="stable")
+        senders = emission.senders[order]
+        words = emission.words[order]
+        fan = ctx.degrees[senders]
+        heard = fan > 0
+        senders, words, fan = senders[heard], words[heard], fan[heard]
+        if len(senders) == 0:
+            return None
+        if check_bandwidth:
+            over = words > words_per_round
+            if over.any():
+                w = int(words[np.argmax(over)])
+                raise ModelViolation(
+                    f"round {round_index}: payload of {w} words exceeds "
+                    f"bandwidth {words_per_round}"
+                )
+        return RoundStats(
+            round_index=round_index,
+            messages=int(fan.sum()),
+            total_words=int((words * fan).sum()),
+            max_payload_words=int(words.max()),
+            broadcast_words=int(words.sum()),
+        )
+
+    stats: list[RoundStats] = []
+    emission = alg.on_start(ctx)
+    if len(alg.halted) != graph.n:
+        raise SimulationError(
+            f"batch algorithm must size halted to n={graph.n} in on_start "
+            f"(got length {len(alg.halted)})"
+        )
+    pending = account(0, emission) if emission else None
+    rounds = 0
+    if pending is not None:
+        stats.append(pending)
+    # Quiet rounds (no traffic, no halts) are tolerated briefly, exactly
+    # as in the per-node loop: phase-counting vertices wait silently, but
+    # a long silent stretch with unhalted vertices is a deadlock.
+    quiet_grace = max(64, 4 * graph.n)
+    quiet = 0
+    while True:
+        if bool(alg.halted.all()) and pending is None:
+            break
+        if rounds >= max_rounds:
+            raise SimulationError(f"no global halt within {max_rounds} rounds")
+        rounds += 1
+        halted_before = int(alg.halted.sum())
+        delivered = pending is not None
+        emission = alg.on_round(ctx, rounds)
+        pending = account(rounds, emission) if emission else None
+        if pending is not None:
+            stats.append(pending)
+        progressed = (
+            pending is not None or delivered or int(alg.halted.sum()) != halted_before
+        )
+        quiet = 0 if progressed else quiet + 1
+        if quiet > quiet_grace:
+            stuck = np.flatnonzero(~alg.halted)[:5].tolist()
+            raise SimulationError(f"deadlock: nodes {stuck} never halt")
+    outputs = alg.outputs(ctx)
+    return RunResult(model, rounds, stats, outputs)

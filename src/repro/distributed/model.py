@@ -43,7 +43,7 @@ class Model(enum.Enum):
         return self is not Model.LOCAL
 
 
-def payload_words(payload: Any) -> int:
+def payload_words(payload: Any, memo: dict | None = None) -> int:
     """Size of a payload in O(log n)-bit words.
 
     Scalars (ints, floats, bools, None, enum members) count as one word;
@@ -52,20 +52,81 @@ def payload_words(payload: Any) -> int:
     receiver can parse a self-delimiting encoding within constant
     overhead per element, which we fold into the word).
     Objects may define ``__words__()`` to self-report.
+
+    ``memo`` (id -> ``(payload, words)``) caches the sizes of
+    *recursively immutable* payloads — tag strings, super-id tuples,
+    stored paths — across calls.  Message-heavy protocols re-broadcast
+    the same frozen sub-objects round after round; with a memo each is
+    recursed into once per object instead of once per appearance.  A
+    tuple is only cached when every element is itself frozen (a tuple
+    wrapping a list could grow behind the memo's back), and entries
+    keep a strong reference to the sized object so a recycled ``id``
+    can never alias a stale size (the caller bounds the memo's
+    lifetime, e.g. one simulation round).
     """
+    if memo is None:
+        return _payload_words_plain(payload)
+    return _payload_words_memo(payload, memo)[0]
+
+
+def _payload_words_plain(payload: Any) -> int:
     if payload is None or isinstance(payload, (bool, int, float, enum.Enum)):
         return 1
     if isinstance(payload, str):
         return max(1, (len(payload) + 3) // 4)
     if isinstance(payload, (tuple, list, set, frozenset)):
-        return sum(payload_words(x) for x in payload) if payload else 1
+        return sum(_payload_words_plain(x) for x in payload) if payload else 1
     if isinstance(payload, dict):
         if not payload:
             return 1
-        return sum(payload_words(k) + payload_words(v) for k, v in payload.items())
+        return sum(
+            _payload_words_plain(k) + _payload_words_plain(v)
+            for k, v in payload.items()
+        )
     words = getattr(payload, "__words__", None)
     if callable(words):
         return int(words())
+    raise ModelViolation(f"cannot size payload of type {type(payload).__name__}")
+
+
+def _payload_words_memo(payload: Any, memo: dict) -> tuple[int, bool]:
+    """(words, recursively-immutable?) with memoized frozen containers."""
+    if payload is None or isinstance(payload, (bool, int, float, enum.Enum)):
+        return 1, True
+    if isinstance(payload, str):
+        return max(1, (len(payload) + 3) // 4), True
+    if isinstance(payload, (tuple, frozenset)):
+        hit = memo.get(id(payload))
+        if hit is not None and hit[0] is payload:
+            return hit[1], True
+        if not payload:
+            memo[id(payload)] = (payload, 1)
+            return 1, True
+        total = 0
+        frozen = True
+        for x in payload:
+            w, f = _payload_words_memo(x, memo)
+            total += w
+            frozen &= f
+        if frozen:
+            memo[id(payload)] = (payload, total)
+        return total, frozen
+    if isinstance(payload, (list, set)):
+        total = sum(_payload_words_memo(x, memo)[0] for x in payload) if payload else 1
+        return total, False
+    if isinstance(payload, dict):
+        if not payload:
+            return 1, False
+        return (
+            sum(
+                _payload_words_memo(k, memo)[0] + _payload_words_memo(v, memo)[0]
+                for k, v in payload.items()
+            ),
+            False,
+        )
+    words = getattr(payload, "__words__", None)
+    if callable(words):
+        return int(words()), False
     raise ModelViolation(f"cannot size payload of type {type(payload).__name__}")
 
 

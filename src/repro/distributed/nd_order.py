@@ -74,15 +74,20 @@ def default_threshold(g: Graph) -> int:
 
 
 def distributed_h_partition_order(
-    g: Graph, threshold: int | None = None
+    g: Graph, threshold: int | None = None, engine: str = "batch"
 ) -> OrderComputation:
-    """Fully message-passing order: one H-partition run (see module doc)."""
+    """Fully message-passing order: one H-partition run (see module doc).
+
+    ``engine`` selects the simulator path (vectorized ``"batch"`` by
+    default, per-node ``"pernode"``); the resulting order and cost
+    accounting are identical either way.
+    """
     if g.n == 0:
         return OrderComputation(
             LinearOrder.identity(0), np.zeros(0, dtype=np.int64), 0, 0, 0, 0, "h_partition"
         )
     thr = default_threshold(g) if threshold is None else int(threshold)
-    outs, res = run_h_partition(g, thr)
+    outs, res = run_h_partition(g, thr, engine=engine)
     levels = np.asarray([o.level for o in outs], dtype=np.int64)
     max_level = int(levels.max())
     class_ids = max_level - levels  # early-peeled (low level) = L-greatest
@@ -99,7 +104,7 @@ def distributed_h_partition_order(
 
 
 def distributed_augmented_order(
-    g: Graph, radius: int, threshold: int | None = None
+    g: Graph, radius: int, threshold: int | None = None, engine: str = "batch"
 ) -> OrderComputation:
     """Theorem-3-structured order with charged augmentation phases."""
     from repro.graphs.build import from_edges
@@ -111,7 +116,7 @@ def distributed_augmented_order(
         )
     thr = default_threshold(g) if threshold is None else int(threshold)
     # Base orientation: a real message-passing H-partition of G.
-    base = distributed_h_partition_order(g, thr)
+    base = distributed_h_partition_order(g, thr, engine=engine)
     rounds = base.rounds
     norm_rounds = base.normalized_rounds
     max_words = base.max_payload_words
@@ -134,7 +139,7 @@ def distributed_augmented_order(
         # of length <= step; we run the H-partition for real (measuring
         # its phase count) and multiply its rounds by the routing factor.
         aug_thr = max(thr, default_threshold(aug))
-        _, aug_res = run_h_partition(aug, aug_thr)
+        _, aug_res = run_h_partition(aug, aug_thr, engine=engine)
         rounds += aug_res.rounds * step
         norm_rounds += aug_res.normalized_rounds(1) * step
         max_words = max(max_words, aug_res.max_payload_words)

@@ -14,13 +14,23 @@ Model enforcement:
 * ``strict_bandwidth`` — optionally reject any payload larger than
   ``words_per_round`` words instead of accounting it as pipelined.
 
-Hot-path design: outgoing traffic is kept as ``(src, dsts, payload)``
-records with ``dsts=None`` meaning "every neighbor", so a CONGEST_BC
-broadcast costs one record, one ``payload_words`` measurement, and one
-shared inbox pair instead of a tuple per edge; and because senders are
-always scanned in ascending id, inboxes arrive sorted by source and the
-old per-node, per-round ``sorted()`` disappears.  Accounting reports
-both per-edge ``total_words`` and per-source ``broadcast_words``.
+Hot-path design: outgoing traffic is kept as ``(src, dsts, payload,
+words)`` records with ``dsts=None`` meaning "every neighbor", so a
+CONGEST_BC broadcast costs one record, one ``payload_words``
+measurement (taken once at collection, memoized across shared frozen
+sub-payloads), and one shared inbox pair instead of a tuple per edge;
+and because senders are always scanned in ascending id, inboxes arrive
+sorted by source and the old per-node, per-round ``sorted()``
+disappears.  Accounting reports both per-edge ``total_words`` and
+per-source ``broadcast_words``.
+
+Two execution paths share this module's ``RunResult`` shape: the
+general per-node loop below (one ``on_round`` Python call per vertex
+per round — the fallback for heterogeneous deployments and the parity
+reference), and the vectorized fast path of
+:mod:`repro.distributed.engine`, taken automatically when the deployment
+is a single :class:`~repro.distributed.engine.BatchAlgorithm` covering
+every vertex.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.distributed.engine import BatchAlgorithm, execute_batch
 from repro.distributed.model import Model, normalized_rounds, payload_words
 from repro.distributed.node import NodeAlgorithm, NodeContext
 from repro.errors import ModelViolation, SimulationError
@@ -90,13 +101,23 @@ class RunResult:
 
 
 class Network:
-    """A synchronous network executing one algorithm instance per vertex."""
+    """A synchronous network executing one algorithm instance per vertex.
+
+    ``factory`` is either the usual per-vertex constructor (``v`` ->
+    :class:`NodeAlgorithm`) or a single
+    :class:`~repro.distributed.engine.BatchAlgorithm` instance covering
+    all vertices at once.  The latter is the all-batch deployment
+    ``run`` detects and executes on the vectorized fast path; anything
+    else — including heterogeneous per-node deployments mixing
+    algorithm classes — takes the per-node loop below unchanged.  The
+    chosen path is exposed as ``engine`` (``"batch"`` / ``"pernode"``).
+    """
 
     def __init__(
         self,
         graph: Graph,
         model: Model,
-        factory: Callable[[int], NodeAlgorithm],
+        factory: Callable[[int], NodeAlgorithm] | BatchAlgorithm,
         advice: Mapping[str, Any] | None = None,
         words_per_round: int = 1,
         strict_bandwidth: bool = False,
@@ -106,6 +127,20 @@ class Network:
         self.words_per_round = int(words_per_round)
         self.strict_bandwidth = bool(strict_bandwidth)
         adv = dict(advice or {})
+        self.advice = adv
+        # Memo for payload sizing: id -> (payload, words).  The payload
+        # reference keeps the id stable for the memo's lifetime, so the
+        # table can never alias a recycled object; cleared every round,
+        # which bounds retained payloads to one round's traffic while
+        # keeping the within-round sharing (one broadcast's sub-objects
+        # appearing across many records) that carries the win.
+        self._payload_memo: dict[int, tuple[Any, int]] = {}
+        if isinstance(factory, BatchAlgorithm):
+            self.batch: BatchAlgorithm | None = factory
+            self.contexts = []
+            self.nodes = []
+            return
+        self.batch = None
         self.contexts = [
             NodeContext(
                 node=v,
@@ -117,15 +152,28 @@ class Network:
         ]
         self.nodes = [factory(v) for v in range(graph.n)]
 
+    @property
+    def engine(self) -> str:
+        """Which execution path ``run`` takes for this deployment."""
+        return "batch" if self.batch is not None else "pernode"
+
     # ------------------------------------------------------------------
-    # A pending entry is ``(src, dsts, payload)`` where ``dsts`` is None
-    # for a broadcast (implicitly the sender's whole neighborhood).  A
-    # CONGEST_BC round over a graph with m edges is thus m entries short
-    # of the per-edge triple representation it replaced: the payload
-    # object, its measured word size, and its inbox pair are all shared
-    # across the fan-out instead of materialized once per edge.
-    def _collect(self, v: int, outgoing: Any) -> list[tuple[int, tuple[int, ...] | None, Any]]:
-        """Normalize a node's return value into (src, dsts, payload) records."""
+    # A pending entry is ``(src, dsts, payload, words)`` where ``dsts``
+    # is None for a broadcast (implicitly the sender's whole
+    # neighborhood).  A CONGEST_BC round over a graph with m edges is
+    # thus m entries short of the per-edge triple representation it
+    # replaced: the payload object, its measured word size, and its
+    # inbox pair are all shared across the fan-out instead of
+    # materialized once per edge.  The word size is measured here, once
+    # per record, with the network's identity memo — re-broadcast frozen
+    # sub-payloads (tag strings, super-id tuples, stored paths) are
+    # sized once per object instead of once per appearance, which is
+    # where message-heavy protocols like WReachDist spend their
+    # accounting time.
+    def _collect(
+        self, v: int, outgoing: Any
+    ) -> list[tuple[int, tuple[int, ...] | None, Any, int]]:
+        """Normalize a node's return value into (src, dsts, payload, words)."""
         if outgoing is None:
             return []
         ctx = self.contexts[v]
@@ -139,19 +187,43 @@ class Network:
             for dst, payload in outgoing.items():
                 if dst not in nbrs:
                     raise ModelViolation(f"node {v}: {dst} is not a neighbor")
-                records.append((v, (int(dst),), payload))
+                records.append(
+                    (v, (int(dst),), payload, payload_words(payload, self._payload_memo))
+                )
             return records
         # Broadcast: same payload on every incident edge (none to send if
         # the vertex is isolated — matches the old per-edge expansion).
         if not ctx.neighbors:
             return []
-        return [(v, None, outgoing)]
+        return [(v, None, outgoing, payload_words(outgoing, self._payload_memo))]
 
     def run(self, max_rounds: int = 10_000) -> RunResult:
-        """Run to global halt (or raise after ``max_rounds``)."""
+        """Run to global halt (or raise after ``max_rounds``).
+
+        All-batch deployments execute on the vectorized engine; the
+        result is bit-identical to what the per-node loop would produce
+        for the same protocol (the parity suite pins this).
+        """
+        if self.batch is not None:
+            return execute_batch(
+                self.graph,
+                self.model,
+                self.batch,
+                self.advice,
+                self.words_per_round,
+                self.strict_bandwidth,
+                max_rounds,
+            )
+        try:
+            return self._run_pernode(max_rounds)
+        finally:
+            self._payload_memo.clear()
+
+    def _run_pernode(self, max_rounds: int) -> RunResult:
+        """The general per-node loop (heterogeneous-deployment fallback)."""
         stats: list[RoundStats] = []
         # Round 0: on_start.
-        pending: list[tuple[int, tuple[int, ...] | None, Any]] = []
+        pending: list[tuple[int, tuple[int, ...] | None, Any, int]] = []
         for v in range(self.graph.n):
             if not self.nodes[v].halted:
                 pending.extend(self._collect(v, self.nodes[v].on_start(self.contexts[v])))
@@ -174,7 +246,7 @@ class Network:
             # ascending id, so each inbox is built already sorted by
             # sender — no per-round sort.
             inboxes: dict[int, list[tuple[int, Any]]] = {}
-            for src, dsts, payload in pending:
+            for src, dsts, payload, _words in pending:
                 entry = (src, payload)
                 for dst in self.contexts[src].neighbors if dsts is None else dsts:
                     inboxes.setdefault(dst, []).append(entry)
@@ -197,6 +269,10 @@ class Network:
                 pending.extend(msgs)
             if pending:
                 stats.append(self._account(rounds, pending))
+            # Bound the sizing memo to one round's traffic (the pending
+            # records themselves keep this round's payloads alive for
+            # delivery; only the size table is dropped).
+            self._payload_memo.clear()
             quiet = 0 if (progressed or pending) else quiet + 1
             if quiet > quiet_grace:
                 stuck = [v for v in range(self.graph.n) if not self.nodes[v].halted]
@@ -205,15 +281,16 @@ class Network:
         return RunResult(self.model, rounds, stats, outputs)
 
     def _account(
-        self, round_index: int, msgs: Sequence[tuple[int, tuple[int, ...] | None, Any]]
+        self,
+        round_index: int,
+        msgs: Sequence[tuple[int, tuple[int, ...] | None, Any, int]],
     ) -> RoundStats:
         total = 0
         biggest = 0
         count = 0
         distinct = 0
         check_bandwidth = self.strict_bandwidth and self.model.bounded_bandwidth
-        for src, dsts, payload in msgs:
-            w = payload_words(payload)
+        for src, dsts, _payload, w in msgs:
             fan_out = self.contexts[src].degree if dsts is None else len(dsts)
             count += fan_out
             total += w * fan_out

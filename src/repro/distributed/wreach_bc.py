@@ -31,15 +31,28 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.distributed.engine import (
+    BatchAlgorithm,
+    BatchContext,
+    BatchEmission,
+    pick_deployment,
+)
 from repro.distributed.model import Model
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Inbox, NodeAlgorithm, NodeContext
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph
 
-__all__ = ["WReachNode", "WReachOutput", "run_wreach_bc"]
+__all__ = ["WReachNode", "WReachBatch", "WReachOutput", "run_wreach_bc"]
 
 Sid = tuple  # (class_id, vertex_id)
+
+#: ``payload_words("paths")`` — the tag of every WReachDist message.
+_TAG_WORDS = 2
+#: Words per super-id on a stored path (class id + vertex id).
+_SID_WORDS = 2
+#: Padding value in fixed-width path matrices (never a valid sid key).
+_PAD = -1
 
 
 def _seq_key(path: tuple[Sid, ...]) -> tuple[int, tuple[Sid, ...]]:
@@ -141,21 +154,229 @@ class WReachNode(NodeAlgorithm):
         )
 
 
+class WReachBatch(BatchAlgorithm):
+    """All vertices of WReachDist as flat-array state.
+
+    Super-ids are packed into single int64 keys (``(class - min_class) *
+    n + id``) whose integer order equals the lexicographic sid order, so
+    the protocol's "(length, sid-sequence)" comparison becomes a
+    columnwise lexicographic comparison of fixed-width key matrices
+    (paths are at most ``horizon + 1`` sids).  Per round:
+
+    * the previous round's broadcasts live as a payload table
+      ``(bp_src, bp_len, bp_seq)`` — one row per re-broadcast path, the
+      ``(src, payload-id)`` representation of the traffic;
+    * delivery is one CSR fan-out of the payload rows over the senders'
+      neighborhoods, after which Algorithm 4's three drop rules (source
+      not L-smaller, receiver already on the path, horizon overrun) are
+      boolean masks;
+    * the surviving candidates are reduced to the best per
+      (receiver, source) with one ``lexsort``, then merged into the
+      global best-path table (sorted by ``receiver * n + source``) by
+      binary search; strictly improved rows are exactly the paths the
+      per-node protocol re-broadcasts next round.
+
+    Outputs and per-round traffic statistics are bit-identical to
+    :class:`WReachNode` (the parity suite pins both).
+    """
+
+    def __init__(self, horizon: int) -> None:
+        super().__init__()
+        if horizon < 0:
+            raise SimulationError("horizon must be >= 0")
+        self.horizon = horizon
+        self.width = horizon + 1  # fixed path-matrix width, in sids
+        self.sid_key: np.ndarray | None = None
+        self.min_class = 0
+        # In-flight broadcasts (payload table): one row per path.
+        self.bp_src = np.empty(0, dtype=np.int64)
+        self.bp_len = np.empty(0, dtype=np.int64)
+        self.bp_seq = np.empty((0, 0), dtype=np.int64)
+        # Global best-path table, sorted by key = receiver * n + source.
+        self.st_key = np.empty(0, dtype=np.int64)
+        self.st_len = np.empty(0, dtype=np.int64)
+        self.st_seq = np.empty((0, 0), dtype=np.int64)
+
+    def on_start(self, ctx: BatchContext) -> BatchEmission | None:
+        n = ctx.n
+        class_ids = np.asarray(ctx.advice["class_ids"], dtype=np.int64)
+        self.halted = np.zeros(n, dtype=bool)
+        self.min_class = int(class_ids.min()) if n else 0
+        self.sid_key = (class_ids - self.min_class) * n + np.arange(n, dtype=np.int64)
+        self.bp_seq = np.empty((0, self.width), dtype=np.int64)
+        self.st_seq = np.empty((0, self.width), dtype=np.int64)
+        if self.horizon == 0 or n == 0:
+            self.halted[:] = True
+            return None
+        # Every vertex broadcasts its own length-0 path ``(sid,)``.
+        self.bp_src = np.arange(n, dtype=np.int64)
+        self.bp_len = np.ones(n, dtype=np.int64)
+        self.bp_seq = np.full((n, self.width), _PAD, dtype=np.int64)
+        self.bp_seq[:, 0] = self.sid_key
+        words = np.full(n, _TAG_WORDS + _SID_WORDS, dtype=np.int64)
+        return BatchEmission(np.arange(n, dtype=np.int64), words)
+
+    def _candidates(
+        self, ctx: BatchContext
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fan out the in-flight paths and apply Algorithm 4's drop rules.
+
+        Returns the surviving candidates reduced to the best per
+        (receiver, source): ``(key, length, seq-matrix)`` with ``key =
+        receiver * n + source`` in ascending order.
+        """
+        n = ctx.n
+        sid_key = self.sid_key
+        assert sid_key is not None
+        empty = (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty((0, self.width), dtype=np.int64),
+        )
+        if len(self.bp_src) == 0:
+            return empty
+        receivers, pi = ctx.fan_out(self.bp_src)
+        if len(receivers) == 0:
+            return empty
+        first = self.bp_seq[pi, 0]
+        # Drop rule 1: the source must be strictly L-smaller than the
+        # receiver.  Drop rule 3: extending must not exceed the horizon.
+        ok = (first < sid_key[receivers]) & (self.bp_len[pi] <= self.horizon)
+        # Drop rule 2: the receiver must not already lie on the path.  A
+        # vertex has exactly one sid, so "receiver on path" is a key
+        # match (padding is negative, keys are not).
+        ok &= ~(self.bp_seq[pi] == sid_key[receivers, None]).any(axis=1)
+        if not ok.any():
+            return empty
+        cr = receivers[ok]
+        cp = pi[ok]
+        cand_len = self.bp_len[cp] + 1
+        cand_seq = self.bp_seq[cp].copy()
+        cand_seq[np.arange(len(cp)), cand_len - 1] = sid_key[cr]
+        cand_key = cr * n + first[ok] % n
+        # Best candidate per (receiver, source) under (length, sequence):
+        # one lexsort, least-significant key first, then first-of-group.
+        sort_keys = tuple(cand_seq[:, j] for j in reversed(range(self.width)))
+        perm = np.lexsort(sort_keys + (cand_len, cand_key))
+        sorted_key = cand_key[perm]
+        lead = np.ones(len(perm), dtype=bool)
+        lead[1:] = sorted_key[1:] != sorted_key[:-1]
+        sel = perm[lead]
+        return cand_key[sel], cand_len[sel], cand_seq[sel]
+
+    def _merge(
+        self, ck: np.ndarray, clen: np.ndarray, cseq: np.ndarray
+    ) -> np.ndarray:
+        """Merge best candidates into the table; return the improved mask.
+
+        A candidate improves if its (receiver, source) pair is new, or
+        if it is strictly (length, sequence)-less than the stored path —
+        exactly the per-node "newly improved" set that gets re-broadcast.
+        """
+        S = len(self.st_key)
+        pos = np.searchsorted(self.st_key, ck)
+        if S:
+            found = (pos < S) & (self.st_key[np.minimum(pos, S - 1)] == ck)
+        else:
+            found = np.zeros(len(ck), dtype=bool)
+        improved = ~found
+        f = np.flatnonzero(found)
+        if len(f):
+            sp = pos[f]
+            less = clen[f] < self.st_len[sp]
+            tied = clen[f] == self.st_len[sp]
+            for j in range(self.width):
+                if not tied.any():
+                    break
+                a, b = cseq[f, j], self.st_seq[sp, j]
+                less |= tied & (a < b)
+                tied &= a == b
+            improved[f] = less
+            upd = f[less]
+            if len(upd):
+                self.st_len[pos[upd]] = clen[upd]
+                self.st_seq[pos[upd]] = cseq[upd]
+        fresh = np.flatnonzero(~found)
+        if len(fresh):
+            at = pos[fresh]
+            self.st_key = np.insert(self.st_key, at, ck[fresh])
+            self.st_len = np.insert(self.st_len, at, clen[fresh])
+            self.st_seq = np.insert(self.st_seq, at, cseq[fresh], axis=0)
+        return improved
+
+    def on_round(self, ctx: BatchContext, round_index: int) -> BatchEmission | None:
+        n = ctx.n
+        ck, clen, cseq = self._candidates(ctx)
+        improved = self._merge(ck, clen, cseq) if len(ck) else np.empty(0, dtype=bool)
+        if round_index >= self.horizon:
+            self.halted[:] = True
+            self.bp_src = self.bp_src[:0]
+            self.bp_len = self.bp_len[:0]
+            self.bp_seq = self.bp_seq[:0]
+            return None
+        imp = np.flatnonzero(improved)
+        if len(imp) == 0:
+            self.bp_src = self.bp_src[:0]
+            self.bp_len = self.bp_len[:0]
+            self.bp_seq = self.bp_seq[:0]
+            return None
+        # Re-broadcast the improved best paths, grouped by their vertex
+        # (ck is sorted, so rows are already grouped by receiver).
+        ik, ilen, iseq = ck[imp], clen[imp], cseq[imp]
+        w_of = ik // n
+        lead = np.ones(len(w_of), dtype=bool)
+        lead[1:] = w_of[1:] != w_of[:-1]
+        starts = np.flatnonzero(lead)
+        senders = w_of[starts]
+        sid_sums = np.add.reduceat(ilen, starts)
+        words = _TAG_WORDS + _SID_WORDS * sid_sums
+        self.bp_src = w_of
+        self.bp_len = ilen
+        self.bp_seq = iseq
+        return BatchEmission(senders, words)
+
+    def outputs(self, ctx: BatchContext) -> dict[int, WReachOutput]:
+        n = ctx.n
+        class_ids = np.asarray(ctx.advice["class_ids"], dtype=np.int64)
+        classes = class_ids.tolist()
+        bounds = np.searchsorted(self.st_key, np.arange(n + 1, dtype=np.int64) * n)
+        srcs = (self.st_key % n).tolist() if len(self.st_key) else []
+        lens = self.st_len.tolist()
+        verts = np.where(self.st_seq >= 0, self.st_seq % n, _PAD).tolist()
+        out: dict[int, WReachOutput] = {}
+        for w in range(n):
+            lo, hi = int(bounds[w]), int(bounds[w + 1])
+            paths = {srcs[i]: tuple(verts[i][: lens[i]]) for i in range(lo, hi)}
+            out[w] = WReachOutput(
+                node=w,
+                sid=(classes[w], w),
+                wreach=tuple(sorted(list(paths) + [w])),
+                paths=paths,
+            )
+        return out
+
+
 def run_wreach_bc(
     g: Graph,
     class_ids: np.ndarray,
     horizon: int,
     max_rounds: int = 10_000,
+    engine: str = "batch",
 ) -> tuple[list[WReachOutput], RunResult]:
     """Run WReachDist with the given super-id classes and path horizon.
 
     ``horizon`` is the maximal path length learned (the paper's ``2r``;
-    Theorem 10 uses ``2r + 1``).
+    Theorem 10 uses ``2r + 1``).  ``engine`` selects the vectorized
+    batch path (default) or the per-node original; outputs and
+    statistics are identical.
     """
+    factory = pick_deployment(
+        engine, lambda: WReachBatch(horizon), lambda v: WReachNode(horizon)
+    )
     net = Network(
         g,
         Model.CONGEST_BC,
-        lambda v: WReachNode(horizon),
+        factory,
         advice={"class_ids": np.asarray(class_ids, dtype=np.int64)},
     )
     res = net.run(max_rounds=max_rounds)

@@ -1,0 +1,74 @@
+"""Reference smallest-last (degeneracy) peeling — the parity baseline.
+
+This is the original bucketed min-degree loop, kept verbatim so the
+flat-array kernel in :mod:`repro.orders.degeneracy` has a
+definition-shaped implementation to be benchmarked and parity-tested
+against (``tests/test_degeneracy.py`` pins the *exact* removal
+sequence, because every order-derived golden value in the suite depends
+on its tie-breaking).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = ["naive_smallest_last_sequence", "naive_core_numbers"]
+
+
+def naive_smallest_last_sequence(g: Graph) -> tuple[list[int], int]:
+    """Return (removal sequence, degeneracy) via bucketed min-degree peeling.
+
+    Buckets use lazy deletion: a popped entry is valid only if the vertex
+    is still present and its recorded degree matches the bucket index.
+    Each vertex is re-inserted at most deg(v) times, so this is O(n + m).
+    """
+    n = g.n
+    deg = g.degrees().astype(np.int64).copy()
+    max_deg = int(deg.max()) if n else 0
+    buckets: list[list[int]] = [[] for _ in range(max_deg + 1)]
+    for v in range(n):
+        buckets[int(deg[v])].append(v)
+    removed = np.zeros(n, dtype=bool)
+    seq: list[int] = []
+    degeneracy = 0
+    cur = 0
+    for _ in range(n):
+        v = -1
+        while v < 0:
+            while cur <= max_deg and not buckets[cur]:
+                cur += 1
+            x = buckets[cur].pop()
+            if not removed[x] and deg[x] == cur:
+                v = x
+        removed[v] = True
+        seq.append(v)
+        degeneracy = max(degeneracy, int(deg[v]))
+        for u in g.neighbors(v):
+            u = int(u)
+            if not removed[u]:
+                deg[u] -= 1
+                buckets[int(deg[u])].append(u)
+                if deg[u] < cur:
+                    cur = int(deg[u])
+    return seq, degeneracy
+
+
+def naive_core_numbers(g: Graph) -> np.ndarray:
+    """k-core number of each vertex (max k with v in a k-core)."""
+    n = g.n
+    core = np.zeros(n, dtype=np.int64)
+    seq, _ = naive_smallest_last_sequence(g)
+    deg = g.degrees().astype(np.int64).copy()
+    removed = np.zeros(n, dtype=bool)
+    k = 0
+    for v in seq:
+        k = max(k, int(deg[v]))
+        core[v] = k
+        removed[v] = True
+        for u in g.neighbors(v):
+            u = int(u)
+            if not removed[u]:
+                deg[u] -= 1
+    return core

@@ -1,0 +1,240 @@
+"""Batch engine vs per-node execution: bit-identical outputs and stats.
+
+The vectorized round engine (:mod:`repro.distributed.engine`) must be
+indistinguishable from the per-node reference loop for every ported
+protocol: same per-vertex outputs, same logical round count, and the
+same ``total_words`` / ``broadcast_words`` / ``max_payload_words`` in
+every :class:`~repro.distributed.network.RoundStats` entry.  These
+tests pin that contract on the paper's three bounded-expansion
+workloads (grid, k-tree, random geometric) plus edge cases, and check
+the heterogeneous/per-node fallback path of :class:`Network`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed.beh_partition import (
+    HPartitionBatch,
+    HPartitionNode,
+    run_h_partition,
+)
+from repro.distributed.domset_bc import run_domset_bc, run_election
+from repro.distributed.engine import BatchAlgorithm
+from repro.distributed.model import Model
+from repro.distributed.nd_order import (
+    default_threshold,
+    distributed_augmented_order,
+    distributed_h_partition_order,
+)
+from repro.distributed.network import Network
+from repro.distributed.node import NodeAlgorithm
+from repro.distributed.wreach_bc import run_wreach_bc
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.graphs import random_models as rm
+from repro.graphs.build import from_edges
+
+
+def _instances():
+    geo, _ = rm.random_geometric(150, radius=None, seed=3)
+    return [
+        ("grid", gen.grid_2d(7, 9)),
+        ("ktree", gen.k_tree(80, 3, seed=1)),
+        ("random-BE", geo),
+        ("star", gen.star_graph(6)),
+        ("edgeless", from_edges(4, [])),
+        ("empty", from_edges(0, [])),
+    ]
+
+
+def _assert_same_run(a_res, b_res):
+    """Rounds and the full per-round traffic record must coincide."""
+    assert a_res.rounds == b_res.rounds
+    assert a_res.round_stats == b_res.round_stats  # RoundStats are frozen dataclasses
+    assert a_res.total_words == b_res.total_words
+    assert a_res.total_broadcast_words == b_res.total_broadcast_words
+    assert a_res.max_payload_words == b_res.max_payload_words
+    assert a_res.total_messages == b_res.total_messages
+
+
+@pytest.mark.parametrize("name,g", _instances())
+def test_h_partition_parity(name, g):
+    thr = default_threshold(g)
+    a_outs, a_res = run_h_partition(g, thr, engine="pernode")
+    b_outs, b_res = run_h_partition(g, thr, engine="batch")
+    assert a_outs == b_outs
+    _assert_same_run(a_res, b_res)
+
+
+@pytest.mark.parametrize("name,g", _instances())
+def test_nd_order_parity(name, g):
+    a = distributed_h_partition_order(g, engine="pernode")
+    b = distributed_h_partition_order(g, engine="batch")
+    assert np.array_equal(a.order.rank, b.order.rank)
+    assert np.array_equal(a.class_ids, b.class_ids)
+    assert (a.rounds, a.normalized_rounds, a.max_payload_words, a.total_words) == (
+        b.rounds,
+        b.normalized_rounds,
+        b.max_payload_words,
+        b.total_words,
+    )
+
+
+def test_augmented_order_parity():
+    g = gen.grid_2d(6, 6)
+    a = distributed_augmented_order(g, 2, engine="pernode")
+    b = distributed_augmented_order(g, 2, engine="batch")
+    assert np.array_equal(a.order.rank, b.order.rank)
+    assert (a.rounds, a.total_words, a.max_payload_words) == (
+        b.rounds,
+        b.total_words,
+        b.max_payload_words,
+    )
+
+
+@pytest.mark.parametrize("name,g", _instances())
+@pytest.mark.parametrize("horizon", [0, 1, 2, 4])
+def test_wreach_parity(name, g, horizon):
+    oc = distributed_h_partition_order(g)
+    a_outs, a_res = run_wreach_bc(g, oc.class_ids, horizon, engine="pernode")
+    b_outs, b_res = run_wreach_bc(g, oc.class_ids, horizon, engine="batch")
+    assert a_outs == b_outs  # WReachOutput: members, sids, stored paths
+    _assert_same_run(a_res, b_res)
+
+
+@pytest.mark.parametrize("name,g", _instances())
+@pytest.mark.parametrize("radius", [0, 1, 2])
+def test_election_and_domset_parity(name, g, radius):
+    oc = distributed_h_partition_order(g)
+    wouts, _ = run_wreach_bc(g, oc.class_ids, 2 * radius)
+    a_outs, a_res = run_election(g, oc.class_ids, wouts, radius, engine="pernode")
+    b_outs, b_res = run_election(g, oc.class_ids, wouts, radius, engine="batch")
+    assert a_outs == b_outs
+    _assert_same_run(a_res, b_res)
+
+    a = run_domset_bc(g, radius, engine="pernode")
+    b = run_domset_bc(g, radius, engine="batch")
+    assert a.dominators == b.dominators
+    assert np.array_equal(a.dominator_of, b.dominator_of)
+    assert a.phase_rounds == b.phase_rounds
+    assert a.phase_max_words == b.phase_max_words
+    assert a.total_words == b.total_words
+
+
+def test_wreach_parity_with_augmented_class_ids():
+    """Super-ids from the augmented order (rank-sized class ids) work too."""
+    g = gen.k_tree(60, 3, seed=5)
+    oc = distributed_augmented_order(g, 1)
+    a_outs, a_res = run_wreach_bc(g, oc.class_ids, 2, engine="pernode")
+    b_outs, b_res = run_wreach_bc(g, oc.class_ids, 2, engine="batch")
+    assert a_outs == b_outs
+    _assert_same_run(a_res, b_res)
+
+
+def test_unknown_engine_rejected():
+    g = gen.path_graph(4)
+    with pytest.raises(SimulationError):
+        run_wreach_bc(g, np.zeros(4, dtype=np.int64), 2, engine="warp")
+    with pytest.raises(SimulationError):
+        run_h_partition(g, 2, engine="warp")
+
+
+# ----------------------------------------------------------------------
+# Deployment detection: all-batch takes the fast path, anything
+# per-node (including heterogeneous mixes) falls back to the loop.
+# ----------------------------------------------------------------------
+
+class _Quiet(NodeAlgorithm):
+    def on_start(self, ctx):
+        self.halted = True
+        return None
+
+    def on_round(self, ctx, inbox):  # pragma: no cover - never called
+        return None
+
+
+class _Chatty(NodeAlgorithm):
+    def on_start(self, ctx):
+        return ("hi",)
+
+    def on_round(self, ctx, inbox):
+        self.halted = True
+        return None
+
+
+def test_batch_deployment_detected():
+    g = gen.grid_2d(4, 4)
+    net = Network(
+        g, Model.CONGEST_BC, HPartitionBatch(), advice={"threshold": 4}
+    )
+    assert net.engine == "batch"
+    assert isinstance(net.batch, BatchAlgorithm)
+    res = net.run()
+    ref = Network(
+        g, Model.CONGEST_BC, lambda v: HPartitionNode(), advice={"threshold": 4}
+    )
+    assert ref.engine == "pernode"
+    ref_res = ref.run()
+    assert res.outputs == ref_res.outputs
+    assert res.round_stats == ref_res.round_stats
+
+
+def test_heterogeneous_deployment_falls_back_to_pernode():
+    g = gen.path_graph(6)
+    net = Network(
+        g, Model.CONGEST_BC, lambda v: _Quiet() if v % 2 else _Chatty()
+    )
+    assert net.engine == "pernode"
+    res = net.run()
+    assert res.rounds >= 1
+    # Odd vertices never spoke; even ones broadcast one 1-word tag.
+    assert res.round_stats[0].broadcast_words == sum(
+        1 for v in range(6) if v % 2 == 0
+    )
+
+
+# ----------------------------------------------------------------------
+# The engine dimension of the solve() façade.
+# ----------------------------------------------------------------------
+
+def test_api_engine_flag_parity_and_rejection():
+    from repro.api import solve
+    from repro.api.cache import PrecomputeCache
+    from repro.errors import SolverError
+
+    g = gen.grid_2d(6, 6)
+    cache = PrecomputeCache()
+    per = solve(g, 1, "dist.congest", engine="pernode", cache=cache)
+    bat = solve(g, 1, "dist.congest", engine="batch", cache=PrecomputeCache())
+    auto = solve(g, 1, "dist.congest", cache=PrecomputeCache())
+    assert per.dominators == bat.dominators == auto.dominators
+    assert per.total_words == bat.total_words == auto.total_words
+    assert per.extras["engine"] == "pernode"
+    assert bat.extras["engine"] == "batch"
+    assert auto.extras["engine"] == "batch"  # default-batch where available
+    with pytest.raises(SolverError):
+        solve(g, 1, "seq.wreach", engine="batch")
+    with pytest.raises(SolverError):
+        solve(g, 1, "dist.congest", engine="warp")
+    with pytest.raises(SolverError):
+        solve(g, 1, "dist.congest-unified", engine="batch")
+
+
+def test_batch_algorithm_must_size_halted():
+    """Forgetting to allocate ``halted`` is an error, not a silent no-op."""
+    import numpy as np
+
+    from repro.distributed.engine import BatchEmission
+
+    class Unsized(BatchAlgorithm):
+        def on_start(self, ctx):
+            return BatchEmission(
+                np.arange(ctx.n, dtype=np.int64), np.ones(ctx.n, dtype=np.int64)
+            )
+
+        def on_round(self, ctx, round_index):  # pragma: no cover - never reached
+            return None
+
+    net = Network(gen.path_graph(4), Model.CONGEST_BC, Unsized())
+    with pytest.raises(SimulationError, match="must size halted"):
+        net.run()

@@ -78,6 +78,46 @@ def test_core_numbers_star():
     assert (cores == 1).all()
 
 
+# ----------------------------------------------------------------------
+# Flat kernel vs the retained reference (exact parity).  The removal
+# sequence's tie-breaking must match bit for bit: every order-derived
+# golden value in the suite inherits it.
+# ----------------------------------------------------------------------
+
+def _kernel_cases():
+    from repro.graphs import random_models as rm
+
+    return [
+        gen.path_graph(12),
+        gen.grid_2d(9, 11),
+        gen.k_tree(120, 4, seed=7),
+        gen.complete_graph(7),
+        gen.star_graph(8),
+        from_edges(6, []),
+        from_edges(0, []),
+        rm.delaunay_graph(300, seed=12)[0],
+        rm.random_geometric(250, radius=None, seed=3)[0],
+    ]
+
+
+def test_flat_kernel_matches_reference_sequence_exactly():
+    from repro.orders.degeneracy import _smallest_last_sequence
+    from repro.orders.degeneracy_ref import naive_smallest_last_sequence
+
+    for g in _kernel_cases():
+        seq, degen = _smallest_last_sequence(g)
+        ref_seq, ref_degen = naive_smallest_last_sequence(g)
+        assert seq == ref_seq
+        assert degen == ref_degen
+
+
+def test_flat_kernel_core_numbers_match_reference():
+    from repro.orders.degeneracy_ref import naive_core_numbers
+
+    for g in _kernel_cases():
+        assert (core_numbers(g) == naive_core_numbers(g)).all()
+
+
 def test_deterministic():
     g = gen.k_tree(30, 2, seed=7)
     o1, _ = degeneracy_order(g)

@@ -61,3 +61,41 @@ def test_normalized_rounds():
     assert normalized_rounds([0], 1) == 1  # a silent round still ticks
     with pytest.raises(ModelViolation):
         normalized_rounds([1], 0)
+
+
+def test_payload_words_memo_caches_frozen_payloads():
+    memo = {}
+    path = ((3, 7), (2, 9))
+    payload = ("paths", (path,))
+    assert payload_words(payload, memo) == 6
+    assert id(path) in memo  # recursively frozen -> cached
+    assert payload_words(payload, memo) == 6  # hit path
+
+
+def test_payload_words_memo_never_caches_mutable_contents():
+    """A tuple wrapping a list can grow; its size must be re-measured."""
+    memo = {}
+    buf = [1, 2, 3]
+    payload = ("tag", buf)
+    assert payload_words(payload, memo) == 4
+    buf.extend([4, 5, 6, 7])
+    assert payload_words(payload, memo) == 8
+    assert id(payload) not in memo
+
+
+def test_payload_words_memo_matches_plain_sizing():
+    cases = [
+        None,
+        7,
+        "active",
+        ("joined", 3),
+        ("paths", (((1, 2),), ((0, 5), (1, 2)))),
+        (),
+        {},
+        {"k": (1, 2)},
+        [1, (2, 3)],
+        frozenset({1, 2}),
+    ]
+    memo = {}
+    for p in cases:
+        assert payload_words(p, memo) == payload_words(p)
