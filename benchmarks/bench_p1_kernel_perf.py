@@ -2,10 +2,17 @@
 
 Times the hot kernels this repo's guarantees are computed with:
 
-* ``wreach_sets`` / ``wcol`` / ``wreach_sets_with_paths`` — the
-  flat-array kernels of :mod:`repro.orders.wreach` against the retained
-  definition-shaped reference in :mod:`repro.orders.wreach_ref`, at the
-  Theorem-5 horizon ``2r``;
+* ``wreach_sets`` / ``wreach_csr`` / ``wcol`` /
+  ``wreach_sets_with_paths`` — the flat-array kernels of
+  :mod:`repro.orders.wreach` against the retained definition-shaped
+  reference in :mod:`repro.orders.wreach_ref`, at the Theorem-5 horizon
+  ``2r`` (``wreach_csr`` is the CSR-native representation; its row
+  shares the same naive reference as ``wreach_sets``, so the gap
+  between the two rows is the Python-list materialization cost);
+* the CSR-consuming sequential solvers — ``domset_by_wreach`` and
+  ``build_cover`` vectorized over the CSR arrays vs the retained
+  list-walking references (``domset_by_wreach_lists`` /
+  ``build_cover_lists``), end-to-end including the kernel sweep;
 * the smallest-last peeling of :mod:`repro.orders.degeneracy` against
   the reference loop retained in :mod:`repro.orders.degeneracy_ref`
   (exact same removal sequence, asserted before timing);
@@ -15,20 +22,29 @@ Times the hot kernels this repo's guarantees are computed with:
   and statistics are asserted before anything is timed).
 
 Results go to ``BENCH_kernels.json`` at the repo root (the perf
-trajectory later PRs are judged against) and a human-readable table in
-``benchmarks/results/p1_kernel_perf.txt``.
+trajectory later PRs are judged against, schema 3) and a human-readable
+table in ``benchmarks/results/p1_kernel_perf.txt``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_p1_kernel_perf.py            # full
     PYTHONPATH=src python benchmarks/bench_p1_kernel_perf.py --smoke    # CI
 
-``--smoke`` runs a small instance set and **fails (exit 1)** if any
-flat/batch kernel measures slower than its reference — a relative
-regression gate that needs no flaky absolute-time thresholds.  Every
-timing is the minimum over ``--repeats`` runs (simulations run once);
-outputs are asserted identical to the reference before anything is
-timed.
+``--smoke`` runs a small instance set and **fails (exit 1)** if
+
+* any flat/batch kernel measures slower than its reference (a relative
+  gate that needs no flaky absolute-time thresholds), or
+* the path kernel or the CSR-consuming ``domset_seq`` / ``covers``
+  speedups regress worse than ``--regression-factor`` (default 1.5x)
+  against the committed smoke baseline
+  (``benchmarks/results/p1_smoke_baseline.json`` — speedup *ratios*
+  are compared, not absolute seconds, so shared CI runners don't flake
+  it).  Regenerate the baseline after an intentional perf change with
+  ``--smoke --out benchmarks/results/p1_smoke_baseline.json``.
+
+Every timing is the minimum over ``--repeats`` runs (simulations run
+once); outputs are asserted identical to the reference before anything
+is timed.
 """
 
 from __future__ import annotations
@@ -44,6 +60,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench.harness import write_result  # noqa: E402
 from repro.bench.tables import Table  # noqa: E402
+from repro.core.covers import build_cover, build_cover_lists  # noqa: E402
+from repro.core.domset import (  # noqa: E402
+    domset_by_wreach,
+    domset_by_wreach_lists,
+)
 from repro.distributed.domset_bc import run_domset_bc  # noqa: E402
 from repro.graphs import generators as gen  # noqa: E402
 from repro.graphs import random_models as rm  # noqa: E402
@@ -55,6 +76,9 @@ from repro.orders import wreach_ref as naive  # noqa: E402
 from repro.orders.degeneracy import degeneracy_order  # noqa: E402
 
 RADIUS = 2  # Theorem-5 radius; kernels run at horizon 2r
+
+#: Committed smoke baseline the ratio gate compares against.
+SMOKE_BASELINE = REPO_ROOT / "benchmarks" / "results" / "p1_smoke_baseline.json"
 
 
 def _geometric(n: int, seed: int):
@@ -82,10 +106,13 @@ FULL_INSTANCES = [
     ("geometric20000", "random-BE", lambda: _geometric(20000, 13)),
 ]
 
+# All but grid16 sit above the kernels' ~512-vertex scalar-fallback
+# threshold, so the smoke gates time the batch/CSR code paths the full
+# run ships with; grid16 keeps the scalar fallbacks covered.
 SMOKE_INSTANCES = [
     ("grid16", "grid", lambda: gen.grid_2d(16, 16)),
-    ("ktree300", "k-tree", lambda: gen.k_tree(300, 3, seed=15)),
-    ("delaunay300", "planar", lambda: rm.delaunay_graph(300, seed=12)[0]),
+    ("ktree700", "k-tree", lambda: gen.k_tree(700, 3, seed=15)),
+    ("delaunay700", "planar", lambda: rm.delaunay_graph(700, seed=12)[0]),
     ("geometric600", "random-BE", lambda: _geometric(600, 13)),
 ]
 
@@ -93,11 +120,20 @@ SMOKE_INSTANCES = [
 #: measures slower than its reference.
 GATED_KERNELS = (
     "wreach_sets",
+    "wreach_csr",
     "wcol_kernel",
     "wreach_paths",
     "degeneracy",
     "domset_bc",
 )
+
+#: Rows additionally gated against the committed smoke baseline: the
+#: measured speedup may not fall below ``baseline_speedup / factor``.
+#: Applied only to instances above the kernels' scalar-fallback
+#: threshold — below it the timings are ~1 ms and pure jitter, and the
+#: vectorized code paths being gated don't run anyway.
+RATIO_GATED = ("wreach_paths", "domset_seq", "covers")
+RATIO_GATE_MIN_N = flat._SMALL_N
 
 
 def _best(fn, repeats: int) -> tuple[object, float]:
@@ -135,6 +171,15 @@ def bench_instance(name, family, build, repeats):
     if flat_sizes.tolist() != naive_sizes.tolist():
         raise AssertionError(f"{name}: flat wreach_sizes deviates from reference")
 
+    # CSR-native construction: same sweep, no per-vertex Python lists.
+    # Shares wreach_sets' naive reference, so the two rows bracket the
+    # list-materialization cost.
+    flat_csr, t_csr_flat = _best(
+        lambda: flat.wreach_csr(g, order, reach, adj=adj), repeats
+    )
+    if flat_csr.tolists() != naive_sets:
+        raise AssertionError(f"{name}: wreach_csr deviates from reference")
+
     flat_paths, t_paths_flat = _best(
         lambda: flat.wreach_sets_with_paths(g, order, reach, adj=adj), repeats
     )
@@ -143,6 +188,29 @@ def bench_instance(name, family, build, repeats):
     )
     if flat_paths != naive_paths:
         raise AssertionError(f"{name}: flat path kernel deviates from reference")
+
+    # CSR-consuming sequential solvers, end-to-end (kernel + consumer)
+    # through the public entry points: the vectorized CSR pass vs the
+    # retained list-walking reference.
+    ds_csr, t_dom_csr = _best(lambda: domset_by_wreach(g, order, RADIUS), repeats)
+    ds_list, t_dom_list = _best(
+        lambda: domset_by_wreach_lists(g, order, RADIUS), repeats
+    )
+    if ds_csr.dominators != ds_list.dominators or (
+        ds_csr.dominator_of.tolist() != ds_list.dominator_of.tolist()
+    ):
+        raise AssertionError(f"{name}: CSR domset deviates from list reference")
+
+    cov_csr, t_cov_csr = _best(lambda: build_cover(g, order, RADIUS), repeats)
+    cov_list, t_cov_list = _best(
+        lambda: build_cover_lists(g, order, RADIUS), repeats
+    )
+    if (
+        cov_csr.clusters != cov_list.clusters
+        or cov_csr.home_cluster.tolist() != cov_list.home_cluster.tolist()
+        or cov_csr.degree_per_vertex.tolist() != cov_list.degree_per_vertex.tolist()
+    ):
+        raise AssertionError(f"{name}: CSR cover deviates from list reference")
 
     flat_seq, t_degen_flat = _best(
         lambda: degen_flat._smallest_last_sequence(g), repeats
@@ -176,6 +244,11 @@ def bench_instance(name, family, build, repeats):
             "flat_s": t_sets_flat,
             "speedup": t_sets_naive / t_sets_flat,
         },
+        "wreach_csr": {
+            "naive_s": t_sets_naive,
+            "flat_s": t_csr_flat,
+            "speedup": t_sets_naive / t_csr_flat,
+        },
         "wcol_kernel": {
             "naive_s": t_wcol_naive,
             "flat_s": t_wcol_flat,
@@ -185,6 +258,18 @@ def bench_instance(name, family, build, repeats):
             "naive_s": t_paths_naive,
             "flat_s": t_paths_flat,
             "speedup": t_paths_naive / t_paths_flat,
+        },
+        "domset_seq": {
+            "list_s": t_dom_list,
+            "csr_s": t_dom_csr,
+            "speedup": t_dom_list / t_dom_csr,
+            "size": ds_csr.size,
+        },
+        "covers": {
+            "list_s": t_cov_list,
+            "csr_s": t_cov_csr,
+            "speedup": t_cov_list / t_cov_csr,
+            "clusters": cov_csr.num_clusters,
         },
         "degeneracy": {
             "naive_s": t_degen_naive,
@@ -217,6 +302,18 @@ def main(argv=None) -> int:
         help="JSON output path (default: BENCH_kernels.json at the repo "
         "root, BENCH_kernels_smoke.json in smoke mode)",
     )
+    ap.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=SMOKE_BASELINE,
+        help="committed smoke baseline for the ratio regression gate",
+    )
+    ap.add_argument(
+        "--regression-factor",
+        type=float,
+        default=1.5,
+        help="max tolerated speedup regression vs the baseline (smoke gate)",
+    )
     args = ap.parse_args(argv)
 
     instances = SMOKE_INSTANCES if args.smoke else FULL_INSTANCES
@@ -226,7 +323,10 @@ def main(argv=None) -> int:
 
     table = Table(
         f"P1: flat/batch kernels vs references (reach = 2r = {2 * RADIUS})",
-        ["instance", "n", "wcol", "sets x", "wcol x", "paths x", "degen x", "domset_bc"],
+        [
+            "instance", "n", "wcol", "sets x", "csr x", "wcol x", "paths x",
+            "domset x", "covers x", "degen x", "domset_bc",
+        ],
     )
     rows = []
     for name, family, build in instances:
@@ -238,16 +338,22 @@ def main(argv=None) -> int:
             row["n"],
             row["wcol"],
             f"{row['wreach_sets']['speedup']:.1f}",
+            f"{row['wreach_csr']['speedup']:.1f}",
             f"{row['wcol_kernel']['speedup']:.1f}",
             f"{row['wreach_paths']['speedup']:.1f}",
+            f"{row['domset_seq']['speedup']:.1f}",
+            f"{row['covers']['speedup']:.1f}",
             f"{row['degeneracy']['speedup']:.1f}",
             f"{sim['batch_s'] * 1e3:.0f} ms batch / "
             f"{sim['pernode_s'] * 1e3:.0f} ms pernode ({sim['speedup']:.1f}x)",
         )
         print(
             f"  [{name}] sets {row['wreach_sets']['speedup']:.1f}x  "
+            f"csr {row['wreach_csr']['speedup']:.1f}x  "
             f"wcol {row['wcol_kernel']['speedup']:.1f}x  "
             f"paths {row['wreach_paths']['speedup']:.1f}x  "
+            f"domset {row['domset_seq']['speedup']:.1f}x  "
+            f"covers {row['covers']['speedup']:.1f}x  "
             f"degen {row['degeneracy']['speedup']:.1f}x  "
             f"domset_bc {row['domset_bc']['speedup']:.1f}x",
             flush=True,
@@ -255,7 +361,7 @@ def main(argv=None) -> int:
 
     largest = max(rows, key=lambda r: r["n"])
     report = {
-        "schema": 2,
+        "schema": 3,
         "benchmark": "p1_kernel_perf",
         "mode": "smoke" if args.smoke else "full",
         "radius": RADIUS,
@@ -267,8 +373,11 @@ def main(argv=None) -> int:
             "name": largest["name"],
             "n": largest["n"],
             "wreach_sets_speedup": largest["wreach_sets"]["speedup"],
+            "wreach_csr_speedup": largest["wreach_csr"]["speedup"],
             "wcol_speedup": largest["wcol_kernel"]["speedup"],
             "wreach_paths_speedup": largest["wreach_paths"]["speedup"],
+            "domset_seq_speedup": largest["domset_seq"]["speedup"],
+            "covers_speedup": largest["covers"]["speedup"],
             "degeneracy_speedup": largest["degeneracy"]["speedup"],
             "domset_bc_speedup": largest["domset_bc"]["speedup"],
         },
@@ -290,7 +399,46 @@ def main(argv=None) -> int:
             print(f"PERF REGRESSION: kernel slower than its reference on {slow}")
             return 1
         print("smoke ok: flat/batch kernels at least as fast as references everywhere")
+        failures = _ratio_gate(rows, args.baseline, args.regression_factor)
+        if failures:
+            for msg in failures:
+                print(f"PERF REGRESSION: {msg}")
+            return 1
     return 0
+
+
+def _ratio_gate(rows, baseline_path, factor) -> list[str]:
+    """Compare RATIO_GATED speedups against the committed smoke baseline.
+
+    Ratios (not absolute seconds) are compared, so the gate holds on
+    shared CI runners: a kernel fails when its measured speedup drops
+    below ``baseline_speedup / factor`` for the same instance.
+    """
+    if not baseline_path.exists():
+        print(f"note: no smoke baseline at {baseline_path}; ratio gate skipped")
+        return []
+    baseline = json.loads(baseline_path.read_text())
+    base_rows = {r["name"]: r for r in baseline.get("instances", [])}
+    failures = []
+    for r in rows:
+        base = base_rows.get(r["name"])
+        if base is None or r["n"] <= RATIO_GATE_MIN_N:
+            continue
+        for kernel in RATIO_GATED:
+            if kernel not in r or kernel not in base:
+                continue
+            now, ref = r[kernel]["speedup"], base[kernel]["speedup"]
+            if now < ref / factor:
+                failures.append(
+                    f"{r['name']}/{kernel}: speedup {now:.2f}x fell below "
+                    f"baseline {ref:.2f}x / {factor:.1f}"
+                )
+    if not failures:
+        print(
+            f"smoke ok: {', '.join(RATIO_GATED)} within {factor:.1f}x of the "
+            f"committed baseline ratios"
+        )
+    return failures
 
 
 if __name__ == "__main__":

@@ -57,8 +57,10 @@ from repro.core import (
 )
 from repro.orders import (
     LinearOrder,
+    WReachCSR,
     degeneracy_order,
     fraternal_augmentation_order,
+    wreach_csr,
     wreach_sets,
     wcol_of_order,
 )
@@ -97,8 +99,10 @@ __all__ = [
     "lp_lower_bound",
     "prune_dominating_set",
     "LinearOrder",
+    "WReachCSR",
     "degeneracy_order",
     "fraternal_augmentation_order",
+    "wreach_csr",
     "wreach_sets",
     "wcol_of_order",
     "is_distance_r_dominating_set",

@@ -89,11 +89,16 @@ class PrecomputeCache:
         CSR every WReach kernel runs over — keyed by (graph, order).
         Reach-length sweeps over one order share a single row
         permutation this way.
-    ``wreach``
-        ``wreach_sets`` outputs, keyed by (graph, order, reach length).
+    ``wreach_csr``
+        :class:`~repro.orders.wreach.WReachCSR` — the CSR-shaped
+        ``(indptr, members)`` WReach representation — keyed by (graph,
+        order, reach length).  This is the one sweep everything else is
+        derived from: sizes are ``np.diff(indptr)``, the list shape is
+        ``tolists()``, and wcol is ``sizes.max()``, so sizes / sets /
+        wcol share a single kernel run per (graph, order, reach).
     ``wcol``
         Measured ``max |WReach_reach|`` per (graph, order, reach) —
-        derived from the ``wreach`` category, so certifying after
+        derived from the ``wreach_csr`` category, so certifying after
         solving is free.
     ``dist_order``
         Distributed :class:`~repro.distributed.nd_order.OrderComputation`
@@ -103,7 +108,13 @@ class PrecomputeCache:
     def __init__(self, maxsize: int = 64):
         self._tables = {
             name: _LruTable(maxsize)
-            for name in ("order", "rank_adj", "wreach", "wcol", "dist_order")
+            for name in (
+                "order",
+                "rank_adj",
+                "wreach_csr",
+                "wcol",
+                "dist_order",
+            )
         }
 
     #: Order strategies whose output does not depend on the radius
@@ -136,23 +147,44 @@ class PrecomputeCache:
             key, lambda: RankedAdjacency(g, order)
         )
 
-    def wreach(self, g: Graph, order: LinearOrder, reach: int) -> list[list[int]]:
-        """``wreach_sets(g, order, reach)``, memoized by content."""
-        from repro.orders.wreach import wreach_sets
+    def wreach_csr(self, g: Graph, order: LinearOrder, reach: int):
+        """``wreach_csr(g, order, reach)`` — the shared CSR sweep, memoized.
+
+        Every WReach-derived quantity (sets, sizes, wcol, the domset /
+        cover consumers) is served from this one entry per
+        (graph, order, reach).
+        """
+        from repro.orders.wreach import wreach_csr
 
         key = (graph_digest(g), order_digest(order), int(reach))
-        return self._tables["wreach"].get_or_compute(
+        return self._tables["wreach_csr"].get_or_compute(
             key,
-            lambda: wreach_sets(
+            lambda: wreach_csr(
                 g, order, reach, adj=self.rank_adjacency(g, order)
             ),
         )
 
+    def wreach(self, g: Graph, order: LinearOrder, reach: int) -> list[list[int]]:
+        """``wreach_sets(g, order, reach)``: the cached CSR, as lists.
+
+        No table of its own: ``WReachCSR.tolists`` memoizes the list
+        materialization on the cached CSR entry itself.
+        """
+        return self.wreach_csr(g, order, reach).tolists()
+
+    def wreach_sizes(self, g: Graph, order: LinearOrder, reach: int):
+        """``|WReach_reach[v]|`` per vertex — ``np.diff`` of the cached CSR.
+
+        No table of its own: the diff is a single vectorized pass over
+        the memoized ``wreach_csr`` offsets.
+        """
+        return self.wreach_csr(g, order, reach).sizes
+
     def wcol(self, g: Graph, order: LinearOrder, reach: int) -> int:
-        """``wcol_of_order`` via the cached WReach sets."""
+        """``wcol_of_order`` via the cached CSR size profile."""
         key = (graph_digest(g), order_digest(order), int(reach))
         return self._tables["wcol"].get_or_compute(
-            key, lambda: max((len(s) for s in self.wreach(g, order, reach)), default=0)
+            key, lambda: self.wreach_csr(g, order, reach).wcol()
         )
 
     def distributed_order(

@@ -41,11 +41,14 @@ def _seq_wreach(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
     from repro.core.domset import domset_sequential
 
     order = cache.order(req.graph, req.order_strategy, req.radius)
-    ds = domset_sequential(req.graph, order, req.radius)
+    adj = cache.rank_adjacency(req.graph, order)
+    ds = domset_sequential(req.graph, order, req.radius, adj=adj)
     extras = {}
     connected = None
     if req.connect:
-        conn = connect_via_wreach(req.graph, order, ds.dominators, req.radius)
+        conn = connect_via_wreach(
+            req.graph, order, ds.dominators, req.radius, adj=adj
+        )
         connected = conn.vertices
         extras["connect_result"] = conn
     return SolverOutput(
@@ -73,12 +76,20 @@ def _seq_wreach_min(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
     from repro.core.domset import domset_by_wreach
 
     order = cache.order(req.graph, req.order_strategy, req.radius)
-    wreach = cache.wreach(req.graph, order, req.radius)
-    ds = domset_by_wreach(req.graph, order, req.radius, wreach=wreach)
+    # The CSR representation is consumed directly (vectorized election);
+    # no per-vertex Python lists are materialized on this path.
+    csr = cache.wreach_csr(req.graph, order, req.radius)
+    ds = domset_by_wreach(req.graph, order, req.radius, csr=csr)
     extras = {}
     connected = None
     if req.connect:
-        conn = connect_via_wreach(req.graph, order, ds.dominators, req.radius)
+        conn = connect_via_wreach(
+            req.graph,
+            order,
+            ds.dominators,
+            req.radius,
+            adj=cache.rank_adjacency(req.graph, order),
+        )
         connected = conn.vertices
         extras["connect_result"] = conn
     return SolverOutput(

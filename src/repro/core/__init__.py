@@ -1,9 +1,19 @@
 """Core algorithms: the paper's contribution plus baselines."""
 
-from repro.core.domset import domset_by_wreach, domset_sequential, DomSetResult
+from repro.core.domset import (
+    domset_by_wreach,
+    domset_by_wreach_lists,
+    domset_sequential,
+    DomSetResult,
+)
 from repro.core.dvorak import domset_dvorak
 from repro.core.greedy import domset_greedy
-from repro.core.covers import NeighborhoodCover, build_cover, cover_stats
+from repro.core.covers import (
+    NeighborhoodCover,
+    build_cover,
+    build_cover_lists,
+    cover_stats,
+)
 from repro.core.connect import (
     connect_via_wreach,
     connect_via_minor,
@@ -26,12 +36,14 @@ from repro.core.lp_rounding import lp_rounding_domset
 
 __all__ = [
     "domset_by_wreach",
+    "domset_by_wreach_lists",
     "domset_sequential",
     "DomSetResult",
     "domset_dvorak",
     "domset_greedy",
     "NeighborhoodCover",
     "build_cover",
+    "build_cover_lists",
     "cover_stats",
     "connect_via_wreach",
     "connect_via_minor",

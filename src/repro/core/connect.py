@@ -32,7 +32,7 @@ from repro.errors import GraphError
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import UNREACHED, bfs_distances, multi_source_distances
 from repro.orders.linear_order import LinearOrder
-from repro.orders.wreach import wreach_sets_with_paths
+from repro.orders.wreach import RankedAdjacency, wreach_sets_with_paths
 
 __all__ = [
     "ConnectResult",
@@ -68,18 +68,27 @@ class ConnectResult:
 
 
 def connect_via_wreach(
-    g: Graph, order: LinearOrder, dominators: Iterable[int], radius: int
+    g: Graph,
+    order: LinearOrder,
+    dominators: Iterable[int],
+    radius: int,
+    *,
+    adj: RankedAdjacency | None = None,
 ) -> ConnectResult:
     """Corollary 13: add weak-reachability paths from every dominator.
 
     Requires an order computed for parameter ``2 * radius + 1`` for the
-    theory bound, but works (and is certified per-instance) for any order.
+    theory bound, but works (and is certified per-instance) for any
+    order.  The witness paths come from the vectorized batch path
+    kernel; pass ``adj`` (``PrecomputeCache.rank_adjacency``) to share
+    the rank-sorted adjacency with the other WReach computations on the
+    same order.
     """
     base = sorted(set(int(v) for v in dominators))
     if not base:
         raise GraphError("cannot connect an empty dominating set")
     reach_len = 2 * radius + 1
-    _, paths = wreach_sets_with_paths(g, order, reach_len)
+    _, paths = wreach_sets_with_paths(g, order, reach_len, adj=adj)
     out: set[int] = set(base)
     added: dict[tuple[int, int], tuple[int, ...]] = {}
     for v in base:

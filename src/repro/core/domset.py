@@ -10,20 +10,29 @@ Theorem 5 shows ``|D| <= c * |OPT|`` where
 ``c = max_v |WReach_2r[G, L, v]|`` — for *any* order; bounded expansion
 guarantees an order with bounded ``c`` exists.
 
-Two implementations are provided and cross-checked in tests:
+Implementations (cross-checked in tests):
 
 * :func:`domset_sequential` — the paper's Algorithm 1: iterate vertices
-  in increasing L-order; run the restricted truncated BFS (Algorithm 3);
-  add the root iff it reaches a not-yet-dominated vertex.
-* :func:`domset_by_wreach` — the definitional version: materialize
-  ``WReach_r`` and elect minima.
+  in increasing L-order; run the restricted truncated BFS (Algorithm 3)
+  over the cached rank-sorted rows of
+  :class:`~repro.orders.wreach.RankedAdjacency`; add the root iff it
+  reaches a not-yet-dominated vertex.
+* :func:`domset_by_wreach` — the definitional version over the CSR
+  representation: ``WReach_r`` rows are rank-sorted, so the election
+  ``min WReach_r[w]`` is the first member of each row —
+  ``members[indptr[:-1]]`` — and the whole algorithm is two vectorized
+  gathers, no per-vertex Python lists.
+* :func:`domset_by_wreach_lists` — the original list-walking version,
+  retained verbatim as the parity reference for the vectorized pass
+  (and as the perf baseline the P1 benchmark times it against).
 
-Both return identical sets (a unit-test invariant, mirroring the
+All return identical sets (a unit-test invariant, mirroring the
 equality (2) in the paper's proof).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
 
@@ -32,9 +41,19 @@ import numpy as np
 from repro.errors import OrderError
 from repro.graphs.graph import Graph
 from repro.orders.linear_order import LinearOrder
-from repro.orders.wreach import wreach_sets
+from repro.orders.wreach import (
+    RankedAdjacency,
+    WReachCSR,
+    ranked_adjacency,
+    wreach_csr,
+)
 
-__all__ = ["DomSetResult", "domset_sequential", "domset_by_wreach"]
+__all__ = [
+    "DomSetResult",
+    "domset_sequential",
+    "domset_by_wreach",
+    "domset_by_wreach_lists",
+]
 
 
 @dataclass(frozen=True)
@@ -67,29 +86,39 @@ class DomSetResult:
         return out
 
 
-def domset_sequential(g: Graph, order: LinearOrder, radius: int) -> DomSetResult:
+def domset_sequential(
+    g: Graph,
+    order: LinearOrder,
+    radius: int,
+    *,
+    adj: RankedAdjacency | None = None,
+) -> DomSetResult:
     """Algorithm 1 (``DomSet``): linear-time c(r)-approximation.
 
     Iterates vertices in increasing L-order.  For each root v it runs the
-    Algorithm-3 BFS (restricted to L-greater vertices, depth <= r, with
-    the sorted-adjacency early exit) and adds v to D iff the BFS reaches
-    a vertex that no earlier root dominated.
+    Algorithm-3 BFS (restricted to L-greater vertices, depth <= r) and
+    adds v to D iff the BFS reaches a vertex that no earlier root
+    dominated.  The rank-sorted adjacency (Algorithm 2's SortLists) comes
+    from :meth:`RankedAdjacency.rows` — built and cached once per
+    ``(graph, order)`` — so the eligible neighbors of each visited vertex
+    are a row suffix located by one binary search; pass ``adj`` to share
+    the cached instance across calls.
     """
     if g.n != order.n:
         raise OrderError("order size does not match graph")
     if radius < 0:
         raise OrderError("radius must be >= 0")
+    adj = ranked_adjacency(g, order, adj)
+    rows, row_ranks = adj.rows()
     rank = order.rank
-    # Algorithm 2 (SortLists): adjacency sorted ascending by L-rank.
-    sorted_adj = order.sorted_adjacency(g)
     dominated = np.zeros(g.n, dtype=bool)
     dominator_of = np.full(g.n, -1, dtype=np.int64)
     dominators: list[int] = []
     for i in range(g.n):
         v = int(order.by_rank[i])
-        # Algorithm 3: BFS over {u : u >_L v}, depth <= radius.  The
-        # sorted adjacency lets us scan each list from the greatest rank
-        # downward and stop at the first vertex <=_L v.
+        # Algorithm 3: BFS over {u : u >_L v}, depth <= radius; the
+        # eligible neighbors are the suffix of each rank-sorted row
+        # strictly above the root's rank.
         visited = {v}
         newly: list[int] = [] if dominated[v] else [v]
         q: deque[tuple[int, int]] = deque([(v, 0)])
@@ -98,11 +127,8 @@ def domset_sequential(g: Graph, order: LinearOrder, radius: int) -> DomSetResult
             w, dist = q.popleft()
             if dist >= radius:
                 continue
-            row = sorted_adj[w]
-            for k in range(len(row) - 1, -1, -1):
-                u = int(row[k])
-                if rank[u] <= rank[v]:
-                    break  # all remaining are L-smaller: early exit
+            rr = row_ranks[w]
+            for u in rows[w][bisect_right(rr, i) :]:
                 if u not in visited:
                     visited.add(u)
                     reach.append(u)
@@ -123,14 +149,51 @@ def domset_by_wreach(
     order: LinearOrder,
     radius: int,
     wreach: list[list[int]] | None = None,
+    *,
+    csr: WReachCSR | None = None,
+    adj: RankedAdjacency | None = None,
 ) -> DomSetResult:
     """Definitional version: ``D = { min WReach_r[w] : w }`` (equation (2)).
 
-    Quadratic-ish but direct; used as the oracle for Algorithm 1 and as
-    the sequential reference that the distributed Theorem 9 algorithm
-    must reproduce exactly.  ``wreach`` may be supplied precomputed
-    (``wreach_sets(g, order, radius)``) to share work across calls.
+    Runs as two vectorized gathers over the CSR arrays of
+    :func:`~repro.orders.wreach.wreach_csr`: rows are rank-sorted, so
+    the elected dominator of ``w`` is the first member of row ``w``, and
+    ``D`` is the unique set of those.  ``csr`` may be supplied
+    precomputed (``PrecomputeCache.wreach_csr``) to share work across
+    calls; passing the legacy ``wreach`` lists instead routes through
+    :func:`domset_by_wreach_lists`, the retained reference path.
     """
+    if wreach is not None:
+        return domset_by_wreach_lists(g, order, radius, wreach)
+    if g.n != order.n:
+        raise OrderError("order size does not match graph")
+    if csr is None:
+        csr = wreach_csr(g, order, radius, adj=adj)
+    elif not csr.matches(g, order, radius):
+        raise OrderError(
+            f"precomputed CSR (n={csr.n}, reach={csr.reach}) does not match "
+            f"(n={g.n}, reach={radius}) or was built for a different order"
+        )
+    dominator_of = csr.least()
+    dominators = tuple(np.unique(dominator_of).tolist())
+    return DomSetResult(dominators, dominator_of, radius)
+
+
+def domset_by_wreach_lists(
+    g: Graph,
+    order: LinearOrder,
+    radius: int,
+    wreach: list[list[int]] | None = None,
+) -> DomSetResult:
+    """List-walking reference for :func:`domset_by_wreach`.
+
+    The original per-vertex ``min_of`` election, kept verbatim: the
+    parity tests assert the vectorized CSR pass reproduces it exactly,
+    and the P1 benchmark times the two against each other.  ``wreach``
+    may be supplied precomputed (``wreach_sets(g, order, radius)``).
+    """
+    from repro.orders.wreach import wreach_sets
+
     if g.n != order.n:
         raise OrderError("order size does not match graph")
     if wreach is None:

@@ -5,6 +5,8 @@ from repro.orders.degeneracy import degeneracy_order
 from repro.orders.fraternal import fraternal_augmentation_order
 from repro.orders.wreach import (
     RankedAdjacency,
+    WReachCSR,
+    wreach_csr,
     wreach_sets,
     wreach_sets_with_paths,
     wcol_of_order,
@@ -15,8 +17,10 @@ from repro.orders.heuristics import random_order, identity_order, sort_by_wreach
 __all__ = [
     "LinearOrder",
     "RankedAdjacency",
+    "WReachCSR",
     "degeneracy_order",
     "fraternal_augmentation_order",
+    "wreach_csr",
     "wreach_sets",
     "wreach_sets_with_paths",
     "wcol_of_order",

@@ -16,24 +16,39 @@ cost is ``O(sum_v |X_v| * avg_deg)`` — near-linear when wcol is bounded.
 
 The definition-shaped reference implementation lives in
 :mod:`repro.orders.wreach_ref`; this module implements the same API with
-two flat-array kernels:
+flat-array kernels:
 
-* a **bit-parallel batch kernel** for ``wreach_sets`` / ``wreach_sizes``
-  / ``wcol_of_order``: 512 consecutive roots (in L order) are swept at
-  once, with an 8-word ``uint64`` reachability bitmask per vertex.  The
-  restriction "only vertices L-greater than the root" becomes a
-  per-vertex *eligibility mask* — the low ``rank[v] - batch_base`` bits
-  — so a single vectorized frontier expansion advances all 512
-  restricted BFS runs together and the per-root interpreter overhead
-  amortizes away.  Between batches the shared mask array is cleared by
-  rewriting only the touched words, never O(n).
-* an **epoch-stamped per-root kernel** for ``restricted_bfs`` and
-  ``wreach_sets_with_paths``: one visited/parent scratch array reused
+* a **bit-parallel batch kernel** for ``wreach_csr`` / ``wreach_sets``
+  / ``wreach_sizes`` / ``wcol_of_order``: 512 consecutive roots (in L
+  order) are swept at once, with an 8-word ``uint64`` reachability
+  bitmask per vertex.  The restriction "only vertices L-greater than
+  the root" becomes a per-vertex *eligibility mask* — the low
+  ``rank[v] - batch_base`` bits — so a single vectorized frontier
+  expansion advances all 512 restricted BFS runs together and the
+  per-root interpreter overhead amortizes away.  Between batches the
+  shared mask array is cleared by rewriting only the touched words,
+  never O(n).  The sweep's native output is :class:`WReachCSR` — the
+  CSR-shaped ``(indptr, members)`` pair — which the sequential
+  consumers (``core/domset.py``, ``core/covers.py``) traverse directly;
+  ``wreach_sets`` is a thin list-materializing wrapper over it.
+* a **batched flat-pair kernel** for ``wreach_sets_with_paths``: the
+  same 512-root sweep shape, but carrying one flat record per reached
+  ``(root lane, vertex)`` pair so per-layer predecessor selection can
+  preserve Algorithm 4's exact tie rule.  Each layer gathers all arcs
+  out of the frontier pairs, drops ineligible / already-visited
+  candidates, and picks per pair the predecessor earliest in the
+  frontier's discovery order (one ``lexsort``); keeping the frontier
+  sorted by ``(lane, discovery key)`` makes that order a plain index
+  compare.  Witness paths then come out of ``radius`` vectorized
+  parent-pointer gathers (a saturating path matrix), never a scalar
+  per-root BFS.
+* an **epoch-stamped per-root kernel** for ``restricted_bfs`` and the
+  small-graph fallbacks: one visited/parent scratch array reused
   across all n BFS roots, stamped with the root's rank so it is never
-  cleared, with preallocated frontier/next-frontier storage.
-  ``restricted_bfs`` filters neighbors with a vectorized
-  ``rank[nbrs] > root_rank`` numpy mask; the paths kernel walks
-  precomputed rank-sorted rows so the eligible neighbors are a suffix
+  cleared.  ``restricted_bfs`` filters neighbors with a vectorized
+  ``rank[nbrs] > root_rank`` numpy mask; the scalar fallbacks walk the
+  precomputed (and cached) rank-sorted rows of
+  :meth:`RankedAdjacency.rows`, so the eligible neighbors are a suffix
   located by one binary search — no ``sorted()`` (and no per-element
   numpy scalar boxing, which measures slower than list walks at the
   bounded degrees these graph classes have) inside the innermost loop.
@@ -59,7 +74,10 @@ from repro.orders.linear_order import LinearOrder
 
 __all__ = [
     "RankedAdjacency",
+    "WReachCSR",
+    "ranked_adjacency",
     "restricted_bfs",
+    "wreach_csr",
     "wreach_sets",
     "wreach_sets_with_paths",
     "wreach_sizes",
@@ -150,9 +168,16 @@ class RankedAdjacency:
         return self._rows_list, self._row_ranks_list
 
 
-def _require_adj(
-    g: Graph, order: LinearOrder, adj: RankedAdjacency | None
+def ranked_adjacency(
+    g: Graph, order: LinearOrder, adj: RankedAdjacency | None = None
 ) -> RankedAdjacency:
+    """Validate a shared :class:`RankedAdjacency`, or build a fresh one.
+
+    Every kernel and CSR-consuming solver funnels through this, so a
+    cached instance (``PrecomputeCache.rank_adjacency``) — including its
+    memoized :meth:`RankedAdjacency.rows` materialization — is shared
+    instead of being rebuilt per call.
+    """
     if adj is None:
         return RankedAdjacency(g, order)
     if adj.n != g.n:
@@ -160,6 +185,91 @@ def _require_adj(
     if adj.rank is not order.rank and not np.array_equal(adj.rank, order.rank):
         raise OrderError("rank adjacency was built for a different order")
     return adj
+
+
+_require_adj = ranked_adjacency  # internal alias, kept for brevity
+
+
+class WReachCSR:
+    """CSR-shaped ``WReach_reach`` for one ``(graph, order, reach)``.
+
+    The first-class array representation the bit-parallel sweep
+    produces natively: vertex ``v``'s members are
+    ``members[indptr[v]:indptr[v+1]]``, sorted ascending by L-rank.
+    Rank-sorted rows make the hot consumers one-gather operations —
+    ``members[indptr[v]]`` *is* the L-least member, i.e. the Theorem-5
+    dominator election — and ``np.diff(indptr)`` *is* the size profile,
+    so sets, sizes, and wcol all fall out of one sweep
+    (:meth:`repro.api.cache.PrecomputeCache.wreach_csr` memoizes it).
+
+    ``tolists()`` materializes the classic list-of-lists shape for
+    callers that still want Python lists; the arrays are read-only so a
+    cached instance can be shared safely.
+    """
+
+    __slots__ = ("indptr", "members", "n", "reach", "rank", "_lists")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        members: np.ndarray,
+        reach: int,
+        rank: np.ndarray,
+    ):
+        self.indptr = indptr
+        self.members = members
+        self.n = len(indptr) - 1
+        self.reach = int(reach)
+        #: The order's rank array (shared, read-only): consumers check
+        #: it via :meth:`matches` so a CSR built for a different order
+        #: of the same graph errors instead of silently mis-electing.
+        self.rank = rank
+        self.indptr.setflags(write=False)
+        self.members.setflags(write=False)
+        self._lists: list[list[int]] | None = None
+
+    def matches(self, g: Graph, order: LinearOrder, reach: int) -> bool:
+        """True iff this CSR was built for ``(g-sized, order, reach)``."""
+        return (
+            self.n == g.n
+            and self.reach == int(reach)
+            and (
+                self.rank is order.rank
+                or np.array_equal(self.rank, order.rank)
+            )
+        )
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """``|WReach_reach[v]|`` per vertex — one ``diff`` of the offsets."""
+        return np.diff(self.indptr)
+
+    def wcol(self) -> int:
+        """``max_v |WReach_reach[v]|`` (0 on the empty graph)."""
+        return int(self.sizes.max()) if self.n else 0
+
+    def least(self) -> np.ndarray:
+        """The L-least member of every set, in one gather.
+
+        Rows are rank-sorted, so this is the first entry per row; every
+        row is nonempty because ``v ∈ WReach[v]`` at any radius.
+        """
+        return self.members[self.indptr[:-1]]
+
+    def row(self, v: int) -> np.ndarray:
+        """Members of ``WReach_reach[v]`` (read-only view, rank-ascending)."""
+        return self.members[self.indptr[v] : self.indptr[v + 1]]
+
+    def tolists(self) -> list[list[int]]:
+        """Per-vertex Python lists (the ``wreach_sets`` shape), memoized."""
+        if self._lists is None:
+            members_list = self.members.tolist()
+            offsets = self.indptr.tolist()
+            # map(slice, ...) keeps the per-vertex list construction in C.
+            self._lists = list(
+                map(members_list.__getitem__, map(slice, offsets, offsets[1:]))
+            )
+        return self._lists
 
 
 def _flat_gather(
@@ -386,27 +496,11 @@ def restricted_bfs(g: Graph, order: LinearOrder, root: int, radius: int) -> list
     return out
 
 
-def wreach_sets(
-    g: Graph,
-    order: LinearOrder,
-    radius: int,
-    *,
-    adj: RankedAdjacency | None = None,
-) -> list[list[int]]:
-    """``WReach_radius[G, L, v]`` for every v, each list sorted by L-rank.
-
-    ``v`` itself is always a member (paths of length 0).  Pass ``adj``
-    (see :class:`RankedAdjacency`) to amortize the one-time row
-    permutation across calls; :mod:`repro.api.cache` does this.
-    """
-    if g.n != order.n:
-        raise OrderError("order size does not match graph")
-    adj = _require_adj(g, order, adj)
-    if g.n <= _SMALL_N:
-        return _small_sets(adj, radius)
+def _csr_batch(adj: RankedAdjacency, radius: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(indptr, members)`` arrays via the bit-parallel sweep."""
     # Pass 1 (cheap): per-batch emissions, plus per-vertex totals so the
     # flat members array can be laid out without a global sort.
-    sizes = np.zeros(g.n, dtype=np.int64)
+    sizes = np.zeros(adj.n, dtype=np.int64)
     batches: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     for base, uv, uw, vals in _iter_batches(adj, radius):
         item, bit = _unpack_vals(vals)
@@ -416,8 +510,6 @@ def wreach_sets(
         per_target = np.add.reduceat(_popcounts(vals), heads)
         sizes[targets] += per_target
         batches.append((targets, per_target, ranks))
-    if not batches:
-        return []
     bounds = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(sizes)))
     # Pass 2: scatter each batch's members into place.  Batches arrive in
     # ascending root rank and emissions are grouped by target with lanes
@@ -433,10 +525,181 @@ def wreach_sets(
         )
         members[where] = adj.by_rank[ranks]
         cursor[targets] += per_target
-    members_list = members.tolist()
-    offsets = bounds.tolist()
-    # map(slice, ...) keeps the per-vertex list construction in C.
-    return list(map(members_list.__getitem__, map(slice, offsets, offsets[1:])))
+    return bounds, members
+
+
+def _csr_small(adj: RankedAdjacency, radius: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(indptr, members)`` from the scalar fallback (tiny graphs only)."""
+    lists = _small_sets(adj, radius)
+    sizes = np.fromiter((len(s) for s in lists), dtype=np.int64, count=adj.n)
+    bounds = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(sizes)))
+    flat = [u for s in lists for u in s]
+    members = np.asarray(flat, dtype=np.int64)
+    return bounds, members
+
+
+def wreach_csr(
+    g: Graph,
+    order: LinearOrder,
+    radius: int,
+    *,
+    adj: RankedAdjacency | None = None,
+) -> WReachCSR:
+    """``WReach_radius`` in CSR form — the sweep's native representation.
+
+    Vertex ``v``'s members are ``members[indptr[v]:indptr[v+1]]``,
+    ascending by L-rank; ``v`` itself is always a member (paths of
+    length 0).  This is what the vectorized sequential consumers
+    (``domset_by_wreach``, ``build_cover``) traverse directly, skipping
+    the per-vertex Python list materialization entirely.  Pass ``adj``
+    (see :class:`RankedAdjacency`) to amortize the one-time row
+    permutation across calls; :mod:`repro.api.cache` does this.
+    """
+    if g.n != order.n:
+        raise OrderError("order size does not match graph")
+    adj = _require_adj(g, order, adj)
+    if g.n == 0:
+        return WReachCSR(
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            radius,
+            adj.rank,
+        )
+    if g.n <= _SMALL_N:
+        bounds, members = _csr_small(adj, radius)
+    else:
+        bounds, members = _csr_batch(adj, radius)
+    return WReachCSR(bounds, members, radius, adj.rank)
+
+
+def wreach_sets(
+    g: Graph,
+    order: LinearOrder,
+    radius: int,
+    *,
+    adj: RankedAdjacency | None = None,
+) -> list[list[int]]:
+    """``WReach_radius[G, L, v]`` for every v, each list sorted by L-rank.
+
+    Thin wrapper: materializes :func:`wreach_csr` as per-vertex Python
+    lists.  Callers on the hot path should consume the CSR arrays
+    directly instead.
+    """
+    if g.n != order.n:
+        raise OrderError("order size does not match graph")
+    adj = _require_adj(g, order, adj)
+    if 0 < g.n <= _SMALL_N:
+        return _small_sets(adj, radius)
+    if g.n == 0:
+        return []
+    return wreach_csr(g, order, radius, adj=adj).tolists()
+
+
+#: Root lanes per path-sweep batch.  The membership sweep's 512 comes
+#: from its 8x64-bit mask window; the flat-pair path sweep has no word
+#: width to respect, so it runs wider batches (fewer, larger numpy
+#: calls) — bounded by the ``n * span`` visited buffer, which
+#: ``_path_span`` caps at ``_PATH_SCRATCH_BYTES`` so huge graphs narrow
+#: the batch instead of allocating O(1024 n) scratch.
+_PATH_SPAN = 1024
+_PATH_SCRATCH_BYTES = 64 << 20
+
+
+def _path_span(n: int) -> int:
+    """Lane count for the path sweep: wide, but with bounded scratch."""
+    return min(_PATH_SPAN, max(64, _PATH_SCRATCH_BYTES // max(n, 1)))
+
+
+def _batch_paths(adj: RankedAdjacency, radius: int, idobj: np.ndarray):
+    """Vectorized witness-path extraction, ``_PATH_SPAN`` roots per sweep.
+
+    Exact-parity note: a pure predecessor-*mask* extraction (per-layer
+    bitmasks like the membership sweep) cannot reproduce Algorithm 4's
+    tie rule, because the winning predecessor is the one earliest in the
+    root's *discovery order* — a per-``(root, vertex)`` quantity that is
+    not rank order and is not representable in a shared mask word.  The
+    state here is therefore one flat record per reached ``(lane,
+    vertex)`` pair.  The invariant that turns the tie rule into a
+    vectorized primitive: frontier arrays are kept sorted by ``(lane,
+    discovery key)``, so "earliest-discovered predecessor" is the
+    minimal frontier index among a candidate's arcs (arc order is
+    already frontier-major, so one *stable* sort by candidate key picks
+    it), and the next frontier's discovery order is ``lexsort`` by
+    ``(winning predecessor, own rank)`` — exactly the scalar kernel's
+    scan order.
+
+    Pairs are appended layer by layer, so each BFS depth is a contiguous
+    slice and witness paths come from ``depth`` parent-pointer gathers
+    per layer, zipped into tuples of the pre-boxed ids in ``idobj`` —
+    never a scalar per-root BFS.  Yields per batch ``(root_ranks,
+    vertices, tuples)``, one entry per reached pair (``tuples`` is an
+    object array; ``None`` for the trivial depth-0 pairs).
+    """
+    n = adj.n
+    span = _path_span(n)
+    indptr = adj.indptr
+    # Per-(vertex, lane) visited flags, cleared per batch via the pair
+    # records themselves (never an O(n * span) rescan).
+    visited = np.zeros(n * span, dtype=bool)
+    for base in range(0, n, span):
+        width = min(span, n - base)
+        roots = adj.by_rank[base : base + width]
+        lanes = np.arange(width, dtype=np.int64)
+        lane_parts = [lanes]
+        x_parts = [roots]
+        parent_parts = [np.arange(width, dtype=np.int64)]  # roots self-parent
+        layers: list[tuple[int, int, int]] = []  # (start, end, depth)
+        visited[roots * span + lanes] = True
+        fl, fv = lanes, roots
+        offset, total = 0, width
+        for depth in range(1, radius + 1):
+            pos, counts = _flat_gather(indptr, fv)
+            if pos.size == 0:
+                break
+            src = np.repeat(np.arange(len(fv), dtype=np.int64), counts)
+            pair = adj.packed[pos]  # (neighbor, rank) on one cache line
+            cx, cxr = pair[:, 0], pair[:, 1]
+            cl = fl[src]
+            ck = cx * span + cl
+            # One compression: eligible (rank above the lane's root) and
+            # not yet reached in this lane.
+            cand = np.flatnonzero((cxr > base + cl) & ~visited[ck])
+            if not cand.size:
+                break
+            cks = ck[cand]
+            # Winner per (lane, vertex): arcs are generated in frontier
+            # order, so a stable sort by candidate key leaves the
+            # earliest-discovered predecessor first in each group.
+            o = np.argsort(cks, kind="stable")
+            widx = cand[o[_group_heads(cks[o])]]
+            # Discovery order of the new layer: (lane, predecessor's
+            # discovery key, own rank); src is lane-major
+            # discovery-ordered, so (src, rank) sorts all three.
+            widx = widx[np.lexsort((cxr[widx], src[widx]))]
+            wl, wx = cl[widx], cx[widx]
+            visited[ck[widx]] = True
+            lane_parts.append(wl)
+            x_parts.append(wx)
+            parent_parts.append(offset + src[widx])
+            layers.append((total, total + len(widx), depth))
+            fl, fv = wl, wx
+            offset = total
+            total += len(widx)
+        lane = np.concatenate(lane_parts)
+        xs = np.concatenate(x_parts)
+        parent = np.concatenate(parent_parts)
+        visited[xs * span + lane] = False
+        # Witness-path tuples per layer: depth parent-pointer gathers of
+        # the pre-boxed ids, zipped into (x, ..., root) rows in C.
+        tup = np.empty(total, dtype=object)
+        for s, e, depth in layers:
+            cols = [idobj[xs[s:e]].tolist()]
+            ptr = parent[s:e]
+            for _step in range(depth):
+                cols.append(idobj[xs[ptr]].tolist())
+                ptr = parent[ptr]
+            tup[s:e] = np.fromiter(zip(*cols), dtype=object, count=e - s)
+        yield base + lane, xs, tup
 
 
 def wreach_sets_with_paths(
@@ -455,11 +718,53 @@ def wreach_sets_with_paths(
 
     This is the routing information Lemma 7 distributes; the sequential
     connectivity construction (Corollary 13) consumes it directly.
+    Large graphs run the vectorized :func:`_batch_paths` sweep; small
+    ones fall back to the epoch-stamped scalar kernel over the cached
+    rank-sorted rows.  Both produce bit-identical output (pinned by the
+    parity suite).
     """
     if g.n != order.n:
         raise OrderError("order size does not match graph")
     adj = _require_adj(g, order, adj)
     n = g.n
+    if n == 0:
+        return [], []
+    if n <= _SMALL_N:
+        return _small_paths(adj, radius)
+    # Every vertex id is boxed exactly once; all list / tuple / dict
+    # materialization below gathers these shared objects by pointer
+    # (matching the scalar kernel, whose cached rows() lists gave it the
+    # same property) instead of re-boxing ints per reached pair.
+    idobj = np.fromiter(range(n), dtype=object, count=n)
+    rr_parts, w_parts, tup_parts = [], [], []
+    for rr, xs, tup in _batch_paths(adj, radius, idobj):
+        rr_parts.append(rr)
+        w_parts.append(xs)
+        tup_parts.append(tup)
+    w_all = np.concatenate(w_parts)
+    rr_all = np.concatenate(rr_parts)
+    # Group pairs by target vertex with roots ascending in rank — the
+    # exact member order of the list representation.  The tuples ride
+    # along as an object-array pointer permutation.
+    sel = np.lexsort((rr_all, w_all))
+    w_s = w_all[sel]
+    u_list = idobj[adj.by_rank[rr_all[sel]]].tolist()
+    tups = np.concatenate(tup_parts)[sel].tolist()
+    offsets = np.searchsorted(w_s, np.arange(n + 1)).tolist()
+    wreach = [u_list[a:b] for a, b in zip(offsets, offsets[1:])]
+    paths = []
+    for w, a, b in zip(range(n), offsets, offsets[1:]):
+        dct = dict(zip(u_list[a:b], tups[a:b]))
+        del dct[w]  # the trivial (w, w) pair carries None
+        paths.append(dct)
+    return wreach, paths
+
+
+def _small_paths(
+    adj: RankedAdjacency, radius: int
+) -> tuple[list[list[int]], list[dict[int, tuple[int, ...]]]]:
+    """Scalar path kernel (small graphs): epoch-stamped visited/parent."""
+    n = adj.n
     rows, row_ranks = adj.rows()
     by_rank = adj.by_rank.tolist()
     wreach: list[list[int]] = [[] for _ in range(n)]

@@ -33,9 +33,12 @@ def test_order_cache_computed_once_across_repeats():
     stats = cache.stats()
     assert stats["order"]["misses"] == 1
     assert stats["order"]["hits"] == len(reqs) - 1
-    # WReach_2r (certificates) and WReach_r (wreach-min) each built once.
-    assert stats["wreach"]["misses"] == 2
-    assert stats["wreach"]["hits"] >= 1
+    # WReach_2r (certificates) and WReach_r (wreach-min) each swept once
+    # — both served from the shared CSR category.
+    assert stats["wreach_csr"]["misses"] == 2
+    assert stats["wreach_csr"]["hits"] >= 1
+    # And the rank-permuted adjacency they ran over was built once.
+    assert stats["rank_adj"]["misses"] == 1
     # And the repeat produced identical outputs.
     for a, b in zip(results[:3], results[3:]):
         assert a.dominators == b.dominators
@@ -126,3 +129,26 @@ def test_request_pickles_with_graph():
     assert clone.graph == g
     assert solve(clone.graph, 1, "seq.wreach").dominators == \
         solve(g, 1, "seq.wreach").dominators
+
+
+def test_sizes_sets_wcol_share_one_csr_sweep():
+    """Satellite invariant: wreach_sizes / wreach / wcol for one
+    (graph, order, reach) are all served by a single cached CSR run."""
+    import numpy as np
+
+    g = gen.grid_2d(6, 6)
+    cache = PrecomputeCache()
+    order = cache.order(g, "degeneracy", 2)
+    sizes = cache.wreach_sizes(g, order, 2)
+    sets_ = cache.wreach(g, order, 2)
+    wcol = cache.wcol(g, order, 2)
+    st = cache.stats()
+    assert st["wreach_csr"]["misses"] == 1
+    assert st["wreach_csr"]["hits"] == 2
+    assert np.array_equal(sizes, [len(s) for s in sets_])
+    assert wcol == int(sizes.max())
+    # Derived views are consistent with the standalone kernels.
+    from repro.orders.wreach import wreach_sets, wreach_sizes
+
+    assert sets_ == wreach_sets(g, order, 2)
+    assert np.array_equal(sizes, wreach_sizes(g, order, 2))

@@ -109,3 +109,123 @@ def test_centers_belong_to_their_clusters(small_graph):
     cover = build_cover(g, order, 1)
     for v, members in cover.clusters.items():
         assert v in members
+
+
+# ----------------------------------------------------------------------
+# Vectorized CSR construction vs the retained list-based reference
+# ----------------------------------------------------------------------
+
+def _assert_same_cover(a, b):
+    assert a.radius_param == b.radius_param
+    assert a.clusters == b.clusters
+    assert np.array_equal(a.home_cluster, b.home_cluster)
+    assert np.array_equal(a.degree_per_vertex, b.degree_per_vertex)
+
+
+@pytest.mark.parametrize("radius", [0, 1, 2])
+def test_vectorized_equals_list_reference(small_graph, radius):
+    from repro.core.covers import build_cover_lists
+
+    g = small_graph
+    orders = [degeneracy_order(g)[0]]
+    for seed in (0, 1, 2):
+        rng = np.random.default_rng(seed)
+        orders.append(LinearOrder.from_sequence(rng.permutation(g.n)))
+    for order in orders:
+        _assert_same_cover(
+            build_cover(g, order, radius), build_cover_lists(g, order, radius)
+        )
+
+
+def test_vectorized_accepts_precomputed_csr():
+    from repro.orders.wreach import RankedAdjacency, wreach_csr
+
+    g = gen.grid_2d(5, 5)
+    order, _ = degeneracy_order(g)
+    adj = RankedAdjacency(g, order)
+    radius = 2
+    cover = build_cover(
+        g,
+        order,
+        radius,
+        csr2=wreach_csr(g, order, 2 * radius, adj=adj),
+        csr1=wreach_csr(g, order, radius, adj=adj),
+    )
+    _assert_same_cover(cover, build_cover(g, order, radius))
+    _assert_same_cover(cover, build_cover(g, order, radius, adj=adj))
+
+
+def test_empty_graph_cover():
+    from repro.core.covers import build_cover_lists
+    from repro.graphs.build import from_edges
+
+    g = from_edges(0, [])
+    order = LinearOrder.identity(0)
+    for builder in (build_cover, build_cover_lists):
+        cover = builder(g, order, 1)
+        assert cover.clusters == {}
+        assert cover.num_clusters == 0
+        assert cover.degree == 0
+        assert len(cover.home_cluster) == 0
+
+
+def test_single_vertex_cover():
+    from repro.graphs.build import from_edges
+
+    g = from_edges(1, [])
+    order = LinearOrder.identity(1)
+    cover = build_cover(g, order, 1)
+    assert cover.clusters == {0: (0,)}
+    assert cover.home_cluster.tolist() == [0]
+    assert cover.degree_per_vertex.tolist() == [1]
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_disconnected_graph_cover_matches_reference(radius):
+    from repro.core.covers import build_cover_lists
+    from repro.graphs.build import from_edges
+
+    g = from_edges(9, [(0, 1), (1, 2), (4, 5), (7, 8)])  # + isolated 3, 6
+    for seed in (0, 1, 2):
+        rng = np.random.default_rng(seed)
+        order = LinearOrder.from_sequence(rng.permutation(g.n))
+        cover = build_cover(g, order, radius)
+        _assert_same_cover(cover, build_cover_lists(g, order, radius))
+        assert validate_cover(g, cover) == []
+
+
+def test_cluster_keys_and_members_are_plain_ints():
+    g = gen.path_graph(6)
+    order = LinearOrder.identity(6)
+    cover = build_cover(g, order, 1)
+    for v, members in cover.clusters.items():
+        assert type(v) is int
+        assert all(type(w) is int for w in members)
+
+
+def test_cover_batch_kernel_path():
+    """A graph above the scalar-fallback threshold runs the CSR sweep."""
+    from repro.core.covers import build_cover_lists
+    from repro.orders.wreach import _SMALL_N
+    from repro.graphs.random_models import random_tree
+
+    g = random_tree(_SMALL_N + 150, seed=2)
+    order, _ = degeneracy_order(g)
+    _assert_same_cover(build_cover(g, order, 1), build_cover_lists(g, order, 1))
+
+
+def test_mismatched_precomputed_csr_rejected():
+    from repro.orders.wreach import wreach_csr
+
+    g = gen.grid_2d(5, 5)
+    order, _ = degeneracy_order(g)
+    radius = 1
+    with pytest.raises(OrderError):
+        # WReach_r supplied where WReach_2r is expected.
+        build_cover(
+            g,
+            order,
+            radius,
+            csr2=wreach_csr(g, order, radius),
+            csr1=wreach_csr(g, order, radius),
+        )

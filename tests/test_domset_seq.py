@@ -155,3 +155,181 @@ def test_large_radius_single_dominator():
     # Radius exceeds the diameter: the L-least vertex dominates everyone.
     least = int(order.by_rank[0])
     assert res.dominators == (least,)
+
+
+# ----------------------------------------------------------------------
+# Vectorized CSR consumer vs the retained list-based reference
+# ----------------------------------------------------------------------
+
+def _assert_same(a, b):
+    assert a.dominators == b.dominators
+    assert np.array_equal(a.dominator_of, b.dominator_of)
+    assert a.radius == b.radius
+
+
+@pytest.mark.parametrize("radius", [1, 2, 3])
+def test_csr_election_equals_list_reference(small_graph, radius):
+    """domset_by_wreach (vectorized) == domset_by_wreach_lists, all orders."""
+    from repro.core.domset import domset_by_wreach_lists
+
+    g = small_graph
+    orders = [degeneracy_order(g)[0], LinearOrder.identity(g.n)]
+    for seed in (0, 1, 2):
+        rng = np.random.default_rng(seed)
+        orders.append(LinearOrder.from_sequence(rng.permutation(g.n)))
+    for order in orders:
+        _assert_same(
+            domset_by_wreach(g, order, radius),
+            domset_by_wreach_lists(g, order, radius),
+        )
+
+
+def test_csr_election_accepts_precomputed_inputs():
+    from repro.orders.wreach import RankedAdjacency, wreach_csr
+
+    g = gen.grid_2d(5, 5)
+    order, _ = degeneracy_order(g)
+    adj = RankedAdjacency(g, order)
+    csr = wreach_csr(g, order, 2, adj=adj)
+    _assert_same(
+        domset_by_wreach(g, order, 2, csr=csr),
+        domset_by_wreach(g, order, 2),
+    )
+    _assert_same(
+        domset_by_wreach(g, order, 2, adj=adj),
+        domset_by_wreach(g, order, 2),
+    )
+
+
+def test_legacy_wreach_lists_argument_still_served():
+    """Passing precomputed lists routes through the reference path."""
+    from repro.orders.wreach import wreach_sets
+
+    g = gen.grid_2d(4, 4)
+    order, _ = degeneracy_order(g)
+    wr = wreach_sets(g, order, 2)
+    _assert_same(
+        domset_by_wreach(g, order, 2, wreach=wr),
+        domset_by_wreach(g, order, 2),
+    )
+
+
+def test_empty_graph_all_variants():
+    from repro.core.domset import domset_by_wreach_lists
+
+    g = from_edges(0, [])
+    order = LinearOrder.identity(0)
+    for fn in (domset_sequential, domset_by_wreach, domset_by_wreach_lists):
+        res = fn(g, order, 1)
+        assert res.dominators == ()
+        assert len(res.dominator_of) == 0
+
+
+def test_single_vertex_graph_all_variants():
+    from repro.core.domset import domset_by_wreach_lists
+
+    g = from_edges(1, [])
+    order = LinearOrder.identity(1)
+    for radius in (0, 1, 2):
+        for fn in (domset_sequential, domset_by_wreach, domset_by_wreach_lists):
+            res = fn(g, order, radius)
+            assert res.dominators == (0,)
+            assert res.dominator_of.tolist() == [0]
+
+
+@pytest.mark.parametrize("radius", [1, 2])
+def test_disconnected_graph_csr_equals_reference(radius):
+    from repro.core.domset import domset_by_wreach_lists
+
+    g = from_edges(9, [(0, 1), (1, 2), (4, 5), (7, 8)])  # + isolated 3, 6
+    for seed in (0, 1, 2, 3):
+        rng = np.random.default_rng(seed)
+        order = LinearOrder.from_sequence(rng.permutation(g.n))
+        a = domset_by_wreach(g, order, radius)
+        _assert_same(a, domset_by_wreach_lists(g, order, radius))
+        _assert_same(a, domset_sequential(g, order, radius))
+        assert is_distance_r_dominating_set(g, a.dominators, radius)
+
+
+def test_radius_one_matches_reference_on_structured_graphs():
+    from repro.core.domset import domset_by_wreach_lists
+
+    for g in (gen.grid_2d(5, 5), gen.star_graph(9), gen.cycle_graph(11)):
+        order, _ = degeneracy_order(g)
+        _assert_same(
+            domset_by_wreach(g, order, 1),
+            domset_by_wreach_lists(g, order, 1),
+        )
+
+
+def test_greedy_tie_breaks_preserved():
+    """Many vertices electing the same L-least dominator (heavy ties):
+    the vectorized election must pick identical winners and the
+    Algorithm-1 greedy must agree with it on every order."""
+    from repro.core.domset import domset_by_wreach_lists
+
+    graphs = [
+        gen.complete_graph(9),          # every vertex elects the L-least
+        gen.star_graph(10),             # center/leaf tie structure
+        from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2)]),
+    ]
+    for g in graphs:
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            order = LinearOrder.from_sequence(rng.permutation(g.n))
+            a = domset_by_wreach(g, order, 1)
+            _assert_same(a, domset_by_wreach_lists(g, order, 1))
+            _assert_same(a, domset_sequential(g, order, 1))
+    # Complete graph: everyone weakly reaches the L-least vertex.
+    g = gen.complete_graph(7)
+    order = LinearOrder.from_sequence([3, 0, 1, 2, 4, 5, 6])
+    res = domset_by_wreach(g, order, 1)
+    assert res.dominators == (3,)
+    assert all(d == 3 for d in res.dominator_of)
+
+
+def test_domset_sequential_shared_adjacency_matches_fresh():
+    from repro.orders.wreach import RankedAdjacency
+
+    g = gen.grid_2d(6, 6)
+    order, _ = degeneracy_order(g)
+    adj = RankedAdjacency(g, order)
+    _assert_same(
+        domset_sequential(g, order, 2, adj=adj),
+        domset_sequential(g, order, 2),
+    )
+
+
+def test_dominators_and_dominator_of_are_plain_ints():
+    g = gen.grid_2d(4, 4)
+    order, _ = degeneracy_order(g)
+    res = domset_by_wreach(g, order, 1)
+    assert all(type(d) is int for d in res.dominators)
+    assert res.dominator_of.dtype == np.int64
+
+
+def test_mismatched_precomputed_csr_rejected():
+    from repro.orders.wreach import wreach_csr
+
+    g = gen.grid_2d(5, 5)
+    order, _ = degeneracy_order(g)
+    wrong_reach = wreach_csr(g, order, 1)
+    with pytest.raises(OrderError):
+        domset_by_wreach(g, order, 2, csr=wrong_reach)
+    h = gen.grid_2d(4, 4)
+    other, _ = degeneracy_order(h)
+    with pytest.raises(OrderError):
+        domset_by_wreach(g, order, 2, csr=wreach_csr(h, other, 2))
+
+
+def test_csr_for_different_order_rejected():
+    from repro.orders.wreach import wreach_csr
+
+    g = gen.grid_2d(5, 5)
+    order_a, _ = degeneracy_order(g)
+    order_b = LinearOrder.from_sequence(
+        np.random.default_rng(7).permutation(g.n)
+    )
+    csr = wreach_csr(g, order_a, 2)
+    with pytest.raises(OrderError):
+        domset_by_wreach(g, order_b, 2, csr=csr)

@@ -79,6 +79,45 @@ def test_restricted_bfs_discovery_order_parity(radius):
             )
 
 
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+@pytest.mark.parametrize("radius", [1, 2])
+def test_csr_matches_reference(fixture, radius):
+    """The CSR representation carries exactly the reference sets."""
+    g = FIXTURES[fixture]()
+    for order in orders_for(g, seeds=(0, 1)):
+        csr = flat.wreach_csr(g, order, radius)
+        ns = naive.naive_wreach_sets(g, order, radius)
+        assert csr.tolists() == ns
+        assert len(csr.indptr) == g.n + 1
+        assert np.array_equal(
+            csr.sizes, naive.naive_wreach_sizes(g, order, radius)
+        )
+        assert csr.wcol() == naive.naive_wcol_of_order(g, order, radius)
+        # Rank-sorted rows: the first member is the L-least (the
+        # Theorem-5 election the vectorized domset consumer relies on).
+        assert csr.least().tolist() == [order.min_of(s) for s in ns]
+        for v in range(g.n):
+            assert csr.row(v).tolist() == ns[v]
+
+
+def test_csr_arrays_read_only_and_lists_memoized():
+    g = FIXTURES["ktree"]()
+    order, _ = degeneracy_order(g)
+    csr = flat.wreach_csr(g, order, 2)
+    assert not csr.indptr.flags.writeable
+    assert not csr.members.flags.writeable
+    assert csr.tolists() is csr.tolists()
+
+
+def test_wreach_sets_is_thin_wrapper_over_csr():
+    g = gen.k_tree(flat._SMALL_N + 100, 3, seed=7)
+    order, _ = degeneracy_order(g)
+    adj = flat.RankedAdjacency(g, order)
+    assert flat.wreach_sets(g, order, 2, adj=adj) == flat.wreach_csr(
+        g, order, 2, adj=adj
+    ).tolists()
+
+
 def test_batch_kernel_engages_above_small_threshold():
     """Graphs beyond the scalar fallback exercise the bit-parallel sweep."""
     g = rm.random_tree(flat._SMALL_N + 300, seed=11)
@@ -87,6 +126,34 @@ def test_batch_kernel_engages_above_small_threshold():
         assert np.array_equal(
             flat.wreach_sizes(g, order, 3), naive.naive_wreach_sizes(g, order, 3)
         )
+        csr = flat.wreach_csr(g, order, 2)
+        assert csr.tolists() == naive.naive_wreach_sets(g, order, 2)
+
+
+@pytest.mark.parametrize("radius", [1, 2, 3])
+def test_paths_batch_kernel_beyond_small_threshold(radius):
+    """n > _SMALL_N exercises the vectorized flat-pair path sweep."""
+    g = gen.k_tree(flat._SMALL_N + 300, 3, seed=11)
+    for order in orders_for(g, seeds=(0,)):
+        wf, pf = flat.wreach_sets_with_paths(g, order, radius)
+        wn, pn = naive.naive_wreach_sets_with_paths(g, order, radius)
+        assert wf == wn
+        assert pf == pn
+
+
+def test_paths_multi_batch_boundaries():
+    """Roots spanning several _PATH_SPAN-lane batches keep exact parity."""
+    g = rm.random_tree(flat._PATH_SPAN * 2 + 77, seed=3)
+    order, _ = degeneracy_order(g)
+    wf, pf = flat.wreach_sets_with_paths(g, order, 3)
+    wn, pn = naive.naive_wreach_sets_with_paths(g, order, 3)
+    assert wf == wn
+    assert pf == pn
+    # Members ascend in rank even across batch boundaries.
+    rank = order.rank
+    for members in wf:
+        ranks = [int(rank[u]) for u in members]
+        assert ranks == sorted(ranks)
 
 
 def test_multi_batch_boundaries():
@@ -118,6 +185,9 @@ def test_edge_cases(radius):
                 flat.wreach_sizes(g, order, radius),
                 naive.naive_wreach_sizes(g, order, radius),
             )
+            csr = flat.wreach_csr(g, order, radius)
+            assert csr.tolists() == naive.naive_wreach_sets(g, order, radius)
+            assert np.array_equal(csr.sizes, flat.wreach_sizes(g, order, radius))
             wf, pf = flat.wreach_sets_with_paths(g, order, radius)
             wn, pn = naive.naive_wreach_sets_with_paths(g, order, radius)
             assert (wf, pf) == (wn, pn)
