@@ -15,7 +15,6 @@ The sweep runs through :func:`repro.api.solve` with
 across the solve + certificate measurements.
 """
 
-import pytest
 
 from repro.api import PrecomputeCache, solve
 from repro.bench.harness import write_result

@@ -12,7 +12,6 @@ Two fidelity decisions from DESIGN.md are quantified here:
 
 import time
 
-import pytest
 
 from repro.bench.harness import write_result
 from repro.bench.tables import Table

@@ -13,7 +13,6 @@ would plot.  Printed as aligned tables (x-axis r = 1..4):
   grows linearly (3r + order), normalized ~ r * c(r) on top.
 """
 
-import pytest
 
 from repro.bench.harness import write_result
 from repro.bench.tables import Table

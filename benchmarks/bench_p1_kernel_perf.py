@@ -19,10 +19,16 @@ Times the hot kernels this repo's guarantees are computed with:
 * the ``domset_bc`` CONGEST_BC simulation on **both simulator
   engines** — the vectorized batch round engine vs the per-node
   reference loop — wall time, rounds, and traffic (identical outputs
-  and statistics are asserted before anything is timed).
+  and statistics are asserted before anything is timed);
+* the **workspace warm start**: an end-to-end certified ``seq.wreach``
+  solve against a cold store-backed cache (computes + persists every
+  artifact) vs a fresh cache over the now-warm store (every artifact
+  loaded, zero recomputation — asserted via ``PrecomputeCache.stats()``
+  along with identical outputs).  The ratio is what a second *process*
+  saves by inheriting a warm :class:`repro.api.store.ArtifactStore`.
 
 Results go to ``BENCH_kernels.json`` at the repo root (the perf
-trajectory later PRs are judged against, schema 3) and a human-readable
+trajectory later PRs are judged against, schema 4) and a human-readable
 table in ``benchmarks/results/p1_kernel_perf.txt``.
 
 Usage::
@@ -53,6 +59,7 @@ import argparse
 import json
 import pathlib
 import sys
+import tempfile
 import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -134,6 +141,32 @@ GATED_KERNELS = (
 #: vectorized code paths being gated don't run anyway.
 RATIO_GATED = ("wreach_paths", "domset_seq", "covers")
 RATIO_GATE_MIN_N = flat._SMALL_N
+
+
+def _warm_vs_cold(g, radius: int) -> dict:
+    """Store-backed warm start: cold solve (compute + persist) vs a fresh
+    cache over the warm store (load everything, recompute nothing)."""
+    from repro.api import PrecomputeCache, SolveRequest, solve_request
+    from repro.api.store import ArtifactStore
+
+    req = SolveRequest(graph=g, radius=radius, algorithm="seq.wreach", certify=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(tmp)
+        cold_cache = PrecomputeCache(store=store)
+        t0 = time.perf_counter()
+        cold = solve_request(req, cache=cold_cache)
+        t_cold = time.perf_counter() - t0
+        # A fresh cache over the warm store stands in for a new process.
+        warm_cache = PrecomputeCache(store=store)
+        t0 = time.perf_counter()
+        warm = solve_request(req, cache=warm_cache)
+        t_warm = time.perf_counter() - t0
+    if warm.dominators != cold.dominators or warm.certificate != cold.certificate:
+        raise AssertionError("warm store solve deviates from cold")
+    recomputed = sum(c["computed"] for c in warm_cache.stats().values())
+    if recomputed:
+        raise AssertionError(f"warm store solve recomputed {recomputed} artifacts")
+    return {"cold_s": t_cold, "warm_s": t_warm, "speedup": t_cold / t_warm}
 
 
 def _best(fn, repeats: int) -> tuple[object, float]:
@@ -232,6 +265,8 @@ def bench_instance(name, family, build, repeats):
     ):
         raise AssertionError(f"{name}: batch domset_bc deviates from per-node")
 
+    warm = _warm_vs_cold(g, RADIUS)
+
     return {
         "name": name,
         "family": family,
@@ -276,6 +311,7 @@ def bench_instance(name, family, build, repeats):
             "flat_s": t_degen_flat,
             "speedup": t_degen_naive / t_degen_flat,
         },
+        "workspace_warm": warm,
         "domset_bc": {
             "pernode_s": t_sim_per,
             "batch_s": t_sim_bat,
@@ -325,7 +361,7 @@ def main(argv=None) -> int:
         f"P1: flat/batch kernels vs references (reach = 2r = {2 * RADIUS})",
         [
             "instance", "n", "wcol", "sets x", "csr x", "wcol x", "paths x",
-            "domset x", "covers x", "degen x", "domset_bc",
+            "domset x", "covers x", "degen x", "warm x", "domset_bc",
         ],
     )
     rows = []
@@ -344,6 +380,7 @@ def main(argv=None) -> int:
             f"{row['domset_seq']['speedup']:.1f}",
             f"{row['covers']['speedup']:.1f}",
             f"{row['degeneracy']['speedup']:.1f}",
+            f"{row['workspace_warm']['speedup']:.1f}",
             f"{sim['batch_s'] * 1e3:.0f} ms batch / "
             f"{sim['pernode_s'] * 1e3:.0f} ms pernode ({sim['speedup']:.1f}x)",
         )
@@ -355,13 +392,14 @@ def main(argv=None) -> int:
             f"domset {row['domset_seq']['speedup']:.1f}x  "
             f"covers {row['covers']['speedup']:.1f}x  "
             f"degen {row['degeneracy']['speedup']:.1f}x  "
+            f"warm {row['workspace_warm']['speedup']:.1f}x  "
             f"domset_bc {row['domset_bc']['speedup']:.1f}x",
             flush=True,
         )
 
     largest = max(rows, key=lambda r: r["n"])
     report = {
-        "schema": 3,
+        "schema": 4,
         "benchmark": "p1_kernel_perf",
         "mode": "smoke" if args.smoke else "full",
         "radius": RADIUS,
@@ -379,6 +417,7 @@ def main(argv=None) -> int:
             "domset_seq_speedup": largest["domset_seq"]["speedup"],
             "covers_speedup": largest["covers"]["speedup"],
             "degeneracy_speedup": largest["degeneracy"]["speedup"],
+            "workspace_warm_speedup": largest["workspace_warm"]["speedup"],
             "domset_bc_speedup": largest["domset_bc"]["speedup"],
         },
     }

@@ -19,7 +19,6 @@ empirically greedy <= dvorak <= ours on sizes while only ours carries
 the per-instance certificate.
 """
 
-import pytest
 
 from repro.api import PrecomputeCache, solve
 from repro.bench.harness import write_result

@@ -8,7 +8,6 @@ the interesting number is its magnitude), cluster count and sizes, and
 whether every ball N_r[w] is inside its home cluster.
 """
 
-import pytest
 
 from repro.bench.harness import write_result
 from repro.bench.tables import Table

@@ -22,7 +22,6 @@ was built for.
 
 import math
 
-import pytest
 
 from repro.analysis.stats import linear_fit
 from repro.api import PrecomputeCache, solve

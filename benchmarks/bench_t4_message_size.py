@@ -8,7 +8,6 @@ c * (2r+1) * 2 words, plus the CONGEST_BC-compliant normalized round
 count that the pipelining argument converts it into.
 """
 
-import pytest
 
 from repro.bench.harness import write_result
 from repro.bench.tables import Table

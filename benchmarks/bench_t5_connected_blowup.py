@@ -13,7 +13,6 @@ connect=True)``; the shared cache reuses one H-partition order run per
 workload across both radii.
 """
 
-import pytest
 
 from repro.api import PrecomputeCache, solve
 from repro.analysis.validate import is_connected_distance_r_dominating_set

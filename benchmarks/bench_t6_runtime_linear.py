@@ -10,7 +10,6 @@ R^2 of a linear fit of time vs n.
 
 import time
 
-import pytest
 
 from repro.analysis.stats import linear_fit
 from repro.bench.harness import write_result

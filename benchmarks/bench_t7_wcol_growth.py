@@ -9,7 +9,6 @@ inputs (subdivided cliques) show growth in n at r >= 2 — exactly the
 separation bounded expansion formalizes.
 """
 
-import pytest
 
 from repro.bench.harness import write_result
 from repro.bench.tables import Table

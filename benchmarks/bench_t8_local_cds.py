@@ -13,7 +13,6 @@ The whole composition is one registered solver
 registry (``seq.exact``).
 """
 
-import pytest
 
 from repro.api import PrecomputeCache, solve
 from repro.analysis.validate import is_connected_distance_r_dominating_set

@@ -17,7 +17,6 @@ ruling sets are smaller on dense balls but carry no ratio bound; only
 Theorem 9 works in CONGEST_BC with a certified constant ratio.
 """
 
-import pytest
 
 from repro.api import PrecomputeCache, SolveRequest, solve_batch
 from repro.analysis.validate import is_distance_r_dominating_set

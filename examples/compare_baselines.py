@@ -1,16 +1,17 @@
 """Every dominating-set algorithm in the library on one instance.
 
 A guided tour powered by the solver registry: ``list_solvers()`` is
-the source of truth for what exists, one ``solve_batch`` sweep runs
-every applicable algorithm on the same Delaunay road-network instance
-(sharing the order/WReach precomputation through the batch cache), and
-each row reports the guarantee the registry declares for it.
+the source of truth for what exists, one workspace sweep runs every
+applicable algorithm on the same Delaunay road-network instance
+(sharing the order/WReach precomputation through the workspace cache,
+streaming rows as solvers finish), and each row reports the guarantee
+the registry declares for it.
 
 Run:  python examples/compare_baselines.py
 """
 
 from repro.analysis.validate import is_distance_r_dominating_set
-from repro.api import PrecomputeCache, SolveRequest, list_solvers, solve, solve_batch
+from repro.api import PrecomputeCache, SolveRequest, Workspace, list_solvers, solve
 from repro.core.exact import lp_lower_bound
 from repro.core.independence import scattered_lower_bound
 from repro.graphs.random_models import delaunay_graph
@@ -31,18 +32,22 @@ def main() -> None:
     print(f"instance: Delaunay, n={g.n}, m={g.m}, r={radius}")
     print(f"lower bounds: LP={lp:.1f}, scattered-set={scatter}  ->  OPT >= {lb:.1f}\n")
 
-    infos = [i for i in list_solvers() if i.name not in SKIP
-             and i.capabilities.supports_radius(radius)]
+    infos = {i.name: i for i in list_solvers() if i.name not in SKIP
+             and i.capabilities.supports_radius(radius)}
+    # A workspace sweep: one shared cache for the order/WReach
+    # precomputation, with results streamed as each solver finishes.
+    ws = Workspace(cache=cache)
+    handle = ws.add(g)
     requests = [
-        SolveRequest(graph=g, radius=radius, algorithm=i.name,
+        SolveRequest(graph=handle, radius=radius, algorithm=name,
                      certify=True, seed=1)
-        for i in infos
+        for name in infos
     ]
-    results = solve_batch(requests, cache=cache)
 
     print(f"{'solver':22} {'|D|':>5}  ratio>=   model       guarantee")
-    for info, res in zip(infos, results):
-        caps = info.capabilities
+    for fut in ws.as_completed(requests):
+        res = fut.result()
+        caps = infos[res.algorithm].capabilities
         print(f"{res.algorithm:22} {res.size:5d}  {res.size / lb:7.2f}   "
               f"{caps.model:10}  {caps.guarantee}")
         assert is_distance_r_dominating_set(g, res.dominators, radius)

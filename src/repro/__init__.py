@@ -26,9 +26,12 @@ README.md for the architecture overview and the full solver table.
 from repro import graphs
 from repro.graphs import generators, random_models
 from repro.api import (
+    ArtifactStore,
+    GraphHandle,
     PrecomputeCache,
     SolveRequest,
     SolveResult,
+    Workspace,
     list_solvers,
     register_solver,
     solve,
@@ -81,7 +84,10 @@ __all__ = [
     "register_solver",
     "SolveRequest",
     "SolveResult",
+    "GraphHandle",
     "PrecomputeCache",
+    "ArtifactStore",
+    "Workspace",
     "sequential_pipeline",
     "congest_bc_pipeline",
     "planar_cds_pipeline",

@@ -13,14 +13,20 @@ algorithm in the library::
 Layers (lowest first):
 
 * :mod:`repro.api.types` — ``SolveRequest`` / ``SolveResult`` /
-  ``SolverCapabilities``;
-* :mod:`repro.api.cache` — content-keyed memoization of orders, WReach
-  sets, wcol measurements, and distributed order computations;
+  ``GraphHandle`` / ``SolverCapabilities``;
+* :mod:`repro.api.store` — ``ArtifactStore``: digest-keyed npz
+  persistence of precompute artifacts (orders, rank-CSR, WReach CSR,
+  wcol, distributed orders);
+* :mod:`repro.api.cache` — content-keyed memoization of the same,
+  optionally two-tier over a store;
 * :mod:`repro.api.registry` — ``@register_solver`` + ``list_solvers``;
 * :mod:`repro.api.solvers` — the registered adapters over the legacy
   entry points (importing this package registers them);
 * :mod:`repro.api.facade` — ``solve`` / ``solve_request`` /
-  ``solve_batch``.
+  ``solve_batch``;
+* :mod:`repro.api.workspace` — ``Workspace``: graph handles, warm
+  starts, and the streaming ``submit`` / ``as_completed`` executor
+  that ``solve_batch`` wraps.
 
 The legacy ``repro.pipelines`` functions remain as deprecation shims
 routed through this registry.
@@ -36,26 +42,34 @@ from repro.api.registry import (
     solver_names,
     unregister_solver,
 )
+from repro.api.store import ArtifactStore, order_digest
 from repro.api.types import (
+    GraphHandle,
     SolveRequest,
     SolveResult,
     SolverCapabilities,
     SolverInfo,
     SolverOutput,
 )
+from repro.api.workspace import SolveFuture, Workspace
 
 __all__ = [
     "solve",
     "solve_batch",
     "solve_request",
+    "GraphHandle",
     "SolveRequest",
     "SolveResult",
+    "SolveFuture",
     "SolverCapabilities",
     "SolverInfo",
     "SolverOutput",
+    "ArtifactStore",
     "PrecomputeCache",
+    "Workspace",
     "default_cache",
     "graph_digest",
+    "order_digest",
     "register_solver",
     "unregister_solver",
     "get_solver",

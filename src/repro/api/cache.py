@@ -15,55 +15,75 @@ than ``id()``) is deliberate: :class:`~repro.graphs.graph.Graph` is
 immutable, has no ``__weakref__`` slot, and equal CSR bytes really do
 determine every derived object, so the cache can never go stale.
 
+The cache is **two-tier** when built with a ``store``
+(:class:`~repro.api.store.ArtifactStore`): a memory miss falls through
+to the digest-keyed npz files on disk, and fresh computations are
+written through, so a warm store serves later *processes* — not just
+later calls — with zero recomputation.  Without a store it behaves
+exactly as the original in-memory cache.
+
 Entries are LRU-evicted beyond ``maxsize`` per category; hit/miss
 counters are kept per category so tests (and curious users) can assert
-the sharing actually happens.
+the sharing actually happens.  With a store attached, ``stats()``
+additionally reports per-category ``store_hits`` (served from disk) and
+``computed`` (actually recomputed) so "the warm run recomputed nothing"
+is a one-line assertion.
 """
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
-from typing import Any, Callable, Hashable
+from typing import TYPE_CHECKING, Any, Callable, Hashable
 
+from repro.api.store import graph_digest, order_digest
 from repro.graphs.graph import Graph
 from repro.orders.linear_order import LinearOrder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.store import ArtifactStore
 
 __all__ = ["PrecomputeCache", "graph_digest", "order_digest", "default_cache"]
 
 
-def graph_digest(g: Graph) -> str:
-    """Content digest of a graph's CSR arrays (stable across processes)."""
-    h = hashlib.blake2b(digest_size=16)
-    h.update(g.n.to_bytes(8, "little"))
-    h.update(g.indptr.tobytes())
-    h.update(g.indices.tobytes())
-    return h.hexdigest()
-
-
-def order_digest(order: LinearOrder) -> str:
-    """Content digest of a linear order (for order-keyed entries)."""
-    return hashlib.blake2b(order.rank.tobytes(), digest_size=16).hexdigest()
-
-
 class _LruTable:
-    """One cache category: an LRU dict with hit/miss counters."""
+    """One cache category: an LRU dict with hit/miss/store-hit counters."""
 
-    __slots__ = ("maxsize", "entries", "hits", "misses")
+    __slots__ = ("maxsize", "entries", "hits", "misses", "store_hits")
 
     def __init__(self, maxsize: int):
         self.maxsize = maxsize
         self.entries: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
 
-    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+    def get_or_compute(
+        self,
+        key: Hashable,
+        compute: Callable[[], Any],
+        load: Callable[[], Any] | None = None,
+        persist: Callable[[Any], None] | None = None,
+    ) -> Any:
+        """Memory -> store -> compute, with write-through on a true miss.
+
+        ``load`` (returning ``None`` on a store miss) and ``persist`` are
+        the second tier; both are optional so store-less categories pay
+        nothing.  ``misses`` counts memory misses; ``store_hits`` the
+        subset served by ``load``, so ``misses - store_hits`` is the
+        number of actual computations.
+        """
         if key in self.entries:
             self.hits += 1
             self.entries.move_to_end(key)
             return self.entries[key]
         self.misses += 1
-        value = compute()
+        value = load() if load is not None else None
+        if value is not None:
+            self.store_hits += 1
+        else:
+            value = compute()
+            if persist is not None:
+                persist(value)
         self.entries[key] = value
         while len(self.entries) > self.maxsize:
             self.entries.popitem(last=False)
@@ -73,10 +93,20 @@ class _LruTable:
         self.entries.clear()
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
 
 
 class PrecomputeCache:
     """Shared precomputation store for the :func:`repro.api.solve` façade.
+
+    Parameters
+    ----------
+    maxsize:
+        LRU bound per category (memory tier).
+    store:
+        Optional :class:`~repro.api.store.ArtifactStore`; when given,
+        every category below except the derived views reads through to
+        (and writes through to) its digest-keyed npz files.
 
     Categories
     ----------
@@ -105,7 +135,7 @@ class PrecomputeCache:
         runs, keyed by (graph, mode, radius, threshold).
     """
 
-    def __init__(self, maxsize: int = 64):
+    def __init__(self, maxsize: int = 64, store: ArtifactStore | None = None):
         self._tables = {
             name: _LruTable(maxsize)
             for name in (
@@ -116,6 +146,12 @@ class PrecomputeCache:
                 "dist_order",
             )
         }
+        self._store = store
+
+    @property
+    def store(self) -> ArtifactStore | None:
+        """The persistent tier, or ``None`` for a memory-only cache."""
+        return self._store
 
     #: Order strategies whose output does not depend on the radius
     #: argument of ``make_order`` — they share one cache entry per graph.
@@ -129,9 +165,20 @@ class PrecomputeCache:
         from repro.pipelines import make_order
 
         key_radius = 0 if strategy in self.RADIUS_FREE_STRATEGIES else int(radius)
-        key = (graph_digest(g), strategy, key_radius)
+        gd = graph_digest(g)
+        key = (gd, strategy, key_radius)
+        load = persist = None
+        if self._store is not None:
+            store = self._store
+
+            def load():
+                return store.get_order(gd, strategy, key_radius, n=g.n)
+
+            def persist(v):
+                store.put_order(gd, strategy, key_radius, v)
+
         return self._tables["order"].get_or_compute(
-            key, lambda: make_order(g, radius, strategy)
+            key, lambda: make_order(g, radius, strategy), load, persist
         )
 
     def rank_adjacency(self, g: Graph, order: LinearOrder):
@@ -142,9 +189,20 @@ class PrecomputeCache:
         """
         from repro.orders.wreach import RankedAdjacency
 
-        key = (graph_digest(g), order_digest(order))
+        gd, od = graph_digest(g), order_digest(order)
+        key = (gd, od)
+        load = persist = None
+        if self._store is not None:
+            store = self._store
+
+            def load():
+                return store.get_rank_adj(gd, od, g, order)
+
+            def persist(v):
+                store.put_rank_adj(gd, od, v)
+
         return self._tables["rank_adj"].get_or_compute(
-            key, lambda: RankedAdjacency(g, order)
+            key, lambda: RankedAdjacency(g, order), load, persist
         )
 
     def wreach_csr(self, g: Graph, order: LinearOrder, reach: int):
@@ -156,12 +214,25 @@ class PrecomputeCache:
         """
         from repro.orders.wreach import wreach_csr
 
-        key = (graph_digest(g), order_digest(order), int(reach))
+        gd, od = graph_digest(g), order_digest(order)
+        key = (gd, od, int(reach))
+        load = persist = None
+        if self._store is not None:
+            store = self._store
+
+            def load():
+                return store.get_wreach(gd, od, int(reach), g, order)
+
+            def persist(v):
+                store.put_wreach(gd, od, int(reach), v)
+
         return self._tables["wreach_csr"].get_or_compute(
             key,
             lambda: wreach_csr(
                 g, order, reach, adj=self.rank_adjacency(g, order)
             ),
+            load,
+            persist,
         )
 
     def wreach(self, g: Graph, order: LinearOrder, reach: int) -> list[list[int]]:
@@ -182,9 +253,20 @@ class PrecomputeCache:
 
     def wcol(self, g: Graph, order: LinearOrder, reach: int) -> int:
         """``wcol_of_order`` via the cached CSR size profile."""
-        key = (graph_digest(g), order_digest(order), int(reach))
+        gd, od = graph_digest(g), order_digest(order)
+        key = (gd, od, int(reach))
+        load = persist = None
+        if self._store is not None:
+            store = self._store
+
+            def load():
+                return store.get_wcol(gd, od, int(reach))
+
+            def persist(v):
+                store.put_wcol(gd, od, int(reach), v)
+
         return self._tables["wcol"].get_or_compute(
-            key, lambda: self.wreach_csr(g, order, reach).wcol()
+            key, lambda: self.wreach_csr(g, order, reach).wcol(), load, persist
         )
 
     def distributed_order(
@@ -210,7 +292,8 @@ class PrecomputeCache:
         # The H-partition construction does not depend on the radius, so
         # sweeps over r share one order run; augmented orders do depend.
         key_radius = 0 if mode == "h_partition" else int(radius)
-        key = (graph_digest(g), mode, key_radius, threshold)
+        gd = graph_digest(g)
+        key = (gd, mode, key_radius, threshold)
 
         def compute():
             if mode == "h_partition":
@@ -219,15 +302,35 @@ class PrecomputeCache:
                 return distributed_augmented_order(g, radius, threshold, engine=engine)
             raise ValueError(f"unknown order mode {mode!r}")
 
-        return self._tables["dist_order"].get_or_compute(key, compute)
+        load = persist = None
+        if self._store is not None:
+            store = self._store
+
+            def load():
+                return store.get_dist_order(gd, mode, key_radius, threshold, n=g.n)
+
+            def persist(v):
+                store.put_dist_order(gd, mode, key_radius, threshold, v)
+
+        return self._tables["dist_order"].get_or_compute(key, compute, load, persist)
 
     # -- bookkeeping -----------------------------------------------------
     def stats(self) -> dict[str, dict[str, int]]:
-        """Per-category ``{"hits": ..., "misses": ..., "size": ...}``."""
-        return {
-            name: {"hits": t.hits, "misses": t.misses, "size": len(t.entries)}
-            for name, t in self._tables.items()
-        }
+        """Per-category ``{"hits": ..., "misses": ..., "size": ...}``.
+
+        With a store attached, each category additionally reports
+        ``store_hits`` (memory misses served from disk) and ``computed``
+        (= ``misses - store_hits``, the recomputations that actually
+        ran) — the counters the warm-start acceptance tests assert on.
+        """
+        out = {}
+        for name, t in self._tables.items():
+            row = {"hits": t.hits, "misses": t.misses, "size": len(t.entries)}
+            if self._store is not None:
+                row["store_hits"] = t.store_hits
+                row["computed"] = t.misses - t.store_hits
+            out[name] = row
+        return out
 
     def clear(self) -> None:
         for t in self._tables.values():

@@ -26,8 +26,8 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.api import solvers as _solvers  # noqa: F401  (populates the registry)
 from repro.api.cache import PrecomputeCache, default_cache
-from repro.api.registry import get_solver, list_solvers
-from repro.api.types import SolveRequest, SolveResult, SolverOutput
+from repro.api.registry import get_solver
+from repro.api.types import GraphHandle, SolveRequest, SolveResult, SolverOutput
 from repro.core.certify import Certificate
 from repro.errors import SolverError
 from repro.graphs.graph import Graph
@@ -36,7 +36,7 @@ __all__ = ["solve", "solve_request", "solve_batch"]
 
 
 def solve(
-    g: Graph,
+    g: Graph | GraphHandle,
     radius: int = 1,
     algorithm: str = "seq.wreach",
     *,
@@ -78,6 +78,13 @@ def solve_request(
     request: SolveRequest, cache: PrecomputeCache | None = None
 ) -> SolveResult:
     """Execute one :class:`SolveRequest` and normalize the response."""
+    if isinstance(request.graph, GraphHandle):
+        if request.graph.graph is None:
+            raise SolverError(
+                "request carries a detached GraphHandle; execute it through "
+                "its Workspace (ws.solve / ws.submit / ws.as_completed)"
+            )
+        request = request.resolved(request.graph.graph)
     solver = get_solver(request.algorithm)
     caps = solver.capabilities
     if not caps.supports_radius(request.radius):
@@ -196,13 +203,8 @@ def _validate(
 
 
 # ----------------------------------------------------------------------
-# Batch execution
+# Batch execution (compatibility wrapper over the workspace executor)
 # ----------------------------------------------------------------------
-
-def _execute_request(request: SolveRequest) -> SolveResult:
-    """Worker entry point: run against the per-process default cache."""
-    return solve_request(request, cache=default_cache())
-
 
 def solve_batch(
     requests: Iterable[SolveRequest],
@@ -211,24 +213,30 @@ def solve_batch(
 ) -> list[SolveResult]:
     """Execute many requests, sharing precomputation where possible.
 
+    A thin wrapper over :class:`repro.api.workspace.Workspace`:
     ``workers=None`` (or 0/1) runs in-process against one shared cache
     — the mode that maximizes order/WReach reuse and is the right
     default for sweeps over a common graph.  ``workers=N > 1`` fans out
-    over a process pool; each worker process keeps its own cache, so
-    co-locating requests on the same graph still amortizes within a
-    worker.  Results come back in request order either way.
+    over a process pool with requests *co-located by graph digest*:
+    requests on the same graph are batched into the same tasks (so the
+    per-process caches actually hit) and each distinct graph is
+    serialized to the pool at most once per worker, not once per
+    request.  When there are fewer distinct graphs than workers, a
+    graph's requests are split across the idle workers — full-pool
+    parallelism at the price of some recomputation per extra worker
+    (none when the workspace has a store).  Results come back in
+    request order either way.
+
+    For streaming results, graph handles, or persistent precompute, use
+    a :class:`~repro.api.workspace.Workspace` directly.
     """
+    from repro.api.workspace import Workspace
+
     reqs = list(requests)
     for r in reqs:
         if not isinstance(r, SolveRequest):
             raise SolverError(
                 f"solve_batch expects SolveRequest items, got {type(r).__name__}"
             )
-    if workers is None or workers <= 1:
-        shared = cache if cache is not None else default_cache()
-        return [solve_request(r, cache=shared) for r in reqs]
-
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_execute_request, reqs))
+    with Workspace(cache=cache, workers=workers) as ws:
+        return ws.run(reqs)

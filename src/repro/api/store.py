@@ -1,0 +1,374 @@
+"""Persistent, content-addressed precompute artifacts.
+
+The expensive preprocessing products every order-based solver shares —
+the linear order, the rank-permuted adjacency, the :class:`WReachCSR`
+arrays, the measured wcol, the distributed order runs — are pure
+functions of graph *content*.  :class:`ArtifactStore` persists them to
+disk as ``npz`` files under digest-keyed paths, so a graph preprocessed
+once (``repro warm``, a first ``solve``, a batch sweep) serves every
+later process from disk:
+
+.. code-block:: text
+
+    <root>/
+      graphs/<graph-digest>.npz                     indptr, indices
+      orders/<graph-digest>/<strategy>-r<R>.npz     rank
+      rank_adj/<graph-digest>/<order-digest>.npz    rank-sorted nbrs
+      wreach/<graph-digest>/<order-digest>-reach<K>.npz   indptr, members
+      wcol/<graph-digest>/<order-digest>-reach<K>.npz     value
+      dist_orders/<graph-digest>/<mode>-r<R>-t<T>.npz     rank, class_ids, costs
+
+Digest keying (the same :func:`graph_digest` the in-memory cache uses)
+makes entries immune to staleness: equal CSR bytes determine every
+derived artifact, so a load can never serve data for a different graph.
+Loaded graphs are digest-verified; loaded orders are re-validated as
+permutations.  Writes go through a temp file + ``os.replace`` so a
+concurrent reader (pooled workers sharing one store) never sees a
+partial file; any unreadable or malformed entry is treated as a miss.
+
+:class:`~repro.api.cache.PrecomputeCache` layers its LRU tables over a
+store (two-tier read-through) — see ``PrecomputeCache(store=...)`` and
+:class:`repro.api.workspace.Workspace`, which wires the two together.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import tempfile
+import zipfile
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.orders.linear_order import LinearOrder
+
+__all__ = ["ArtifactStore", "graph_digest", "order_digest"]
+
+#: npz-load failures treated as a store miss: absent, truncated, or
+#: foreign files (``BadZipFile`` — npz is a zip) and missing arrays
+#: (``KeyError``).
+_LOAD_ERRORS = (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile)
+
+
+def graph_digest(g: Graph) -> str:
+    """Content digest of a graph's CSR arrays (stable across processes)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(g.n.to_bytes(8, "little"))
+    h.update(g.indptr.tobytes())
+    h.update(g.indices.tobytes())
+    return h.hexdigest()
+
+
+def order_digest(order: LinearOrder) -> str:
+    """Content digest of a linear order (for order-keyed entries)."""
+    return hashlib.blake2b(order.rank.tobytes(), digest_size=16).hexdigest()
+
+
+class ArtifactStore:
+    """Digest-keyed npz persistence of precompute artifacts.
+
+    All ``get_*`` methods return ``None`` on a miss (absent, partial, or
+    malformed file); all ``put_*`` methods are atomic per artifact and
+    idempotent, so concurrent processes warming the same store are safe.
+    The store is pure persistence — memoization, LRU policy, and hit
+    accounting live in :class:`~repro.api.cache.PrecomputeCache`.
+    """
+
+    #: Artifact categories, in the order ``describe()`` reports them.
+    CATEGORIES = ("graphs", "orders", "rank_adj", "wreach", "wcol", "dist_orders")
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArtifactStore({str(self.root)!r})"
+
+    # -- low-level npz I/O -------------------------------------------------
+    def _save(self, path: pathlib.Path, **arrays: Any) -> None:
+        """Atomic npz write: unique temp file in the target dir + replace.
+
+        ``mkstemp`` (not a pid-derived name) keeps concurrent *threads*
+        of one process from sharing a temp inode, so a reader can never
+        observe a partially-written artifact under the final path.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+        )
+        tmp = pathlib.Path(tmp_name)
+        try:
+            with os.fdopen(fd, "wb") as f:
+                np.savez(f, **arrays)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _load(self, path: pathlib.Path, *names: str) -> tuple[np.ndarray, ...] | None:
+        """The named arrays of an npz file, or ``None`` on any failure."""
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                return tuple(data[name] for name in names)
+        except _LOAD_ERRORS:
+            return None
+
+    # -- graphs --------------------------------------------------------------
+    def _graph_path(self, digest: str) -> pathlib.Path:
+        return self.root / "graphs" / f"{digest}.npz"
+
+    def put_graph(self, g: Graph, digest: str | None = None) -> str:
+        """Persist a graph's CSR arrays; returns its digest (idempotent).
+
+        Pass ``digest`` when it is already in hand (handles, grouped
+        dispatch) to skip re-hashing the CSR arrays — an O(m) cost on
+        hot submit paths.
+        """
+        if digest is None:
+            digest = graph_digest(g)
+        path = self._graph_path(digest)
+        if not path.exists():
+            self._save(path, indptr=g.indptr, indices=g.indices)
+        return digest
+
+    def get_graph(self, digest: str) -> Graph | None:
+        """Load a graph by digest, verified against its own content."""
+        loaded = self._load(self._graph_path(digest), "indptr", "indices")
+        if loaded is None:
+            return None
+        indptr, indices = loaded
+        try:
+            g = Graph(
+                indptr.astype(np.int64, copy=False),
+                indices.astype(np.int32, copy=False),
+                _checked=True,
+            )
+        except _LOAD_ERRORS:
+            return None
+        # The digest check subsumes structural validation: only the exact
+        # CSR bytes that were stored can hash back to the requested key.
+        return g if graph_digest(g) == digest else None
+
+    def graph_digests(self) -> list[str]:
+        """Digests of every persisted graph, sorted."""
+        gdir = self.root / "graphs"
+        return sorted(p.stem for p in gdir.glob("*.npz")) if gdir.is_dir() else []
+
+    def graph_meta(self, digest: str) -> tuple[int, int] | None:
+        """``(n, m)`` of a persisted graph from its offsets alone.
+
+        Listings (``describe``, ``Workspace.handles``) use this to avoid
+        reading — or re-hashing — the potentially large neighbor arrays.
+        """
+        loaded = self._load(self._graph_path(digest), "indptr")
+        if loaded is None:
+            return None
+        (indptr,) = loaded
+        if indptr.ndim != 1 or len(indptr) < 1:
+            return None
+        try:
+            return len(indptr) - 1, int(indptr[-1]) // 2
+        except (TypeError, ValueError):
+            return None
+
+    # -- linear orders ---------------------------------------------------
+    def _order_path(self, gdigest: str, strategy: str, radius: int) -> pathlib.Path:
+        return self.root / "orders" / gdigest / f"{strategy}-r{int(radius)}.npz"
+
+    def put_order(
+        self, gdigest: str, strategy: str, radius: int, order: LinearOrder
+    ) -> None:
+        self._save(self._order_path(gdigest, strategy, radius), rank=order.rank)
+
+    def get_order(
+        self, gdigest: str, strategy: str, radius: int, n: int | None = None
+    ) -> LinearOrder | None:
+        loaded = self._load(self._order_path(gdigest, strategy, radius), "rank")
+        if loaded is None:
+            return None
+        (rank,) = loaded
+        if n is not None and len(rank) != n:
+            return None
+        try:
+            # LinearOrder re-validates the permutation property.
+            return LinearOrder(rank.astype(np.int64, copy=False))
+        except Exception:
+            return None
+
+    # -- rank-permuted adjacency ------------------------------------------
+    def _rank_adj_path(self, gdigest: str, odigest: str) -> pathlib.Path:
+        return self.root / "rank_adj" / gdigest / f"{odigest}.npz"
+
+    def put_rank_adj(self, gdigest: str, odigest: str, adj) -> None:
+        """Persist the rank-sorted neighbor array (the lexsort product)."""
+        self._save(self._rank_adj_path(gdigest, odigest), nbrs=adj.nbrs)
+
+    def get_rank_adj(self, gdigest: str, odigest: str, g: Graph, order: LinearOrder):
+        """Rebuild a :class:`RankedAdjacency` around the stored permutation."""
+        from repro.orders.wreach import RankedAdjacency
+
+        loaded = self._load(self._rank_adj_path(gdigest, odigest), "nbrs")
+        if loaded is None:
+            return None
+        (nbrs,) = loaded
+        if len(nbrs) != len(g.indices):
+            return None
+        try:
+            return RankedAdjacency.from_sorted_nbrs(
+                g, order, nbrs.astype(np.int64, copy=False)
+            )
+        except Exception:
+            return None
+
+    # -- WReach CSR ---------------------------------------------------------
+    def _wreach_path(self, gdigest: str, odigest: str, reach: int) -> pathlib.Path:
+        return self.root / "wreach" / gdigest / f"{odigest}-reach{int(reach)}.npz"
+
+    def put_wreach(self, gdigest: str, odigest: str, reach: int, csr) -> None:
+        self._save(
+            self._wreach_path(gdigest, odigest, reach),
+            indptr=csr.indptr,
+            members=csr.members,
+        )
+
+    def get_wreach(
+        self, gdigest: str, odigest: str, reach: int, g: Graph, order: LinearOrder
+    ):
+        from repro.orders.wreach import WReachCSR
+
+        loaded = self._load(
+            self._wreach_path(gdigest, odigest, reach), "indptr", "members"
+        )
+        if loaded is None:
+            return None
+        indptr, members = loaded
+        if (
+            indptr.ndim != 1
+            or members.ndim != 1
+            or len(indptr) != g.n + 1
+            or (g.n > 0 and (indptr[0] != 0 or int(indptr[-1]) != len(members)))
+        ):
+            return None
+        return WReachCSR(
+            indptr.astype(np.int64, copy=False),
+            members.astype(np.int64, copy=False),
+            int(reach),
+            order.rank,
+        )
+
+    # -- wcol ---------------------------------------------------------------
+    def _wcol_path(self, gdigest: str, odigest: str, reach: int) -> pathlib.Path:
+        return self.root / "wcol" / gdigest / f"{odigest}-reach{int(reach)}.npz"
+
+    def put_wcol(self, gdigest: str, odigest: str, reach: int, value: int) -> None:
+        self._save(
+            self._wcol_path(gdigest, odigest, reach),
+            value=np.asarray(int(value), dtype=np.int64),
+        )
+
+    def get_wcol(self, gdigest: str, odigest: str, reach: int) -> int | None:
+        loaded = self._load(self._wcol_path(gdigest, odigest, reach), "value")
+        if loaded is None or loaded[0].size != 1:
+            return None
+        try:
+            return int(loaded[0].reshape(()))
+        except (TypeError, ValueError):
+            return None
+
+    # -- distributed order computations -------------------------------------
+    def _dist_order_path(
+        self, gdigest: str, mode: str, radius: int, threshold: int | None
+    ) -> pathlib.Path:
+        t = "auto" if threshold is None else str(int(threshold))
+        return self.root / "dist_orders" / gdigest / f"{mode}-r{int(radius)}-t{t}.npz"
+
+    def put_dist_order(
+        self, gdigest: str, mode: str, radius: int, threshold: int | None, oc
+    ) -> None:
+        costs = np.asarray(
+            [oc.rounds, oc.normalized_rounds, oc.max_payload_words, oc.total_words],
+            dtype=np.int64,
+        )
+        self._save(
+            self._dist_order_path(gdigest, mode, radius, threshold),
+            rank=oc.order.rank,
+            class_ids=oc.class_ids,
+            costs=costs,
+        )
+
+    def get_dist_order(
+        self,
+        gdigest: str,
+        mode: str,
+        radius: int,
+        threshold: int | None,
+        n: int | None = None,
+    ):
+        from repro.distributed.nd_order import OrderComputation
+
+        loaded = self._load(
+            self._dist_order_path(gdigest, mode, radius, threshold),
+            "rank",
+            "class_ids",
+            "costs",
+        )
+        if loaded is None:
+            return None
+        rank, class_ids, costs = loaded
+        if (n is not None and len(rank) != n) or len(costs) != 4:
+            return None
+        try:
+            order = LinearOrder(rank.astype(np.int64, copy=False))
+        except Exception:
+            return None
+        return OrderComputation(
+            order=order,
+            class_ids=class_ids.astype(np.int64, copy=False),
+            rounds=int(costs[0]),
+            normalized_rounds=int(costs[1]),
+            max_payload_words=int(costs[2]),
+            total_words=int(costs[3]),
+            mode=mode,
+        )
+
+    # -- introspection -------------------------------------------------------
+    def describe(self) -> dict:
+        """Store contents for ``repro workspace info``: graphs + categories.
+
+        Returns ``{"root", "graphs": [{"digest", "n", "m", "artifacts"}...],
+        "categories": {name: {"artifacts", "bytes"}}, "total_bytes"}``.
+        """
+        categories: dict[str, dict[str, int]] = {}
+        per_graph: dict[str, int] = {}
+        for cat in self.CATEGORIES:
+            cdir = self.root / cat
+            count = size = 0
+            for path in sorted(cdir.rglob("*.npz")) if cdir.is_dir() else []:
+                count += 1
+                size += path.stat().st_size
+                if cat != "graphs":
+                    per_graph[path.parent.name] = per_graph.get(path.parent.name, 0) + 1
+            categories[cat] = {"artifacts": count, "bytes": size}
+        graphs = []
+        for digest in self.graph_digests():
+            # A listing only needs n and m — both fall out of the indptr
+            # array alone, so the (potentially huge) indices arrays are
+            # never read and nothing is re-hashed here.
+            meta = self.graph_meta(digest)
+            n, m = meta if meta is not None else (-1, -1)
+            graphs.append(
+                {
+                    "digest": digest,
+                    "n": n,
+                    "m": m,
+                    "artifacts": per_graph.get(digest, 0),
+                }
+            )
+        return {
+            "root": str(self.root),
+            "graphs": graphs,
+            "categories": categories,
+            "total_bytes": sum(c["bytes"] for c in categories.values()),
+        }

@@ -10,12 +10,23 @@ unsupported combinations (e.g. ``connect=True`` on a solver with no
 connection phase) *before* running anything, and what
 ``list_solvers()`` renders for introspection.
 
+A request's ``graph`` is either the :class:`~repro.graphs.graph.Graph`
+itself or a :class:`GraphHandle` — the content-addressed reference a
+:class:`~repro.api.workspace.Workspace` hands out, which pickles as
+digest-only metadata so pooled batch execution ships each distinct
+graph once instead of once per request.
+
 All types are plain frozen dataclasses built from picklable parts so a
 request can cross a process boundary in :func:`repro.api.solve_batch`.
+:class:`SolveResult` additionally round-trips through JSON
+(:meth:`SolveResult.to_json` / :meth:`SolveResult.from_json`) so
+harness result files and service responses share one schema.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -25,6 +36,7 @@ from repro.core.certify import Certificate
 from repro.graphs.graph import Graph
 
 __all__ = [
+    "GraphHandle",
     "SolveRequest",
     "SolveResult",
     "SolverCapabilities",
@@ -37,13 +49,57 @@ MODELS = ("sequential", "LOCAL", "CONGEST_BC")
 
 
 @dataclass(frozen=True)
+class GraphHandle:
+    """A content-addressed reference to a graph in a workspace.
+
+    Identity (equality, hashing, pickling) is the ``(digest, n, m)``
+    metadata; the ``graph`` field is an in-process convenience so a
+    handle obtained from :meth:`repro.api.workspace.Workspace.add` can
+    be solved directly without another registry lookup.  Pickling
+    deliberately drops the graph — that is what lets pooled dispatch
+    send a handle per request but the CSR arrays only once per distinct
+    graph (workers re-resolve handles from their per-process registry
+    or the workspace's artifact store).
+    """
+
+    digest: str
+    n: int
+    m: int
+    graph: Graph | None = field(default=None, compare=False, repr=False)
+
+    @classmethod
+    def of(cls, g: Graph) -> "GraphHandle":
+        """The handle of a concrete graph (digest computed here)."""
+        from repro.api.store import graph_digest
+
+        return cls(digest=graph_digest(g), n=g.n, m=g.m, graph=g)
+
+    def detached(self) -> "GraphHandle":
+        """This handle without its in-process graph reference."""
+        return GraphHandle(digest=self.digest, n=self.n, m=self.m)
+
+    def __getstate__(self):
+        return (self.digest, self.n, self.m)
+
+    def __setstate__(self, state):
+        digest, n, m = state
+        object.__setattr__(self, "digest", digest)
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "m", m)
+        object.__setattr__(self, "graph", None)
+
+
+@dataclass(frozen=True)
 class SolveRequest:
     """A normalized solver invocation.
 
     Attributes
     ----------
     graph:
-        The input :class:`~repro.graphs.graph.Graph`.
+        The input :class:`~repro.graphs.graph.Graph`, or a
+        :class:`GraphHandle` from a workspace (resolved before the
+        solver runs; an unresolved detached handle outside a workspace
+        is rejected upfront).
     radius:
         Distance parameter r of the domination problem.
     algorithm:
@@ -79,7 +135,7 @@ class SolveRequest:
         ``dist.congest`` or ``{"time_limit": 30.0}`` for ``seq.exact``.
     """
 
-    graph: Graph
+    graph: Graph | GraphHandle
     radius: int = 1
     algorithm: str = "seq.wreach"
     order_strategy: str = "degeneracy"
@@ -117,6 +173,24 @@ class SolveRequest:
                 f"{capabilities.engines})"
             )
         return self.engine
+
+    def graph_key(self) -> str:
+        """The content digest identifying this request's graph.
+
+        Works for both shapes of ``graph`` — this is the key batch
+        executors co-locate requests by.
+        """
+        if isinstance(self.graph, GraphHandle):
+            return self.graph.digest
+        from repro.api.store import graph_digest
+
+        return graph_digest(self.graph)
+
+    def resolved(self, g: Graph) -> "SolveRequest":
+        """This request with ``graph`` replaced by the concrete graph."""
+        from dataclasses import replace
+
+        return replace(self, graph=g)
 
 
 @dataclass(frozen=True)
@@ -235,3 +309,159 @@ class SolveResult:
             bits.append(f"{self.rounds} rounds")
         bits.append(f"{self.wall_time_s * 1e3:.1f} ms")
         return ", ".join(bits)
+
+    # -- JSON schema (shared by harness result files and services) -------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-shaped dict: the schema harness files and services share.
+
+        ``raw`` (the legacy result object) is never serialized; extras
+        are carried best-effort — JSON-representable values (numpy
+        scalars and arrays are converted) are kept, the rest are
+        dropped with their keys recorded under ``extras_omitted`` so a
+        reader can tell elision from absence.
+        """
+        extras: dict[str, Any] = {}
+        omitted: list[str] = []
+        for key, value in self.extras.items():
+            safe = _json_safe(value)
+            if safe is _UNSAFE:
+                omitted.append(str(key))
+            else:
+                extras[str(key)] = safe
+        out: dict[str, Any] = {
+            "schema": RESULT_SCHEMA,
+            "algorithm": self.algorithm,
+            "radius": self.radius,
+            "order_strategy": self.order_strategy,
+            "dominators": [int(v) for v in self.dominators],
+            "connected_set": (
+                None
+                if self.connected_set is None
+                else [int(v) for v in self.connected_set]
+            ),
+            "certificate": (
+                None
+                if self.certificate is None
+                else {
+                    "radius": self.certificate.radius,
+                    "solution_size": self.certificate.solution_size,
+                    "certified_c": self.certificate.certified_c,
+                    "lp_bound": self.certificate.lp_bound,
+                }
+            ),
+            "rounds": self.rounds,
+            "total_words": self.total_words,
+            "phase_rounds": dict(self.phase_rounds) if self.phase_rounds else None,
+            "wall_time_s": self.wall_time_s,
+            "extras": extras,
+        }
+        if omitted:
+            out["extras_omitted"] = sorted(omitted)
+        return out
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """``json.dumps(self.to_dict())`` (kwargs pass through)."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        ``raw`` comes back as ``None`` (it is never serialized);
+        everything else — certificate included — round-trips exactly.
+        Documents from a different schema version are rejected upfront
+        instead of being misread field by field.
+        """
+        schema = data.get("schema", RESULT_SCHEMA)
+        if schema != RESULT_SCHEMA:
+            raise ValueError(
+                f"unsupported SolveResult schema {schema!r} "
+                f"(this version reads schema {RESULT_SCHEMA})"
+            )
+        cert = data.get("certificate")
+        connected = data.get("connected_set")
+        phases = data.get("phase_rounds")
+        return cls(
+            algorithm=data["algorithm"],
+            radius=int(data["radius"]),
+            order_strategy=data.get("order_strategy", ""),
+            dominators=tuple(int(v) for v in data["dominators"]),
+            connected_set=(
+                None if connected is None else tuple(int(v) for v in connected)
+            ),
+            certificate=(
+                None
+                if cert is None
+                else Certificate(
+                    radius=int(cert["radius"]),
+                    solution_size=int(cert["solution_size"]),
+                    certified_c=int(cert["certified_c"]),
+                    lp_bound=(
+                        None if cert["lp_bound"] is None else float(cert["lp_bound"])
+                    ),
+                )
+            ),
+            rounds=None if data.get("rounds") is None else int(data["rounds"]),
+            total_words=(
+                None if data.get("total_words") is None else int(data["total_words"])
+            ),
+            phase_rounds=(
+                None if phases is None else {str(k): int(v) for k, v in phases.items()}
+            ),
+            wall_time_s=float(data["wall_time_s"]),
+            raw=None,
+            extras=dict(data.get("extras", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+#: Version tag of the :meth:`SolveResult.to_dict` schema.
+RESULT_SCHEMA = 1
+
+#: Sentinel for values :func:`_json_safe` cannot represent.
+_UNSAFE = object()
+
+
+def _json_safe(value: Any) -> Any:
+    """``value`` as JSON-representable data, or ``_UNSAFE``.
+
+    Numpy scalars and arrays convert to their Python equivalents;
+    containers convert element-wise and become unsafe if any element
+    is (a half-serialized container would misrepresent the extra).
+    """
+    if isinstance(value, float) or isinstance(value, np.floating):
+        value = float(value)
+        # NaN/Infinity are not JSON: strict parsers (JSON.parse, jq)
+        # reject the whole document, so they are omitted instead.
+        return value if math.isfinite(value) else _UNSAFE
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, (np.bool_, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        # Recurse: an object-dtype array can carry non-JSON values that
+        # must surface as _UNSAFE, not crash json.dumps later.
+        return _json_safe(value.tolist())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_json_safe(v) for v in value]
+        if any(v is _UNSAFE for v in items):
+            return _UNSAFE
+        if isinstance(value, (set, frozenset)):
+            try:
+                return sorted(items)
+            except TypeError:
+                return items
+        return items
+    if isinstance(value, Mapping):
+        out = {}
+        for k, v in value.items():
+            safe = _json_safe(v)
+            if not isinstance(k, str) or safe is _UNSAFE:
+                return _UNSAFE
+            out[k] = safe
+        return out
+    return _UNSAFE

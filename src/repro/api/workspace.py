@@ -1,0 +1,516 @@
+"""Workspaces: graph handles, persistent precompute, streaming execution.
+
+A :class:`Workspace` is the stateful front door for repeated traffic on
+the same graphs — the shape the paper's algorithms factor into (a
+reusable preprocessing product consumed by cheap per-query phases) made
+first-class in the API:
+
+* ``ws.add(graph)`` content-addresses a graph and returns a
+  :class:`~repro.api.types.GraphHandle`; requests built on handles
+  resolve through the workspace, and pooled execution ships each
+  distinct graph to the workers once, not once per request.
+* A workspace built with ``store=`` persists every precompute artifact
+  (orders, rank-CSR, WReach CSR, wcol, distributed orders) to an
+  :class:`~repro.api.store.ArtifactStore`, so a warm store serves later
+  *processes* with zero recomputation (``ws.warm`` precomputes the
+  Theorem-5 inputs explicitly; any solve warms as a side effect).
+* ``ws.submit(request)`` returns a :class:`SolveFuture` and
+  ``ws.as_completed(requests)`` streams futures in completion order —
+  results arrive as they finish instead of after the whole batch.
+  :func:`repro.api.solve_batch` is a thin compatibility wrapper over
+  this executor.
+
+Execution modes: ``workers=None`` (default) runs lazily in-process
+against the workspace cache — maximal precompute sharing, results
+computed as futures are forced.  ``workers=N > 1`` fans out over a
+persistent process pool; requests are co-located by graph digest so one
+worker handles one graph's requests (its cache actually hits), and
+workers resolve graphs from their per-process registry or the shared
+store.  Close a pooled workspace with ``ws.close()`` or use it as a
+context manager.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Any, Iterable, Iterator
+
+from repro.api.cache import PrecomputeCache, default_cache
+from repro.api.facade import solve_request
+from repro.api.store import ArtifactStore
+from repro.api.types import GraphHandle, SolveRequest, SolveResult
+from repro.errors import SolverError
+from repro.graphs.graph import Graph
+
+__all__ = ["SolveFuture", "Workspace"]
+
+
+def _settle(future: "SolveFuture") -> None:
+    """Force a future, keeping its failure on the future itself."""
+    try:
+        future.result()
+    except Exception:
+        pass  # cached on the future; re-raised by the caller's result()
+
+
+class SolveFuture:
+    """Result handle for one submitted :class:`SolveRequest`.
+
+    Two flavors behind one surface: *deferred* futures (in-process
+    workspaces) hold a thunk and run it on the first ``result()`` call;
+    *pooled* futures reference one request's slot in a per-graph group
+    task running on the process pool.  ``request`` is the original
+    request, so streaming consumers can match results back without
+    bookkeeping of their own.
+    """
+
+    __slots__ = ("request", "_run", "_cf", "_pick", "_done", "_value", "_error")
+
+    def __init__(self, request: SolveRequest, *, run=None, cf=None, pick: int = 0):
+        self.request = request
+        self._run = run
+        self._cf = cf
+        self._pick = pick
+        self._done = False
+        self._value: SolveResult | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """True once a ``result()`` call can no longer block or compute."""
+        if self._done:
+            return True
+        return self._cf is not None and self._cf.done()
+
+    def result(self, timeout: float | None = None) -> SolveResult:
+        """The :class:`SolveResult`, computing/waiting if necessary.
+
+        ``timeout`` bounds the wait on *pooled* futures only; a deferred
+        future computes synchronously in this call and cannot be timed
+        out.  A failed request raises its own exception — cached like
+        ``concurrent.futures``, so a repeated call re-raises instead of
+        re-running the solve.  Pooled siblings in the same per-graph
+        task are isolated (the worker returns one outcome per request,
+        so one bad request cannot poison the rest of its group).
+        """
+        if not self._done:
+            if self._cf is not None:
+                # A timeout / pool-level error raises here *without*
+                # marking the future done — only a per-request outcome
+                # settles it.
+                tag, payload = self._cf.result(timeout)[self._pick]
+                if tag == "err":
+                    self._error = payload
+                else:
+                    self._value = payload
+            else:
+                try:
+                    self._value = self._run()
+                except Exception as exc:
+                    self._error = exc
+            self._done = True
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done() else "pending"
+        return f"SolveFuture({self.request.algorithm!r}, {state})"
+
+
+class Workspace:
+    """Graph registry + two-tier precompute cache + batch executor.
+
+    Parameters
+    ----------
+    store:
+        ``None`` (memory-only), a path, or an
+        :class:`~repro.api.store.ArtifactStore` — the persistent
+        artifact tier shared across processes and runs.
+    cache:
+        An explicit :class:`PrecomputeCache` to use.  Default: a fresh
+        store-backed cache when ``store`` is given, else the process
+        default cache (so a plain ``Workspace()`` shares precompute
+        with module-level ``solve()`` calls).
+    workers:
+        ``None``/``0``/``1`` for lazy in-process execution; ``N > 1``
+        for a persistent process pool with digest-co-located dispatch.
+    maxsize:
+        LRU bound per cache category (fresh caches only).
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore | str | os.PathLike | None = None,
+        *,
+        cache: PrecomputeCache | None = None,
+        workers: int | None = None,
+        maxsize: int = 64,
+    ):
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.store: ArtifactStore | None = store
+        if cache is not None:
+            if store is not None and (
+                cache.store is None
+                or cache.store.root.resolve() != store.root.resolve()
+            ):
+                # A memory-only (or differently-rooted) cache would
+                # silently stop artifacts from reaching this store —
+                # warm() would persist nothing while reporting success.
+                raise SolverError(
+                    "explicit cache is not backed by this workspace's store; "
+                    "build it with PrecomputeCache(store=...) over the same "
+                    "root, or omit one of the two"
+                )
+            self.cache = cache
+            if store is None and cache.store is not None:
+                # A store-backed cache implies a store-backed workspace:
+                # otherwise graphs would never persist and pooled
+                # workers would get memory-only caches while the warm
+                # artifacts sit on disk unreachable.
+                self.store = cache.store
+        elif store is not None:
+            self.cache = PrecomputeCache(maxsize=maxsize, store=store)
+        else:
+            self.cache = default_cache()
+        self.workers = int(workers) if workers else 0
+        self._graphs: dict[str, Graph] = {}
+        self._pool = None
+
+    # -- graph registry --------------------------------------------------
+    def add(self, g: Graph) -> GraphHandle:
+        """Register (and persist, when a store is attached) a graph.
+
+        Content-addressed: adding an equal graph twice returns equal
+        handles and stores nothing new.
+        """
+        handle = GraphHandle.of(g)
+        self._graphs[handle.digest] = g
+        if self.store is not None:
+            self.store.put_graph(g, digest=handle.digest)
+        return handle
+
+    def graph(self, digest: str) -> Graph:
+        """The graph behind a digest: registry first, then the store."""
+        g = self._graphs.get(digest)
+        if g is None and self.store is not None:
+            g = self.store.get_graph(digest)
+            if g is not None:
+                self._graphs[digest] = g
+        if g is None:
+            raise SolverError(
+                f"graph {digest!r} is not in this workspace "
+                f"(ws.add it, or warm the store first)"
+            )
+        return g
+
+    def handles(self) -> list[GraphHandle]:
+        """Handles for every graph this workspace can resolve.
+
+        In-memory graphs come back attached; store-resident ones come
+        back detached from their npz metadata alone — no CSR arrays are
+        read or re-hashed just to list them (they load lazily on
+        :meth:`resolve`).
+        """
+        out = {
+            d: GraphHandle(digest=d, n=g.n, m=g.m, graph=g)
+            for d, g in self._graphs.items()
+        }
+        if self.store is not None:
+            for d in self.store.graph_digests():
+                if d in out:
+                    continue
+                meta = self.store.graph_meta(d)
+                if meta is not None:
+                    out[d] = GraphHandle(digest=d, n=meta[0], m=meta[1])
+        return [out[d] for d in sorted(out)]
+
+    def resolve(self, graph: Graph | GraphHandle) -> Graph:
+        """A concrete :class:`Graph` from either request shape."""
+        if isinstance(graph, GraphHandle):
+            if graph.graph is not None:
+                self._graphs.setdefault(graph.digest, graph.graph)
+                return graph.graph
+            return self.graph(graph.digest)
+        return graph
+
+    def _resolved(self, request: SolveRequest) -> SolveRequest:
+        g = request.graph
+        if isinstance(g, GraphHandle):
+            return request.resolved(self.resolve(g))
+        return request
+
+    # -- solving ---------------------------------------------------------
+    def solve(
+        self, graph: Graph | GraphHandle, radius: int = 1,
+        algorithm: str = "seq.wreach", **kwargs: Any,
+    ) -> SolveResult:
+        """:func:`repro.api.solve` against this workspace's cache."""
+        from repro.api.facade import solve
+
+        return solve(
+            self.resolve(graph), radius, algorithm, cache=self.cache, **kwargs
+        )
+
+    def solve_request(self, request: SolveRequest) -> SolveResult:
+        """Execute one request in-process against the workspace cache."""
+        return solve_request(self._resolved(request), cache=self.cache)
+
+    # -- streaming batch execution ---------------------------------------
+    def submit(self, request: SolveRequest) -> SolveFuture:
+        """Submit one request; returns immediately with a future."""
+        return self.submit_all([request])[0]
+
+    def submit_all(self, requests: Iterable[SolveRequest]) -> list[SolveFuture]:
+        """Submit many requests; futures come back in request order.
+
+        In-process workspaces defer execution until a future is forced
+        (``result()`` or :meth:`as_completed`); pooled workspaces
+        dispatch immediately, one task per distinct graph digest, each
+        carrying that graph's requests with the graph itself serialized
+        at most once (or not at all when the store already holds it).
+        """
+        reqs = list(requests)
+        for r in reqs:
+            if not isinstance(r, SolveRequest):
+                raise SolverError(
+                    f"expected SolveRequest items, got {type(r).__name__}"
+                )
+        if self.workers <= 1:
+            return [
+                SolveFuture(r, run=lambda r=r: self.solve_request(r)) for r in reqs
+            ]
+        return self._submit_pooled(reqs)
+
+    def as_completed(
+        self, requests: Iterable[SolveRequest | SolveFuture]
+    ) -> Iterator[SolveFuture]:
+        """Yield finished futures as results become available.
+
+        Accepts requests (submitted here) or futures from
+        :meth:`submit` / :meth:`submit_all`.  Streaming is the point:
+        each yielded future is already ``done()``, and consumers see
+        early results while the rest of the batch is still running —
+        in-process, items are computed one by one as the iterator
+        advances; pooled, per-graph groups are yielded in completion
+        order.
+        """
+        items = list(requests)
+        plain = [r for r in items if not isinstance(r, SolveFuture)]
+        submitted = iter(self.submit_all(plain))
+        futures = [
+            r if isinstance(r, SolveFuture) else next(submitted) for r in items
+        ]
+        # In-process (deferred) futures: compute and yield one at a time.
+        # A failing request settles (and yields) its own future without
+        # tearing down the stream — the error surfaces on fut.result().
+        pending_groups: dict[int, list[SolveFuture]] = {}
+        group_cfs: dict[int, Any] = {}
+        for f in futures:
+            if f._cf is None:
+                _settle(f)
+                yield f
+            else:
+                pending_groups.setdefault(id(f._cf), []).append(f)
+                group_cfs[id(f._cf)] = f._cf
+        if not pending_groups:
+            return
+        from concurrent.futures import as_completed as _cf_as_completed
+
+        for cf in _cf_as_completed(group_cfs.values()):
+            for f in pending_groups[id(cf)]:
+                _settle(f)
+                yield f
+
+    def run(self, requests: Iterable[SolveRequest]) -> list[SolveResult]:
+        """Execute a batch; results in request order (blocking)."""
+        return [f.result() for f in self.submit_all(requests)]
+
+    # -- pooled dispatch -------------------------------------------------
+    def _submit_pooled(self, reqs: list[SolveRequest]) -> list[SolveFuture]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        store_root = None if self.store is None else str(self.store.root)
+        # Group by content digest (SolveRequest.graph_key), hashing each
+        # distinct graph *object* once — requests usually share the
+        # object, and CSR hashing is O(m), so per-request re-hashing
+        # would dominate big batches.
+        groups: dict[str, list[int]] = {}
+        digest_by_id: dict[int, str] = {}
+        for i, r in enumerate(reqs):
+            g = r.graph
+            if isinstance(g, GraphHandle):
+                digest = g.digest
+            else:
+                digest = digest_by_id.get(id(g))
+                if digest is None:
+                    digest = digest_by_id.setdefault(id(g), r.graph_key())
+            groups.setdefault(digest, []).append(i)
+        # When there are fewer distinct graphs than workers, split each
+        # group into up to workers//groups chunks so the whole pool is
+        # used; each chunk carries its graph at most once, keeping the
+        # serialization bound at "once per worker".
+        chunks_per_group = max(1, self.workers // len(groups)) if groups else 1
+        futures: list[SolveFuture | None] = [None] * len(reqs)
+        for digest, indices in groups.items():
+            g = self.resolve(reqs[indices[0]].graph)
+            self._graphs.setdefault(digest, g)
+            handle = GraphHandle(digest=digest, n=g.n, m=g.m)
+            if self.store is not None:
+                # Workers re-load the graph from the shared store: the
+                # task payload then carries only digests and parameters.
+                self.store.put_graph(g, digest=digest)
+                payload_graph = None
+            else:
+                payload_graph = g
+            k = min(chunks_per_group, len(indices))
+            size = -(-len(indices) // k)  # ceil division
+            for start in range(0, len(indices), size):
+                chunk = indices[start : start + size]
+                stripped = [reqs[i].resolved(handle) for i in chunk]
+                cf = self._pool.submit(
+                    _execute_group, store_root, payload_graph, digest, stripped
+                )
+                for pick, i in enumerate(chunk):
+                    futures[i] = SolveFuture(reqs[i], cf=cf, pick=pick)
+        return futures
+
+    # -- warm start ------------------------------------------------------
+    def warm(
+        self,
+        graph: Graph | GraphHandle,
+        radius: int = 1,
+        order_strategy: str = "degeneracy",
+        reaches: Iterable[int] | None = None,
+    ) -> dict[str, Any]:
+        """Precompute (and persist) the Theorem-5 inputs for a graph.
+
+        Materializes the linear order, the rank-permuted adjacency, the
+        WReach CSR at ``radius`` and ``2 * radius`` (or the explicit
+        ``reaches``), and the measured wcol at the largest reach — the
+        artifacts ``seq.wreach`` / ``seq.wreach-min`` and certification
+        consume — through the cache, so a store-backed workspace writes
+        them all to disk.  Returns a summary with the certificate
+        constant and the cache stats after warming.
+        """
+        g = self.resolve(graph)
+        handle = self.add(g)
+        reach_list = sorted(
+            {int(radius), 2 * int(radius)}
+            if reaches is None
+            else {int(x) for x in reaches}
+        )
+        order = self.cache.order(g, order_strategy, radius)
+        self.cache.rank_adjacency(g, order)
+        for reach in reach_list:
+            self.cache.wreach_csr(g, order, reach)
+        wcol = self.cache.wcol(g, order, reach_list[-1]) if reach_list else 0
+        return {
+            "digest": handle.digest,
+            "n": g.n,
+            "m": g.m,
+            "order_strategy": order_strategy,
+            "radius": int(radius),
+            "reaches": reach_list,
+            "wcol": wcol,
+            "stats": self.cache.stats(),
+        }
+
+    # -- introspection / lifecycle ---------------------------------------
+    def info(self) -> dict[str, Any]:
+        """Workspace summary: registry size, cache stats, store contents."""
+        out: dict[str, Any] = {
+            "graphs_in_memory": len(self._graphs),
+            "workers": self.workers,
+            "cache": self.cache.stats(),
+        }
+        if self.store is not None:
+            out["store"] = self.store.describe()
+        return out
+
+    def close(self) -> None:
+        """Shut down the process pool (idempotent; in-process: no-op)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Pool worker plumbing (module-level for picklability)
+# ----------------------------------------------------------------------
+
+#: Per-worker-process graph registry: each distinct graph crosses the
+#: process boundary (or is loaded from the store) at most once while
+#: resident.  Bounded so a long-lived pool sweeping many graphs cannot
+#: grow worker memory without limit (evicted graphs are re-shipped or
+#: re-loaded on next use).
+_WORKER_GRAPHS: "OrderedDict[str, Graph]" = OrderedDict()
+_WORKER_GRAPHS_MAX = 32
+
+
+def _worker_remember(digest: str, graph: Graph) -> None:
+    _WORKER_GRAPHS[digest] = graph
+    _WORKER_GRAPHS.move_to_end(digest)
+    while len(_WORKER_GRAPHS) > _WORKER_GRAPHS_MAX:
+        _WORKER_GRAPHS.popitem(last=False)
+
+#: Per-worker-process caches, keyed by store root (None = memory only).
+_WORKER_CACHES: dict[str | None, PrecomputeCache] = {}
+
+
+def _worker_cache(store_root: str | None) -> PrecomputeCache:
+    cache = _WORKER_CACHES.get(store_root)
+    if cache is None:
+        cache = (
+            default_cache()
+            if store_root is None
+            else PrecomputeCache(store=ArtifactStore(store_root))
+        )
+        _WORKER_CACHES[store_root] = cache
+    return cache
+
+
+def _execute_group(
+    store_root: str | None,
+    graph: Graph | None,
+    digest: str,
+    requests: list[SolveRequest],
+) -> list[tuple[str, Any]]:
+    """Pool entry point: one graph's request group, shared worker cache.
+
+    Returns one ``("ok", result)`` / ``("err", exception)`` outcome per
+    request so a failing request surfaces on *its* future only, not on
+    every sibling co-located with it.
+    """
+    if graph is not None:
+        _worker_remember(digest, graph)
+    else:
+        graph = _WORKER_GRAPHS.get(digest)
+        if graph is None and store_root is not None:
+            graph = ArtifactStore(store_root).get_graph(digest)
+        if graph is None:
+            raise SolverError(f"worker cannot resolve graph {digest!r}")
+        _worker_remember(digest, graph)
+    cache = _worker_cache(store_root)
+    out: list[tuple[str, Any]] = []
+    for r in requests:
+        try:
+            out.append(("ok", solve_request(r.resolved(graph), cache=cache)))
+        except Exception as exc:  # per-request isolation across the pool
+            out.append(("err", exc))
+    return out
+
+
+def _reset_worker_state() -> None:
+    """Test hook: forget per-process graphs and caches."""
+    _WORKER_GRAPHS.clear()
+    _WORKER_CACHES.clear()

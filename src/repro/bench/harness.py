@@ -6,11 +6,16 @@ the numbers in EXPERIMENTS.md can be regenerated verbatim.  When the
 experiment ran through the unified solver API it can pass its
 :class:`~repro.api.types.SolveResult` objects via ``runs=`` and the
 result file becomes self-describing: every run is recorded with its
-registry solver name, instance parameters, and measured wall time.
+registry solver name, instance parameters, and measured wall time —
+both as a human-readable provenance block in the ``.txt`` table and as
+a machine-readable ``<name>.runs.json`` sidecar using the shared
+:meth:`~repro.api.types.SolveResult.to_dict` schema (the same one
+``SolveResult.from_json`` reads back and future service responses use).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Iterable
 
@@ -41,7 +46,9 @@ def write_result(name: str, *tables: Table, runs: Iterable | None = None) -> str
     ``runs`` is any iterable of :class:`~repro.api.types.SolveResult`;
     the rendered file then records which registered solver produced
     each row and how long it took, so ``benchmarks/results/*.txt`` can
-    be interpreted without consulting the generating script.
+    be interpreted without consulting the generating script, and the
+    full results land in ``<name>.runs.json`` in the shared
+    ``SolveResult`` JSON schema for programmatic readers.
     """
     runs = list(runs) if runs is not None else []
     parts = [t.render() for t in tables]
@@ -52,6 +59,9 @@ def write_result(name: str, *tables: Table, runs: Iterable | None = None) -> str
     try:
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if runs:
+            payload = json.dumps([res.to_dict() for res in runs], indent=2)
+            (RESULTS_DIR / f"{name}.runs.json").write_text(payload + "\n")
     except OSError:  # pragma: no cover - read-only checkouts still print
         pass
     return text

@@ -8,9 +8,18 @@ Commands
 ``solve <graph> -a ALGO -r R``
     Run any registered solver through the unified API (``--connect``,
     ``--prune``, ``--certify``, ``--lp``, ``--order``, ``--seed``,
-    ``--param k=v``).
+    ``--param k=v``; ``--store DIR`` reads/writes precompute artifacts
+    through a persistent workspace store).
 ``list-solvers``
-    The solver registry: names, models, radius ranges, guarantees.
+    The solver registry: names, models, radius ranges, engines,
+    guarantees.
+``warm <graph> --store DIR -r R``
+    Precompute and persist a graph's Theorem-5 artifacts (order,
+    rank-CSR, WReach CSR at r and 2r, wcol) so later ``solve --store``
+    runs — in any process — recompute nothing.
+``workspace info --store DIR``
+    Inspect a store: persisted graphs and per-category artifact counts
+    and sizes.
 ``domset <graph> -r R``
     Theorem 5 dominating set with certificate (optionally ``--connect``,
     ``--prune``, ``--exact`` for small inputs).  Thin wrapper over
@@ -37,7 +46,7 @@ __all__ = ["main", "build_parser"]
 
 
 def _cmd_info(args) -> int:
-    from repro.graphs.expansion import degeneracy, shallow_minor_density
+    from repro.graphs.expansion import shallow_minor_density
     from repro.orders.degeneracy import degeneracy_order
     from repro.orders.wreach import wcol_of_order
 
@@ -71,6 +80,20 @@ def _parse_params(pairs: list[str] | None) -> dict:
     return out
 
 
+def _store_cache(g, args):
+    """The cache a solver command runs against: workspace-backed with
+    ``--store`` (the graph is registered so artifacts persist), else the
+    process default."""
+    store = getattr(args, "store", None)
+    if not store:
+        return None
+    from repro.api.workspace import Workspace
+
+    ws = Workspace(store=store)
+    ws.add(g)
+    return ws.cache
+
+
 def _run_solve(g, args, *, algorithm: str, params: dict | None = None):
     """Shared ``solve()`` invocation + report for solve/domset/distributed."""
     from repro.api import solve
@@ -88,6 +111,7 @@ def _run_solve(g, args, *, algorithm: str, params: dict | None = None):
         seed=getattr(args, "seed", 0),
         engine=getattr(args, "engine", "auto"),
         params=params or {},
+        cache=_store_cache(g, args),
     )
     if not res.extras.get("valid", True):
         from repro.errors import SolverError
@@ -137,7 +161,7 @@ def _cmd_solve(args) -> int:
 def _cmd_list_solvers(args) -> int:
     from repro.api import list_solvers
 
-    rows = [("name", "model", "radius", "connect", "guarantee")]
+    rows = [("name", "model", "radius", "connect", "engines", "guarantee")]
     for info in list_solvers():
         caps = info.capabilities
         rows.append((
@@ -145,13 +169,55 @@ def _cmd_list_solvers(args) -> int:
             caps.model,
             caps.radius_range(),
             "yes" if caps.supports_connect else "no",
+            "/".join(caps.engines) if caps.engines else "-",
             caps.guarantee,
         ))
-    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    widths = [max(len(row[i]) for row in rows) for i in range(5)]
     for i, row in enumerate(rows):
-        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)) + f"  {row[4]}")
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)) + f"  {row[5]}")
         if i == 0:
-            print("-" * (sum(widths) + 8 + max(len(r[4]) for r in rows)))
+            print("-" * (sum(widths) + 10 + max(len(r[5]) for r in rows)))
+    return 0
+
+
+def _cmd_warm(args) -> int:
+    from repro.api.workspace import Workspace
+
+    g = read_edge_list(args.graph)
+    ws = Workspace(store=args.store)
+    report = ws.warm(g, radius=args.radius, order_strategy=args.order)
+    print(f"graph {report['digest']}: n = {report['n']}, m = {report['m']}")
+    print(f"order strategy = {report['order_strategy']}, r = {report['radius']}, "
+          f"reaches = {report['reaches']}")
+    print(f"wcol_{report['reaches'][-1]} = {report['wcol']} "
+          f"(the Theorem-5 certificate constant)")
+    computed = sum(c.get("computed", 0) for c in report["stats"].values())
+    loaded = sum(c.get("store_hits", 0) for c in report["stats"].values())
+    print(f"artifacts: {computed} computed, {loaded} already in the store")
+    print(f"store = {ws.store.root}")
+    return 0
+
+
+def _cmd_workspace(args) -> int:
+    import pathlib
+
+    from repro.api.store import ArtifactStore
+
+    # Only "info" for now; argparse restricts the choices.  A read-only
+    # command must not conjure an empty store out of a mistyped path.
+    if not pathlib.Path(args.store).expanduser().is_dir():
+        raise ValueError(f"no store at {args.store!r} (run 'warm' to create one)")
+    info = ArtifactStore(args.store).describe()
+    print(f"store = {info['root']}")
+    print(f"graphs ({len(info['graphs'])}):")
+    for row in info["graphs"]:
+        print(f"  {row['digest']}  n = {row['n']:>7}  m = {row['m']:>8}  "
+              f"{row['artifacts']} artifacts")
+    print("categories:")
+    for name, cat in info["categories"].items():
+        print(f"  {name:>11}: {cat['artifacts']:>4} artifacts, "
+              f"{cat['bytes'] / 1024:.1f} KiB")
+    print(f"total size = {info['total_bytes'] / 1024:.1f} KiB")
     return 0
 
 
@@ -259,10 +325,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--param", action="append", metavar="KEY=VALUE",
                          help="solver-specific parameter (repeatable)")
     p_solve.add_argument("--show", action="store_true", help="print the set")
+    p_solve.add_argument("--store", metavar="DIR",
+                         help="persistent artifact store to read/write "
+                         "precompute through (see 'warm')")
     p_solve.set_defaults(fn=_cmd_solve)
 
     p_ls = sub.add_parser("list-solvers", help="show the solver registry")
     p_ls.set_defaults(fn=_cmd_list_solvers)
+
+    p_warm = sub.add_parser(
+        "warm", help="precompute and persist a graph's solver artifacts"
+    )
+    p_warm.add_argument("graph")
+    p_warm.add_argument("--store", metavar="DIR", required=True,
+                        help="artifact store directory (created if missing)")
+    p_warm.add_argument("-r", "--radius", type=int, default=1)
+    p_warm.add_argument("--order", default="degeneracy",
+                        help="order strategy to warm (default: degeneracy)")
+    p_warm.set_defaults(fn=_cmd_warm)
+
+    p_ws = sub.add_parser("workspace", help="inspect a persistent workspace store")
+    p_ws.add_argument("action", choices=("info",))
+    p_ws.add_argument("--store", metavar="DIR", required=True)
+    p_ws.set_defaults(fn=_cmd_workspace)
 
     p_dom = sub.add_parser("domset", help="Theorem 5 dominating set")
     p_dom.add_argument("graph")
@@ -273,6 +358,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_dom.add_argument("--lp", action="store_true")
     p_dom.add_argument("--exact", action="store_true")
     p_dom.add_argument("--show", action="store_true", help="print the set")
+    p_dom.add_argument("--store", metavar="DIR",
+                       help="persistent artifact store (see 'warm')")
     p_dom.set_defaults(fn=_cmd_domset)
 
     p_dist = sub.add_parser("distributed", help="Theorem 9/10 CONGEST_BC pipeline")
@@ -288,6 +375,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default) or the per-node reference loop")
     p_dist.add_argument("--unified", action="store_true",
                         help="single continuous protocol (fixed phase budgets)")
+    p_dist.add_argument("--store", metavar="DIR",
+                        help="persistent artifact store (see 'warm')")
     p_dist.set_defaults(fn=_cmd_distributed)
 
     p_gen = sub.add_parser("generate", help="write a generator output to a file")

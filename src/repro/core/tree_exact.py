@@ -20,7 +20,6 @@ an independent oracle for the MILP path in tests.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.errors import GraphError, SolverError
 from repro.graphs.components import connected_components

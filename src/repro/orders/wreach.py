@@ -149,6 +149,40 @@ class RankedAdjacency:
         self._rows_list: list[list[int]] | None = None
         self._row_ranks_list: list[list[int]] | None = None
 
+    @classmethod
+    def from_sorted_nbrs(
+        cls, g: Graph, order: LinearOrder, nbrs: np.ndarray
+    ) -> "RankedAdjacency":
+        """Rebuild from a persisted rank-sorted neighbor array.
+
+        The inverse of persisting :attr:`nbrs`
+        (:meth:`repro.api.store.ArtifactStore.put_rank_adj`): skips the
+        O(m log m) global lexsort and recovers the derived fields with
+        one rank gather.  The row structure is validated against the
+        graph; per-row rank-sortedness is the store's digest-keying
+        contract and is not re-checked.
+        """
+        if g.n != order.n:
+            raise OrderError("order size does not match graph")
+        if len(nbrs) != len(g.indices):
+            raise OrderError("stored neighbor array does not match graph")
+        self = cls.__new__(cls)
+        self.n = g.n
+        self.indptr = g.indptr
+        self.rank = order.rank
+        self.by_rank = order.by_rank
+        self.nbrs = np.ascontiguousarray(nbrs, dtype=np.int64)
+        self.nbr_ranks = (
+            order.rank[self.nbrs] if len(self.nbrs) else np.empty(0, dtype=np.int64)
+        )
+        self.packed = np.stack((self.nbrs, self.nbr_ranks), axis=1)
+        self.nbrs.setflags(write=False)
+        self.nbr_ranks.setflags(write=False)
+        self.packed.setflags(write=False)
+        self._rows_list = None
+        self._row_ranks_list = None
+        return self
+
     def rows(self) -> tuple[list[list[int]], list[list[int]]]:
         """Per-row ``(neighbors, their ranks)`` as plain Python lists.
 

@@ -1,0 +1,119 @@
+"""_LruTable eviction policy and PrecomputeCache.stats() accounting."""
+
+import pytest
+
+from repro.api import PrecomputeCache
+from repro.api.cache import _LruTable
+from repro.graphs import generators as gen
+
+
+class TestLruTable:
+    def test_hit_miss_counters(self):
+        t = _LruTable(maxsize=4)
+        calls = []
+        assert t.get_or_compute("a", lambda: calls.append("a") or 1) == 1
+        assert t.get_or_compute("a", lambda: calls.append("a") or 1) == 1
+        assert t.get_or_compute("b", lambda: calls.append("b") or 2) == 2
+        assert (t.hits, t.misses) == (1, 2)
+        assert calls == ["a", "b"]  # the hit recomputed nothing
+
+    def test_eviction_under_maxsize_pressure(self):
+        t = _LruTable(maxsize=2)
+        for key in ("a", "b", "c"):
+            t.get_or_compute(key, lambda key=key: key.upper())
+        assert len(t.entries) == 2
+        assert "a" not in t.entries  # oldest evicted first
+        assert list(t.entries) == ["b", "c"]
+
+    def test_lru_order_refreshes_on_hit(self):
+        t = _LruTable(maxsize=2)
+        t.get_or_compute("a", lambda: 1)
+        t.get_or_compute("b", lambda: 2)
+        t.get_or_compute("a", lambda: 1)  # refresh "a"
+        t.get_or_compute("c", lambda: 3)  # evicts "b", not "a"
+        assert set(t.entries) == {"a", "c"}
+
+    def test_evicted_entry_is_a_fresh_miss(self):
+        t = _LruTable(maxsize=1)
+        t.get_or_compute("a", lambda: 1)
+        t.get_or_compute("b", lambda: 2)
+        recomputed = []
+        t.get_or_compute("a", lambda: recomputed.append(1) or 1)
+        assert recomputed == [1]
+        assert (t.hits, t.misses) == (0, 3)
+
+    def test_clear_resets_entries_and_counters(self):
+        t = _LruTable(maxsize=4)
+        t.get_or_compute("a", lambda: 1)
+        t.get_or_compute("a", lambda: 1)
+        t.clear()
+        assert (t.hits, t.misses, t.store_hits) == (0, 0, 0)
+        assert len(t.entries) == 0
+
+    def test_store_hit_skips_compute_and_persist(self):
+        t = _LruTable(maxsize=4)
+        persisted = []
+        value = t.get_or_compute(
+            "k", lambda: pytest.fail("computed despite store hit"),
+            load=lambda: "from-disk", persist=persisted.append,
+        )
+        assert value == "from-disk"
+        assert (t.misses, t.store_hits) == (1, 1)
+        assert persisted == []  # nothing new to write back
+
+    def test_store_miss_computes_and_persists(self):
+        t = _LruTable(maxsize=4)
+        persisted = []
+        value = t.get_or_compute(
+            "k", lambda: "computed", load=lambda: None, persist=persisted.append
+        )
+        assert value == "computed"
+        assert (t.misses, t.store_hits) == (1, 0)
+        assert persisted == ["computed"]
+
+
+class TestPrecomputeCacheStats:
+    def test_stats_shape_without_store(self):
+        """Memory-only caches keep the original three-key stats shape."""
+        cache = PrecomputeCache()
+        for row in cache.stats().values():
+            assert set(row) == {"hits", "misses", "size"}
+
+    def test_stats_shape_with_store(self, tmp_path):
+        from repro.api import ArtifactStore
+
+        cache = PrecomputeCache(store=ArtifactStore(tmp_path))
+        for row in cache.stats().values():
+            assert set(row) == {"hits", "misses", "size", "store_hits", "computed"}
+
+    def test_stats_track_category_traffic(self):
+        g = gen.grid_2d(5, 5)
+        cache = PrecomputeCache()
+        order = cache.order(g, "degeneracy", 1)
+        cache.order(g, "degeneracy", 1)
+        cache.wreach_csr(g, order, 2)
+        cache.wcol(g, order, 2)  # derives from the cached CSR
+        st = cache.stats()
+        assert st["order"] == {"hits": 1, "misses": 1, "size": 1}
+        assert st["wreach_csr"]["misses"] == 1
+        assert st["wreach_csr"]["hits"] == 1  # wcol's read of the CSR
+        assert st["wcol"]["misses"] == 1
+
+    def test_maxsize_pressure_on_real_categories(self):
+        cache = PrecomputeCache(maxsize=2)
+        graphs = [gen.path_graph(n) for n in (5, 6, 7)]
+        for g in graphs:
+            cache.order(g, "degeneracy", 1)
+        st = cache.stats()["order"]
+        assert st["size"] == 2 and st["misses"] == 3
+        cache.order(graphs[0], "degeneracy", 1)  # evicted -> fresh miss
+        assert cache.stats()["order"]["misses"] == 4
+
+    def test_clear_resets_every_category(self):
+        g = gen.grid_2d(4, 4)
+        cache = PrecomputeCache()
+        order = cache.order(g, "degeneracy", 1)
+        cache.wreach_csr(g, order, 2)
+        cache.clear()
+        for row in cache.stats().values():
+            assert row == {"hits": 0, "misses": 0, "size": 0}

@@ -9,7 +9,7 @@ solver without a parity check fails loudly.
 
 import pytest
 
-from repro.api import PrecomputeCache, solve, solver_names
+from repro.api import solve, solver_names
 from repro.core.domset import domset_by_wreach, domset_sequential
 from repro.core.dvorak import domset_dvorak
 from repro.core.exact import exact_domset

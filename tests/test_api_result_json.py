@@ -1,0 +1,140 @@
+"""SolveResult JSON schema: to_json / from_json round-trips."""
+
+import json
+
+import numpy as np
+
+from repro.api import SolveRequest, SolveResult, solve, solve_request
+from repro.graphs import generators as gen
+
+
+def _roundtrip(res: SolveResult) -> SolveResult:
+    return SolveResult.from_json(res.to_json())
+
+
+def test_certified_result_roundtrips():
+    g = gen.grid_2d(6, 6)
+    res = solve(g, 2, "seq.wreach", certify=True, prune=True, validate=True)
+    clone = _roundtrip(res)
+    assert clone.algorithm == res.algorithm
+    assert clone.radius == res.radius
+    assert clone.order_strategy == res.order_strategy
+    assert clone.dominators == res.dominators  # back as a tuple of ints
+    assert clone.certificate == res.certificate  # full Certificate equality
+    assert clone.wall_time_s == res.wall_time_s
+    assert clone.size == res.size
+    # JSON-safe extras survive; raw never serializes.
+    assert clone.extras["raw_size"] == res.extras["raw_size"]
+    assert clone.extras["valid"] is True
+    assert clone.raw is None
+
+
+def test_distributed_result_roundtrips_accounting():
+    g = gen.grid_2d(5, 5)
+    res = solve(g, 1, "dist.congest", connect=True)
+    clone = _roundtrip(res)
+    assert clone.rounds == res.rounds
+    assert clone.total_words == res.total_words
+    assert clone.phase_rounds == dict(res.phase_rounds)
+    assert clone.connected_set == res.connected_set
+
+
+def test_unserializable_extras_are_recorded_not_dropped_silently():
+    g = gen.grid_2d(5, 5)
+    res = solve(g, 1, "seq.wreach", certify=True)
+    assert "order" in res.extras  # a LinearOrder: not JSON-representable
+    data = res.to_dict()
+    assert "order" not in data["extras"]
+    assert "order" in data["extras_omitted"]
+    # The document is genuinely JSON-serializable end to end.
+    json.loads(json.dumps(data))
+
+
+def test_numpy_values_in_extras_convert():
+    res = SolveResult(
+        algorithm="x", radius=1, order_strategy="", dominators=(1, 2),
+        connected_set=None, certificate=None, rounds=None, total_words=None,
+        phase_rounds=None, wall_time_s=0.5, raw=object(),
+        extras={
+            "np_int": np.int64(7),
+            "np_float": np.float64(0.25),
+            "np_bool": np.bool_(True),
+            "np_array": np.arange(3),
+            "nested": {"sizes": (np.int32(1), 2)},
+        },
+    )
+    clone = _roundtrip(res)
+    assert clone.extras == {
+        "np_int": 7,
+        "np_float": 0.25,
+        "np_bool": True,
+        "np_array": [0, 1, 2],
+        "nested": {"sizes": [1, 2]},
+    }
+
+
+def test_non_finite_floats_are_omitted_for_strict_parsers():
+    res = SolveResult(
+        algorithm="x", radius=1, order_strategy="", dominators=(0,),
+        connected_set=None, certificate=None, rounds=None, total_words=None,
+        phase_rounds=None, wall_time_s=0.0, raw=None,
+        extras={"nan": float("nan"), "inf": np.float64("inf"), "ok": 0.5,
+                "nested": [1.0, float("inf")]},
+    )
+    data = res.to_dict()
+    assert data["extras"] == {"ok": 0.5}
+    assert data["extras_omitted"] == ["inf", "nan", "nested"]
+    json.loads(res.to_json())  # strict round-trip, no NaN literals
+
+
+def test_object_dtype_array_extras_are_omitted_not_crashing():
+    res = SolveResult(
+        algorithm="x", radius=1, order_strategy="", dominators=(0,),
+        connected_set=None, certificate=None, rounds=None, total_words=None,
+        phase_rounds=None, wall_time_s=0.0, raw=None,
+        extras={"weird": np.array([object()], dtype=object),
+                "fine": np.array([1, 2])},
+    )
+    data = res.to_dict()
+    assert data["extras"] == {"fine": [1, 2]}
+    assert data["extras_omitted"] == ["weird"]
+    json.loads(res.to_json())  # genuinely serializable
+
+
+def test_lp_bound_roundtrips_as_float():
+    g = gen.grid_2d(5, 5)
+    res = solve(g, 1, "seq.wreach", certify=True, with_lp=True)
+    clone = _roundtrip(res)
+    assert clone.certificate.lp_bound == res.certificate.lp_bound
+    assert clone.certificate.realized_ratio_upper == \
+        res.certificate.realized_ratio_upper
+
+
+def test_schema_tag_present_and_checked():
+    import pytest
+
+    g = gen.grid_2d(4, 4)
+    res = solve_request(SolveRequest(graph=g, radius=1))
+    data = res.to_dict()
+    assert data["schema"] == 1
+    data["schema"] = 99
+    with pytest.raises(ValueError, match="schema"):
+        SolveResult.from_dict(data)
+
+
+def test_harness_writes_runs_json(tmp_path, monkeypatch):
+    from repro.bench import harness
+    from repro.bench.tables import Table
+
+    monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+    g = gen.grid_2d(4, 4)
+    runs = [solve(g, 1, "seq.wreach"), solve(g, 1, "seq.greedy")]
+    table = Table("t", ["a"])
+    table.add("row")
+    harness.write_result("unit_json", table, runs=runs)
+    payload = json.loads((tmp_path / "unit_json.runs.json").read_text())
+    assert [row["algorithm"] for row in payload] == ["seq.wreach", "seq.greedy"]
+    restored = [SolveResult.from_dict(row) for row in payload]
+    assert [r.dominators for r in restored] == [
+        tuple(r.dominators) for r in runs
+    ]

@@ -1,0 +1,248 @@
+"""ArtifactStore: bit-identical persistence + warm cross-process starts."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.api import ArtifactStore, PrecomputeCache, graph_digest, order_digest
+from repro.graphs import generators as gen
+from repro.graphs import random_models as rm
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.wreach import RankedAdjacency, wreach_csr
+
+#: The parity instances: scalar-kernel sized, batch-kernel sized, planar.
+PARITY = [
+    ("grid", lambda: gen.grid_2d(7, 7)),
+    ("ktree", lambda: gen.k_tree(600, 3, seed=5)),
+    ("delaunay", lambda: rm.delaunay_graph(620, seed=3)[0]),
+]
+
+
+@pytest.fixture(params=PARITY, ids=[name for name, _ in PARITY])
+def instance(request):
+    return request.param[1]()
+
+
+def test_graph_roundtrip_is_digest_verified(tmp_path, instance):
+    store = ArtifactStore(tmp_path)
+    digest = store.put_graph(instance)
+    g2 = store.get_graph(digest)
+    assert g2 == instance
+    assert graph_digest(g2) == digest
+    assert store.get_graph("0" * 32) is None  # unknown digest
+
+
+def test_artifact_roundtrip_bit_identical(tmp_path, instance):
+    """Acceptance: order sequences, WReachCSR (indptr, members), and wcol
+    loaded from a store match freshly computed ones exactly."""
+    g = instance
+    store = ArtifactStore(tmp_path)
+    gd = store.put_graph(g)
+    order, _ = degeneracy_order(g)
+    od = order_digest(order)
+
+    store.put_order(gd, "degeneracy", 0, order)
+    loaded_order = store.get_order(gd, "degeneracy", 0, n=g.n)
+    assert loaded_order.rank.tolist() == order.rank.tolist()
+    assert loaded_order.by_rank.tolist() == order.by_rank.tolist()
+
+    adj = RankedAdjacency(g, order)
+    store.put_rank_adj(gd, od, adj)
+    loaded_adj = store.get_rank_adj(gd, od, g, order)
+    assert loaded_adj.nbrs.tolist() == adj.nbrs.tolist()
+    assert loaded_adj.nbr_ranks.tolist() == adj.nbr_ranks.tolist()
+
+    for reach in (1, 2, 4):
+        csr = wreach_csr(g, order, reach, adj=adj)
+        store.put_wreach(gd, od, reach, csr)
+        loaded = store.get_wreach(gd, od, reach, g, order)
+        assert loaded.indptr.tolist() == csr.indptr.tolist()
+        assert loaded.members.tolist() == csr.members.tolist()
+        assert loaded.reach == reach
+        store.put_wcol(gd, od, reach, csr.wcol())
+        assert store.get_wcol(gd, od, reach) == csr.wcol()
+
+
+def test_dist_order_roundtrip(tmp_path):
+    from repro.distributed.nd_order import distributed_h_partition_order
+
+    g = gen.grid_2d(6, 6)
+    store = ArtifactStore(tmp_path)
+    gd = store.put_graph(g)
+    oc = distributed_h_partition_order(g)
+    store.put_dist_order(gd, "h_partition", 0, None, oc)
+    loaded = store.get_dist_order(gd, "h_partition", 0, None, n=g.n)
+    assert loaded.order.rank.tolist() == oc.order.rank.tolist()
+    assert loaded.class_ids.tolist() == oc.class_ids.tolist()
+    assert (loaded.rounds, loaded.normalized_rounds) == (
+        oc.rounds, oc.normalized_rounds
+    )
+    assert (loaded.max_payload_words, loaded.total_words) == (
+        oc.max_payload_words, oc.total_words
+    )
+    assert loaded.mode == "h_partition"
+
+
+def test_corrupt_and_foreign_files_are_misses(tmp_path):
+    g = gen.grid_2d(5, 5)
+    store = ArtifactStore(tmp_path)
+    gd = store.put_graph(g)
+    # Truncate the stored npz: load must degrade to a miss, not raise.
+    path = store._graph_path(gd)
+    path.write_bytes(path.read_bytes()[:20])
+    assert store.get_graph(gd) is None
+    assert store.get_order(gd, "degeneracy", 0) is None  # absent file
+    # A graph stored under a wrong digest is rejected by verification.
+    other = gen.grid_2d(4, 4)
+    store._save(store._graph_path("deadbeef"), indptr=other.indptr,
+                indices=other.indices)
+    assert store.get_graph("deadbeef") is None
+
+
+def test_malformed_entries_degrade_to_misses_everywhere(tmp_path):
+    """Loadable-but-malformed npz files miss instead of crashing."""
+    g = gen.grid_2d(5, 5)
+    store = ArtifactStore(tmp_path)
+    gd = store.put_graph(g)
+    order, _ = degeneracy_order(g)
+    od = order_digest(order)
+    # Empty indptr: graph_meta must not IndexError.
+    store._save(store._graph_path("bad"), indptr=np.empty(0, dtype=np.int64),
+                indices=np.empty(0, dtype=np.int32))
+    assert store.graph_meta("bad") is None
+    assert store.graph_meta(gd) == (g.n, g.m)
+    # Multi-element wcol value: miss, not TypeError.
+    store._save(store._wcol_path(gd, od, 2), value=np.arange(3))
+    assert store.get_wcol(gd, od, 2) is None
+    # WReach arrays whose offsets disagree with the member count: miss.
+    store._save(store._wreach_path(gd, od, 2),
+                indptr=np.zeros(g.n + 1, dtype=np.int64),
+                members=np.arange(5, dtype=np.int64))
+    assert store.get_wreach(gd, od, 2, g, order) is None
+
+
+def test_two_tier_cache_write_through_and_read_through(tmp_path, instance):
+    g = instance
+    store = ArtifactStore(tmp_path)
+    cold = PrecomputeCache(store=store)
+    order = cold.order(g, "degeneracy", 2)
+    csr = cold.wreach_csr(g, order, 4)
+    wcol = cold.wcol(g, order, 4)
+    st = cold.stats()
+    assert st["order"]["computed"] == 1 and st["order"]["store_hits"] == 0
+
+    # A fresh cache over the same store: everything loads, nothing runs.
+    warm = PrecomputeCache(store=store)
+    order2 = warm.order(g, "degeneracy", 2)
+    csr2 = warm.wreach_csr(g, order2, 4)
+    assert warm.wcol(g, order2, 4) == wcol
+    assert order2.rank.tolist() == order.rank.tolist()
+    assert csr2.indptr.tolist() == csr.indptr.tolist()
+    assert csr2.members.tolist() == csr.members.tolist()
+    st = warm.stats()
+    for category in ("order", "wreach_csr", "wcol"):
+        assert st[category]["computed"] == 0, (category, st)
+        assert st[category]["store_hits"] == 1, (category, st)
+
+
+def test_warm_second_process_recomputes_nothing(tmp_path):
+    """Acceptance: a warm second *process* serves seq.wreach with zero
+    wreach_csr recomputes, asserted via PrecomputeCache.stats()."""
+    from repro.api.workspace import Workspace
+    from repro.graphs.io import write_edge_list
+
+    g = gen.k_tree(550, 3, seed=9)
+    ws = Workspace(store=tmp_path / "store")
+    handle = ws.add(g)
+    ws.warm(handle, radius=2)
+    write_edge_list(g, tmp_path / "g.edges")
+
+    script = """
+import json, sys
+from repro.api.workspace import Workspace
+from repro.graphs.io import read_edge_list
+
+store, path = sys.argv[1], sys.argv[2]
+g = read_edge_list(path)
+ws = Workspace(store=store)
+res = ws.solve(g, 2, "seq.wreach", certify=True)
+res_min = ws.solve(g, 2, "seq.wreach-min")
+print(json.dumps({
+    "size": res.size,
+    "size_min": res_min.size,
+    "c": res.certificate.certified_c,
+    "stats": ws.cache.stats(),
+}))
+"""
+    import pathlib
+
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", script, str(tmp_path / "store"),
+         str(tmp_path / "g.edges")],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    payload = json.loads(out.stdout)
+    stats = payload["stats"]
+    assert stats["wreach_csr"]["computed"] == 0, stats
+    assert stats["order"]["computed"] == 0, stats
+    assert stats["rank_adj"]["computed"] == 0, stats
+    assert stats["wcol"]["computed"] == 0, stats
+    # And the served results match an in-process fresh computation.
+    fresh = PrecomputeCache()
+    from repro.api import solve
+
+    res = solve(g, 2, "seq.wreach", certify=True, cache=fresh)
+    assert payload["size"] == res.size
+    assert payload["c"] == res.certificate.certified_c
+
+
+def test_concurrent_put_is_atomic(tmp_path):
+    """Interleaved writers of the same artifact never corrupt it."""
+    g = gen.grid_2d(6, 6)
+    order, _ = degeneracy_order(g)
+    store_a = ArtifactStore(tmp_path)
+    store_b = ArtifactStore(tmp_path)
+    gd = graph_digest(g)
+    store_a.put_order(gd, "degeneracy", 0, order)
+    store_b.put_order(gd, "degeneracy", 0, order)  # idempotent overwrite
+    loaded = store_a.get_order(gd, "degeneracy", 0, n=g.n)
+    assert loaded.rank.tolist() == order.rank.tolist()
+
+
+def test_describe_reports_contents(tmp_path):
+    g = gen.grid_2d(6, 6)
+    store = ArtifactStore(tmp_path)
+    cache = PrecomputeCache(store=store)
+    store.put_graph(g)
+    order = cache.order(g, "degeneracy", 1)
+    cache.wreach_csr(g, order, 2)
+    info = store.describe()
+    assert len(info["graphs"]) == 1
+    assert info["graphs"][0]["n"] == g.n and info["graphs"][0]["m"] == g.m
+    assert info["categories"]["orders"]["artifacts"] == 1
+    assert info["categories"]["wreach"]["artifacts"] == 1
+    assert info["total_bytes"] > 0
+
+
+def test_wreach_served_from_store_matches_kernel(tmp_path, instance):
+    """The cached-from-disk CSR feeds the consumers identically."""
+    from repro.core.domset import domset_by_wreach
+
+    g = instance
+    store = ArtifactStore(tmp_path)
+    cold = PrecomputeCache(store=store)
+    order = cold.order(g, "degeneracy", 1)
+    ds_cold = domset_by_wreach(g, order, 1, csr=cold.wreach_csr(g, order, 1))
+
+    warm = PrecomputeCache(store=store)
+    order_w = warm.order(g, "degeneracy", 1)
+    ds_warm = domset_by_wreach(g, order_w, 1, csr=warm.wreach_csr(g, order_w, 1))
+    assert ds_warm.dominators == ds_cold.dominators
+    assert np.array_equal(ds_warm.dominator_of, ds_cold.dominator_of)

@@ -1,0 +1,347 @@
+"""Workspace: graph handles, streaming execution, pooled co-location."""
+
+import pickle
+
+import pytest
+
+from repro.api import (
+    GraphHandle,
+    SolveRequest,
+    Workspace,
+    graph_digest,
+    solve,
+    solve_request,
+)
+from repro.api.workspace import SolveFuture
+from repro.errors import SolverError
+from repro.graphs import generators as gen
+
+
+def test_add_returns_content_addressed_handle():
+    ws = Workspace()
+    g = gen.grid_2d(5, 5)
+    h1 = ws.add(g)
+    h2 = ws.add(gen.grid_2d(5, 5))  # equal content, separate object
+    assert h1 == h2
+    assert h1.digest == graph_digest(g)
+    assert (h1.n, h1.m) == (g.n, g.m)
+    assert ws.resolve(h1) is g
+
+
+def test_handle_requests_resolve_through_workspace():
+    ws = Workspace()
+    g = gen.grid_2d(5, 5)
+    h = ws.add(g)
+    direct = solve(g, 1, "seq.wreach")
+    via_detached = ws.solve_request(
+        SolveRequest(graph=h.detached(), radius=1, algorithm="seq.wreach")
+    )
+    assert via_detached.dominators == direct.dominators
+    # ws.solve takes either shape too.
+    assert ws.solve(h, 1, "seq.wreach").dominators == direct.dominators
+
+
+def test_detached_handle_outside_workspace_is_rejected():
+    g = gen.grid_2d(4, 4)
+    handle = GraphHandle.of(g).detached()
+    req = SolveRequest(graph=handle, radius=1, algorithm="seq.wreach")
+    with pytest.raises(SolverError, match="Workspace"):
+        solve_request(req)
+    # An attached handle works anywhere: it carries the graph in-process.
+    attached = GraphHandle.of(g)
+    res = solve_request(SolveRequest(graph=attached, radius=1))
+    assert res.size > 0
+
+
+def test_handle_pickles_without_graph():
+    g = gen.grid_2d(5, 5)
+    h = GraphHandle.of(g)
+    assert h.graph is g
+    clone = pickle.loads(pickle.dumps(h))
+    assert clone == h  # identity is (digest, n, m)
+    assert clone.graph is None  # the CSR arrays did not ride along
+    assert len(pickle.dumps(h)) < len(pickle.dumps(g))
+
+
+def test_unknown_digest_raises():
+    ws = Workspace()
+    with pytest.raises(SolverError, match="not in this workspace"):
+        ws.graph("f" * 32)
+
+
+def test_as_completed_streams_before_batch_finishes():
+    """Acceptance: results arrive while later requests are still pending."""
+    ws = Workspace()
+    g = gen.grid_2d(4, 4)
+    big = gen.grid_2d(12, 12)
+    reqs = [
+        SolveRequest(graph=g, radius=1, algorithm="seq.greedy"),
+        SolveRequest(graph=big, radius=2, algorithm="seq.wreach", certify=True),
+        SolveRequest(graph=big, radius=2, algorithm="seq.dvorak"),
+    ]
+    futures = ws.submit_all(reqs)
+    assert not any(f.done() for f in futures)  # lazy until driven
+    stream = ws.as_completed(futures)
+    first = next(stream)
+    assert first.done() and first.result().algorithm == "seq.greedy"
+    # The batch is NOT finished: later futures are still pending.
+    assert not futures[1].done() and not futures[2].done()
+    rest = [f.result().algorithm for f in stream]
+    assert rest == ["seq.wreach", "seq.dvorak"]
+
+
+def test_as_completed_accepts_plain_requests():
+    ws = Workspace()
+    g = gen.grid_2d(5, 5)
+    reqs = [SolveRequest(graph=g, radius=1, algorithm=a)
+            for a in ("seq.wreach", "seq.greedy")]
+    done = {f.request.algorithm: f.result().size for f in ws.as_completed(reqs)}
+    assert set(done) == {"seq.wreach", "seq.greedy"}
+    assert all(size > 0 for size in done.values())
+
+
+def test_submit_future_result_and_done():
+    ws = Workspace()
+    g = gen.grid_2d(5, 5)
+    fut = ws.submit(SolveRequest(graph=g, radius=1, algorithm="seq.wreach"))
+    assert isinstance(fut, SolveFuture)
+    assert not fut.done()
+    res = fut.result()
+    assert fut.done()
+    assert fut.result() is res  # memoized
+
+
+def test_submit_all_rejects_non_requests():
+    ws = Workspace()
+    with pytest.raises(SolverError, match="SolveRequest"):
+        ws.submit_all([42])
+
+
+def test_run_matches_solve_batch_inline():
+    from repro.api import solve_batch
+
+    g = gen.grid_2d(6, 6)
+    reqs = [SolveRequest(graph=g, radius=1, algorithm=a, certify=True)
+            for a in ("seq.wreach", "seq.wreach-min", "seq.dvorak")]
+    with Workspace() as ws:
+        ordered = ws.run(reqs)
+    batch = solve_batch(reqs)
+    assert [r.dominators for r in ordered] == [r.dominators for r in batch]
+    assert [r.algorithm for r in ordered] == [r.algorithm for r in reqs]
+
+
+def test_pooled_dispatch_groups_by_digest():
+    """Acceptance: each distinct graph is serialized at most once — the
+    executor builds one pool task per digest, carrying that graph's
+    requests together (same-worker co-location)."""
+    g = gen.grid_2d(6, 6)
+    t = gen.balanced_tree(2, 3)
+    reqs = [
+        SolveRequest(graph=g, radius=1, algorithm="seq.wreach"),
+        SolveRequest(graph=t, radius=1, algorithm="seq.greedy"),
+        SolveRequest(graph=g, radius=1, algorithm="seq.dvorak"),
+        SolveRequest(graph=t, radius=2, algorithm="seq.greedy"),
+        SolveRequest(graph=g, radius=1, algorithm="seq.greedy"),
+    ]
+    ws = Workspace(workers=2)
+    submitted = []
+
+    class _RecordingPool:
+        def submit(self, fn, store_root, graph, digest, stripped):
+            submitted.append((graph, digest, stripped))
+            from concurrent.futures import Future
+
+            cf = Future()
+            cf.set_result(fn(store_root, graph, digest, stripped))
+            return cf
+
+    ws._pool = _RecordingPool()
+    futures = ws.submit_all(reqs)
+    # One task per distinct digest; the graph object crosses once each.
+    assert len(submitted) == 2
+    digests = {d for _, d, _ in submitted}
+    assert digests == {graph_digest(g), graph_digest(t)}
+    for graph, digest, stripped in submitted:
+        assert graph_digest(graph) == digest
+        # Request payloads carry detached handles, not the graph again.
+        assert all(isinstance(r.graph, GraphHandle) for r in stripped)
+        assert all(r.graph.graph is None for r in stripped)
+    # Results come back in request order regardless of grouping.
+    assert [f.result().algorithm for f in futures] == [
+        r.algorithm for r in reqs
+    ]
+
+
+def test_pooled_matches_inline_end_to_end():
+    g = gen.grid_2d(6, 6)
+    t = gen.balanced_tree(2, 4)
+    reqs = [
+        SolveRequest(graph=g, radius=1, algorithm="seq.wreach", certify=True),
+        SolveRequest(graph=t, radius=2, algorithm="seq.tree-exact"),
+        SolveRequest(graph=g, radius=1, algorithm="seq.greedy"),
+    ]
+    inline = Workspace().run(reqs)
+    with Workspace(workers=2) as ws:
+        pooled = ws.run(reqs)
+    assert [r.dominators for r in pooled] == [r.dominators for r in inline]
+    assert pooled[0].certificate == inline[0].certificate
+
+
+def test_pooled_workers_resolve_graphs_from_store(tmp_path):
+    """With a store, pooled payloads carry digests only — workers load
+    the CSR arrays from disk (once per process), not from the pickle."""
+    g = gen.grid_2d(6, 6)
+    with Workspace(store=tmp_path, workers=2) as ws:
+        h = ws.add(g)
+        reqs = [SolveRequest(graph=h, radius=1, algorithm=a)
+                for a in ("seq.wreach", "seq.greedy")]
+        results = ws.run(reqs)
+    inline = [solve(g, 1, a) for a in ("seq.wreach", "seq.greedy")]
+    assert [r.dominators for r in results] == [r.dominators for r in inline]
+
+
+def test_workspace_info_reports_cache_and_store(tmp_path):
+    ws = Workspace(store=tmp_path)
+    h = ws.add(gen.grid_2d(5, 5))
+    ws.warm(h, radius=1)
+    info = ws.info()
+    assert info["graphs_in_memory"] == 1
+    assert info["store"]["categories"]["orders"]["artifacts"] == 1
+    assert "order" in info["cache"]
+
+
+def test_single_graph_batch_splits_across_workers():
+    """A one-graph batch must still use the whole pool: the digest group
+    is chunked (graph shipped once per chunk <= once per worker)."""
+    g = gen.grid_2d(6, 6)
+    reqs = [SolveRequest(graph=g, radius=1, algorithm="seq.greedy")
+            for _ in range(4)]
+    ws = Workspace(workers=2)
+    submitted = []
+
+    class _RecordingPool:
+        def submit(self, fn, *args):
+            submitted.append(args)
+            from concurrent.futures import Future
+
+            cf = Future()
+            cf.set_result(fn(*args))
+            return cf
+
+    ws._pool = _RecordingPool()
+    futures = ws.submit_all(reqs)
+    assert len(submitted) == 2  # two chunks for two workers
+    assert all(len(args[3]) == 2 for args in submitted)  # balanced
+    assert len({args[2] for args in submitted}) == 1  # same digest
+    assert [f.result().size for f in futures] == [
+        futures[0].result().size
+    ] * 4
+
+
+def test_pooled_failure_does_not_poison_group_siblings():
+    """One bad request in a co-located group fails alone."""
+    t = gen.balanced_tree(2, 3)
+    g = gen.grid_2d(5, 5)
+    reqs = [
+        SolveRequest(graph=g, radius=1, algorithm="seq.wreach"),
+        SolveRequest(graph=g, radius=1, algorithm="seq.tree-exact"),  # not a tree
+        SolveRequest(graph=g, radius=1, algorithm="seq.greedy"),
+        SolveRequest(graph=t, radius=1, algorithm="seq.tree-exact"),
+    ]
+    with Workspace(workers=2) as ws:
+        futures = ws.submit_all(reqs)
+        assert futures[0].result().size > 0
+        with pytest.raises(SolverError, match="tree"):
+            futures[1].result()
+        assert futures[2].result().size > 0  # same group as the failure
+        assert futures[3].result().size > 0
+
+
+def test_store_workspace_rejects_unbacked_cache(tmp_path):
+    from repro.api import PrecomputeCache
+
+    with pytest.raises(SolverError, match="not backed"):
+        Workspace(store=tmp_path, cache=PrecomputeCache())
+    # A cache over the same store is accepted.
+    from repro.api import ArtifactStore
+
+    store = ArtifactStore(tmp_path)
+    ws = Workspace(store=store, cache=PrecomputeCache(store=store))
+    assert ws.cache.store is store
+    # Equivalent spellings of the same directory are the same store.
+    import os
+
+    rel = os.path.relpath(tmp_path)
+    ws2 = Workspace(store=rel, cache=PrecomputeCache(store=store))
+    assert ws2.cache.store is store
+
+
+def test_store_backed_cache_implies_store_backed_workspace(tmp_path):
+    """A workspace built only from a store-backed cache adopts the store:
+    graphs persist and detached handles resolve in later processes."""
+    from repro.api import ArtifactStore, PrecomputeCache
+
+    store = ArtifactStore(tmp_path)
+    ws = Workspace(cache=PrecomputeCache(store=store))
+    assert ws.store is store
+    g = gen.grid_2d(5, 5)
+    h = ws.add(g)
+    fresh = Workspace(store=tmp_path)
+    assert fresh.resolve(h.detached()) == g  # graph reached the store
+
+
+def test_as_completed_survives_failing_requests():
+    """A bad request settles its own future; the stream keeps going."""
+    ws = Workspace()
+    g = gen.grid_2d(5, 5)
+    reqs = [
+        SolveRequest(graph=g, radius=1, algorithm="seq.greedy"),
+        SolveRequest(graph=g, radius=1, algorithm="seq.tree-exact"),  # not a tree
+        SolveRequest(graph=g, radius=1, algorithm="seq.wreach"),
+    ]
+    yielded = list(ws.as_completed(reqs))
+    assert len(yielded) == 3
+    assert yielded[0].result().size > 0
+    with pytest.raises(SolverError, match="tree"):
+        yielded[1].result()
+    assert yielded[2].result().size > 0
+
+
+def test_failed_deferred_future_caches_its_error():
+    """result() on a failed future re-raises; it never re-runs the solve."""
+    ws = Workspace()
+    calls = []
+    req = SolveRequest(graph=gen.grid_2d(4, 4), radius=1,
+                       algorithm="seq.tree-exact")
+    fut = ws.submit(req)
+    fut._run = lambda run=fut._run: calls.append(1) or run()
+    for _ in range(2):
+        with pytest.raises(SolverError, match="tree"):
+            fut.result()
+    assert calls == [1]  # the second call replayed the cached error
+    assert fut.done()
+
+
+def test_handles_list_without_loading_store_graphs(tmp_path):
+    g = gen.grid_2d(5, 5)
+    Workspace(store=tmp_path).add(g)
+    ws = Workspace(store=tmp_path)
+    (handle,) = ws.handles()
+    assert (handle.n, handle.m) == (g.n, g.m)
+    assert handle.graph is None  # listed from metadata, not loaded
+    assert len(ws._graphs) == 0
+    assert ws.resolve(handle) == g  # lazy load still works
+
+
+def test_warm_covers_both_wreach_solvers(tmp_path):
+    """warm() precomputes what seq.wreach (certified) and seq.wreach-min
+    consume, so both run without touching the kernels afterwards."""
+    g = gen.k_tree(540, 3, seed=2)
+    Workspace(store=tmp_path).warm(g, radius=2)
+    ws = Workspace(store=tmp_path)
+    ws.solve(g, 2, "seq.wreach", certify=True)
+    ws.solve(g, 2, "seq.wreach-min")
+    stats = ws.cache.stats()
+    assert stats["wreach_csr"]["computed"] == 0
+    assert stats["order"]["computed"] == 0
+    assert stats["wcol"]["computed"] == 0

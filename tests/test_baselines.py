@@ -1,6 +1,5 @@
 """Dvořák-style and greedy baselines."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.validate import is_distance_r_dominating_set

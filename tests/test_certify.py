@@ -1,7 +1,5 @@
 """Per-instance approximation certificates."""
 
-import numpy as np
-import pytest
 
 from repro.core.certify import certify_run
 from repro.core.domset import domset_sequential

@@ -2,10 +2,7 @@
 
 import pytest
 
-from repro.analysis.validate import (
-    is_connected_distance_r_dominating_set,
-    is_distance_r_dominating_set,
-)
+from repro.analysis.validate import is_connected_distance_r_dominating_set
 from repro.core.domset import domset_by_wreach
 from repro.distributed.connect_bc import run_connect_bc
 from repro.distributed.nd_order import distributed_h_partition_order

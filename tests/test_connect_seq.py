@@ -3,10 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.validate import (
-    is_connected_distance_r_dominating_set,
-    is_distance_r_dominating_set,
-)
+from repro.analysis.validate import is_connected_distance_r_dominating_set
 from repro.core.connect import (
     canonical_lex_path,
     connect_via_minor,
@@ -124,8 +121,6 @@ def test_lex_partition_lenient_mode():
 @pytest.mark.parametrize("radius", [1, 2])
 def test_minor_is_connected(radius):
     """Lemma 15: contracting B(D) yields a connected minor."""
-    from repro.graphs.operations import contract_partition
-
     for g in _connected_zoo():
         order, _ = degeneracy_order(g)
         ds = domset_sequential(g, order, radius)

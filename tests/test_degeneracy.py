@@ -1,7 +1,5 @@
 """Smallest-last orders and core numbers."""
 
-import numpy as np
-import pytest
 
 from repro.graphs import generators as gen
 from repro.graphs.build import from_edges

@@ -8,7 +8,7 @@ from repro.graphs.build import from_edges
 from repro.orders.degeneracy import degeneracy_order
 from repro.orders.exact_wcol import EXACT_WCOL_LIMIT, exact_wcol
 from repro.orders.fraternal import fraternal_augmentation_order
-from repro.orders.wreach import wcol_of_order, wreach_sizes
+from repro.orders.wreach import wcol_of_order
 
 
 def test_path_values_and_witness():

@@ -7,7 +7,6 @@ were validated by hand — their outputs are quoted in EXPERIMENTS.md).
 
 import pathlib
 import runpy
-import sys
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Transitive-fraternal augmentation orders."""
 
-import numpy as np
 import pytest
 
 from repro.errors import OrderError

@@ -1,6 +1,5 @@
 """Order baselines and the sort-by-wreach improvement pass."""
 
-import numpy as np
 
 from repro.graphs import generators as gen
 from repro.orders.degeneracy import degeneracy_order

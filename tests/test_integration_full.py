@@ -13,10 +13,7 @@ check the cross-layer identities that hold by theory:
 import numpy as np
 import pytest
 
-from repro.analysis.validate import (
-    is_connected_distance_r_dominating_set,
-    is_distance_r_dominating_set,
-)
+from repro.analysis.validate import is_connected_distance_r_dominating_set
 from repro.core.covers import build_cover
 from repro.core.domset import domset_by_wreach, domset_sequential
 from repro.core.dvorak import domset_dvorak

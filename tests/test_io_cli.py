@@ -129,6 +129,63 @@ def test_cli_list_solvers(capsys):
     assert "CONGEST_BC" in out
 
 
+def test_cli_list_solvers_shows_engines_and_radius(capsys):
+    """The capability metadata is visible from the terminal: engine
+    declarations (batch/pernode) and radius ranges per solver."""
+    assert main(["list-solvers"]) == 0
+    out = capsys.readouterr().out
+    header = out.splitlines()[0]
+    assert "engines" in header and "radius" in header
+    congest = next(ln for ln in out.splitlines() if ln.startswith("dist.congest "))
+    assert "batch/pernode" in congest
+    assert "[1, inf]" in congest
+    unified = next(
+        ln for ln in out.splitlines() if ln.startswith("dist.congest-unified")
+    )
+    assert "pernode" in unified and "batch/" not in unified
+    greedy = next(ln for ln in out.splitlines() if ln.startswith("seq.greedy"))
+    assert " - " in greedy  # engine-free solvers show a dash
+
+
+def test_cli_warm_then_solve_with_store(tmp_path, capsys):
+    path = _write_grid(tmp_path)
+    store = str(tmp_path / "store")
+    assert main(["warm", path, "--store", store, "-r", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "wcol_4" in out
+    assert "computed" in out
+    # Warming again: everything already persisted.
+    assert main(["warm", path, "--store", store, "-r", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "0 computed" in out
+    # A solve against the warm store works and certifies.
+    assert main(["solve", path, "-a", "seq.wreach", "-r", "2",
+                 "--certify", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "|D| =" in out and "certified ratio" in out
+
+
+def test_cli_workspace_info_rejects_missing_store(tmp_path, capsys):
+    """A read-only command must not create an empty store from a typo."""
+    missing = tmp_path / "no-such-store"
+    assert main(["workspace", "info", "--store", str(missing)]) == 2
+    assert "error:" in capsys.readouterr().err
+    assert not missing.exists()
+
+
+def test_cli_workspace_info(tmp_path, capsys):
+    path = _write_grid(tmp_path)
+    store = str(tmp_path / "store")
+    assert main(["warm", path, "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["workspace", "info", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "graphs (1):" in out
+    assert "n =      25" in out
+    assert "orders" in out and "wreach" in out
+    assert "total size" in out
+
+
 def test_cli_domset_prune_certifies_pruned_set(tmp_path, capsys):
     """Regression: the certificate/ratio must describe the pruned set."""
     path = _write_grid(tmp_path)

@@ -1,13 +1,12 @@
 """Direct property tests of the paper's standalone lemmas."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.domset import domset_sequential
 from repro.graphs import generators as gen
 from repro.graphs.build import from_edges
-from repro.graphs.components import is_connected, largest_component
+from repro.graphs.components import is_connected
 from repro.graphs.traversal import bfs_distances, shortest_path
 from repro.orders.degeneracy import degeneracy_order
 from repro.orders.linear_order import LinearOrder

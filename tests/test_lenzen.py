@@ -1,6 +1,5 @@
 """Lenzen-style planar MDS (constant LOCAL rounds)."""
 
-import pytest
 
 from repro.analysis.validate import is_distance_r_dominating_set
 from repro.core.exact import exact_domset

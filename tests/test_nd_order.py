@@ -1,7 +1,5 @@
 """Distributed order computations (Theorem 3 engines)."""
 
-import numpy as np
-import pytest
 
 from repro.distributed.nd_order import (
     default_threshold,
@@ -10,7 +8,6 @@ from repro.distributed.nd_order import (
 )
 from repro.graphs import generators as gen
 from repro.graphs.build import from_edges
-from repro.graphs.expansion import degeneracy
 from repro.orders.wreach import wcol_of_order
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import GraphError
 from repro.graphs import generators as gen
-from repro.graphs.build import from_edges
 from repro.graphs.operations import (
     add_edges,
     contract_partition,

@@ -9,7 +9,6 @@ from repro.distributed.model import Model
 from repro.distributed.network import Network
 from repro.distributed.nd_order import distributed_h_partition_order
 from repro.distributed.pipelining import (
-    PipelinedNode,
     decode_payload,
     encode_payload,
     run_pipelined,

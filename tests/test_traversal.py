@@ -1,7 +1,6 @@
 """Traversal primitives against the networkx oracle."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

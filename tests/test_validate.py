@@ -1,13 +1,12 @@
 """Validation oracles themselves."""
 
-import numpy as np
 
 from repro.analysis.validate import (
     is_connected_distance_r_dominating_set,
     is_distance_r_dominating_set,
     undominated_vertices,
 )
-from repro.analysis.stats import Summary, linear_fit, summarize_sizes
+from repro.analysis.stats import linear_fit, summarize_sizes
 from repro.graphs import generators as gen
 from repro.graphs.build import from_edges
 

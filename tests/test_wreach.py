@@ -1,13 +1,11 @@
 """Weak reachability: definition checks against a brute-force oracle."""
 
-import itertools
 
 import numpy as np
 import pytest
 
 from repro.errors import OrderError
 from repro.graphs import generators as gen
-from repro.graphs.build import from_edges
 from repro.orders.linear_order import LinearOrder
 from repro.orders.wreach import (
     restricted_bfs,
