@@ -47,7 +47,7 @@ def _t6_rows():
         # Linear scaling shows as a high-R^2 linear fit; superlinear
         # growth (e.g. quadratic) would push R^2 of the *linear* fit
         # down and the per-vertex cost up by 16x across our range.
-        per_vertex = [y / x for x, y in zip(xs, ys)]
+        per_vertex = [y / x for x, y in zip(xs, ys, strict=True)]
         if per_vertex[-1] > 5 * per_vertex[0]:
             ok = False
     return table, fits, ok

@@ -33,7 +33,7 @@ def _t7_rows():
             order, _ = degeneracy_order(g)
             vals = [wcol_of_order(g, order, r) for r in RADII]
             table.add(family, g.n, *vals)
-            for r, v in zip(RADII, vals):
+            for r, v in zip(RADII, vals, strict=True):
                 series.setdefault((family, r), []).append(v)
     for (family, r), vals in series.items():
         # Flatness: an 8x growth in n should not even double wcol_r.

@@ -40,7 +40,11 @@ from repro.graphs.graph import Graph
 from repro.orders.linear_order import LinearOrder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
     from repro.api.store import ArtifactStore
+    from repro.distributed.nd_order import OrderComputation
+    from repro.orders.wreach import RankedAdjacency, WReachCSR
 
 __all__ = ["PrecomputeCache", "graph_digest", "order_digest", "default_cache"]
 
@@ -171,17 +175,17 @@ class PrecomputeCache:
         if self._store is not None:
             store = self._store
 
-            def load():
+            def load() -> LinearOrder | None:
                 return store.get_order(gd, strategy, key_radius, n=g.n)
 
-            def persist(v):
+            def persist(v: LinearOrder) -> None:
                 store.put_order(gd, strategy, key_radius, v)
 
         return self._tables["order"].get_or_compute(
             key, lambda: make_order(g, radius, strategy), load, persist
         )
 
-    def rank_adjacency(self, g: Graph, order: LinearOrder):
+    def rank_adjacency(self, g: Graph, order: LinearOrder) -> RankedAdjacency:
         """The rank-permuted CSR adjacency for ``(g, order)``, memoized.
 
         Built once per graph/order pair and shared by every WReach and
@@ -195,17 +199,17 @@ class PrecomputeCache:
         if self._store is not None:
             store = self._store
 
-            def load():
+            def load() -> RankedAdjacency | None:
                 return store.get_rank_adj(gd, od, g, order)
 
-            def persist(v):
+            def persist(v: RankedAdjacency) -> None:
                 store.put_rank_adj(gd, od, v)
 
         return self._tables["rank_adj"].get_or_compute(
             key, lambda: RankedAdjacency(g, order), load, persist
         )
 
-    def wreach_csr(self, g: Graph, order: LinearOrder, reach: int):
+    def wreach_csr(self, g: Graph, order: LinearOrder, reach: int) -> WReachCSR:
         """``wreach_csr(g, order, reach)`` — the shared CSR sweep, memoized.
 
         Every WReach-derived quantity (sets, sizes, wcol, the domset /
@@ -220,10 +224,10 @@ class PrecomputeCache:
         if self._store is not None:
             store = self._store
 
-            def load():
+            def load() -> WReachCSR | None:
                 return store.get_wreach(gd, od, int(reach), g, order)
 
-            def persist(v):
+            def persist(v: WReachCSR) -> None:
                 store.put_wreach(gd, od, int(reach), v)
 
         return self._tables["wreach_csr"].get_or_compute(
@@ -243,7 +247,7 @@ class PrecomputeCache:
         """
         return self.wreach_csr(g, order, reach).tolists()
 
-    def wreach_sizes(self, g: Graph, order: LinearOrder, reach: int):
+    def wreach_sizes(self, g: Graph, order: LinearOrder, reach: int) -> np.ndarray:
         """``|WReach_reach[v]|`` per vertex — ``np.diff`` of the cached CSR.
 
         No table of its own: the diff is a single vectorized pass over
@@ -259,10 +263,10 @@ class PrecomputeCache:
         if self._store is not None:
             store = self._store
 
-            def load():
+            def load() -> int | None:
                 return store.get_wcol(gd, od, int(reach))
 
-            def persist(v):
+            def persist(v: int) -> None:
                 store.put_wcol(gd, od, int(reach), v)
 
         return self._tables["wcol"].get_or_compute(
@@ -276,7 +280,7 @@ class PrecomputeCache:
         radius: int,
         threshold: int | None = None,
         engine: str = "batch",
-    ):
+    ) -> OrderComputation:
         """The CONGEST_BC order computation for ``mode``, memoized.
 
         ``engine`` picks the simulator path of a *miss*; it is not part
@@ -295,7 +299,7 @@ class PrecomputeCache:
         gd = graph_digest(g)
         key = (gd, mode, key_radius, threshold)
 
-        def compute():
+        def compute() -> OrderComputation:
             if mode == "h_partition":
                 return distributed_h_partition_order(g, threshold, engine=engine)
             if mode == "augmented":
@@ -306,10 +310,10 @@ class PrecomputeCache:
         if self._store is not None:
             store = self._store
 
-            def load():
+            def load() -> OrderComputation | None:
                 return store.get_dist_order(gd, mode, key_radius, threshold, n=g.n)
 
-            def persist(v):
+            def persist(v: OrderComputation) -> None:
                 store.put_dist_order(gd, mode, key_radius, threshold, v)
 
         return self._tables["dist_order"].get_or_compute(key, compute, load, persist)

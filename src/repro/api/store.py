@@ -38,12 +38,16 @@ import os
 import pathlib
 import tempfile
 import zipfile
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.orders.linear_order import LinearOrder
+
+if TYPE_CHECKING:
+    from repro.distributed.nd_order import OrderComputation
+    from repro.orders.wreach import RankedAdjacency, WReachCSR
 
 __all__ = ["ArtifactStore", "graph_digest", "order_digest"]
 
@@ -201,11 +205,13 @@ class ArtifactStore:
     def _rank_adj_path(self, gdigest: str, odigest: str) -> pathlib.Path:
         return self.root / "rank_adj" / gdigest / f"{odigest}.npz"
 
-    def put_rank_adj(self, gdigest: str, odigest: str, adj) -> None:
+    def put_rank_adj(self, gdigest: str, odigest: str, adj: RankedAdjacency) -> None:
         """Persist the rank-sorted neighbor array (the lexsort product)."""
         self._save(self._rank_adj_path(gdigest, odigest), nbrs=adj.nbrs)
 
-    def get_rank_adj(self, gdigest: str, odigest: str, g: Graph, order: LinearOrder):
+    def get_rank_adj(
+        self, gdigest: str, odigest: str, g: Graph, order: LinearOrder
+    ) -> RankedAdjacency | None:
         """Rebuild a :class:`RankedAdjacency` around the stored permutation."""
         from repro.orders.wreach import RankedAdjacency
 
@@ -226,7 +232,7 @@ class ArtifactStore:
     def _wreach_path(self, gdigest: str, odigest: str, reach: int) -> pathlib.Path:
         return self.root / "wreach" / gdigest / f"{odigest}-reach{int(reach)}.npz"
 
-    def put_wreach(self, gdigest: str, odigest: str, reach: int, csr) -> None:
+    def put_wreach(self, gdigest: str, odigest: str, reach: int, csr: WReachCSR) -> None:
         self._save(
             self._wreach_path(gdigest, odigest, reach),
             indptr=csr.indptr,
@@ -235,7 +241,7 @@ class ArtifactStore:
 
     def get_wreach(
         self, gdigest: str, odigest: str, reach: int, g: Graph, order: LinearOrder
-    ):
+    ) -> WReachCSR | None:
         from repro.orders.wreach import WReachCSR
 
         loaded = self._load(
@@ -285,7 +291,12 @@ class ArtifactStore:
         return self.root / "dist_orders" / gdigest / f"{mode}-r{int(radius)}-t{t}.npz"
 
     def put_dist_order(
-        self, gdigest: str, mode: str, radius: int, threshold: int | None, oc
+        self,
+        gdigest: str,
+        mode: str,
+        radius: int,
+        threshold: int | None,
+        oc: OrderComputation,
     ) -> None:
         costs = np.asarray(
             [oc.rounds, oc.normalized_rounds, oc.max_payload_words, oc.total_words],
@@ -305,7 +316,7 @@ class ArtifactStore:
         radius: int,
         threshold: int | None,
         n: int | None = None,
-    ):
+    ) -> OrderComputation | None:
         from repro.distributed.nd_order import OrderComputation
 
         loaded = self._load(

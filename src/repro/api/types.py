@@ -78,10 +78,10 @@ class GraphHandle:
         """This handle without its in-process graph reference."""
         return GraphHandle(digest=self.digest, n=self.n, m=self.m)
 
-    def __getstate__(self):
+    def __getstate__(self) -> tuple[str, int, int]:
         return (self.digest, self.n, self.m)
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: tuple[str, int, int]) -> None:
         digest, n, m = state
         object.__setattr__(self, "digest", digest)
         object.__setattr__(self, "n", n)

@@ -34,7 +34,10 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from typing import Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import concurrent.futures
 
 from repro.api.cache import PrecomputeCache, default_cache
 from repro.api.facade import solve_request
@@ -67,7 +70,14 @@ class SolveFuture:
 
     __slots__ = ("request", "_run", "_cf", "_pick", "_done", "_value", "_error")
 
-    def __init__(self, request: SolveRequest, *, run=None, cf=None, pick: int = 0):
+    def __init__(
+        self,
+        request: SolveRequest,
+        *,
+        run: Callable[[], SolveResult] | None = None,
+        cf: "concurrent.futures.Future[Any]" | None = None,
+        pick: int = 0,
+    ):
         self.request = request
         self._run = run
         self._cf = cf
@@ -312,14 +322,14 @@ class Workspace:
                 _settle(f)
                 yield f
             else:
-                pending_groups.setdefault(id(f._cf), []).append(f)
-                group_cfs[id(f._cf)] = f._cf
+                pending_groups.setdefault(id(f._cf), []).append(f)  # reprolint: ignore[D204] -- groups futures by shared executor handle within this call; strong refs in group_cfs, never ordered or persisted
+                group_cfs[id(f._cf)] = f._cf  # reprolint: ignore[D204] -- same identity grouping; the dict holds the strong ref
         if not pending_groups:
             return
         from concurrent.futures import as_completed as _cf_as_completed
 
         for cf in _cf_as_completed(group_cfs.values()):
-            for f in pending_groups[id(cf)]:
+            for f in pending_groups[id(cf)]:  # reprolint: ignore[D204] -- lookup by the same in-call identity key; cf is alive here by construction
                 _settle(f)
                 yield f
 
@@ -345,9 +355,9 @@ class Workspace:
             if isinstance(g, GraphHandle):
                 digest = g.digest
             else:
-                digest = digest_by_id.get(id(g))
+                digest = digest_by_id.get(id(g))  # reprolint: ignore[D204] -- hash-once shortcut: identity only skips re-digesting a live object; the grouping key is the content digest
                 if digest is None:
-                    digest = digest_by_id.setdefault(id(g), r.graph_key())
+                    digest = digest_by_id.setdefault(id(g), r.graph_key())  # reprolint: ignore[D204] -- same shortcut; requests hold the strong refs for the call's duration
             groups.setdefault(digest, []).append(i)
         # When there are fewer distinct graphs than workers, split each
         # group into up to workers//groups chunks so the whole pool is

@@ -31,6 +31,10 @@ Commands
     dist.congest`` / ``dist.congest-unified``.
 ``generate <family> <args...> -o file``
     Write a named workload or generator output to an edge-list file.
+``lint [paths...]``
+    Static model-conformance / determinism / registry-discipline
+    checker (``repro lint --list-rules``; see README "Static
+    analysis").  Thin wrapper over ``python -m repro.lint``.
 
 Graphs are plain edge-list text files (see :mod:`repro.graphs.io`).
 """
@@ -174,7 +178,7 @@ def _cmd_list_solvers(args) -> int:
         ))
     widths = [max(len(row[i]) for row in rows) for i in range(5)]
     for i, row in enumerate(rows):
-        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)) + f"  {row[5]}")
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=False)) + f"  {row[5]}")
         if i == 0:
             print("-" * (sum(widths) + 10 + max(len(r[5]) for r in rows)))
     return 0
@@ -296,6 +300,21 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import main as lint_main
+
+    forwarded = list(args.paths)
+    if args.format != "text":
+        forwarded += ["--format", args.format]
+    if args.output:
+        forwarded += ["--output", args.output]
+    if args.show_suppressed:
+        forwarded.append("--show-suppressed")
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -386,6 +405,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.add_argument("-o", "--output", required=True)
     p_gen.set_defaults(fn=_cmd_generate)
+
+    p_lint = sub.add_parser(
+        "lint", help="static model-conformance/determinism checker"
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories (default: src)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--output", metavar="FILE",
+                        help="write the JSON report to FILE")
+    p_lint.add_argument("--show-suppressed", action="store_true")
+    p_lint.add_argument("--list-rules", action="store_true")
+    p_lint.set_defaults(fn=_cmd_lint)
     return p
 
 

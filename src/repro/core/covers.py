@@ -129,7 +129,7 @@ def build_cover(
     targets_list = targets[sel].tolist()
     clusters = {
         v: tuple(targets_list[a:b])
-        for v, a, b in zip(center_ids, bounds, bounds[1:])
+        for v, a, b in zip(center_ids, bounds, bounds[1:], strict=False)
     }
     return NeighborhoodCover(
         radius_param=radius,

@@ -44,14 +44,13 @@ class JoinNode(NodeAlgorithm):
         if not self.is_dominator:
             return None
         out: WReachOutput = ctx.advice["wreach_outputs"][ctx.node]
-        tokens = []
-        for u, path in out.paths.items():
-            # path = (u, ..., self); everyone on it must join D'.
-            token = path[:-1]
-            tokens.append(token)
+        # path = (u, ..., self); everyone on it must join D'.  Dedup in
+        # a set and sort, so the stored-path dict's iteration order
+        # never reaches the emission.
+        tokens = sorted({path[:-1] for path in out.paths.values()})
         if not tokens:
             return None
-        return ("join", tuple(sorted(set(tokens))))
+        return ("join", tuple(tokens))
 
     def on_round(self, ctx: NodeContext, inbox: Inbox):
         self.round_no += 1

@@ -73,7 +73,7 @@ class ElectionNode(NodeAlgorithm):
         # Candidates: self plus weakly r-reachable vertices (path <= r).
         best = (int(class_ids[ctx.node]), ctx.node)
         best_path: tuple[int, ...] | None = None
-        for u, path in out.paths.items():
+        for u, path in out.paths.items():  # reprolint: ignore[D202] -- strict min over unique super-ids; any iteration order yields the same winner
             if len(path) - 1 <= self.radius:
                 sid = (int(class_ids[u]), int(u))
                 if sid < best:
@@ -157,7 +157,7 @@ class ElectionBatch(BatchAlgorithm):
         for v in range(n):
             best = (classes[v], v)
             best_path: tuple[int, ...] | None = None
-            for u, path in outs[v].paths.items():
+            for u, path in outs[v].paths.items():  # reprolint: ignore[D202] -- strict min over unique super-ids; any iteration order yields the same winner
                 if len(path) - 1 <= radius:
                     sid = (classes[u], u)
                     if sid < best:

@@ -141,7 +141,9 @@ class BatchEmission:
         return len(self.senders) > 0
 
 
-def pick_deployment(engine: str, batch: Callable[[], BatchAlgorithm], pernode: Any):
+def pick_deployment(
+    engine: str, batch: Callable[[], "BatchAlgorithm"], pernode: Any
+) -> Any:
     """The ``Network`` deployment for an ``engine`` name.
 
     Shared by the protocol ``run_*`` wrappers: validates the name, then

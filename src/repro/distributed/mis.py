@@ -53,11 +53,11 @@ class LubyMISNode(NodeAlgorithm):
                 if isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "prio"
             }
             self.expect = "decide"
-            lower = [
-                u for u, p in prios.items()
-                if (p, u) < (self.my_priority, ctx.node)
-            ]
-            if not lower:
+            has_lower = any(
+                (p, u) < (self.my_priority, ctx.node)
+                for u, p in prios.items()
+            )
+            if not has_lower:
                 self.state = "in_mis"
                 return ("joined",)
             return None

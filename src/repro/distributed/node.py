@@ -23,6 +23,11 @@ Outgoing message shape by model:
 What a node knows a priori (matching Section 2): its own id, its
 neighbors' ids (ports with ids), ``n``, and any *advice* constants of
 the graph class (e.g. a degeneracy bound) passed through the context.
+
+This contract is machine-checked: :mod:`repro.lint` statically verifies
+every :class:`NodeAlgorithm` subclass against it (rules M101–M105) and
+against the determinism rules D201–D204 — see the README's "Static
+analysis" section.
 """
 
 from __future__ import annotations

@@ -110,7 +110,7 @@ class UnifiedNode(NodeAlgorithm):
             assert me is not None
             best_sid = me
             best_path: tuple | None = None
-            for src, path in self.wreach.best.items():
+            for src, path in self.wreach.best.items():  # reprolint: ignore[D202] -- strict min over unique super-ids; any iteration order yields the same winner
                 if len(path) - 1 <= self.radius and path[0] < best_sid:
                     best_sid = path[0]
                     best_path = path

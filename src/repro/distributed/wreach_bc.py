@@ -145,7 +145,9 @@ class WReachNode(NodeAlgorithm):
     def output(self) -> WReachOutput:
         assert self.sid is not None
         members = sorted(self.best) + [self.sid[1]]
-        paths = {u: tuple(s[1] for s in p) for u, p in self.best.items()}
+        # Ascending-source insertion order: canonical, so the batch
+        # engine's outputs build byte-identical dicts.
+        paths = {u: tuple(s[1] for s in p) for u, p in sorted(self.best.items())}
         return WReachOutput(
             node=self.sid[1],
             sid=self.sid,

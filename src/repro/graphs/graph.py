@@ -199,4 +199,4 @@ class Graph:
     def degree_histogram(self) -> dict[int, int]:
         """Map degree -> count of vertices with that degree."""
         vals, counts = np.unique(self.degrees(), return_counts=True)
-        return {int(d): int(c) for d, c in zip(vals, counts)}
+        return {int(d): int(c) for d, c in zip(vals, counts, strict=True)}

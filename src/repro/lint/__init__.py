@@ -1,0 +1,120 @@
+"""``repro.lint`` — static model-conformance and determinism checking.
+
+Three AST passes over the codebase (run with ``python -m repro.lint
+src/`` or ``repro lint src/``):
+
+* :mod:`repro.lint.conformance` (M101-M105) — every
+  ``NodeAlgorithm``/``BatchAlgorithm`` subclass stays inside the
+  LOCAL/CONGEST/CONGEST_BC node contract;
+* :mod:`repro.lint.determinism` (D201-D204) — nothing lets unordered
+  iteration, unseeded randomness, or object identity leak into
+  emissions/outputs (the static side of the bit-identical
+  pernode/batch parity invariant);
+* :mod:`repro.lint.registry_discipline` (R301-R302) — solver
+  registrations match their bodies, and ``PrecomputeCache`` is only
+  used through its typed API.
+
+Findings are suppressed per line with
+``# reprolint: ignore[<RULE>] -- justification`` (the justification is
+mandatory; see :mod:`repro.lint.framework`).  The README's "Static
+analysis" section documents every rule id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.lint import conformance, determinism, registry_discipline
+from repro.lint.framework import (
+    META_RULES,
+    Finding,
+    LintReport,
+    PassFn,
+    Rule,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "ALL_PASSES",
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "run",
+]
+
+ALL_PASSES: tuple[PassFn, ...] = (
+    conformance.check,
+    determinism.check,
+    registry_discipline.check,
+)
+
+ALL_RULES: dict[str, Rule] = {
+    **conformance.RULES,
+    **determinism.RULES,
+    **registry_discipline.RULES,
+    **META_RULES,
+}
+
+
+def run(paths: Sequence[str]) -> LintReport:
+    """Lint ``paths`` with every pass (the programmatic entry point)."""
+    return lint_paths(paths, ALL_PASSES)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based model-conformance, determinism, and registry-"
+            "discipline checker (rules M1xx/D2xx/R3xx; see README "
+            "'Static analysis')"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is the CI artifact schema)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="also write the JSON report to FILE (any --format)",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in text output",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id with severity and summary, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(ALL_RULES.values(), key=lambda r: r.id):
+            print(f"{rule.id}  [{rule.severity:>7}]  {rule.summary}")
+        return 0
+
+    report = run(args.paths)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json(indent=2))
+            fh.write("\n")
+    if args.format == "json":
+        print(report.to_json(indent=2))
+    else:
+        print(report.render_text(show_suppressed=args.show_suppressed))
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""Shared AST helpers for the lint passes.
+
+The conformance and determinism passes both reason about *algorithm
+classes* — subclasses of
+:class:`~repro.distributed.node.NodeAlgorithm` (per-node protocols) and
+:class:`~repro.distributed.engine.BatchAlgorithm` (structure-of-arrays
+ports) — and about which expressions are statically known to be
+mutable or unordered.  Those shared judgements live here so the two
+passes cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.framework import ParsedModule
+
+__all__ = [
+    "AlgorithmClass",
+    "algorithm_classes",
+    "ctx_param_name",
+    "is_mutable_value",
+    "mutable_ctor_name",
+    "ORDER_SAFE_SINKS",
+    "in_order_safe_position",
+    "base_name",
+]
+
+#: Method names that form the simulator's per-round protocol.  Emission
+#: methods are the ones whose return value crosses the network.
+PROTOCOL_METHODS = ("on_start", "on_round", "step", "output", "outputs")
+EMISSION_METHODS = ("on_start", "on_round", "step")
+
+#: Builtins whose result does not depend on the iteration order of
+#: their argument — iterating an unordered container directly into one
+#: of these is deterministic.
+ORDER_SAFE_SINKS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset"}
+)
+
+#: Calls that produce a *new* object, so the payload no longer aliases
+#: sender state (receivers mutating the copy cannot corrupt the sender).
+COPYING_CALLS = frozenset(
+    {"tuple", "sorted", "frozenset", "list", "dict", "set", "str", "repr",
+     "bytes", "len", "min", "max", "sum", "int", "float", "deepcopy", "copy"}
+)
+
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+_MUTABLE_CTORS = frozenset(
+    {"list", "dict", "set", "defaultdict", "deque", "OrderedDict", "Counter",
+     "bytearray"}
+)
+
+
+def base_name(expr: ast.expr) -> str:
+    """The trailing identifier of a base-class expression."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return ""
+
+
+@dataclass
+class AlgorithmClass:
+    """One NodeAlgorithm/BatchAlgorithm subclass found in a module."""
+
+    node: ast.ClassDef
+    kind: str  # "node" | "batch"
+
+    def methods(self) -> Iterator[ast.FunctionDef]:
+        for stmt in self.node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                yield stmt
+
+    def emission_methods(self) -> Iterator[ast.FunctionDef]:
+        for fn in self.methods():
+            if fn.name in EMISSION_METHODS:
+                yield fn
+
+    def mutable_self_attrs(self) -> set[str]:
+        """Instance attributes assigned a mutable container anywhere."""
+        attrs: set[str] = set()
+        for node in ast.walk(self.node):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not is_mutable_value(value):
+                continue
+            for t in targets:
+                if (
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                ):
+                    attrs.add(t.attr)
+        return attrs
+
+
+def algorithm_classes(module: ParsedModule) -> Iterator[AlgorithmClass]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {base_name(b) for b in node.bases}
+        if "NodeAlgorithm" in bases:
+            yield AlgorithmClass(node=node, kind="node")
+        elif "BatchAlgorithm" in bases:
+            yield AlgorithmClass(node=node, kind="batch")
+
+
+def ctx_param_name(fn: ast.FunctionDef) -> str | None:
+    """The name of the context parameter of an algorithm method.
+
+    Recognized by annotation (``NodeContext``/``BatchContext``), by the
+    conventional name ``ctx``, or — for the protocol methods — by
+    position (first parameter after ``self``).
+    """
+    params = fn.args.posonlyargs + fn.args.args
+    for a in params:
+        if a.annotation is not None:
+            ann = base_name(a.annotation) if isinstance(
+                a.annotation, (ast.Name, ast.Attribute)
+            ) else ""
+            if ann in ("NodeContext", "BatchContext"):
+                return a.arg
+    for a in params:
+        if a.arg == "ctx":
+            return a.arg
+    if fn.name in ("on_start", "on_round", "outputs", "step"):
+        rest = [a for a in params if a.arg != "self"]
+        if rest:
+            return rest[0].arg
+    return None
+
+
+def mutable_ctor_name(value: ast.expr) -> str | None:
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        if value.func.id in _MUTABLE_CTORS:
+            return value.func.id
+    return None
+
+
+def is_mutable_value(value: ast.expr) -> bool:
+    """Statically known to evaluate to a mutable container."""
+    return isinstance(value, _MUTABLE_DISPLAYS) or (
+        mutable_ctor_name(value) is not None
+    )
+
+
+def in_order_safe_position(module: ParsedModule, node: ast.AST) -> bool:
+    """Is this iteration's result consumed order-insensitively?
+
+    True when the iterated expression (or the comprehension it drives)
+    is a direct argument of an :data:`ORDER_SAFE_SINKS` call
+    (``sorted(s)``, ``min(d.values())``, ...) or drives a set
+    comprehension (sets have no order to corrupt).  Dict comprehensions
+    do NOT qualify: dicts remember insertion order, which is exactly
+    the cross-engine hazard.
+    """
+    child = node
+    for parent in module.parents(node):
+        if isinstance(parent, ast.SetComp):
+            return True
+        if isinstance(parent, (ast.GeneratorExp, ast.ListComp)):
+            # Keep climbing: a genexp/listcomp is only safe if *it* is
+            # consumed by a safe sink.
+            child = parent
+            continue
+        if isinstance(parent, ast.comprehension):
+            child = parent
+            continue
+        if isinstance(parent, ast.BinOp):
+            # Concatenation/arithmetic preserves elements; order only
+            # matters at the ultimate consumer, so keep climbing.
+            child = parent
+            continue
+        if isinstance(parent, ast.Call):
+            func = parent.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if name in ORDER_SAFE_SINKS and child in parent.args:
+                return True
+            if name in ("list", "tuple") and parent.args and child is parent.args[0]:
+                # Order-preserving conversion: safety is decided by the
+                # ultimate consumer, so keep climbing.
+                child = parent
+                continue
+            return False
+        if isinstance(parent, ast.Compare):
+            # Membership / equality tests don't observe order.
+            return True
+        return False
+    return False

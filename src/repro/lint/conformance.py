@@ -1,0 +1,269 @@
+"""Pass 1 — locality/model conformance (rules M101-M105).
+
+The paper's round and size guarantees are statements about the
+LOCAL/CONGEST/CONGEST_BC models: a node knows its own id, its
+neighbors' ids, ``n``, and the advice constants — nothing else — and
+influences the rest of the graph only through messages.  The simulator
+cannot cheaply enforce that at runtime (a Python method can reach
+anywhere), so this pass enforces it statically over every
+``NodeAlgorithm``/``BatchAlgorithm`` subclass:
+
+* **M101** — attribute access on the context object outside the
+  declared contract (``NodeContext``: ``node``, ``neighbors``, ``n``,
+  ``advice``, ``neighbor_set``, ``degree``; ``BatchContext``: the CSR
+  view plus ``advice``).
+* **M102** — reaching into simulator internals: naming ``Network``
+  inside algorithm code, or touching ``_``-private attributes of
+  anything but ``self``.
+* **M103** — touching a module-level mutable global from algorithm
+  code (state shared *between nodes* outside the message channel).
+* **M104** — mutable class-level attributes on an algorithm class
+  (state shared between node instances of the same class).
+* **M105** — emitting a payload that aliases mutable instance state
+  (``return ("msg", self.buffer)``): the receiver could mutate the
+  sender's state back through the alias, which no message channel
+  permits.  Wrap in ``tuple(...)``/``sorted(...)`` or copy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.common import (
+    COPYING_CALLS,
+    AlgorithmClass,
+    algorithm_classes,
+    ctx_param_name,
+    is_mutable_value,
+)
+from repro.lint.framework import (
+    SEVERITY_ERROR,
+    Finding,
+    ParsedModule,
+    Rule,
+)
+
+__all__ = ["RULES", "check"]
+
+RULES: dict[str, Rule] = {
+    "M101": Rule(
+        "M101", SEVERITY_ERROR,
+        "context attribute outside the node-knowledge contract",
+    ),
+    "M102": Rule(
+        "M102", SEVERITY_ERROR,
+        "algorithm code reaches simulator internals",
+    ),
+    "M103": Rule(
+        "M103", SEVERITY_ERROR,
+        "algorithm code touches a module-level mutable global",
+    ),
+    "M104": Rule(
+        "M104", SEVERITY_ERROR,
+        "mutable class-level state shared between algorithm instances",
+    ),
+    "M105": Rule(
+        "M105", SEVERITY_ERROR,
+        "emitted payload aliases mutable instance state",
+    ),
+}
+
+#: What a per-node algorithm may read off its context (node.py docs).
+NODE_CTX_ATTRS = frozenset(
+    {"node", "neighbors", "n", "advice", "neighbor_set", "degree"}
+)
+#: What a batch algorithm may read off its context (engine.py docs).
+BATCH_CTX_ATTRS = frozenset(
+    {"graph", "model", "n", "indptr", "indices", "degrees", "advice",
+     "neighbor_counts", "fan_out"}
+)
+
+
+def _module_mutable_globals(module: ParsedModule) -> set[str]:
+    names: set[str] = set()
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not is_mutable_value(value):
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name):
+                names.add(t.id)
+    return names
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _is_super_call(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "super"
+    )
+
+
+def _check_method(
+    module: ParsedModule,
+    cls: AlgorithmClass,
+    fn: ast.FunctionDef,
+    mutable_globals: set[str],
+) -> Iterator[Finding]:
+    ctx = ctx_param_name(fn)
+    allowed = NODE_CTX_ATTRS if cls.kind == "node" else BATCH_CTX_ATTRS
+    where = f"{cls.node.name}.{fn.name}"
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute):
+            value = node.value
+            if ctx is not None and isinstance(value, ast.Name) and value.id == ctx:
+                if node.attr not in allowed:
+                    yield Finding(
+                        rule=RULES["M101"], path=module.path,
+                        line=node.lineno, col=node.col_offset,
+                        message=(
+                            f"{where} reads {ctx}.{node.attr}, which is not "
+                            f"part of the {cls.kind} contract "
+                            f"(allowed: {', '.join(sorted(allowed))})"
+                        ),
+                    )
+                continue
+            if (
+                node.attr.startswith("_")
+                and not _is_dunder(node.attr)
+                and not (isinstance(value, ast.Name) and value.id == "self")
+                and not _is_super_call(value)
+            ):
+                yield Finding(
+                    rule=RULES["M102"], path=module.path,
+                    line=node.lineno, col=node.col_offset,
+                    message=(
+                        f"{where} touches private attribute "
+                        f"{ast.unparse(value)}.{node.attr} — algorithm code "
+                        f"must stay inside the message-passing contract"
+                    ),
+                )
+        elif isinstance(node, ast.Name) and node.id == "Network":
+            yield Finding(
+                rule=RULES["M102"], path=module.path,
+                line=node.lineno, col=node.col_offset,
+                message=(
+                    f"{where} references the Network simulator directly; "
+                    f"nodes only see their context and inbox"
+                ),
+            )
+        elif isinstance(node, ast.Name) and node.id in mutable_globals:
+            yield Finding(
+                rule=RULES["M103"], path=module.path,
+                line=node.lineno, col=node.col_offset,
+                message=(
+                    f"{where} touches module-level mutable global "
+                    f"{node.id!r} — cross-node state outside the message "
+                    f"channel"
+                ),
+            )
+        elif isinstance(node, ast.Global):
+            yield Finding(
+                rule=RULES["M103"], path=module.path,
+                line=node.lineno, col=node.col_offset,
+                message=(
+                    f"{where} declares global {', '.join(node.names)} — "
+                    f"cross-node state outside the message channel"
+                ),
+            )
+
+
+def _check_class_state(
+    module: ParsedModule, cls: AlgorithmClass
+) -> Iterator[Finding]:
+    for stmt in cls.node.body:
+        value: ast.expr | None = None
+        label = ""
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            label = ", ".join(
+                ast.unparse(t) for t in stmt.targets
+            )
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = stmt.value
+            label = ast.unparse(stmt.target)
+        if value is not None and is_mutable_value(value):
+            yield Finding(
+                rule=RULES["M104"], path=module.path,
+                line=stmt.lineno, col=stmt.col_offset,
+                message=(
+                    f"class attribute {label!r} of {cls.node.name} is a "
+                    f"mutable container shared by every node instance; "
+                    f"initialize it per instance in __init__"
+                ),
+            )
+
+
+def _call_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return ""
+
+
+def _aliased_payload_attrs(
+    expr: ast.expr, mutable_attrs: set[str]
+) -> Iterator[ast.Attribute]:
+    """``self.X`` references (X mutable) not behind a copying call."""
+
+    def visit(node: ast.AST, guarded: bool) -> Iterator[ast.Attribute]:
+        if isinstance(node, ast.Call):
+            guarded = guarded or _call_name(node) in COPYING_CALLS
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in mutable_attrs
+            and not guarded
+        ):
+            yield node
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, guarded)
+
+    yield from visit(expr, False)
+
+
+def _check_payload_aliasing(
+    module: ParsedModule, cls: AlgorithmClass
+) -> Iterator[Finding]:
+    if cls.kind != "node":
+        return  # batch emissions are size accounting, not payload objects
+    mutable_attrs = cls.mutable_self_attrs()
+    if not mutable_attrs:
+        return
+    for fn in cls.emission_methods():
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Return) and node.value is not None):
+                continue
+            for attr in _aliased_payload_attrs(node.value, mutable_attrs):
+                yield Finding(
+                    rule=RULES["M105"], path=module.path,
+                    line=attr.lineno, col=attr.col_offset,
+                    message=(
+                        f"{cls.node.name}.{fn.name} emits self.{attr.attr}, "
+                        f"a mutable container; a receiver could mutate the "
+                        f"sender's state through the alias — send a copy "
+                        f"(tuple(...), sorted(...), dict(...))"
+                    ),
+                )
+
+
+def check(module: ParsedModule) -> Iterator[Finding]:
+    mutable_globals = _module_mutable_globals(module)
+    for cls in algorithm_classes(module):
+        yield from _check_class_state(module, cls)
+        yield from _check_payload_aliasing(module, cls)
+        for fn in cls.methods():
+            yield from _check_method(module, cls, fn, mutable_globals)

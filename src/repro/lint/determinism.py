@@ -1,0 +1,283 @@
+"""Pass 2 — determinism hazards (rules D201-D204).
+
+The repo's parity invariant is *bit-identical* outputs, round counts,
+and traffic statistics between the per-node and batch engines (and
+across repeat runs).  That only holds if no protocol lets an
+unspecified iteration order or an unstable key leak into what it sends
+or outputs:
+
+* **D201** — iterating a ``set``/``frozenset`` inside an algorithm
+  class where the order can feed an emission or output.  Set order is
+  arbitrary; route through ``sorted(...)`` or an order-insensitive
+  reduction (``min``/``max``/``sum``/``any``/``all``).
+* **D202** — iterating a ``dict`` (``.items()``/``.keys()``/
+  ``.values()`` or a known dict object) in algorithm code.  Dicts are
+  insertion-ordered, and *insertion order differs between the per-node
+  and batch engines* — exactly the cross-engine hazard.  Same escape
+  hatches as D201; genuinely order-independent loops (e.g. a strict
+  minimum over unique keys) take a justified suppression.
+* **D203** — unseeded randomness: any ``random.*`` module call, the
+  legacy ``np.random.*`` module API, or ``default_rng()`` without a
+  seed.  Randomized protocols must derive every draw from an explicit
+  seed (``np.random.default_rng(seed)``, ``random.Random(seed)``).
+* **D204** — ``id(...)`` used anywhere: CPython object identity
+  differs between runs and processes, so id-derived keys or orderings
+  are unreproducible by construction.  Sound uses (e.g. an identity
+  memo that holds a strong reference and never orders by it) take a
+  justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.common import (
+    algorithm_classes,
+    in_order_safe_position,
+    mutable_ctor_name,
+)
+from repro.lint.framework import (
+    SEVERITY_ERROR,
+    Finding,
+    ParsedModule,
+    Rule,
+)
+
+__all__ = ["RULES", "check"]
+
+RULES: dict[str, Rule] = {
+    "D201": Rule(
+        "D201", SEVERITY_ERROR,
+        "set iteration order can feed an emission or output",
+    ),
+    "D202": Rule(
+        "D202", SEVERITY_ERROR,
+        "dict iteration order can feed an emission or output",
+    ),
+    "D203": Rule("D203", SEVERITY_ERROR, "unseeded random source"),
+    "D204": Rule(
+        "D204", SEVERITY_ERROR,
+        "id()-derived value (object identity is not reproducible)",
+    ),
+}
+
+_DICT_METHODS = frozenset({"items", "keys", "values"})
+#: Legacy ``random`` module members that are fine: explicitly seeded
+#: generator constructors.
+_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+#: ``np.random`` members that are fine (seeded-by-argument APIs).
+_NP_RANDOM_OK = frozenset({"default_rng", "SeedSequence", "Generator",
+                           "PCG64", "Philox", "BitGenerator"})
+
+
+def _container_kind(value: ast.expr) -> str | None:
+    """"set" / "dict" when ``value`` statically builds one, else None."""
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    ctor = mutable_ctor_name(value)
+    if ctor in ("set",):
+        return "set"
+    if ctor in ("dict", "defaultdict", "OrderedDict", "Counter"):
+        return "dict"
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "frozenset"
+    ):
+        return "set"
+    return None
+
+
+def _typed_names(scope: ast.AST) -> tuple[dict[str, str], dict[str, str]]:
+    """(local name -> kind, self attr -> kind) assignments in ``scope``."""
+    locals_: dict[str, str] = {}
+    attrs: dict[str, str] = {}
+    for node in ast.walk(scope):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        kind = _container_kind(value)
+        if kind is None:
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name):
+                locals_[t.id] = kind
+            elif (
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+            ):
+                attrs[t.attr] = kind
+    return locals_, attrs
+
+
+def _iterated_kind(
+    expr: ast.expr, locals_: dict[str, str], attrs: dict[str, str]
+) -> str | None:
+    """What iterating ``expr`` walks over: "set", "dict", or unknown."""
+    direct = _container_kind(expr)
+    if direct is not None:
+        return direct
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        if expr.func.attr in _DICT_METHODS and not expr.args:
+            return "dict"
+    if isinstance(expr, ast.Name):
+        return locals_.get(expr.id)
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return attrs.get(expr.attr)
+    return None
+
+
+def _iteration_points(fn: ast.FunctionDef) -> Iterator[ast.expr]:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.For):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            for gen in node.generators:
+                yield gen.iter
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("tuple", "list")
+            and node.args
+        ):
+            yield node.args[0]
+
+
+def _check_iteration_order(module: ParsedModule) -> Iterator[Finding]:
+    for cls in algorithm_classes(module):
+        _, class_attrs = _typed_names(cls.node)
+        for fn in cls.methods():
+            locals_, _ = _typed_names(fn)
+            reported: set[tuple[int, int]] = set()
+            for expr in _iteration_points(fn):
+                kind = _iterated_kind(expr, locals_, class_attrs)
+                if kind is None:
+                    continue
+                if in_order_safe_position(module, expr):
+                    continue
+                key = (expr.lineno, expr.col_offset)
+                if key in reported:
+                    continue
+                reported.add(key)
+                rule = RULES["D201"] if kind == "set" else RULES["D202"]
+                yield Finding(
+                    rule=rule, path=module.path,
+                    line=expr.lineno, col=expr.col_offset,
+                    message=(
+                        f"{cls.node.name}.{fn.name} iterates "
+                        f"{ast.unparse(expr)} (a {kind}) where the order can "
+                        f"reach an emission or output; wrap in sorted(...) "
+                        f"or reduce order-insensitively"
+                    ),
+                )
+
+
+def _random_import_aliases(module: ParsedModule) -> set[str]:
+    """Names bound by ``from random import ...`` / ``from numpy.random
+    import ...`` that draw without an explicit seed."""
+    out: set[str] = set()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in _RANDOM_OK:
+                    out.add(alias.asname or alias.name)
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _NP_RANDOM_OK:
+                    out.add(alias.asname or alias.name)
+    return out
+
+
+def _check_random(module: ParsedModule) -> Iterator[Finding]:
+    aliases = _random_import_aliases(module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        has_args = bool(node.args or node.keywords)
+        if isinstance(func, ast.Attribute):
+            base = ast.unparse(func.value)
+            if base == "random":
+                if func.attr in _RANDOM_OK and has_args:
+                    continue
+                if func.attr == "SystemRandom":
+                    continue
+                yield Finding(
+                    rule=RULES["D203"], path=module.path,
+                    line=node.lineno, col=node.col_offset,
+                    message=(
+                        f"random.{func.attr}(...) draws from the shared, "
+                        f"unseeded module generator; use "
+                        f"random.Random(seed) and derive every draw from it"
+                    ),
+                )
+            elif base in ("np.random", "numpy.random"):
+                if func.attr in _NP_RANDOM_OK:
+                    if func.attr == "default_rng" and not has_args:
+                        yield Finding(
+                            rule=RULES["D203"], path=module.path,
+                            line=node.lineno, col=node.col_offset,
+                            message=(
+                                "default_rng() without a seed is entropy-"
+                                "seeded; pass an explicit seed"
+                            ),
+                        )
+                    continue
+                yield Finding(
+                    rule=RULES["D203"], path=module.path,
+                    line=node.lineno, col=node.col_offset,
+                    message=(
+                        f"{base}.{func.attr}(...) is the legacy global-state "
+                        f"numpy API; use np.random.default_rng(seed)"
+                    ),
+                )
+        elif isinstance(func, ast.Name) and func.id in aliases:
+            yield Finding(
+                rule=RULES["D203"], path=module.path,
+                line=node.lineno, col=node.col_offset,
+                message=(
+                    f"{func.id}(...) (imported from a random module) draws "
+                    f"unseeded; use an explicit seeded generator"
+                ),
+            )
+
+
+def _check_id_keys(module: ParsedModule) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and len(node.args) == 1
+        ):
+            yield Finding(
+                rule=RULES["D204"], path=module.path,
+                line=node.lineno, col=node.col_offset,
+                message=(
+                    f"id({ast.unparse(node.args[0])}) depends on CPython "
+                    f"object identity, which differs between runs and "
+                    f"engines; key by content (digest, vertex id) instead"
+                ),
+            )
+
+
+def check(module: ParsedModule) -> Iterator[Finding]:
+    yield from _check_iteration_order(module)
+    yield from _check_random(module)
+    yield from _check_id_keys(module)

@@ -1,0 +1,339 @@
+"""Rule framework for :mod:`repro.lint`.
+
+The checker is organized as *passes* over parsed modules.  A pass is a
+function ``check(module: ParsedModule) -> Iterable[Finding]`` together
+with a ``RULES`` table describing the rule ids it can emit.  This module
+provides everything around the passes:
+
+* :class:`Rule` / :class:`Finding` — the typed vocabulary;
+* :class:`ParsedModule` — source + AST with parent links, shared by all
+  passes so each file is parsed once;
+* suppression handling — a finding on line L is silenced by an inline
+  comment on that line::
+
+      risky_thing()  # reprolint: ignore[<RULE>] -- why this is sound
+
+  (with ``<RULE>`` a real rule id).  The justification after ``--`` is
+  *mandatory*: a bare ``ignore[<RULE>]`` is itself reported (``LNT001``),
+  so every accepted exception in the tree documents why it is sound.
+  Suppressions that match no finding are reported as warnings
+  (``LNT002``) so they cannot rot silently.
+* reporting — human-readable text and a stable JSON schema (the CI
+  artifact), plus the exit-code policy: unsuppressed *errors* fail the
+  run, warnings never do.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = [
+    "Rule",
+    "Finding",
+    "ParsedModule",
+    "Suppression",
+    "LintReport",
+    "META_RULES",
+    "parse_module",
+    "parse_suppressions",
+    "apply_suppressions",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable property: stable id, severity, one-line summary."""
+
+    id: str
+    severity: str
+    summary: str
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: Rule
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    @property
+    def rule_id(self) -> str:
+        return self.rule.id
+
+    @property
+    def severity(self) -> str:
+        return self.rule.severity
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule.id} [{self.rule.severity}] {self.message}{tag}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule.id,
+            "severity": self.rule.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+#: Rules of the framework itself (suppression discipline + parse errors).
+META_RULES: dict[str, Rule] = {
+    "LNT001": Rule(
+        "LNT001",
+        SEVERITY_ERROR,
+        "suppression comment lacks a justification (use `-- why`)",
+    ),
+    "LNT002": Rule(
+        "LNT002",
+        SEVERITY_WARNING,
+        "suppression matches no finding (stale or unknown rule id)",
+    ),
+    "LNT003": Rule("LNT003", SEVERITY_ERROR, "file does not parse"),
+}
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every pass."""
+
+    path: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+
+    @classmethod
+    def parse(cls, source: str, path: str) -> "ParsedModule":
+        tree = ast.parse(source)
+        # Parent links: passes need "is this expression an argument of
+        # sorted()?"-style questions, which the ast module does not
+        # answer on its own.
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                child.lint_parent = parent  # type: ignore[attr-defined]
+        return cls(path=path, source=source, lines=source.splitlines(), tree=tree)
+
+    def parents(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The chain of enclosing AST nodes, innermost first."""
+        while True:
+            parent = getattr(node, "lint_parent", None)
+            if parent is None:
+                return
+            yield parent
+            node = parent
+
+
+def parse_module(source: str, path: str) -> ParsedModule:
+    return ParsedModule.parse(source, path)
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*ignore\[([A-Za-z0-9_,\s]+)\]"
+    r"(?:\s*--\s*(\S.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# reprolint: ignore[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    used: set = field(default_factory=set)  # rule ids that matched
+
+
+def parse_suppressions(lines: list[str]) -> dict[int, Suppression]:
+    """Map line number (1-based) -> suppression on that line."""
+    out: dict[int, Suppression] = {}
+    for i, text in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        rules = tuple(
+            r.strip() for r in m.group(1).split(",") if r.strip()
+        )
+        out[i] = Suppression(
+            line=i, rules=rules, justification=(m.group(2) or "").strip()
+        )
+    return out
+
+
+def apply_suppressions(
+    findings: list[Finding],
+    suppressions: dict[int, Suppression],
+    path: str,
+) -> list[Finding]:
+    """Mark suppressed findings; append the framework's meta findings."""
+    for f in findings:
+        sup = suppressions.get(f.line)
+        if sup is not None and f.rule.id in sup.rules:
+            f.suppressed = True
+            sup.used.add(f.rule.id)
+    out = list(findings)
+    for sup in suppressions.values():
+        if not sup.justification:
+            out.append(
+                Finding(
+                    rule=META_RULES["LNT001"],
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    message=(
+                        f"suppression of {', '.join(sup.rules)} has no "
+                        f"justification; write "
+                        f"`# reprolint: ignore[...] -- why this is sound`"
+                    ),
+                )
+            )
+        unused = [r for r in sup.rules if r not in sup.used]
+        if unused:
+            out.append(
+                Finding(
+                    rule=META_RULES["LNT002"],
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    message=(
+                        f"suppression of {', '.join(unused)} matches no "
+                        f"finding on this line"
+                    ),
+                )
+            )
+    out.sort(key=lambda f: (f.line, f.col, f.rule.id))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+PassFn = Callable[[ParsedModule], Iterable[Finding]]
+
+
+def lint_source(
+    source: str, path: str, passes: Iterable[PassFn]
+) -> list[Finding]:
+    """All findings (suppressed ones included, marked) for one file."""
+    try:
+        module = ParsedModule.parse(source, path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=META_RULES["LNT003"],
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for check in passes:
+        findings.extend(check(module))
+    return apply_suppressions(
+        findings, parse_suppressions(module.lines), path
+    )
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for c in candidates:
+            if any(part.startswith(".") for part in c.parts):
+                continue
+            if c not in seen:
+                seen.add(c)
+                yield c
+
+
+@dataclass
+class LintReport:
+    """Everything one ``repro lint`` invocation produced."""
+
+    findings: list[Finding]
+    files_checked: int
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.active if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.active if f.severity == SEVERITY_WARNING]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": 1,
+            "files_checked": self.files_checked,
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "suppressed": sum(1 for f in self.findings if f.suppressed),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def render_text(self, show_suppressed: bool = False) -> str:
+        shown = [
+            f for f in self.findings if show_suppressed or not f.suppressed
+        ]
+        lines = [f.render() for f in shown]
+        lines.append(
+            f"{self.files_checked} files checked: "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings, "
+            f"{sum(1 for f in self.findings if f.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+
+def lint_paths(paths: Iterable[str], passes: Iterable[PassFn]) -> LintReport:
+    """Lint every python file under ``paths``."""
+    passes = list(passes)
+    findings: list[Finding] = []
+    count = 0
+    for file in iter_python_files(paths):
+        count += 1
+        findings.extend(
+            lint_source(file.read_text(encoding="utf-8"), str(file), passes)
+        )
+    return LintReport(findings=findings, files_checked=count)

@@ -1,0 +1,263 @@
+"""Pass 3 — registry and cache discipline (rules R301-R302).
+
+The solver registry's :class:`~repro.api.types.SolverCapabilities` is
+what lets the façade reject unsupported requests *before* running
+anything — but only if the declaration matches what the adapter body
+actually does.  This pass cross-checks each ``@register_solver`` entry
+against its function body:
+
+* **R301** — capability/request mismatches:
+
+  - the adapter reads a field that does not exist on
+    :class:`~repro.api.types.SolveRequest` (typo guard — frozen
+    dataclasses raise only at runtime);
+  - the adapter reads ``req.engine`` / calls ``req.resolve_engine``
+    while declaring no ``engines`` (the façade will never validate an
+    engine choice for it);
+  - the adapter declares two or more engines but never consults
+    ``req.engine``/``req.resolve_engine`` (the declared choice is a
+    lie — requests asking for the non-default engine would silently
+    run on the wrong path).  Single-engine solvers may ignore the
+    field: the façade's upfront ``resolve_engine`` already rejects
+    anything else.
+
+* **R302** — :class:`~repro.api.cache.PrecomputeCache` must be used
+  through its typed category API (``order``, ``wreach_csr``, ...).
+  Touching ``_tables``/``_store`` or any undeclared attribute bypasses
+  the memoization/persistence contract (stats, LRU bounds, store
+  write-through) that the workspace tests pin down.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    SEVERITY_ERROR,
+    Finding,
+    ParsedModule,
+    Rule,
+)
+
+__all__ = ["RULES", "check"]
+
+RULES: dict[str, Rule] = {
+    "R301": Rule(
+        "R301", SEVERITY_ERROR,
+        "declared SolverCapabilities disagree with the request fields read",
+    ),
+    "R302": Rule(
+        "R302", SEVERITY_ERROR,
+        "PrecomputeCache accessed outside the typed category API",
+    ),
+}
+
+#: Fields and methods of SolveRequest (repro/api/types.py).
+REQUEST_FIELDS = frozenset(
+    {"graph", "radius", "algorithm", "order_strategy", "connect", "prune",
+     "certify", "with_lp", "validate", "seed", "engine", "params",
+     "resolve_engine", "graph_key", "resolved"}
+)
+
+#: The public surface of PrecomputeCache (repro/api/cache.py).
+CACHE_PUBLIC_API = frozenset(
+    {"order", "rank_adjacency", "wreach_csr", "wreach", "wreach_sizes",
+     "wcol", "distributed_order", "stats", "clear", "store",
+     "RADIUS_FREE_STRATEGIES"}
+)
+
+#: Attributes that are cache internals wherever they appear.
+_CACHE_INTERNALS = frozenset({"_tables", "_store"})
+
+
+def _decorator_call(fn: ast.FunctionDef) -> ast.Call | None:
+    for deco in fn.decorator_list:
+        if isinstance(deco, ast.Call):
+            name = (
+                deco.func.id if isinstance(deco.func, ast.Name)
+                else deco.func.attr if isinstance(deco.func, ast.Attribute)
+                else ""
+            )
+            if name == "register_solver":
+                return deco
+    return None
+
+
+def _module_assignments(module: ParsedModule) -> dict[str, ast.expr]:
+    out: dict[str, ast.expr] = {}
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    out[t.id] = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                out[stmt.target.id] = stmt.value
+    return out
+
+
+def _capabilities_expr(
+    deco: ast.Call, assignments: dict[str, ast.expr]
+) -> ast.Call | None:
+    """The ``SolverCapabilities(...)`` call of a registration, if findable."""
+    expr: ast.expr | None = None
+    if len(deco.args) >= 2:
+        expr = deco.args[1]
+    else:
+        for kw in deco.keywords:
+            if kw.arg == "capabilities":
+                expr = kw.value
+    if isinstance(expr, ast.Name):
+        expr = assignments.get(expr.id)
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, (ast.Name, ast.Attribute))
+    ):
+        name = (
+            expr.func.id if isinstance(expr.func, ast.Name) else expr.func.attr
+        )
+        if name == "SolverCapabilities":
+            return expr
+    return None
+
+
+def _declared_engines(caps: ast.Call) -> tuple[str, ...] | None:
+    """Engine names from the ``engines=(...)`` keyword; None = unparsable."""
+    for kw in caps.keywords:
+        if kw.arg != "engines":
+            continue
+        if isinstance(kw.value, (ast.Tuple, ast.List)):
+            names = []
+            for elt in kw.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    names.append(elt.value)
+                else:
+                    return None
+            return tuple(names)
+        return None
+    return ()
+
+
+def _check_registrations(module: ParsedModule) -> Iterator[Finding]:
+    assignments = _module_assignments(module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        deco = _decorator_call(node)
+        if deco is None:
+            continue
+        solver = (
+            deco.args[0].value
+            if deco.args and isinstance(deco.args[0], ast.Constant)
+            else node.name
+        )
+        params = node.args.posonlyargs + node.args.args
+        if not params:
+            continue
+        req = params[0].arg
+        reads: set[str] = set()
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == req
+            ):
+                reads.add(sub.attr)
+                if sub.attr not in REQUEST_FIELDS:
+                    yield Finding(
+                        rule=RULES["R301"], path=module.path,
+                        line=sub.lineno, col=sub.col_offset,
+                        message=(
+                            f"solver {solver!r} reads {req}.{sub.attr}, "
+                            f"which is not a SolveRequest field"
+                        ),
+                    )
+        caps = _capabilities_expr(deco, assignments)
+        if caps is None:
+            continue  # capabilities built dynamically; nothing to check
+        engines = _declared_engines(caps)
+        if engines is None:
+            continue
+        uses_engine = bool(reads & {"engine", "resolve_engine"})
+        if uses_engine and not engines:
+            yield Finding(
+                rule=RULES["R301"], path=module.path,
+                line=node.lineno, col=node.col_offset,
+                message=(
+                    f"solver {solver!r} consults the request engine but "
+                    f"declares no engines; the façade cannot validate "
+                    f"engine choices it does not know about"
+                ),
+            )
+        elif len(engines) >= 2 and not uses_engine:
+            yield Finding(
+                rule=RULES["R301"], path=module.path,
+                line=node.lineno, col=node.col_offset,
+                message=(
+                    f"solver {solver!r} declares engines {engines} but "
+                    f"never reads req.engine/req.resolve_engine; requests "
+                    f"for the non-default engine would silently run on "
+                    f"the wrong path"
+                ),
+            )
+
+
+def _cache_param_names(fn: ast.FunctionDef) -> set[str]:
+    names: set[str] = set()
+    for a in fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs:
+        ann = a.annotation
+        label = ""
+        if isinstance(ann, ast.Name):
+            label = ann.id
+        elif isinstance(ann, ast.Attribute):
+            label = ann.attr
+        elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            label = ann.value.rsplit(".", 1)[-1]
+        if label == "PrecomputeCache":
+            names.add(a.arg)
+    return names
+
+
+def _check_cache_discipline(module: ParsedModule) -> Iterator[Finding]:
+    path = module.path.replace("\\", "/")
+    if path.endswith("repro/api/cache.py"):
+        return  # the defining module owns its internals
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        cache_names = _cache_param_names(node)
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Attribute):
+                continue
+            base = sub.value
+            base_is_self = isinstance(base, ast.Name) and base.id == "self"
+            if sub.attr in _CACHE_INTERNALS and not base_is_self:
+                yield Finding(
+                    rule=RULES["R302"], path=module.path,
+                    line=sub.lineno, col=sub.col_offset,
+                    message=(
+                        f"{ast.unparse(base)}.{sub.attr} bypasses the "
+                        f"PrecomputeCache category API; use the typed "
+                        f"accessors (order, wreach_csr, ...)"
+                    ),
+                )
+            elif (
+                isinstance(base, ast.Name)
+                and base.id in cache_names
+                and sub.attr not in CACHE_PUBLIC_API
+            ):
+                yield Finding(
+                    rule=RULES["R302"], path=module.path,
+                    line=sub.lineno, col=sub.col_offset,
+                    message=(
+                        f"{base.id}.{sub.attr} is not part of the "
+                        f"PrecomputeCache public API "
+                        f"({', '.join(sorted(CACHE_PUBLIC_API))})"
+                    ),
+                )
+
+
+def check(module: ParsedModule) -> Iterator[Finding]:
+    yield from _check_registrations(module)
+    yield from _check_cache_discipline(module)

@@ -732,7 +732,7 @@ def _batch_paths(adj: RankedAdjacency, radius: int, idobj: np.ndarray):
             for _step in range(depth):
                 cols.append(idobj[xs[ptr]].tolist())
                 ptr = parent[ptr]
-            tup[s:e] = np.fromiter(zip(*cols), dtype=object, count=e - s)
+            tup[s:e] = np.fromiter(zip(*cols, strict=True), dtype=object, count=e - s)
         yield base + lane, xs, tup
 
 
@@ -785,10 +785,10 @@ def wreach_sets_with_paths(
     u_list = idobj[adj.by_rank[rr_all[sel]]].tolist()
     tups = np.concatenate(tup_parts)[sel].tolist()
     offsets = np.searchsorted(w_s, np.arange(n + 1)).tolist()
-    wreach = [u_list[a:b] for a, b in zip(offsets, offsets[1:])]
+    wreach = [u_list[a:b] for a, b in zip(offsets, offsets[1:], strict=False)]
     paths = []
-    for w, a, b in zip(range(n), offsets, offsets[1:]):
-        dct = dict(zip(u_list[a:b], tups[a:b]))
+    for w, a, b in zip(range(n), offsets, offsets[1:], strict=False):
+        dct = dict(zip(u_list[a:b], tups[a:b], strict=True))
         del dct[w]  # the trivial (w, w) pair carries None
         paths.append(dct)
     return wreach, paths

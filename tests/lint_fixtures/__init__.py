@@ -1,0 +1,8 @@
+"""Deliberately non-conformant modules exercising each repro.lint rule.
+
+Every fixture is a minimal algorithm (or registration) that trips
+exactly one rule; ``tests/test_lint_rules.py`` asserts the findings and
+that a justified ``reprolint: ignore[...]`` comment silences each one.
+These files are never imported by the package — they exist only as
+linter input.
+"""

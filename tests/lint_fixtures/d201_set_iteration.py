@@ -1,0 +1,14 @@
+"""D201: set iteration order reaching an emission."""
+
+
+class NodeAlgorithm:
+    pass
+
+
+class SetOrderNode(NodeAlgorithm):
+    def __init__(self):
+        self.pending = set()
+
+    def on_round(self, ctx, inbox):
+        # tuple(...) preserves whatever order the set happens to yield.
+        return ("batch", tuple(v for v in self.pending))

@@ -1,0 +1,16 @@
+"""D202: dict insertion order reaching an emission."""
+
+
+class NodeAlgorithm:
+    pass
+
+
+class DictOrderNode(NodeAlgorithm):
+    def __init__(self):
+        self.paths = {}
+
+    def on_round(self, ctx, inbox):
+        out = []
+        for u, path in self.paths.items():
+            out.append((u, path))
+        return ("paths", tuple(out))

@@ -1,0 +1,16 @@
+"""D203: unseeded randomness in algorithm code."""
+
+import random
+
+
+class NodeAlgorithm:
+    pass
+
+
+class CoinFlipNode(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        # The module-level generator is seeded from OS entropy; two runs
+        # of the simulator produce different protocols.
+        if random.random() < 0.5:
+            return ("heads", ctx.node)
+        return None

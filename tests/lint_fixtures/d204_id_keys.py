@@ -1,0 +1,15 @@
+"""D204: CPython object identity used as a key."""
+
+
+class NodeAlgorithm:
+    pass
+
+
+class IdentityKeyNode(NodeAlgorithm):
+    def __init__(self):
+        self.memo = {}
+
+    def on_round(self, ctx, inbox):
+        token = ("elect", ctx.node)
+        self.memo[id(token)] = token
+        return token

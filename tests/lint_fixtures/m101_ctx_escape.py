@@ -1,0 +1,12 @@
+"""M101: reads a NodeContext attribute outside the locality contract."""
+
+
+class NodeAlgorithm:
+    pass
+
+
+class PeekingNode(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        # A CONGEST_BC node only knows its own id, its neighbors, n and
+        # the advice; ``ctx.graph`` would be global knowledge.
+        return ("peek", ctx.graph.n)

@@ -1,0 +1,12 @@
+"""M102: algorithm code reaching into simulator internals."""
+
+
+class NodeAlgorithm:
+    pass
+
+
+class CheatingNode(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        # Touching the Network, or private attributes of objects other
+        # than self, bypasses the message-passing model entirely.
+        return ("spy", inbox._pending)

@@ -1,0 +1,16 @@
+"""M103: algorithm code touching a module-level mutable global."""
+
+
+class NodeAlgorithm:
+    pass
+
+
+SHARED_BLACKBOARD = {}
+
+
+class GossipingNode(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        # Module-level state is shared by every simulated node — a free
+        # side channel that no real network provides.
+        SHARED_BLACKBOARD[ctx.node] = True
+        return None

@@ -1,0 +1,14 @@
+"""M104: mutable class-level attribute shared by all node instances."""
+
+
+class NodeAlgorithm:
+    pass
+
+
+class SharedStateNode(NodeAlgorithm):
+    # One list object shared by every node in the network.
+    seen = []
+
+    def on_round(self, ctx, inbox):
+        self.seen.append(ctx.node)
+        return None

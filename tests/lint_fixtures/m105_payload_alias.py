@@ -1,0 +1,16 @@
+"""M105: emitted payload aliases a mutable attribute of the sender."""
+
+
+class NodeAlgorithm:
+    pass
+
+
+class AliasingNode(NodeAlgorithm):
+    def __init__(self):
+        self.buffer = []
+
+    def on_round(self, ctx, inbox):
+        self.buffer.append(ctx.node)
+        # The receiver gets a reference to the sender's live list; any
+        # later append is invisible-teleportation between nodes.
+        return ("state", self.buffer)

@@ -1,0 +1,22 @@
+"""R301: registration capabilities disagree with the fields read."""
+
+
+def register_solver(name, capabilities=None):
+    def deco(fn):
+        return fn
+
+    return deco
+
+
+class SolverCapabilities:
+    def __init__(self, **kw):
+        pass
+
+
+@register_solver(
+    "fixture.bad", capabilities=SolverCapabilities(engines=("batch", "pernode"))
+)
+def solve_fixture(req, cache):
+    # Reads a field SolveRequest does not define, and never consults
+    # req.engine despite declaring two engines.
+    return req.radiuss

@@ -1,0 +1,11 @@
+"""R302: bypassing the PrecomputeCache typed API."""
+
+
+class PrecomputeCache:
+    pass
+
+
+def peek_wreach(cache: PrecomputeCache, key):
+    # The typed accessors (wreach_csr, order, ...) are the contract;
+    # reaching into the private table dict skips staleness checks.
+    return cache._tables[key]

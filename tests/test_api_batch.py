@@ -40,7 +40,7 @@ def test_order_cache_computed_once_across_repeats():
     # And the rank-permuted adjacency they ran over was built once.
     assert stats["rank_adj"]["misses"] == 1
     # And the repeat produced identical outputs.
-    for a, b in zip(results[:3], results[3:]):
+    for a, b in zip(results[:3], results[3:], strict=True):
         assert a.dominators == b.dominators
 
 

@@ -88,7 +88,7 @@ def test_lex_partition_labels_are_paths():
         lab = labels[w]
         assert lab is not None
         assert lab[0] == owner[w] and lab[-1] == w
-        for a, b in zip(lab, lab[1:]):
+        for a, b in zip(lab, lab[1:], strict=False):
             assert g.has_edge(a, b)
 
 

@@ -1,0 +1,74 @@
+"""Runtime determinism regression: repeated runs are bit-identical.
+
+The static side of this invariant is ``repro.lint``'s D-rules; this is
+the dynamic side.  Running the Theorem-9 pipeline twice on the same
+graph — on either engine — must reproduce the same dominating set, the
+same per-phase round counts, and the same word-level traffic accounting,
+and the two engines must agree with each other.  Any dict/set iteration
+order or object-identity leak into an emission shows up here as a
+flaky diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.domset_bc import run_domset_bc
+from repro.distributed.unified_bc import run_unified_bc
+from repro.graphs.generators import grid_2d, k_tree
+
+GRAPHS = {
+    "grid_5x5": lambda: grid_2d(5, 5),
+    "k_tree_30_2": lambda: k_tree(30, 2, seed=7),
+}
+
+ENGINES = ("batch", "pernode")
+
+
+def _domset_fingerprint(res):
+    return {
+        "dominators": res.dominators,
+        "dominator_of": tuple(res.dominator_of.tolist()),
+        "phase_rounds": res.phase_rounds,
+        "phase_max_words": res.phase_max_words,
+        "total_words": res.total_words,
+    }
+
+
+def _unified_fingerprint(res):
+    return {
+        "dominators": res.dominators,
+        "connected_set": res.connected_set,
+        "dominator_of": tuple(res.dominator_of.tolist()),
+        "levels": tuple(res.levels.tolist()),
+        "rounds": res.rounds,
+        "max_payload_words": res.max_payload_words,
+        "total_words": res.total_words,
+    }
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("engine", ENGINES)
+def test_domset_bc_is_run_to_run_deterministic(graph_name, engine) -> None:
+    make = GRAPHS[graph_name]
+    first = _domset_fingerprint(run_domset_bc(make(), radius=2, engine=engine))
+    second = _domset_fingerprint(run_domset_bc(make(), radius=2, engine=engine))
+    assert first == second
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_domset_bc_engines_agree_bit_for_bit(graph_name) -> None:
+    make = GRAPHS[graph_name]
+    batch = _domset_fingerprint(run_domset_bc(make(), radius=2, engine="batch"))
+    pernode = _domset_fingerprint(
+        run_domset_bc(make(), radius=2, engine="pernode")
+    )
+    assert batch == pernode
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_unified_bc_is_run_to_run_deterministic(graph_name) -> None:
+    make = GRAPHS[graph_name]
+    first = _unified_fingerprint(run_unified_bc(make(), radius=2, connect=True))
+    second = _unified_fingerprint(run_unified_bc(make(), radius=2, connect=True))
+    assert first == second

@@ -1,0 +1,152 @@
+"""The ``repro.lint`` rule corpus: every rule fires, every rule silences.
+
+For each fixture under ``tests/lint_fixtures/`` we assert that linting
+it trips *exactly* the rule it is named after, and that appending a
+justified ``# reprolint: ignore[RULE]`` comment to each flagged line
+silences it completely.  The framework's own meta rules (LNT001-LNT003),
+the JSON report schema, the exit-code policy, and the CLI surface are
+covered below; the final test pins the whole ``src/`` tree clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_PASSES, ALL_RULES, lint_source, main, run
+from repro.lint.framework import LintReport
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+#: fixture file stem -> the one rule id it must trip (and nothing else).
+FIXTURE_RULES = {
+    "m101_ctx_escape": "M101",
+    "m102_simulator_internals": "M102",
+    "m103_module_global": "M103",
+    "m104_class_state": "M104",
+    "m105_payload_alias": "M105",
+    "d201_set_iteration": "D201",
+    "d202_dict_iteration": "D202",
+    "d203_unseeded_random": "D203",
+    "d204_id_keys": "D204",
+    "r301_caps_mismatch": "R301",
+    "r302_cache_reachin": "R302",
+}
+
+PASS_RULE_PREFIXES = {"conformance": "M1", "determinism": "D2", "registry": "R3"}
+
+
+def _lint_text(source: str, path: str = "fixture.py"):
+    return lint_source(source, path, ALL_PASSES)
+
+
+@pytest.mark.parametrize("stem,rule", sorted(FIXTURE_RULES.items()))
+def test_fixture_trips_exactly_its_rule(stem: str, rule: str) -> None:
+    source = (FIXTURES / f"{stem}.py").read_text(encoding="utf-8")
+    findings = _lint_text(source, f"{stem}.py")
+    assert findings, f"{stem} produced no findings"
+    assert {f.rule_id for f in findings} == {rule}
+    assert all(not f.suppressed for f in findings)
+    assert all(f.severity == "error" for f in findings)
+
+
+@pytest.mark.parametrize("stem,rule", sorted(FIXTURE_RULES.items()))
+def test_justified_suppression_silences_fixture(stem: str, rule: str) -> None:
+    source = (FIXTURES / f"{stem}.py").read_text(encoding="utf-8")
+    flagged = {f.line for f in _lint_text(source, f"{stem}.py")}
+    lines = source.splitlines()
+    for ln in flagged:
+        lines[ln - 1] += f"  # reprolint: ignore[{rule}] -- fixture exception"
+    findings = _lint_text("\n".join(lines) + "\n", f"{stem}.py")
+    active = [f for f in findings if not f.suppressed]
+    assert active == [], [f.render() for f in active]
+    assert {f.rule_id for f in findings if f.suppressed} == {rule}
+
+
+@pytest.mark.parametrize("prefix", sorted(PASS_RULE_PREFIXES.values()))
+def test_each_pass_has_at_least_two_fixtures(prefix: str) -> None:
+    hits = [r for r in FIXTURE_RULES.values() if r.startswith(prefix)]
+    assert len(hits) >= 2, f"pass {prefix}xx needs >= 2 fixture rules"
+
+
+def test_unjustified_suppression_is_lnt001_error() -> None:
+    source = (FIXTURES / "d204_id_keys.py").read_text(encoding="utf-8")
+    line = next(iter({f.line for f in _lint_text(source)}))
+    lines = source.splitlines()
+    lines[line - 1] += "  # reprolint: ignore[D204]"
+    findings = _lint_text("\n".join(lines) + "\n")
+    by_rule = {f.rule_id: f for f in findings}
+    assert by_rule["D204"].suppressed  # the silencing itself still works
+    lnt = by_rule["LNT001"]
+    assert lnt.severity == "error" and not lnt.suppressed
+    assert "justification" in lnt.message
+
+
+def test_stale_suppression_is_lnt002_warning() -> None:
+    findings = _lint_text(
+        "x = 1  # reprolint: ignore[D204] -- nothing here to suppress\n"
+    )
+    assert [f.rule_id for f in findings] == ["LNT002"]
+    assert findings[0].severity == "warning"
+    # Warnings alone never fail the run.
+    report = LintReport(findings=findings, files_checked=1)
+    assert report.exit_code == 0
+
+
+def test_syntax_error_is_lnt003() -> None:
+    findings = _lint_text("def broken(:\n")
+    assert [f.rule_id for f in findings] == ["LNT003"]
+    assert findings[0].severity == "error"
+
+
+def test_report_json_schema_and_exit_code(tmp_path: Path) -> None:
+    report = run([str(FIXTURES)])
+    assert report.exit_code == 1  # fixtures are all unsuppressed errors
+    doc = report.to_dict()
+    assert doc["schema"] == 1
+    assert doc["files_checked"] == len(FIXTURE_RULES) + 1  # + __init__.py
+    assert doc["summary"]["errors"] == len(report.errors) > 0
+    assert doc["summary"]["suppressed"] == 0
+    for item in doc["findings"]:
+        assert set(item) == {
+            "rule", "severity", "path", "line", "col", "message", "suppressed",
+        }
+        assert item["rule"] in ALL_RULES
+    # Round-trips through json.
+    assert json.loads(report.to_json()) == doc
+
+
+def test_cli_json_output_and_exit_codes(tmp_path, capsys) -> None:
+    out_file = tmp_path / "report.json"
+    rc = main(
+        [
+            str(FIXTURES / "d202_dict_iteration.py"),
+            "--format",
+            "json",
+            "--output",
+            str(out_file),
+        ]
+    )
+    assert rc == 1
+    printed = json.loads(capsys.readouterr().out)
+    on_disk = json.loads(out_file.read_text(encoding="utf-8"))
+    assert printed == on_disk
+    assert [f["rule"] for f in printed["findings"]] == ["D202"]
+
+    assert main(["--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    for rule_id in ALL_RULES:
+        assert rule_id in listing
+
+
+def test_src_tree_is_clean() -> None:
+    """The shipped tree passes its own linter (CI's repro-lint job)."""
+    src = Path(__file__).parent.parent / "src"
+    report = run([str(src)])
+    assert report.errors == [], [f.render() for f in report.errors]
+    assert report.warnings == [], [f.render() for f in report.warnings]
+    # Every suppression in the tree carries a justification by
+    # construction (LNT001 would have fired above); there are some.
+    assert any(f.suppressed for f in report.findings)

@@ -126,7 +126,7 @@ def test_wreach_paths_are_valid_witnesses(small_graph):
         for u, path in paths[v].items():
             assert path[0] == v and path[-1] == u
             assert len(path) - 1 <= radius
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 assert g.has_edge(a, b)
             # u is the L-minimum on the path.
             assert all(order.less(u, x) for x in path[:-1])

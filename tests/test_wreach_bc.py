@@ -47,7 +47,7 @@ def test_paths_are_valid_witnesses(small_graph):
         for u, path in out.paths.items():
             assert path[0] == u and path[-1] == v
             assert len(path) - 1 <= horizon
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 assert g.has_edge(a, b)
             # u is the L-least on the path.
             assert all(order.less(u, x) for x in path[1:])
