@@ -16,10 +16,20 @@ Times the hot kernels this repo's guarantees are computed with:
 * the smallest-last peeling of :mod:`repro.orders.degeneracy` against
   the reference loop retained in :mod:`repro.orders.degeneracy_ref`
   (exact same removal sequence, asserted before timing);
-* the ``domset_bc`` CONGEST_BC simulation on **both simulator
-  engines** — the vectorized batch round engine vs the per-node
-  reference loop — wall time, rounds, and traffic (identical outputs
+* the CONGEST_BC simulations on **both simulator engines** — the
+  vectorized batch round engine vs the per-node reference loop — for
+  all four pipelines: ``domset_bc`` (Theorem 9), ``connect_bc``
+  (Theorem 10), ``cover_bc`` (Theorem 8), and the single-execution
+  ``unified_bc``; wall time, rounds, and traffic (identical outputs
   and statistics are asserted before anything is timed);
+* **pipelined cluster waves** (``connect_waves``): the batch connect
+  pipeline run lockstep vs with independent token components executed
+  as waves (``wave_width`` from the committed cost model, 16 when the
+  model gates the instance out);
+* the **engine cost model** (``engine_auto``): the engine the
+  committed ``repro.api.engine_model`` artifact picks for the
+  instance, and how far its measured time sits from the best static
+  choice — the smoke gate fails when "auto" lands >10% off;
 * the **workspace warm start**: an end-to-end certified ``seq.wreach``
   solve against a cold store-backed cache (computes + persists every
   artifact) vs a fresh cache over the now-warm store (every artifact
@@ -28,7 +38,7 @@ Times the hot kernels this repo's guarantees are computed with:
   saves by inheriting a warm :class:`repro.api.store.ArtifactStore`.
 
 Results go to ``BENCH_kernels.json`` at the repo root (the perf
-trajectory later PRs are judged against, schema 4) and a human-readable
+trajectory later PRs are judged against, schema 5) and a human-readable
 table in ``benchmarks/results/p1_kernel_perf.txt``.
 
 Usage::
@@ -65,6 +75,7 @@ import time
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.api.engine_model import default_model  # noqa: E402
 from repro.bench.harness import write_result  # noqa: E402
 from repro.bench.tables import Table  # noqa: E402
 from repro.core.covers import build_cover, build_cover_lists  # noqa: E402
@@ -72,7 +83,10 @@ from repro.core.domset import (  # noqa: E402
     domset_by_wreach,
     domset_by_wreach_lists,
 )
+from repro.distributed.connect_bc import run_connect_bc  # noqa: E402
+from repro.distributed.cover_bc import run_cover_bc  # noqa: E402
 from repro.distributed.domset_bc import run_domset_bc  # noqa: E402
+from repro.distributed.unified_bc import run_unified_bc  # noqa: E402
 from repro.graphs import generators as gen  # noqa: E402
 from repro.graphs import random_models as rm  # noqa: E402
 from repro.graphs.components import largest_component  # noqa: E402
@@ -132,7 +146,13 @@ GATED_KERNELS = (
     "wreach_paths",
     "degeneracy",
     "domset_bc",
+    "connect_bc",
+    "cover_bc",
+    "unified_bc",
 )
+
+#: Max tolerated "auto" overhead vs the best static engine choice.
+ENGINE_AUTO_MAX_OVERHEAD = 1.1
 
 #: Rows additionally gated against the committed smoke baseline: the
 #: measured speedup may not fall below ``baseline_speedup / factor``.
@@ -265,6 +285,63 @@ def bench_instance(name, family, build, repeats):
     ):
         raise AssertionError(f"{name}: batch domset_bc deviates from per-node")
 
+    cn_per, t_cn_per = _best(lambda: run_connect_bc(g, RADIUS, engine="pernode"), 1)
+    cn_bat, t_cn_bat = _best(lambda: run_connect_bc(g, RADIUS, engine="batch"), 1)
+    if (
+        cn_per.connected_set != cn_bat.connected_set
+        or cn_per.total_words != cn_bat.total_words
+        or cn_per.phase_rounds != cn_bat.phase_rounds
+    ):
+        raise AssertionError(f"{name}: batch connect_bc deviates from per-node")
+
+    cv_per, t_cv_per = _best(lambda: run_cover_bc(g, RADIUS, engine="pernode"), 1)
+    cv_bat, t_cv_bat = _best(lambda: run_cover_bc(g, RADIUS, engine="batch"), 1)
+    if (
+        cv_per.cover.clusters != cv_bat.cover.clusters
+        or cv_per.total_words != cv_bat.total_words
+        or cv_per.phase_rounds != cv_bat.phase_rounds
+    ):
+        raise AssertionError(f"{name}: batch cover_bc deviates from per-node")
+
+    un_per, t_un_per = _best(
+        lambda: run_unified_bc(g, RADIUS, connect=True, engine="pernode"), 1
+    )
+    un_bat, t_un_bat = _best(
+        lambda: run_unified_bc(g, RADIUS, connect=True, engine="batch"), 1
+    )
+    if (
+        un_per.dominators != un_bat.dominators
+        or un_per.connected_set != un_bat.connected_set
+        or (un_per.rounds, un_per.total_words) != (un_bat.rounds, un_bat.total_words)
+    ):
+        raise AssertionError(f"{name}: batch unified_bc deviates from per-node")
+
+    # Pipelined cluster waves on the batch connect pipeline, at the
+    # committed cost model's width (16 when the model gates the
+    # instance out — still informative, never gated below lockstep).
+    model = default_model()
+    wave_width = model.pick_wave_width(g.n, g.m, RADIUS) if model else 0
+    wave_width = wave_width or 16
+    cn_wav, t_cn_wav = _best(
+        lambda: run_connect_bc(g, RADIUS, engine="batch", wave_width=wave_width), 1
+    )
+    if (
+        cn_wav.connected_set != cn_bat.connected_set
+        or cn_wav.total_words != cn_bat.total_words
+        or cn_wav.phase_rounds != cn_bat.phase_rounds
+    ):
+        raise AssertionError(f"{name}: pipelined waves deviate from lockstep")
+
+    # The cost model's pick vs the best static choice on this instance,
+    # judged on the already-measured Theorem-9 pipeline timings.
+    auto_pick = (
+        model.pick_engine(g.n, g.m, RADIUS, ("batch", "pernode"))
+        if model
+        else "batch"
+    )
+    auto_s = t_sim_bat if auto_pick == "batch" else t_sim_per
+    best_s = min(t_sim_bat, t_sim_per)
+
     warm = _warm_vs_cold(g, RADIUS)
 
     return {
@@ -320,6 +397,42 @@ def bench_instance(name, family, build, repeats):
             "rounds": ds_bat.total_rounds,
             "total_words": ds_bat.total_words,
         },
+        "connect_bc": {
+            "pernode_s": t_cn_per,
+            "batch_s": t_cn_bat,
+            "speedup": t_cn_per / t_cn_bat,
+            "size": cn_bat.size,
+            "rounds": cn_bat.total_rounds,
+            "total_words": cn_bat.total_words,
+        },
+        "cover_bc": {
+            "pernode_s": t_cv_per,
+            "batch_s": t_cv_bat,
+            "speedup": t_cv_per / t_cv_bat,
+            "clusters": cv_bat.cover.num_clusters,
+            "rounds": cv_bat.rounds,
+            "total_words": cv_bat.total_words,
+        },
+        "unified_bc": {
+            "pernode_s": t_un_per,
+            "batch_s": t_un_bat,
+            "speedup": t_un_per / t_un_bat,
+            "size": un_bat.size,
+            "rounds": un_bat.rounds,
+            "total_words": un_bat.total_words,
+        },
+        "connect_waves": {
+            "lockstep_s": t_cn_bat,
+            "waves_s": t_cn_wav,
+            "wave_width": wave_width,
+            "speedup": t_cn_bat / t_cn_wav,
+        },
+        "engine_auto": {
+            "pick": auto_pick,
+            "auto_s": auto_s,
+            "best_s": best_s,
+            "overhead": auto_s / best_s,
+        },
     }
 
 
@@ -362,6 +475,7 @@ def main(argv=None) -> int:
         [
             "instance", "n", "wcol", "sets x", "csr x", "wcol x", "paths x",
             "domset x", "covers x", "degen x", "warm x", "domset_bc",
+            "connect x", "cover x", "unified x", "waves x", "auto",
         ],
     )
     rows = []
@@ -369,6 +483,7 @@ def main(argv=None) -> int:
         row = bench_instance(name, family, build, args.repeats)
         rows.append(row)
         sim = row["domset_bc"]
+        auto = row["engine_auto"]
         table.add(
             name,
             row["n"],
@@ -383,6 +498,11 @@ def main(argv=None) -> int:
             f"{row['workspace_warm']['speedup']:.1f}",
             f"{sim['batch_s'] * 1e3:.0f} ms batch / "
             f"{sim['pernode_s'] * 1e3:.0f} ms pernode ({sim['speedup']:.1f}x)",
+            f"{row['connect_bc']['speedup']:.1f}",
+            f"{row['cover_bc']['speedup']:.1f}",
+            f"{row['unified_bc']['speedup']:.1f}",
+            f"{row['connect_waves']['speedup']:.2f}@w{row['connect_waves']['wave_width']}",
+            f"{auto['pick']} ({auto['overhead']:.2f})",
         )
         print(
             f"  [{name}] sets {row['wreach_sets']['speedup']:.1f}x  "
@@ -393,13 +513,18 @@ def main(argv=None) -> int:
             f"covers {row['covers']['speedup']:.1f}x  "
             f"degen {row['degeneracy']['speedup']:.1f}x  "
             f"warm {row['workspace_warm']['speedup']:.1f}x  "
-            f"domset_bc {row['domset_bc']['speedup']:.1f}x",
+            f"domset_bc {row['domset_bc']['speedup']:.1f}x  "
+            f"connect_bc {row['connect_bc']['speedup']:.1f}x  "
+            f"cover_bc {row['cover_bc']['speedup']:.1f}x  "
+            f"unified_bc {row['unified_bc']['speedup']:.1f}x  "
+            f"waves {row['connect_waves']['speedup']:.2f}x  "
+            f"auto={auto['pick']}",
             flush=True,
         )
 
     largest = max(rows, key=lambda r: r["n"])
     report = {
-        "schema": 4,
+        "schema": 5,
         "benchmark": "p1_kernel_perf",
         "mode": "smoke" if args.smoke else "full",
         "radius": RADIUS,
@@ -419,6 +544,11 @@ def main(argv=None) -> int:
             "degeneracy_speedup": largest["degeneracy"]["speedup"],
             "workspace_warm_speedup": largest["workspace_warm"]["speedup"],
             "domset_bc_speedup": largest["domset_bc"]["speedup"],
+            "connect_bc_speedup": largest["connect_bc"]["speedup"],
+            "cover_bc_speedup": largest["cover_bc"]["speedup"],
+            "unified_bc_speedup": largest["unified_bc"]["speedup"],
+            "connect_waves_speedup": largest["connect_waves"]["speedup"],
+            "engine_auto_overhead": largest["engine_auto"]["overhead"],
         },
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")
@@ -438,6 +568,22 @@ def main(argv=None) -> int:
             print(f"PERF REGRESSION: kernel slower than its reference on {slow}")
             return 1
         print("smoke ok: flat/batch kernels at least as fast as references everywhere")
+        off = [
+            (r["name"], r["engine_auto"]["pick"], r["engine_auto"]["overhead"])
+            for r in rows
+            if r["engine_auto"]["overhead"] > ENGINE_AUTO_MAX_OVERHEAD
+        ]
+        if off:
+            print(
+                f"PERF REGRESSION: cost-model engine pick more than "
+                f"{(ENGINE_AUTO_MAX_OVERHEAD - 1) * 100:.0f}% off the best "
+                f"static choice on {off}"
+            )
+            return 1
+        print(
+            f"smoke ok: cost-model engine picks within "
+            f"{(ENGINE_AUTO_MAX_OVERHEAD - 1) * 100:.0f}% of the best static choice"
+        )
         failures = _ratio_gate(rows, args.baseline, args.regression_factor)
         if failures:
             for msg in failures:

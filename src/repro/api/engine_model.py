@@ -1,0 +1,244 @@
+"""Measured cost model behind ``engine="auto"`` resolution.
+
+The two simulator paths trade off differently: the batch engine pays a
+fixed vectorization overhead per round but advances all vertices in a
+few array operations, while the per-node loop costs one Python call per
+vertex per round.  Which is faster is a property of the *machine* as
+much as the protocol, so instead of a hard-coded preference the façade
+resolves ``"auto"`` through an :class:`EngineCostModel` — per-engine
+linear coefficients over simple size features, fitted to wall-time
+measurements of the actual pipelines on this machine.
+
+The committed :data:`DEFAULT_MODEL_PATH` artifact ships a calibration;
+``python -m repro.cli calibrate-engine`` regenerates it (``--quick`` for
+a reduced ladder).  The model also carries the wave-pipelining verdict:
+the smallest profitable ``wave_width`` (0 = lockstep) and the instance
+size above which it applies.
+
+Cost features per request: ``[1, R, (n + m) * R]`` with ``R = log2(n +
+2) + 3r + 2`` — a round-count proxy (order phase is O(log n), the token
+phases O(r)).  The constant picks up fixed setup, the second term
+per-round overhead, the third per-round-per-edge work.  Fits use
+least squares with negative coefficients clipped to zero and refitted
+(costs are sums of nonnegative work terms; an unconstrained fit on a
+small ladder can go negative and then extrapolate absurdly).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "EngineCostModel",
+    "calibrate",
+    "default_model",
+    "DEFAULT_MODEL_PATH",
+    "MODEL_SCHEMA",
+]
+
+#: Version tag of the persisted model document.
+MODEL_SCHEMA = 1
+
+#: The committed calibration artifact ``default_model()`` loads.
+DEFAULT_MODEL_PATH = Path(__file__).with_name("engine_model.json")
+
+
+def _features(n: int, m: int, radius: int) -> np.ndarray:
+    rounds = math.log2(n + 2) + 3 * radius + 2
+    return np.array([1.0, rounds, (n + m) * rounds], dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class EngineCostModel:
+    """Per-engine wall-time predictors plus the wave-pipelining verdict.
+
+    ``coef`` maps engine name to the fitted feature coefficients;
+    ``wave_width`` is the calibrated components-per-wave (0 = lockstep
+    always) and ``wave_min_n`` the instance size where waves start
+    paying for their per-wave replay overhead.  ``meta`` records how the
+    calibration was obtained (instances, timings) for provenance only.
+    """
+
+    coef: Mapping[str, tuple[float, ...]] = field(default_factory=dict)
+    wave_width: int = 0
+    wave_min_n: int = 0
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def predict(self, engine: str, n: int, m: int, radius: int) -> float | None:
+        """Predicted solver wall time in seconds, or ``None`` if unknown."""
+        c = self.coef.get(engine)
+        if c is None or len(c) != len(_features(0, 0, 0)):
+            return None
+        return float(np.dot(np.asarray(c, dtype=np.float64), _features(n, m, radius)))
+
+    def pick_engine(
+        self, n: int, m: int, radius: int, engines: Sequence[str]
+    ) -> str:
+        """The cheapest declared engine under the model.
+
+        Falls back to the solver's declared preference (first entry)
+        when any declared engine has no coefficients — a partially
+        calibrated model must not silently disadvantage the engines it
+        never measured.  Ties keep declaration order.
+        """
+        costs = [self.predict(e, n, m, radius) for e in engines]
+        if any(c is None for c in costs):
+            return engines[0]
+        return engines[int(np.argmin(costs))]
+
+    def pick_wave_width(self, n: int, m: int, radius: int) -> int:
+        """Calibrated wave width for an instance (0 = run lockstep)."""
+        if self.wave_width > 0 and n >= self.wave_min_n:
+            return self.wave_width
+        return 0
+
+    # -- persistence -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": MODEL_SCHEMA,
+            "coef": {e: list(c) for e, c in self.coef.items()},
+            "wave_width": self.wave_width,
+            "wave_min_n": self.wave_min_n,
+            "meta": dict(self.meta),
+        }
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineCostModel":
+        if data.get("schema") != MODEL_SCHEMA:
+            raise ValueError(
+                f"unsupported engine model schema {data.get('schema')!r} "
+                f"(this version reads schema {MODEL_SCHEMA})"
+            )
+        return cls(
+            coef={
+                str(e): tuple(float(x) for x in c)
+                for e, c in dict(data.get("coef", {})).items()
+            },
+            wave_width=int(data.get("wave_width", 0)),
+            wave_min_n=int(data.get("wave_min_n", 0)),
+            meta=dict(data.get("meta", {})),
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "EngineCostModel | None":
+        """The model at ``path``, or ``None`` if absent/unreadable.
+
+        ``"auto"`` resolution must never fail because an artifact is
+        missing or stale — the caller falls back to the declared engine
+        preference instead.
+        """
+        try:
+            return cls.from_dict(json.loads(Path(path).read_text()))
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
+
+# One process-wide slot: the committed artifact is parsed at most once
+# per process, like ``default_cache()``; [] = not loaded yet, [None] =
+# load failed (also cached — a missing artifact stays missing).
+_DEFAULT_MODEL: list[EngineCostModel | None] = []
+
+
+def default_model() -> EngineCostModel | None:
+    """The committed calibration artifact, memoized process-wide."""
+    if not _DEFAULT_MODEL:
+        _DEFAULT_MODEL.append(EngineCostModel.load(DEFAULT_MODEL_PATH))
+    return _DEFAULT_MODEL[0]
+
+
+def _fit_nonneg(X: np.ndarray, y: np.ndarray) -> tuple[float, ...]:
+    """Least squares with negative coefficients clipped-and-refitted."""
+    keep = list(range(X.shape[1]))
+    coef = np.zeros(X.shape[1], dtype=np.float64)
+    while keep:
+        sol, *_ = np.linalg.lstsq(X[:, keep], y, rcond=None)
+        if (sol >= 0).all():
+            coef[keep] = sol
+            break
+        keep = [k for k, c in zip(keep, sol, strict=True) if c >= 0]
+    return tuple(float(c) for c in coef)
+
+
+def _calibration_instances(quick: bool):
+    from repro.graphs.random_models import delaunay_graph, random_geometric
+
+    sizes = (200, 700, 1600) if quick else (200, 700, 1600, 4000, 9000)
+    graphs = []
+    for n in sizes:
+        graphs.append((f"delaunay{n}", delaunay_graph(n, seed=7)[0]))
+    graphs.append(("geometric600", random_geometric(600, seed=3)[0]))
+    return graphs
+
+
+def calibrate(
+    quick: bool = False,
+    radius: int = 2,
+    clock: Callable[[], float] = time.perf_counter,
+) -> EngineCostModel:
+    """Measure both engines on an instance ladder and fit the model.
+
+    Times the full Theorem-9 pipeline (the façade's dominant distributed
+    path) per engine per instance, fits :func:`_features` coefficients,
+    then times pipelined waves against lockstep on the largest instance
+    to settle ``wave_width``.  Deterministic instances, one timing pass
+    — calibration is a tool command, not a benchmark harness.
+    """
+    from repro.distributed.connect_bc import run_connect_bc
+    from repro.distributed.domset_bc import run_domset_bc
+
+    graphs = _calibration_instances(quick)
+    engines = ("batch", "pernode")
+    rows: dict[str, list[tuple[np.ndarray, float]]] = {e: [] for e in engines}
+    timings: dict[str, dict[str, float]] = {}
+    for name, g in graphs:
+        timings[name] = {"n": g.n, "m": g.m}
+        for eng in engines:
+            t0 = clock()
+            run_domset_bc(g, radius, engine=eng)
+            dt = clock() - t0
+            rows[eng].append((_features(g.n, g.m, radius), dt))
+            timings[name][eng] = dt
+    coef = {}
+    for eng in engines:
+        X = np.stack([f for f, _ in rows[eng]])
+        y = np.array([t for _, t in rows[eng]])
+        coef[eng] = _fit_nonneg(X, y)
+    # Wave verdict: replay the connect pipeline (election + join waves)
+    # on the largest instance at a few widths; adopt the best width only
+    # if it beats lockstep by a margin that survives timing noise.
+    big_name, big = graphs[len(graphs) - 2]  # largest delaunay
+    wave_width = 0
+    wave_min_n = 0
+    t0 = clock()
+    run_connect_bc(big, radius, engine="batch", wave_width=0)
+    lockstep = clock() - t0
+    timings[big_name]["waves"] = {"0": lockstep}
+    best = lockstep
+    for width in (16, 64, 256):
+        t0 = clock()
+        run_connect_bc(big, radius, engine="batch", wave_width=width)
+        dt = clock() - t0
+        timings[big_name]["waves"][str(width)] = dt
+        if dt < best:
+            best = dt
+            wave_width = width
+    if best > 0.95 * lockstep:
+        wave_width = 0  # within noise of lockstep: keep the simple path
+    if wave_width:
+        wave_min_n = big.n
+    return EngineCostModel(
+        coef=coef,
+        wave_width=wave_width,
+        wave_min_n=wave_min_n,
+        meta={"radius": radius, "quick": quick, "timings": timings},
+    )

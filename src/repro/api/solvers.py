@@ -216,15 +216,37 @@ _DIST_CONGEST_CAPS = SolverCapabilities(
 )
 
 
+def _wave_width(req: SolveRequest, engine: str | None) -> int:
+    """The pipelined-wave width for a request on the batch engine.
+
+    An explicit ``params["wave_width"]`` wins; otherwise the calibrated
+    cost model decides (0 — global lockstep — without a model verdict).
+    Scheduling only: results and statistics are identical at any width.
+    """
+    if engine != "batch":
+        return 0
+    explicit = req.params.get("wave_width")
+    if explicit is not None:
+        return int(explicit)
+    from repro.api.engine_model import default_model
+
+    model = default_model()
+    if model is None:
+        return 0
+    return model.pick_wave_width(req.graph.n, req.graph.m, req.radius)
+
+
 @register_solver("dist.congest", _DIST_CONGEST_CAPS)
 def _dist_congest(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
     from repro.distributed.connect_bc import run_connect_bc
     from repro.distributed.domset_bc import run_domset_bc
 
-    # Batch (vectorized rounds) unless the request pins "pernode"; the
-    # two paths are output- and stats-identical, so the shared
-    # distributed-order cache entry is engine-agnostic.
+    # The engine comes from the request via the measured cost model
+    # ("auto" picks the predicted-cheapest declared engine); the paths
+    # are output- and stats-identical, so the shared distributed-order
+    # cache entry is engine-agnostic.
     engine = req.resolve_engine(_DIST_CONGEST_CAPS)
+    waves = _wave_width(req, engine)
     mode = req.params.get("order_mode", "h_partition")
     oc = cache.distributed_order(
         req.graph, mode, req.radius, req.params.get("threshold"), engine=engine
@@ -233,7 +255,9 @@ def _dist_congest(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
         # The Theorem-10 runner computes the dominating set on the way
         # to the join phase; running the Theorem-9 pipeline as well
         # would simulate WReach + election twice for identical sets.
-        conn = run_connect_bc(req.graph, req.radius, oc, engine=engine)
+        conn = run_connect_bc(
+            req.graph, req.radius, oc, engine=engine, wave_width=waves
+        )
         return SolverOutput(
             dominators=conn.dominators,
             connected_set=conn.connected_set,
@@ -244,7 +268,7 @@ def _dist_congest(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
             raw=conn,
             extras={"order_computation": oc, "connect_result": conn},
         )
-    ds = run_domset_bc(req.graph, req.radius, oc, engine=engine)
+    ds = run_domset_bc(req.graph, req.radius, oc, engine=engine, wave_width=waves)
     return SolverOutput(
         dominators=ds.dominators,
         dominator_of=ds.dominator_of,
@@ -257,25 +281,29 @@ def _dist_congest(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
     )
 
 
-@register_solver(
-    "dist.congest-unified",
-    SolverCapabilities(
-        model="CONGEST_BC",
-        supports_connect=True,
-        min_radius=1,
-        guarantee="as dist.congest, one continuous protocol (fixed budgets)",
-        description="single-execution CONGEST_BC run with the O(log n + r) schedule",
-        engines=("pernode",),  # interleaved phases; no batch port yet
-    ),
+#: Shared with the adapter so the engine the façade reports and the one
+#: that actually runs resolve from the same declaration.
+_DIST_UNIFIED_CAPS = SolverCapabilities(
+    model="CONGEST_BC",
+    supports_connect=True,
+    min_radius=1,
+    guarantee="as dist.congest, one continuous protocol (fixed budgets)",
+    description="single-execution CONGEST_BC run with the O(log n + r) schedule",
+    engines=("batch", "pernode"),
 )
+
+
+@register_solver("dist.congest-unified", _DIST_UNIFIED_CAPS)
 def _dist_congest_unified(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
     from repro.distributed.unified_bc import run_unified_bc
 
+    engine = req.resolve_engine(_DIST_UNIFIED_CAPS)
     res = run_unified_bc(
         req.graph,
         req.radius,
         connect=req.connect,
         threshold=req.params.get("threshold"),
+        engine=engine,
     )
     return SolverOutput(
         dominators=res.dominators,

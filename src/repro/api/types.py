@@ -148,12 +148,23 @@ class SolveRequest:
     engine: str = "auto"
     params: Mapping[str, Any] = field(default_factory=dict)
 
-    def resolve_engine(self, capabilities: "SolverCapabilities") -> str | None:
+    def resolve_engine(
+        self, capabilities: "SolverCapabilities", cost_model: Any = None
+    ) -> str | None:
         """The execution engine this request runs on, or ``None``.
 
-        ``"auto"`` resolves to the solver's preferred engine (the first
-        it declares); an explicit engine must be declared by the solver.
-        Engine-free solvers (every sequential one) resolve to ``None``.
+        ``"auto"`` resolves through the measured engine cost model
+        (:mod:`repro.api.engine_model`): the declared engine predicted
+        cheapest for this request's size and radius.  Without a usable
+        model — no committed calibration artifact, or a declared engine
+        it never measured — ``"auto"`` falls back to the solver's
+        declared preference (the first engine it lists).  An explicit
+        engine must be declared by the solver.  Engine-free solvers
+        (every sequential one) resolve to ``None``.
+
+        ``cost_model`` overrides the process-default model (tests and
+        calibration tooling); pass an
+        :class:`~repro.api.engine_model.EngineCostModel`.
         """
         if self.engine not in ("auto", "batch", "pernode"):
             raise ValueError(
@@ -166,7 +177,16 @@ class SolveRequest:
                 )
             return None
         if self.engine == "auto":
-            return capabilities.engines[0]
+            if len(capabilities.engines) == 1:
+                return capabilities.engines[0]
+            from repro.api.engine_model import default_model
+
+            model = cost_model if cost_model is not None else default_model()
+            if model is None:
+                return capabilities.engines[0]
+            return model.pick_engine(
+                self.graph.n, self.graph.m, self.radius, capabilities.engines
+            )
         if self.engine not in capabilities.engines:
             raise ValueError(
                 f"engine {self.engine!r} not available (solver declares "

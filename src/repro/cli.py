@@ -31,6 +31,10 @@ Commands
     dist.congest`` / ``dist.congest-unified``.
 ``generate <family> <args...> -o file``
     Write a named workload or generator output to an edge-list file.
+``calibrate-engine [--quick] [-r R] [-o FILE]``
+    Time both simulator engines on an instance ladder and write the
+    measured cost model behind ``engine="auto"`` (the committed
+    ``repro/api/engine_model.json`` by default).
 ``lint [paths...]``
     Static model-conformance / determinism / registry-discipline
     checker (``repro lint --list-rules``; see README "Static
@@ -300,6 +304,21 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_calibrate_engine(args) -> int:
+    from repro.api.engine_model import DEFAULT_MODEL_PATH, calibrate
+
+    model = calibrate(quick=args.quick, radius=args.radius)
+    out = args.output or DEFAULT_MODEL_PATH
+    model.save(out)
+    print(f"wrote {out}")
+    for eng, c in model.coef.items():
+        terms = ", ".join(f"{x:.3e}" for x in c)
+        print(f"  {eng}: [{terms}]")
+    print(f"  wave_width = {model.wave_width}"
+          + (f" (n >= {model.wave_min_n})" if model.wave_width else " (lockstep)"))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import main as lint_main
 
@@ -405,6 +424,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.add_argument("-o", "--output", required=True)
     p_gen.set_defaults(fn=_cmd_generate)
+
+    p_cal = sub.add_parser(
+        "calibrate-engine",
+        help="measure both simulator engines and refresh the auto cost model",
+    )
+    p_cal.add_argument("--quick", action="store_true",
+                       help="reduced instance ladder (seconds, less precise)")
+    p_cal.add_argument("-r", "--radius", type=int, default=2)
+    p_cal.add_argument("-o", "--output", metavar="FILE", default=None,
+                       help="write the model JSON here instead of the "
+                            "committed artifact path")
+    p_cal.set_defaults(fn=_cmd_calibrate_engine)
 
     p_lint = sub.add_parser(
         "lint", help="static model-conformance/determinism checker"

@@ -18,16 +18,35 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.distributed.domset_bc import run_election
-from repro.distributed.model import Model
-from repro.distributed.network import Network
+from repro.distributed.engine import (
+    BatchContext,
+    BatchEmission,
+    TokenRoutingBatch,
+    pick_deployment,
+)
+from repro.distributed.model import Model, merge_phase_stats
+from repro.distributed.network import Network, RunResult
 from repro.distributed.nd_order import OrderComputation, distributed_h_partition_order
 from repro.distributed.node import Inbox, NodeAlgorithm, NodeContext
 from repro.distributed.wreach_bc import WReachOutput, run_wreach_bc
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph
 
-__all__ = ["JoinNode", "DistributedConnectedDomSet", "run_connect_bc"]
+__all__ = [
+    "JoinNode",
+    "JoinBatch",
+    "DistributedConnectedDomSet",
+    "run_connect_bc",
+    "run_join",
+]
+
+#: ``payload_words("join")`` — the tag of every join message.
+_TAG_WORDS = 1
+#: Padding value in the fixed-width token matrix (not a vertex id).
+_PAD = -1
 
 
 class JoinNode(NodeAlgorithm):
@@ -75,6 +94,101 @@ class JoinNode(NodeAlgorithm):
         return {"in_dprime": self.in_dprime, "is_dominator": self.is_dominator}
 
 
+class JoinBatch(TokenRoutingBatch):
+    """Join-token routing over a flat token table (port of :class:`JoinNode`).
+
+    Same :class:`~repro.distributed.engine.TokenRouter` mechanic as the
+    election port, with the join semantics: *every* hop a token reaches
+    enters D' (not only the final one), length-1 tokens stop, longer
+    ones are truncated and re-sent, and everything halts at the fixed
+    ``2r + 1`` budget.  Outputs and round statistics are bit-identical
+    to the per-node reference.
+    """
+
+    tag_words = _TAG_WORDS
+
+    def __init__(self, radius: int, in_domset: np.ndarray) -> None:
+        super().__init__(width=max(2 * radius + 1, 1))
+        self.radius = radius
+        self.is_dominator = np.asarray(in_domset, dtype=bool)
+        self.in_dprime: np.ndarray | None = None
+
+    def on_start(self, ctx: BatchContext) -> BatchEmission | None:
+        n = ctx.n
+        outs: list[WReachOutput] = ctx.advice["wreach_outputs"]
+        self.halted = np.zeros(n, dtype=bool)
+        self.in_dprime = self.is_dominator.copy()
+        tok_src: list[int] = []
+        tok_rows: list[tuple[int, ...]] = []
+        for v in np.flatnonzero(self.is_dominator).tolist():
+            # Same dedup-and-sort as the per-node start, so the stored-
+            # path dict's iteration order never reaches the emission.
+            for t in sorted({path[:-1] for path in outs[v].paths.values()}):
+                tok_src.append(v)
+                tok_rows.append(t)
+        senders = np.asarray(tok_src, dtype=np.int64)
+        lens = np.asarray([len(t) for t in tok_rows], dtype=np.int64)
+        rows = np.full((len(tok_rows), self.router.width), _PAD, dtype=np.int64)
+        for i, t in enumerate(tok_rows):
+            rows[i, : len(t)] = t
+        return self.seed(senders, lens, rows)
+
+    def on_round(self, ctx: BatchContext, round_index: int) -> BatchEmission | None:
+        assert self.in_dprime is not None
+        # Deliver: every addressed hop joins D'; tokens longer than one
+        # entry continue backward.
+        recv = self.router.receivers()
+        if len(recv):
+            self.in_dprime[recv] = True
+            fwd = self.router.lens > 1
+        else:
+            fwd = np.zeros(0, dtype=bool)
+        if round_index >= 2 * self.radius + 1:
+            self.halted[:] = True
+            self.router.clear()
+            return None
+        return self.router.advance(fwd)
+
+    def outputs(self, ctx: BatchContext) -> dict[int, dict]:
+        assert self.in_dprime is not None
+        dp = self.in_dprime.tolist()
+        dom = self.is_dominator.tolist()
+        return {
+            v: {"in_dprime": dp[v], "is_dominator": dom[v]} for v in range(ctx.n)
+        }
+
+
+def run_join(
+    g: Graph,
+    radius: int,
+    in_domset: np.ndarray,
+    wreach_outputs: list[WReachOutput],
+    engine: str = "batch",
+    wave_width: int = 0,
+) -> tuple[dict[int, dict], RunResult]:
+    """Run the Theorem-10 join phase on precomputed election results.
+
+    ``in_domset`` is the per-vertex dominator mask from the election
+    phase; ``wave_width`` > 0 executes independent token components as
+    pipelined waves on the batch engine (identical results).
+    """
+    ind = np.asarray(in_domset, dtype=bool)
+    factory = pick_deployment(
+        engine,
+        lambda: JoinBatch(radius, ind),
+        lambda v: JoinNode(radius, bool(ind[v])),
+    )
+    net = Network(
+        g,
+        Model.CONGEST_BC,
+        factory,
+        advice={"wreach_outputs": wreach_outputs},
+        wave_width=wave_width,
+    )
+    res = net.run()
+    return res.outputs, res
+
+
 @dataclass(frozen=True)
 class DistributedConnectedDomSet:
     """Theorem-10 pipeline result."""
@@ -105,45 +219,41 @@ def run_connect_bc(
     radius: int,
     order_computation: OrderComputation | None = None,
     engine: str = "batch",
+    wave_width: int = 0,
 ) -> DistributedConnectedDomSet:
     """Full Theorem-10 pipeline in CONGEST_BC.
 
-    ``engine`` selects the simulator path of the order / WReachDist /
-    election phases (identical results either way); the join phase has
-    no batch port yet and always runs per-node.
+    ``engine`` selects the simulator path of all four phases (vectorized
+    ``"batch"`` by default, per-node ``"pernode"``), and ``wave_width``
+    > 0 runs the election and join phases' independent token components
+    as pipelined waves on the batch engine; results and accounting are
+    identical either way.
     """
     if radius < 0:
         raise SimulationError("radius must be >= 0")
     oc = order_computation or distributed_h_partition_order(g, engine=engine)
     horizon = 2 * radius + 1
     wouts, wres = run_wreach_bc(g, oc.class_ids, horizon, engine=engine)
-    eouts, eres = run_election(g, oc.class_ids, wouts, radius, engine=engine)
-    in_domset = {v: eouts[v]["in_domset"] for v in range(g.n)}
-    net = Network(
-        g,
-        Model.CONGEST_BC,
-        lambda v: JoinNode(radius, in_domset[v]),
-        advice={"wreach_outputs": wouts},
+    eouts, eres = run_election(
+        g, oc.class_ids, wouts, radius, engine=engine, wave_width=wave_width
     )
-    jres = net.run()
-    dprime = tuple(sorted(v for v in range(g.n) if jres.outputs[v]["in_dprime"]))
-    dominators = tuple(sorted(v for v in range(g.n) if in_domset[v]))
+    in_domset = np.fromiter(
+        (eouts[v]["in_domset"] for v in range(g.n)), dtype=bool, count=g.n
+    )
+    jouts, jres = run_join(
+        g, radius, in_domset, wouts, engine=engine, wave_width=wave_width
+    )
+    dprime = tuple(sorted(v for v in range(g.n) if jouts[v]["in_dprime"]))
+    dominators = tuple(sorted(np.flatnonzero(in_domset).tolist()))
+    phase_rounds, phase_max_words, total_words = merge_phase_stats(
+        {"order": oc, "wreach": wres, "election": eres, "join": jres}
+    )
     return DistributedConnectedDomSet(
         connected_set=dprime,
         dominators=dominators,
         radius=radius,
         order=oc,
-        phase_rounds={
-            "order": oc.rounds,
-            "wreach": wres.rounds,
-            "election": eres.rounds,
-            "join": jres.rounds,
-        },
-        phase_max_words={
-            "order": oc.max_payload_words,
-            "wreach": wres.max_payload_words,
-            "election": eres.max_payload_words,
-            "join": jres.max_payload_words,
-        },
-        total_words=oc.total_words + wres.total_words + eres.total_words + jres.total_words,
+        phase_rounds=phase_rounds,
+        phase_max_words=phase_max_words,
+        total_words=total_words,
     )

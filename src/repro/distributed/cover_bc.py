@@ -6,9 +6,14 @@ set of cluster centers v with ``w ∈ X_v`` — plus a length-<=2r routing
 path to each of them, and its *home* cluster center
 ``min WReach_r[w]`` whose cluster contains ``N_r[w]`` (Lemma 6).
 
-:func:`run_cover_bc` runs the pipeline and assembles the (logically
-distributed) membership lists into a :class:`NeighborhoodCover` so the
-sequential validators of :mod:`repro.analysis.validate` can certify it.
+The membership lists themselves live at the *members*, not the centers;
+the **cluster phase** below makes them explicit cluster-side: every
+vertex w routes a "member" token backward along its stored path to each
+center v ∈ WReach_2r[w], so after 2r more rounds every center knows
+``X_v`` verbatim.  :func:`run_cover_bc` runs the pipeline and assembles
+the (logically distributed) membership lists into a
+:class:`NeighborhoodCover` so the sequential validators of
+:mod:`repro.analysis.validate` can certify it.
 """
 
 from __future__ import annotations
@@ -18,12 +23,232 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.covers import NeighborhoodCover
+from repro.distributed.engine import (
+    BatchContext,
+    BatchEmission,
+    TokenRoutingBatch,
+    pick_deployment,
+)
+from repro.distributed.model import Model, merge_phase_stats
+from repro.distributed.network import Network, RunResult
 from repro.distributed.nd_order import OrderComputation, distributed_h_partition_order
+from repro.distributed.node import Inbox, NodeAlgorithm, NodeContext
 from repro.distributed.wreach_bc import WReachOutput, run_wreach_bc
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph
 
-__all__ = ["DistributedCover", "run_cover_bc"]
+__all__ = [
+    "ClusterNode",
+    "ClusterBatch",
+    "DistributedCover",
+    "run_cover_bc",
+    "run_cluster",
+]
+
+#: ``payload_words("member")`` — the tag of every cluster message.
+_TAG_WORDS = 2
+#: Padding value in the fixed-width token matrix (not a vertex id).
+_PAD = -1
+
+
+class ClusterNode(NodeAlgorithm):
+    """Cluster phase: members announce themselves to their centers.
+
+    Every vertex w sends, for each stored path to a center
+    ``v ∈ WReach_2r[w]``, the token ``(w,) + path[:-1]`` — the member id
+    prefixed to the reversed routing prefix.  Tokens hop backward along
+    the path (next hop = last entry); a token of length 2 has reached
+    its center ``token[1]``, which records member ``token[0]``.  The
+    home center and cluster degree are known locally from the
+    WReachDist outputs; the fixed budget is ``2r`` rounds (a stored
+    path has at most 2r edges).
+    """
+
+    def __init__(self, radius: int) -> None:
+        super().__init__()
+        self.radius = radius
+        self.round_no = 0
+        self.home = -1
+        self.degree = 0
+        self.members: set[int] = set()
+
+    def on_start(self, ctx: NodeContext):
+        out: WReachOutput = ctx.advice["wreach_outputs"][ctx.node]
+        class_ids = ctx.advice["class_ids"]
+        self.degree = len(out.wreach)
+        self.members = {ctx.node}
+        # Home cluster: L-least center reachable by a stored path of
+        # length <= r (v itself always qualifies).
+        best = (int(class_ids[ctx.node]), ctx.node)
+        for u, path in out.paths.items():  # reprolint: ignore[D202] -- strict min over unique super-ids; any iteration order yields the same winner
+            if len(path) - 1 <= self.radius:
+                sid = (int(class_ids[u]), int(u))
+                if sid < best:
+                    best = sid
+        self.home = best[1]
+        if self.radius == 0:
+            self.halted = True
+            return None
+        tokens = sorted((ctx.node,) + path[:-1] for path in out.paths.values())
+        if not tokens:
+            return None
+        return ("member", tuple(tokens))
+
+    def on_round(self, ctx: NodeContext, inbox: Inbox):
+        self.round_no += 1
+        forward: list[tuple[int, ...]] = []
+        for _src, msg in inbox:
+            if not (isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "member"):
+                continue
+            for token in msg[1]:
+                if token[-1] != ctx.node:
+                    continue  # not the next hop
+                if len(token) == 2:
+                    self.members.add(token[0])  # token reached its center
+                else:
+                    forward.append(token[:-1])
+        if self.round_no >= 2 * self.radius:
+            self.halted = True
+            return None
+        if not forward:
+            return None
+        return ("member", tuple(sorted(set(forward))))
+
+    def output(self) -> dict:
+        return {
+            "home": self.home,
+            "degree": self.degree,
+            "members": tuple(sorted(self.members)),
+        }
+
+
+class ClusterBatch(TokenRoutingBatch):
+    """Cluster phase over a flat token table (port of :class:`ClusterNode`).
+
+    Same :class:`~repro.distributed.engine.TokenRouter` mechanic as the
+    election/join ports; the member semantics: a token of length 2 has
+    arrived — its center (last entry) records the member (first entry)
+    — longer ones are truncated and re-sent, and everything halts at
+    the fixed ``2r`` budget.  Arrivals accumulate as flat
+    (center, member) pair arrays grouped once in ``outputs``; results
+    and round statistics are bit-identical to the per-node reference.
+    """
+
+    tag_words = _TAG_WORDS
+
+    def __init__(self, radius: int) -> None:
+        super().__init__(width=max(2 * radius + 1, 1))
+        self.radius = radius
+        self.home: np.ndarray | None = None
+        self.degree: np.ndarray | None = None
+        self._arr_centers: list[np.ndarray] = []
+        self._arr_members: list[np.ndarray] = []
+
+    def on_start(self, ctx: BatchContext) -> BatchEmission | None:
+        n = ctx.n
+        outs: list[WReachOutput] = ctx.advice["wreach_outputs"]
+        class_ids = ctx.advice["class_ids"]
+        classes = np.asarray(class_ids, dtype=np.int64).tolist()
+        radius = self.radius
+        self.halted = np.zeros(n, dtype=bool)
+        home = np.empty(n, dtype=np.int64)
+        degree = np.empty(n, dtype=np.int64)
+        tok_src: list[int] = []
+        tok_rows: list[tuple[int, ...]] = []
+        for v in range(n):
+            out = outs[v]
+            degree[v] = len(out.wreach)
+            best = (classes[v], v)
+            for u, path in out.paths.items():
+                if len(path) - 1 <= radius:
+                    sid = (classes[u], u)
+                    if sid < best:
+                        best = sid
+            home[v] = best[1]
+            if radius == 0:
+                continue
+            for path in out.paths.values():
+                tok_src.append(v)
+                tok_rows.append((v,) + path[:-1])
+        self.home = home
+        self.degree = degree
+        if radius == 0:
+            self.halted[:] = True
+        senders = np.asarray(tok_src, dtype=np.int64)
+        lens = np.asarray([len(t) for t in tok_rows], dtype=np.int64)
+        rows = np.full((len(tok_rows), self.router.width), _PAD, dtype=np.int64)
+        for i, t in enumerate(tok_rows):
+            rows[i, : len(t)] = t
+        return self.seed(senders, lens, rows)
+
+    def on_round(self, ctx: BatchContext, round_index: int) -> BatchEmission | None:
+        # Deliver: length-2 tokens have reached their center, the rest
+        # hop backward.
+        recv = self.router.receivers()
+        if len(recv):
+            arrived = self.router.lens == 2
+            if arrived.any():
+                self._arr_centers.append(recv[arrived].copy())
+                self._arr_members.append(self.router.rows[arrived, 0].copy())
+            fwd = ~arrived
+        else:
+            fwd = np.zeros(0, dtype=bool)
+        if round_index >= 2 * self.radius:
+            self.halted[:] = True
+            self.router.clear()
+            return None
+        return self.router.advance(fwd)
+
+    def outputs(self, ctx: BatchContext) -> dict[int, dict]:
+        assert self.home is not None and self.degree is not None
+        n = ctx.n
+        own = np.arange(n, dtype=np.int64)  # every vertex is its own member
+        centers = np.concatenate([own] + self._arr_centers)
+        members = np.concatenate([own] + self._arr_members)
+        order = np.lexsort((members, centers))
+        centers, members = centers[order], members[order]
+        bounds = np.searchsorted(centers, np.arange(n + 1, dtype=np.int64))
+        mlist = members.tolist()
+        homes = self.home.tolist()
+        degs = self.degree.tolist()
+        return {
+            v: {
+                "home": homes[v],
+                "degree": degs[v],
+                "members": tuple(mlist[bounds[v] : bounds[v + 1]]),
+            }
+            for v in range(n)
+        }
+
+
+def run_cluster(
+    g: Graph,
+    class_ids: np.ndarray,
+    wreach_outputs: list[WReachOutput],
+    radius: int,
+    engine: str = "batch",
+    wave_width: int = 0,
+) -> tuple[dict[int, dict], RunResult]:
+    """Run the cluster phase on precomputed weak-reachability outputs.
+
+    ``wave_width`` > 0 executes independent token components as
+    pipelined waves on the batch engine (identical results).
+    """
+    factory = pick_deployment(
+        engine, lambda: ClusterBatch(radius), lambda v: ClusterNode(radius)
+    )
+    net = Network(
+        g,
+        Model.CONGEST_BC,
+        factory,
+        advice={
+            "class_ids": np.asarray(class_ids, dtype=np.int64),
+            "wreach_outputs": wreach_outputs,
+        },
+        wave_width=wave_width,
+    )
+    res = net.run()
+    return res.outputs, res
 
 
 @dataclass(frozen=True)
@@ -33,6 +258,8 @@ class DistributedCover:
     cover: NeighborhoodCover
     routing: list[dict[int, tuple[int, ...]]]  # per node: center -> path
     order: OrderComputation
+    phase_rounds: dict[str, int]
+    phase_max_words: dict[str, int]
     rounds: int
     max_payload_words: int
     total_words: int
@@ -42,43 +269,45 @@ def run_cover_bc(
     g: Graph,
     radius: int,
     order_computation: OrderComputation | None = None,
+    engine: str = "batch",
+    wave_width: int = 0,
 ) -> DistributedCover:
-    """Compute the Theorem-8 cover representation in CONGEST_BC."""
+    """Compute the Theorem-8 cover representation in CONGEST_BC.
+
+    ``engine`` selects the simulator path of all three phases
+    (vectorized ``"batch"`` by default, per-node ``"pernode"``), and
+    ``wave_width`` > 0 runs the cluster phase's independent token
+    components as pipelined waves; the cover and all accounting are
+    identical either way.
+    """
     if radius < 0:
         raise SimulationError("radius must be >= 0")
-    oc = order_computation or distributed_h_partition_order(g)
-    wouts, wres = run_wreach_bc(g, oc.class_ids, 2 * radius)
-    class_ids = oc.class_ids
-    clusters: dict[int, list[int]] = {}
-    degree = np.zeros(g.n, dtype=np.int64)
-    home = np.full(g.n, -1, dtype=np.int64)
-    routing: list[dict[int, tuple[int, ...]]] = []
-    for v in range(g.n):
-        out: WReachOutput = wouts[v]
-        degree[v] = len(out.wreach)
-        for center in out.wreach:
-            clusters.setdefault(int(center), []).append(v)
-        # Home cluster: L-least center reachable by a stored path of
-        # length <= r (v itself always qualifies).
-        best = (int(class_ids[v]), v)
-        for u, path in out.paths.items():
-            if len(path) - 1 <= radius:
-                sid = (int(class_ids[u]), int(u))
-                if sid < best:
-                    best = sid
-        home[v] = best[1]
-        routing.append(dict(out.paths))
+    oc = order_computation or distributed_h_partition_order(g, engine=engine)
+    wouts, wres = run_wreach_bc(g, oc.class_ids, 2 * radius, engine=engine)
+    couts, cres = run_cluster(
+        g, oc.class_ids, wouts, radius, engine=engine, wave_width=wave_width
+    )
+    home = np.fromiter((couts[v]["home"] for v in range(g.n)), dtype=np.int64, count=g.n)
+    degree = np.fromiter(
+        (couts[v]["degree"] for v in range(g.n)), dtype=np.int64, count=g.n
+    )
+    routing = [dict(wouts[v].paths) for v in range(g.n)]
     cover = NeighborhoodCover(
         radius_param=radius,
-        clusters={v: tuple(sorted(ms)) for v, ms in clusters.items()},
+        clusters={v: couts[v]["members"] for v in range(g.n)},
         home_cluster=home,
         degree_per_vertex=degree,
+    )
+    phase_rounds, phase_max_words, total_words = merge_phase_stats(
+        {"order": oc, "wreach": wres, "cluster": cres}
     )
     return DistributedCover(
         cover=cover,
         routing=routing,
         order=oc,
-        rounds=oc.rounds + wres.rounds,
-        max_payload_words=max(oc.max_payload_words, wres.max_payload_words),
-        total_words=oc.total_words + wres.total_words,
+        phase_rounds=phase_rounds,
+        phase_max_words=phase_max_words,
+        rounds=sum(phase_rounds.values()),
+        max_payload_words=max(phase_max_words.values()),
+        total_words=total_words,
     )

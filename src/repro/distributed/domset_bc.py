@@ -26,12 +26,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.distributed.engine import (
-    BatchAlgorithm,
     BatchContext,
     BatchEmission,
+    TokenRoutingBatch,
     pick_deployment,
 )
-from repro.distributed.model import Model
+from repro.distributed.model import Model, merge_phase_stats
 from repro.distributed.network import Network, RunResult
 from repro.distributed.nd_order import (
     OrderComputation,
@@ -117,31 +117,27 @@ class ElectionNode(NodeAlgorithm):
         return {"in_domset": self.in_domset, "dominator": self.dominator}
 
 
-class ElectionBatch(BatchAlgorithm):
-    """Election + token routing over flat token tables.
+class ElectionBatch(TokenRoutingBatch):
+    """Election + token routing over a flat token table.
 
-    The in-flight "elect" tokens of a round are one matrix of vertex-id
+    The in-flight "elect" tokens of a round are one
+    :class:`~repro.distributed.engine.TokenRouter` matrix of vertex-id
     rows (fixed width ``radius``, padded) plus a sender per row — the
     ``(src, payload-id)`` form of the per-node outbox tuples.  Routing
-    backward along stored paths is: the next hop of a token is its last
-    entry (always a neighbor of the sender, because stored paths are
-    paths of G), tokens of length 1 have arrived at their dominator,
-    longer ones are truncated and re-sent by the hop.  Deduplication and
-    the per-sender payload sizes fall out of one ``np.unique`` over the
-    ``(sender, token-row)`` matrix.  Outputs and round statistics are
-    bit-identical to :class:`ElectionNode`.
+    backward along stored paths is the router's generic mechanic; the
+    election semantics live here: tokens of length 1 have arrived at
+    their dominator, everything longer hops backward until the fixed
+    ``radius`` budget.  Outputs and round statistics are bit-identical
+    to :class:`ElectionNode`.
     """
 
+    tag_words = _TAG_WORDS
+
     def __init__(self, radius: int) -> None:
-        super().__init__()
+        super().__init__(width=max(radius, 1))
         self.radius = radius
-        self.width = max(radius, 1)
         self.in_domset: np.ndarray | None = None
         self.dominator: np.ndarray | None = None
-        # In-flight tokens: one row per token, sender-aligned.
-        self.tk_src = np.empty(0, dtype=np.int64)
-        self.tk_len = np.empty(0, dtype=np.int64)
-        self.tk_rows = np.empty((0, 0), dtype=np.int64)
 
     def on_start(self, ctx: BatchContext) -> BatchEmission | None:
         n = ctx.n
@@ -157,7 +153,7 @@ class ElectionBatch(BatchAlgorithm):
         for v in range(n):
             best = (classes[v], v)
             best_path: tuple[int, ...] | None = None
-            for u, path in outs[v].paths.items():  # reprolint: ignore[D202] -- strict min over unique super-ids; any iteration order yields the same winner
+            for u, path in outs[v].paths.items():
                 if len(path) - 1 <= radius:
                     sid = (classes[u], u)
                     if sid < best:
@@ -173,56 +169,29 @@ class ElectionBatch(BatchAlgorithm):
             tok_src.append(v)
             tok_rows.append(best_path[:-1])
         self.dominator = dominator
-        if not tok_src:
-            return None
         senders = np.asarray(tok_src, dtype=np.int64)
         lens = np.asarray([len(t) for t in tok_rows], dtype=np.int64)
-        rows = np.full((len(tok_rows), self.width), _PAD, dtype=np.int64)
+        rows = np.full((len(tok_rows), self.router.width), _PAD, dtype=np.int64)
         for i, t in enumerate(tok_rows):
             rows[i, : len(t)] = t
-        self.tk_src, self.tk_len, self.tk_rows = senders, lens, rows
-        return BatchEmission(senders, _TAG_WORDS + lens)
+        return self.seed(senders, lens, rows)
 
     def on_round(self, ctx: BatchContext, round_index: int) -> BatchEmission | None:
         assert self.in_domset is not None
-        # Deliver: a token's next hop is its last entry; length-1 tokens
-        # have reached their dominator, the rest hop backward.
-        if len(self.tk_src):
-            last = self.tk_rows[np.arange(len(self.tk_src)), self.tk_len - 1]
-            arrived = self.tk_len == 1
-            self.in_domset[last[arrived]] = True
-            fwd = np.flatnonzero(~arrived)
+        # Deliver: length-1 tokens have reached their dominator, the
+        # rest hop backward.
+        recv = self.router.receivers()
+        if len(recv):
+            arrived = self.router.lens == 1
+            self.in_domset[recv[arrived]] = True
+            fwd = ~arrived
         else:
-            fwd = np.empty(0, dtype=np.int64)
+            fwd = np.zeros(0, dtype=bool)
         if round_index >= self.radius:
             self.halted[:] = True
-            self.tk_src = self.tk_src[:0]
-            self.tk_len = self.tk_len[:0]
-            self.tk_rows = self.tk_rows[:0]
+            self.router.clear()
             return None
-        if len(fwd) == 0:
-            self.tk_src = self.tk_src[:0]
-            self.tk_len = self.tk_len[:0]
-            self.tk_rows = self.tk_rows[:0]
-            return None
-        new_len = self.tk_len[fwd] - 1
-        rows = self.tk_rows[fwd].copy()
-        senders = rows[np.arange(len(fwd)), new_len]  # the hop that resends
-        rows[np.arange(len(fwd)), new_len] = _PAD  # truncate token[:-1]
-        # ``sorted(set(...))`` per sender: unique (sender, length, row)
-        # triples, which also groups rows by sender ascending.
-        combined = np.unique(
-            np.column_stack((senders, new_len, rows)), axis=0
-        )
-        self.tk_src = combined[:, 0]
-        self.tk_len = combined[:, 1]
-        self.tk_rows = combined[:, 2:]
-        lead = np.ones(len(combined), dtype=bool)
-        lead[1:] = self.tk_src[1:] != self.tk_src[:-1]
-        starts = np.flatnonzero(lead)
-        out_senders = self.tk_src[starts]
-        words = _TAG_WORDS + np.add.reduceat(self.tk_len, starts)
-        return BatchEmission(out_senders, words)
+        return self.router.advance(fwd)
 
     def outputs(self, ctx: BatchContext) -> dict[int, dict]:
         assert self.in_domset is not None and self.dominator is not None
@@ -239,8 +208,13 @@ def run_election(
     wreach_outputs: list[WReachOutput],
     radius: int,
     engine: str = "batch",
+    wave_width: int = 0,
 ) -> tuple[dict[int, dict], RunResult]:
-    """Run the election phase on precomputed weak-reachability outputs."""
+    """Run the election phase on precomputed weak-reachability outputs.
+
+    ``wave_width`` > 0 executes independent token components as
+    pipelined waves on the batch engine (identical results).
+    """
     factory = pick_deployment(
         engine, lambda: ElectionBatch(radius), lambda v: ElectionNode(radius)
     )
@@ -252,6 +226,7 @@ def run_election(
             "class_ids": np.asarray(class_ids, dtype=np.int64),
             "wreach_outputs": wreach_outputs,
         },
+        wave_width=wave_width,
     )
     res = net.run()
     return res.outputs, res
@@ -296,37 +271,37 @@ def run_domset_bc(
     order_computation: OrderComputation | None = None,
     horizon: int | None = None,
     engine: str = "batch",
+    wave_width: int = 0,
 ) -> DistributedDomSet:
     """Run the full Theorem-9 pipeline in CONGEST_BC.
 
     ``horizon`` defaults to ``2 * radius`` (Theorem 9); Theorem 10 passes
     ``2 * radius + 1`` and reuses the outputs for the connection phase.
     ``engine`` selects the simulator path for all three phases
-    (vectorized ``"batch"`` by default, per-node ``"pernode"``); the
-    dominating set and all accounting are identical either way.
+    (vectorized ``"batch"`` by default, per-node ``"pernode"``), and
+    ``wave_width`` > 0 runs the election phase's independent token
+    components as pipelined waves; the dominating set and all
+    accounting are identical either way.
     """
     if radius < 0:
         raise SimulationError("radius must be >= 0")
     oc = order_computation or distributed_h_partition_order(g, engine=engine)
     hz = 2 * radius if horizon is None else int(horizon)
     wouts, wres = run_wreach_bc(g, oc.class_ids, hz, engine=engine)
-    eouts, eres = run_election(g, oc.class_ids, wouts, radius, engine=engine)
+    eouts, eres = run_election(
+        g, oc.class_ids, wouts, radius, engine=engine, wave_width=wave_width
+    )
     dominators = tuple(sorted(v for v, o in eouts.items() if o["in_domset"]))
     dominator_of = np.asarray([eouts[v]["dominator"] for v in range(g.n)], dtype=np.int64)
+    phase_rounds, phase_max_words, total_words = merge_phase_stats(
+        {"order": oc, "wreach": wres, "election": eres}
+    )
     return DistributedDomSet(
         dominators=dominators,
         dominator_of=dominator_of,
         radius=radius,
         order=oc,
-        phase_rounds={
-            "order": oc.rounds,
-            "wreach": wres.rounds,
-            "election": eres.rounds,
-        },
-        phase_max_words={
-            "order": oc.max_payload_words,
-            "wreach": wres.max_payload_words,
-            "election": eres.max_payload_words,
-        },
-        total_words=oc.total_words + wres.total_words + eres.total_words,
+        phase_rounds=phase_rounds,
+        phase_max_words=phase_max_words,
+        total_words=total_words,
     )

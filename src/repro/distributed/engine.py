@@ -60,9 +60,15 @@ __all__ = [
     "BatchContext",
     "BatchEmission",
     "BatchAlgorithm",
+    "TokenRouter",
+    "TokenRoutingBatch",
+    "token_components",
     "execute_batch",
     "pick_deployment",
 ]
+
+#: Padding value in fixed-width token matrices (never a vertex id).
+_PAD = -1
 
 
 class BatchContext:
@@ -176,6 +182,199 @@ class BatchAlgorithm:
         """Per-vertex outputs after the run, keyed by vertex id."""
         raise NotImplementedError
 
+    # -- wave pipelining (optional) ---------------------------------------
+    def wave_components(self, ctx: BatchContext) -> np.ndarray | None:
+        """Per-vertex component labels for pipelined wave execution.
+
+        A protocol whose round-0 traffic decomposes into groups that
+        never exchange messages (nor ever share a broadcasting vertex)
+        may return an int64 label per vertex (``-1`` for uninvolved
+        vertices); the engine then re-runs the round schedule once per
+        wave of components and merges the statistics by round index,
+        which is exact precisely because the groups are independent.
+        ``None`` (the default) keeps the single lockstep execution.
+        """
+        return None
+
+    def wave_select(self, ctx: BatchContext, members: np.ndarray) -> BatchEmission | None:
+        """Restrict round-0 state to one wave's component ``members`` mask.
+
+        Must reset the per-round state (halted flags, in-flight traffic)
+        to the post-``on_start`` snapshot filtered to the wave, while
+        output arrays keep accumulating across waves.
+        """
+        raise SimulationError(
+            f"{type(self).__name__} advertises wave components but does not "
+            "implement wave_select"
+        )
+
+
+class TokenRouter:
+    """Flat in-flight table for backward-routed path tokens.
+
+    The elect/join/member protocols all move *tokens* — vertex-id
+    prefixes of stored paths — backward along the path: the next hop of
+    a token is its last entry, a forwarding vertex truncates the token
+    and re-broadcasts, and each sender's per-round payload is the
+    deduplicated, sorted set of tokens it forwards (what ``tuple(
+    sorted(set(...)))`` builds on the per-node path).  This class is
+    that mechanic over one ``(src, len, rows)`` matrix: ``rows`` is
+    fixed-width (``_PAD``-padded), kept grouped by ascending sender so
+    per-sender payload words fall out of one ``reduceat``.  Arrival
+    semantics (at which length a token stops, what its delivery means)
+    stay with the protocol.
+    """
+
+    __slots__ = ("width", "tag_words", "src", "lens", "rows")
+
+    def __init__(self, width: int, tag_words: int) -> None:
+        self.width = max(int(width), 1)
+        self.tag_words = int(tag_words)
+        self.src = np.empty(0, dtype=np.int64)
+        self.lens = np.empty(0, dtype=np.int64)
+        self.rows = np.empty((0, self.width), dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def load(
+        self, src: np.ndarray, lens: np.ndarray, rows: np.ndarray
+    ) -> BatchEmission | None:
+        """Install a token table (grouped by ascending sender) and emit it."""
+        self.src = np.asarray(src, dtype=np.int64)
+        self.lens = np.asarray(lens, dtype=np.int64)
+        self.rows = np.asarray(rows, dtype=np.int64).reshape(len(self.src), self.width)
+        return self._emission()
+
+    def receivers(self) -> np.ndarray:
+        """Next hop of every in-flight token (its last row entry)."""
+        if len(self.src) == 0:
+            return np.empty(0, dtype=np.int64)
+        return self.rows[np.arange(len(self.src)), self.lens - 1]
+
+    def advance(self, forward: np.ndarray) -> BatchEmission | None:
+        """Truncate the ``forward``-masked tokens and re-emit them.
+
+        The re-sender of a token is the hop that just received it (the
+        entry being truncated away); identical (sender, token) rows are
+        merged by one ``np.unique``, which reproduces the per-node
+        ``sorted(set(...))`` payload and leaves the table grouped by
+        ascending sender.
+        """
+        fwd = np.flatnonzero(forward)
+        if len(fwd) == 0:
+            self.clear()
+            return None
+        new_len = self.lens[fwd] - 1
+        rows = self.rows[fwd].copy()
+        idx = np.arange(len(fwd))
+        senders = rows[idx, new_len]  # the hop that resends
+        rows[idx, new_len] = _PAD  # truncate token[:-1]
+        combined = np.unique(np.column_stack((senders, new_len, rows)), axis=0)
+        self.src = combined[:, 0]
+        self.lens = combined[:, 1]
+        self.rows = combined[:, 2:]
+        return self._emission()
+
+    def clear(self) -> None:
+        self.src = self.src[:0]
+        self.lens = self.lens[:0]
+        self.rows = self.rows[:0]
+
+    def _emission(self) -> BatchEmission | None:
+        if len(self.src) == 0:
+            return None
+        lead = np.ones(len(self.src), dtype=bool)
+        lead[1:] = self.src[1:] != self.src[:-1]
+        starts = np.flatnonzero(lead)
+        words = self.tag_words + np.add.reduceat(self.lens, starts)
+        return BatchEmission(self.src[starts], words)
+
+
+def token_components(n: int, src: np.ndarray, rows: np.ndarray) -> np.ndarray | None:
+    """Connected components of the token-union graph, as vertex labels.
+
+    Two tokens interact iff they share a vertex — as sender (one
+    broadcast carries a sender's whole token set) or anywhere on their
+    remaining path (a shared hop merges their forwards into one
+    payload).  So the *exact* independence structure is the connected
+    components of the hypergraph whose hyperedges are ``{sender} ∪
+    row entries`` per token; waves built from these components produce
+    bit-identical statistics to the lockstep run.
+
+    Label propagation with pointer jumping: every vertex label is the
+    id of some vertex of its own component and only ever decreases, so
+    the fixpoint labels each component by its minimum vertex id.
+    Returns int64 labels with ``-1`` for vertices not touching any
+    token, or ``None`` when there are no tokens.
+    """
+    if len(src) == 0:
+        return None
+    ent = np.concatenate((np.asarray(src, dtype=np.int64)[:, None], rows), axis=1)
+    ent = np.where(ent >= 0, ent, ent[:, :1])  # padding -> own sender
+    flat = ent.reshape(-1)
+    reps = ent.shape[1]
+    lab = np.arange(n, dtype=np.int64)
+    while True:
+        token_lab = lab[ent].min(axis=1)
+        new = lab.copy()
+        np.minimum.at(new, flat, np.repeat(token_lab, reps))
+        new = np.minimum(new, new[new])  # pointer jump (labels only decrease)
+        if np.array_equal(new, lab):
+            break
+        lab = new
+    out = np.full(n, -1, dtype=np.int64)
+    touched = np.unique(flat)
+    out[touched] = lab[touched]
+    return out
+
+
+class TokenRoutingBatch(BatchAlgorithm):
+    """Base for batch protocols whose traffic is one :class:`TokenRouter`.
+
+    Subclasses build their round-0 token table in ``on_start`` and hand
+    it to :meth:`seed`; the snapshot kept there is what makes the wave
+    hooks generic — components come from the seeded tokens, and
+    selecting a wave reloads the filtered snapshot with halted flags
+    reset to their post-start state (token protocols have no other
+    per-round state; output arrays accumulate across waves).
+    """
+
+    #: ``payload_words(tag)`` of the protocol's message tag.
+    tag_words = 1
+
+    def __init__(self, width: int) -> None:
+        super().__init__()
+        self.router = TokenRouter(width, self.tag_words)
+        self._seed_src = np.empty(0, dtype=np.int64)
+        self._seed_len = np.empty(0, dtype=np.int64)
+        self._seed_rows = np.empty((0, self.router.width), dtype=np.int64)
+        self._halted0 = np.zeros(0, dtype=bool)
+
+    def seed(
+        self, src: np.ndarray, lens: np.ndarray, rows: np.ndarray
+    ) -> BatchEmission | None:
+        """Install the round-0 tokens (rows grouped by ascending sender)."""
+        self._seed_src = np.asarray(src, dtype=np.int64)
+        self._seed_len = np.asarray(lens, dtype=np.int64)
+        self._seed_rows = np.asarray(rows, dtype=np.int64).reshape(
+            len(self._seed_src), self.router.width
+        )
+        self._halted0 = self.halted.copy()
+        return self.router.load(self._seed_src, self._seed_len, self._seed_rows)
+
+    def wave_components(self, ctx: BatchContext) -> np.ndarray | None:
+        if len(self._seed_src) == 0:
+            return None
+        return token_components(ctx.n, self._seed_src, self._seed_rows)
+
+    def wave_select(self, ctx: BatchContext, members: np.ndarray) -> BatchEmission | None:
+        keep = members[self._seed_src]
+        self.halted = self._halted0.copy()
+        return self.router.load(
+            self._seed_src[keep], self._seed_len[keep], self._seed_rows[keep]
+        )
+
 
 def execute_batch(
     graph: Graph,
@@ -185,6 +384,7 @@ def execute_batch(
     words_per_round: int,
     strict_bandwidth: bool,
     max_rounds: int,
+    wave_width: int = 0,
 ) -> "RunResult":
     """Run one batch algorithm to global halt, mirroring ``Network.run``.
 
@@ -195,6 +395,16 @@ def execute_batch(
     in flight.  ``rounds``, every :class:`RoundStats` field, and the
     outputs therefore match the per-node execution of the same protocol
     exactly.
+
+    With ``wave_width > 0`` and an algorithm exposing
+    :meth:`BatchAlgorithm.wave_components`, the independent component
+    groups are executed as pipelined *waves* of ``wave_width``
+    components each instead of one global-lockstep run: each wave
+    replays the round schedule on its own frontier (no barrier against
+    the other waves' rounds), and per-round statistics from different
+    waves are summed by round index — exact, because components never
+    share a sender or receiver.  Rounds, statistics, and outputs remain
+    bit-identical to the lockstep execution.
     """
     from repro.distributed.network import RoundStats, RunResult
 
@@ -228,40 +438,73 @@ def execute_batch(
             broadcast_words=int(words.sum()),
         )
 
-    stats: list[RoundStats] = []
+    merged: dict[int, RoundStats] = {}
+
+    def record(stat: RoundStats) -> None:
+        cur = merged.get(stat.round_index)
+        if cur is None:
+            merged[stat.round_index] = stat
+        else:
+            # Waves never share a sender in any round, so their stats
+            # are disjoint summands of the lockstep round's totals.
+            merged[stat.round_index] = RoundStats(
+                round_index=stat.round_index,
+                messages=cur.messages + stat.messages,
+                total_words=cur.total_words + stat.total_words,
+                max_payload_words=max(cur.max_payload_words, stat.max_payload_words),
+                broadcast_words=cur.broadcast_words + stat.broadcast_words,
+            )
+
+    def drive(emission: BatchEmission | None) -> int:
+        """One run of the round loop from a round-0 emission to halt."""
+        pending = account(0, emission) if emission else None
+        if pending is not None:
+            record(pending)
+        rounds = 0
+        # Quiet rounds (no traffic, no halts) are tolerated briefly,
+        # exactly as in the per-node loop: phase-counting vertices wait
+        # silently, but a long silent stretch with unhalted vertices is
+        # a deadlock.
+        quiet_grace = max(64, 4 * graph.n)
+        quiet = 0
+        while True:
+            if bool(alg.halted.all()) and pending is None:
+                break
+            if rounds >= max_rounds:
+                raise SimulationError(f"no global halt within {max_rounds} rounds")
+            rounds += 1
+            halted_before = int(alg.halted.sum())
+            delivered = pending is not None
+            emission = alg.on_round(ctx, rounds)
+            pending = account(rounds, emission) if emission else None
+            if pending is not None:
+                record(pending)
+            progressed = (
+                pending is not None
+                or delivered
+                or int(alg.halted.sum()) != halted_before
+            )
+            quiet = 0 if progressed else quiet + 1
+            if quiet > quiet_grace:
+                stuck = np.flatnonzero(~alg.halted)[:5].tolist()
+                raise SimulationError(f"deadlock: nodes {stuck} never halt")
+        return rounds
+
     emission = alg.on_start(ctx)
     if len(alg.halted) != graph.n:
         raise SimulationError(
             f"batch algorithm must size halted to n={graph.n} in on_start "
             f"(got length {len(alg.halted)})"
         )
-    pending = account(0, emission) if emission else None
-    rounds = 0
-    if pending is not None:
-        stats.append(pending)
-    # Quiet rounds (no traffic, no halts) are tolerated briefly, exactly
-    # as in the per-node loop: phase-counting vertices wait silently, but
-    # a long silent stretch with unhalted vertices is a deadlock.
-    quiet_grace = max(64, 4 * graph.n)
-    quiet = 0
-    while True:
-        if bool(alg.halted.all()) and pending is None:
-            break
-        if rounds >= max_rounds:
-            raise SimulationError(f"no global halt within {max_rounds} rounds")
-        rounds += 1
-        halted_before = int(alg.halted.sum())
-        delivered = pending is not None
-        emission = alg.on_round(ctx, rounds)
-        pending = account(rounds, emission) if emission else None
-        if pending is not None:
-            stats.append(pending)
-        progressed = (
-            pending is not None or delivered or int(alg.halted.sum()) != halted_before
-        )
-        quiet = 0 if progressed else quiet + 1
-        if quiet > quiet_grace:
-            stuck = np.flatnonzero(~alg.halted)[:5].tolist()
-            raise SimulationError(f"deadlock: nodes {stuck} never halt")
+    labels = alg.wave_components(ctx) if wave_width > 0 else None
+    comps = np.unique(labels[labels >= 0]) if labels is not None else None
+    if comps is None or len(comps) < 2:
+        rounds = drive(emission)
+    else:
+        rounds = 0
+        for i in range(0, len(comps), wave_width):
+            members = np.isin(labels, comps[i : i + wave_width])
+            rounds = max(rounds, drive(alg.wave_select(ctx, members)))
     outputs = alg.outputs(ctx)
+    stats = [merged[k] for k in sorted(merged)]
     return RunResult(model, rounds, stats, outputs)

@@ -24,11 +24,11 @@ or let nondeterminism reach an emission (README, "Static analysis").
 from __future__ import annotations
 
 import enum
-from typing import Any
+from typing import Any, Mapping
 
 from repro.errors import ModelViolation
 
-__all__ = ["Model", "payload_words", "normalized_rounds"]
+__all__ = ["Model", "payload_words", "normalized_rounds", "merge_phase_stats"]
 
 
 class Model(enum.Enum):
@@ -132,6 +132,28 @@ def _payload_words_memo(payload: Any, memo: dict) -> tuple[int, bool]:
     if callable(words):
         return int(words()), False
     raise ModelViolation(f"cannot size payload of type {type(payload).__name__}")
+
+
+def merge_phase_stats(
+    phases: Mapping[str, Any],
+) -> tuple[dict[str, int], dict[str, int], int]:
+    """Fold named phase results into pipeline-level accounting.
+
+    Every phased runner (Theorem 8/9/10) sums the same three things over
+    its sub-protocol runs: per-phase logical rounds, per-phase maximum
+    payload, and the grand total words.  Each value in ``phases`` only
+    needs ``rounds`` / ``max_payload_words`` / ``total_words``
+    attributes (``RunResult`` and ``OrderComputation`` both qualify);
+    insertion order of ``phases`` is the phase order of the pipeline.
+
+    Returns ``(phase_rounds, phase_max_words, total_words)``.
+    """
+    phase_rounds = {name: int(res.rounds) for name, res in phases.items()}
+    phase_max_words = {
+        name: int(res.max_payload_words) for name, res in phases.items()
+    }
+    total_words = sum(int(res.total_words) for res in phases.values())
+    return phase_rounds, phase_max_words, total_words
 
 
 def normalized_rounds(max_words_per_round: list[int], words_per_round: int) -> int:

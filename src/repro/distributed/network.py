@@ -121,11 +121,17 @@ class Network:
         advice: Mapping[str, Any] | None = None,
         words_per_round: int = 1,
         strict_bandwidth: bool = False,
+        wave_width: int = 0,
     ):
         self.graph = graph
         self.model = model
         self.words_per_round = int(words_per_round)
         self.strict_bandwidth = bool(strict_bandwidth)
+        # Pipelined wave execution (batch deployments only): components
+        # per wave, 0 = global lockstep.  Scheduling only — results and
+        # statistics are identical at any width; the per-node loop runs
+        # lockstep regardless.
+        self.wave_width = int(wave_width)
         adv = dict(advice or {})
         self.advice = adv
         # Memo for payload sizing: id -> (payload, words).  The payload
@@ -213,6 +219,7 @@ class Network:
                 self.words_per_round,
                 self.strict_bandwidth,
                 max_rounds,
+                wave_width=self.wave_width,
             )
         try:
             return self._run_pernode(max_rounds)

@@ -31,15 +31,34 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.distributed.beh_partition import HPartitionNode
+from repro.distributed.beh_partition import HPartitionBatch, HPartitionNode
+from repro.distributed.engine import (
+    BatchAlgorithm,
+    BatchContext,
+    BatchEmission,
+    TokenRouter,
+    pick_deployment,
+)
 from repro.distributed.model import Model
 from repro.distributed.network import Network
 from repro.distributed.node import Inbox, NodeAlgorithm, NodeContext
-from repro.distributed.wreach_bc import WReachNode
+from repro.distributed.wreach_bc import WReachBatch, WReachNode
 from repro.errors import SimulationError
 from repro.graphs.graph import Graph
 
-__all__ = ["UnifiedNode", "UnifiedResult", "run_unified_bc", "order_budget"]
+__all__ = [
+    "UnifiedNode",
+    "UnifiedBatch",
+    "UnifiedResult",
+    "run_unified_bc",
+    "order_budget",
+]
+
+#: Tags of the routed tokens: ``payload_words("elect")`` / ``("join")``.
+_ELECT_TAG_WORDS = 2
+_JOIN_TAG_WORDS = 1
+#: Padding value in the fixed-width token matrices (not a vertex id).
+_PAD = -1
 
 
 def order_budget(n: int) -> int:
@@ -180,6 +199,181 @@ class UnifiedNode(NodeAlgorithm):
         }
 
 
+class UnifiedBatch(BatchAlgorithm):
+    """The whole unified pipeline as one batch state machine.
+
+    Composes the already-vectorized phase algorithms on the *same* fixed
+    round schedule :class:`UnifiedNode` runs: the global clock
+    (``round_index``) drives :class:`HPartitionBatch` until the order
+    budget, a :class:`WReachBatch` seeded with the learned ``(-level,
+    id)`` super-ids until the horizon, then the election and join token
+    tables through two :class:`~repro.distributed.engine.TokenRouter`
+    instances until their fixed budgets.  The election itself — the
+    L-least stored path of length <= r per vertex — is a single
+    ``np.minimum.at`` over the WReach table's packed sid keys, and both
+    token launches are mask-selected slices of the same table.  Outputs
+    and per-round statistics are bit-identical to the per-node run.
+    """
+
+    def __init__(self, radius: int, connect: bool) -> None:
+        super().__init__()
+        if radius < 1:
+            raise SimulationError("unified pipeline needs radius >= 1")
+        self.radius = radius
+        self.connect = connect
+        self.hp = HPartitionBatch()
+        self.wreach: WReachBatch | None = None
+        self.elect = TokenRouter(max(radius, 1), _ELECT_TAG_WORDS)
+        self.join = TokenRouter(2 * radius + 1, _JOIN_TAG_WORDS)
+        self.in_domset: np.ndarray | None = None
+        self.dominator: np.ndarray | None = None
+        self.in_dprime: np.ndarray | None = None
+
+    def _horizon(self) -> int:
+        return 2 * self.radius + (1 if self.connect else 0)
+
+    def on_start(self, ctx: BatchContext) -> BatchEmission | None:
+        n = ctx.n
+        self.halted = np.zeros(n, dtype=bool)
+        self.in_domset = np.zeros(n, dtype=bool)
+        self.in_dprime = np.zeros(n, dtype=bool)
+        return self.hp.on_start(ctx)
+
+    def _token_table(
+        self, n: int, width: int, sel: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Token rows (stored path minus its endpoint) for ``sel`` st rows.
+
+        The WReach table is sorted by ``receiver * n + source``, so the
+        senders come out grouped ascending as the routers require.
+        """
+        assert self.wreach is not None
+        stk, stl = self.wreach.st_key[sel], self.wreach.st_len[sel]
+        seq = self.wreach.st_seq[sel]
+        senders = stk // n
+        lens = stl - 1
+        rows = np.full((len(senders), width), _PAD, dtype=np.int64)
+        w = min(width, seq.shape[1])
+        dec = np.where(seq[:, :w] >= 0, seq[:, :w] % n, _PAD)
+        cols = np.arange(w, dtype=np.int64)
+        rows[:, :w] = np.where(cols < lens[:, None], dec, _PAD)
+        return senders, lens, rows
+
+    def _open_election(self, ctx: BatchContext) -> BatchEmission | None:
+        """Elect ``min WReach_r`` per vertex and launch the elect tokens."""
+        n = ctx.n
+        wr = self.wreach
+        assert wr is not None and wr.sid_key is not None
+        assert self.in_domset is not None
+        best = wr.sid_key.copy()
+        el = np.flatnonzero(wr.st_len - 1 <= self.radius)
+        if len(el):
+            np.minimum.at(best, wr.st_key[el] // n, wr.st_seq[el, 0])
+        dominator = best % n
+        self.dominator = dominator
+        self.in_domset |= dominator == np.arange(n, dtype=np.int64)
+        # One token per non-dominator: its winning stored path, routed
+        # backward (the winner's st row is exactly (vertex, dominator)).
+        hit = np.flatnonzero(wr.st_key % n == dominator[wr.st_key // n])
+        return self.elect.load(*self._token_table(n, self.elect.width, hit))
+
+    def _settle_election(self, ctx: BatchContext) -> BatchEmission | None:
+        """Final elect round: absorb arrivals, dominators launch joins."""
+        assert self.in_domset is not None and self.in_dprime is not None
+        self.elect.clear()
+        self.in_dprime |= self.in_domset
+        if not self.connect:
+            self.halted[:] = True
+            return None
+        wr = self.wreach
+        assert wr is not None
+        n = ctx.n
+        sel = np.flatnonzero(self.in_domset[wr.st_key // n])
+        return self.join.load(*self._token_table(n, self.join.width, sel))
+
+    def on_round(self, ctx: BatchContext, round_index: int) -> BatchEmission | None:
+        t = round_index
+        r1 = order_budget(ctx.n)
+        horizon = self._horizon()
+        t_wreach_end = r1 + horizon
+        t_elect_end = t_wreach_end + self.radius
+        t_join_end = t_elect_end + 2 * self.radius + 1
+
+        if t < r1:
+            if self.hp.halted.all():
+                return None
+            return self.hp.on_round(ctx, t)
+        if t == r1:
+            # Consume the final order-phase round, then open Algorithm 4.
+            leftover = None
+            if not self.hp.halted.all():
+                leftover = self.hp.on_round(ctx, t)
+            if leftover or not self.hp.halted.all():
+                raise SimulationError(
+                    "order phase exceeded its round budget; "
+                    "raise the threshold or the budget"
+                )
+            assert self.hp.level is not None
+            self.wreach = WReachBatch(horizon, class_ids=-self.hp.level)
+            return self.wreach.on_start(ctx)
+        if t < t_wreach_end:
+            assert self.wreach is not None
+            return self.wreach.on_round(ctx, t - r1)
+        if t == t_wreach_end:
+            # Final WReach inbox, then elect min WReach_r.
+            assert self.wreach is not None
+            self.wreach.on_round(ctx, t - r1)
+            return self._open_election(ctx)
+        if t <= t_elect_end:
+            assert self.in_domset is not None
+            # Deliver: length-1 tokens have reached their dominator.
+            recv = self.elect.receivers()
+            if len(recv):
+                arrived = self.elect.lens == 1
+                self.in_domset[recv[arrived]] = True
+                fwd = ~arrived
+            else:
+                fwd = np.zeros(0, dtype=bool)
+            if t == t_elect_end:
+                # Forwards past the budget are discarded, as per-node.
+                return self._settle_election(ctx)
+            return self.elect.advance(fwd)
+        # Join routing until the fixed final round: every addressed hop
+        # joins D', tokens longer than one entry continue backward.
+        assert self.in_dprime is not None
+        recv = self.join.receivers()
+        if len(recv):
+            self.in_dprime[recv] = True
+            fwd = self.join.lens > 1
+        else:
+            fwd = np.zeros(0, dtype=bool)
+        if t >= t_join_end:
+            self.halted[:] = True
+            self.join.clear()
+            return None
+        return self.join.advance(fwd)
+
+    def outputs(self, ctx: BatchContext) -> dict[int, dict]:
+        assert self.hp.level is not None
+        if ctx.n == 0:
+            return {}
+        assert self.in_domset is not None and self.in_dprime is not None
+        assert self.dominator is not None
+        levels = self.hp.level.tolist()
+        ins = self.in_domset.tolist()
+        doms = self.dominator.tolist()
+        dps = self.in_dprime.tolist()
+        return {
+            v: {
+                "level": levels[v],
+                "in_domset": ins[v],
+                "dominator": doms[v],
+                "in_dprime": dps[v] or (ins[v] and not self.connect),
+            }
+            for v in range(ctx.n)
+        }
+
+
 @dataclass(frozen=True)
 class UnifiedResult:
     """Outputs plus the (deterministic) schedule of the unified run."""
@@ -205,15 +399,26 @@ def run_unified_bc(
     connect: bool = False,
     threshold: int | None = None,
     max_rounds: int = 100_000,
+    engine: str = "batch",
 ) -> UnifiedResult:
-    """Run the single-execution pipeline on a graph."""
+    """Run the single-execution pipeline on a graph.
+
+    ``engine`` selects the simulator path (vectorized ``"batch"`` by
+    default, per-node ``"pernode"``); outputs, rounds, and traffic
+    statistics are identical either way.
+    """
     from repro.distributed.nd_order import default_threshold
 
     thr = default_threshold(g) if threshold is None else int(threshold)
+    factory = pick_deployment(
+        engine,
+        lambda: UnifiedBatch(radius, connect),
+        lambda v: UnifiedNode(radius, connect),
+    )
     net = Network(
         g,
         Model.CONGEST_BC,
-        lambda v: UnifiedNode(radius, connect),
+        factory,
         advice={"threshold": thr},
     )
     res = net.run(max_rounds=max_rounds)

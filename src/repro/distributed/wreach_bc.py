@@ -182,12 +182,16 @@ class WReachBatch(BatchAlgorithm):
     :class:`WReachNode` (the parity suite pins both).
     """
 
-    def __init__(self, horizon: int) -> None:
+    def __init__(self, horizon: int, class_ids: np.ndarray | None = None) -> None:
         super().__init__()
         if horizon < 0:
             raise SimulationError("horizon must be >= 0")
         self.horizon = horizon
         self.width = horizon + 1  # fixed path-matrix width, in sids
+        # Classes normally come from the ``class_ids`` advice array; the
+        # unified single-execution pipeline passes the locally learned
+        # levels directly instead (mirroring WReachNode's ``sid`` arg).
+        self._class_ids = class_ids
         self.sid_key: np.ndarray | None = None
         self.min_class = 0
         # In-flight broadcasts (payload table): one row per path.
@@ -199,9 +203,14 @@ class WReachBatch(BatchAlgorithm):
         self.st_len = np.empty(0, dtype=np.int64)
         self.st_seq = np.empty((0, 0), dtype=np.int64)
 
+    def _classes(self, ctx: BatchContext) -> np.ndarray:
+        if self._class_ids is not None:
+            return np.asarray(self._class_ids, dtype=np.int64)
+        return np.asarray(ctx.advice["class_ids"], dtype=np.int64)
+
     def on_start(self, ctx: BatchContext) -> BatchEmission | None:
         n = ctx.n
-        class_ids = np.asarray(ctx.advice["class_ids"], dtype=np.int64)
+        class_ids = self._classes(ctx)
         self.halted = np.zeros(n, dtype=bool)
         self.min_class = int(class_ids.min()) if n else 0
         self.sid_key = (class_ids - self.min_class) * n + np.arange(n, dtype=np.int64)
@@ -339,8 +348,7 @@ class WReachBatch(BatchAlgorithm):
 
     def outputs(self, ctx: BatchContext) -> dict[int, WReachOutput]:
         n = ctx.n
-        class_ids = np.asarray(ctx.advice["class_ids"], dtype=np.int64)
-        classes = class_ids.tolist()
+        classes = self._classes(ctx).tolist()
         bounds = np.searchsorted(self.st_key, np.arange(n + 1, dtype=np.int64) * n)
         srcs = (self.st_key % n).tolist() if len(self.st_key) else []
         lens = self.st_len.tolist()

@@ -1,0 +1,22 @@
+"""R301: two engines declared, request engine never consulted."""
+
+
+def register_solver(name, capabilities=None):
+    def deco(fn):
+        return fn
+
+    return deco
+
+
+class SolverCapabilities:
+    def __init__(self, **kw):
+        pass
+
+
+@register_solver(
+    "fixture.deaf", capabilities=SolverCapabilities(engines=("batch", "pernode"))
+)
+def solve_fixture(req, cache):
+    # Declares both engines but always runs the same path: a request
+    # for the non-default engine would silently be ignored.
+    return req.radius

@@ -121,6 +121,104 @@ def test_election_and_domset_parity(name, g, radius):
     assert a.total_words == b.total_words
 
 
+@pytest.mark.parametrize("name,g", _instances())
+@pytest.mark.parametrize("radius", [0, 1, 2])
+def test_join_and_connect_parity(name, g, radius):
+    from repro.distributed.connect_bc import run_connect_bc, run_join
+
+    oc = distributed_h_partition_order(g)
+    wouts, _ = run_wreach_bc(g, oc.class_ids, 2 * radius + 1)
+    eouts, _ = run_election(g, oc.class_ids, wouts, radius)
+    in_domset = np.fromiter(
+        (eouts[v]["in_domset"] for v in range(g.n)), dtype=bool, count=g.n
+    )
+    a_outs, a_res = run_join(g, radius, in_domset, wouts, engine="pernode")
+    b_outs, b_res = run_join(g, radius, in_domset, wouts, engine="batch")
+    assert a_outs == b_outs
+    _assert_same_run(a_res, b_res)
+
+    a = run_connect_bc(g, radius, engine="pernode")
+    b = run_connect_bc(g, radius, engine="batch")
+    assert a.connected_set == b.connected_set
+    assert a.dominators == b.dominators
+    assert a.phase_rounds == b.phase_rounds
+    assert a.phase_max_words == b.phase_max_words
+    assert a.total_words == b.total_words
+
+
+@pytest.mark.parametrize("name,g", _instances())
+@pytest.mark.parametrize("radius", [0, 1, 2])
+def test_cluster_and_cover_parity(name, g, radius):
+    from repro.distributed.cover_bc import run_cluster, run_cover_bc
+
+    oc = distributed_h_partition_order(g)
+    wouts, _ = run_wreach_bc(g, oc.class_ids, 2 * radius)
+    a_outs, a_res = run_cluster(g, oc.class_ids, wouts, radius, engine="pernode")
+    b_outs, b_res = run_cluster(g, oc.class_ids, wouts, radius, engine="batch")
+    assert a_outs == b_outs
+    _assert_same_run(a_res, b_res)
+
+    a = run_cover_bc(g, radius, engine="pernode")
+    b = run_cover_bc(g, radius, engine="batch")
+    assert a.cover.clusters == b.cover.clusters
+    assert np.array_equal(a.cover.home_cluster, b.cover.home_cluster)
+    assert np.array_equal(a.cover.degree_per_vertex, b.cover.degree_per_vertex)
+    assert a.routing == b.routing
+    assert a.phase_rounds == b.phase_rounds
+    assert a.phase_max_words == b.phase_max_words
+    assert (a.rounds, a.max_payload_words, a.total_words) == (
+        b.rounds,
+        b.max_payload_words,
+        b.total_words,
+    )
+
+
+@pytest.mark.parametrize("name,g", _instances())
+@pytest.mark.parametrize("radius", [1, 2])
+@pytest.mark.parametrize("connect", [False, True])
+def test_unified_parity(name, g, radius, connect):
+    from repro.distributed.unified_bc import run_unified_bc
+
+    a = run_unified_bc(g, radius, connect=connect, engine="pernode")
+    b = run_unified_bc(g, radius, connect=connect, engine="batch")
+    assert a.dominators == b.dominators
+    assert a.connected_set == b.connected_set
+    assert np.array_equal(a.dominator_of, b.dominator_of)
+    assert np.array_equal(a.levels, b.levels)
+    assert (a.rounds, a.max_payload_words, a.total_words) == (
+        b.rounds,
+        b.max_payload_words,
+        b.total_words,
+    )
+
+
+@pytest.mark.parametrize("wave_width", [1, 4, 997])
+def test_wave_pipelining_parity(wave_width):
+    """Pipelined component waves change nothing observable but time.
+
+    Outputs AND the merged per-round traffic record must match the
+    lockstep batch run exactly, for every token protocol that declares
+    wave components (election, join, cluster).
+    """
+    from repro.distributed.connect_bc import run_connect_bc
+    from repro.distributed.cover_bc import run_cover_bc
+
+    geo, _ = rm.random_geometric(150, radius=None, seed=3)
+    for g in (gen.grid_2d(7, 9), geo):
+        for radius in (1, 2):
+            a = run_connect_bc(g, radius, engine="batch", wave_width=0)
+            b = run_connect_bc(g, radius, engine="batch", wave_width=wave_width)
+            assert a.connected_set == b.connected_set
+            assert a.phase_rounds == b.phase_rounds
+            assert a.total_words == b.total_words
+
+            c = run_cover_bc(g, radius, engine="batch", wave_width=0)
+            d = run_cover_bc(g, radius, engine="batch", wave_width=wave_width)
+            assert c.cover.clusters == d.cover.clusters
+            assert c.phase_rounds == d.phase_rounds
+            assert c.total_words == d.total_words
+
+
 def test_wreach_parity_with_augmented_class_ids():
     """Super-ids from the augmented order (rank-sized class ids) work too."""
     g = gen.k_tree(60, 3, seed=5)
@@ -211,13 +309,21 @@ def test_api_engine_flag_parity_and_rejection():
     assert per.total_words == bat.total_words == auto.total_words
     assert per.extras["engine"] == "pernode"
     assert bat.extras["engine"] == "batch"
-    assert auto.extras["engine"] == "batch"  # default-batch where available
+    # "auto" resolves through the measured cost model (or, without an
+    # artifact, the declared preference) — either way a declared engine.
+    assert auto.extras["engine"] in ("batch", "pernode")
+    # The unified solver is batch-capable now; both engines agree.
+    ub = solve(g, 1, "dist.congest-unified", engine="batch")
+    up = solve(g, 1, "dist.congest-unified", engine="pernode")
+    assert ub.dominators == up.dominators
+    assert ub.total_words == up.total_words
+    assert ub.extras["engine"] == "batch"
     with pytest.raises(SolverError):
         solve(g, 1, "seq.wreach", engine="batch")
     with pytest.raises(SolverError):
         solve(g, 1, "dist.congest", engine="warp")
     with pytest.raises(SolverError):
-        solve(g, 1, "dist.congest-unified", engine="batch")
+        solve(g, 1, "dist.congest-unified", engine="warp")
 
 
 def test_batch_algorithm_must_size_halted():

@@ -67,8 +67,26 @@ def test_domset_bc_engines_agree_bit_for_bit(graph_name) -> None:
 
 
 @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
-def test_unified_bc_is_run_to_run_deterministic(graph_name) -> None:
+@pytest.mark.parametrize("engine", ENGINES)
+def test_unified_bc_is_run_to_run_deterministic(graph_name, engine) -> None:
     make = GRAPHS[graph_name]
-    first = _unified_fingerprint(run_unified_bc(make(), radius=2, connect=True))
-    second = _unified_fingerprint(run_unified_bc(make(), radius=2, connect=True))
+    first = _unified_fingerprint(
+        run_unified_bc(make(), radius=2, connect=True, engine=engine)
+    )
+    second = _unified_fingerprint(
+        run_unified_bc(make(), radius=2, connect=True, engine=engine)
+    )
     assert first == second
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("connect", (False, True))
+def test_unified_bc_engines_agree_bit_for_bit(graph_name, connect) -> None:
+    make = GRAPHS[graph_name]
+    batch = _unified_fingerprint(
+        run_unified_bc(make(), radius=2, connect=connect, engine="batch")
+    )
+    pernode = _unified_fingerprint(
+        run_unified_bc(make(), radius=2, connect=connect, engine="pernode")
+    )
+    assert batch == pernode

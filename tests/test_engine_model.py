@@ -1,0 +1,153 @@
+"""The measured engine cost model behind ``engine="auto"`` resolution.
+
+Covers the model object itself (prediction, engine picking with the
+partial-calibration fallback, wave-width gating, persistence round-trip
+and schema rejection), the nonnegative fit, a tiny end-to-end
+``calibrate(quick=True)`` run with a fake clock, and the wiring into
+``SolveRequest.resolve_engine``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.engine_model import (
+    DEFAULT_MODEL_PATH,
+    MODEL_SCHEMA,
+    EngineCostModel,
+    _features,
+    _fit_nonneg,
+    calibrate,
+    default_model,
+)
+
+
+def _model(batch=1.0, pernode=2.0, **kw) -> EngineCostModel:
+    zeros = (0.0, 0.0)
+    return EngineCostModel(
+        coef={"batch": zeros + (batch,), "pernode": zeros + (pernode,)}, **kw
+    )
+
+
+def test_predict_scales_with_size_and_radius() -> None:
+    m = _model()
+    assert m.predict("batch", 100, 300, 1) < m.predict("batch", 1000, 3000, 1)
+    assert m.predict("batch", 100, 300, 1) < m.predict("batch", 100, 300, 4)
+    assert m.predict("warp", 100, 300, 1) is None
+
+
+def test_pick_engine_prefers_cheaper_and_respects_declaration_order() -> None:
+    m = _model(batch=1.0, pernode=2.0)
+    assert m.pick_engine(500, 1500, 2, ("pernode", "batch")) == "batch"
+    m = _model(batch=3.0, pernode=2.0)
+    assert m.pick_engine(500, 1500, 2, ("pernode", "batch")) == "pernode"
+    # Exact tie keeps declaration order.
+    m = _model(batch=2.0, pernode=2.0)
+    assert m.pick_engine(500, 1500, 2, ("pernode", "batch")) == "pernode"
+
+
+def test_pick_engine_falls_back_when_partially_calibrated() -> None:
+    m = EngineCostModel(coef={"batch": (0.0, 0.0, 1.0)})
+    # "pernode" was never measured: the declared preference wins even
+    # though "batch" has a (cheap) prediction.
+    assert m.pick_engine(500, 1500, 2, ("pernode", "batch")) == "pernode"
+
+
+def test_pick_wave_width_gates_on_instance_size() -> None:
+    m = _model(wave_width=16, wave_min_n=1000)
+    assert m.pick_wave_width(999, 3000, 2) == 0
+    assert m.pick_wave_width(1000, 3000, 2) == 16
+    lockstep = _model(wave_width=0, wave_min_n=0)
+    assert lockstep.pick_wave_width(10**6, 3 * 10**6, 2) == 0
+
+
+def test_round_trip_and_schema_rejection(tmp_path) -> None:
+    m = _model(wave_width=64, wave_min_n=4000, meta={"radius": 2})
+    path = tmp_path / "model.json"
+    m.save(path)
+    back = EngineCostModel.load(path)
+    assert back is not None
+    assert back.coef == m.coef
+    assert (back.wave_width, back.wave_min_n) == (64, 4000)
+    assert back.meta == {"radius": 2}
+
+    doc = json.loads(path.read_text())
+    doc["schema"] = MODEL_SCHEMA + 1
+    path.write_text(json.dumps(doc))
+    assert EngineCostModel.load(path) is None  # never raises on stale schema
+    with pytest.raises(ValueError):
+        EngineCostModel.from_dict(doc)
+    assert EngineCostModel.load(tmp_path / "absent.json") is None
+
+
+def test_fit_nonneg_clips_and_refits() -> None:
+    rng = np.random.default_rng(0)
+    X = np.stack([_features(n, 3 * n, 2) for n in (100, 300, 900, 2700)])
+    y = X @ np.array([0.01, 0.002, 1e-6]) + rng.normal(0, 1e-5, size=4)
+    coef = np.asarray(_fit_nonneg(X, y))
+    assert (coef >= 0).all()
+    assert np.allclose(X @ coef, y, rtol=0.05)
+    # A target anti-correlated with one feature clips it to exactly 0.
+    y_neg = -X[:, 2] + 10.0
+    coef = np.asarray(_fit_nonneg(X, np.maximum(y_neg, 0)))
+    assert (coef >= 0).all()
+
+
+def test_calibrate_quick_produces_usable_model() -> None:
+    ticks = iter(range(10_000))
+
+    def fake_clock() -> float:
+        return float(next(ticks))
+
+    m = calibrate(quick=True, radius=1, clock=fake_clock)
+    assert set(m.coef) == {"batch", "pernode"}
+    for c in m.coef.values():
+        assert len(c) == 3 and all(x >= 0 for x in c)
+    assert m.pick_engine(500, 1500, 1, ("batch", "pernode")) in (
+        "batch",
+        "pernode",
+    )
+    assert m.meta["quick"] is True
+    assert {"n", "m", "batch", "pernode"} <= set(
+        m.meta["timings"]["delaunay200"]
+    )
+
+
+def test_committed_artifact_loads_and_is_current_schema() -> None:
+    assert DEFAULT_MODEL_PATH.exists(), "calibration artifact must be committed"
+    doc = json.loads(DEFAULT_MODEL_PATH.read_text())
+    assert doc["schema"] == MODEL_SCHEMA
+    m = default_model()
+    assert m is not None
+    assert set(m.coef) >= {"batch", "pernode"}
+    # The artifact must cover both simulator engines; otherwise "auto"
+    # silently degenerates to the declared preference everywhere.
+    assert m.pick_engine(2000, 6000, 2, ("batch", "pernode")) in (
+        "batch",
+        "pernode",
+    )
+
+
+def test_resolve_engine_consults_the_model() -> None:
+    from repro.api.types import SolverCapabilities, SolveRequest
+    from repro.graphs.generators import grid_2d
+
+    g = grid_2d(8, 8)
+    caps = SolverCapabilities(engines=("batch", "pernode"))
+    req = SolveRequest(graph=g, radius=2)
+
+    prefers_pernode = _model(batch=5.0, pernode=1.0)
+    assert req.resolve_engine(caps, cost_model=prefers_pernode) == "pernode"
+    prefers_batch = _model(batch=1.0, pernode=5.0)
+    assert req.resolve_engine(caps, cost_model=prefers_batch) == "batch"
+
+    # Explicit engine requests bypass the model entirely.
+    explicit = SolveRequest(graph=g, radius=2, engine="pernode")
+    assert explicit.resolve_engine(caps, cost_model=prefers_batch) == "pernode"
+
+    # Single-engine solvers never consult the model.
+    solo = SolverCapabilities(engines=("pernode",))
+    assert req.resolve_engine(solo, cost_model=prefers_batch) == "pernode"

@@ -142,7 +142,7 @@ def test_cli_list_solvers_shows_engines_and_radius(capsys):
     unified = next(
         ln for ln in out.splitlines() if ln.startswith("dist.congest-unified")
     )
-    assert "pernode" in unified and "batch/" not in unified
+    assert "batch/pernode" in unified  # batch-capable since the UnifiedBatch port
     greedy = next(ln for ln in out.splitlines() if ln.startswith("seq.greedy"))
     assert " - " in greedy  # engine-free solvers show a dash
 

@@ -32,6 +32,7 @@ FIXTURE_RULES = {
     "d203_unseeded_random": "D203",
     "d204_id_keys": "D204",
     "r301_caps_mismatch": "R301",
+    "r301_engines_ignored": "R301",
     "r302_cache_reachin": "R302",
 }
 
