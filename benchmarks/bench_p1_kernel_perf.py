@@ -37,13 +37,28 @@ Times the hot kernels this repo's guarantees are computed with:
   along with identical outputs).  The ratio is what a second *process*
   saves by inheriting a warm :class:`repro.api.store.ArtifactStore`.
 
+Every instance row also records **peak RSS**: a fresh subprocess per
+instance runs the shipping kernel workload (CSR sweep, path sweep,
+domset, degeneracy) and reports ``ru_maxrss`` — lifetime high-water
+marks need process isolation to be attributable to one instance.
+
+``--large`` appends the million-node family: ≥10^6-vertex instances
+(grid / Delaunay / road-like), each run end-to-end in its own
+subprocess — ``npz ingest → degeneracy → warm store → seq.rdomset-orient``
+and ``→ domset_by_wreach`` over the CSR path — with wall time and peak
+RSS per stage, plus a warm-start comparison: a full-read load process
+vs an ``mmap=True`` load process over the same store (identical solver
+outputs asserted via checksums; the mmap load must measure faster and
+lighter, exit 1 otherwise).
+
 Results go to ``BENCH_kernels.json`` at the repo root (the perf
-trajectory later PRs are judged against, schema 5) and a human-readable
+trajectory later PRs are judged against, schema 6) and a human-readable
 table in ``benchmarks/results/p1_kernel_perf.txt``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_p1_kernel_perf.py            # full
+    PYTHONPATH=src python benchmarks/bench_p1_kernel_perf.py --large    # + 10^6
     PYTHONPATH=src python benchmarks/bench_p1_kernel_perf.py --smoke    # CI
 
 ``--smoke`` runs a small instance set and **fails (exit 1)** if
@@ -56,18 +71,21 @@ Usage::
   (``benchmarks/results/p1_smoke_baseline.json`` — speedup *ratios*
   are compared, not absolute seconds, so shared CI runners don't flake
   it).  Regenerate the baseline after an intentional perf change with
-  ``--smoke --out benchmarks/results/p1_smoke_baseline.json``.
-
-Every timing is the minimum over ``--repeats`` runs (simulations run
-once); outputs are asserted identical to the reference before anything
-is timed.
+  ``--smoke --out benchmarks/results/p1_smoke_baseline.json``, or
+* the mid-size instance's isolated-subprocess peak RSS exceeds the
+  committed baseline by more than ``--memory-factor`` (default 1.5x) —
+  the memory regression gate; RSS for a fixed instance is stable
+  across runners in a way wall time is not.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import os
 import pathlib
+import subprocess
 import sys
 import tempfile
 import time
@@ -75,8 +93,14 @@ import time
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+import numpy as np  # noqa: E402
+
 from repro.api.engine_model import default_model  # noqa: E402
-from repro.bench.harness import write_result  # noqa: E402
+from repro.bench.harness import (  # noqa: E402
+    peak_rss_kb,
+    reset_peak_rss,
+    write_result,
+)
 from repro.bench.tables import Table  # noqa: E402
 from repro.core.covers import build_cover, build_cover_lists  # noqa: E402
 from repro.core.domset import (  # noqa: E402
@@ -136,6 +160,206 @@ SMOKE_INSTANCES = [
     ("delaunay700", "planar", lambda: rm.delaunay_graph(700, seed=12)[0]),
     ("geometric600", "random-BE", lambda: _geometric(600, 13)),
 ]
+
+# ---------------------------------------------------------------------------
+# Million-node family (--large).  Builders return (n, edge_array) from
+# pure numpy passes — the Python-loop generators in graphs/generators.py
+# are 10^2x too slow at this scale.
+# ---------------------------------------------------------------------------
+
+def _grid_edges(a: int, b: int) -> tuple[int, "np.ndarray"]:
+    ids = np.arange(a * b, dtype=np.int64).reshape(a, b)
+    horiz = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    vert = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    return a * b, np.concatenate([horiz, vert])
+
+
+def _delaunay_edges(n: int, seed: int) -> tuple[int, "np.ndarray"]:
+    from scipy.spatial import Delaunay
+
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    tri = Delaunay(pts)
+    s = tri.simplices.astype(np.int64)
+    return n, np.concatenate([s[:, [0, 1]], s[:, [1, 2]], s[:, [0, 2]]])
+
+
+def _roadlike_edges(a: int, b: int, seed: int) -> tuple[int, "np.ndarray"]:
+    """Degraded grid + sparse diagonal shortcuts — road-network-shaped:
+    mostly degree ≤ 4, long geodesics, a few percent of junction links."""
+    n, grid = _grid_edges(a, b)
+    rng = np.random.default_rng(seed)
+    kept = grid[rng.random(len(grid)) > 0.07]
+    ids = np.arange(n, dtype=np.int64).reshape(a, b)
+    diag = np.stack([ids[:-1, :-1].ravel(), ids[1:, 1:].ravel()], axis=1)
+    shortcuts = diag[rng.random(len(diag)) < 0.03]
+    return n, np.concatenate([kept, shortcuts])
+
+
+#: name -> builder; every instance has >= 10^6 vertices.
+LARGE_INSTANCES = {
+    "grid1000x1000": lambda: _grid_edges(1000, 1000),
+    "delaunay1M": lambda: _delaunay_edges(1_000_000, seed=12),
+    "roadlike1M": lambda: _roadlike_edges(1000, 1000, seed=12),
+}
+
+#: Orientation tier radius / CSR-path radius used in the large rows.
+LARGE_ORIENT_RADIUS = 2
+LARGE_DOMSET_RADIUS = 1
+
+#: The smoke instance the memory regression gate isolates (mid-size:
+#: big enough that the batch kernels dominate the footprint, small
+#: enough for CI).
+MEMORY_GATE_INSTANCE = "ktree700"
+
+
+def _run_child(*argv: str) -> dict:
+    """Run this script in a child process, parse its JSON last line."""
+    cmd = [sys.executable, str(pathlib.Path(__file__).resolve()), *argv]
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise RuntimeError(f"child {argv} failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _child_measure_rss(name: str) -> None:
+    """Isolated peak-RSS probe: the shipping kernel workload on one
+    instance (no naive references — they'd dominate the footprint)."""
+    reset_peak_rss()  # ru_maxrss-style peaks are inherited across exec
+    build = {n: b for n, _, b in FULL_INSTANCES + SMOKE_INSTANCES}[name]
+    g = build()
+    order, _ = degeneracy_order(g)
+    reach = 2 * RADIUS
+    adj = flat.RankedAdjacency(g, order)
+    flat.wreach_csr(g, order, reach, adj=adj)
+    flat.wreach_sets_with_paths(g, order, reach, adj=adj)
+    domset_by_wreach(g, order, RADIUS, adj=adj)
+    build_cover(g, order, RADIUS)
+    print(json.dumps({"name": name, "peak_rss_kb": peak_rss_kb()}))
+
+
+def _child_large_pipeline(name: str, store_dir: str) -> None:
+    """End-to-end million-node pipeline, timed per stage, one process."""
+    from repro.api.store import ArtifactStore, graph_digest, order_digest
+    from repro.core.rdomset_orient import rdomset_orient
+    from repro.graphs.io import read_edge_npz
+
+    reset_peak_rss()
+    n, edges = LARGE_INSTANCES[name]()
+    store = pathlib.Path(store_dir)
+    epath = store / "edges.npz"
+    with open(epath, "wb") as fh:
+        np.savez(fh, n=np.int64(n), edges=edges)
+    del edges
+
+    t0 = time.perf_counter()
+    g = read_edge_npz(epath)
+    t_ingest = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    order, _ = degeneracy_order(g)
+    t_order = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    adj = flat.RankedAdjacency(g, order)
+    csr = flat.wreach_csr(g, order, LARGE_DOMSET_RADIUS, adj=adj)
+    t_wreach = time.perf_counter() - t0
+
+    art = ArtifactStore(store)
+    gd = art.put_graph(g)
+    od = order_digest(order)
+    art.put_order(gd, "degeneracy", LARGE_DOMSET_RADIUS, order)
+    art.put_rank_adj(gd, od, adj)
+    art.put_wreach(gd, od, LARGE_DOMSET_RADIUS, csr)
+    (store / "meta.json").write_text(json.dumps({"gd": gd, "od": od}))
+
+    t0 = time.perf_counter()
+    orient = rdomset_orient(g, order, LARGE_ORIENT_RADIUS, adj=adj)
+    t_orient = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    dom = domset_by_wreach(g, order, LARGE_DOMSET_RADIUS, csr=csr)
+    t_domset = time.perf_counter() - t0
+    print(json.dumps({
+        "name": name, "n": g.n, "m": g.m,
+        "ingest_s": t_ingest, "degeneracy_s": t_order, "wreach_s": t_wreach,
+        "rdomset_orient": {"radius": LARGE_ORIENT_RADIUS, "wall_s": t_orient,
+                           "size": len(orient.dominators)},
+        "domset_csr": {"radius": LARGE_DOMSET_RADIUS, "wall_s": t_domset,
+                       "size": len(dom.dominators)},
+        "peak_rss_kb": peak_rss_kb(),
+    }))
+
+
+def _child_large_load(name: str, store_dir: str, mmap: bool) -> None:
+    """Warm-start load (+ solve for output checksums) over a warm store.
+
+    ``rss_load_kb`` is sampled right after the loads — ``ru_maxrss`` is
+    a high-water mark, so at that point it is the load footprint.
+    """
+    from repro.api.store import ArtifactStore
+    from repro.core.rdomset_orient import rdomset_orient
+
+    reset_peak_rss()
+    store = pathlib.Path(store_dir)
+    meta = json.loads((store / "meta.json").read_text())
+    art = ArtifactStore(store, mmap=mmap)
+    t0 = time.perf_counter()
+    g = art.get_graph(meta["gd"])
+    order = art.get_order(meta["gd"], "degeneracy", LARGE_DOMSET_RADIUS, n=g.n)
+    adj = art.get_rank_adj(meta["gd"], meta["od"], g, order)
+    csr = art.get_wreach(meta["gd"], meta["od"], LARGE_DOMSET_RADIUS, g, order)
+    t_load = time.perf_counter() - t0
+    rss_load = peak_rss_kb()
+    assert None not in (g, order, adj, csr), "warm store missed an artifact"
+
+    dom = domset_by_wreach(g, order, LARGE_DOMSET_RADIUS, csr=csr)
+    orient = rdomset_orient(g, order, LARGE_ORIENT_RADIUS, adj=adj)
+    print(json.dumps({
+        "name": name, "mmap": mmap, "load_s": t_load,
+        "rss_load_kb": rss_load, "rss_total_kb": peak_rss_kb(),
+        "domset_checksum": hashlib.blake2b(
+            dom.dominator_of.tobytes(), digest_size=8).hexdigest(),
+        "orient_checksum": hashlib.blake2b(
+            orient.dominator_of.tobytes(), digest_size=8).hexdigest(),
+    }))
+
+
+def bench_large() -> list[dict]:
+    """Run every LARGE_INSTANCES row in isolated subprocesses."""
+    rows = []
+    for name in LARGE_INSTANCES:
+        with tempfile.TemporaryDirectory() as tmp:
+            row = _run_child("--child", "large-pipeline", "--instance", name,
+                             "--store", tmp)
+            full = _run_child("--child", "large-load", "--instance", name,
+                              "--store", tmp)
+            mm = _run_child("--child", "large-load", "--instance", name,
+                            "--store", tmp, "--mmap")
+        for key in ("domset_checksum", "orient_checksum"):
+            if full[key] != mm[key]:
+                raise AssertionError(f"{name}: mmap load changed {key}")
+        row["warm_load"] = {
+            "full": {k: full[k] for k in ("load_s", "rss_load_kb", "rss_total_kb")},
+            "mmap": {k: mm[k] for k in ("load_s", "rss_load_kb", "rss_total_kb")},
+            "load_speedup": full["load_s"] / mm["load_s"],
+            "load_rss_ratio": full["rss_load_kb"] / mm["rss_load_kb"],
+        }
+        rows.append(row)
+        w = row["warm_load"]
+        print(
+            f"  [{name}] n={row['n']} ingest {row['ingest_s']:.2f}s  "
+            f"degen {row['degeneracy_s']:.2f}s  wreach {row['wreach_s']:.2f}s  "
+            f"orient {row['rdomset_orient']['wall_s']:.2f}s  "
+            f"domset {row['domset_csr']['wall_s']:.2f}s  "
+            f"rss {row['peak_rss_kb'] // 1024} MB  "
+            f"load full {w['full']['load_s']:.3f}s/"
+            f"{w['full']['rss_load_kb'] // 1024} MB vs "
+            f"mmap {w['mmap']['load_s']:.3f}s/"
+            f"{w['mmap']['rss_load_kb'] // 1024} MB "
+            f"({w['load_speedup']:.1f}x, rss {w['load_rss_ratio']:.1f}x)",
+            flush=True,
+        )
+    return rows
+
 
 #: Per-instance speedup rows; the smoke gate fails when any of them
 #: measures slower than its reference.
@@ -463,7 +687,34 @@ def main(argv=None) -> int:
         default=1.5,
         help="max tolerated speedup regression vs the baseline (smoke gate)",
     )
+    ap.add_argument(
+        "--memory-factor",
+        type=float,
+        default=1.5,
+        help="max tolerated peak-RSS growth vs the baseline (smoke gate)",
+    )
+    ap.add_argument(
+        "--large",
+        action="store_true",
+        help="also run the >=10^6-vertex family (subprocess-isolated)",
+    )
+    # Internal subprocess entry points (RSS needs process isolation).
+    ap.add_argument("--child", choices=["measure-rss", "large-pipeline", "large-load"],
+                    help=argparse.SUPPRESS)
+    ap.add_argument("--instance", help=argparse.SUPPRESS)
+    ap.add_argument("--store", help=argparse.SUPPRESS)
+    ap.add_argument("--mmap", action="store_true", help=argparse.SUPPRESS)
     args = ap.parse_args(argv)
+
+    if args.child == "measure-rss":
+        _child_measure_rss(args.instance)
+        return 0
+    if args.child == "large-pipeline":
+        _child_large_pipeline(args.instance, args.store)
+        return 0
+    if args.child == "large-load":
+        _child_large_load(args.instance, args.store, args.mmap)
+        return 0
 
     instances = SMOKE_INSTANCES if args.smoke else FULL_INSTANCES
     out_path = args.out or (
@@ -473,14 +724,20 @@ def main(argv=None) -> int:
     table = Table(
         f"P1: flat/batch kernels vs references (reach = 2r = {2 * RADIUS})",
         [
-            "instance", "n", "wcol", "sets x", "csr x", "wcol x", "paths x",
-            "domset x", "covers x", "degen x", "warm x", "domset_bc",
-            "connect x", "cover x", "unified x", "waves x", "auto",
+            "instance", "n", "wcol", "rss MB", "sets x", "csr x", "wcol x",
+            "paths x", "domset x", "covers x", "degen x", "warm x",
+            "domset_bc", "connect x", "cover x", "unified x", "waves x",
+            "auto",
         ],
     )
     rows = []
     for name, family, build in instances:
         row = bench_instance(name, family, build, args.repeats)
+        # Isolated subprocess: this instance's kernel-workload peak RSS
+        # (in-process ru_maxrss is a lifetime max, not attributable).
+        row["peak_rss_kb"] = _run_child(
+            "--child", "measure-rss", "--instance", name
+        )["peak_rss_kb"]
         rows.append(row)
         sim = row["domset_bc"]
         auto = row["engine_auto"]
@@ -488,6 +745,7 @@ def main(argv=None) -> int:
             name,
             row["n"],
             row["wcol"],
+            f"{row['peak_rss_kb'] / 1024:.0f}",
             f"{row['wreach_sets']['speedup']:.1f}",
             f"{row['wreach_csr']['speedup']:.1f}",
             f"{row['wcol_kernel']['speedup']:.1f}",
@@ -522,9 +780,14 @@ def main(argv=None) -> int:
             flush=True,
         )
 
+    large_rows = []
+    if args.large:
+        print("large instances (>=10^6 vertices, subprocess-isolated):")
+        large_rows = bench_large()
+
     largest = max(rows, key=lambda r: r["n"])
     report = {
-        "schema": 5,
+        "schema": 6,
         "benchmark": "p1_kernel_perf",
         "mode": "smoke" if args.smoke else "full",
         "radius": RADIUS,
@@ -532,6 +795,7 @@ def main(argv=None) -> int:
         "repeats": args.repeats,
         "engines": ["batch", "pernode"],
         "instances": rows,
+        "large_instances": large_rows,
         "largest_instance": {
             "name": largest["name"],
             "n": largest["n"],
@@ -589,7 +853,53 @@ def main(argv=None) -> int:
             for msg in failures:
                 print(f"PERF REGRESSION: {msg}")
             return 1
+        failures = _memory_gate(rows, args.baseline, args.memory_factor)
+        if failures:
+            for msg in failures:
+                print(f"MEMORY REGRESSION: {msg}")
+            return 1
+
+    if args.large:
+        weak = [
+            (r["name"], r["warm_load"]["load_speedup"], r["warm_load"]["load_rss_ratio"])
+            for r in large_rows
+            if r["warm_load"]["load_speedup"] <= 1.0
+            or r["warm_load"]["load_rss_ratio"] <= 1.0
+        ]
+        if weak:
+            print(f"MMAP REGRESSION: warm-start mmap loads not measurably lighter: {weak}")
+            return 1
+        print("large ok: mmap warm starts faster and lighter than full reads everywhere")
     return 0
+
+
+def _memory_gate(rows, baseline_path, factor) -> list[str]:
+    """The mid-size instance's isolated peak RSS vs the committed
+    baseline.  Unlike wall time, the footprint of a fixed instance is
+    stable across shared runners, so an absolute-ratio gate holds."""
+    if not baseline_path.exists():
+        return []
+    baseline = json.loads(baseline_path.read_text())
+    base_rows = {r["name"]: r for r in baseline.get("instances", [])}
+    base = base_rows.get(MEMORY_GATE_INSTANCE, {}).get("peak_rss_kb")
+    if base is None:
+        print("note: baseline has no peak_rss_kb; memory gate skipped")
+        return []
+    now = next(
+        (r["peak_rss_kb"] for r in rows if r["name"] == MEMORY_GATE_INSTANCE), None
+    )
+    if now is None:
+        return []
+    if now > base * factor:
+        return [
+            f"{MEMORY_GATE_INSTANCE}: peak RSS {now} KB exceeds baseline "
+            f"{base} KB * {factor:.1f}"
+        ]
+    print(
+        f"smoke ok: {MEMORY_GATE_INSTANCE} peak RSS {now // 1024} MB within "
+        f"{factor:.1f}x of the baseline ({base // 1024} MB)"
+    )
+    return []
 
 
 def _ratio_gate(rows, baseline_path, factor) -> list[str]:

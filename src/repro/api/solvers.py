@@ -103,6 +103,31 @@ def _seq_wreach_min(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
 
 
 @register_solver(
+    "seq.rdomset-orient",
+    SolverCapabilities(
+        model="sequential",
+        supports_order_strategy=True,
+        guarantee="valid distance-r set; elected via WReach_r witnesses "
+        "(monotone paths only — no Theorem-5 constant)",
+        description="spacegraphcats-style orientation tier: r rounds of "
+        "in-neighbor label propagation, O(r*m) flat passes",
+    ),
+)
+def _seq_rdomset_orient(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
+    from repro.core.rdomset_orient import rdomset_orient
+
+    order = cache.order(req.graph, req.order_strategy, req.radius)
+    adj = cache.rank_adjacency(req.graph, order)
+    ds = rdomset_orient(req.graph, order, req.radius, adj=adj)
+    return SolverOutput(
+        dominators=ds.dominators,
+        dominator_of=ds.dominator_of,
+        order=order,
+        raw=ds,
+    )
+
+
+@register_solver(
     "seq.dvorak",
     SolverCapabilities(
         model="sequential",

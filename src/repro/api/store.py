@@ -26,6 +26,16 @@ permutations.  Writes go through a temp file + ``os.replace`` so a
 concurrent reader (pooled workers sharing one store) never sees a
 partial file; any unreadable or malformed entry is treated as a miss.
 
+``ArtifactStore(root, mmap=True)`` (or ``REPRO_STORE_MMAP=1``) switches
+loads to zero-copy memory maps via :mod:`repro.graphs.npzmap`: warm
+starts page in only the bytes a solver touches instead of reading whole
+artifacts.  On that path the content digest is *not* re-hashed (it
+would fault in every page); instead each member's zip/npy headers and
+exact byte length are validated before mapping, and the structural
+checks below still run — truncated or partially-written files are
+misses in both modes.  ``np.savez`` stores members uncompressed, so
+files written by either mode are readable by both.
+
 :class:`~repro.api.cache.PrecomputeCache` layers its LRU tables over a
 store (two-tier read-through) — see ``PrecomputeCache(store=...)`` and
 :class:`repro.api.workspace.Workspace`, which wires the two together.
@@ -84,12 +94,16 @@ class ArtifactStore:
     #: Artifact categories, in the order ``describe()`` reports them.
     CATEGORIES = ("graphs", "orders", "rank_adj", "wreach", "wcol", "dist_orders")
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike, *, mmap: bool | None = None):
         self.root = pathlib.Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
+        if mmap is None:
+            mmap = os.environ.get("REPRO_STORE_MMAP", "") not in ("", "0")
+        self.mmap = bool(mmap)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"ArtifactStore({str(self.root)!r})"
+        flag = ", mmap=True" if self.mmap else ""
+        return f"ArtifactStore({str(self.root)!r}{flag})"
 
     # -- low-level npz I/O -------------------------------------------------
     def _save(self, path: pathlib.Path, **arrays: Any) -> None:
@@ -112,7 +126,21 @@ class ArtifactStore:
             tmp.unlink(missing_ok=True)
 
     def _load(self, path: pathlib.Path, *names: str) -> tuple[np.ndarray, ...] | None:
-        """The named arrays of an npz file, or ``None`` on any failure."""
+        """The named arrays of an npz file, or ``None`` on any failure.
+
+        In mmap mode the arrays come back as read-only ``np.memmap``
+        views; :func:`repro.graphs.npzmap.mmap_npz` validates member
+        offsets, npy headers, and exact payload lengths first, so a
+        truncated or partially-written file is a miss, never a mapped
+        array of garbage tail bytes.
+        """
+        if self.mmap:
+            from repro.graphs.npzmap import mmap_npz
+
+            try:
+                return mmap_npz(path, *names)
+            except _LOAD_ERRORS:
+                return None
         try:
             with np.load(path, allow_pickle=False) as data:
                 return tuple(data[name] for name in names)
@@ -138,11 +166,28 @@ class ArtifactStore:
         return digest
 
     def get_graph(self, digest: str) -> Graph | None:
-        """Load a graph by digest, verified against its own content."""
+        """Load a graph by digest, verified against its own content.
+
+        Full-read mode re-hashes the CSR bytes — only the exact bytes
+        that were stored can hash back to the requested key.  Mmap mode
+        must not (hashing faults in every page), so it relies on the
+        member-level size/header validation done while mapping plus the
+        structural indptr checks below; content integrity is the
+        filesystem's job there, as for any mapped database file.
+        """
         loaded = self._load(self._graph_path(digest), "indptr", "indices")
         if loaded is None:
             return None
         indptr, indices = loaded
+        if (
+            indptr.ndim != 1
+            or indices.ndim != 1
+            or len(indptr) < 1
+            or indptr[0] != 0
+            or int(indptr[-1]) != len(indices)
+            or bool(np.any(np.diff(indptr) < 0))
+        ):
+            return None
         try:
             g = Graph(
                 indptr.astype(np.int64, copy=False),
@@ -151,8 +196,8 @@ class ArtifactStore:
             )
         except _LOAD_ERRORS:
             return None
-        # The digest check subsumes structural validation: only the exact
-        # CSR bytes that were stored can hash back to the requested key.
+        if self.mmap:
+            return g
         return g if graph_digest(g) == digest else None
 
     def graph_digests(self) -> list[str]:

@@ -21,9 +21,58 @@ from typing import Iterable
 
 from repro.bench.tables import Table
 
-__all__ = ["write_result", "render_runs", "RESULTS_DIR"]
+__all__ = [
+    "write_result", "render_runs", "peak_rss_kb", "reset_peak_rss",
+    "RESULTS_DIR",
+]
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def peak_rss_kb() -> int | None:
+    """This process's peak resident set size, in KiB.
+
+    Prefers ``VmHWM`` from ``/proc/self/status``: unlike
+    ``ru_maxrss`` — which Linux carries over ``exec``, so a subprocess
+    spawned from a fat parent starts life reporting the *parent's*
+    peak — ``VmHWM`` belongs to this process alone and can be reset
+    (:func:`reset_peak_rss`).  Falls back to ``getrusage`` elsewhere
+    (normalized to KiB; bytes on macOS) and returns ``None`` where
+    neither source exists.  The counter is a high-water mark: for
+    per-instance numbers, run each instance in a fresh subprocess —
+    see ``bench_p1_kernel_perf.py --large``.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        rss //= 1024
+    return int(rss)
+
+
+def reset_peak_rss() -> bool:
+    """Reset this process's RSS high-water mark (Linux; best-effort).
+
+    Writing ``5`` to ``/proc/self/clear_refs`` zeroes ``VmHWM`` so a
+    measurement window can start from the current footprint instead of
+    the lifetime (or inherited) peak.  Returns whether the reset took.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+        return True
+    except OSError:  # pragma: no cover - non-Linux / restricted procfs
+        return False
 
 
 def render_runs(runs: Iterable) -> str:
@@ -48,7 +97,11 @@ def write_result(name: str, *tables: Table, runs: Iterable | None = None) -> str
     each row and how long it took, so ``benchmarks/results/*.txt`` can
     be interpreted without consulting the generating script, and the
     full results land in ``<name>.runs.json`` in the shared
-    ``SolveResult`` JSON schema for programmatic readers.
+    ``SolveResult`` JSON schema for programmatic readers.  Each row is
+    additionally stamped with ``peak_rss_kb`` — the generating
+    process's peak RSS at write time — so every benchmark series
+    carries memory provenance for free (``SolveResult.from_dict``
+    ignores the extra key).
     """
     runs = list(runs) if runs is not None else []
     parts = [t.render() for t in tables]
@@ -60,7 +113,9 @@ def write_result(name: str, *tables: Table, runs: Iterable | None = None) -> str
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         if runs:
-            payload = json.dumps([res.to_dict() for res in runs], indent=2)
+            rss = peak_rss_kb()
+            rows = [dict(res.to_dict(), peak_rss_kb=rss) for res in runs]
+            payload = json.dumps(rows, indent=2)
             (RESULTS_DIR / f"{name}.runs.json").write_text(payload + "\n")
     except OSError:  # pragma: no cover - read-only checkouts still print
         pass

@@ -3,6 +3,7 @@
 from repro.graphs.graph import Graph
 from repro.graphs.build import (
     from_edges,
+    from_edges_stream,
     from_adjacency,
     from_networkx,
     to_networkx,
@@ -23,6 +24,7 @@ from repro.graphs.components import connected_components, is_connected, largest_
 __all__ = [
     "Graph",
     "from_edges",
+    "from_edges_stream",
     "from_adjacency",
     "from_networkx",
     "to_networkx",

@@ -2,6 +2,12 @@
 
 All constructors normalize input (deduplicate edges, drop self-loops is an
 error, sort adjacency) and produce the canonical CSR representation.
+
+Two ingest shapes share one array-space core
+(:func:`_csr_from_canonical`): :func:`from_edges` for in-memory edge
+arrays and :func:`from_edges_stream` for chunked million-edge inputs
+that must never materialize Python per-edge tuples.  Both produce
+bit-identical CSRs for the same edge multiset.
 """
 
 from __future__ import annotations
@@ -13,7 +19,14 @@ import numpy as np
 from repro.errors import GraphError
 from repro.graphs.graph import Graph
 
-__all__ = ["from_edges", "from_adjacency", "from_networkx", "to_networkx", "empty_graph"]
+__all__ = [
+    "from_edges",
+    "from_edges_stream",
+    "from_adjacency",
+    "from_networkx",
+    "to_networkx",
+    "empty_graph",
+]
 
 
 def empty_graph(n: int) -> Graph:
@@ -23,6 +36,41 @@ def empty_graph(n: int) -> Graph:
     return Graph(
         np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int32), _checked=True
     )
+
+
+def _canonical_keys(n: int, arr: np.ndarray) -> np.ndarray:
+    """Validated, per-call-deduplicated canonical edge keys ``lo * n + hi``.
+
+    ``arr`` is an ``(k, 2)`` int64 endpoint array.  The key encodes the
+    undirected edge ``{lo, hi}`` as one int64, so global dedup and
+    symmetrization both happen in flat array space.
+    """
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphError("edges must be pairs")
+    if arr.min() < 0 or arr.max() >= n:
+        raise GraphError("edge endpoint out of range")
+    if np.any(arr[:, 0] == arr[:, 1]):
+        raise GraphError("self-loops are not allowed")
+    lo = np.minimum(arr[:, 0], arr[:, 1])
+    hi = np.maximum(arr[:, 0], arr[:, 1])
+    return np.unique(lo * np.int64(n) + hi)
+
+
+def _csr_from_canonical(n: int, lo: np.ndarray, hi: np.ndarray) -> Graph:
+    """CSR from deduplicated canonical endpoints (``lo < hi`` per edge).
+
+    Symmetrizes and buckets by source with a stable counting sort —
+    the single normalization every constructor funnels through, so any
+    ingest path yields the same bytes for the same edge set.
+    """
+    src = np.concatenate([lo, hi])
+    dst = np.concatenate([hi, lo])
+    order = np.argsort(src * np.int64(n) + dst, kind="stable")
+    src, dst = src[order], dst[order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return Graph(indptr, dst.astype(np.int32), _checked=True)
 
 
 def from_edges(n: int, edges: Iterable[tuple[int, int]] | np.ndarray) -> Graph:
@@ -35,45 +83,60 @@ def from_edges(n: int, edges: Iterable[tuple[int, int]] | np.ndarray) -> Graph:
     )
     if arr.size == 0:
         return empty_graph(n)
-    if arr.ndim != 2 or arr.shape[1] != 2:
-        raise GraphError("edges must be pairs")
-    if arr.min() < 0 or arr.max() >= n:
-        raise GraphError("edge endpoint out of range")
-    if np.any(arr[:, 0] == arr[:, 1]):
-        raise GraphError("self-loops are not allowed")
-    lo = np.minimum(arr[:, 0], arr[:, 1])
-    hi = np.maximum(arr[:, 0], arr[:, 1])
-    key = lo * np.int64(n) + hi
-    _, first = np.unique(key, return_index=True)
-    lo, hi = lo[first], hi[first]
-    # Symmetrize, then bucket by source with a stable counting sort.
-    src = np.concatenate([lo, hi])
-    dst = np.concatenate([hi, lo])
-    order = np.argsort(src * np.int64(n) + dst, kind="stable")
-    src, dst = src[order], dst[order]
-    counts = np.bincount(src, minlength=n)
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(counts, out=indptr[1:])
-    return Graph(indptr, dst.astype(np.int32), _checked=True)
+    key = _canonical_keys(n, arr)
+    return _csr_from_canonical(n, key // np.int64(n), key % np.int64(n))
+
+
+def from_edges_stream(
+    n: int, chunks: Iterable[np.ndarray | Sequence[tuple[int, int]]]
+) -> Graph:
+    """Build a graph from a stream of edge-array chunks.
+
+    Each chunk is an ``(k, 2)`` endpoint array (any integer dtype; a
+    sequence of pairs is converted).  Chunks are reduced to canonical
+    dedup'd edge keys as they arrive, so peak memory is bounded by the
+    *distinct* edge count plus one chunk — no Python adjacency lists or
+    per-edge tuples are ever materialized.  Bit-identical to
+    ``from_edges(n, concatenated_chunks)``: duplicates (within and
+    across chunks) merge, self-loops raise, input order is irrelevant.
+    """
+    if n < 0:
+        raise GraphError("n must be >= 0")
+    parts: list[np.ndarray] = []
+    for chunk in chunks:
+        arr = np.asarray(chunk, dtype=np.int64)
+        if arr.size == 0:
+            continue
+        parts.append(_canonical_keys(n, arr))
+    if not parts:
+        return empty_graph(n)
+    key = parts[0] if len(parts) == 1 else np.unique(np.concatenate(parts))
+    return _csr_from_canonical(n, key // np.int64(n), key % np.int64(n))
 
 
 def from_adjacency(adjacency: Sequence[Iterable[int]]) -> Graph:
     """Build a graph from adjacency lists (must be symmetric)."""
     n = len(adjacency)
-    edges = []
-    for u, row in enumerate(adjacency):
-        for v in row:
-            edges.append((u, int(v)))
-    g = from_edges(n, edges)
-    # Symmetry check: every directed entry must have appeared both ways.
-    total = sum(len(list(row)) for row in (list(r) for r in adjacency))
-    if total != 2 * g.m:
-        # Re-walk to produce a precise error.
-        seen = {(u, int(v)) for u, row in enumerate(adjacency) for v in row}
-        for u, v in seen:
-            if (v, u) not in seen:
-                raise GraphError(f"adjacency not symmetric: ({u},{v}) missing reverse")
-    return g
+    rows = [np.fromiter((int(v) for v in row), dtype=np.int64) for row in adjacency]
+    if not rows or all(r.size == 0 for r in rows):
+        return empty_graph(n)
+    counts = np.array([r.size for r in rows], dtype=np.int64)
+    dst = np.concatenate(rows)
+    if dst.min() < 0 or dst.max() >= n:
+        raise GraphError("edge endpoint out of range")
+    src = np.repeat(np.arange(n, dtype=np.int64), counts)
+    # Symmetry check in array space: every directed arc (u, v) must have
+    # its reverse present.  Dedup'd arc keys are sorted, so the reverse
+    # lookup is one searchsorted — no Python set of 2m tuples.
+    arcs = np.unique(src * np.int64(n) + dst)
+    rev = (arcs % np.int64(n)) * np.int64(n) + arcs // np.int64(n)
+    pos = np.searchsorted(arcs, rev)
+    pos[pos == arcs.size] = 0
+    missing = arcs[arcs[pos] != rev]
+    if missing.size:
+        u, v = int(missing[0] // n), int(missing[0] % n)
+        raise GraphError(f"adjacency not symmetric: ({u},{v}) missing reverse")
+    return from_edges(n, np.stack([src, dst], axis=1))
 
 
 def from_networkx(nxg) -> tuple[Graph, list]:

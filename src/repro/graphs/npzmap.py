@@ -1,0 +1,100 @@
+"""Zero-copy memory-mapped access to ``.npz`` members.
+
+``np.load(..., mmap_mode="r")`` silently ignores the mmap request for
+zipped ``.npz`` archives and reads members fully into memory.  Real
+mapping is still possible because ``np.savez`` stores members
+*uncompressed* (``ZIP_STORED``): each ``.npy`` member occupies one
+contiguous byte range of the archive, so after locating that range via
+the zip directory and parsing the npy header, ``np.memmap`` can map the
+raw data in place.  Warm starts then cost page-ins proportional to the
+bytes actually touched, not the full artifact size.
+
+Every structural problem — compressed member, truncated data, header
+mismatch, bad magic — raises ``ValueError``/``OSError``/``KeyError``,
+the same error family :mod:`repro.api.store` already treats as a cache
+miss.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import zipfile
+
+import numpy as np
+
+__all__ = ["mmap_npz"]
+
+_LOCAL_HEADER_LEN = 30  # fixed part of a zip local file header
+_LOCAL_MAGIC = b"PK\x03\x04"
+
+
+def _member_data_range(
+    fh, info: zipfile.ZipInfo
+) -> tuple[int, int]:
+    """``(start, size)`` of a stored member's raw bytes within the file."""
+    if info.compress_type != zipfile.ZIP_STORED:
+        raise ValueError(f"npz member {info.filename!r} is compressed; cannot mmap")
+    if info.compress_size != info.file_size:
+        raise ValueError(f"npz member {info.filename!r} has inconsistent sizes")
+    fh.seek(info.header_offset)
+    header = fh.read(_LOCAL_HEADER_LEN)
+    if len(header) != _LOCAL_HEADER_LEN or header[:4] != _LOCAL_MAGIC:
+        raise ValueError(f"bad local header for npz member {info.filename!r}")
+    name_len = int.from_bytes(header[26:28], "little")
+    extra_len = int.from_bytes(header[28:30], "little")
+    start = info.header_offset + _LOCAL_HEADER_LEN + name_len + extra_len
+    return start, info.file_size
+
+
+def _map_member(
+    path: pathlib.Path, fh, file_size: int, info: zipfile.ZipInfo
+) -> np.ndarray:
+    start, size = _member_data_range(fh, info)
+    if start + size > file_size:
+        raise ValueError(f"npz member {info.filename!r} truncated")
+    fh.seek(start)
+    version = np.lib.format.read_magic(fh)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+    else:
+        raise ValueError(f"unsupported npy version {version} in {info.filename!r}")
+    if dtype.hasobject:
+        raise ValueError(f"npz member {info.filename!r} holds objects; cannot mmap")
+    offset = fh.tell()
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    # The npy payload must fill the member exactly — a short member means
+    # a write was interrupted after the header landed.
+    if offset - start + expected != size:
+        raise ValueError(f"npz member {info.filename!r} data length mismatch")
+    if expected == 0:
+        return np.empty(shape, dtype=dtype, order="F" if fortran else "C")
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+
+
+def mmap_npz(path: str | os.PathLike, *names: str) -> tuple[np.ndarray, ...]:
+    """Memory-map the named members of an uncompressed ``.npz`` archive.
+
+    Returns one read-only array per name (``np.memmap`` instances;
+    empty members come back as ordinary empty arrays).  Raises
+    ``KeyError`` for a missing member and ``ValueError``/``OSError``
+    for any malformed or truncated archive, so callers with
+    miss-on-malformed semantics need no special cases.
+    """
+    p = pathlib.Path(path)
+    file_size = p.stat().st_size
+    out: list[np.ndarray] = []
+    with zipfile.ZipFile(p) as zf, open(p, "rb") as fh:
+        for name in names:
+            member = name if name.endswith(".npy") else name + ".npy"
+            out.append(_map_member(p, fh, file_size, zf.getinfo(member)))
+    return tuple(out)

@@ -19,10 +19,13 @@ The definition-shaped reference implementation lives in
 flat-array kernels:
 
 * a **bit-parallel batch kernel** for ``wreach_csr`` / ``wreach_sets``
-  / ``wreach_sizes`` / ``wcol_of_order``: 512 consecutive roots (in L
-  order) are swept at once, with an 8-word ``uint64`` reachability
-  bitmask per vertex.  The restriction "only vertices L-greater than
-  the root" becomes a per-vertex *eligibility mask* — the low
+  / ``wreach_sizes`` / ``wcol_of_order``: up to 512 consecutive roots
+  (in L order) are swept at once, with a ``uint64`` reachability
+  bitmask per vertex whose word count adapts to a memory budget (see
+  :func:`set_kernel_budget_bytes`) so the dense mask window never
+  outgrows its cap on million-vertex graphs.  The restriction "only
+  vertices L-greater than the root" becomes a per-vertex
+  *eligibility mask* — the low
   ``rank[v] - batch_base`` bits — so a single vectorized frontier
   expansion advances all 512 restricted BFS runs together and the
   per-root interpreter overhead amortizes away.  Between batches the
@@ -63,6 +66,7 @@ lexicographic tie-break requires.
 
 from __future__ import annotations
 
+import os
 import sys
 from bisect import bisect_right
 
@@ -75,8 +79,10 @@ from repro.orders.linear_order import LinearOrder
 __all__ = [
     "RankedAdjacency",
     "WReachCSR",
+    "kernel_budget_bytes",
     "ranked_adjacency",
     "restricted_bfs",
+    "set_kernel_budget_bytes",
     "wreach_csr",
     "wreach_sets",
     "wreach_sets_with_paths",
@@ -85,11 +91,54 @@ __all__ = [
 ]
 
 _WORD = 64  # bits per mask word
-_WORDS = 8  # words per batch (power of two) -> 512 roots swept at once
+_WORDS_MAX = 8  # max words per batch (power of two) -> up to 512 roots at once
 _FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
 # Below this size the scalar epoch-stamped kernel beats the batch kernel's
 # fixed numpy setup cost (a single partial batch would run anyway).
 _SMALL_N = 512
+
+#: Dense-scratch budget (bytes) shared by both batch kernels.  The
+#: membership sweep's ``(n, words)`` uint64 mask window and the path
+#: sweep's ``(n, span)`` bool visited buffer are the only allocations
+#: proportional to ``n * batch width``, so capping them caps the
+#: kernels' resident growth: at 10^6 vertices the default keeps each
+#: under 64 MB (8 mask words exactly fill it; beyond that the word
+#: count halves), where the old fixed 512-root batch would have grown
+#: the window without bound as n did.  Batch width is pure tiling —
+#: outputs are bit-identical at any width (pinned by the parity suite).
+_DEFAULT_BUDGET_BYTES = 64 << 20
+_budget_bytes = int(
+    os.environ.get("REPRO_KERNEL_BUDGET_BYTES", _DEFAULT_BUDGET_BYTES) or 0
+) or _DEFAULT_BUDGET_BYTES
+
+
+def kernel_budget_bytes() -> int:
+    """The active dense-scratch budget for the batch kernels."""
+    return _budget_bytes
+
+
+def set_kernel_budget_bytes(budget: int | None) -> int:
+    """Set (or with ``None`` reset) the kernel scratch budget; returns it.
+
+    Tiling only — any budget produces identical outputs; small budgets
+    narrow the batches (more sweeps), large ones widen them (more
+    scratch).  The floor is one mask word / 64 path lanes.
+    """
+    global _budget_bytes
+    _budget_bytes = _DEFAULT_BUDGET_BYTES if budget is None else max(1, int(budget))
+    return _budget_bytes
+
+
+def _mask_words(n: int) -> int:
+    """Mask words per batch: the largest power of two within budget.
+
+    The membership window is ``n * words * 8`` bytes; halve the word
+    count until it fits (floor 1 word = 64 roots per batch).
+    """
+    words = _WORDS_MAX
+    while words > 1 and n * words * 8 > _budget_bytes:
+        words >>= 1
+    return words
 
 
 class RankedAdjacency:
@@ -338,7 +387,7 @@ def _eligibility_table(words: int) -> np.ndarray:
 
 
 def _iter_batches(adj: RankedAdjacency, radius: int):
-    """Run the bit-parallel restricted BFS, ``64 * _WORDS`` roots per batch.
+    """Run the bit-parallel restricted BFS, ``64 * _mask_words(n)`` roots per batch.
 
     The frontier is kept in *item space* — parallel 1-d arrays of
     ``(vertex, word, bits)`` triples holding only the nonzero mask words
@@ -353,13 +402,14 @@ def _iter_batches(adj: RankedAdjacency, radius: int):
     ``base_rank + 64 * uw[k] + j`` weakly reaches vertex ``uv[k]``.
     """
     n = adj.n
-    span = _WORD * _WORDS
-    shift = _WORDS.bit_length() - 1  # _WORDS is a power of two
-    winflat = np.zeros(n * _WORDS, dtype=np.uint64)
-    # An item key is the flat window index ``vertex * _WORDS + word``, so
+    words = _mask_words(n)
+    span = _WORD * words
+    shift = words.bit_length() - 1  # words is a power of two
+    winflat = np.zeros(n * words, dtype=np.uint64)
+    # An item key is the flat window index ``vertex * words + word``, so
     # one key drives the dedup sort, the reached-test gather, and the
     # window update alike.
-    elig_flat = _eligibility_table(_WORDS).reshape(-1)
+    elig_flat = _eligibility_table(words).reshape(-1)
     for base in range(0, n, span):
         width = min(span, n - base)
         roots = adj.by_rank[base : base + width]
@@ -401,13 +451,13 @@ def _iter_batches(adj: RankedAdjacency, radius: int):
             ukeys, fb = ukeys[grew], new[grew]
             if ukeys.size == 0:
                 break
-            fv, fw = ukeys >> shift, ukeys & (_WORDS - 1)
+            fv, fw = ukeys >> shift, ukeys & (words - 1)
             winflat[ukeys] |= fb
             key_parts.append(ukeys)
         ukeys = np.unique(np.concatenate(key_parts))
         vals = winflat[ukeys]
         winflat[ukeys] = 0
-        yield base, ukeys >> shift, ukeys & (_WORDS - 1), vals
+        yield base, ukeys >> shift, ukeys & (words - 1), vals
 
 
 def _unpack_vals(vals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -629,19 +679,18 @@ def wreach_sets(
     return wreach_csr(g, order, radius, adj=adj).tolists()
 
 
-#: Root lanes per path-sweep batch.  The membership sweep's 512 comes
-#: from its 8x64-bit mask window; the flat-pair path sweep has no word
+#: Root lanes per path-sweep batch.  The membership sweep's width comes
+#: from its 64-bit mask words; the flat-pair path sweep has no word
 #: width to respect, so it runs wider batches (fewer, larger numpy
-#: calls) — bounded by the ``n * span`` visited buffer, which
-#: ``_path_span`` caps at ``_PATH_SCRATCH_BYTES`` so huge graphs narrow
-#: the batch instead of allocating O(1024 n) scratch.
+#: calls) — bounded by the ``n * span`` bool visited buffer, which
+#: ``_path_span`` caps at the shared kernel budget so huge graphs
+#: narrow the batch instead of allocating O(1024 n) scratch.
 _PATH_SPAN = 1024
-_PATH_SCRATCH_BYTES = 64 << 20
 
 
 def _path_span(n: int) -> int:
     """Lane count for the path sweep: wide, but with bounded scratch."""
-    return min(_PATH_SPAN, max(64, _PATH_SCRATCH_BYTES // max(n, 1)))
+    return min(_PATH_SPAN, max(64, _budget_bytes // max(n, 1)))
 
 
 def _batch_paths(adj: RankedAdjacency, radius: int, idobj: np.ndarray):

@@ -1,4 +1,9 @@
-"""Shared fixtures: the small graph zoo every suite reuses."""
+"""Shared fixtures: the small graph zoo every suite reuses.
+
+Also registers the ``large`` marker: 10^6-vertex end-to-end tests that
+run in their own (non-blocking) CI job.  They are skipped unless
+``--run-large`` is passed, so the tier-1 invocation stays fast.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +12,31 @@ import pytest
 from repro.graphs import generators as gen
 from repro.graphs import random_models as rm
 from repro.graphs.graph import Graph
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--run-large",
+        action="store_true",
+        default=False,
+        help="run tests marked 'large' (10^6-vertex end-to-end instances)",
+    )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "large: 10^6-vertex end-to-end tests; skipped without --run-large",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if config.getoption("--run-large"):
+        return
+    skip_large = pytest.mark.skip(reason="large instance; pass --run-large")
+    for item in items:
+        if "large" in item.keywords:
+            item.add_marker(skip_large)
 
 
 def small_connected_zoo() -> list[tuple[str, Graph]]:

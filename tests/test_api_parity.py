@@ -15,6 +15,7 @@ from repro.core.dvorak import domset_dvorak
 from repro.core.exact import exact_domset
 from repro.core.greedy import domset_greedy
 from repro.core.lp_rounding import lp_rounding_domset
+from repro.core.rdomset_orient import rdomset_orient
 from repro.core.tree_exact import is_tree, tree_domset_exact
 from repro.distributed.connect_bc import run_connect_bc
 from repro.distributed.domset_bc import run_domset_bc
@@ -43,6 +44,9 @@ REFERENCES = {
         g, make_order(g, r, "degeneracy"), r
     ).dominators,
     "seq.wreach-min": lambda g, r: domset_by_wreach(
+        g, make_order(g, r, "degeneracy"), r
+    ).dominators,
+    "seq.rdomset-orient": lambda g, r: rdomset_orient(
         g, make_order(g, r, "degeneracy"), r
     ).dominators,
     "seq.dvorak": lambda g, r: domset_dvorak(

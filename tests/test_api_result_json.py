@@ -134,6 +134,8 @@ def test_harness_writes_runs_json(tmp_path, monkeypatch):
     harness.write_result("unit_json", table, runs=runs)
     payload = json.loads((tmp_path / "unit_json.runs.json").read_text())
     assert [row["algorithm"] for row in payload] == ["seq.wreach", "seq.greedy"]
+    # Every row carries memory provenance; from_dict tolerates the key.
+    assert all(row["peak_rss_kb"] > 0 for row in payload)
     restored = [SolveResult.from_dict(row) for row in payload]
     assert [r.dominators for r in restored] == [
         tuple(r.dominators) for r in runs

@@ -1,0 +1,94 @@
+"""Million-vertex end-to-end: ingest → warm → solve (marker: ``large``).
+
+Skipped unless ``--run-large`` is passed; CI runs these in a separate
+non-blocking job.  The point is that nothing in the pipeline — streaming
+ingest, npz edge lists, the artifact store in mmap mode, the orientation
+tier, the budget-tiled wreach kernel — silently assumes small ``n``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ArtifactStore, graph_digest, order_digest
+from repro.core.domset import domset_by_wreach
+from repro.core.rdomset_orient import rdomset_orient
+from repro.graphs.build import from_edges, from_edges_stream
+from repro.graphs.io import read_edge_npz, write_edge_npz
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.wreach import RankedAdjacency, wreach_csr
+
+pytestmark = pytest.mark.large
+
+SIDE = 1000  # SIDE x SIDE grid: 10^6 vertices, ~2 * 10^6 edges
+
+
+def _grid_edges(a: int, b: int) -> np.ndarray:
+    """Vectorized grid edge list (generators.grid_2d loops in Python)."""
+    ids = np.arange(a * b, dtype=np.int64).reshape(a, b)
+    horiz = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    vert = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    return np.concatenate([horiz, vert])
+
+
+@pytest.fixture(scope="module")
+def big_grid():
+    edges = _grid_edges(SIDE, SIDE)
+    n = SIDE * SIDE
+    chunks = [edges[i : i + 1 << 20] for i in range(0, len(edges), 1 << 20)]
+    g = from_edges_stream(n, chunks)
+    assert g.n == n and g.m == len(edges)
+    return g, edges
+
+
+def test_stream_matches_from_edges_at_scale(big_grid):
+    g, edges = big_grid
+    ref = from_edges(g.n, edges)
+    assert np.array_equal(g.indptr, ref.indptr)
+    assert np.array_equal(g.indices, ref.indices)
+
+
+def test_npz_roundtrip_at_scale(tmp_path, big_grid):
+    g, _ = big_grid
+    path = tmp_path / "grid1000.npz"
+    write_edge_npz(g, path)
+    g2 = read_edge_npz(path)
+    assert np.array_equal(g2.indptr, g.indptr)
+    assert np.array_equal(g2.indices, g.indices)
+
+
+def test_warm_mmap_solve_end_to_end(tmp_path, big_grid):
+    g, _ = big_grid
+    store = ArtifactStore(tmp_path)
+    gd = store.put_graph(g)
+    order, _ = degeneracy_order(g)
+    od = order_digest(order)
+    store.put_order(gd, "degeneracy", 2, order)
+    adj = RankedAdjacency(g, order)
+    store.put_rank_adj(gd, od, adj)
+    csr = wreach_csr(g, order, 1, adj=adj)
+    store.put_wreach(gd, od, 1, csr)
+
+    mm = ArtifactStore(tmp_path, mmap=True)
+    g2 = mm.get_graph(gd)
+    assert g2 is not None and isinstance(g2.indices, np.memmap)
+    assert graph_digest(g2) == gd  # mapped bytes ARE the stored bytes
+    o2 = mm.get_order(gd, "degeneracy", 2, n=g.n)
+    a2 = mm.get_rank_adj(gd, od, g2, o2)
+    c2 = mm.get_wreach(gd, od, 1, g2, o2)
+
+    orient = rdomset_orient(g2, o2, 2, adj=a2)
+    ref_orient = rdomset_orient(g, order, 2, adj=adj)
+    assert orient.dominators == ref_orient.dominators
+
+    dom = domset_by_wreach(g2, o2, 1, csr=c2)
+    ref_dom = domset_by_wreach(g, order, 1, csr=csr)
+    assert dom.dominators == ref_dom.dominators
+
+    # Distance-1 validity, vectorized (BFS validators are too slow here):
+    # every vertex is a dominator or adjacent to one.
+    in_set = np.zeros(g.n, dtype=bool)
+    in_set[np.asarray(dom.dominators)] = True
+    covered = in_set | np.logical_or.reduceat(
+        np.append(in_set[g.indices], False), np.minimum(g.indptr[:-1], len(g.indices))
+    ) & (np.diff(g.indptr) > 0)
+    assert bool(np.all(covered))

@@ -1,0 +1,100 @@
+"""Orientation-based approximate r-domset (``seq.rdomset-orient``).
+
+Contract: the output is always a *valid* distance-r dominating set,
+every vertex's elected dominator lies in its own WReach_r (the witness
+that makes validity a one-line argument), the tier coincides exactly
+with ``domset_by_wreach`` at r <= 1, and on the parity suite its size
+stays within a small constant factor of the Theorem-5 tier — it trades
+the wcol-bounded guarantee for O(r*m) flat passes, not for quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import is_distance_r_dominating_set
+from repro.api import solve
+from repro.core.domset import domset_by_wreach
+from repro.core.rdomset_orient import rdomset_orient
+from repro.graphs import generators as gen
+from repro.graphs import random_models as rm
+from repro.orders.wreach import wreach_csr
+from repro.pipelines import make_order
+
+PARITY = [
+    ("grid", lambda: gen.grid_2d(7, 7)),
+    ("ktree", lambda: gen.k_tree(600, 3, seed=5)),
+    ("delaunay", lambda: rm.delaunay_graph(620, seed=3)[0]),
+]
+RADII = (0, 1, 2, 3)
+
+
+@pytest.fixture(params=PARITY, ids=[name for name, _ in PARITY])
+def instance(request):
+    return request.param[1]()
+
+
+def test_valid_distance_r_domination(instance, small_graph):
+    for g in (instance, small_graph):
+        for r in RADII:
+            order = make_order(g, max(r, 1), "degeneracy")
+            res = rdomset_orient(g, order, r)
+            assert is_distance_r_dominating_set(g, res.dominators, r)
+            assert res.radius == r
+
+
+def test_dominator_of_is_wreach_witness(instance):
+    """Every elected dominator lies in its vertex's own WReach_r set.
+
+    This is the structural property the O(r*m) validity argument rests
+    on: the Jacobi propagation only ever follows rank-decreasing arcs,
+    so best_r(v) is reachable from v by a monotone path of length <= r.
+    """
+    g = instance
+    for r in (1, 2, 3):
+        order = make_order(g, r, "degeneracy")
+        res = rdomset_orient(g, order, r)
+        csr = wreach_csr(g, order, r)
+        for v in range(g.n):
+            members = csr.members[csr.indptr[v] : csr.indptr[v + 1]]
+            assert res.dominator_of[v] in members, (v, r)
+
+
+def test_exact_parity_with_wreach_min_at_r_le_1(instance):
+    """At r <= 1, WReach_r(v) = {v} + in-neighbors: the two tiers agree
+    element-for-element, not just in size."""
+    g = instance
+    for r in (0, 1):
+        order = make_order(g, max(r, 1), "degeneracy")
+        ref = domset_by_wreach(g, order, r)
+        got = rdomset_orient(g, order, r)
+        assert got.dominators == ref.dominators
+        assert np.array_equal(got.dominator_of, ref.dominator_of)
+
+
+def test_quality_within_constant_of_wreach_min(instance):
+    g = instance
+    for r in (2, 3):
+        order = make_order(g, r, "degeneracy")
+        ref = len(domset_by_wreach(g, order, r).dominators)
+        got = len(rdomset_orient(g, order, r).dominators)
+        assert got <= max(ref * 1.2, ref + 2), (r, got, ref)
+
+
+def test_solve_integration_with_certificate():
+    g = rm.delaunay_graph(620, seed=3)[0]
+    res = solve(g, 2, "seq.rdomset-orient", certify=True, validate=True)
+    assert res.extras["valid"]
+    assert res.certificate is not None
+    assert res.certificate.certified_c >= 1
+    assert res.dominators == tuple(sorted(set(res.dominators)))
+
+
+def test_empty_and_singleton():
+    import repro.graphs.build as build
+
+    g0 = build.from_edges(0, [])
+    assert rdomset_orient(g0, make_order(g0, 1, "degeneracy"), 2).dominators == ()
+    g1 = build.from_edges(1, [])
+    res = rdomset_orient(g1, make_order(g1, 1, "degeneracy"), 2)
+    assert res.dominators == (0,)
+    assert res.dominator_of.tolist() == [0]

@@ -1,0 +1,140 @@
+"""Memory-mapped ArtifactStore loads.
+
+Contract: ``ArtifactStore(root, mmap=True)`` serves every artifact as a
+read-only memory map that is *bit-identical* to the full-read load —
+solver outputs over mmap'd artifacts match the in-memory ones exactly —
+and a truncated or partially-written file is a miss in both modes, even
+when the corruption sits past the headers, mid-array.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ArtifactStore, PrecomputeCache, graph_digest, order_digest
+from repro.api.workspace import Workspace
+from repro.core.domset import domset_by_wreach
+from repro.core.rdomset_orient import rdomset_orient
+from repro.graphs import generators as gen
+from repro.graphs import random_models as rm
+from repro.orders.degeneracy import degeneracy_order
+from repro.orders.wreach import RankedAdjacency, wreach_csr
+
+PARITY = [
+    ("grid", lambda: gen.grid_2d(7, 7)),
+    ("ktree", lambda: gen.k_tree(600, 3, seed=5)),
+    ("delaunay", lambda: rm.delaunay_graph(620, seed=3)[0]),
+]
+
+
+@pytest.fixture(params=PARITY, ids=[name for name, _ in PARITY])
+def instance(request):
+    return request.param[1]()
+
+
+def _warmed(tmp_path, g):
+    """A store holding g's Theorem-5 artifacts; returns (gd, od, order, csr)."""
+    store = ArtifactStore(tmp_path)
+    gd = store.put_graph(g)
+    order, _ = degeneracy_order(g)
+    od = order_digest(order)
+    store.put_order(gd, "degeneracy", 2, order)
+    adj = RankedAdjacency(g, order)
+    store.put_rank_adj(gd, od, adj)
+    csr = wreach_csr(g, order, 2, adj=adj)
+    store.put_wreach(gd, od, 2, csr)
+    return gd, od, order, csr
+
+
+def test_mmap_loads_are_bit_identical(tmp_path, instance):
+    g = instance
+    gd, od, order, csr = _warmed(tmp_path, g)
+    mm = ArtifactStore(tmp_path, mmap=True)
+
+    g2 = mm.get_graph(gd)
+    assert g2 == g
+    assert isinstance(g2.indices, np.memmap)
+    o2 = mm.get_order(gd, "degeneracy", 2, n=g.n)
+    assert np.array_equal(o2.rank, order.rank)
+    a2 = mm.get_rank_adj(gd, od, g2, o2)
+    assert np.array_equal(a2.nbrs, RankedAdjacency(g, order).nbrs)
+    c2 = mm.get_wreach(gd, od, 2, g2, o2)
+    assert np.array_equal(c2.indptr, csr.indptr)
+    assert np.array_equal(c2.members, csr.members)
+
+
+def test_mmap_solver_outputs_match_in_memory(tmp_path, instance):
+    """Acceptance: solving over mmap-loaded artifacts is bit-identical."""
+    g = instance
+    gd, od, order, csr = _warmed(tmp_path, g)
+    mm = ArtifactStore(tmp_path, mmap=True)
+    g2 = mm.get_graph(gd)
+    o2 = mm.get_order(gd, "degeneracy", 2, n=g.n)
+    c2 = mm.get_wreach(gd, od, 2, g2, o2)
+    a2 = mm.get_rank_adj(gd, od, g2, o2)
+
+    ref = domset_by_wreach(g, order, 2, csr=csr)
+    got = domset_by_wreach(g2, o2, 2, csr=c2)
+    assert got.dominators == ref.dominators
+    assert np.array_equal(got.dominator_of, ref.dominator_of)
+
+    ref_orient = rdomset_orient(g, order, 2)
+    got_orient = rdomset_orient(g2, o2, 2, adj=a2)
+    assert got_orient.dominators == ref_orient.dominators
+    assert np.array_equal(got_orient.dominator_of, ref_orient.dominator_of)
+
+
+@pytest.mark.parametrize("mmap", [False, True], ids=["full", "mmap"])
+def test_truncated_mid_array_is_miss(tmp_path, mmap):
+    """Corrupt an artifact mid-array (past the zip/npy headers): miss."""
+    g = gen.k_tree(600, 3, seed=5)
+    gd, od, order, _ = _warmed(tmp_path, g)
+    store = ArtifactStore(tmp_path, mmap=mmap)
+    path = store._wreach_path(gd, od, 2)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) - 256])  # cut inside the members array
+    assert store.get_wreach(gd, od, 2, g, order) is None
+    gpath = store._graph_path(gd)
+    raw = gpath.read_bytes()
+    gpath.write_bytes(raw[: int(len(raw) * 0.6)])
+    assert store.get_graph(gd) is None
+
+
+def test_mmap_rejects_compressed_member(tmp_path):
+    """A compressed archive can't be mapped: miss, not garbage."""
+    g = gen.grid_2d(5, 5)
+    store = ArtifactStore(tmp_path)
+    gd = store.put_graph(g)
+    path = store._graph_path(gd)
+    with np.load(path) as data:
+        arrays = dict(data)
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    mm = ArtifactStore(tmp_path, mmap=True)
+    assert mm.get_graph(gd) is None
+    # the full-read path still accepts it (np.load decompresses)
+    assert ArtifactStore(tmp_path).get_graph(gd) == g
+
+
+def test_mmap_env_var_default(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_MMAP", "1")
+    assert ArtifactStore(tmp_path).mmap
+    monkeypatch.setenv("REPRO_STORE_MMAP", "0")
+    assert not ArtifactStore(tmp_path).mmap
+    assert ArtifactStore(tmp_path, mmap=True).mmap
+
+
+def test_workspace_over_mmap_store_warm_solve(tmp_path, instance):
+    """End-to-end: warm with a full store, solve through an mmap one."""
+    g = instance
+    with Workspace(store=ArtifactStore(tmp_path)) as ws:
+        ws.warm(g, radius=2)
+        ref = ws.solve(g, 2, "seq.wreach-min")
+    mm = ArtifactStore(tmp_path, mmap=True)
+    with Workspace(cache=PrecomputeCache(store=mm)) as ws2:
+        digest = graph_digest(g)
+        g2 = ws2.graph(digest)
+        assert isinstance(g2.indices, np.memmap)
+        got = ws2.solve(g2, 2, "seq.wreach-min")
+    assert got.dominators == ref.dominators
+    stats = ws2.cache.stats()
+    assert sum(c.get("store_hits", 0) for c in stats.values()) >= 2

@@ -1,0 +1,160 @@
+"""Streaming CSR ingest and binary npz edge lists.
+
+The contract under test: ``from_edges_stream`` and the ``.npz`` reader
+are *bit-identical* to ``from_edges`` on the same edge multiset —
+duplicates (within and across chunks) merge, self-loops raise, input
+order is irrelevant — and the vectorized ``from_adjacency`` symmetry
+check matches the old Python-set semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.build import from_adjacency, from_edges, from_edges_stream
+from repro.graphs.io import (
+    iter_edge_chunks,
+    open_edge_npz,
+    read_edge_npz,
+    write_edge_npz,
+)
+
+
+def _random_edges(n: int, m: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    arr = rng.integers(0, n, size=(m, 2), dtype=np.int64)
+    return arr[arr[:, 0] != arr[:, 1]]
+
+
+def _assert_identical(a, b):
+    assert a.n == b.n and a.m == b.m
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert a.indptr.dtype == b.indptr.dtype
+    assert a.indices.dtype == b.indices.dtype
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("chunk", [1, 7, 137, 10_000])
+def test_stream_bit_identical_to_from_edges(seed, chunk):
+    n = 300
+    edges = _random_edges(n, 2500, seed)  # unsorted, with duplicates
+    ref = from_edges(n, edges)
+    chunks = [edges[i : i + chunk] for i in range(0, len(edges), chunk)]
+    _assert_identical(from_edges_stream(n, chunks), ref)
+
+
+def test_stream_dedups_across_chunks():
+    n = 10
+    a = np.array([[0, 1], [2, 3], [1, 0]])
+    b = np.array([[3, 2], [0, 1], [4, 5]])
+    g = from_edges_stream(n, [a, b])
+    ref = from_edges(n, np.concatenate([a, b]))
+    _assert_identical(g, ref)
+    assert g.m == 3
+
+
+def test_stream_accepts_pair_sequences_and_empty_chunks():
+    g = from_edges_stream(5, [[(0, 1)], [], np.empty((0, 2)), [(1, 2), (0, 1)]])
+    _assert_identical(g, from_edges(5, [(0, 1), (1, 2)]))
+
+
+def test_stream_empty_and_no_chunks():
+    assert from_edges_stream(4, []).n == 4
+    assert from_edges_stream(0, []).n == 0
+    with pytest.raises(GraphError):
+        from_edges_stream(-1, [])
+
+
+def test_stream_rejects_self_loops_and_out_of_range():
+    with pytest.raises(GraphError):
+        from_edges_stream(5, [np.array([[0, 0]])])
+    with pytest.raises(GraphError):
+        from_edges_stream(5, [np.array([[0, 5]])])
+    with pytest.raises(GraphError):
+        from_edges_stream(5, [np.array([[0, 1, 2]])])
+
+
+# ----------------------------------------------------------------------
+# Vectorized from_adjacency
+# ----------------------------------------------------------------------
+
+def test_from_adjacency_matches_from_edges():
+    edges = _random_edges(60, 400, 3)
+    ref = from_edges(60, edges)
+    _assert_identical(from_adjacency(ref.adjacency_lists()), ref)
+
+
+def test_from_adjacency_tolerates_duplicate_entries():
+    # Duplicates within rows merged by from_edges; symmetry judged on
+    # the unique arc set (the old Python-set semantics).
+    g = from_adjacency([[1, 1], [0, 0, 2], [1]])
+    assert g.m == 2
+
+
+def test_from_adjacency_rejects_asymmetric_with_precise_arc():
+    with pytest.raises(GraphError, match=r"\(2,0\) missing reverse"):
+        from_adjacency([[1], [0, 2], [0, 1]])
+
+
+def test_from_adjacency_empty_rows():
+    g = from_adjacency([[], [], []])
+    assert g.n == 3 and g.m == 0
+
+
+# ----------------------------------------------------------------------
+# Binary npz edge lists
+# ----------------------------------------------------------------------
+
+def test_npz_roundtrip_streaming(tmp_path):
+    n = 200
+    g = from_edges(n, _random_edges(n, 1500, 5))
+    path = tmp_path / "g.npz"
+    write_edge_npz(g, path)
+    for chunk in (17, 10**6):
+        _assert_identical(read_edge_npz(path, chunk_edges=chunk), g)
+
+
+def test_npz_open_returns_memory_map(tmp_path):
+    g = from_edges(50, _random_edges(50, 300, 6))
+    path = tmp_path / "g.npz"
+    write_edge_npz(g, path)
+    n, edges = open_edge_npz(path)
+    assert n == 50
+    assert isinstance(edges, np.memmap)
+    assert np.array_equal(np.asarray(edges), g.edge_array())
+
+
+def test_npz_truncated_file_raises(tmp_path):
+    g = from_edges(50, _random_edges(50, 300, 7))
+    path = tmp_path / "g.npz"
+    write_edge_npz(g, path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(GraphError):
+        read_edge_npz(path)
+
+
+def test_npz_garbage_file_raises(tmp_path):
+    path = tmp_path / "g.npz"
+    path.write_bytes(b"not an npz file at all")
+    with pytest.raises(GraphError):
+        read_edge_npz(path)
+
+
+def test_iter_edge_chunks_covers_all_rows():
+    edges = _random_edges(40, 100, 8)
+    parts = list(iter_edge_chunks(edges, 13))
+    assert np.array_equal(np.concatenate(parts), edges)
+    with pytest.raises(GraphError):
+        list(iter_edge_chunks(edges, 0))
+
+
+def test_cli_npz_dispatch(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "grid.npz"
+    assert main(["generate", "grid", "6", "6", "-o", str(out)]) == 0
+    assert main(["solve", str(out), "-a", "seq.rdomset-orient", "-r", "2"]) == 0
+    text = capsys.readouterr().out
+    assert "algorithm = seq.rdomset-orient" in text

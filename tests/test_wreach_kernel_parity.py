@@ -158,7 +158,7 @@ def test_paths_multi_batch_boundaries():
 
 def test_multi_batch_boundaries():
     """Roots spanning several 512-root batches stay in rank order."""
-    g = gen.k_tree(flat._WORD * flat._WORDS * 2 + 77, 3, seed=9)
+    g = gen.k_tree(flat._WORD * flat._WORDS_MAX * 2 + 77, 3, seed=9)
     order, _ = degeneracy_order(g)
     sets = flat.wreach_sets(g, order, 2)
     assert sets == naive.naive_wreach_sets(g, order, 2)
@@ -222,6 +222,41 @@ def test_mismatched_order_raises():
         flat.wreach_sets(g, LinearOrder.identity(5), 1)
     with pytest.raises(OrderError):
         flat.wreach_sets_with_paths(g, LinearOrder.identity(5), 1)
+
+
+@pytest.fixture
+def kernel_budget():
+    """Save/restore the module-level kernel budget around a test."""
+    saved = flat.kernel_budget_bytes()
+    yield
+    flat.set_kernel_budget_bytes(saved)
+
+
+@pytest.mark.parametrize("budget", [1, 12_000, 96_000, 10**9])
+def test_budgeted_tiling_bit_identical(budget, kernel_budget):
+    """Any memory budget — down to a single mask word and a 64-root
+    path batch — yields byte-identical CSR, sizes, and witness paths."""
+    g = gen.k_tree(flat._SMALL_N + 400, 3, seed=5)
+    order, _ = degeneracy_order(g)
+    flat.set_kernel_budget_bytes(None)
+    ref_csr = flat.wreach_csr(g, order, 2)
+    ref_paths = flat.wreach_sets_with_paths(g, order, 2)
+    flat.set_kernel_budget_bytes(budget)
+    csr = flat.wreach_csr(g, order, 2)
+    assert np.array_equal(csr.indptr, ref_csr.indptr)
+    assert np.array_equal(csr.members, ref_csr.members)
+    assert flat.wreach_sets_with_paths(g, order, 2) == ref_paths
+
+
+def test_budget_bounds_mask_words(kernel_budget):
+    n = flat._SMALL_N + 400
+    flat.set_kernel_budget_bytes(1)
+    assert flat._mask_words(n) == 1  # floor: one word, 64 roots
+    flat.set_kernel_budget_bytes(None)
+    assert flat._mask_words(n) == flat._WORDS_MAX
+    assert flat._mask_words(10**9) == 1  # huge n squeezes the window
+    assert flat._path_span(10**9) == 64
+    assert flat.set_kernel_budget_bytes(None) == flat.kernel_budget_bytes()
 
 
 def test_adjacency_for_wrong_order_rejected():
