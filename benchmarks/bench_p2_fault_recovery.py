@@ -1,0 +1,237 @@
+"""P2 — fault recovery: supervised-pool crash overhead vs fault-free.
+
+Measures what the supervision layer of :mod:`repro.api.supervisor`
+costs and guarantees when a pool worker actually dies mid-batch:
+
+* **fault-free**: a request batch over a pooled store-backed
+  :class:`~repro.api.workspace.Workspace` with no plan active — the
+  baseline wall time and the baseline results;
+* **worker-kill**: the same batch in a fresh store with a seeded
+  :class:`~repro.api.faults.FaultPlan` that ``os._exit(1)``'s the
+  worker executing the designated graph-group on its first dispatch
+  attempt — the supervisor must detect the broken pool, respawn it,
+  re-dispatch the group, and deliver results **bit-identical** to the
+  fault-free run (asserted, not sampled: dominator sets, sizes, and
+  certificates are compared element-wise);
+* **lease contention**: one cold warm vs a warm re-run under an
+  injected ``lease`` rule — the store-side recovery path (waiting out
+  a contender, then loading what it persisted) measured on the same
+  clock.
+
+Recovery overhead is reported as ``faulty_s / clean_s`` per instance,
+plus the supervisor's counters (respawns, per-digest retries) so the
+trajectory records that a crash actually happened — a run where no
+worker died measures nothing.
+
+Results go to ``BENCH_fault_recovery.json`` at the repo root and a
+table in ``benchmarks/results/p2_fault_recovery.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_p2_fault_recovery.py          # full
+    PYTHONPATH=src python benchmarks/bench_p2_fault_recovery.py --smoke  # CI
+
+``--smoke`` runs the smallest instance only and **fails (exit 1)** if
+
+* any recovered result differs from its fault-free twin (the
+  bit-identity gate — the entire point of idempotent re-dispatch), or
+* no pool respawn was observed (the fault did not inject), or
+* any group was poisoned (recovery should succeed within the default
+  attempt budget).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import FaultPlan  # noqa: E402
+from repro.api.store import ArtifactStore, graph_digest  # noqa: E402
+from repro.api.types import SolveRequest  # noqa: E402
+from repro.api.workspace import Workspace  # noqa: E402
+from repro.bench.harness import write_result  # noqa: E402
+from repro.bench.tables import Table  # noqa: E402
+from repro.graphs import generators as gen  # noqa: E402
+
+#: (name, builder for the killed graph, builder for the sibling graph)
+FULL_INSTANCES = [
+    ("grid16+tree", lambda: gen.grid_2d(16, 16), lambda: gen.balanced_tree(2, 5)),
+    ("grid32+ktree", lambda: gen.grid_2d(32, 32), lambda: gen.k_tree(300, 3, seed=9)),
+    ("grid64+tree", lambda: gen.grid_2d(64, 64), lambda: gen.balanced_tree(3, 5)),
+]
+SMOKE_INSTANCES = FULL_INSTANCES[:1]
+
+WORKERS = 2
+
+
+def _requests(g, t):
+    return [
+        SolveRequest(graph=g, radius=1, algorithm="seq.wreach", certify=True),
+        SolveRequest(graph=t, radius=1, algorithm="seq.greedy"),
+        SolveRequest(graph=g, radius=1, algorithm="seq.greedy"),
+        SolveRequest(graph=t, radius=1, algorithm="seq.wreach"),
+    ]
+
+
+def _run_batch(store_dir, reqs, plan=None):
+    """One pooled batch; returns (results, wall_s, supervisor stats)."""
+    ctx = plan.activate() if plan is not None else None
+    if ctx is not None:
+        ctx.__enter__()
+    try:
+        t0 = time.perf_counter()
+        with Workspace(store=store_dir, workers=WORKERS, backoff_base_s=0.01) as ws:
+            results = ws.run(reqs)
+            stats = ws._pool.stats() if ws._pool is not None else {}
+        wall = time.perf_counter() - t0
+    finally:
+        if ctx is not None:
+            ctx.__exit__(None, None, None)
+    return results, wall, stats
+
+
+def _identical(a, b):
+    """Element-wise bit-identity of two result lists."""
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b, strict=True):
+        if x.dominators != y.dominators or x.size != y.size:
+            return False
+        if x.certificate != y.certificate:
+            return False
+    return True
+
+
+def bench_instance(name, build_killed, build_sibling, tmp):
+    g = build_killed()
+    t = build_sibling()
+    reqs = _requests(g, t)
+    dg = graph_digest(g)
+
+    clean, clean_s, _ = _run_batch(tmp / "clean", reqs)
+    plan = FaultPlan.parse(f"seed=1;kill:digest={dg[:12]},attempts=1")
+    faulty, faulty_s, stats = _run_batch(tmp / "faulty", reqs, plan=plan)
+
+    identical = _identical(clean, faulty)
+
+    # Store-side recovery: cold warm vs a warm under injected lease
+    # contention (the contender waits, then loads the winner's bytes).
+    store = ArtifactStore(tmp / "clean")
+    t0 = time.perf_counter()
+    with FaultPlan.parse("lease:holds=3").activate():
+        with store.lease(dg, timeout_s=5.0) as lk:
+            contended_s = time.perf_counter() - t0
+            lease_recovered = lk.acquired
+
+    return {
+        "name": name,
+        "n_killed": g.n,
+        "n_sibling": t.n,
+        "requests": len(reqs),
+        "clean_s": clean_s,
+        "faulty_s": faulty_s,
+        "overhead": faulty_s / clean_s if clean_s > 0 else float("inf"),
+        "bit_identical": identical,
+        "respawns": stats.get("respawns", 0),
+        "retries": stats.get("retries", {}),
+        "poisoned": stats.get("poisoned", []),
+        "lease_wait_s": contended_s,
+        "lease_recovered": lease_recovered,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="smallest instance only; exit 1 unless recovery is "
+        "bit-identical, a respawn happened, and nothing was poisoned",
+    )
+    ap.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="JSON output path (default: BENCH_fault_recovery.json at the "
+        "repo root, BENCH_fault_recovery_smoke.json in smoke mode)",
+    )
+    args = ap.parse_args(argv)
+
+    instances = SMOKE_INSTANCES if args.smoke else FULL_INSTANCES
+    out_path = args.out or (
+        REPO_ROOT
+        / (
+            "BENCH_fault_recovery_smoke.json"
+            if args.smoke
+            else "BENCH_fault_recovery.json"
+        )
+    )
+
+    table = Table(
+        f"P2: worker-kill recovery vs fault-free ({WORKERS} workers)",
+        [
+            "instance", "n", "clean s", "faulty s", "overhead",
+            "respawns", "retries", "identical", "lease wait ms",
+        ],
+    )
+    rows = []
+    for name, build_killed, build_sibling in instances:
+        with tempfile.TemporaryDirectory() as tmp:
+            row = bench_instance(name, build_killed, build_sibling, pathlib.Path(tmp))
+        rows.append(row)
+        table.add(
+            name,
+            row["n_killed"] + row["n_sibling"],
+            f"{row['clean_s']:.2f}",
+            f"{row['faulty_s']:.2f}",
+            f"{row['overhead']:.2f}x",
+            row["respawns"],
+            sum(row["retries"].values()),
+            "yes" if row["bit_identical"] else "NO",
+            f"{row['lease_wait_s'] * 1e3:.0f}",
+        )
+        print(
+            f"  [{name}] clean {row['clean_s']:.2f}s  faulty {row['faulty_s']:.2f}s  "
+            f"overhead {row['overhead']:.2f}x  respawns {row['respawns']}  "
+            f"identical={row['bit_identical']}",
+            flush=True,
+        )
+
+    report = {
+        "schema": 1,
+        "benchmark": "p2_fault_recovery",
+        "mode": "smoke" if args.smoke else "full",
+        "workers": WORKERS,
+        "instances": rows,
+        "worst_overhead": max(r["overhead"] for r in rows),
+        "all_bit_identical": all(r["bit_identical"] for r in rows),
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    write_result(
+        "p2_fault_recovery_smoke" if args.smoke else "p2_fault_recovery", table
+    )
+    print(f"wrote {out_path}")
+
+    failures = []
+    for r in rows:
+        if not r["bit_identical"]:
+            failures.append(f"{r['name']}: recovered results differ from fault-free")
+        if r["respawns"] < 1:
+            failures.append(f"{r['name']}: no pool respawn observed (fault not injected)")
+        if r["poisoned"]:
+            failures.append(f"{r['name']}: groups poisoned {r['poisoned']}")
+        if not r["lease_recovered"]:
+            failures.append(f"{r['name']}: lease never acquired under contention")
+    if failures:
+        print("FAULT-RECOVERY GATE FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("fault-recovery gate passed: bit-identical recovery on every instance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

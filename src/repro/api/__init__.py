@@ -34,6 +34,8 @@ routed through this registry.
 
 from repro.api.cache import PrecomputeCache, default_cache, graph_digest
 from repro.api.facade import solve, solve_batch, solve_request
+from repro.api.faults import FaultPlan
+from repro.api.supervisor import SupervisedExecutor
 from repro.api.registry import (
     RegisteredSolver,
     get_solver,
@@ -65,7 +67,9 @@ __all__ = [
     "SolverInfo",
     "SolverOutput",
     "ArtifactStore",
+    "FaultPlan",
     "PrecomputeCache",
+    "SupervisedExecutor",
     "Workspace",
     "default_cache",
     "graph_digest",

@@ -67,6 +67,7 @@ class _LruTable:
         compute: Callable[[], Any],
         load: Callable[[], Any] | None = None,
         persist: Callable[[Any], None] | None = None,
+        lease: Callable[[], Any] | None = None,
     ) -> Any:
         """Memory -> store -> compute, with write-through on a true miss.
 
@@ -75,6 +76,14 @@ class _LruTable:
         nothing.  ``misses`` counts memory misses; ``store_hits`` the
         subset served by ``load``, so ``misses - store_hits`` is the
         number of actual computations.
+
+        ``lease`` (a zero-arg factory of a context manager with an
+        ``acquired`` flag — see :meth:`ArtifactStore.lease`) serializes
+        the *compute-and-persist* step across processes: a contender
+        that waited out another holder re-checks ``load`` first, so two
+        processes warming the same graph produce exactly one
+        computation.  A timed-out acquire computes anyway — duplicated
+        work is safe by idempotence, deadlock is not.
         """
         if key in self.entries:
             self.hits += 1
@@ -84,6 +93,18 @@ class _LruTable:
         value = load() if load is not None else None
         if value is not None:
             self.store_hits += 1
+        elif lease is not None and load is not None:
+            with lease() as lk:
+                if lk.acquired:
+                    # The previous holder may have persisted while we
+                    # waited: serve its artifact instead of recomputing.
+                    value = load()
+                if value is not None:
+                    self.store_hits += 1
+                else:
+                    value = compute()
+                    if persist is not None:
+                        persist(value)
         else:
             value = compute()
             if persist is not None:
@@ -157,6 +178,19 @@ class PrecomputeCache:
         """The persistent tier, or ``None`` for a memory-only cache."""
         return self._store
 
+    def _lease_factory(self, gdigest: str) -> Callable[[], Any]:
+        """A per-graph-digest lease factory for ``get_or_compute``.
+
+        Leasing by *graph* digest (not per artifact) means two
+        processes warming the same graph serialize the whole
+        precompute pipeline once instead of per category; nested
+        acquisitions inside one process (wcol -> wreach_csr ->
+        rank_adjacency) are re-entrant no-ops.
+        """
+        store = self._store
+        assert store is not None
+        return lambda: store.lease(gdigest)
+
     #: Order strategies whose output does not depend on the radius
     #: argument of ``make_order`` — they share one cache entry per graph.
     RADIUS_FREE_STRATEGIES = frozenset(
@@ -171,9 +205,10 @@ class PrecomputeCache:
         key_radius = 0 if strategy in self.RADIUS_FREE_STRATEGIES else int(radius)
         gd = graph_digest(g)
         key = (gd, strategy, key_radius)
-        load = persist = None
+        load = persist = lease = None
         if self._store is not None:
             store = self._store
+            lease = self._lease_factory(gd)
 
             def load() -> LinearOrder | None:
                 return store.get_order(gd, strategy, key_radius, n=g.n)
@@ -182,7 +217,7 @@ class PrecomputeCache:
                 store.put_order(gd, strategy, key_radius, v)
 
         return self._tables["order"].get_or_compute(
-            key, lambda: make_order(g, radius, strategy), load, persist
+            key, lambda: make_order(g, radius, strategy), load, persist, lease
         )
 
     def rank_adjacency(self, g: Graph, order: LinearOrder) -> RankedAdjacency:
@@ -195,9 +230,10 @@ class PrecomputeCache:
 
         gd, od = graph_digest(g), order_digest(order)
         key = (gd, od)
-        load = persist = None
+        load = persist = lease = None
         if self._store is not None:
             store = self._store
+            lease = self._lease_factory(gd)
 
             def load() -> RankedAdjacency | None:
                 return store.get_rank_adj(gd, od, g, order)
@@ -206,7 +242,7 @@ class PrecomputeCache:
                 store.put_rank_adj(gd, od, v)
 
         return self._tables["rank_adj"].get_or_compute(
-            key, lambda: RankedAdjacency(g, order), load, persist
+            key, lambda: RankedAdjacency(g, order), load, persist, lease
         )
 
     def wreach_csr(self, g: Graph, order: LinearOrder, reach: int) -> WReachCSR:
@@ -220,9 +256,10 @@ class PrecomputeCache:
 
         gd, od = graph_digest(g), order_digest(order)
         key = (gd, od, int(reach))
-        load = persist = None
+        load = persist = lease = None
         if self._store is not None:
             store = self._store
+            lease = self._lease_factory(gd)
 
             def load() -> WReachCSR | None:
                 return store.get_wreach(gd, od, int(reach), g, order)
@@ -237,6 +274,7 @@ class PrecomputeCache:
             ),
             load,
             persist,
+            lease,
         )
 
     def wreach(self, g: Graph, order: LinearOrder, reach: int) -> list[list[int]]:
@@ -259,9 +297,10 @@ class PrecomputeCache:
         """``wcol_of_order`` via the cached CSR size profile."""
         gd, od = graph_digest(g), order_digest(order)
         key = (gd, od, int(reach))
-        load = persist = None
+        load = persist = lease = None
         if self._store is not None:
             store = self._store
+            lease = self._lease_factory(gd)
 
             def load() -> int | None:
                 return store.get_wcol(gd, od, int(reach))
@@ -270,7 +309,8 @@ class PrecomputeCache:
                 store.put_wcol(gd, od, int(reach), v)
 
         return self._tables["wcol"].get_or_compute(
-            key, lambda: self.wreach_csr(g, order, reach).wcol(), load, persist
+            key, lambda: self.wreach_csr(g, order, reach).wcol(), load, persist,
+            lease,
         )
 
     def distributed_order(
@@ -306,9 +346,10 @@ class PrecomputeCache:
                 return distributed_augmented_order(g, radius, threshold, engine=engine)
             raise ValueError(f"unknown order mode {mode!r}")
 
-        load = persist = None
+        load = persist = lease = None
         if self._store is not None:
             store = self._store
+            lease = self._lease_factory(gd)
 
             def load() -> OrderComputation | None:
                 return store.get_dist_order(gd, mode, key_radius, threshold, n=g.n)
@@ -316,7 +357,9 @@ class PrecomputeCache:
             def persist(v: OrderComputation) -> None:
                 store.put_dist_order(gd, mode, key_radius, threshold, v)
 
-        return self._tables["dist_order"].get_or_compute(key, compute, load, persist)
+        return self._tables["dist_order"].get_or_compute(
+            key, compute, load, persist, lease
+        )
 
     # -- bookkeeping -----------------------------------------------------
     def stats(self) -> dict[str, dict[str, int]]:

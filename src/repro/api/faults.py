@@ -1,0 +1,313 @@
+"""Deterministic fault injection for the Workspace/ArtifactStore runtime.
+
+The paper's pipelines are pure functions of ``(graph digest, request)``,
+so every infrastructure failure — a worker process dying mid-batch, a
+store writer killed between ``mkstemp`` and ``os.replace``, a torn or
+bit-rotted artifact, two processes warming the same graph — is
+recoverable by recomputation.  Testing that recovery honestly requires
+*injecting* those failures on demand, reproducibly.  A
+:class:`FaultPlan` is that substrate: a seeded, declarative list of
+fault rules that the store, the pooled executor, and the lease protocol
+consult at well-defined hook points.
+
+Two activation paths share one spec format:
+
+* in-process: ``with FaultPlan.parse("kill:digest=ab,attempts=1").activate(): ...``
+* cross-process: the ``REPRO_FAULTS`` environment variable (the context
+  manager exports it, so pool workers forked inside the ``with`` block
+  inherit the plan automatically).
+
+Spec grammar — semicolon-separated clauses, each ``kind:key=value,...``;
+an optional leading ``seed=N`` clause seeds the plan::
+
+    seed=7;kill:digest=3fb2,attempts=1;latency:ms=5,category=wreach
+
+Rule kinds (all counters are per-process and start at zero):
+
+``kill``
+    ``os._exit(1)`` inside a pool worker at group-task entry.  Match by
+    ``digest=<prefix>`` plus ``attempts=K`` (die while the dispatch
+    attempt is ``< K``, so ``K`` retries recover and ``K >=
+    max_attempts`` forces poison), or by ``task=N`` (die when this
+    worker process starts its Nth group task, 1-based).
+``torn``
+    Simulate a writer killed mid-write: the matching
+    :meth:`~repro.api.store.ArtifactStore._save` writes a *partial*
+    temp file and never reaches ``os.replace`` — the artifact is
+    missing and an orphaned ``.tmp`` file is left behind (what the
+    store's age-based sweep exists to clean).  Match by
+    ``category=<store subdir>`` and ``nth=N`` (Nth matching save,
+    1-based; default 1).
+``corrupt``
+    Simulate post-write bit rot: the save completes and the final file
+    is then truncated, so later loads fail validation (what the
+    two-strike quarantine exists to catch).  Same match keys as
+    ``torn``.
+``latency``
+    Sleep ``ms`` milliseconds (plus a seeded jitter of up to
+    ``jitter_ms``) in store loads; optional ``category=`` filter.
+``lease``
+    Force lease contention: the first ``holds=K`` acquisition attempts
+    for a matching lease (``digest=<prefix>``, default: all) behave as
+    if another process holds it.
+
+Hook functions (:func:`on_group_task`, :func:`on_save`,
+:func:`on_load`, :func:`on_lease`) are no-ops when no plan is active,
+so production paths pay one global check.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+__all__ = ["FaultPlan", "FaultRule", "active"]
+
+#: Rule kinds the parser accepts.
+KINDS = ("kill", "torn", "corrupt", "latency", "lease")
+
+#: Integer-valued rule fields (everything else stays a string).
+_INT_FIELDS = frozenset({"attempts", "task", "nth", "ms", "jitter_ms", "holds"})
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault clause: a kind plus its match/behavior fields."""
+
+    kind: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def spec(self) -> str:
+        """The clause in ``REPRO_FAULTS`` syntax (round-trips parse)."""
+        if not self.fields:
+            return self.kind
+        body = ",".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"{self.kind}:{body}"
+
+
+class FaultPlan:
+    """A seeded, declarative fault schedule (see module docstring).
+
+    Plans are immutable descriptions; all mutable state (per-rule
+    counters, the jitter RNG) lives in process-local module globals so
+    a plan parsed from the environment in a forked worker behaves
+    identically to the parent's object.
+    """
+
+    def __init__(self, rules: list[FaultRule] | tuple[FaultRule, ...] = (),
+                 seed: int = 0):
+        self.rules: tuple[FaultRule, ...] = tuple(rules)
+        self.seed = int(seed)
+        for rule in self.rules:
+            if rule.kind not in KINDS:
+                raise ValueError(
+                    f"unknown fault kind {rule.kind!r} (use one of {KINDS})"
+                )
+
+    # -- spec round-trip -------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str, seed: int | None = None) -> "FaultPlan":
+        """A plan from ``REPRO_FAULTS`` syntax (see module docstring)."""
+        rules: list[FaultRule] = []
+        plan_seed = 0
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                plan_seed = int(clause[5:])
+                continue
+            kind, _, body = clause.partition(":")
+            kind = kind.strip()
+            fields: dict[str, Any] = {}
+            for pair in body.split(",") if body else []:
+                key, sep, value = pair.partition("=")
+                if not sep:
+                    raise ValueError(
+                        f"fault clause {clause!r}: expected key=value, got {pair!r}"
+                    )
+                key = key.strip()
+                fields[key] = int(value) if key in _INT_FIELDS else value.strip()
+            rules.append(FaultRule(kind, fields))
+        if seed is not None:
+            plan_seed = int(seed)
+        return cls(rules, seed=plan_seed)
+
+    def spec(self) -> str:
+        """The full plan in ``REPRO_FAULTS`` syntax (round-trips)."""
+        parts = [f"seed={self.seed}"] if self.seed else []
+        parts += [rule.spec() for rule in self.rules]
+        return ";".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultPlan({self.spec()!r})"
+
+    # -- activation ------------------------------------------------------
+    def activate(self) -> "_Activation":
+        """Context manager: install this plan in-process *and* export
+        ``REPRO_FAULTS`` so workers forked inside the block inherit it."""
+        return _Activation(self)
+
+
+class _Activation:
+    """The ``with FaultPlan.activate()`` guard (restores prior state)."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._prior_env: str | None = None
+        self._prior_plan: FaultPlan | None = None
+
+    def __enter__(self) -> FaultPlan:
+        global _ACTIVE
+        self._prior_env = os.environ.get("REPRO_FAULTS")
+        self._prior_plan = _ACTIVE
+        os.environ["REPRO_FAULTS"] = self.plan.spec()
+        _reset_counters()
+        _ACTIVE = self.plan
+        return self.plan
+
+    def __exit__(self, *exc: Any) -> None:
+        global _ACTIVE
+        _ACTIVE = self._prior_plan
+        if self._prior_env is None:
+            os.environ.pop("REPRO_FAULTS", None)
+        else:
+            os.environ["REPRO_FAULTS"] = self._prior_env
+        _reset_counters()
+
+
+# ----------------------------------------------------------------------
+# Process-local active-plan resolution and counters
+# ----------------------------------------------------------------------
+
+_ACTIVE: FaultPlan | None = None
+#: Cache of the last environment spec parsed, so workers that resolve
+#: the plan from ``REPRO_FAULTS`` parse it once, not per hook call.
+_ENV_CACHE: tuple[str, FaultPlan] | None = None
+_LOCK = threading.Lock()
+#: Per-(rule-index, hook) occurrence counters; process-local by design —
+#: a forked worker starts its own task/save counts from zero.
+_COUNTERS: dict[tuple[int, str], int] = {}
+_RNG: random.Random | None = None
+
+
+def active() -> FaultPlan | None:
+    """The plan in force for this process, or ``None``.
+
+    Resolution order: an in-process :meth:`FaultPlan.activate` wins;
+    otherwise ``REPRO_FAULTS`` from the environment (how pool workers —
+    forked or spawned — see the parent's plan).
+    """
+    global _ENV_CACHE
+    if _ACTIVE is not None:
+        return _ACTIVE
+    spec = os.environ.get("REPRO_FAULTS")
+    if not spec:
+        return None
+    cached = _ENV_CACHE
+    if cached is not None and cached[0] == spec:
+        return cached[1]
+    plan = FaultPlan.parse(spec)
+    _ENV_CACHE = (spec, plan)
+    return plan
+
+
+def _reset_counters() -> None:
+    global _RNG
+    with _LOCK:
+        _COUNTERS.clear()
+        _RNG = None
+
+
+def _bump(rule_index: int, hook: str) -> int:
+    """The 1-based occurrence count of this (rule, hook) in this process."""
+    key = (rule_index, hook)
+    with _LOCK:
+        _COUNTERS[key] = _COUNTERS.get(key, 0) + 1
+        return _COUNTERS[key]
+
+
+def _jitter_ms(plan: FaultPlan, bound: int) -> float:
+    """A seeded jitter draw in ``[0, bound]`` milliseconds."""
+    global _RNG
+    if bound <= 0:
+        return 0.0
+    with _LOCK:
+        if _RNG is None:
+            _RNG = random.Random(plan.seed)
+        return _RNG.uniform(0.0, float(bound))
+
+
+def _matching(plan: FaultPlan, kind: str) -> Iterator[tuple[int, FaultRule]]:
+    for i, rule in enumerate(plan.rules):
+        if rule.kind == kind:
+            yield i, rule
+
+
+# ----------------------------------------------------------------------
+# Hook points (called from workspace workers, the store, and leases)
+# ----------------------------------------------------------------------
+
+
+def on_group_task(digest: str, attempt: int) -> None:
+    """Pool-worker group entry: apply ``kill`` rules (may not return)."""
+    plan = active()
+    if plan is None:
+        return
+    for i, rule in _matching(plan, "kill"):
+        f = rule.fields
+        if "task" in f:
+            if _bump(i, "task") == int(f["task"]):
+                os._exit(1)
+        elif digest.startswith(str(f.get("digest", ""))):
+            if attempt < int(f.get("attempts", 1)):
+                os._exit(1)
+
+
+def on_save(category: str) -> str | None:
+    """Store-save entry: ``"torn"`` / ``"corrupt"`` when a rule fires."""
+    plan = active()
+    if plan is None:
+        return None
+    for kind in ("torn", "corrupt"):
+        for i, rule in _matching(plan, kind):
+            f = rule.fields
+            if f.get("category") not in (None, category):
+                continue
+            if _bump(i, f"save:{category}") == int(f.get("nth", 1)):
+                return kind
+    return None
+
+
+def on_load(category: str) -> None:
+    """Store-load entry: apply ``latency`` rules (seeded jitter)."""
+    plan = active()
+    if plan is None:
+        return
+    for _i, rule in _matching(plan, "latency"):
+        f = rule.fields
+        if f.get("category") not in (None, category):
+            continue
+        delay_ms = float(int(f.get("ms", 0))) + _jitter_ms(
+            plan, int(f.get("jitter_ms", 0))
+        )
+        if delay_ms > 0:
+            time.sleep(delay_ms / 1e3)
+
+
+def on_lease(digest: str) -> bool:
+    """Lease-acquire attempt: ``True`` forces a simulated contention."""
+    plan = active()
+    if plan is None:
+        return False
+    for i, rule in _matching(plan, "lease"):
+        f = rule.fields
+        if not digest.startswith(str(f.get("digest", ""))):
+            continue
+        if _bump(i, f"lease:{digest}") <= int(f.get("holds", 1)):
+            return True
+    return False

@@ -26,6 +26,16 @@ permutations.  Writes go through a temp file + ``os.replace`` so a
 concurrent reader (pooled workers sharing one store) never sees a
 partial file; any unreadable or malformed entry is treated as a miss.
 
+The store also carries its own *lifecycle* (see
+:mod:`repro.api.store_gc`): reads stamp a per-digest ``last_used``
+touch file, :meth:`ArtifactStore.gc` evicts least-recently-used digest
+directories down to a byte budget (plus an age-based sweep of orphaned
+``.tmp`` files from killed writers), :meth:`ArtifactStore.lease` hands
+out the per-digest advisory lease two warming processes coordinate
+through, and a file that fails validation twice is moved to
+``<root>/quarantine/`` with a reason note instead of being re-missed
+(and re-recomputed over) forever.
+
 ``ArtifactStore(root, mmap=True)`` (or ``REPRO_STORE_MMAP=1``) switches
 loads to zero-copy memory maps via :mod:`repro.graphs.npzmap`: warm
 starts page in only the bytes a solver touches instead of reading whole
@@ -44,18 +54,22 @@ store (two-tier read-through) — see ``PrecomputeCache(store=...)`` and
 from __future__ import annotations
 
 import hashlib
+import io
 import os
 import pathlib
 import tempfile
+import time
 import zipfile
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.api import faults
 from repro.graphs.graph import Graph
 from repro.orders.linear_order import LinearOrder
 
 if TYPE_CHECKING:
+    from repro.api.store_gc import Lease
     from repro.distributed.nd_order import OrderComputation
     from repro.orders.wreach import RankedAdjacency, WReachCSR
 
@@ -94,36 +108,73 @@ class ArtifactStore:
     #: Artifact categories, in the order ``describe()`` reports them.
     CATEGORIES = ("graphs", "orders", "rank_adj", "wreach", "wcol", "dist_orders")
 
+    #: Validation failures a file survives before quarantine.  Two, not
+    #: one: a single failure can be a transient reader-side condition
+    #: (interrupted mmap, ENOMEM); the same file failing twice is rot.
+    QUARANTINE_STRIKES = 2
+
     def __init__(self, root: str | os.PathLike, *, mmap: bool | None = None):
         self.root = pathlib.Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
         if mmap is None:
             mmap = os.environ.get("REPRO_STORE_MMAP", "") not in ("", "0")
         self.mmap = bool(mmap)
+        #: Per-digest monotonic time of the last ``last_used`` stamp, so
+        #: hot read loops do one utime per digest per interval, not per
+        #: artifact load.
+        self._touched: dict[str, float] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         flag = ", mmap=True" if self.mmap else ""
         return f"ArtifactStore({str(self.root)!r}{flag})"
 
     # -- low-level npz I/O -------------------------------------------------
+    def _category(self, path: pathlib.Path) -> str:
+        """The store category (top-level subdirectory) a path lives in."""
+        try:
+            return path.relative_to(self.root).parts[0]
+        except (ValueError, IndexError):  # pragma: no cover - foreign path
+            return ""
+
     def _save(self, path: pathlib.Path, **arrays: Any) -> None:
         """Atomic npz write: unique temp file in the target dir + replace.
 
         ``mkstemp`` (not a pid-derived name) keeps concurrent *threads*
         of one process from sharing a temp inode, so a reader can never
-        observe a partially-written artifact under the final path.
+        observe a partially-written artifact under the final path.  A
+        successful write also clears any corruption strikes recorded
+        against the path — fresh bytes start with a clean record.
         """
         path.parent.mkdir(parents=True, exist_ok=True)
+        fault = faults.on_save(self._category(path))
         fd, tmp_name = tempfile.mkstemp(
             prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
         )
-        tmp = pathlib.Path(tmp_name)
+        tmp: pathlib.Path | None = pathlib.Path(tmp_name)
         try:
+            if fault == "torn":
+                # Injected writer death mid-write: half the payload
+                # lands in the temp file, the replace never happens, and
+                # the orphaned .tmp is what sweep_tmp() must reclaim.
+                buf = io.BytesIO()
+                np.savez(buf, **arrays)
+                payload = buf.getvalue()
+                with os.fdopen(fd, "wb") as f:
+                    f.write(payload[: max(1, len(payload) // 2)])
+                tmp = None  # leak it, deliberately
+                return
             with os.fdopen(fd, "wb") as f:
                 np.savez(f, **arrays)
             os.replace(tmp, path)
+            self._strike_path(path).unlink(missing_ok=True)
+            if fault == "corrupt":
+                # Injected bit rot: the committed file is truncated so
+                # later loads fail validation and exercise quarantine.
+                with open(path, "r+b") as f:
+                    f.truncate(max(1, path.stat().st_size // 2))
         finally:
-            tmp.unlink(missing_ok=True)
+            if tmp is not None:
+                tmp.unlink(missing_ok=True)
 
     def _load(self, path: pathlib.Path, *names: str) -> tuple[np.ndarray, ...] | None:
         """The named arrays of an npz file, or ``None`` on any failure.
@@ -134,6 +185,7 @@ class ArtifactStore:
         truncated or partially-written file is a miss, never a mapped
         array of garbage tail bytes.
         """
+        faults.on_load(self._category(path))
         if self.mmap:
             from repro.graphs.npzmap import mmap_npz
 
@@ -146,6 +198,60 @@ class ArtifactStore:
                 return tuple(data[name] for name in names)
         except _LOAD_ERRORS:
             return None
+
+    # -- corruption strikes and quarantine -----------------------------------
+    def _strike_path(self, path: pathlib.Path) -> pathlib.Path:
+        return path.with_name(path.name + ".bad")
+
+    def _note_corrupt(self, path: pathlib.Path, reason: str) -> None:
+        """Record a validation failure; quarantine on the second strike.
+
+        Atomic writes mean an *existing* file that fails validation is
+        genuinely damaged, not half-written — but silently treating it
+        as a miss forever means every process re-fails the load and
+        recomputes over a file that will never heal.  After
+        ``QUARANTINE_STRIKES`` failures the file moves to
+        ``<root>/quarantine/<category>/...`` with a ``.reason.txt``
+        note, so the slot becomes a *clean* miss the next write fills.
+        """
+        if not path.exists():
+            return  # absent is an ordinary miss, not corruption
+        strike = self._strike_path(path)
+        try:
+            count = int(strike.read_text().splitlines()[0])
+        except (OSError, ValueError, IndexError):
+            count = 0
+        count += 1
+        if count < self.QUARANTINE_STRIKES:
+            try:
+                strike.write_text(f"{count}\n{reason}\n")
+            except OSError:  # pragma: no cover - read-only store
+                pass
+            return
+        try:
+            rel = path.relative_to(self.root)
+        except ValueError:  # pragma: no cover - foreign path
+            rel = pathlib.Path(path.name)
+        qpath = self.root / "quarantine" / rel
+        qpath.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, qpath)
+            qpath.with_name(qpath.name + ".reason.txt").write_text(
+                f"{reason}\nstrikes: {count}\nquarantined: {time.time():.0f}\n"
+            )
+        except OSError:  # pragma: no cover - concurrent quarantine
+            pass
+        strike.unlink(missing_ok=True)
+
+    def _touch(self, digest: str) -> None:
+        """Stamp ``last_used`` for a digest (throttled per instance)."""
+        now = time.monotonic()
+        if now - self._touched.get(digest, -1e9) < 5.0:
+            return
+        self._touched[digest] = now
+        from repro.api import store_gc
+
+        store_gc.touch_last_used(self.root, digest)
 
     # -- graphs --------------------------------------------------------------
     def _graph_path(self, digest: str) -> pathlib.Path:
@@ -175,8 +281,10 @@ class ArtifactStore:
         structural indptr checks below; content integrity is the
         filesystem's job there, as for any mapped database file.
         """
-        loaded = self._load(self._graph_path(digest), "indptr", "indices")
+        path = self._graph_path(digest)
+        loaded = self._load(path, "indptr", "indices")
         if loaded is None:
+            self._note_corrupt(path, "unreadable graph npz")
             return None
         indptr, indices = loaded
         if (
@@ -187,6 +295,7 @@ class ArtifactStore:
             or int(indptr[-1]) != len(indices)
             or bool(np.any(np.diff(indptr) < 0))
         ):
+            self._note_corrupt(path, "malformed CSR offsets")
             return None
         try:
             g = Graph(
@@ -195,10 +304,16 @@ class ArtifactStore:
                 _checked=True,
             )
         except _LOAD_ERRORS:
+            self._note_corrupt(path, "CSR arrays rejected by Graph")
             return None
         if self.mmap:
+            self._touch(digest)
             return g
-        return g if graph_digest(g) == digest else None
+        if graph_digest(g) != digest:
+            self._note_corrupt(path, "content digest mismatch")
+            return None
+        self._touch(digest)
+        return g
 
     def graph_digests(self) -> list[str]:
         """Digests of every persisted graph, sorted."""
@@ -234,17 +349,23 @@ class ArtifactStore:
     def get_order(
         self, gdigest: str, strategy: str, radius: int, n: int | None = None
     ) -> LinearOrder | None:
-        loaded = self._load(self._order_path(gdigest, strategy, radius), "rank")
+        path = self._order_path(gdigest, strategy, radius)
+        loaded = self._load(path, "rank")
         if loaded is None:
+            self._note_corrupt(path, "unreadable order npz")
             return None
         (rank,) = loaded
         if n is not None and len(rank) != n:
+            self._note_corrupt(path, f"rank length {len(rank)} != n {n}")
             return None
         try:
             # LinearOrder re-validates the permutation property.
-            return LinearOrder(rank.astype(np.int64, copy=False))
+            order = LinearOrder(rank.astype(np.int64, copy=False))
         except Exception:
+            self._note_corrupt(path, "rank is not a permutation")
             return None
+        self._touch(gdigest)
+        return order
 
     # -- rank-permuted adjacency ------------------------------------------
     def _rank_adj_path(self, gdigest: str, odigest: str) -> pathlib.Path:
@@ -260,18 +381,24 @@ class ArtifactStore:
         """Rebuild a :class:`RankedAdjacency` around the stored permutation."""
         from repro.orders.wreach import RankedAdjacency
 
-        loaded = self._load(self._rank_adj_path(gdigest, odigest), "nbrs")
+        path = self._rank_adj_path(gdigest, odigest)
+        loaded = self._load(path, "nbrs")
         if loaded is None:
+            self._note_corrupt(path, "unreadable rank_adj npz")
             return None
         (nbrs,) = loaded
         if len(nbrs) != len(g.indices):
+            self._note_corrupt(path, "nbrs length disagrees with graph")
             return None
         try:
-            return RankedAdjacency.from_sorted_nbrs(
+            adj = RankedAdjacency.from_sorted_nbrs(
                 g, order, nbrs.astype(np.int64, copy=False)
             )
         except Exception:
+            self._note_corrupt(path, "nbrs rejected by RankedAdjacency")
             return None
+        self._touch(gdigest)
+        return adj
 
     # -- WReach CSR ---------------------------------------------------------
     def _wreach_path(self, gdigest: str, odigest: str, reach: int) -> pathlib.Path:
@@ -289,10 +416,10 @@ class ArtifactStore:
     ) -> WReachCSR | None:
         from repro.orders.wreach import WReachCSR
 
-        loaded = self._load(
-            self._wreach_path(gdigest, odigest, reach), "indptr", "members"
-        )
+        path = self._wreach_path(gdigest, odigest, reach)
+        loaded = self._load(path, "indptr", "members")
         if loaded is None:
+            self._note_corrupt(path, "unreadable wreach npz")
             return None
         indptr, members = loaded
         if (
@@ -301,7 +428,9 @@ class ArtifactStore:
             or len(indptr) != g.n + 1
             or (g.n > 0 and (indptr[0] != 0 or int(indptr[-1]) != len(members)))
         ):
+            self._note_corrupt(path, "malformed wreach CSR offsets")
             return None
+        self._touch(gdigest)
         return WReachCSR(
             indptr.astype(np.int64, copy=False),
             members.astype(np.int64, copy=False),
@@ -320,13 +449,18 @@ class ArtifactStore:
         )
 
     def get_wcol(self, gdigest: str, odigest: str, reach: int) -> int | None:
-        loaded = self._load(self._wcol_path(gdigest, odigest, reach), "value")
+        path = self._wcol_path(gdigest, odigest, reach)
+        loaded = self._load(path, "value")
         if loaded is None or loaded[0].size != 1:
+            self._note_corrupt(path, "unreadable or non-scalar wcol npz")
             return None
         try:
-            return int(loaded[0].reshape(()))
+            value = int(loaded[0].reshape(()))
         except (TypeError, ValueError):
+            self._note_corrupt(path, "non-integer wcol value")
             return None
+        self._touch(gdigest)
+        return value
 
     # -- distributed order computations -------------------------------------
     def _dist_order_path(
@@ -364,21 +498,21 @@ class ArtifactStore:
     ) -> OrderComputation | None:
         from repro.distributed.nd_order import OrderComputation
 
-        loaded = self._load(
-            self._dist_order_path(gdigest, mode, radius, threshold),
-            "rank",
-            "class_ids",
-            "costs",
-        )
+        path = self._dist_order_path(gdigest, mode, radius, threshold)
+        loaded = self._load(path, "rank", "class_ids", "costs")
         if loaded is None:
+            self._note_corrupt(path, "unreadable dist_order npz")
             return None
         rank, class_ids, costs = loaded
         if (n is not None and len(rank) != n) or len(costs) != 4:
+            self._note_corrupt(path, "malformed dist_order arrays")
             return None
         try:
             order = LinearOrder(rank.astype(np.int64, copy=False))
         except Exception:
+            self._note_corrupt(path, "rank is not a permutation")
             return None
+        self._touch(gdigest)
         return OrderComputation(
             order=order,
             class_ids=class_ids.astype(np.int64, copy=False),
@@ -428,3 +562,61 @@ class ArtifactStore:
             "categories": categories,
             "total_bytes": sum(c["bytes"] for c in categories.values()),
         }
+
+    # -- lifecycle (leases, GC, status) --------------------------------------
+    def lease(
+        self,
+        digest: str,
+        *,
+        ttl_s: float | None = None,
+        timeout_s: float | None = None,
+    ) -> "Lease":
+        """The advisory per-digest lease two warming processes share.
+
+        Used as a context manager around expensive precompute: the
+        holder computes while contenders wait, then re-check the store
+        and load what the holder persisted.  ``REPRO_LEASE_TTL_S`` /
+        ``REPRO_LEASE_TIMEOUT_S`` override the defaults process-wide
+        (the knob the fault-injection suite and ops tuning use).
+        """
+        from repro.api import store_gc
+
+        if ttl_s is None:
+            ttl_s = _env_float("REPRO_LEASE_TTL_S", store_gc.DEFAULT_TTL_S)
+        if timeout_s is None:
+            timeout_s = _env_float(
+                "REPRO_LEASE_TIMEOUT_S", store_gc.DEFAULT_TIMEOUT_S
+            )
+        return store_gc.Lease(self.root, digest, ttl_s=ttl_s, timeout_s=timeout_s)
+
+    def sweep_tmp(self, max_age_s: float | None = None) -> list[str]:
+        """Remove orphaned ``.tmp`` files older than ``max_age_s``."""
+        from repro.api import store_gc
+
+        if max_age_s is None:
+            max_age_s = store_gc.DEFAULT_TMP_AGE_S
+        return store_gc.sweep_tmp(self.root, max_age_s=max_age_s)
+
+    def gc(self, max_bytes: int, **kwargs: Any) -> dict[str, Any]:
+        """LRU-by-``last_used`` eviction down to ``max_bytes`` (+ tmp sweep).
+
+        See :func:`repro.api.store_gc.collect` for the report shape and
+        the leased-digest exclusion rule.
+        """
+        from repro.api import store_gc
+
+        return store_gc.collect(self, int(max_bytes), **kwargs)
+
+    def status(self) -> dict[str, Any]:
+        """Per-digest lifecycle report (``repro store info``): size,
+        ``last_used``, lease state, and quarantine contents."""
+        from repro.api import store_gc
+
+        return store_gc.status(self)
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ[name])
+    except (KeyError, ValueError):
+        return default

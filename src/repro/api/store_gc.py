@@ -1,0 +1,427 @@
+"""Store lifecycle: advisory leases, LRU garbage collection, status.
+
+:class:`~repro.api.store.ArtifactStore` is pure digest-keyed
+persistence; this module adds the lifecycle machinery a *shared,
+long-lived* store needs once many processes serve traffic over it:
+
+* :class:`Lease` — per-graph-digest advisory lock files
+  (``O_CREAT|O_EXCL`` + pid/timestamp payload) so two processes warming
+  the same graph coordinate instead of double-computing.  Leases are
+  advisory and crash-safe: a holder that dies leaves a file whose age
+  exceeds the TTL, and the next contender takes it over.  Acquisition
+  is re-entrant per process (refcounted), and a timed-out acquire
+  degrades to computing anyway — the store's atomic, idempotent writes
+  make duplicated work a performance bug, never a correctness one.
+* ``last_used`` touch files — one per graph digest, updated on store
+  reads — giving :func:`collect` its LRU axis without any database.
+* :func:`sweep_tmp` — age-based removal of orphaned ``.*.tmp`` files
+  left by writers killed between ``mkstemp`` and ``os.replace``.
+* :func:`collect` — size-bounded GC: evict whole digest directories,
+  least-recently-used first, until the store fits ``max_bytes``; never
+  evicts a digest under an active lease.
+* :func:`status` — the per-digest report behind ``repro store info``
+  (size, last_used, lease state) plus quarantine contents.
+
+Layout added next to the artifact categories::
+
+    <root>/leases/<graph-digest>.lease       json: pid, time, host
+    <root>/last_used/<graph-digest>          empty; mtime is the datum
+    <root>/quarantine/<category>/...         corrupt artifacts + .reason.txt
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.api import faults
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.store import ArtifactStore
+
+__all__ = ["Lease", "collect", "status", "sweep_tmp", "touch_last_used",
+           "last_used", "is_leased"]
+
+LEASE_DIR = "leases"
+LAST_USED_DIR = "last_used"
+QUARANTINE_DIR = "quarantine"
+
+#: Default lease time-to-live: a holder silent for this long is presumed
+#: dead and its lease is taken over.
+DEFAULT_TTL_S = 120.0
+#: Default time a contender waits for a lease before computing anyway.
+DEFAULT_TIMEOUT_S = 120.0
+#: Default age before an orphaned ``.tmp`` file is swept (a live writer
+#: finishes in well under this; see ``ArtifactStore._save``).
+DEFAULT_TMP_AGE_S = 3600.0
+
+#: Per-process re-entrancy refcounts, keyed by absolute lease path.
+_HELD: dict[str, int] = {}
+_HELD_LOCK = threading.Lock()
+
+
+def _lease_path(root: pathlib.Path, digest: str) -> pathlib.Path:
+    return root / LEASE_DIR / f"{digest}.lease"
+
+
+class Lease:
+    """An advisory per-digest lease over a store root (context manager).
+
+    ``with Lease(root, digest) as lease:`` blocks up to ``timeout_s``
+    for the lease; ``lease.acquired`` reports whether it was obtained
+    (``False`` after a timeout — the caller proceeds anyway, duplicated
+    work being safe by idempotence).  A lease file older than ``ttl_s``
+    is presumed abandoned and taken over.  Re-entrant per process.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        digest: str,
+        *,
+        ttl_s: float = DEFAULT_TTL_S,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        poll_s: float = 0.02,
+    ):
+        self.root = pathlib.Path(root)
+        self.digest = digest
+        self.path = _lease_path(self.root, digest)
+        self.ttl_s = float(ttl_s)
+        self.timeout_s = float(timeout_s)
+        self.poll_s = float(poll_s)
+        self.acquired = False
+
+    # -- protocol --------------------------------------------------------
+    def try_acquire(self) -> bool:
+        """One non-blocking acquisition attempt (stale takeover included)."""
+        key = str(self.path)
+        with _HELD_LOCK:
+            if _HELD.get(key, 0) > 0:  # re-entrant: already ours
+                _HELD[key] += 1
+                self.acquired = True
+                return True
+        if faults.on_lease(self.digest):
+            return False  # injected contention
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(str(self.path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            if self._holder_stale():
+                # Takeover: unlink the abandoned file and retry once.
+                # Two takeover racers are safe — exactly one O_EXCL
+                # create succeeds after the unlink(s).
+                try:
+                    self.path.unlink()
+                except FileNotFoundError:
+                    pass
+                return self.try_acquire()
+            return False
+        with os.fdopen(fd, "w") as fh:
+            json.dump(
+                {"pid": os.getpid(), "time": time.time(),
+                 "host": socket.gethostname()},
+                fh,
+            )
+        with _HELD_LOCK:
+            _HELD[key] = 1
+        self.acquired = True
+        return True
+
+    def acquire(self) -> bool:
+        """Block up to ``timeout_s`` for the lease; ``False`` on timeout."""
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            if self.try_acquire():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(self.poll_s)
+
+    def release(self) -> None:
+        """Drop one hold; the file is removed when the refcount hits 0."""
+        if not self.acquired:
+            return
+        self.acquired = False
+        key = str(self.path)
+        with _HELD_LOCK:
+            count = _HELD.get(key, 0) - 1
+            if count > 0:
+                _HELD[key] = count
+                return
+            _HELD.pop(key, None)
+        try:
+            self.path.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def _holder_stale(self) -> bool:
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except FileNotFoundError:
+            return False  # released between our attempts; retry will win
+        return age > self.ttl_s
+
+    def holder(self) -> dict[str, Any] | None:
+        """The current lease file's payload, or ``None``."""
+        return _read_holder(self.path)
+
+    def __enter__(self) -> "Lease":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "held" if self.acquired else "free"
+        return f"Lease({self.digest!r}, {state})"
+
+
+def _read_holder(path: pathlib.Path) -> dict[str, Any] | None:
+    try:
+        return dict(json.loads(path.read_text()))
+    except (OSError, ValueError):
+        return None
+
+
+def is_leased(root: str | os.PathLike, digest: str,
+              ttl_s: float = DEFAULT_TTL_S) -> bool:
+    """Whether an *active* (non-stale) lease exists for ``digest``."""
+    path = _lease_path(pathlib.Path(root), digest)
+    try:
+        age = time.time() - path.stat().st_mtime
+    except FileNotFoundError:
+        return False
+    return age <= ttl_s
+
+
+# ----------------------------------------------------------------------
+# last_used touch files
+# ----------------------------------------------------------------------
+
+
+def touch_last_used(root: str | os.PathLike, digest: str) -> None:
+    """Stamp ``digest`` as just-read (creates the touch file if absent)."""
+    path = pathlib.Path(root) / LAST_USED_DIR / digest
+    try:
+        os.utime(path)
+    except FileNotFoundError:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.touch()
+    except OSError:  # pragma: no cover - read-only store: reads still work
+        pass
+
+
+def last_used(root: str | os.PathLike, digest: str) -> float | None:
+    """The last-read timestamp of ``digest`` (epoch seconds), or ``None``."""
+    path = pathlib.Path(root) / LAST_USED_DIR / digest
+    try:
+        return path.stat().st_mtime
+    except FileNotFoundError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Sweeps and GC
+# ----------------------------------------------------------------------
+
+
+def sweep_tmp(root: str | os.PathLike,
+              max_age_s: float = DEFAULT_TMP_AGE_S) -> list[str]:
+    """Remove orphaned write-temp files older than ``max_age_s``.
+
+    A writer killed between ``mkstemp`` and ``os.replace`` leaks a
+    ``.{name}.XXXX.tmp`` file in the artifact's directory forever —
+    invisible to loads (they key on final names) but never reclaimed.
+    Age-gating keeps the sweep safe against *live* writers, whose temp
+    files are seconds old.  Returns the removed paths (store-relative).
+    """
+    root = pathlib.Path(root)
+    removed: list[str] = []
+    cutoff = time.time() - float(max_age_s)
+    for path in sorted(root.rglob("*.tmp")):
+        if not path.name.startswith("."):
+            continue
+        try:
+            if path.stat().st_mtime <= cutoff:
+                path.unlink()
+                removed.append(str(path.relative_to(root)))
+        except FileNotFoundError:  # pragma: no cover - concurrent sweep
+            continue
+    return removed
+
+
+def _digest_paths(store: "ArtifactStore", digest: str) -> list[pathlib.Path]:
+    """Every on-disk file belonging to one graph digest."""
+    out: list[pathlib.Path] = []
+    gfile = store.root / "graphs" / f"{digest}.npz"
+    if gfile.exists():
+        out.append(gfile)
+    for cat in store.CATEGORIES:
+        if cat == "graphs":
+            continue
+        cdir = store.root / cat / digest
+        if cdir.is_dir():
+            out.extend(p for p in sorted(cdir.rglob("*")) if p.is_file())
+    return out
+
+
+def _digest_inventory(store: "ArtifactStore") -> dict[str, dict[str, Any]]:
+    """Per-digest ``{"bytes", "files", "paths", "last_used"}`` rows.
+
+    Digests are discovered from the graphs directory *and* from the
+    per-digest category subdirectories, so derived artifacts whose
+    graph file is already gone still participate in GC.
+    """
+    digests: set[str] = set(store.graph_digests())
+    for cat in store.CATEGORIES:
+        if cat == "graphs":
+            continue
+        cdir = store.root / cat
+        if cdir.is_dir():
+            digests.update(p.name for p in cdir.iterdir() if p.is_dir())
+    rows: dict[str, dict[str, Any]] = {}
+    for digest in sorted(digests):
+        paths = _digest_paths(store, digest)
+        sizes = []
+        newest = 0.0
+        for p in paths:
+            try:
+                st = p.stat()
+            except FileNotFoundError:  # pragma: no cover - racing GC
+                continue
+            sizes.append(st.st_size)
+            newest = max(newest, st.st_mtime)
+        used = last_used(store.root, digest)
+        rows[digest] = {
+            "bytes": sum(sizes),
+            "files": len(sizes),
+            "paths": paths,
+            # Never-read digests fall back to their newest write time,
+            # so a freshly-warmed store still has a total LRU order.
+            "last_used": used if used is not None else newest,
+        }
+    return rows
+
+
+def collect(
+    store: "ArtifactStore",
+    max_bytes: int,
+    *,
+    lease_ttl_s: float = DEFAULT_TTL_S,
+    tmp_age_s: float = DEFAULT_TMP_AGE_S,
+) -> dict[str, Any]:
+    """Size-bounded LRU eviction over digest directories.
+
+    Sweeps orphaned temp files first, then — while the store exceeds
+    ``max_bytes`` — evicts whole digests (graph + every derived
+    artifact + last_used stamp), least-recently-used first.  Digests
+    under an active lease are never evicted: a lease marks in-flight
+    computation, and deleting its inputs mid-warm would turn a cheap
+    recompute into a torn handoff.  Returns the GC report the CLI
+    prints.
+    """
+    removed_tmp = sweep_tmp(store.root, max_age_s=tmp_age_s)
+    rows = _digest_inventory(store)
+    total = sum(r["bytes"] for r in rows.values())
+    before = total
+    evicted: list[str] = []
+    skipped: list[str] = []
+    for digest in sorted(rows, key=lambda d: (rows[d]["last_used"], d)):
+        if total <= max_bytes:
+            break
+        if is_leased(store.root, digest, ttl_s=lease_ttl_s):
+            skipped.append(digest)
+            continue
+        for path in rows[digest]["paths"]:
+            try:
+                path.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing GC
+                pass
+        for cat in store.CATEGORIES:
+            cdir = store.root / cat / digest
+            if cdir.is_dir():
+                _prune_empty_dirs(cdir)
+        stamp = store.root / LAST_USED_DIR / digest
+        stamp.unlink(missing_ok=True)
+        total -= rows[digest]["bytes"]
+        evicted.append(digest)
+    return {
+        "before_bytes": before,
+        "after_bytes": total,
+        "max_bytes": int(max_bytes),
+        "evicted": evicted,
+        "skipped_leased": skipped,
+        "kept": len(rows) - len(evicted),
+        "swept_tmp": removed_tmp,
+    }
+
+
+def _prune_empty_dirs(top: pathlib.Path) -> None:
+    """Remove ``top`` and its now-empty subdirectories (best-effort)."""
+    for path in sorted(top.rglob("*"), reverse=True):
+        if path.is_dir():
+            try:
+                path.rmdir()
+            except OSError:  # pragma: no cover - non-empty: artifacts remain
+                pass
+    try:
+        top.rmdir()
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Status (the ``repro store info`` payload)
+# ----------------------------------------------------------------------
+
+
+def status(store: "ArtifactStore",
+           lease_ttl_s: float = DEFAULT_TTL_S) -> dict[str, Any]:
+    """Per-digest lifecycle report + quarantine contents.
+
+    Returns ``{"root", "digests": [{"digest", "bytes", "files",
+    "last_used", "leased", "lease_holder"}...], "total_bytes",
+    "quarantine": [{"path", "bytes", "reason"}...]}``.
+    """
+    rows = _digest_inventory(store)
+    digests = []
+    for digest in sorted(rows):
+        row = rows[digest]
+        lease_file = _lease_path(store.root, digest)
+        holder = _read_holder(lease_file)
+        digests.append(
+            {
+                "digest": digest,
+                "bytes": row["bytes"],
+                "files": row["files"],
+                "last_used": last_used(store.root, digest),
+                "leased": is_leased(store.root, digest, ttl_s=lease_ttl_s),
+                "lease_holder": holder,
+            }
+        )
+    qdir = store.root / QUARANTINE_DIR
+    quarantine = []
+    for path in sorted(qdir.rglob("*")) if qdir.is_dir() else []:
+        if not path.is_file() or path.name.endswith(".reason.txt"):
+            continue
+        note = path.with_name(path.name + ".reason.txt")
+        reason = note.read_text().strip() if note.exists() else ""
+        quarantine.append(
+            {
+                "path": str(path.relative_to(qdir)),
+                "bytes": path.stat().st_size,
+                "reason": reason,
+            }
+        )
+    return {
+        "root": str(store.root),
+        "digests": digests,
+        "total_bytes": sum(r["bytes"] for r in rows.values()),
+        "quarantine": quarantine,
+    }

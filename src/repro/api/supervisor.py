@@ -1,0 +1,340 @@
+"""Supervised process-pool execution for :class:`~repro.api.workspace.Workspace`.
+
+A bare ``ProcessPoolExecutor`` has one catastrophic failure mode for a
+batch server: when any worker process dies (OOM kill, segfault in a
+native kernel, an injected ``os._exit``), the executor breaks and
+*every* pending future — including ones for unrelated graphs — fails
+with ``BrokenProcessPool`` and zero request context.  The paper's
+pipelines are deterministic functions of ``(graph digest, request)``,
+so the right response is not to propagate the breakage but to recompute:
+any group of requests can be re-dispatched bit-identically.
+
+:class:`SupervisedExecutor` implements that policy at *group*
+granularity (one group = one graph digest's co-located requests, the
+same unit ``Workspace`` already dispatches):
+
+* each group gets one per-request :class:`~concurrent.futures.Future`
+  settled with a ``("ok", result)`` / ``("err", exception)`` outcome —
+  pool-level failures become per-request outcomes instead of shared
+  poison;
+* a group whose inner future fails with a pool-breakage error is
+  re-dispatched onto a *respawned* pool with capped exponential
+  backoff (``base * 2**k + seeded jitter``, default 3 attempts);
+* after exhaustion, only that group's requests fail — each with a
+  structured :class:`~repro.errors.RequestFailed` carrying solver
+  name, graph digest, and attempt count — while sibling groups (which
+  were merely interrupted by the shared breakage) settle normally on
+  retry;
+* per-request deadlines and cancellation settle individual futures
+  without touching their group siblings.
+
+Retry correctness leans on the same idempotent-recompute property the
+store leans on for its writes: a re-dispatched group recomputes the
+exact bytes the crashed attempt would have produced.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import InvalidStateError
+from typing import Any, Callable, Sequence
+
+from repro.errors import RequestFailed
+
+__all__ = ["SupervisedExecutor", "settle_outcome"]
+
+#: One request's outcome inside a group result list.
+Outcome = tuple[str, Any]
+
+#: Default supervision policy.
+DEFAULT_MAX_ATTEMPTS = 3
+DEFAULT_BACKOFF_BASE_S = 0.05
+DEFAULT_BACKOFF_CAP_S = 2.0
+
+
+def settle_outcome(future: "Future[Outcome]", outcome: Outcome) -> bool:
+    """Settle a per-request future with an outcome; False if already done.
+
+    The single write point for request futures — races between the
+    group callback, a deadline timer, cancellation, and shutdown are
+    resolved by whoever gets here first.
+    """
+    try:
+        future.set_result(outcome)
+        return True
+    except InvalidStateError:
+        return False
+
+
+def _is_breakage(exc: BaseException) -> bool:
+    """Whether an inner-future exception means "the pool died", as
+    opposed to an exception the group function itself raised."""
+    return isinstance(exc, BrokenExecutor)
+
+
+class _GroupTask:
+    """One dispatched request group and its supervision state."""
+
+    __slots__ = (
+        "fn", "args", "digest", "algorithms", "futures", "attempt", "timers",
+    )
+
+    def __init__(
+        self,
+        fn: Callable[..., list[Outcome]],
+        args: tuple[Any, ...],
+        digest: str,
+        algorithms: Sequence[str],
+        futures: list["Future[Outcome]"],
+    ):
+        self.fn = fn
+        self.args = args
+        self.digest = digest
+        self.algorithms = list(algorithms)
+        self.futures = futures
+        self.attempt = 0
+        self.timers: list[threading.Timer] = []
+
+    def settled(self) -> bool:
+        return all(f.done() for f in self.futures)
+
+
+class SupervisedExecutor:
+    """A self-healing process pool dispatching per-graph request groups.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (also the respawn size after a breakage).
+    max_attempts:
+        Total dispatch attempts per group before poisoning it.
+    backoff_base_s / backoff_cap_s:
+        Retry ``k`` (1-based) waits ``min(cap, base * 2**(k-1))`` plus
+        a seeded jitter in ``[0, base)`` — capped exponential backoff.
+    seed:
+        Seeds the jitter RNG (determinism discipline: no unseeded
+        draws anywhere in the library).
+    pool_factory:
+        Test hook: replaces ``ProcessPoolExecutor(workers)`` as the
+        (re)spawn constructor.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        seed: int = 0,
+        pool_factory: Callable[[], Any] | None = None,
+    ):
+        self.workers = int(workers)
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self._factory = pool_factory or (
+            lambda: ProcessPoolExecutor(max_workers=self.workers)
+        )
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._pool: Any = None
+        self._tasks: list[_GroupTask] = []
+        self._closed = False
+        # Observability counters (tests assert "only the injected
+        # group's futures were ever retried" against these).
+        self.retries: dict[str, int] = {}
+        self.respawns = 0
+        self.poisoned: list[str] = []
+
+    # -- dispatch --------------------------------------------------------
+    def submit_group(
+        self,
+        fn: Callable[..., list[Outcome]],
+        args: tuple[Any, ...],
+        *,
+        digest: str,
+        algorithms: Sequence[str],
+        deadlines_s: Sequence[float | None] | None = None,
+    ) -> list["Future[Outcome]"]:
+        """Dispatch one request group; one settled-with-outcome future
+        per request comes back, in request order.
+
+        ``fn(*args, attempt)`` runs on the pool and must return one
+        outcome per request.  ``deadlines_s`` (parallel to
+        ``algorithms``) arms a timer per bounded request: expiry
+        settles *that* future with a ``reason="deadline"``
+        :class:`RequestFailed`; the group keeps computing for its
+        siblings.
+        """
+        task = _GroupTask(
+            fn, args, digest, algorithms,
+            [Future() for _ in algorithms],
+        )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SupervisedExecutor is closed")
+            self._tasks.append(task)
+        for i, deadline in enumerate(deadlines_s or []):
+            if deadline is None:
+                continue
+            timer = threading.Timer(
+                float(deadline), self._expire, args=(task, i)
+            )
+            timer.daemon = True
+            task.timers.append(timer)
+            timer.start()
+        self._dispatch(task)
+        return task.futures
+
+    def _ensure_pool(self) -> Any:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SupervisedExecutor is closed")
+            if self._pool is None:
+                self._pool = self._factory()
+            return self._pool
+
+    def _dispatch(self, task: _GroupTask) -> None:
+        try:
+            pool = self._ensure_pool()
+            inner = pool.submit(task.fn, *task.args, task.attempt)
+        except (RuntimeError, BrokenExecutor) as exc:
+            self._poison(task, exc)
+            return
+        inner.add_done_callback(lambda f, t=task: self._on_group_done(t, f))
+
+    # -- settlement paths ------------------------------------------------
+    def _on_group_done(self, task: _GroupTask, inner: "Future[Any]") -> None:
+        if task.settled():
+            self._cancel_timers(task)
+            return
+        exc = inner.exception()
+        if exc is None:
+            outcomes = inner.result()
+            for fut, outcome in zip(task.futures, outcomes, strict=False):
+                settle_outcome(fut, outcome)
+            self._cancel_timers(task)
+            return
+        if _is_breakage(exc):
+            self._retire_pool()
+            if task.attempt + 1 < self.max_attempts:
+                task.attempt += 1
+                self.retries[task.digest] = self.retries.get(task.digest, 0) + 1
+                with self._lock:
+                    closed = self._closed
+                    delay = min(
+                        self.backoff_cap_s,
+                        self.backoff_base_s * (2 ** (task.attempt - 1)),
+                    ) + self._rng.uniform(0.0, self.backoff_base_s)
+                if closed:
+                    self._poison(task, exc)
+                    return
+                timer = threading.Timer(delay, self._dispatch, args=(task,))
+                timer.daemon = True
+                task.timers.append(timer)
+                timer.start()
+                return
+        self._poison(task, exc)
+        self._cancel_timers(task)
+
+    def _poison(self, task: _GroupTask, cause: BaseException) -> None:
+        crash = _is_breakage(cause)
+        if crash:
+            self.poisoned.append(task.digest)
+        for fut, algorithm in zip(task.futures, task.algorithms, strict=True):
+            error = RequestFailed(
+                (
+                    f"{algorithm} on graph {task.digest}: worker process died "
+                    f"and the group still failed after "
+                    f"{task.attempt + 1} dispatch attempt(s) "
+                    f"({type(cause).__name__}: {cause})"
+                    if crash
+                    else f"{algorithm} on graph {task.digest}: group dispatch "
+                    f"failed on attempt {task.attempt + 1} "
+                    f"({type(cause).__name__}: {cause})"
+                ),
+                algorithm=algorithm,
+                graph_digest=task.digest,
+                attempts=task.attempt + 1,
+                reason="worker-crash" if crash else "error",
+            )
+            error.__cause__ = cause
+            settle_outcome(fut, ("err", error))
+
+    def _expire(self, task: _GroupTask, index: int) -> None:
+        settle_outcome(
+            task.futures[index],
+            (
+                "err",
+                RequestFailed(
+                    f"{task.algorithms[index]} on graph {task.digest}: "
+                    f"deadline_s expired before the pooled result arrived "
+                    f"(attempt {task.attempt + 1})",
+                    algorithm=task.algorithms[index],
+                    graph_digest=task.digest,
+                    attempts=task.attempt + 1,
+                    reason="deadline",
+                ),
+            ),
+        )
+
+    def _cancel_timers(self, task: _GroupTask) -> None:
+        for timer in task.timers:
+            timer.cancel()
+        task.timers.clear()
+
+    def _retire_pool(self) -> None:
+        """Discard a broken executor; the next dispatch respawns."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            self.respawns += 1
+            pool.shutdown(wait=False)
+
+    # -- introspection / lifecycle ---------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Supervision counters: retries per digest, respawns, poison."""
+        return {
+            "retries": dict(self.retries),
+            "respawns": self.respawns,
+            "poisoned": list(self.poisoned),
+            "groups": len(self._tasks),
+        }
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Drain (default) or cancel outstanding work, then stop the pool.
+
+        ``cancel_pending=True`` settles every unsettled request future
+        with a ``reason="cancelled"`` :class:`RequestFailed` and drops
+        queued pool work; pending retry backoff timers are cancelled
+        either way (a drain waits for *running* work, not for crashed
+        groups to finish retrying — callers holding their futures see
+        the cancellation outcome, never a hang).
+        """
+        with self._lock:
+            self._closed = True
+            tasks = list(self._tasks)
+            pool, self._pool = self._pool, None
+        for task in tasks:
+            self._cancel_timers(task)
+            if cancel_pending or not wait:
+                for fut, algorithm in zip(task.futures, task.algorithms, strict=True):
+                    settle_outcome(
+                        fut,
+                        (
+                            "err",
+                            RequestFailed(
+                                f"{algorithm} on graph {task.digest}: "
+                                f"cancelled by Workspace.close()",
+                                algorithm=algorithm,
+                                graph_digest=task.digest,
+                                attempts=task.attempt + 1,
+                                reason="cancelled",
+                            ),
+                        ),
+                    )
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=cancel_pending)

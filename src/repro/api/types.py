@@ -133,6 +133,13 @@ class SolveRequest:
     params:
         Solver-specific knobs, e.g. ``{"order_mode": "augmented"}`` for
         ``dist.congest`` or ``{"time_limit": 30.0}`` for ``seq.exact``.
+    deadline_s:
+        Wall-clock budget for *this request* inside a batch executor.
+        Expiry settles the request's future with a
+        ``reason="deadline"`` :class:`~repro.errors.RequestFailed`
+        while sibling requests keep running (pooled workspaces arm a
+        timer; deferred ones check before computing).  ``None``
+        (default) means unbounded.
     """
 
     graph: Graph | GraphHandle
@@ -147,6 +154,7 @@ class SolveRequest:
     seed: int = 0
     engine: str = "auto"
     params: Mapping[str, Any] = field(default_factory=dict)
+    deadline_s: float | None = None
 
     def resolve_engine(
         self, capabilities: "SolverCapabilities", cost_model: Any = None

@@ -23,27 +23,37 @@ first-class in the API:
 Execution modes: ``workers=None`` (default) runs lazily in-process
 against the workspace cache — maximal precompute sharing, results
 computed as futures are forced.  ``workers=N > 1`` fans out over a
-persistent process pool; requests are co-located by graph digest so one
-worker handles one graph's requests (its cache actually hits), and
-workers resolve graphs from their per-process registry or the shared
-store.  Close a pooled workspace with ``ws.close()`` or use it as a
-context manager.
+*supervised* process pool (:mod:`repro.api.supervisor`); requests are
+co-located by graph digest so one worker handles one graph's requests
+(its cache actually hits), and workers resolve graphs from their
+per-process registry or the shared store.  A crashed worker breaks the
+underlying executor, but the supervisor respawns it and re-dispatches
+only the affected graph-groups (capped exponential backoff, 3 attempts
+by default); groups that keep dying fail with a structured
+:class:`~repro.errors.RequestFailed` on their own futures while
+siblings recompute normally.  Close a pooled workspace with
+``ws.close()`` (drains) or ``ws.close(cancel_pending=True)`` (fails
+pending futures with ``reason="cancelled"``), or use it as a context
+manager.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import concurrent.futures
 
+from repro.api import faults
 from repro.api.cache import PrecomputeCache, default_cache
 from repro.api.facade import solve_request
 from repro.api.store import ArtifactStore
+from repro.api.supervisor import SupervisedExecutor, settle_outcome
 from repro.api.types import GraphHandle, SolveRequest, SolveResult
-from repro.errors import SolverError
+from repro.errors import RequestFailed, SolverError
 from repro.graphs.graph import Graph
 
 __all__ = ["SolveFuture", "Workspace"]
@@ -62,35 +72,65 @@ class SolveFuture:
 
     Two flavors behind one surface: *deferred* futures (in-process
     workspaces) hold a thunk and run it on the first ``result()`` call;
-    *pooled* futures reference one request's slot in a per-graph group
-    task running on the process pool.  ``request`` is the original
-    request, so streaming consumers can match results back without
-    bookkeeping of their own.
+    *pooled* futures hold one per-request outcome future settled by the
+    supervised executor (group completion, retry exhaustion, deadline
+    expiry, or cancellation — whichever wins).  ``request`` is the
+    original request, so streaming consumers can match results back
+    without bookkeeping of their own.
     """
 
-    __slots__ = ("request", "_run", "_cf", "_pick", "_done", "_value", "_error")
+    __slots__ = ("request", "_run", "_cf", "_done", "_value", "_error", "_born")
 
     def __init__(
         self,
         request: SolveRequest,
         *,
         run: Callable[[], SolveResult] | None = None,
-        cf: "concurrent.futures.Future[Any]" | None = None,
-        pick: int = 0,
+        cf: "concurrent.futures.Future[tuple[str, Any]]" | None = None,
     ):
         self.request = request
         self._run = run
         self._cf = cf
-        self._pick = pick
         self._done = False
         self._value: SolveResult | None = None
         self._error: BaseException | None = None
+        self._born = time.monotonic()
 
     def done(self) -> bool:
         """True once a ``result()`` call can no longer block or compute."""
         if self._done:
             return True
         return self._cf is not None and self._cf.done()
+
+    def cancel(self) -> bool:
+        """Settle this future as cancelled; False if it already settled.
+
+        Pooled or deferred alike, a successfully cancelled future's
+        ``result()`` raises a ``reason="cancelled"``
+        :class:`~repro.errors.RequestFailed`.  Cancelling one request
+        never disturbs siblings co-located in the same worker task (the
+        group computation itself is not interrupted — its outcome for
+        this slot is simply discarded).
+        """
+        error = RequestFailed(
+            f"{self.request.algorithm}: request cancelled",
+            algorithm=self.request.algorithm,
+            graph_digest="",
+            attempts=0,
+            reason="cancelled",
+        )
+        if self._cf is not None:
+            return settle_outcome(self._cf, ("err", error))
+        if self._done:
+            return False
+        self._error = error
+        self._done = True
+        return True
+
+    def _expired(self) -> bool:
+        """Deferred-path deadline check (pooled futures use timers)."""
+        d = self.request.deadline_s
+        return d is not None and (time.monotonic() - self._born) > float(d)
 
     def result(self, timeout: float | None = None) -> SolveResult:
         """The :class:`SolveResult`, computing/waiting if necessary.
@@ -101,18 +141,29 @@ class SolveFuture:
         ``concurrent.futures``, so a repeated call re-raises instead of
         re-running the solve.  Pooled siblings in the same per-graph
         task are isolated (the worker returns one outcome per request,
-        so one bad request cannot poison the rest of its group).
+        so one bad request cannot poison the rest of its group), and
+        pool-level failures arrive as :class:`RequestFailed` with the
+        request's algorithm, graph digest, and attempt count attached.
         """
         if not self._done:
             if self._cf is not None:
-                # A timeout / pool-level error raises here *without*
-                # marking the future done — only a per-request outcome
-                # settles it.
-                tag, payload = self._cf.result(timeout)[self._pick]
+                # A timeout raises here *without* marking the future
+                # done — only a per-request outcome settles it.
+                tag, payload = self._cf.result(timeout)
                 if tag == "err":
                     self._error = payload
                 else:
                     self._value = payload
+            elif self._expired():
+                self._error = RequestFailed(
+                    f"{self.request.algorithm}: deadline_s="
+                    f"{self.request.deadline_s} expired before the deferred "
+                    f"future was forced",
+                    algorithm=self.request.algorithm,
+                    graph_digest="",
+                    attempts=0,
+                    reason="deadline",
+                )
             else:
                 try:
                     self._value = self._run()
@@ -144,9 +195,19 @@ class Workspace:
         with module-level ``solve()`` calls).
     workers:
         ``None``/``0``/``1`` for lazy in-process execution; ``N > 1``
-        for a persistent process pool with digest-co-located dispatch.
+        for a persistent supervised process pool with digest-co-located
+        dispatch.
     maxsize:
         LRU bound per cache category (fresh caches only).
+    max_attempts:
+        Dispatch attempts per request group before its futures are
+        poisoned with a ``reason="worker-crash"``
+        :class:`~repro.errors.RequestFailed` (pooled mode only).
+    backoff_base_s:
+        Base of the supervisor's capped exponential retry backoff.
+    pool_factory:
+        Test hook forwarded to :class:`SupervisedExecutor` — replaces
+        the ``ProcessPoolExecutor`` constructor used for (re)spawns.
     """
 
     def __init__(
@@ -156,6 +217,9 @@ class Workspace:
         cache: PrecomputeCache | None = None,
         workers: int | None = None,
         maxsize: int = 64,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+        pool_factory: Callable[[], Any] | None = None,
     ):
         if store is not None and not isinstance(store, ArtifactStore):
             store = ArtifactStore(store)
@@ -185,8 +249,11 @@ class Workspace:
         else:
             self.cache = default_cache()
         self.workers = int(workers) if workers else 0
+        self.max_attempts = int(max_attempts)
+        self.backoff_base_s = float(backoff_base_s)
+        self._pool_factory = pool_factory
         self._graphs: dict[str, Graph] = {}
-        self._pool = None
+        self._pool: SupervisedExecutor | None = None
 
     # -- graph registry --------------------------------------------------
     def add(self, g: Graph) -> GraphHandle:
@@ -315,23 +382,23 @@ class Workspace:
         # In-process (deferred) futures: compute and yield one at a time.
         # A failing request settles (and yields) its own future without
         # tearing down the stream — the error surfaces on fut.result().
-        pending_groups: dict[int, list[SolveFuture]] = {}
-        group_cfs: dict[int, Any] = {}
+        # Pooled futures are per-request outcome futures, so completion
+        # order is per request, not per group.
+        by_cf: dict["concurrent.futures.Future[Any]", SolveFuture] = {}
         for f in futures:
             if f._cf is None:
                 _settle(f)
                 yield f
             else:
-                pending_groups.setdefault(id(f._cf), []).append(f)  # reprolint: ignore[D204] -- groups futures by shared executor handle within this call; strong refs in group_cfs, never ordered or persisted
-                group_cfs[id(f._cf)] = f._cf  # reprolint: ignore[D204] -- same identity grouping; the dict holds the strong ref
-        if not pending_groups:
+                by_cf[f._cf] = f
+        if not by_cf:
             return
         from concurrent.futures import as_completed as _cf_as_completed
 
-        for cf in _cf_as_completed(group_cfs.values()):
-            for f in pending_groups[id(cf)]:  # reprolint: ignore[D204] -- lookup by the same in-call identity key; cf is alive here by construction
-                _settle(f)
-                yield f
+        for cf in _cf_as_completed(by_cf):
+            f = by_cf[cf]
+            _settle(f)
+            yield f
 
     def run(self, requests: Iterable[SolveRequest]) -> list[SolveResult]:
         """Execute a batch; results in request order (blocking)."""
@@ -339,10 +406,13 @@ class Workspace:
 
     # -- pooled dispatch -------------------------------------------------
     def _submit_pooled(self, reqs: list[SolveRequest]) -> list[SolveFuture]:
-        from concurrent.futures import ProcessPoolExecutor
-
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = SupervisedExecutor(
+                self.workers,
+                max_attempts=self.max_attempts,
+                backoff_base_s=self.backoff_base_s,
+                pool_factory=self._pool_factory,
+            )
         store_root = None if self.store is None else str(self.store.root)
         # Group by content digest (SolveRequest.graph_key), hashing each
         # distinct graph *object* once — requests usually share the
@@ -381,11 +451,15 @@ class Workspace:
             for start in range(0, len(indices), size):
                 chunk = indices[start : start + size]
                 stripped = [reqs[i].resolved(handle) for i in chunk]
-                cf = self._pool.submit(
-                    _execute_group, store_root, payload_graph, digest, stripped
+                cfs = self._pool.submit_group(
+                    _execute_group,
+                    (store_root, payload_graph, digest, stripped),
+                    digest=digest,
+                    algorithms=[reqs[i].algorithm for i in chunk],
+                    deadlines_s=[reqs[i].deadline_s for i in chunk],
                 )
-                for pick, i in enumerate(chunk):
-                    futures[i] = SolveFuture(reqs[i], cf=cf, pick=pick)
+                for cf, i in zip(cfs, chunk, strict=True):
+                    futures[i] = SolveFuture(reqs[i], cf=cf)
         return futures
 
     # -- warm start ------------------------------------------------------
@@ -439,12 +513,22 @@ class Workspace:
         }
         if self.store is not None:
             out["store"] = self.store.describe()
+        if self._pool is not None:
+            out["supervisor"] = self._pool.stats()
         return out
 
-    def close(self) -> None:
-        """Shut down the process pool (idempotent; in-process: no-op)."""
+    def close(self, cancel_pending: bool = False) -> None:
+        """Shut down the process pool (idempotent; in-process: no-op).
+
+        The default drains: running group tasks finish and their
+        futures settle normally.  ``cancel_pending=True`` instead
+        settles every unsettled future with a ``reason="cancelled"``
+        :class:`~repro.errors.RequestFailed` and drops queued work —
+        the fast path for tearing down a workspace whose results are no
+        longer wanted.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=not cancel_pending, cancel_pending=cancel_pending)
             self._pool = None
 
     def __enter__(self) -> "Workspace":
@@ -494,13 +578,19 @@ def _execute_group(
     graph: Graph | None,
     digest: str,
     requests: list[SolveRequest],
+    attempt: int = 0,
 ) -> list[tuple[str, Any]]:
     """Pool entry point: one graph's request group, shared worker cache.
 
     Returns one ``("ok", result)`` / ``("err", exception)`` outcome per
     request so a failing request surfaces on *its* future only, not on
-    every sibling co-located with it.
+    every sibling co-located with it.  ``attempt`` is the supervisor's
+    dispatch attempt counter for this group — recomputation is
+    attempt-independent (same bytes either way); it exists so the
+    fault-injection harness can kill a worker on attempt 0 and spare
+    the retry.
     """
+    faults.on_group_task(digest, attempt)
     if graph is not None:
         _worker_remember(digest, graph)
     else:

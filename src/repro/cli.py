@@ -257,6 +257,60 @@ def _cmd_workspace(args) -> int:
     return 0
 
 
+def _fmt_age(ts) -> str:
+    import time as _time
+
+    if ts is None:
+        return "never"
+    return f"{max(0.0, _time.time() - ts):.0f}s ago"
+
+
+def _cmd_store(args) -> int:
+    import pathlib
+
+    from repro.api.store import ArtifactStore
+
+    if not pathlib.Path(args.store).expanduser().is_dir():
+        raise ValueError(f"no store at {args.store!r} (run 'warm' to create one)")
+    store = ArtifactStore(args.store)
+    if args.action == "gc":
+        if args.max_bytes is None:
+            raise ValueError("store gc requires --max-bytes")
+        report = store.gc(args.max_bytes)
+        print(f"store = {store.root}")
+        print(f"size: {report['before_bytes'] / 1024:.1f} KiB -> "
+              f"{report['after_bytes'] / 1024:.1f} KiB "
+              f"(bound {report['max_bytes'] / 1024:.1f} KiB)")
+        print(f"evicted {len(report['evicted'])} digest(s), "
+              f"kept {report['kept']}, "
+              f"skipped {len(report['skipped_leased'])} leased, "
+              f"swept {len(report['swept_tmp'])} orphaned tmp file(s)")
+        for digest in report["evicted"]:
+            print(f"  evicted {digest}")
+        for digest in report["skipped_leased"]:
+            print(f"  kept (leased) {digest}")
+        return 0
+    info = store.status()
+    print(f"store = {info['root']}")
+    print(f"digests ({len(info['digests'])}):")
+    for row in info["digests"]:
+        lease = "leased" if row["leased"] else "free"
+        if row["leased"] and row["lease_holder"]:
+            lease += f" (pid {row['lease_holder'].get('pid')})"
+        print(f"  {row['digest']}  {row['bytes'] / 1024:>9.1f} KiB  "
+              f"{row['files']:>3} files  last used {_fmt_age(row['last_used']):>10}  "
+              f"{lease}")
+    print(f"total size = {info['total_bytes'] / 1024:.1f} KiB")
+    if info["quarantine"]:
+        print(f"quarantine ({len(info['quarantine'])}):")
+        for q in info["quarantine"]:
+            reason = f"  ({q['reason']})" if q["reason"] else ""
+            print(f"  {q['path']}  {q['bytes']} B{reason}")
+    else:
+        print("quarantine: empty")
+    return 0
+
+
 def _cmd_domset(args) -> int:
     g = _load_graph(args.graph)
     args.certify = True  # the Theorem-5 command always certifies
@@ -414,6 +468,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_ws.add_argument("action", choices=("info",))
     p_ws.add_argument("--store", metavar="DIR", required=True)
     p_ws.set_defaults(fn=_cmd_workspace)
+
+    p_store = sub.add_parser(
+        "store", help="store lifecycle: per-digest usage report and size-bounded GC"
+    )
+    p_store.add_argument("action", choices=("info", "gc"))
+    p_store.add_argument("--store", metavar="DIR", required=True)
+    p_store.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="gc: evict least-recently-used digests until the store fits N bytes",
+    )
+    p_store.set_defaults(fn=_cmd_store)
 
     p_dom = sub.add_parser("domset", help="Theorem 5 dominating set")
     p_dom.add_argument("graph")

@@ -34,3 +34,41 @@ class SimulationError(ReproError):
 
 class SolverError(ReproError):
     """Raised when an exact/LP solver fails or is given an oversized input."""
+
+
+class RequestFailed(SolverError):
+    """A submitted :class:`~repro.api.types.SolveRequest` failed in the
+    pooled executor, with full request context attached.
+
+    Raised through :meth:`~repro.api.workspace.SolveFuture.result` when
+    the failure happened at the *pool* level (worker crash after retry
+    exhaustion, deadline expiry, cancellation, or a group-level
+    dispatch error) rather than inside the solver itself — the cases
+    where a bare exception would otherwise carry no hint of which
+    request died.
+
+    Attributes
+    ----------
+    algorithm / graph_digest:
+        The request's registry solver name and content digest.
+    attempts:
+        Dispatch attempts made (1 = no retries were needed or allowed).
+    reason:
+        ``"worker-crash"`` | ``"deadline"`` | ``"cancelled"`` |
+        ``"error"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        algorithm: str = "",
+        graph_digest: str = "",
+        attempts: int = 0,
+        reason: str = "error",
+    ):
+        super().__init__(message)
+        self.algorithm = algorithm
+        self.graph_digest = graph_digest
+        self.attempts = attempts
+        self.reason = reason

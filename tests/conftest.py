@@ -28,6 +28,11 @@ def pytest_configure(config) -> None:
         "markers",
         "large: 10^6-vertex end-to-end tests; skipped without --run-large",
     )
+    config.addinivalue_line(
+        "markers",
+        "faults: fault-injection tests (worker kills, torn writes, lease "
+        "contention); also run as their own CI job",
+    )
 
 
 def pytest_collection_modifyitems(config, items) -> None:

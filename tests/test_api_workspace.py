@@ -17,6 +17,33 @@ from repro.errors import SolverError
 from repro.graphs import generators as gen
 
 
+class _InlinePool:
+    """Executor stand-in: runs group tasks synchronously in-process.
+
+    Injected through ``Workspace(pool_factory=...)`` so dispatch-shape
+    tests observe exactly what the supervisor hands the real pool
+    (including the trailing attempt counter) without forking workers.
+    """
+
+    def __init__(self, record=None):
+        self.record = record
+
+    def submit(self, fn, *args):
+        from concurrent.futures import Future
+
+        if self.record is not None:
+            self.record.append(args)
+        cf = Future()
+        try:
+            cf.set_result(fn(*args))
+        except BaseException as exc:  # mirrored onto the future, like a pool
+            cf.set_exception(exc)
+        return cf
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
 def test_add_returns_content_addressed_handle():
     ws = Workspace()
     g = gen.grid_2d(5, 5)
@@ -143,20 +170,10 @@ def test_pooled_dispatch_groups_by_digest():
         SolveRequest(graph=t, radius=2, algorithm="seq.greedy"),
         SolveRequest(graph=g, radius=1, algorithm="seq.greedy"),
     ]
-    ws = Workspace(workers=2)
     submitted = []
-
-    class _RecordingPool:
-        def submit(self, fn, store_root, graph, digest, stripped):
-            submitted.append((graph, digest, stripped))
-            from concurrent.futures import Future
-
-            cf = Future()
-            cf.set_result(fn(store_root, graph, digest, stripped))
-            return cf
-
-    ws._pool = _RecordingPool()
+    ws = Workspace(workers=2, pool_factory=lambda: _InlinePool(submitted))
     futures = ws.submit_all(reqs)
+    submitted = [(args[1], args[2], args[3]) for args in submitted]
     # One task per distinct digest; the graph object crosses once each.
     assert len(submitted) == 2
     digests = {d for _, d, _ in submitted}
@@ -216,19 +233,8 @@ def test_single_graph_batch_splits_across_workers():
     g = gen.grid_2d(6, 6)
     reqs = [SolveRequest(graph=g, radius=1, algorithm="seq.greedy")
             for _ in range(4)]
-    ws = Workspace(workers=2)
     submitted = []
-
-    class _RecordingPool:
-        def submit(self, fn, *args):
-            submitted.append(args)
-            from concurrent.futures import Future
-
-            cf = Future()
-            cf.set_result(fn(*args))
-            return cf
-
-    ws._pool = _RecordingPool()
+    ws = Workspace(workers=2, pool_factory=lambda: _InlinePool(submitted))
     futures = ws.submit_all(reqs)
     assert len(submitted) == 2  # two chunks for two workers
     assert all(len(args[3]) == 2 for args in submitted)  # balanced

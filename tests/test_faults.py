@@ -1,0 +1,287 @@
+"""Deterministic fault injection: plan parsing, hooks, and the
+end-to-end recovery scenarios the supervised runtime must survive.
+
+The ``faults``-marked tests fork real pool workers and kill them with
+``os._exit`` via injected rules — they are also run as their own CI job.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.api import FaultPlan
+from repro.api import faults
+from repro.api.store import ArtifactStore, graph_digest
+from repro.api.workspace import Workspace
+from repro.api.types import SolveRequest
+from repro.errors import RequestFailed
+from repro.graphs import generators as gen
+
+
+# ----------------------------------------------------------------------
+# Plan parsing and activation
+# ----------------------------------------------------------------------
+
+
+def test_spec_round_trips_through_parse():
+    spec = "seed=7;kill:attempts=1,digest=3fb2;latency:category=wreach,ms=5"
+    plan = FaultPlan.parse(spec)
+    assert plan.seed == 7
+    assert [r.kind for r in plan.rules] == ["kill", "latency"]
+    assert plan.rules[0].fields == {"attempts": 1, "digest": "3fb2"}
+    assert plan.rules[1].fields == {"category": "wreach", "ms": 5}
+    assert FaultPlan.parse(plan.spec()).spec() == plan.spec()
+
+
+def test_parse_rejects_unknown_kind_and_bad_clause():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultPlan.parse("explode:now=1")
+    with pytest.raises(ValueError, match="key=value"):
+        FaultPlan.parse("kill:oops")
+
+
+def test_activation_exports_env_and_restores_prior_state():
+    prior = os.environ.get("REPRO_FAULTS")
+    plan = FaultPlan.parse("latency:ms=1")
+    assert faults.active() is None or prior is not None
+    with plan.activate() as active_plan:
+        assert faults.active() is active_plan
+        assert os.environ["REPRO_FAULTS"] == plan.spec()
+    assert os.environ.get("REPRO_FAULTS") == prior
+    assert faults.active() is None or prior is not None
+
+
+def test_env_spec_resolves_without_explicit_activation(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "seed=3;latency:ms=2")
+    plan = faults.active()
+    assert plan is not None and plan.seed == 3
+    assert faults.active() is plan  # parsed once, cached
+
+
+def test_on_save_fires_on_nth_matching_save():
+    with FaultPlan.parse("torn:category=orders,nth=2").activate():
+        assert faults.on_save("orders") is None
+        assert faults.on_save("wreach") is None  # category filter
+        assert faults.on_save("orders") == "torn"
+        assert faults.on_save("orders") is None  # only the nth
+
+
+def test_on_lease_contends_for_first_holds_attempts():
+    with FaultPlan.parse("lease:digest=ab,holds=2").activate():
+        assert faults.on_lease("abcd") is True
+        assert faults.on_lease("abcd") is True
+        assert faults.on_lease("abcd") is False  # contention exhausted
+        assert faults.on_lease("zzzz") is False  # digest filter
+
+
+def test_on_load_latency_is_bounded_and_seeded():
+    with FaultPlan.parse("seed=5;latency:ms=10,jitter_ms=5").activate():
+        t0 = time.monotonic()
+        faults.on_load("orders")
+        elapsed = time.monotonic() - t0
+    assert 0.009 <= elapsed < 0.5
+
+
+def test_counters_reset_between_activations():
+    plan = FaultPlan.parse("torn:nth=1")
+    with plan.activate():
+        assert faults.on_save("orders") == "torn"
+        assert faults.on_save("orders") is None
+    with plan.activate():
+        assert faults.on_save("orders") == "torn"  # fresh counters
+
+
+# ----------------------------------------------------------------------
+# Injected store faults (in-process)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.faults
+def test_torn_write_leaks_tmp_and_sweep_reclaims_it(tmp_path):
+    g = gen.grid_2d(4, 4)
+    store = ArtifactStore(tmp_path)
+    with FaultPlan.parse("torn:category=graphs,nth=1").activate():
+        digest = store.put_graph(g)
+    # The artifact never landed; an orphaned temp file did.
+    assert store.get_graph(digest) is None
+    orphans = list(tmp_path.rglob("*.tmp"))
+    assert len(orphans) == 1 and orphans[0].name.startswith(".")
+    # Age-gated sweep: young orphan survives, old orphan goes.
+    assert store.sweep_tmp() == []
+    old = time.time() - 7200.0
+    os.utime(orphans[0], (old, old))
+    removed = store.sweep_tmp()
+    assert len(removed) == 1
+    assert list(tmp_path.rglob("*.tmp")) == []
+    # Idempotent recompute fills the slot cleanly afterwards.
+    store.put_graph(g, digest=digest)
+    assert store.get_graph(digest) is not None
+
+
+@pytest.mark.faults
+def test_injected_corruption_reaches_quarantine(tmp_path):
+    g = gen.grid_2d(4, 4)
+    store = ArtifactStore(tmp_path)
+    with FaultPlan.parse("corrupt:category=graphs,nth=1").activate():
+        digest = store.put_graph(g)
+    assert store.get_graph(digest) is None  # strike 1
+    assert store.get_graph(digest) is None  # strike 2 -> quarantine
+    qdir = tmp_path / "quarantine"
+    assert any(qdir.rglob("*.npz"))
+    status = store.status()
+    assert len(status["quarantine"]) == 1
+    assert status["quarantine"][0]["reason"]
+
+
+@pytest.mark.faults
+def test_injected_lease_contention_still_converges(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with FaultPlan.parse("lease:holds=2").activate():
+        lease = store.lease("abcd", timeout_s=5.0)
+        t0 = time.monotonic()
+        with lease as lk:
+            assert lk.acquired  # acquired after the injected contention
+        assert time.monotonic() - t0 < 5.0
+
+
+# ----------------------------------------------------------------------
+# Worker-kill recovery (real process pool)
+# ----------------------------------------------------------------------
+
+
+def _requests(g, t):
+    return [
+        SolveRequest(graph=g, radius=1, algorithm="seq.wreach", certify=True),
+        SolveRequest(graph=t, radius=1, algorithm="seq.greedy"),
+        SolveRequest(graph=g, radius=1, algorithm="seq.greedy"),
+        SolveRequest(graph=t, radius=2, algorithm="seq.greedy"),
+    ]
+
+
+@pytest.mark.faults
+def test_kill_worker_mid_batch_recovers_bit_identically(tmp_path):
+    """Acceptance: a batch whose worker is killed mid-flight completes
+    with results bit-identical to a fault-free run."""
+    g = gen.grid_2d(6, 6)
+    t = gen.balanced_tree(2, 3)
+    with Workspace(store=tmp_path / "clean", workers=2) as ws:
+        baseline = ws.run(_requests(g, t))
+    dg = graph_digest(g)
+    plan = FaultPlan.parse(f"kill:digest={dg[:10]},attempts=1")
+    with plan.activate():
+        with Workspace(
+            store=tmp_path / "faulty", workers=2, backoff_base_s=0.01
+        ) as ws:
+            recovered = ws.run(_requests(g, t))
+            stats = ws._pool.stats()
+    assert stats["respawns"] >= 1  # a worker really died
+    assert stats["retries"].get(dg, 0) >= 1
+    assert stats["poisoned"] == []
+    assert [r.dominators for r in recovered] == [r.dominators for r in baseline]
+    assert [r.size for r in recovered] == [r.size for r in baseline]
+    assert recovered[0].certificate == baseline[0].certificate
+
+
+@pytest.mark.faults
+def test_only_injected_group_is_retried(tmp_path):
+    """Acceptance: with the sibling group already settled, a kill in one
+    graph-group retries that group alone."""
+    g = gen.grid_2d(6, 6)
+    t = gen.balanced_tree(2, 3)
+    dg = graph_digest(g)
+    dt = graph_digest(t)
+    plan = FaultPlan.parse(f"kill:digest={dg[:10]},attempts=1")
+    with plan.activate():
+        with Workspace(
+            store=tmp_path, workers=2, backoff_base_s=0.01
+        ) as ws:
+            # Settle the sibling group first so the injected breakage
+            # cannot interrupt it in flight.
+            sibling = ws.submit(SolveRequest(graph=t, radius=1, algorithm="seq.greedy"))
+            assert sibling.result(timeout=60).size > 0
+            injected = ws.submit(SolveRequest(graph=g, radius=1, algorithm="seq.greedy"))
+            assert injected.result(timeout=60).size > 0
+            stats = ws._pool.stats()
+    assert stats["retries"].get(dg, 0) >= 1
+    assert dt not in stats["retries"]
+    assert stats["poisoned"] == []
+
+
+@pytest.mark.faults
+def test_unrecoverable_group_poisons_with_request_context(tmp_path):
+    """After exhausting its attempts, only the dying group's futures
+    fail — with algorithm, digest, and attempt count attached."""
+    g = gen.grid_2d(5, 5)
+    dg = graph_digest(g)
+    plan = FaultPlan.parse("kill:attempts=99")  # every dispatch dies
+    with plan.activate():
+        with Workspace(
+            store=tmp_path, workers=2, max_attempts=2, backoff_base_s=0.01
+        ) as ws:
+            fut = ws.submit(SolveRequest(graph=g, radius=1, algorithm="seq.greedy"))
+            with pytest.raises(RequestFailed) as ei:
+                fut.result(timeout=120)
+            stats = ws._pool.stats()
+    err = ei.value
+    assert err.reason == "worker-crash"
+    assert err.algorithm == "seq.greedy"
+    assert err.graph_digest == dg
+    assert err.attempts == 2
+    assert stats["poisoned"] == [dg]
+
+
+@pytest.mark.faults
+def test_deferred_deadline_and_cancel():
+    g = gen.grid_2d(5, 5)
+    ws = Workspace()
+    expired = ws.submit(
+        SolveRequest(graph=g, radius=1, algorithm="seq.greedy", deadline_s=0.0)
+    )
+    time.sleep(0.01)
+    with pytest.raises(RequestFailed) as ei:
+        expired.result()
+    assert ei.value.reason == "deadline"
+    cancelled = ws.submit(SolveRequest(graph=g, radius=1, algorithm="seq.greedy"))
+    assert cancelled.cancel() is True
+    with pytest.raises(RequestFailed) as ei:
+        cancelled.result()
+    assert ei.value.reason == "cancelled"
+    assert cancelled.cancel() is False  # already settled
+    # A forced future can no longer be cancelled.
+    done = ws.submit(SolveRequest(graph=g, radius=1, algorithm="seq.greedy"))
+    assert done.result().size > 0
+    assert done.cancel() is False
+
+
+@pytest.mark.faults
+def test_pooled_cancel_settles_without_touching_siblings(tmp_path):
+    g = gen.grid_2d(6, 6)
+    with Workspace(store=tmp_path, workers=2) as ws:
+        futs = ws.submit_all(
+            [
+                SolveRequest(graph=g, radius=1, algorithm="seq.greedy"),
+                SolveRequest(graph=g, radius=1, algorithm="seq.wreach"),
+            ]
+        )
+        cancelled = futs[0].cancel()
+        if cancelled:  # racing a fast pool is legal; outcome is either way
+            with pytest.raises(RequestFailed) as ei:
+                futs[0].result(timeout=60)
+            assert ei.value.reason == "cancelled"
+        else:
+            assert futs[0].result(timeout=60).size > 0
+        assert futs[1].result(timeout=60).size > 0  # sibling unaffected
+
+
+@pytest.mark.faults
+def test_close_cancel_pending_fails_fast(tmp_path):
+    g = gen.grid_2d(6, 6)
+    ws = Workspace(store=tmp_path, workers=2)
+    plan = FaultPlan.parse("kill:attempts=99")
+    with plan.activate():
+        fut = ws.submit(SolveRequest(graph=g, radius=1, algorithm="seq.greedy"))
+        ws.close(cancel_pending=True)
+    with pytest.raises(RequestFailed) as ei:
+        fut.result(timeout=10)
+    assert ei.value.reason in ("cancelled", "worker-crash")

@@ -1,0 +1,292 @@
+"""Store lifecycle: leases, last_used, tmp sweep, LRU GC, quarantine.
+
+The concurrent-warmer test forks real subprocesses over one store root —
+the acceptance scenario for the lease protocol (exactly one computes,
+zero torn files).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api import store_gc
+from repro.api.store import ArtifactStore, graph_digest
+from repro.api.workspace import Workspace
+from repro.graphs import generators as gen
+
+
+# ----------------------------------------------------------------------
+# Leases
+# ----------------------------------------------------------------------
+
+
+def test_lease_acquire_release_cycle(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with store.lease("abc") as lk:
+        assert lk.acquired
+        assert store_gc.is_leased(tmp_path, "abc")
+        holder = lk.holder()
+        assert holder["pid"] == os.getpid()
+    assert not store_gc.is_leased(tmp_path, "abc")
+    assert not lk.path.exists()
+
+
+def test_lease_is_reentrant_per_process(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with store.lease("abc") as outer:
+        with store.lease("abc") as inner:
+            assert outer.acquired and inner.acquired
+        # Inner release must not drop the outer hold.
+        assert store_gc.is_leased(tmp_path, "abc")
+    assert not store_gc.is_leased(tmp_path, "abc")
+
+
+def test_lease_contention_times_out_to_compute_anyway(tmp_path):
+    # A foreign (different-process) holder: write the lease file directly.
+    path = tmp_path / store_gc.LEASE_DIR / "abc.lease"
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps({"pid": 999999, "time": time.time(), "host": "x"}))
+    lease = store_gc.Lease(tmp_path, "abc", ttl_s=60.0, timeout_s=0.05)
+    with lease as lk:
+        assert not lk.acquired  # timed out; caller proceeds regardless
+    assert path.exists()  # not ours to remove
+
+
+def test_stale_lease_is_taken_over(tmp_path):
+    path = tmp_path / store_gc.LEASE_DIR / "abc.lease"
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps({"pid": 999999, "time": 0.0, "host": "x"}))
+    old = time.time() - 3600.0
+    os.utime(path, (old, old))
+    assert not store_gc.is_leased(tmp_path, "abc", ttl_s=120.0)  # stale
+    lease = store_gc.Lease(tmp_path, "abc", ttl_s=120.0, timeout_s=1.0)
+    with lease as lk:
+        assert lk.acquired  # takeover
+        assert lk.holder()["pid"] == os.getpid()
+
+
+# ----------------------------------------------------------------------
+# last_used + tmp sweep
+# ----------------------------------------------------------------------
+
+
+def test_reads_stamp_last_used(tmp_path):
+    g = gen.grid_2d(4, 4)
+    store = ArtifactStore(tmp_path)
+    digest = store.put_graph(g)
+    assert store_gc.last_used(tmp_path, digest) is None
+    assert store.get_graph(digest) is not None
+    stamped = store_gc.last_used(tmp_path, digest)
+    assert stamped is not None and time.time() - stamped < 60.0
+
+
+def test_sweep_tmp_is_age_gated(tmp_path):
+    store = ArtifactStore(tmp_path)
+    target = tmp_path / "orders" / "d1"
+    target.mkdir(parents=True)
+    fresh = target / ".a.npz.123.tmp"
+    stale = target / ".b.npz.456.tmp"
+    fresh.write_bytes(b"live writer")
+    stale.write_bytes(b"orphan")
+    old = time.time() - 7200.0
+    os.utime(stale, (old, old))
+    removed = store.sweep_tmp()  # default hour-scale cutoff
+    assert removed == [os.path.join("orders", "d1", ".b.npz.456.tmp")]
+    assert fresh.exists() and not stale.exists()
+    # Final-name npz files are never candidates.
+    keep = target / "real.npz"
+    keep.write_bytes(b"x")
+    os.utime(keep, (old, old))
+    assert store.sweep_tmp() == []
+    assert keep.exists()
+
+
+# ----------------------------------------------------------------------
+# GC
+# ----------------------------------------------------------------------
+
+
+def _warmed_store(tmp_path, graphs):
+    store = ArtifactStore(tmp_path)
+    digests = []
+    for g in graphs:
+        ws = Workspace(store=store)
+        report = ws.warm(g)
+        digests.append(report["digest"])
+    return store, digests
+
+
+def test_gc_evicts_lru_down_to_max_bytes(tmp_path):
+    store, digests = _warmed_store(
+        tmp_path, [gen.grid_2d(4, 4), gen.grid_2d(5, 5), gen.grid_2d(6, 6)]
+    )
+    # Make usage recency explicit: digests[0] oldest, digests[2] newest.
+    for i, d in enumerate(digests):
+        stamp = tmp_path / store_gc.LAST_USED_DIR / d
+        t = time.time() - (3 - i) * 1000.0
+        stamp.parent.mkdir(exist_ok=True)
+        stamp.touch()
+        os.utime(stamp, (t, t))
+    total = store.status()["total_bytes"]
+    keep_two = total - 1  # forces at least one eviction
+    report = store.gc(keep_two)
+    assert report["evicted"][0] == digests[0]  # LRU first
+    assert report["after_bytes"] <= keep_two
+    assert report["before_bytes"] == total
+    left = {row["digest"] for row in store.status()["digests"]}
+    assert digests[0] not in left
+    assert digests[2] in left  # newest survives
+
+
+def test_gc_never_evicts_leased_digests(tmp_path):
+    store, digests = _warmed_store(tmp_path, [gen.grid_2d(4, 4), gen.grid_2d(5, 5)])
+    with store.lease(digests[0]):
+        report = store.gc(0)  # evict everything evictable
+        assert digests[0] in report["skipped_leased"]
+        assert digests[0] not in report["evicted"]
+        assert digests[1] in report["evicted"]
+        assert store.get_graph(digests[0]) is not None
+    # Lease released: now it goes too.
+    report = store.gc(0)
+    assert report["evicted"] == [digests[0]]
+    assert store.status()["digests"] == []
+
+
+def test_gc_sweeps_orphaned_tmp_files(tmp_path):
+    store, _ = _warmed_store(tmp_path, [gen.grid_2d(4, 4)])
+    orphan = tmp_path / "orders" / "deadbeef" / ".x.npz.1.tmp"
+    orphan.parent.mkdir(parents=True)
+    orphan.write_bytes(b"torn")
+    old = time.time() - 7200.0
+    os.utime(orphan, (old, old))
+    report = store.gc(10**12)  # size bound not binding; sweep still runs
+    assert report["swept_tmp"] == [os.path.join("orders", "deadbeef", ".x.npz.1.tmp")]
+    assert not orphan.exists()
+    assert report["evicted"] == []
+
+
+def test_status_reports_sizes_lease_and_quarantine(tmp_path):
+    store, digests = _warmed_store(tmp_path, [gen.grid_2d(4, 4)])
+    qfile = tmp_path / store_gc.QUARANTINE_DIR / "orders" / digests[0] / "x.npz"
+    qfile.parent.mkdir(parents=True)
+    qfile.write_bytes(b"rotten")
+    qfile.with_name("x.npz.reason.txt").write_text("unreadable order npz\n")
+    with store.lease(digests[0]):
+        info = store.status()
+        (row,) = [r for r in info["digests"] if r["digest"] == digests[0]]
+        assert row["leased"] is True
+        assert row["lease_holder"]["pid"] == os.getpid()
+        assert row["bytes"] > 0 and row["files"] > 0
+    (q,) = info["quarantine"]
+    assert q["path"] == os.path.join("orders", digests[0], "x.npz")
+    assert q["reason"].startswith("unreadable order npz")
+    assert info["total_bytes"] >= row["bytes"]
+
+
+# ----------------------------------------------------------------------
+# Corruption quarantine (two strikes)
+# ----------------------------------------------------------------------
+
+
+def test_two_validation_failures_quarantine_the_file(tmp_path):
+    g = gen.grid_2d(4, 4)
+    store = ArtifactStore(tmp_path)
+    digest = store.put_graph(g)
+    path = tmp_path / "graphs" / f"{digest}.npz"
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])  # rot
+    assert store.get_graph(digest) is None  # strike 1: miss, file stays
+    assert path.exists()
+    assert store.get_graph(digest) is None  # strike 2: quarantined
+    assert not path.exists()
+    qpath = tmp_path / store_gc.QUARANTINE_DIR / "graphs" / f"{digest}.npz"
+    assert qpath.exists()
+    note = qpath.with_name(qpath.name + ".reason.txt").read_text()
+    assert "strikes: 2" in note
+    # The slot is now a clean miss: a rewrite fills it and loads again.
+    store.put_graph(g, digest=digest)
+    assert store.get_graph(digest) is not None
+
+
+def test_successful_rewrite_clears_strikes(tmp_path):
+    g = gen.grid_2d(4, 4)
+    store = ArtifactStore(tmp_path)
+    digest = store.put_graph(g)
+    path = tmp_path / "graphs" / f"{digest}.npz"
+    path.write_bytes(b"not an npz")
+    assert store.get_graph(digest) is None  # strike 1
+    (tmp_path / "graphs" / f"{digest}.npz.bad").read_text()  # sidecar exists
+    store.put_graph(g, digest=digest)  # path.exists() so put skips...
+    # put_graph skips existing paths; force the save to exercise the clear.
+    store._save(path, indptr=g.indptr, indices=g.indices)
+    assert not (tmp_path / "graphs" / f"{digest}.npz.bad").exists()
+    assert store.get_graph(digest) is not None
+
+
+# ----------------------------------------------------------------------
+# Concurrent warmers (subprocess, shared root)
+# ----------------------------------------------------------------------
+
+_WARMER = r"""
+import json, sys
+from repro.api.workspace import Workspace
+from repro.api.store import ArtifactStore, graph_digest
+from repro.graphs import generators as gen
+
+root = sys.argv[1]
+g = gen.grid_2d(7, 7)
+store = ArtifactStore(root)
+ws = Workspace(store=store)
+digest = graph_digest(g)
+with store.lease(digest, timeout_s=60.0):
+    report = ws.warm(g)
+stats = report["stats"]
+computed = sum(c.get("computed", 0) for c in stats.values())
+loaded = sum(c.get("store_hits", 0) for c in stats.values())
+print(json.dumps({"computed": computed, "loaded": loaded,
+                  "wcol": report["wcol"], "digest": report["digest"]}))
+"""
+
+
+@pytest.mark.faults
+def test_concurrent_warmers_exactly_one_computes(tmp_path):
+    """Two processes warm the same digest against one store root: the
+    lease serializes them, the loser loads what the winner persisted,
+    and no torn or temp files survive."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ["src", env.get("PYTHONPATH", "")] if p
+    )
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _WARMER, str(tmp_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        for _ in range(2)
+    ]
+    outs = []
+    for p in procs:
+        out, err = p.communicate(timeout=120)
+        assert p.returncode == 0, err.decode()
+        outs.append(json.loads(out.decode().strip().splitlines()[-1]))
+    # Exactly one process computed; the other served itself from disk.
+    computed_flags = sorted(o["computed"] > 0 for o in outs)
+    assert computed_flags == [False, True], outs
+    loser = next(o for o in outs if o["computed"] == 0)
+    assert loser["loaded"] > 0
+    # Both agree on the certificate constant (bit-identical artifacts).
+    assert outs[0]["wcol"] == outs[1]["wcol"]
+    assert outs[0]["digest"] == outs[1]["digest"]
+    # Zero torn files: no temp leftovers, no quarantine, leases released.
+    assert list(tmp_path.rglob("*.tmp")) == []
+    assert not (tmp_path / store_gc.QUARANTINE_DIR).exists()
+    assert list((tmp_path / store_gc.LEASE_DIR).glob("*.lease")) == []
+    # And the store round-trips cleanly afterwards.
+    store = ArtifactStore(tmp_path)
+    digest = outs[0]["digest"]
+    g = store.get_graph(digest)
+    assert g is not None and graph_digest(g) == digest

@@ -1,0 +1,279 @@
+"""SupervisedExecutor: respawn, backoff, poison, deadline, cancel.
+
+Unit-level: fake pool factories simulate worker death deterministically
+(no real processes are killed here — that is ``test_faults.py``'s job).
+"""
+
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.api.supervisor import SupervisedExecutor, settle_outcome
+from repro.errors import RequestFailed, SolverError
+
+
+def _group_fn(payload, attempt=0):
+    """Stand-in group entry point: one ok outcome per item."""
+    return [("ok", (item, attempt)) for item in payload]
+
+
+class _GoodPool:
+    """Runs submissions synchronously and succeeds."""
+
+    def __init__(self):
+        self.submitted = []
+
+    def submit(self, fn, *args):
+        self.submitted.append(args)
+        cf = Future()
+        try:
+            cf.set_result(fn(*args))
+        except BaseException as exc:
+            cf.set_exception(exc)
+        return cf
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class _DyingPool(_GoodPool):
+    """Breaks like a pool whose worker died (every submission)."""
+
+    def submit(self, fn, *args):
+        self.submitted.append(args)
+        cf = Future()
+        cf.set_exception(BrokenProcessPool("a child process terminated abruptly"))
+        return cf
+
+
+class _FlakyFactory:
+    """Produces pools that die for the first ``failures`` submissions."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.spawned = []
+
+    def __call__(self):
+        pool = _DyingPool() if len(self.spawned) < self.failures else _GoodPool()
+        self.spawned.append(pool)
+        return pool
+
+
+def _result(fut, timeout=10.0):
+    tag, payload = fut.result(timeout)
+    if tag == "err":
+        raise payload
+    return payload
+
+
+def test_success_settles_per_request_futures_in_order():
+    ex = SupervisedExecutor(2, pool_factory=_GoodPool)
+    futs = ex.submit_group(
+        _group_fn, (["a", "b", "c"],), digest="d1", algorithms=["x", "y", "z"]
+    )
+    assert [_result(f) for f in futs] == [("a", 0), ("b", 0), ("c", 0)]
+    assert ex.stats() == {
+        "retries": {}, "respawns": 0, "poisoned": [], "groups": 1
+    }
+    ex.shutdown()
+
+
+def test_breakage_respawns_and_redispatches_with_attempt_counter():
+    factory = _FlakyFactory(failures=1)
+    ex = SupervisedExecutor(
+        2, pool_factory=factory, backoff_base_s=0.001, max_attempts=3
+    )
+    futs = ex.submit_group(
+        _group_fn, (["a"],), digest="d1", algorithms=["alg"]
+    )
+    # Recovered on the respawned pool; the retry carried attempt=1.
+    assert _result(futs[0]) == ("a", 1)
+    assert ex.stats()["respawns"] == 1
+    assert ex.stats()["retries"] == {"d1": 1}
+    assert len(factory.spawned) == 2
+    ex.shutdown()
+
+
+def test_exhaustion_poisons_only_with_structured_context():
+    ex = SupervisedExecutor(
+        2, pool_factory=_DyingPool, backoff_base_s=0.001, max_attempts=3
+    )
+    futs = ex.submit_group(
+        _group_fn, (["a", "b"],), digest="deadbeef", algorithms=["seq.x", "seq.y"]
+    )
+    for fut, algorithm in zip(futs, ("seq.x", "seq.y"), strict=True):
+        with pytest.raises(RequestFailed) as ei:
+            _result(fut)
+        err = ei.value
+        assert isinstance(err, SolverError)  # satellite: SolverError subtype
+        assert err.reason == "worker-crash"
+        assert err.algorithm == algorithm
+        assert err.graph_digest == "deadbeef"
+        assert err.attempts == 3
+        assert isinstance(err.__cause__, BrokenProcessPool)
+    assert ex.stats()["poisoned"] == ["deadbeef"]
+    assert ex.stats()["retries"] == {"deadbeef": 2}
+    ex.shutdown()
+
+
+def test_sibling_group_unaffected_by_poisoned_group():
+    calls = []
+
+    class _SelectivePool(_GoodPool):
+        """Kills any group whose digest argument is 'bad'."""
+
+        def submit(self, fn, *args):
+            calls.append(args[1])
+            if args[1] == "bad":
+                cf = Future()
+                cf.set_exception(BrokenProcessPool("boom"))
+                return cf
+            return super().submit(fn, *args)
+
+    def fn(payload, digest, attempt=0):
+        return [("ok", item) for item in payload]
+
+    ex = SupervisedExecutor(
+        2, pool_factory=_SelectivePool, backoff_base_s=0.001, max_attempts=2
+    )
+    good = ex.submit_group(fn, (["g"], "good"), digest="good", algorithms=["a"])
+    bad = ex.submit_group(fn, (["b"], "bad"), digest="bad", algorithms=["a"])
+    assert _result(good[0]) == "g"
+    with pytest.raises(RequestFailed):
+        _result(bad[0])
+    # Only the dying digest was ever retried.
+    assert ex.stats()["retries"] == {"bad": 1}
+    assert ex.stats()["poisoned"] == ["bad"]
+    ex.shutdown()
+
+
+def test_group_level_error_is_wrapped_not_retried():
+    class _RaisingPool(_GoodPool):
+        def submit(self, fn, *args):
+            cf = Future()
+            cf.set_exception(ValueError("graph missing"))
+            return cf
+
+    ex = SupervisedExecutor(2, pool_factory=_RaisingPool, max_attempts=3)
+    futs = ex.submit_group(_group_fn, (["a"],), digest="d", algorithms=["alg"])
+    with pytest.raises(RequestFailed) as ei:
+        _result(futs[0])
+    assert ei.value.reason == "error"
+    assert ei.value.attempts == 1  # non-breakage errors do not retry
+    assert isinstance(ei.value.__cause__, ValueError)
+    assert ex.stats()["respawns"] == 0
+    ex.shutdown()
+
+
+def test_deadline_settles_one_request_while_siblings_complete():
+    release = threading.Event()
+
+    class _SlowPool(_GoodPool):
+        """Completes its group only after the test releases it."""
+
+        def submit(self, fn, *args):
+            cf = Future()
+
+            def run():
+                release.wait(10.0)
+                cf.set_result(fn(*args))
+
+            threading.Thread(target=run, daemon=True).start()
+            return cf
+
+    ex = SupervisedExecutor(2, pool_factory=_SlowPool)
+    futs = ex.submit_group(
+        _group_fn, (["a", "b"],), digest="d", algorithms=["fast", "slow"],
+        deadlines_s=[None, 0.01],
+    )
+    with pytest.raises(RequestFailed) as ei:
+        _result(futs[1], timeout=5.0)
+    assert ei.value.reason == "deadline"
+    assert ei.value.algorithm == "slow"
+    release.set()
+    assert _result(futs[0]) == ("a", 0)  # sibling unaffected
+    ex.shutdown()
+
+
+def test_shutdown_cancel_pending_settles_unfinished_futures():
+    class _NeverPool(_GoodPool):
+        def submit(self, fn, *args):
+            return Future()  # never completes
+
+    ex = SupervisedExecutor(2, pool_factory=_NeverPool)
+    futs = ex.submit_group(_group_fn, (["a"],), digest="d", algorithms=["alg"])
+    ex.shutdown(wait=True, cancel_pending=True)
+    with pytest.raises(RequestFailed) as ei:
+        _result(futs[0], timeout=1.0)
+    assert ei.value.reason == "cancelled"
+    with pytest.raises(RuntimeError):
+        ex.submit_group(_group_fn, (["b"],), digest="d", algorithms=["alg"])
+
+
+def test_settle_outcome_first_writer_wins():
+    fut = Future()
+    assert settle_outcome(fut, ("ok", 1)) is True
+    assert settle_outcome(fut, ("ok", 2)) is False
+    assert fut.result() == ("ok", 1)
+
+
+def test_backoff_delays_are_capped_and_seeded():
+    ex = SupervisedExecutor(
+        2, pool_factory=_GoodPool, backoff_base_s=0.5, backoff_cap_s=1.0, seed=3
+    )
+    # Reconstruct the delay formula for attempts 1..4: min(cap, base*2^k).
+    raw = [min(1.0, 0.5 * (2 ** (k - 1))) for k in range(1, 5)]
+    assert raw == [0.5, 1.0, 1.0, 1.0]
+    # Jitter draws are deterministic under the seed.
+    import random
+
+    a = [random.Random(3).uniform(0.0, 0.5) for _ in range(1)]
+    b = [random.Random(3).uniform(0.0, 0.5) for _ in range(1)]
+    assert a == b
+    ex.shutdown()
+
+
+def test_pool_spawned_lazily_and_reused_across_groups():
+    spawned = []
+
+    def factory():
+        pool = _GoodPool()
+        spawned.append(pool)
+        return pool
+
+    ex = SupervisedExecutor(2, pool_factory=factory)
+    assert spawned == []
+    ex.submit_group(_group_fn, (["a"],), digest="d1", algorithms=["x"])
+    ex.submit_group(_group_fn, (["b"],), digest="d2", algorithms=["x"])
+    assert len(spawned) == 1
+    ex.shutdown()
+
+
+def test_retry_delivers_same_payload_deterministically():
+    """Recovered results are computed from the same arguments — the
+    idempotence contract the whole retry design leans on."""
+    factory = _FlakyFactory(failures=2)
+    ex = SupervisedExecutor(
+        2, pool_factory=factory, backoff_base_s=0.001, max_attempts=3
+    )
+    futs = ex.submit_group(
+        _group_fn, (["p", "q"],), digest="d", algorithms=["x", "y"]
+    )
+    assert [_result(f)[0] for f in futs] == ["p", "q"]
+    assert ex.stats()["retries"] == {"d": 2}
+    assert ex.stats()["respawns"] == 2
+    ex.shutdown()
+
+
+def test_deferred_timer_skipped_when_future_already_done():
+    ex = SupervisedExecutor(2, pool_factory=_GoodPool)
+    futs = ex.submit_group(
+        _group_fn, (["a"],), digest="d", algorithms=["x"], deadlines_s=[5.0]
+    )
+    assert _result(futs[0]) == ("a", 0)
+    time.sleep(0.02)  # the armed timer must have been cancelled
+    assert _result(futs[0]) == ("a", 0)
+    ex.shutdown()
