@@ -1,0 +1,301 @@
+"""P3 — serving latency: the solve daemon under closed-loop load.
+
+Launches a real ``python -m repro.serve`` daemon subprocess over a
+fresh artifact store and measures the service boundary end to end:
+
+* **cold**: the first solve of each (graph, solver) pair — the request
+  pays order/WReach precompute and store persistence;
+* **warm**: a closed-loop phase (each client thread keeps exactly one
+  request in flight on its own keep-alive connection) hammering the
+  same pairs — the digest-sharded workers answer from their hot
+  per-process caches, so this is pure serving overhead + solve time.
+
+Every warm response is checked bit-identical to an in-process
+``solve()`` reference (dominator sets, sizes, certificates — the wire
+must not change answers under concurrency).  Reported per instance:
+cold/warm p50/p95/p99 ms, warm req/s, failures, plus the daemon's own
+``/v1/status`` counters (per-solver totals, overloads, shard routing)
+as provenance that the load actually exercised the sharded path.
+
+Results go to ``BENCH_serving.json`` at the repo root and a table in
+``benchmarks/results/p3_serving.txt``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_p3_serving.py          # full
+    PYTHONPATH=src python benchmarks/bench_p3_serving.py --smoke  # CI
+
+``--smoke`` runs the smallest instance only and **fails (exit 1)** if
+
+* any request failed or any warm response differed from its
+  in-process reference, or
+* the warm p50 is not strictly below the cold p50 (the warm path must
+  show the cache working — recomputing would erase the gap), or
+* the daemon did not exit 0 after SIGTERM (drain is part of the
+  contract being benchmarked).
+"""
+
+import argparse
+import json
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import solve  # noqa: E402
+from repro.bench.harness import write_result  # noqa: E402
+from repro.bench.tables import Table  # noqa: E402
+from repro.graphs import generators as gen  # noqa: E402
+from repro.graphs import random_models as rm  # noqa: E402
+from repro.serve.client import ServeClient, ServeError  # noqa: E402
+from repro.serve.metrics import percentile  # noqa: E402
+
+#: (name, graph builders, warm-phase requests per client)
+FULL_INSTANCES = [
+    ("grid16+tree", {
+        "grid": lambda: gen.grid_2d(16, 16),
+        "tree": lambda: gen.balanced_tree(2, 6),
+    }, 24),
+    ("grid40+delaunay", {
+        "grid": lambda: gen.grid_2d(40, 40),
+        "delaunay": lambda: rm.delaunay_graph(1500, seed=3)[0],
+    }, 12),
+]
+SMOKE_INSTANCES = FULL_INSTANCES[:1]
+
+ALGORITHMS = ("seq.wreach", "seq.greedy", "dist.congest")
+WORKERS = 2
+CLIENTS = 4
+RADIUS = 1
+SEED = 7
+
+
+def _comparable(payload):
+    out = dict(payload)
+    out.pop("wall_time_s", None)
+    return out
+
+
+class Daemon:
+    """The daemon subprocess: spawn, parse the bound URL, drain."""
+
+    def __init__(self, store: pathlib.Path):
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--store", str(store),
+             "--port", "0", "--workers", str(WORKERS)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        line = self.proc.stdout.readline().strip()
+        if not line.startswith("listening on "):
+            self.proc.kill()
+            raise RuntimeError(f"daemon failed to start: {line!r}")
+        self.url = line.removeprefix("listening on ").strip()
+
+    def drain(self) -> tuple[int, str]:
+        self.proc.send_signal(signal.SIGTERM)
+        out, err = self.proc.communicate(timeout=180)
+        return self.proc.returncode, out + err
+
+
+def bench_instance(name, builders, per_client):
+    graphs = {k: build() for k, build in builders.items()}
+    references = {
+        (k, a): _comparable(solve(g, RADIUS, a, seed=SEED).to_dict())
+        for k, g in graphs.items()
+        for a in ALGORITHMS
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        daemon = Daemon(pathlib.Path(tmp) / "store")
+        try:
+            client = ServeClient(daemon.url)
+            digests = {k: client.register(g)["digest"] for k, g in graphs.items()}
+            pairs = sorted(digests)
+
+            # Cold: first request per (graph, solver) pays the precompute.
+            cold_ms, mismatches, failures = [], [], []
+            for k in pairs:
+                for a in ALGORITHMS:
+                    t0 = time.perf_counter()
+                    got = client.solve(
+                        digest=digests[k], radius=RADIUS, algorithm=a,
+                        seed=SEED, raw=True,
+                    )
+                    cold_ms.append((time.perf_counter() - t0) * 1e3)
+                    if _comparable(got) != references[(k, a)]:
+                        mismatches.append(f"cold:{k}:{a}")
+            client.close()
+
+            # Warm: closed-loop clients, one request in flight each.
+            warm_ms_lock = threading.Lock()
+            warm_ms = []
+
+            def closed_loop(worker_id: int) -> None:
+                with ServeClient(daemon.url) as conn:
+                    for i in range(per_client):
+                        k = pairs[(worker_id + i) % len(pairs)]
+                        a = ALGORITHMS[(worker_id + i) % len(ALGORITHMS)]
+                        t0 = time.perf_counter()
+                        try:
+                            got = conn.solve(
+                                digest=digests[k], radius=RADIUS,
+                                algorithm=a, seed=SEED, raw=True,
+                            )
+                        except ServeError as exc:
+                            with warm_ms_lock:
+                                failures.append(f"{worker_id}:{k}:{a}: {exc}")
+                            continue
+                        elapsed_ms = (time.perf_counter() - t0) * 1e3
+                        with warm_ms_lock:
+                            warm_ms.append(elapsed_ms)
+                            if _comparable(got) != references[(k, a)]:
+                                mismatches.append(f"warm:{worker_id}:{k}:{a}")
+
+            threads = [
+                threading.Thread(target=closed_loop, args=(i,))
+                for i in range(CLIENTS)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            warm_wall_s = time.perf_counter() - t0
+
+            with ServeClient(daemon.url) as conn:
+                status = conn.status()
+        finally:
+            returncode, tail = daemon.drain()
+
+    return {
+        "name": name,
+        "graphs": {k: {"n": g.n, "m": g.m} for k, g in graphs.items()},
+        "algorithms": list(ALGORITHMS),
+        "clients": CLIENTS,
+        "workers": WORKERS,
+        "cold_requests": len(cold_ms),
+        "warm_requests": len(warm_ms),
+        "cold_p50_ms": percentile(cold_ms, 0.50),
+        "cold_p95_ms": percentile(cold_ms, 0.95),
+        "cold_p99_ms": percentile(cold_ms, 0.99),
+        "warm_p50_ms": percentile(warm_ms, 0.50) if warm_ms else None,
+        "warm_p95_ms": percentile(warm_ms, 0.95) if warm_ms else None,
+        "warm_p99_ms": percentile(warm_ms, 0.99) if warm_ms else None,
+        "warm_req_per_s": len(warm_ms) / warm_wall_s if warm_wall_s else 0.0,
+        "failures": failures,
+        "mismatches": mismatches,
+        "daemon_requests": status["requests"],
+        "daemon_shards": status.get("shards"),
+        "daemon_exit": returncode,
+        "daemon_drained": "drained" in tail,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="smallest instance only; exit 1 on any failure, any "
+        "reference mismatch, warm p50 >= cold p50, or unclean drain",
+    )
+    ap.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="JSON output path (default: BENCH_serving.json at the repo "
+        "root, BENCH_serving_smoke.json in smoke mode)",
+    )
+    args = ap.parse_args(argv)
+
+    instances = SMOKE_INSTANCES if args.smoke else FULL_INSTANCES
+    out_path = args.out or (
+        REPO_ROOT
+        / ("BENCH_serving_smoke.json" if args.smoke else "BENCH_serving.json")
+    )
+
+    table = Table(
+        f"P3: serving latency, {CLIENTS} closed-loop clients over "
+        f"{WORKERS} digest-sharded workers",
+        [
+            "instance", "reqs", "cold p50 ms", "warm p50 ms",
+            "warm p95 ms", "warm p99 ms", "req/s", "fail", "identical",
+        ],
+    )
+    rows = []
+    for name, builders, per_client in instances:
+        row = bench_instance(name, builders, per_client)
+        rows.append(row)
+        table.add(
+            name,
+            row["cold_requests"] + row["warm_requests"],
+            f"{row['cold_p50_ms']:.1f}",
+            f"{row['warm_p50_ms']:.1f}" if row["warm_p50_ms"] else "-",
+            f"{row['warm_p95_ms']:.1f}" if row["warm_p95_ms"] else "-",
+            f"{row['warm_p99_ms']:.1f}" if row["warm_p99_ms"] else "-",
+            f"{row['warm_req_per_s']:.1f}",
+            len(row["failures"]),
+            "yes" if not row["mismatches"] else "NO",
+        )
+        print(
+            f"  [{name}] cold p50 {row['cold_p50_ms']:.1f}ms  "
+            f"warm p50 {row['warm_p50_ms']:.1f}ms  "
+            f"{row['warm_req_per_s']:.1f} req/s  "
+            f"failures {len(row['failures'])}  "
+            f"identical={not row['mismatches']}",
+            flush=True,
+        )
+
+    report = {
+        "schema": 1,
+        "benchmark": "p3_serving",
+        "mode": "smoke" if args.smoke else "full",
+        "clients": CLIENTS,
+        "workers": WORKERS,
+        "instances": rows,
+        "all_identical": all(not r["mismatches"] for r in rows),
+        "total_failures": sum(len(r["failures"]) for r in rows),
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    write_result("p3_serving_smoke" if args.smoke else "p3_serving", table)
+    print(f"wrote {out_path}")
+
+    failures = []
+    for r in rows:
+        if r["failures"]:
+            failures.append(f"{r['name']}: {len(r['failures'])} failed requests")
+        if r["mismatches"]:
+            failures.append(
+                f"{r['name']}: {len(r['mismatches'])} responses differ "
+                "from in-process solve()"
+            )
+        if r["warm_p50_ms"] is None or r["warm_p50_ms"] >= r["cold_p50_ms"]:
+            failures.append(
+                f"{r['name']}: warm p50 not below cold p50 "
+                f"({r['warm_p50_ms']} vs {r['cold_p50_ms']} ms)"
+            )
+        if r["daemon_exit"] != 0 or not r["daemon_drained"]:
+            failures.append(
+                f"{r['name']}: daemon exit {r['daemon_exit']}, "
+                f"drained={r['daemon_drained']}"
+            )
+    if args.smoke and failures:
+        print("SMOKE GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    if failures:
+        print("warnings (non-smoke):")
+        for f in failures:
+            print(f"  - {f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,9 +11,15 @@ measurements of the actual pipelines on this machine.
 
 The committed :data:`DEFAULT_MODEL_PATH` artifact ships a calibration;
 ``python -m repro.cli calibrate-engine`` regenerates it (``--quick`` for
-a reduced ladder).  The model also carries the wave-pipelining verdict:
-the smallest profitable ``wave_width`` (0 = lockstep) and the instance
-size above which it applies.
+a reduced ladder).  The model also carries the wave-pipelining verdict
+*per protocol*: each wave-capable pipeline (``election`` = Theorem-9
+domset, ``join`` = Theorem-10 connect, ``cluster`` = Theorem-8 cover)
+gets its own smallest profitable ``wave_width`` (0 = lockstep) and the
+instance size above which it applies — the pipelines replay different
+phase mixes per wave, so one global threshold mispredicts whichever
+pipeline it was not measured on.  A ``"*"`` entry is the wildcard
+fallback; schema-1 documents (one global verdict) load as exactly that
+wildcard.
 
 Cost features per request: ``[1, R, (n + m) * R]`` with ``R = log2(n +
 2) + 3r + 2`` — a round-count proxy (order phase is O(log n), the token
@@ -41,10 +47,14 @@ __all__ = [
     "default_model",
     "DEFAULT_MODEL_PATH",
     "MODEL_SCHEMA",
+    "WAVE_PROTOCOLS",
 ]
 
 #: Version tag of the persisted model document.
-MODEL_SCHEMA = 1
+MODEL_SCHEMA = 2
+
+#: Wave-capable pipelines the calibration races (plus the "*" wildcard).
+WAVE_PROTOCOLS = ("election", "join", "cluster")
 
 #: The committed calibration artifact ``default_model()`` loads.
 DEFAULT_MODEL_PATH = Path(__file__).with_name("engine_model.json")
@@ -57,18 +67,19 @@ def _features(n: int, m: int, radius: int) -> np.ndarray:
 
 @dataclass(frozen=True)
 class EngineCostModel:
-    """Per-engine wall-time predictors plus the wave-pipelining verdict.
+    """Per-engine wall-time predictors plus per-protocol wave verdicts.
 
     ``coef`` maps engine name to the fitted feature coefficients;
-    ``wave_width`` is the calibrated components-per-wave (0 = lockstep
-    always) and ``wave_min_n`` the instance size where waves start
-    paying for their per-wave replay overhead.  ``meta`` records how the
-    calibration was obtained (instances, timings) for provenance only.
+    ``waves`` maps a protocol name (see :data:`WAVE_PROTOCOLS`, plus the
+    ``"*"`` wildcard) to its calibrated ``(wave_width, min_n)`` pair —
+    the components-per-wave (0 = lockstep always) and the instance size
+    where waves start paying for their per-wave replay overhead.
+    ``meta`` records how the calibration was obtained (instances,
+    timings) for provenance only.
     """
 
     coef: Mapping[str, tuple[float, ...]] = field(default_factory=dict)
-    wave_width: int = 0
-    wave_min_n: int = 0
+    waves: Mapping[str, tuple[int, int]] = field(default_factory=dict)
     meta: Mapping[str, Any] = field(default_factory=dict)
 
     def predict(self, engine: str, n: int, m: int, radius: int) -> float | None:
@@ -93,10 +104,25 @@ class EngineCostModel:
             return engines[0]
         return engines[int(np.argmin(costs))]
 
-    def pick_wave_width(self, n: int, m: int, radius: int) -> int:
-        """Calibrated wave width for an instance (0 = run lockstep)."""
-        if self.wave_width > 0 and n >= self.wave_min_n:
-            return self.wave_width
+    def pick_wave_width(
+        self, n: int, m: int, radius: int, protocol: str | None = None
+    ) -> int:
+        """Calibrated wave width for an instance (0 = run lockstep).
+
+        ``protocol`` selects the pipeline's own verdict; an unknown or
+        omitted protocol falls back to the ``"*"`` wildcard (which is
+        also where schema-1 global verdicts land on load).
+        """
+        entry = None
+        if protocol is not None:
+            entry = self.waves.get(protocol)
+        if entry is None:
+            entry = self.waves.get("*")
+        if entry is None:
+            return 0
+        width, min_n = entry
+        if width > 0 and n >= min_n:
+            return width
         return 0
 
     # -- persistence -------------------------------------------------------
@@ -104,8 +130,9 @@ class EngineCostModel:
         return {
             "schema": MODEL_SCHEMA,
             "coef": {e: list(c) for e, c in self.coef.items()},
-            "wave_width": self.wave_width,
-            "wave_min_n": self.wave_min_n,
+            "waves": {
+                p: {"width": w, "min_n": n} for p, (w, n) in self.waves.items()
+            },
             "meta": dict(self.meta),
         }
 
@@ -114,18 +141,29 @@ class EngineCostModel:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "EngineCostModel":
-        if data.get("schema") != MODEL_SCHEMA:
+        schema = data.get("schema")
+        if schema not in (1, MODEL_SCHEMA):
             raise ValueError(
-                f"unsupported engine model schema {data.get('schema')!r} "
-                f"(this version reads schema {MODEL_SCHEMA})"
+                f"unsupported engine model schema {schema!r} "
+                f"(this version reads schemas 1 and {MODEL_SCHEMA})"
             )
+        if schema == 1:
+            # Legacy global verdict: exactly the wildcard entry.
+            width = int(data.get("wave_width", 0))
+            waves = (
+                {"*": (width, int(data.get("wave_min_n", 0)))} if width else {}
+            )
+        else:
+            waves = {
+                str(p): (int(v.get("width", 0)), int(v.get("min_n", 0)))
+                for p, v in dict(data.get("waves", {})).items()
+            }
         return cls(
             coef={
                 str(e): tuple(float(x) for x in c)
                 for e, c in dict(data.get("coef", {})).items()
             },
-            wave_width=int(data.get("wave_width", 0)),
-            wave_min_n=int(data.get("wave_min_n", 0)),
+            waves=waves,
             meta=dict(data.get("meta", {})),
         )
 
@@ -190,16 +228,20 @@ def calibrate(
     Times the full Theorem-9 pipeline (the façade's dominant distributed
     path) per engine per instance, fits :func:`_features` coefficients,
     then times pipelined waves against lockstep on the largest instance
-    to settle ``wave_width``.  Deterministic instances, one timing pass
-    — calibration is a tool command, not a benchmark harness.
+    — once per wave-capable protocol (:data:`WAVE_PROTOCOLS`), since the
+    pipelines replay different phase mixes per wave and one pipeline's
+    verdict routinely mispredicts another's.  Deterministic instances,
+    one timing pass — calibration is a tool command, not a benchmark
+    harness.
     """
     from repro.distributed.connect_bc import run_connect_bc
+    from repro.distributed.cover_bc import run_cover_bc
     from repro.distributed.domset_bc import run_domset_bc
 
     graphs = _calibration_instances(quick)
     engines = ("batch", "pernode")
     rows: dict[str, list[tuple[np.ndarray, float]]] = {e: [] for e in engines}
-    timings: dict[str, dict[str, float]] = {}
+    timings: dict[str, dict[str, Any]] = {}
     for name, g in graphs:
         timings[name] = {"n": g.n, "m": g.m}
         for eng in engines:
@@ -213,32 +255,44 @@ def calibrate(
         X = np.stack([f for f, _ in rows[eng]])
         y = np.array([t for _, t in rows[eng]])
         coef[eng] = _fit_nonneg(X, y)
-    # Wave verdict: replay the connect pipeline (election + join waves)
-    # on the largest instance at a few widths; adopt the best width only
-    # if it beats lockstep by a margin that survives timing noise.
+    # Wave verdicts: replay each wave-capable pipeline on the largest
+    # instance at a few widths; adopt a width only if it beats that
+    # pipeline's own lockstep by a margin that survives timing noise.
     big_name, big = graphs[len(graphs) - 2]  # largest delaunay
-    wave_width = 0
-    wave_min_n = 0
-    t0 = clock()
-    run_connect_bc(big, radius, engine="batch", wave_width=0)
-    lockstep = clock() - t0
-    timings[big_name]["waves"] = {"0": lockstep}
-    best = lockstep
-    for width in (16, 64, 256):
+    racers = {
+        "election": lambda w: run_domset_bc(
+            big, radius, engine="batch", wave_width=w
+        ),
+        "join": lambda w: run_connect_bc(
+            big, radius, engine="batch", wave_width=w
+        ),
+        "cluster": lambda w: run_cover_bc(
+            big, radius, engine="batch", wave_width=w
+        ),
+    }
+    waves: dict[str, tuple[int, int]] = {}
+    timings[big_name]["waves"] = {}
+    for protocol, race in racers.items():
         t0 = clock()
-        run_connect_bc(big, radius, engine="batch", wave_width=width)
-        dt = clock() - t0
-        timings[big_name]["waves"][str(width)] = dt
-        if dt < best:
-            best = dt
-            wave_width = width
-    if best > 0.95 * lockstep:
-        wave_width = 0  # within noise of lockstep: keep the simple path
-    if wave_width:
-        wave_min_n = big.n
+        race(0)
+        lockstep = clock() - t0
+        splits = {"0": lockstep}
+        best, wave_width = lockstep, 0
+        for width in (16, 64, 256):
+            t0 = clock()
+            race(width)
+            dt = clock() - t0
+            splits[str(width)] = dt
+            if dt < best:
+                best = dt
+                wave_width = width
+        timings[big_name]["waves"][protocol] = splits
+        if best > 0.95 * lockstep:
+            wave_width = 0  # within noise of lockstep: keep the simple path
+        if wave_width:
+            waves[protocol] = (wave_width, big.n)
     return EngineCostModel(
         coef=coef,
-        wave_width=wave_width,
-        wave_min_n=wave_min_n,
+        waves=waves,
         meta={"radius": radius, "quick": quick, "timings": timings},
     )

@@ -241,12 +241,15 @@ _DIST_CONGEST_CAPS = SolverCapabilities(
 )
 
 
-def _wave_width(req: SolveRequest, engine: str | None) -> int:
+def _wave_width(req: SolveRequest, engine: str | None, protocol: str) -> int:
     """The pipelined-wave width for a request on the batch engine.
 
     An explicit ``params["wave_width"]`` wins; otherwise the calibrated
-    cost model decides (0 — global lockstep — without a model verdict).
-    Scheduling only: results and statistics are identical at any width.
+    cost model decides per ``protocol`` — the pipeline actually being
+    run ("election" for the Theorem-9 domset path, "join" for the
+    Theorem-10 connect path) — with 0 (global lockstep) absent a model
+    verdict.  Scheduling only: results and statistics are identical at
+    any width.
     """
     if engine != "batch":
         return 0
@@ -258,7 +261,9 @@ def _wave_width(req: SolveRequest, engine: str | None) -> int:
     model = default_model()
     if model is None:
         return 0
-    return model.pick_wave_width(req.graph.n, req.graph.m, req.radius)
+    return model.pick_wave_width(
+        req.graph.n, req.graph.m, req.radius, protocol=protocol
+    )
 
 
 @register_solver("dist.congest", _DIST_CONGEST_CAPS)
@@ -271,7 +276,7 @@ def _dist_congest(req: SolveRequest, cache: PrecomputeCache) -> SolverOutput:
     # are output- and stats-identical, so the shared distributed-order
     # cache entry is engine-agnostic.
     engine = req.resolve_engine(_DIST_CONGEST_CAPS)
-    waves = _wave_width(req, engine)
+    waves = _wave_width(req, engine, "join" if req.connect else "election")
     mode = req.params.get("order_mode", "h_partition")
     oc = cache.distributed_order(
         req.graph, mode, req.radius, req.params.get("threshold"), engine=engine

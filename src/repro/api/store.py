@@ -614,6 +614,44 @@ class ArtifactStore:
 
         return store_gc.status(self)
 
+    def lifecycle_summary(self) -> dict[str, Any]:
+        """Aggregate lease/quarantine counts for status surfaces.
+
+        Unlike :meth:`status` this never walks the artifact inventory —
+        it only counts lease files (total and still-active by TTL) and
+        quarantined payloads, so a long-lived daemon can poll it per
+        status request without touching every digest directory.
+        """
+        from repro.api import store_gc
+
+        ttl_s = _env_float("REPRO_LEASE_TTL_S", store_gc.DEFAULT_TTL_S)
+        lease_dir = self.root / store_gc.LEASE_DIR
+        leases_total = 0
+        leases_active = 0
+        if lease_dir.is_dir():
+            for path in lease_dir.iterdir():
+                if not path.name.endswith(".lease"):
+                    continue
+                leases_total += 1
+                digest = path.name[: -len(".lease")]
+                if store_gc.is_leased(self.root, digest, ttl_s=ttl_s):
+                    leases_active += 1
+        qdir = self.root / store_gc.QUARANTINE_DIR
+        quarantined = 0
+        quarantined_bytes = 0
+        if qdir.is_dir():
+            for path in qdir.rglob("*"):
+                if not path.is_file() or path.name.endswith(".reason.txt"):
+                    continue
+                quarantined += 1
+                quarantined_bytes += path.stat().st_size
+        return {
+            "leases_total": leases_total,
+            "leases_active": leases_active,
+            "quarantined": quarantined,
+            "quarantined_bytes": quarantined_bytes,
+        }
+
 
 def _env_float(name: str, default: float) -> float:
     try:

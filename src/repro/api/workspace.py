@@ -513,6 +513,7 @@ class Workspace:
         }
         if self.store is not None:
             out["store"] = self.store.describe()
+            out["store"]["lifecycle"] = self.store.lifecycle_summary()
         if self._pool is not None:
             out["supervisor"] = self._pool.stats()
         return out

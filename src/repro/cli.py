@@ -396,8 +396,14 @@ def _cmd_calibrate_engine(args) -> int:
     for eng, c in model.coef.items():
         terms = ", ".join(f"{x:.3e}" for x in c)
         print(f"  {eng}: [{terms}]")
-    print(f"  wave_width = {model.wave_width}"
-          + (f" (n >= {model.wave_min_n})" if model.wave_width else " (lockstep)"))
+    from repro.api.engine_model import WAVE_PROTOCOLS
+
+    for protocol in WAVE_PROTOCOLS:
+        width = model.waves.get(protocol, model.waves.get("*", (0, 0)))
+        print(
+            f"  waves[{protocol}] = {width[0]}"
+            + (f" (n >= {width[1]})" if width[0] else " (lockstep)")
+        )
     return 0
 
 
@@ -530,6 +536,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "committed artifact path")
     p_cal.set_defaults(fn=_cmd_calibrate_engine)
 
+    sub.add_parser(
+        "serve",
+        help="long-lived solve daemon over a shared artifact store "
+             "(all further arguments go to the daemon; see repro serve --help)",
+    )
+
     p_lint = sub.add_parser(
         "lint", help="static model-conformance/determinism checker"
     )
@@ -547,6 +559,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     from repro.errors import ReproError
 
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        # The daemon owns its full argument surface (and argparse's
+        # REMAINDER can't forward leading optionals), so hand off before
+        # parsing: ``repro serve ...`` == ``python -m repro.serve ...``.
+        from repro.serve.__main__ import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)

@@ -43,6 +43,17 @@ def _peel(g: Graph) -> tuple[list[int], list[int]]:
     Buckets use lazy deletion: a popped entry is valid only if the vertex
     is still present and its recorded degree matches the bucket index.
     Each vertex is re-inserted at most deg(v) times, so this is O(n + m).
+
+    The removed flag is folded into ``deg`` as a ``-1`` sentinel, which
+    keeps the whole inner loop on one list: pop validity is ``deg[x] ==
+    cur`` alone (a removed vertex's ``-1`` never equals ``cur >= 0``),
+    and the neighbor decrement's ``d >= 0`` guard is exact — an
+    unremoved neighbor of the vertex being removed still counts that
+    vertex, so its degree is >= 1, while a removed neighbor lands at
+    ``-2``.  Neighbor walks slice ``nbrs`` directly (one C-level copy
+    per vertex beats per-element index arithmetic) and bucket appends
+    are pre-bound methods.  A valid pop always satisfies ``deg[v] ==
+    cur``, so the removal degree is ``cur`` itself.
     """
     n = g.n
     if n == 0:
@@ -54,29 +65,27 @@ def _peel(g: Graph) -> tuple[list[int], list[int]]:
     buckets: list[list[int]] = [[] for _ in range(max_deg + 1)]
     for v in range(n):
         buckets[deg[v]].append(v)
-    removed = bytearray(n)
+    appends = [b.append for b in buckets]
     seq: list[int] = []
     removal_deg: list[int] = []
     cur = 0
     for _ in range(n):
-        v = -1
-        while v < 0:
+        while True:
             bucket = buckets[cur]
             while not bucket:
                 cur += 1
                 bucket = buckets[cur]
-            x = bucket.pop()
-            if not removed[x] and deg[x] == cur:
-                v = x
-        removed[v] = 1
+            v = bucket.pop()
+            if deg[v] == cur:
+                break
+        deg[v] = -1
         seq.append(v)
-        removal_deg.append(deg[v])
-        for i in range(indptr[v], indptr[v + 1]):
-            u = nbrs[i]
-            if not removed[u]:
-                d = deg[u] - 1
+        removal_deg.append(cur)
+        for u in nbrs[indptr[v] : indptr[v + 1]]:
+            d = deg[u] - 1
+            if d >= 0:
                 deg[u] = d
-                buckets[d].append(u)
+                appends[d](u)
                 if d < cur:
                     cur = d
     return seq, removal_deg

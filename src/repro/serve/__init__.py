@@ -1,0 +1,30 @@
+"""``repro.serve`` — the long-lived solve daemon over the artifact store.
+
+Run it as a process (``python -m repro.serve --store PATH`` or
+``repro serve --store PATH``), or embed it::
+
+    from repro.serve import ServeDaemon, ServeClient
+
+    with ServeDaemon("/var/lib/repro-store", workers=4) as daemon:
+        daemon.start()
+        client = ServeClient(daemon.url)
+        digest = client.register(g, warm={"radius": 1})["digest"]
+        result = client.solve(digest=digest, radius=1, algorithm="seq.wreach")
+
+Layers: :mod:`repro.serve.daemon` (HTTP front + request admission),
+:mod:`repro.serve.shards` (digest-sharded supervised workers),
+:mod:`repro.serve.metrics` (latency tracking),
+:mod:`repro.serve.client` (stdlib typed client).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import ServeDaemon
+from repro.serve.shards import DigestShardPool, Overloaded
+
+__all__ = [
+    "DigestShardPool",
+    "Overloaded",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+]

@@ -1,0 +1,76 @@
+"""``python -m repro.serve`` — run the solve daemon until SIGTERM/SIGINT.
+
+Prints one ``listening on http://HOST:PORT`` line once the socket is
+bound (port 0 resolves to the real ephemeral port first), serves until
+a termination signal, then drains: in-flight requests finish, the shard
+pool shuts down, and orphaned store ``.tmp`` files are swept.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.serve.daemon import ServeDaemon
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro serve",
+        description="long-lived solve daemon over a shared artifact store",
+    )
+    ap.add_argument("--store", required=True,
+                    help="artifact store root (created if absent)")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=0,
+                    help="bind port (0 = pick a free one; default)")
+    ap.add_argument("--workers", type=int, default=0,
+                    help="digest-sharded worker processes "
+                         "(0 = solve in-process; default)")
+    ap.add_argument("--queue-limit", type=int, default=8,
+                    help="max outstanding requests per graph digest "
+                         "before 503 (default 8)")
+    ap.add_argument("--deadline-s", type=float, default=None,
+                    help="default per-request deadline in seconds "
+                         "(requests may set their own)")
+    ap.add_argument("--no-mmap", action="store_true",
+                    help="disable memory-mapped store artifact loads")
+    ap.add_argument("--verbose", action="store_true",
+                    help="log each request to stderr")
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    daemon = ServeDaemon(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline_s,
+        mmap=not args.no_mmap,
+        log=(lambda msg: print(msg, file=sys.stderr, flush=True))
+        if args.verbose
+        else None,
+    )
+
+    def _terminate(signum: int, _frame: object) -> None:
+        # shutdown() waits for the serve loop (= this main thread) to
+        # stop, so it must run off-thread — the handler only kicks it.
+        threading.Thread(target=daemon.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+    print(f"listening on {daemon.url}", flush=True)
+    daemon.serve_forever()
+    print("drained", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""Stdlib-only typed client for the ``repro.serve`` daemon.
+
+One :class:`ServeClient` wraps one keep-alive
+:class:`http.client.HTTPConnection` — *not* thread-safe; give each
+client thread its own instance (that is also what makes a closed-loop
+load generator honest: one in-flight request per connection).
+
+Responses come back typed: ``solve`` returns a
+:class:`~repro.api.types.SolveResult` rebuilt from the shared JSON
+schema; HTTP-level failures raise :class:`ServeError` carrying the
+status code, the structured error body, and the ``Retry-After`` hint
+on overload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import io
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.api.types import SolveResult
+from repro.graphs.graph import Graph
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A non-2xx daemon response: status, body, and retry hint."""
+
+    def __init__(self, status: int, error: Mapping[str, Any],
+                 retry_after_s: float | None = None):
+        super().__init__(
+            f"HTTP {status}: {error.get('message') or error.get('type') or error}"
+        )
+        self.status = int(status)
+        self.error = dict(error)
+        self.retry_after_s = retry_after_s
+
+    @property
+    def reason(self) -> str | None:
+        """The structured failure reason, when the body carries one."""
+        value = self.error.get("reason")
+        return None if value is None else str(value)
+
+
+def _npz_bytes(g: Graph) -> bytes:
+    buf = io.BytesIO()
+    np.savez(buf, n=np.int64(g.n), edges=g.edge_array())
+    return buf.getvalue()
+
+
+class ServeClient:
+    """Typed access to one daemon (``host``/``port`` or a full ``url``)."""
+
+    def __init__(
+        self,
+        url: str | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8265,
+        timeout_s: float = 300.0,
+    ):
+        if url is not None:
+            stripped = url.removeprefix("http://").rstrip("/")
+            host, _, port_s = stripped.partition(":")
+            port = int(port_s or 80)
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport -------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> dict[str, Any]:
+        headers = {"Content-Type": content_type} if body is not None else {}
+        # One transparent retry on a stale keep-alive connection: the
+        # server may have idle-closed it between calls.
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raw = response.read()
+        try:
+            payload = json.loads(raw.decode() or "{}")
+        except (ValueError, UnicodeDecodeError):
+            payload = {"error": {"type": "BadResponse", "message": repr(raw[:200])}}
+        if response.status >= 300:
+            retry_after = response.getheader("Retry-After")
+            raise ServeError(
+                response.status,
+                payload.get("error", payload),
+                retry_after_s=None if retry_after is None else float(retry_after),
+            )
+        return payload
+
+    def _post_json(self, path: str, body: Mapping[str, Any]) -> dict[str, Any]:
+        return self._request("POST", path, json.dumps(body).encode())
+
+    # -- endpoints -------------------------------------------------------
+    def status(self, probe: bool = False) -> dict[str, Any]:
+        return self._request("GET", "/v1/status" + ("?probe=1" if probe else ""))
+
+    def solvers(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/solvers")["solvers"]
+
+    def register(
+        self,
+        graph: Graph,
+        *,
+        npz: bool = True,
+        warm: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Register ``graph`` with the daemon; returns ``{digest, n, m}``.
+
+        ``npz=True`` ships the binary edge list (the efficient path);
+        ``npz=False`` sends the inline JSON shape.  ``warm`` forwards
+        warm-start options (``{"radius": r}``) so the daemon precomputes
+        the Theorem-5 inputs immediately.
+        """
+        if npz:
+            path = "/v1/graphs"
+            if warm is not None:
+                path += f"?warm_radius={int(warm['radius'])}"
+            return self._request(
+                "POST", path, _npz_bytes(graph), "application/octet-stream"
+            )
+        body: dict[str, Any] = {
+            "graph": {"n": graph.n, "edges": graph.edge_array().tolist()}
+        }
+        if warm is not None:
+            body["warm"] = dict(warm)
+        return self._post_json("/v1/graphs", body)
+
+    def solve(
+        self,
+        *,
+        digest: str | None = None,
+        graph: Graph | None = None,
+        raw: bool = False,
+        **fields: Any,
+    ) -> SolveResult | dict[str, Any]:
+        """Solve on the daemon; returns the rebuilt :class:`SolveResult`.
+
+        Exactly one of ``digest`` (hot path: the graph is already in the
+        daemon's store) or ``graph`` (shipped inline) must be given;
+        ``fields`` are the ``SolveRequest`` fields (``radius``,
+        ``algorithm``, ``certify``, ``deadline_s``, ...).  ``raw=True``
+        returns the undecoded response dict instead.
+        """
+        if (digest is None) == (graph is None):
+            raise ValueError("exactly one of digest= or graph= is required")
+        body = dict(fields)
+        if digest is not None:
+            body["digest"] = digest
+        else:
+            assert graph is not None
+            body["graph"] = {"n": graph.n, "edges": graph.edge_array().tolist()}
+        payload = self._post_json("/v1/solve", body)
+        return payload if raw else SolveResult.from_dict(payload)

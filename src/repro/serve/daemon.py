@@ -1,0 +1,578 @@
+"""The ``repro.serve`` daemon: a warm Workspace behind a stdlib HTTP front.
+
+One long-lived process owns the shared :class:`~repro.api.store.ArtifactStore`
+and a :class:`~repro.api.workspace.Workspace` (orders, rank-CSR, WReach
+CSR hot in its cache, ``mmap`` honored for large artifact loads), and
+speaks the :class:`~repro.api.types.SolveResult` JSON schema over four
+endpoints:
+
+========================  =============================================
+``POST /v1/solve``        run one request — graph by bare ``digest``
+                          (the hot path), inline edge list, or npz body
+``POST /v1/graphs``       register (and optionally warm) a graph;
+                          returns its digest
+``GET /v1/status``        uptime, request/latency counters, workspace +
+                          store + shard stats (``?probe=1`` asks each
+                          worker process what it actually holds)
+``GET /v1/solvers``       the solver registry with capabilities
+========================  =============================================
+
+Execution: with ``workers=0`` requests solve in-process under one lock
+(the cache is not thread-safe); with ``workers=N`` a
+:class:`~repro.serve.shards.DigestShardPool` routes each digest to its
+home supervised worker.  Admission is bounded per digest — exceeding
+``queue_limit`` outstanding requests answers ``503`` with a
+``Retry-After`` hint instead of queueing without bound.  Per-request
+deadlines ride the supervisor's ``deadline_s`` timers; expiry answers
+``504`` with the structured :class:`~repro.errors.RequestFailed` body.
+
+Shutdown is a drain: stop accepting, let in-flight handlers finish,
+drain the shard pool, close the workspace, and sweep any orphaned
+``.tmp`` store files — SIGTERM leaves zero torn artifacts behind.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from dataclasses import replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.api.registry import list_solvers
+from repro.api.store import ArtifactStore
+from repro.api.types import GraphHandle, SolveRequest
+from repro.api.workspace import Workspace
+from repro.errors import GraphError, RequestFailed, SolverError
+from repro.graphs.build import from_edges
+from repro.serve.metrics import LatencyTracker
+from repro.serve.shards import DigestShardPool, Overloaded
+
+__all__ = ["ServeDaemon"]
+
+#: SolveRequest fields a /v1/solve JSON body may set besides the graph.
+_REQUEST_FIELDS = (
+    "radius", "algorithm", "order_strategy", "connect", "prune", "certify",
+    "with_lp", "validate", "seed", "engine", "params", "deadline_s",
+)
+
+
+class _HTTPError(Exception):
+    """An error with a ready-to-send status + JSON body."""
+
+    def __init__(self, status: int, error: Mapping[str, Any],
+                 retry_after_s: float | None = None):
+        super().__init__(error.get("message", ""))
+        self.status = int(status)
+        self.error = dict(error)
+        self.retry_after_s = retry_after_s
+
+
+def _failure_body(exc: RequestFailed) -> dict[str, Any]:
+    """The structured JSON body of a failed request."""
+    return {
+        "type": "RequestFailed",
+        "message": str(exc),
+        "reason": exc.reason,
+        "algorithm": exc.algorithm,
+        "graph_digest": exc.graph_digest,
+        "attempts": exc.attempts,
+    }
+
+
+def _failure_status(exc: RequestFailed) -> int:
+    """HTTP status for a structured failure (deadline is the client's)."""
+    return 504 if exc.reason == "deadline" else 500
+
+
+class ServeDaemon:
+    """The solve daemon: construct, then :meth:`serve_forever` (or
+    :meth:`start` for a background thread) and :meth:`shutdown`.
+
+    Parameters
+    ----------
+    store:
+        Store root path or :class:`ArtifactStore` — the artifact tier
+        this daemon owns and serves from.
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`port`).
+    workers:
+        0 = in-process solving under one lock; N >= 1 = N digest-sharded
+        single-process supervised workers.
+    queue_limit:
+        Per-digest outstanding-request bound before 503.
+    default_deadline_s:
+        Deadline applied to requests that do not set their own
+        (``None`` = unbounded).
+    mmap:
+        Memory-map large store artifact loads (forwarded to
+        :class:`ArtifactStore` when ``store`` is a path).
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore | str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 0,
+        queue_limit: int = 8,
+        default_deadline_s: float | None = None,
+        retry_after_s: float = 1.0,
+        mmap: bool = True,
+        backoff_base_s: float = 0.05,
+        pool_factory: Callable[[], Any] | None = None,
+        log: Callable[[str], None] | None = None,
+    ):
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store, mmap=mmap)
+        self.store = store
+        self.ws = Workspace(store=store)
+        self.workers = int(workers)
+        self.queue_limit = int(queue_limit)
+        self.default_deadline_s = default_deadline_s
+        self.metrics = LatencyTracker()
+        self._log = log or (lambda _msg: None)
+        self.pool: DigestShardPool | None = None
+        if self.workers >= 1:
+            self.pool = DigestShardPool(
+                str(store.root),
+                self.workers,
+                queue_limit=self.queue_limit,
+                retry_after_s=retry_after_s,
+                backoff_base_s=backoff_base_s,
+                pool_factory=pool_factory,
+            )
+        # One lock for every Workspace/cache touch (the cache is not
+        # thread-safe); in-process solves hold it for the whole solve.
+        self._ws_lock = threading.Lock()
+        # In-process admission: outstanding requests per digest.
+        self._local_in_flight: dict[str, int] = {}
+        self._admission_lock = threading.Lock()
+        self._active = 0
+        self._active_cv = threading.Condition()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._started = time.monotonic()
+        daemon = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            # Idle keep-alive connections die on their own instead of
+            # pinning handler threads across a drain.
+            timeout = 30.0
+
+            def log_message(self, fmt: str, *args: Any) -> None:
+                daemon._log(f"{self.address_string()} {fmt % args}")
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server contract
+                daemon._dispatch(self, "GET")
+
+            def do_POST(self) -> None:  # noqa: N802 - http.server contract
+                daemon._dispatch(self, "POST")
+
+        self._httpd = ThreadingHTTPServer((host, int(port)), _Handler)
+        self._httpd.daemon_threads = True
+
+    # -- addresses -------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown`; returns after the drain."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._drain()
+
+    def start(self) -> threading.Thread:
+        """Serve on a background thread (tests, embedded use)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, release everything.
+
+        Idempotent and thread-safe; callable from any thread except a
+        request handler's own (a handler cannot wait for itself to
+        finish).  Signal handlers should call this from a fresh thread.
+        """
+        self._httpd.shutdown()
+        self._drain()
+
+    close = shutdown
+
+    def __enter__(self) -> "ServeDaemon":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    def _drain(self) -> None:
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        with self._active_cv:
+            self._active_cv.wait_for(lambda: self._active == 0, timeout=60.0)
+        if self.pool is not None:
+            self.pool.shutdown(wait=True)
+        self.ws.close()
+        # Atomic writes mean a clean daemon leaves nothing behind; a
+        # crashed *worker* might, and the drain is the natural sweep
+        # point (age 0: anything orphaned is by definition dead here,
+        # since every writer this store had is now stopped).
+        self.store.sweep_tmp(max_age_s=0.0)
+        self._httpd.server_close()
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
+    # -- HTTP plumbing ---------------------------------------------------
+    def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        with self._active_cv:
+            if self._closed:
+                self._send(handler, 503, {"error": {
+                    "type": "Draining", "message": "daemon is shutting down",
+                }})
+                return
+            self._active += 1
+        try:
+            split = urlsplit(handler.path)
+            route = (method, split.path)
+            query = parse_qs(split.query)
+            try:
+                if route == ("GET", "/v1/status"):
+                    status, body = 200, self.status(
+                        probe="probe" in query and query["probe"][0] not in ("", "0")
+                    )
+                elif route == ("GET", "/v1/solvers"):
+                    status, body = 200, self.solvers()
+                elif route == ("POST", "/v1/solve"):
+                    status, body = 200, self._handle_solve(handler, query)
+                elif route == ("POST", "/v1/graphs"):
+                    status, body = 200, self._handle_graphs(handler, query)
+                else:
+                    raise _HTTPError(404, {
+                        "type": "NoSuchEndpoint",
+                        "message": f"{method} {split.path} is not served here",
+                    })
+                self._send(handler, status, body)
+            except _HTTPError as exc:
+                self._send(handler, exc.status, {"error": exc.error},
+                           retry_after_s=exc.retry_after_s)
+            except Exception as exc:  # the daemon outlives any bad request
+                self._send(handler, 500, {"error": {
+                    "type": type(exc).__name__, "message": str(exc),
+                }})
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            handler.close_connection = True
+        finally:
+            with self._active_cv:
+                self._active -= 1
+                self._active_cv.notify_all()
+
+    def _send(
+        self,
+        handler: BaseHTTPRequestHandler,
+        status: int,
+        body: Mapping[str, Any],
+        retry_after_s: float | None = None,
+    ) -> None:
+        payload = json.dumps(body).encode()
+        handler.send_response(status)
+        handler.send_header("Content-Type", "application/json")
+        handler.send_header("Content-Length", str(len(payload)))
+        if retry_after_s is not None:
+            handler.send_header("Retry-After", str(max(1, round(retry_after_s))))
+        handler.end_headers()
+        handler.wfile.write(payload)
+
+    @staticmethod
+    def _read_body(handler: BaseHTTPRequestHandler) -> bytes:
+        length = int(handler.headers.get("Content-Length") or 0)
+        return handler.rfile.read(length) if length else b""
+
+    @staticmethod
+    def _json_body(raw: bytes) -> dict[str, Any]:
+        try:
+            body = json.loads(raw.decode() or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HTTPError(400, {
+                "type": "BadRequest", "message": f"request body is not JSON: {exc}",
+            }) from exc
+        if not isinstance(body, dict):
+            raise _HTTPError(400, {
+                "type": "BadRequest",
+                "message": "request body must be a JSON object",
+            })
+        return body
+
+    # -- graph intake ----------------------------------------------------
+    def _graph_from_npz(self, raw: bytes) -> GraphHandle:
+        try:
+            with np.load(io.BytesIO(raw)) as npz:
+                n = int(npz["n"])
+                edges = np.asarray(npz["edges"], dtype=np.int64)
+            g = from_edges(n, edges)
+        except (KeyError, ValueError, OSError, GraphError) as exc:
+            raise _HTTPError(400, {
+                "type": "BadGraph",
+                "message": f"npz body is not a valid edge list: {exc}",
+            }) from exc
+        with self._ws_lock:
+            return self.ws.add(g)
+
+    def _graph_from_json(self, spec: Any) -> GraphHandle:
+        if not isinstance(spec, dict) or "n" not in spec or "edges" not in spec:
+            raise _HTTPError(400, {
+                "type": "BadGraph",
+                "message": 'inline graph must be {"n": int, "edges": [[u, v], ...]}',
+            })
+        try:
+            edges = np.asarray(spec["edges"], dtype=np.int64).reshape(-1, 2)
+            g = from_edges(int(spec["n"]), edges)
+        except (TypeError, ValueError, GraphError) as exc:
+            raise _HTTPError(400, {
+                "type": "BadGraph", "message": f"bad inline edge list: {exc}",
+            }) from exc
+        with self._ws_lock:
+            return self.ws.add(g)
+
+    def _graph_from_digest(self, digest: str) -> GraphHandle:
+        meta = self.store.graph_meta(str(digest))
+        if meta is None:
+            raise _HTTPError(404, {
+                "type": "UnknownGraph",
+                "message": f"graph {digest!r} is not in the store "
+                           f"(register it via POST /v1/graphs)",
+                "digest": str(digest),
+            })
+        return GraphHandle(digest=str(digest), n=meta[0], m=meta[1])
+
+    # -- endpoints -------------------------------------------------------
+    def _handle_graphs(
+        self, handler: BaseHTTPRequestHandler, query: Mapping[str, list[str]]
+    ) -> dict[str, Any]:
+        raw = self._read_body(handler)
+        content_type = (handler.headers.get("Content-Type") or "").split(";")[0]
+        warm: dict[str, Any] | None = None
+        if content_type == "application/octet-stream":
+            handle = self._graph_from_npz(raw)
+            if "warm_radius" in query:
+                warm = {"radius": int(query["warm_radius"][0])}
+        else:
+            body = self._json_body(raw)
+            unknown = set(body) - {"graph", "warm"}
+            if unknown:
+                raise _HTTPError(400, {
+                    "type": "BadRequest",
+                    "message": f"unknown fields: {sorted(unknown)}",
+                })
+            handle = self._graph_from_json(body.get("graph"))
+            if body.get("warm") is not None:
+                warm = dict(body["warm"])
+        out: dict[str, Any] = {"digest": handle.digest, "n": handle.n, "m": handle.m}
+        if warm is not None:
+            allowed = {"radius", "order_strategy"}
+            unknown = set(warm) - allowed
+            if unknown:
+                raise _HTTPError(400, {
+                    "type": "BadRequest",
+                    "message": f"unknown warm fields: {sorted(unknown)}",
+                })
+            with self._ws_lock:
+                summary = self.ws.warm(handle, **warm)
+            out["warmed"] = {
+                k: summary[k] for k in ("order_strategy", "radius", "reaches", "wcol")
+            }
+        return out
+
+    def _build_request(
+        self, handler: BaseHTTPRequestHandler, query: Mapping[str, list[str]]
+    ) -> tuple[SolveRequest, GraphHandle]:
+        content_type = (handler.headers.get("Content-Type") or "").split(";")[0]
+        raw = self._read_body(handler)
+        if content_type == "application/octet-stream":
+            # npz upload: solve parameters ride the query string.
+            handle = self._graph_from_npz(raw)
+            body: dict[str, Any] = {}
+            for key, values in query.items():
+                if key in ("radius", "seed"):
+                    body[key] = int(values[0])
+                elif key == "deadline_s":
+                    body[key] = float(values[0])
+                elif key in ("connect", "prune", "certify", "with_lp", "validate"):
+                    body[key] = values[0] not in ("", "0", "false")
+                else:
+                    body[key] = values[0]
+        else:
+            body = self._json_body(raw)
+            spec_keys = {"digest", "graph"} & set(body)
+            if len(spec_keys) != 1:
+                raise _HTTPError(400, {
+                    "type": "BadRequest",
+                    "message": 'exactly one of "digest" or "graph" must be given',
+                })
+            # Validate the field surface before touching the store, so a
+            # malformed request is 400 even when its digest is unknown.
+            unknown = set(body) - set(_REQUEST_FIELDS) - {"digest", "graph"}
+            if unknown:
+                raise _HTTPError(400, {
+                    "type": "BadRequest",
+                    "message": f"unknown request fields: {sorted(unknown)} "
+                               f"(known: {sorted(_REQUEST_FIELDS)})",
+                })
+            if "digest" in body:
+                handle = self._graph_from_digest(body.pop("digest"))
+            else:
+                handle = self._graph_from_json(body.pop("graph"))
+        unknown = set(body) - set(_REQUEST_FIELDS)
+        if unknown:
+            raise _HTTPError(400, {
+                "type": "BadRequest",
+                "message": f"unknown request fields: {sorted(unknown)} "
+                           f"(known: {sorted(_REQUEST_FIELDS)})",
+            })
+        if "params" in body and not isinstance(body["params"], dict):
+            raise _HTTPError(400, {
+                "type": "BadRequest", "message": '"params" must be an object',
+            })
+        try:
+            request = SolveRequest(graph=handle, **body)
+        except (TypeError, ValueError) as exc:
+            raise _HTTPError(400, {
+                "type": "BadRequest", "message": f"bad request fields: {exc}",
+            }) from exc
+        if request.deadline_s is None and self.default_deadline_s is not None:
+            request = replace(request, deadline_s=float(self.default_deadline_s))
+        return request, handle
+
+    def _handle_solve(
+        self, handler: BaseHTTPRequestHandler, query: Mapping[str, list[str]]
+    ) -> dict[str, Any]:
+        request, handle = self._build_request(handler, query)
+        t0 = time.perf_counter()
+        try:
+            result = (
+                self._solve_pooled(request, handle)
+                if self.pool is not None
+                else self._solve_local(request, handle)
+            )
+        except Overloaded as exc:
+            self.metrics.count_overload()
+            raise _HTTPError(503, {
+                "type": "Overloaded",
+                "message": str(exc),
+                "digest": exc.digest,
+                "in_flight": exc.in_flight,
+                "queue_limit": exc.limit,
+            }, retry_after_s=exc.retry_after_s) from exc
+        except RequestFailed as exc:
+            self.metrics.observe(
+                request.algorithm, time.perf_counter() - t0, ok=False
+            )
+            raise _HTTPError(
+                _failure_status(exc), _failure_body(exc)
+            ) from exc
+        except SolverError as exc:
+            self.metrics.observe(
+                request.algorithm, time.perf_counter() - t0, ok=False
+            )
+            raise _HTTPError(400, {
+                "type": type(exc).__name__, "message": str(exc),
+            }) from exc
+        self.metrics.observe(request.algorithm, time.perf_counter() - t0)
+        return result.to_dict()
+
+    def _solve_pooled(self, request: SolveRequest, handle: GraphHandle) -> Any:
+        assert self.pool is not None
+        detached = replace(request, graph=handle.detached())
+        future = self.pool.submit(
+            handle.digest, [detached], deadlines_s=[request.deadline_s]
+        )[0]
+        tag, payload = future.result()
+        if tag == "err":
+            raise payload
+        return payload
+
+    def _solve_local(self, request: SolveRequest, handle: GraphHandle) -> Any:
+        digest = handle.digest
+        with self._admission_lock:
+            outstanding = self._local_in_flight.get(digest, 0)
+            if outstanding + 1 > self.queue_limit:
+                raise Overloaded(digest, outstanding, self.queue_limit, 1.0)
+            self._local_in_flight[digest] = outstanding + 1
+        born = time.monotonic()
+        try:
+            with self._ws_lock:
+                # The deadline covers queueing behind the solve lock too
+                # (no mid-solve abort — matching deferred SolveFutures).
+                deadline = request.deadline_s
+                if deadline is not None and time.monotonic() - born > deadline:
+                    raise RequestFailed(
+                        f"{request.algorithm} on graph {digest}: deadline_s="
+                        f"{deadline} expired while queued",
+                        algorithm=request.algorithm,
+                        graph_digest=digest,
+                        attempts=1,
+                        reason="deadline",
+                    )
+                return self.ws.solve_request(request)
+        finally:
+            with self._admission_lock:
+                left = self._local_in_flight.get(digest, 0) - 1
+                if left > 0:
+                    self._local_in_flight[digest] = left
+                else:
+                    self._local_in_flight.pop(digest, None)
+
+    def solvers(self) -> dict[str, Any]:
+        """The registry dump behind ``GET /v1/solvers``."""
+        out = {}
+        for info in list_solvers():
+            caps = info.capabilities
+            out[info.name] = {
+                "model": caps.model,
+                "supports_connect": caps.supports_connect,
+                "deterministic": caps.deterministic,
+                "radius": caps.radius_range(),
+                "requires": caps.requires,
+                "guarantee": caps.guarantee,
+                "description": caps.description,
+                "engines": list(caps.engines),
+            }
+        return {"solvers": out}
+
+    def status(self, probe: bool = False) -> dict[str, Any]:
+        """The report behind ``GET /v1/status``."""
+        with self._ws_lock:
+            info = self.ws.info()
+        out: dict[str, Any] = {
+            "uptime_s": self.uptime_s(),
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+            "workspace": info,
+            **self.metrics.snapshot(),
+        }
+        if self.pool is not None:
+            out["shards"] = self.pool.stats()
+            if probe:
+                out["workers_probe"] = self.pool.probe()
+        return out

@@ -1,0 +1,89 @@
+"""Per-solver request counters and bounded latency reservoirs.
+
+The daemon records one observation per served request — solver name,
+wall seconds, and whether it succeeded — into a fixed-size ring per
+solver.  ``snapshot()`` renders the counters plus p50/p95/p99 over the
+retained window; keeping the reservoir bounded means a week-long daemon
+answers ``/v1/status`` in O(window log window) regardless of how many
+requests it has served.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = ["LatencyTracker", "percentile"]
+
+#: Retained samples per solver (newest-wins ring).
+DEFAULT_WINDOW = 2048
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The nearest-rank ``q``-quantile of a non-empty sample."""
+    if not samples:
+        raise ValueError("percentile of an empty sample")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class LatencyTracker:
+    """Thread-safe per-key counts, failures, and latency percentiles."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self._window = int(window)
+        self._lock = threading.Lock()
+        self._samples: dict[str, deque[float]] = {}
+        self._total: dict[str, int] = {}
+        self._failed: dict[str, int] = {}
+        self.overloaded = 0
+
+    def observe(self, key: str, seconds: float, ok: bool = True) -> None:
+        """Record one served request for ``key``."""
+        with self._lock:
+            ring = self._samples.get(key)
+            if ring is None:
+                ring = self._samples[key] = deque(maxlen=self._window)
+            ring.append(float(seconds))
+            self._total[key] = self._total.get(key, 0) + 1
+            if not ok:
+                self._failed[key] = self._failed.get(key, 0) + 1
+
+    def count_overload(self) -> None:
+        """Record one admission rejection (503) — no latency sample."""
+        with self._lock:
+            self.overloaded += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counters plus windowed latency percentiles, JSON-shaped."""
+        with self._lock:
+            keys = sorted(self._total)
+            totals = dict(self._total)
+            failed = dict(self._failed)
+            rings = {k: sorted(self._samples[k]) for k in keys}
+            overloaded = self.overloaded
+        latency = {}
+        for key in keys:
+            samples = rings[key]
+            if samples:
+                latency[key] = {
+                    "count": len(samples),
+                    "p50_ms": percentile(samples, 0.50) * 1e3,
+                    "p95_ms": percentile(samples, 0.95) * 1e3,
+                    "p99_ms": percentile(samples, 0.99) * 1e3,
+                }
+        return {
+            "requests": {
+                "total": sum(totals.values()),
+                "failed": sum(failed.values()),
+                "overloaded": overloaded,
+                "by_solver": {
+                    k: {"total": totals[k], "failed": failed.get(k, 0)}
+                    for k in keys
+                },
+            },
+            "latency_ms": latency,
+        }

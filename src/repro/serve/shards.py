@@ -1,0 +1,224 @@
+"""Digest-sharded supervised workers: the service-boundary co-location rule.
+
+:class:`~repro.api.workspace.Workspace` already co-locates a batch's
+requests by graph digest so each worker's per-process graph registry and
+precompute cache actually hit.  A daemon receives requests one at a
+time over HTTP, so the same rule moves to admission: a stable hash of
+the digest picks one of N single-process
+:class:`~repro.api.supervisor.SupervisedExecutor` shards, and every
+request for that graph — today, tomorrow, after a worker crash and
+respawn — lands on the same shard.  The shard's worker keeps the graph
+and its WReach/order artifacts hot in memory; other shards never load
+it at all.
+
+Admission is bounded per digest: more than ``queue_limit`` outstanding
+requests for one graph raises :class:`Overloaded` (the daemon's
+``503 + Retry-After``), protecting latency for other graphs instead of
+queueing without bound behind a single hot digest.
+
+Each shard wraps its own supervisor, so a crashed worker respawns and
+re-dispatches exactly as in pooled :class:`Workspace` execution — the
+fault-tolerance contract of PR 9 holds unchanged at the service
+boundary, per shard.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.api.supervisor import SupervisedExecutor
+from repro.api.types import SolveRequest
+from repro.api.workspace import _execute_group
+
+__all__ = ["DigestShardPool", "Overloaded", "shard_of"]
+
+
+class Overloaded(Exception):
+    """Admission rejected: the digest's queue is full (serve as 503)."""
+
+    def __init__(self, digest: str, in_flight: int, limit: int,
+                 retry_after_s: float):
+        super().__init__(
+            f"graph {digest[:12]}: {in_flight} requests in flight "
+            f"(limit {limit}); retry after {retry_after_s:.1f}s"
+        )
+        self.digest = digest
+        self.in_flight = in_flight
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+
+
+def shard_of(digest: str, shards: int) -> int:
+    """Stable digest -> shard index (hex prefix modulo shard count)."""
+    try:
+        return int(digest[:8], 16) % shards
+    except ValueError:
+        # Non-hex digests (tests, probes): stable via codepoint sum.
+        return sum(map(ord, digest)) % shards
+
+
+class DigestShardPool:
+    """N single-worker supervised shards with digest-stable routing.
+
+    Parameters mirror :class:`~repro.api.workspace.Workspace` pooled
+    mode where they overlap; ``queue_limit`` is the per-digest
+    outstanding-request bound and ``retry_after_s`` the hint returned
+    with :class:`Overloaded`.
+    """
+
+    def __init__(
+        self,
+        store_root: str,
+        shards: int,
+        *,
+        queue_limit: int = 8,
+        retry_after_s: float = 1.0,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.05,
+        pool_factory: Callable[[], Any] | None = None,
+    ):
+        if shards < 1:
+            raise ValueError("DigestShardPool needs at least one shard")
+        self.store_root = str(store_root)
+        self.queue_limit = int(queue_limit)
+        self.retry_after_s = float(retry_after_s)
+        self._shards = [
+            SupervisedExecutor(
+                1,
+                max_attempts=max_attempts,
+                backoff_base_s=backoff_base_s,
+                seed=i,
+                pool_factory=pool_factory,
+            )
+            for i in range(int(shards))
+        ]
+        self._lock = threading.Lock()
+        self._in_flight: dict[str, int] = {}
+        #: Cumulative per-shard served-request counts by digest — the
+        #: observable record of where traffic was routed.
+        self._served: list[dict[str, int]] = [{} for _ in self._shards]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, digest: str) -> int:
+        return shard_of(digest, len(self._shards))
+
+    # -- dispatch --------------------------------------------------------
+    def submit(
+        self,
+        digest: str,
+        requests: Sequence[SolveRequest],
+        *,
+        deadlines_s: Sequence[float | None] | None = None,
+    ) -> list[Any]:
+        """Admit and dispatch one digest's requests to its home shard.
+
+        Requests must carry detached handles (workers resolve the graph
+        from the shared store).  Returns the supervisor's per-request
+        outcome futures; raises :class:`Overloaded` when the digest's
+        outstanding count would exceed ``queue_limit``.
+        """
+        reqs = list(requests)
+        with self._lock:
+            outstanding = self._in_flight.get(digest, 0)
+            if outstanding + len(reqs) > self.queue_limit:
+                raise Overloaded(
+                    digest, outstanding, self.queue_limit, self.retry_after_s
+                )
+            self._in_flight[digest] = outstanding + len(reqs)
+            served = self._served[self.shard_of(digest)]
+            served[digest] = served.get(digest, 0) + len(reqs)
+        shard = self._shards[self.shard_of(digest)]
+        try:
+            futures = shard.submit_group(
+                _execute_group,
+                (self.store_root, None, digest, reqs),
+                digest=digest,
+                algorithms=[r.algorithm for r in reqs],
+                deadlines_s=deadlines_s,
+            )
+        except BaseException:
+            with self._lock:
+                self._release(digest, len(reqs))
+            raise
+        for fut in futures:
+            fut.add_done_callback(lambda _f, d=digest: self._on_done(d))
+        return futures
+
+    def _release(self, digest: str, k: int) -> None:
+        left = self._in_flight.get(digest, 0) - k
+        if left > 0:
+            self._in_flight[digest] = left
+        else:
+            self._in_flight.pop(digest, None)
+
+    def _on_done(self, digest: str) -> None:
+        with self._lock:
+            self._release(digest, 1)
+
+    # -- introspection ---------------------------------------------------
+    def probe(self, timeout_s: float = 30.0) -> list[dict[str, Any]]:
+        """Ask each shard's worker what it holds (pid, graphs, cache).
+
+        Runs inside the worker process, so the answer is the ground
+        truth the co-location tests assert against — not daemon-side
+        bookkeeping.
+        """
+        futures = [
+            shard.submit_group(
+                _probe_group,
+                (self.store_root,),
+                digest=f"__probe_{i}__",
+                algorithms=["__probe__"],
+            )[0]
+            for i, shard in enumerate(self._shards)
+        ]
+        out = []
+        for i, fut in enumerate(futures):
+            tag, payload = fut.result(timeout=timeout_s)
+            if tag != "ok":
+                raise payload
+            out.append({"shard": i, **payload})
+        return out
+
+    def stats(self) -> dict[str, Any]:
+        """Routing and supervision counters, JSON-shaped."""
+        with self._lock:
+            in_flight = dict(self._in_flight)
+            served = [dict(s) for s in self._served]
+        return {
+            "shards": [
+                {
+                    "shard": i,
+                    "served": served[i],
+                    "supervisor": self._shards[i].stats(),
+                }
+                for i in range(len(self._shards))
+            ],
+            "in_flight": in_flight,
+            "queue_limit": self.queue_limit,
+        }
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        for shard in self._shards:
+            shard.shutdown(wait=wait, cancel_pending=cancel_pending)
+
+
+def _probe_group(store_root: str, attempt: int = 0) -> list[tuple[str, Any]]:
+    """Worker-side probe: report this process's resident graphs/cache."""
+    from repro.api import workspace as _workspace
+
+    cache = _workspace._WORKER_CACHES.get(store_root)
+    return [
+        (
+            "ok",
+            {
+                "pid": os.getpid(),
+                "graphs": list(_workspace._WORKER_GRAPHS),
+                "cache": None if cache is None else cache.stats(),
+            },
+        )
+    ]

@@ -33,6 +33,11 @@ def pytest_configure(config) -> None:
         "faults: fault-injection tests (worker kills, torn writes, lease "
         "contention); also run as their own CI job",
     )
+    config.addinivalue_line(
+        "markers",
+        "serve: solve-daemon end-to-end tests (HTTP round trips, digest "
+        "sharding, drain); also run as their own CI job",
+    )
 
 
 def pytest_collection_modifyitems(config, items) -> None:

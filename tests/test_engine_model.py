@@ -57,21 +57,34 @@ def test_pick_engine_falls_back_when_partially_calibrated() -> None:
 
 
 def test_pick_wave_width_gates_on_instance_size() -> None:
-    m = _model(wave_width=16, wave_min_n=1000)
+    m = _model(waves={"*": (16, 1000)})
     assert m.pick_wave_width(999, 3000, 2) == 0
     assert m.pick_wave_width(1000, 3000, 2) == 16
-    lockstep = _model(wave_width=0, wave_min_n=0)
+    lockstep = _model(waves={})
     assert lockstep.pick_wave_width(10**6, 3 * 10**6, 2) == 0
 
 
+def test_pick_wave_width_is_per_protocol_with_wildcard_fallback() -> None:
+    m = _model(waves={"election": (64, 500), "join": (0, 0), "*": (16, 1000)})
+    # Each protocol gets its own verdict...
+    assert m.pick_wave_width(2000, 6000, 2, protocol="election") == 64
+    assert m.pick_wave_width(2000, 6000, 2, protocol="join") == 0
+    # ...and unknown/omitted protocols fall back to the wildcard.
+    assert m.pick_wave_width(2000, 6000, 2, protocol="cluster") == 16
+    assert m.pick_wave_width(2000, 6000, 2) == 16
+    # Per-protocol min_n gates independently of the wildcard's.
+    assert m.pick_wave_width(600, 1800, 2, protocol="election") == 64
+    assert m.pick_wave_width(600, 1800, 2, protocol="cluster") == 0
+
+
 def test_round_trip_and_schema_rejection(tmp_path) -> None:
-    m = _model(wave_width=64, wave_min_n=4000, meta={"radius": 2})
+    m = _model(waves={"election": (64, 4000)}, meta={"radius": 2})
     path = tmp_path / "model.json"
     m.save(path)
     back = EngineCostModel.load(path)
     assert back is not None
     assert back.coef == m.coef
-    assert (back.wave_width, back.wave_min_n) == (64, 4000)
+    assert back.waves == {"election": (64, 4000)}
     assert back.meta == {"radius": 2}
 
     doc = json.loads(path.read_text())
@@ -81,6 +94,24 @@ def test_round_trip_and_schema_rejection(tmp_path) -> None:
     with pytest.raises(ValueError):
         EngineCostModel.from_dict(doc)
     assert EngineCostModel.load(tmp_path / "absent.json") is None
+
+
+def test_schema_1_loads_as_wildcard_verdict(tmp_path) -> None:
+    # A committed schema-1 artifact (global verdict) must keep loading:
+    # its single threshold becomes the "*" wildcard entry.
+    legacy = {
+        "schema": 1,
+        "coef": {"batch": [0.0, 0.0, 1e-6]},
+        "wave_width": 16,
+        "wave_min_n": 9000,
+        "meta": {},
+    }
+    m = EngineCostModel.from_dict(legacy)
+    assert m.waves == {"*": (16, 9000)}
+    assert m.pick_wave_width(9000, 27000, 2, protocol="join") == 16
+    # Lockstep legacy documents produce no verdict at all.
+    legacy["wave_width"] = 0
+    assert EngineCostModel.from_dict(legacy).waves == {}
 
 
 def test_fit_nonneg_clips_and_refits() -> None:

@@ -1,0 +1,486 @@
+"""End-to-end tests of the ``repro.serve`` daemon.
+
+The ``serve``-marked tests run a real HTTP daemon (in-process threads
+or digest-sharded worker processes) and assert the service boundary
+preserves the library's semantics: every solver family returns
+bit-identical ``SolveResult`` payloads over the wire, warm-path solves
+recompute nothing, a digest's traffic stays co-located on one shard,
+overload surfaces as ``503 + Retry-After``, deadlines surface as
+structured ``RequestFailed`` JSON, and a SIGTERM drain leaves the
+store without torn files.  Also run as their own CI job.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import solve, solver_names
+from repro.graphs import generators as gen
+from repro.serve import ServeClient, ServeDaemon, ServeError
+from repro.serve.metrics import LatencyTracker, percentile
+from repro.serve.shards import shard_of
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+GRID = gen.grid_2d(5, 5)
+TREE = gen.balanced_tree(2, 3)
+
+
+def _comparable(payload: dict) -> dict:
+    """A SolveResult dict minus the one nondeterministic field."""
+    out = dict(payload)
+    out.pop("wall_time_s", None)
+    return out
+
+
+def _expected(g, radius, algorithm, **kw) -> dict:
+    return _comparable(solve(g, radius, algorithm, seed=7, **kw).to_dict())
+
+
+# ----------------------------------------------------------------------
+# In-process daemon: full-registry bit identity and the HTTP contract
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def local_daemon(tmp_path_factory):
+    daemon = ServeDaemon(tmp_path_factory.mktemp("serve-local"))
+    daemon.start()
+    yield daemon
+    daemon.shutdown()
+
+
+@pytest.fixture(scope="module")
+def local_client(local_daemon):
+    with ServeClient(local_daemon.url) as client:
+        yield client
+
+
+@pytest.mark.serve
+@pytest.mark.parametrize("algorithm", sorted(solver_names()))
+def test_daemon_matches_in_process_solve_for_every_solver(
+    local_client, algorithm
+):
+    """The wire round trip is bit-identical to ``solve()`` — full registry."""
+    g = TREE if algorithm == "seq.tree-exact" else GRID
+    digest = local_client.register(g)["digest"]
+    served = local_client.solve(
+        digest=digest, radius=1, algorithm=algorithm, seed=7, raw=True
+    )
+    assert _comparable(served) == _expected(g, 1, algorithm)
+
+
+@pytest.mark.serve
+def test_certificate_connect_and_extras_survive_the_wire(local_client):
+    digest = local_client.register(GRID)["digest"]
+    served = local_client.solve(
+        digest=digest, radius=2, algorithm="seq.wreach", seed=7,
+        certify=True, connect=True, validate=True, raw=True,
+    )
+    assert _comparable(served) == _expected(
+        GRID, 2, "seq.wreach", certify=True, connect=True, validate=True
+    )
+    rebuilt = local_client.solve(
+        digest=digest, radius=2, algorithm="seq.wreach", seed=7,
+        certify=True, connect=True,
+    )
+    assert rebuilt.certificate is not None
+    assert rebuilt.certificate.solution_size == len(rebuilt.dominators)
+    assert rebuilt.connected_set is not None
+
+
+@pytest.mark.serve
+def test_inline_graph_and_npz_register_agree(local_client):
+    g = gen.cycle_graph(9)
+    via_npz = local_client.register(g)
+    via_json = local_client.register(g, npz=False)
+    assert via_npz["digest"] == via_json["digest"]
+    assert via_npz["n"] == 9 and via_npz["m"] == 9
+    inline = local_client.solve(
+        graph=g, radius=1, algorithm="seq.greedy", seed=7, raw=True
+    )
+    by_digest = local_client.solve(
+        digest=via_npz["digest"], radius=1, algorithm="seq.greedy", seed=7,
+        raw=True,
+    )
+    assert _comparable(inline) == _comparable(by_digest)
+
+
+@pytest.mark.serve
+def test_register_with_warm_reports_warmed_artifacts(local_client):
+    out = local_client.register(gen.grid_2d(6, 6), warm={"radius": 1})
+    assert out["warmed"]["wcol"] >= 1
+    assert out["warmed"]["radius"] == 1
+
+
+@pytest.mark.serve
+def test_warm_path_recomputes_nothing(local_client):
+    """Second solve of a warmed digest: cache hits rise, computes don't."""
+    digest = local_client.register(gen.torus_2d(6, 6))["digest"]
+    kw = dict(digest=digest, radius=1, algorithm="seq.wreach", seed=7)
+    local_client.solve(**kw)
+    before = local_client.status()["workspace"]["cache"]
+    local_client.solve(**kw)
+    after = local_client.status()["workspace"]["cache"]
+    assert {k: v["computed"] for k, v in after.items()} == {
+        k: v["computed"] for k, v in before.items()
+    }
+    assert sum(v["hits"] for v in after.values()) > sum(
+        v["hits"] for v in before.values()
+    )
+
+
+@pytest.mark.serve
+def test_error_mapping_unknown_digest_and_bad_request(local_client):
+    with pytest.raises(ServeError) as excinfo:
+        local_client.solve(digest="0" * 32, radius=1, algorithm="seq.greedy")
+    assert excinfo.value.status == 404
+    assert excinfo.value.error["type"] == "UnknownGraph"
+
+    with pytest.raises(ServeError) as excinfo:
+        local_client.solve(
+            digest="0" * 32, radius=1, algorithm="seq.greedy", bogus=1
+        )
+    assert excinfo.value.status == 400
+
+    with pytest.raises(ServeError) as excinfo:
+        local_client._request("GET", "/v1/nope")
+    assert excinfo.value.status == 404
+
+
+@pytest.mark.serve
+def test_solvers_endpoint_dumps_the_whole_registry(local_client):
+    listed = local_client.solvers()
+    assert set(listed) == set(solver_names())
+    assert listed["dist.congest"]["model"] == "CONGEST_BC"
+
+
+@pytest.mark.serve
+def test_status_reports_metrics_and_store_lifecycle(local_client):
+    st = local_client.status()
+    assert st["uptime_s"] > 0
+    assert st["requests"]["total"] >= 1
+    assert "seq.wreach" in st["latency_ms"]
+    sample = st["latency_ms"]["seq.wreach"]
+    assert sample["count"] >= 1
+    assert sample["p50_ms"] <= sample["p95_ms"] <= sample["p99_ms"]
+    lifecycle = st["workspace"]["store"]["lifecycle"]
+    assert set(lifecycle) == {
+        "leases_total", "leases_active", "quarantined", "quarantined_bytes"
+    }
+
+
+# ----------------------------------------------------------------------
+# Pooled daemon: sharded co-location, concurrency, faults, deadlines
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pooled_daemon(tmp_path_factory):
+    daemon = ServeDaemon(
+        tmp_path_factory.mktemp("serve-pooled"), workers=2, queue_limit=8
+    )
+    daemon.start()
+    yield daemon
+    daemon.shutdown()
+
+
+@pytest.mark.serve
+def test_concurrent_clients_bit_identical_and_digest_colocated(pooled_daemon):
+    """Mixed traffic over two digests from concurrent clients: every
+    response equals the in-process result, and the worker probes show
+    each digest resident on exactly its home shard."""
+    graphs = {"grid": gen.grid_2d(7, 7), "tree": gen.balanced_tree(3, 3)}
+    with ServeClient(pooled_daemon.url) as setup:
+        digests = {k: setup.register(g)["digest"] for k, g in graphs.items()}
+    expected = {
+        (k, a): _expected(graphs[k], 1, a)
+        for k in graphs
+        for a in ("seq.wreach", "seq.greedy", "dist.congest")
+    }
+    failures: list[str] = []
+
+    def hammer(worker_id: int) -> None:
+        with ServeClient(pooled_daemon.url) as client:
+            for i, (k, a) in enumerate(sorted(expected)):
+                if (i + worker_id) % 2:
+                    continue
+                got = client.solve(
+                    digest=digests[k], radius=1, algorithm=a, seed=7, raw=True
+                )
+                if _comparable(got) != expected[(k, a)]:
+                    failures.append(f"{worker_id}:{k}:{a}")
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,)) for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    assert not failures
+
+    with ServeClient(pooled_daemon.url) as client:
+        st = client.status(probe=True)
+    residency = {
+        w["shard"]: set(w["graphs"]) for w in st["workers_probe"]
+    }
+    for digest in digests.values():
+        home = shard_of(digest, 2)
+        assert digest in residency[home]
+        assert digest not in residency[1 - home]
+        served = st["shards"]["shards"]
+        assert served[home]["served"].get(digest, 0) >= 1
+        assert digest not in served[1 - home]["served"]
+
+
+@pytest.mark.serve
+def test_pooled_warm_path_recomputes_nothing_in_worker(pooled_daemon):
+    """Worker-side cache ground truth: repeat solves hit, never recompute."""
+    with ServeClient(pooled_daemon.url) as client:
+        digest = client.register(gen.king_graph(5, 5))["digest"]
+        kw = dict(digest=digest, radius=1, algorithm="seq.wreach", seed=7)
+        client.solve(**kw)
+        before = client.status(probe=True)["workers_probe"]
+        client.solve(**kw)
+        after = client.status(probe=True)["workers_probe"]
+    home = shard_of(digest, 2)
+    cold = next(w["cache"] for w in before if w["shard"] == home)
+    warm = next(w["cache"] for w in after if w["shard"] == home)
+    assert {k: v["computed"] for k, v in warm.items()} == {
+        k: v["computed"] for k, v in cold.items()
+    }
+    assert sum(v["hits"] for v in warm.values()) > sum(
+        v["hits"] for v in cold.values()
+    )
+
+
+@pytest.mark.serve
+def test_deadline_surfaces_as_structured_request_failed(pooled_daemon):
+    with ServeClient(pooled_daemon.url) as client:
+        digest = client.register(gen.grid_2d(9, 9))["digest"]
+        with pytest.raises(ServeError) as excinfo:
+            client.solve(
+                digest=digest, radius=2, algorithm="seq.exact",
+                seed=7, deadline_s=0.001,
+            )
+    err = excinfo.value
+    assert err.status == 504
+    assert err.error["type"] == "RequestFailed"
+    assert err.reason == "deadline"
+    assert err.error["algorithm"] == "seq.exact"
+    assert err.error["graph_digest"] == digest
+
+
+@pytest.mark.serve
+def test_overload_returns_503_with_retry_after(tmp_path, monkeypatch):
+    """A single-shard daemon with latency-injected store loads and a tiny
+    per-digest queue must shed excess concurrent load as 503."""
+    monkeypatch.setenv("REPRO_FAULTS", "latency:ms=400")
+    daemon = ServeDaemon(
+        tmp_path / "store", workers=1, queue_limit=2, retry_after_s=3.0
+    )
+    daemon.start()
+    try:
+        with ServeClient(daemon.url) as setup:
+            digest = setup.register(gen.grid_2d(6, 6))["digest"]
+        outcomes: list[object] = []
+
+        def fire() -> None:
+            with ServeClient(daemon.url) as client:
+                try:
+                    client.solve(
+                        digest=digest, radius=1, algorithm="seq.greedy",
+                        seed=7,
+                    )
+                    outcomes.append("ok")
+                except ServeError as exc:
+                    outcomes.append(exc)
+
+        threads = [threading.Thread(target=fire) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        shed = [o for o in outcomes if isinstance(o, ServeError)]
+        assert len(outcomes) == 6
+        assert shed, "expected at least one overload rejection"
+        for exc in shed:
+            assert exc.status == 503
+            assert exc.error["type"] == "Overloaded"
+            # Retry-After is an RFC-7231 integer-second header.
+            assert exc.retry_after_s == pytest.approx(3.0)
+        with ServeClient(daemon.url) as client:
+            st = client.status()
+        assert st["requests"]["overloaded"] == len(shed)
+    finally:
+        daemon.shutdown()
+
+
+@pytest.mark.serve
+def test_worker_crash_respawns_and_result_is_unchanged(tmp_path, monkeypatch):
+    """The per-shard supervisor keeps PR 9's contract at the service
+    boundary: a killed worker respawns and the retried solve matches."""
+    g = gen.grid_2d(6, 6)
+    daemon = ServeDaemon(tmp_path / "store", workers=1)
+    daemon.start()
+    try:
+        with ServeClient(daemon.url) as client:
+            digest = client.register(g)["digest"]
+            monkeypatch.setenv(
+                "REPRO_FAULTS", f"kill:digest={digest[:6]},attempts=1"
+            )
+            # The env reaches workers spawned after this point; force a
+            # respawn path by restarting the daemon with the plan set.
+        daemon.shutdown()
+        daemon = ServeDaemon(tmp_path / "store", workers=1)
+        daemon.start()
+        with ServeClient(daemon.url) as client:
+            served = client.solve(
+                digest=digest, radius=1, algorithm="seq.wreach", seed=7,
+                raw=True,
+            )
+            st = client.status()
+        assert _comparable(served) == _expected(g, 1, "seq.wreach")
+        supervisor = st["shards"]["shards"][0]["supervisor"]
+        assert supervisor["respawns"] >= 1
+        assert sum(supervisor["retries"].values()) >= 1
+    finally:
+        daemon.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Process-level drain
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.serve
+def test_sigterm_drains_in_flight_work_and_leaves_no_torn_files(tmp_path):
+    store = tmp_path / "store"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--store", str(store),
+         "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        assert line.startswith("listening on http://"), line
+        url = line.removeprefix("listening on ").strip()
+
+        g = gen.grid_2d(8, 8)
+        results: list[dict] = []
+        with ServeClient(url) as client:
+            digest = client.register(g)["digest"]
+
+        def slow_solve() -> None:
+            with ServeClient(url) as inner:
+                results.append(
+                    inner.solve(
+                        digest=digest, radius=2, algorithm="seq.wreach",
+                        seed=7, certify=True, raw=True,
+                    )
+                )
+
+        t = threading.Thread(target=slow_solve)
+        t.start()
+        time.sleep(0.05)  # let the request reach the daemon
+        proc.send_signal(signal.SIGTERM)
+        t.join(timeout=120)
+        out, err = proc.communicate(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    assert proc.returncode == 0, err
+    assert "drained" in out
+    # The in-flight request finished (drain waits for active handlers).
+    assert results and _comparable(results[0]) == _expected(
+        g, 2, "seq.wreach", certify=True
+    )
+    # No torn store files: drain sweeps the tmp staging area.
+    leftovers = [p for p in store.rglob("*.tmp*") if p.is_file()]
+    assert leftovers == []
+    # A fresh daemon over the same store serves the warmed digest.
+    daemon = ServeDaemon(store)
+    daemon.start()
+    try:
+        with ServeClient(daemon.url) as client:
+            again = client.solve(
+                digest=digest, radius=2, algorithm="seq.wreach", seed=7,
+                certify=True, raw=True,
+            )
+        assert _comparable(again) == _comparable(results[0])
+    finally:
+        daemon.shutdown()
+
+
+@pytest.mark.serve
+def test_draining_daemon_rejects_new_work(tmp_path):
+    daemon = ServeDaemon(tmp_path / "store")
+    daemon.start()
+    url = daemon.url
+    daemon.shutdown()
+    with ServeClient(url) as client:
+        with pytest.raises((ServeError, OSError)) as excinfo:
+            client.status()
+        if isinstance(excinfo.value, ServeError):
+            assert excinfo.value.status == 503
+
+
+# ----------------------------------------------------------------------
+# Unit layers: routing hash and latency tracker
+# ----------------------------------------------------------------------
+
+
+def test_shard_of_is_stable_and_in_range():
+    digest = "3fb2a90c" + "0" * 24
+    assert shard_of(digest, 4) == int("3fb2a90c", 16) % 4
+    for shards in (1, 2, 3, 8):
+        assert all(
+            0 <= shard_of(f"{i:032x}", shards) < shards for i in range(64)
+        )
+    # Non-hex identifiers (probe keys) still route deterministically.
+    assert shard_of("__probe_1__", 3) == shard_of("__probe_1__", 3)
+
+
+def test_shard_of_spreads_distinct_digests():
+    hits = {shard_of(f"{i * 2654435761 % 2**32:08x}", 4) for i in range(32)}
+    assert hits == {0, 1, 2, 3}
+
+
+def test_percentile_nearest_rank():
+    samples = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(samples, 0.50) == 20.0
+    assert percentile(samples, 0.95) == 40.0
+    assert percentile([7.0], 0.99) == 7.0
+    # Unsorted input must give the same answer (sorted internally).
+    assert percentile([40.0, 10.0, 30.0, 20.0], 0.50) == 20.0
+    assert percentile([40.0, 10.0, 30.0, 20.0], 0.95) == 40.0
+
+
+def test_latency_tracker_snapshot_counts_and_percentiles():
+    tracker = LatencyTracker(window=8)
+    for ms in (1, 2, 3, 4, 5):
+        tracker.observe("seq.greedy", ms / 1e3)
+    tracker.observe("seq.exact", 0.5, ok=False)
+    tracker.count_overload()
+    snap = tracker.snapshot()
+    assert snap["requests"]["total"] == 6
+    assert snap["requests"]["failed"] == 1
+    assert snap["requests"]["overloaded"] == 1
+    assert snap["requests"]["by_solver"]["seq.greedy"]["total"] == 5
+    greedy = snap["latency_ms"]["seq.greedy"]
+    assert greedy["count"] == 5
+    assert greedy["p50_ms"] == pytest.approx(3.0)
+    assert greedy["p99_ms"] == pytest.approx(5.0)

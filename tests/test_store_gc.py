@@ -187,6 +187,31 @@ def test_status_reports_sizes_lease_and_quarantine(tmp_path):
     assert info["total_bytes"] >= row["bytes"]
 
 
+def test_lifecycle_summary_aggregates_without_inventory(tmp_path):
+    store, digests = _warmed_store(tmp_path, [gen.grid_2d(4, 4)])
+    qfile = tmp_path / store_gc.QUARANTINE_DIR / "orders" / digests[0] / "x.npz"
+    qfile.parent.mkdir(parents=True)
+    qfile.write_bytes(b"rotten")
+    qfile.with_name("x.npz.reason.txt").write_text("unreadable order npz\n")
+    # A stale foreign lease counts toward total but not active.
+    stale = tmp_path / store_gc.LEASE_DIR / "feedface.lease"
+    stale.parent.mkdir(parents=True, exist_ok=True)
+    stale.write_text(json.dumps({"pid": 999999, "time": 0.0, "host": "x"}))
+    old = time.time() - 10 * 24 * 3600.0
+    os.utime(stale, (old, old))
+    with store.lease(digests[0]):
+        summary = store.lifecycle_summary()
+        assert summary["leases_active"] == 1
+        assert summary["leases_total"] == 2
+    assert summary["quarantined"] == 1
+    assert summary["quarantined_bytes"] == len(b"rotten")
+    # The workspace surfaces the same aggregate under store stats, so
+    # status consumers never reach into store_gc internals.
+    with Workspace(store=tmp_path, workers=0) as ws:
+        info = ws.info()
+    assert info["store"]["lifecycle"]["quarantined"] == 1
+
+
 # ----------------------------------------------------------------------
 # Corruption quarantine (two strikes)
 # ----------------------------------------------------------------------
